@@ -1,0 +1,399 @@
+// Repository-level benchmarks: one benchmark family per reproduced table or
+// figure of the paper's evaluation (Figures 6–8 and the Section 8.4
+// verification), plus microbenchmarks for every kernel of Table 2 and the
+// ablations called out in DESIGN.md (fusion, Φ∘⊕ order, scheduling,
+// semiring genericity).
+//
+// Figure benchmarks run the small-scale sweeps; regenerate the full data
+// series with `go run ./cmd/agnn-plots -scale full`. Each figure benchmark
+// reports the measured communication volume via b.ReportMetric.
+package agnn_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"agnn/internal/benchutil"
+	"agnn/internal/dist"
+	"agnn/internal/distgnn"
+	"agnn/internal/gnn"
+	"agnn/internal/graph"
+	"agnn/internal/grb"
+	"agnn/internal/kernels"
+	"agnn/internal/local"
+	"agnn/internal/par"
+	"agnn/internal/sparse"
+	"agnn/internal/tensor"
+)
+
+// ---------------------------------------------------------------------------
+// Table 2 kernel microbenchmarks.
+// ---------------------------------------------------------------------------
+
+const (
+	benchN = 1 << 13 // 8192 vertices
+	benchK = 32
+)
+
+func benchGraph(b *testing.B) *sparse.CSR {
+	b.Helper()
+	return graph.Kronecker(13, 16, 1)
+}
+
+func benchDense(r, c int, seed int64) *tensor.Dense {
+	return tensor.RandN(r, c, 1, rand.New(rand.NewSource(seed)))
+}
+
+func BenchmarkKernelSpMM(b *testing.B) {
+	a := benchGraph(b)
+	h := benchDense(benchN, benchK, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulDense(h)
+	}
+	b.ReportMetric(float64(a.NNZ()*benchK)/1e6, "Mflop/op")
+}
+
+func BenchmarkKernelSDDMM(b *testing.B) {
+	a := benchGraph(b)
+	h := benchDense(benchN, benchK, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sparse.SDDMM(a, h, h)
+	}
+}
+
+func BenchmarkKernelMM(b *testing.B) {
+	h := benchDense(benchN, benchK, 4)
+	w := benchDense(benchK, benchK, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MM(h, w)
+	}
+}
+
+func BenchmarkKernelSpMMM(b *testing.B) {
+	a := benchGraph(b)
+	h := benchDense(benchN, benchK, 6)
+	w := benchDense(benchK, benchK, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernels.SpMMM(a, h, w)
+	}
+}
+
+func BenchmarkKernelMSpMM(b *testing.B) {
+	a := benchGraph(b)
+	x := benchDense(benchN, benchK, 8)
+	y := benchDense(benchN, benchK, 9)
+	b.Run("fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			kernels.MSpMM(x, a, y)
+		}
+	})
+	b.Run("unfused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			kernels.MSpMMUnfused(x, a, y)
+		}
+	})
+}
+
+func BenchmarkKernelGraphSoftmax(b *testing.B) {
+	a := benchGraph(b)
+	h := benchDense(benchN, benchK, 10)
+	s := sparse.SDDMM(a, h, h)
+	b.Run("stable-fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sparse.RowSoftmax(s)
+		}
+	})
+	b.Run("literal-formulation", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sparse.RowSoftmaxUnstable(s)
+		}
+	})
+}
+
+func BenchmarkKernelSemiringSpMM(b *testing.B) {
+	a := benchGraph(b)
+	h := benchDense(benchN, benchK, 11)
+	b.Run("specialized-sum", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a.MulDense(h)
+		}
+	})
+	b.Run("generic-real", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a.MulDenseReal(h)
+		}
+	})
+	b.Run("tropical-max", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a.MulDenseMax(h)
+		}
+	})
+	b.Run("average-pair", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a.MulDenseMean(h)
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 ablation: fused vs unfused attention pipelines.
+// ---------------------------------------------------------------------------
+
+func BenchmarkFusionAblation(b *testing.B) {
+	a := benchGraph(b)
+	h := benchDense(benchN, benchK, 12)
+	hp := benchDense(benchN, benchK, 13)
+	rng := rand.New(rand.NewSource(14))
+	u := make([]float64, benchN)
+	v := make([]float64, benchN)
+	for i := range u {
+		u[i], v[i] = rng.NormFloat64(), rng.NormFloat64()
+	}
+	score := kernels.GATEdgeScore(u, v, 0.2)
+
+	b.Run("gat-attention/fused-softmax-apply", func(b *testing.B) {
+		// Everything in one sweep: no Ψ, no score matrix materialized.
+		for i := 0; i < b.N; i++ {
+			kernels.FusedSoftmaxApply(a, score, hp)
+		}
+	})
+	b.Run("gat-attention/fused-scores+spmm", func(b *testing.B) {
+		// Ψ materialized once (the training path), scores still fused.
+		for i := 0; i < b.N; i++ {
+			kernels.FusedSoftmaxScores(a, score).MulDense(hp)
+		}
+	})
+	b.Run("gat-attention/unfused", func(b *testing.B) {
+		// Separate kernels with sparse intermediates at each step.
+		for i := 0; i < b.N; i++ {
+			e := kernels.FusedScores(a, score)
+			sparse.RowSoftmax(e).MulDense(hp)
+		}
+	})
+	b.Run("va-attention/fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			kernels.FusedSoftmaxApply(a, kernels.VAEdgeScore(h), hp)
+		}
+	})
+	b.Run("va-attention/unfused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sparse.RowSoftmax(sparse.SDDMM(a, h, h)).MulDense(hp)
+		}
+	})
+}
+
+// BenchmarkPhiOrderAblation measures the Section 4.4 Φ∘⊕ order choice:
+// projecting features before aggregation shrinks the SpMM operand when
+// k_out < k_in.
+func BenchmarkPhiOrderAblation(b *testing.B) {
+	a := benchGraph(b)
+	kIn, kOut := 128, 16
+	h := benchDense(benchN, kIn, 15)
+	w := benchDense(kIn, kOut, 16)
+	psi := sparse.SDDMM(a, benchDense(benchN, 8, 17), benchDense(benchN, 8, 18))
+	b.Run("phi-first", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			psi.MulDense(tensor.MM(h, w)) // Ψ·(H·W)
+		}
+	})
+	b.Run("agg-first", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tensor.MM(psi.MulDense(h), w) // (Ψ·H)·W
+		}
+	})
+}
+
+// BenchmarkScheduleAblation compares the nnz-balanced row partitioning used
+// by the sparse kernels against naive row-count balancing on a heavy-tail
+// graph.
+func BenchmarkScheduleAblation(b *testing.B) {
+	a := benchGraph(b)
+	h := benchDense(benchN, benchK, 19)
+	out := tensor.NewDense(benchN, benchK)
+	spmmRows := func(lo, hi int) {
+		k := h.Cols
+		for i := lo; i < hi; i++ {
+			orow := out.Data[i*k : (i+1)*k]
+			for t := range orow {
+				orow[t] = 0
+			}
+			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+				v := a.Val[p]
+				xrow := h.Data[int(a.Col[p])*k : int(a.Col[p])*k+k]
+				for t, xv := range xrow {
+					orow[t] += v * xv
+				}
+			}
+		}
+	}
+	b.Run("nnz-balanced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			par.RangeWeighted(a.Rows, func(r int) int64 { return int64(a.RowNNZ(r)) },
+				func(_, lo, hi int) { spmmRows(lo, hi) })
+		}
+	})
+	b.Run("row-balanced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			par.Range(a.Rows, func(_, lo, hi int) { spmmRows(lo, hi) })
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Global vs local formulation, single node (the per-node compute story).
+// ---------------------------------------------------------------------------
+
+func BenchmarkGlobalVsLocalSingleNode(b *testing.B) {
+	a := graph.Kronecker(12, 16, 20)
+	n := a.Rows
+	h := benchDense(n, 16, 21)
+	for _, kind := range []gnn.Kind{gnn.VA, gnn.AGNN, gnn.GAT} {
+		global, err := gnn.New(gnn.Config{Model: kind, Layers: 3, InDim: 16,
+			HiddenDim: 16, OutDim: 16, Activation: gnn.ReLU(), SelfLoops: true, Seed: 22}, a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		loc, err := local.Mirror(global)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("%s/global", kind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				global.Forward(h, false)
+			}
+		})
+		b.Run(fmt.Sprintf("%s/local", kind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				loc.Forward(h, false)
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure benchmarks: each runs the small-scale sweep of one paper figure
+// and reports median runtime and measured per-rank communication volume.
+// ---------------------------------------------------------------------------
+
+func runFigure(b *testing.B, fig benchutil.Figure) {
+	for _, s := range fig.Specs {
+		s := s
+		task := "train"
+		if s.Inference {
+			task = "infer"
+		}
+		name := fmt.Sprintf("%s/%s/%s/p%d/n%d/m%d/k%d", s.Model, s.Engine, task,
+			s.Ranks, s.Vertices, s.Edges, s.Features)
+		b.Run(name, func(b *testing.B) {
+			var totalComm float64
+			for i := 0; i < b.N; i++ {
+				r, err := benchutil.RunSpec(s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				totalComm += float64(r.CommBytesMax)
+			}
+			b.ReportMetric(totalComm/float64(b.N), "commB/op")
+		})
+	}
+}
+
+func BenchmarkFig6StrongScaling(b *testing.B) { runFigure(b, benchutil.Fig6(benchutil.ScaleSmall)) }
+func BenchmarkFig7MAKG(b *testing.B)          { runFigure(b, benchutil.Fig7MAKG(benchutil.ScaleSmall)) }
+func BenchmarkFig7RandWeakScaling(b *testing.B) {
+	runFigure(b, benchutil.Fig7Rand(benchutil.ScaleSmall))
+}
+func BenchmarkFig8WeakScaling(b *testing.B) { runFigure(b, benchutil.Fig8(benchutil.ScaleSmall)) }
+func BenchmarkVerifyTheory(b *testing.B)    { runFigure(b, benchutil.FigVerify(benchutil.ScaleSmall)) }
+
+// ---------------------------------------------------------------------------
+// Layout ablation (replication factor) and extension benchmarks.
+// ---------------------------------------------------------------------------
+
+// BenchmarkLayoutAblation compares the per-rank communication volume and
+// wall time of the 2D A-stationary grid (the paper's distribution) against
+// the no-replication 1D row layout, at p = 16.
+func BenchmarkLayoutAblation(b *testing.B) {
+	n, k, p := 1<<12, 16, 16
+	a := graph.Kronecker(12, 8, 23)
+	h := benchDense(n, k, 24)
+	cfg := gnn.Config{Model: gnn.GAT, Layers: 3, InDim: k, HiddenDim: k,
+		OutDim: k, Activation: gnn.Tanh(), SelfLoops: true, Seed: 25}
+	b.Run("2d-grid", func(b *testing.B) {
+		var comm float64
+		for i := 0; i < b.N; i++ {
+			cs := dist.Run(p, func(c *dist.Comm) {
+				e, err := distgnn.NewGlobalEngine(c, a, cfg)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				e.Forward(e.SliceOwnedBlock(h), false)
+			})
+			comm += float64(dist.MaxCounters(cs).BytesSent)
+		}
+		b.ReportMetric(comm/float64(b.N), "commB/op")
+	})
+	b.Run("1d-rows", func(b *testing.B) {
+		var comm float64
+		for i := 0; i < b.N; i++ {
+			cs := dist.Run(p, func(c *dist.Comm) {
+				e, err := distgnn.NewRowEngine(c, a, cfg)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				e.Forward(h.SliceRows(e.Lo, e.Hi).Clone())
+			})
+			comm += float64(dist.MaxCounters(cs).BytesSent)
+		}
+		b.ReportMetric(comm/float64(b.N), "commB/op")
+	})
+}
+
+// BenchmarkMultiHeadGAT measures the K-head extension's forward pass.
+func BenchmarkMultiHeadGAT(b *testing.B) {
+	a := graph.Kronecker(12, 8, 26)
+	at := a.Transpose()
+	h := benchDense(a.Rows, 32, 27)
+	for _, heads := range []int{1, 4, 8} {
+		rng := rand.New(rand.NewSource(28))
+		l := gnn.NewMultiHeadGATLayer(a, at, 32, 8, heads, true, gnn.ELU(1), 0.2, rng)
+		b.Run(fmt.Sprintf("heads-%d", heads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				l.Forward(h, false)
+			}
+		})
+	}
+}
+
+// BenchmarkGraphBLASAlgorithms measures the linear-algebra graph kernels
+// that share the sparse substrate with the GNN models.
+func BenchmarkGraphBLASAlgorithms(b *testing.B) {
+	a := graph.Kronecker(12, 8, 29)
+	b.Run("bfs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			grb.BFSLevels(a, 0)
+		}
+	})
+	b.Run("sssp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			grb.SSSP(a, 0)
+		}
+	})
+	b.Run("triangles", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			grb.TriangleCount(a)
+		}
+	})
+	b.Run("pagerank", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			grb.PageRank(a, 0.85, 20)
+		}
+	})
+}

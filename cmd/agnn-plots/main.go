@@ -1,0 +1,78 @@
+// Command agnn-plots regenerates the data series behind every reproduced
+// figure of the paper's evaluation (the create_plots.py analog): it runs
+// the per-figure sweeps of internal/benchutil and writes one CSV per figure
+// into the results directory.
+//
+// Examples:
+//
+//	agnn-plots                 # all figures, small (smoke) scale
+//	agnn-plots -scale full     # the EXPERIMENTS.md configuration
+//	agnn-plots -fig fig7rand   # a single figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"agnn/internal/benchutil"
+)
+
+func main() {
+	figID := flag.String("fig", "", "figure to regenerate (fig6, fig7makg, fig7rand, fig8, verify); empty = all")
+	scaleName := flag.String("scale", "small", "sweep scale: small (seconds) or full (minutes)")
+	outDir := flag.String("out", "results", "output directory for per-figure CSVs")
+	flag.Parse()
+
+	var scale benchutil.Scale
+	switch *scaleName {
+	case "small":
+		scale = benchutil.ScaleSmall
+	case "full":
+		scale = benchutil.ScaleFull
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scaleName))
+	}
+
+	var figs []benchutil.Figure
+	if *figID == "" {
+		figs = benchutil.AllFigures(scale)
+	} else {
+		f, err := benchutil.FigureByID(*figID, scale)
+		fatal(err)
+		figs = []benchutil.Figure{f}
+	}
+	fatal(os.MkdirAll(*outDir, 0o755))
+
+	for _, f := range figs {
+		path := filepath.Join(*outDir, f.ID+".csv")
+		out, err := os.Create(path)
+		fatal(err)
+		fatal(benchutil.WriteCSVHeader(out))
+		fmt.Printf("== %s: %s (%d runs)\n", f.ID, f.Title, len(f.Specs))
+		start := time.Now()
+		for i, s := range f.Specs {
+			r, err := benchutil.RunSpec(s)
+			fatal(err)
+			fatal(r.WriteCSV(out, f.ID))
+			task := "train"
+			if r.Inference {
+				task = "infer"
+			}
+			fmt.Printf("  [%2d/%2d] %-4s %-9s %-5s p=%-3d n=%-7d k=%-3d  %8.4fs  comm %8d B\n",
+				i+1, len(f.Specs), r.Model, r.Engine, task, r.Ranks, r.N,
+				r.Features, r.MedianSec, r.CommBytesMax)
+		}
+		fatal(out.Close())
+		fmt.Printf("   wrote %s in %s\n", path, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "agnn-plots:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,133 @@
+// Command agnn-report summarizes the CSV files produced by agnn-plots into
+// the paper-vs-measured comparison tables of EXPERIMENTS.md: for every
+// configuration it pairs the global-formulation run with its baseline
+// (mini-batch local for training figures, full-batch local for inference
+// figures) and prints runtime speedups and communication-volume ratios as a
+// markdown table.
+//
+//	agnn-report results_full/fig6.csv
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+)
+
+type row struct {
+	figure, model, engine, dataset, task      string
+	ranks, n, m, maxdeg, features, layers     int
+	medianSec, stdSec, netSec, predictedWords float64
+	commBytes, commMsgs                       int64
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: agnn-report <figure.csv> [...]")
+		os.Exit(1)
+	}
+	for _, path := range os.Args[1:] {
+		rows, err := readCSV(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "agnn-report: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		report(path, rows)
+	}
+}
+
+func readCSV(path string) ([]row, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) < 2 {
+		return nil, fmt.Errorf("no data rows")
+	}
+	var rows []row
+	for _, r := range recs[1:] {
+		if len(r) < 17 {
+			return nil, fmt.Errorf("short row %v", r)
+		}
+		rows = append(rows, row{
+			figure: r[0], model: r[1], engine: r[2], dataset: r[3], task: r[4],
+			ranks: atoi(r[5]), n: atoi(r[6]), m: atoi(r[7]), maxdeg: atoi(r[8]),
+			features: atoi(r[9]), layers: atoi(r[10]),
+			medianSec: atof(r[11]), stdSec: atof(r[12]),
+			commBytes: int64(atof(r[13])), commMsgs: int64(atof(r[14])),
+			netSec: atof(r[15]), predictedWords: atof(r[16]),
+		})
+	}
+	return rows, nil
+}
+
+func atoi(s string) int     { v, _ := strconv.Atoi(s); return v }
+func atof(s string) float64 { v, _ := strconv.ParseFloat(s, 64); return v }
+
+type key struct {
+	model, task           string
+	ranks, n, m, features int
+}
+
+func report(path string, rows []row) {
+	byKey := map[key]map[string]row{}
+	for _, r := range rows {
+		k := key{r.model, r.task, r.ranks, r.n, r.m, r.features}
+		if byKey[k] == nil {
+			byKey[k] = map[string]row{}
+		}
+		byKey[k][r.engine] = r
+	}
+	var keys []key
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		x, y := keys[a], keys[b]
+		switch {
+		case x.model != y.model:
+			return x.model < y.model
+		case x.task != y.task:
+			return x.task < y.task
+		case x.features != y.features:
+			return x.features < y.features
+		case x.n != y.n:
+			return x.n < y.n
+		default:
+			return x.ranks < y.ranks
+		}
+	})
+
+	fmt.Printf("\n## %s\n\n", path)
+	fmt.Println("| model | task | n | m | k | p | global s | baseline | baseline s | speedup | global B/rank | baseline B/rank |")
+	fmt.Println("|---|---|---|---|---|---|---|---|---|---|---|---|")
+	for _, k := range keys {
+		g, ok := byKey[k]["global"]
+		if !ok {
+			continue
+		}
+		baseName, base, haveBase := "", row{}, false
+		for _, cand := range []string{"minibatch", "local"} {
+			if b, ok := byKey[k][cand]; ok {
+				baseName, base, haveBase = cand, b, true
+				break
+			}
+		}
+		if !haveBase {
+			fmt.Printf("| %s | %s | %d | %d | %d | %d | %.4f | — | — | — | %d | — |\n",
+				k.model, k.task, k.n, k.m, k.features, k.ranks, g.medianSec, g.commBytes)
+			continue
+		}
+		fmt.Printf("| %s | %s | %d | %d | %d | %d | %.4f | %s | %.4f | %.2f× | %d | %d |\n",
+			k.model, k.task, k.n, k.m, k.features, k.ranks,
+			g.medianSec, baseName, base.medianSec, base.medianSec/g.medianSec,
+			g.commBytes, base.commBytes)
+	}
+}

@@ -1,0 +1,15 @@
+// Package agnn is a from-scratch Go reproduction of "High-Performance and
+// Programmable Attentional Graph Neural Networks with Global Tensor
+// Formulations" (Besta et al., SC '23): global tensor formulations of
+// attentional GNNs (VA, AGNN, GAT) for inference and training, built on
+// sparse-dense tensor kernels (SpMM, SDDMM, SpMMM, MSpMM), semiring
+// aggregation, kernel fusion over virtual score matrices, and a
+// communication-minimizing 2D-grid distributed execution with a BSP cost
+// model — all validated against an independent local (message-passing)
+// implementation and finite-difference gradient checks.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The library lives under internal/; the runnable surfaces are
+// cmd/ and examples/.
+package agnn

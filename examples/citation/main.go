@@ -1,0 +1,95 @@
+// Citation-network node classification: the workload the GAT paper (and
+// this paper's introduction) motivates. A synthetic citation graph with
+// planted communities stands in for Cora/Citeseer; an AGNN and a GAT model
+// are trained full-batch to convergence on a transductive split and their
+// test accuracy is compared against a structure-blind baseline.
+//
+//	go run ./examples/citation
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"agnn/internal/gnn"
+	"agnn/internal/graph"
+	"agnn/internal/tensor"
+)
+
+const (
+	nPapers  = 1500
+	nTopics  = 5 // label classes
+	nFeats   = 32
+	nHidden  = 32
+	nEpochs  = 60
+	trainPct = 0.1 // transductive: only 10% of papers are labeled
+)
+
+func main() {
+	// Papers cite mostly within their topic; a few cross-topic citations
+	// make the task non-trivial.
+	a, labels := graph.PlantedPartition(nPapers, nTopics, 0.02, 0.001, 7)
+	st := graph.Summarize(a)
+	fmt.Printf("citation graph: %d papers, %d citations, avg degree %.1f\n",
+		st.N, st.M/2, st.AvgDeg)
+
+	// Bag-of-words-like features: noisy topic indicator plus dense noise.
+	rng := rand.New(rand.NewSource(8))
+	h := tensor.RandN(nPapers, nFeats, 1.0, rng)
+	for i := 0; i < nPapers; i++ {
+		h.Set(i, labels[i], h.At(i, labels[i])+0.8)
+	}
+
+	trainMask := make([]bool, nPapers)
+	testMask := make([]bool, nPapers)
+	for i := range trainMask {
+		if rng.Float64() < trainPct {
+			trainMask[i] = true
+		} else {
+			testMask[i] = true
+		}
+	}
+
+	for _, kind := range []gnn.Kind{gnn.AGNN, gnn.GAT} {
+		model, err := gnn.New(gnn.Config{
+			Model: kind, Layers: 2, InDim: nFeats, HiddenDim: nHidden,
+			OutDim: nTopics, Activation: gnn.ELU(1), SelfLoops: true, Seed: 9,
+		}, a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		loss := &gnn.CrossEntropyLoss{Labels: labels, Mask: trainMask}
+		opt := gnn.NewAdam(0.01)
+		fmt.Printf("\n== %s (%d parameters) ==\n", kind, model.NumParams())
+		for e := 1; e <= nEpochs; e++ {
+			l := model.TrainStep(h, loss, opt)
+			if e%15 == 0 || e == 1 {
+				out := model.Forward(h, false)
+				fmt.Printf("epoch %3d  loss %.4f  test accuracy %.3f\n",
+					e, l, gnn.Accuracy(out, labels, testMask))
+			}
+		}
+	}
+
+	// Structure-blind baseline: a logistic regression on raw features
+	// (a GCN stack of depth 1 on the identity graph degenerates to it).
+	baselineAcc := logisticBaseline(h, labels, trainMask, testMask)
+	fmt.Printf("\nstructure-blind logistic baseline: test accuracy %.3f\n", baselineAcc)
+	fmt.Println("(the attention models exploit the citation structure the baseline cannot)")
+}
+
+// logisticBaseline trains softmax regression on the raw features.
+func logisticBaseline(h *tensor.Dense, labels []int, trainMask, testMask []bool) float64 {
+	w := gnn.NewParam("W", tensor.NewDense(h.Cols, nTopics))
+	loss := &gnn.CrossEntropyLoss{Labels: labels, Mask: trainMask}
+	opt := gnn.NewAdam(0.05)
+	for e := 0; e < nEpochs; e++ {
+		w.ZeroGrad()
+		out := tensor.MM(h, w.Value)
+		_, g := loss.Eval(out)
+		w.Grad.AddInPlace(tensor.TMM(h, g))
+		opt.Step([]*gnn.Param{w})
+	}
+	return gnn.Accuracy(tensor.MM(h, w.Value), labels, testMask)
+}

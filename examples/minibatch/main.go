@@ -1,0 +1,95 @@
+// Mini-batch training — the extension the paper's conclusion calls
+// straightforward: seed batches are expanded to their L-hop neighborhood,
+// the induced subgraph's adjacency is rebound into the *global tensor
+// formulation* with shared parameters, and training proceeds batch by
+// batch. Compared against full-batch training on the same task: full-batch
+// converges in fewer epochs (the paper's motivation for full-batch), while
+// mini-batch trades convergence for a smaller working set.
+//
+//	go run ./examples/minibatch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"agnn/internal/gnn"
+	"agnn/internal/graph"
+	"agnn/internal/local"
+	"agnn/internal/tensor"
+)
+
+func main() {
+	ds := graph.SyntheticCitation(1200, 4, 16, 0.5, 11)
+	st := graph.Summarize(ds.Adj)
+	fmt.Printf("graph: n=%d m=%d classes=%d\n", st.N, st.M, ds.Classes)
+
+	evalLoss := func(m *gnn.Model) (float64, float64) {
+		out := m.Forward(ds.Features, false)
+		l, _ := (&gnn.CrossEntropyLoss{Labels: ds.Labels}).Eval(out)
+		return l, gnn.Accuracy(out, ds.Labels, ds.TestMask())
+	}
+	newModel := func() *gnn.Model {
+		m, err := gnn.New(gnn.Config{Model: gnn.GAT, Layers: 2, InDim: 16,
+			HiddenDim: 16, OutDim: ds.Classes, Activation: gnn.ELU(1),
+			SelfLoops: true, Seed: 12}, ds.Adj)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return m
+	}
+
+	// Full-batch training (the paper's mode).
+	full := newModel()
+	opt := gnn.NewAdam(0.01)
+	loss := &gnn.CrossEntropyLoss{Labels: ds.Labels, Mask: ds.TrainMask}
+	fmt.Println("\n-- full-batch (global formulation) --")
+	for e := 1; e <= 30; e++ {
+		full.TrainStep(ds.Features, loss, opt)
+		if e%10 == 0 {
+			l, acc := evalLoss(full)
+			fmt.Printf("epoch %2d  full-graph loss %.4f  test acc %.3f\n", e, l, acc)
+		}
+	}
+
+	// Mini-batch training through the same global formulation: expand a
+	// seed batch by L hops, induce the subgraph, rebind shared parameters.
+	mb := newModel()
+	processed := mb.Layers[0].(*gnn.GATLayer).A // adjacency incl. self loops
+	g := local.FromCSR(processed)
+	sampler := local.NewSampler(g, 256, 2, 13)
+	optMB := gnn.NewAdam(0.01)
+	fmt.Println("\n-- mini-batch (induced subgraphs through the global formulation) --")
+	steps := 0
+	for e := 1; e <= 30; e++ {
+		for b := 0; b < st.N/256; b++ {
+			batch := sampler.Next()
+			sub := graph.InducedSubgraph(processed, batch.Vertices)
+			bm, err := gnn.RebindAdjacency(mb, sub)
+			if err != nil {
+				log.Fatal(err)
+			}
+			bh := tensor.NewDense(len(batch.Vertices), 16)
+			bl := make([]int, len(batch.Vertices))
+			bmask := make([]bool, len(batch.Vertices))
+			for i, v := range batch.Vertices {
+				copy(bh.Row(i), ds.Features.Row(int(v)))
+				bl[i] = ds.Labels[v]
+				bmask[i] = i < batch.NumSeeds && ds.TrainMask[v]
+			}
+			bm.TrainStep(bh, &gnn.CrossEntropyLoss{Labels: bl, Mask: bmask}, optMB)
+			steps++
+		}
+		if e%10 == 0 {
+			l, acc := evalLoss(mb)
+			fmt.Printf("epoch %2d  full-graph loss %.4f  test acc %.3f  (%d batch steps)\n",
+				e, l, acc, steps)
+		}
+	}
+	fmt.Println("\nBoth modes train through the same global tensor kernels. Note the")
+	fmt.Println("step counts: mini-batch takes several optimizer steps per epoch, so")
+	fmt.Println("per-epoch comparisons flatter it at this scale; per *step*, the")
+	fmt.Println("full batch uses every vertex without sampling loss — the paper's")
+	fmt.Println("argument for full-batch training, which dominates once the batch")
+	fmt.Println("subgraphs stop fitting on one node.")
+}

@@ -1,0 +1,3 @@
+module agnn
+
+go 1.22

@@ -1,0 +1,150 @@
+// End-to-end integration tests crossing every package boundary: generate a
+// dataset, train all models through the public pipeline, checkpoint and
+// restore, run the distributed engines against the shared-memory reference,
+// and verify the cost model against measured traffic — the whole
+// tool-chain of Figure 4 in one pass.
+package agnn_test
+
+import (
+	"math"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"agnn/internal/benchutil"
+	"agnn/internal/costmodel"
+	"agnn/internal/dist"
+	"agnn/internal/distgnn"
+	"agnn/internal/gnn"
+	"agnn/internal/graph"
+	"agnn/internal/local"
+	"agnn/internal/tensor"
+)
+
+// TestEndToEndPipeline: dataset generation → file roundtrip → training →
+// evaluation → checkpointing → restore → identical inference.
+func TestEndToEndPipeline(t *testing.T) {
+	dir := t.TempDir()
+	ds := graph.SyntheticCitation(300, 3, 12, 0.5, 42)
+	dsPath := filepath.Join(dir, "citation.ds")
+	if err := graph.SaveDataset(dsPath, ds); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := graph.LoadDataset(dsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, kind := range []gnn.Kind{gnn.GAT, gnn.AGNN} {
+		m, err := gnn.New(gnn.Config{Model: kind, Layers: 2, InDim: 12,
+			HiddenDim: 16, OutDim: 3, Activation: gnn.ELU(1), SelfLoops: true,
+			Seed: 1}, loaded.Adj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loss := &gnn.CrossEntropyLoss{Labels: loaded.Labels, Mask: loaded.TrainMask}
+		hist := m.Train(loaded.Features, loss, gnn.NewAdam(0.01), 40)
+		if hist[len(hist)-1] >= hist[0] {
+			t.Fatalf("%v did not train: %v → %v", kind, hist[0], hist[len(hist)-1])
+		}
+		out := m.Forward(loaded.Features, false)
+		acc := gnn.Accuracy(out, loaded.Labels, loaded.TestMask())
+		if acc < 0.5 {
+			t.Fatalf("%v test accuracy %v too low", kind, acc)
+		}
+		cm := gnn.ConfusionMatrix(out, loaded.Labels, loaded.TestMask(), 3)
+		if _, _, micro := gnn.F1Scores(cm); math.Abs(micro-acc) > 1e-9 {
+			t.Fatalf("micro-F1 %v must equal accuracy %v for single-label classification", micro, acc)
+		}
+
+		ckpt := filepath.Join(dir, kind.String()+".ckpt")
+		if err := gnn.SaveWeightsFile(ckpt, m); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := gnn.New(gnn.Config{Model: kind, Layers: 2, InDim: 12,
+			HiddenDim: 16, OutDim: 3, Activation: gnn.ELU(1), SelfLoops: true,
+			Seed: 999}, loaded.Adj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := gnn.LoadWeightsFile(ckpt, fresh); err != nil {
+			t.Fatal(err)
+		}
+		if !fresh.Forward(loaded.Features, false).ApproxEqual(out, 0) {
+			t.Fatalf("%v checkpoint restore changed outputs", kind)
+		}
+	}
+}
+
+// TestEndToEndDistributedAgreesEverywhere: the three execution strategies
+// (shared-memory global, 2D grid, local message passing) must agree on the
+// same trained weights.
+func TestEndToEndDistributedAgreesEverywhere(t *testing.T) {
+	a := graph.Kronecker(7, 6, 7) // 128 vertices
+	n := a.Rows
+	cfg := gnn.Config{Model: gnn.GAT, Layers: 2, InDim: 6, HiddenDim: 6,
+		OutDim: 4, Activation: gnn.Tanh(), SelfLoops: true, Seed: 3}
+	h := tensor.NewDense(n, 6)
+	for i := range h.Data {
+		h.Data[i] = math.Sin(float64(i) * 0.31)
+	}
+	single, err := gnn.New(cfg, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := single.Forward(h, false)
+
+	mirror, err := local.Mirror(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mirror.Forward(h, false).ApproxEqual(want, 1e-9) {
+		t.Fatal("local mirror disagrees")
+	}
+
+	var gridOut *tensor.Dense
+	var mu sync.Mutex
+	cs := dist.Run(4, func(c *dist.Comm) {
+		e, err := distgnn.NewGlobalEngine(c, a, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		out := e.Forward(e.SliceOwnedBlock(h), false)
+		if full := e.GatherOutput(out, cfg.OutDim); full != nil {
+			mu.Lock()
+			gridOut = full
+			mu.Unlock()
+		}
+	})
+	if !gridOut.ApproxEqual(want, 1e-9) {
+		t.Fatal("grid engine disagrees")
+	}
+	// And the measured traffic must sit within the cost model's band.
+	measuredWords := float64(dist.MaxCounters(cs).BytesSent) / 8
+	predicted := float64(cfg.Layers) * costmodel.GlobalVolume(n, 6, 4)
+	if !costmodel.WithinFactor(measuredWords, predicted, 5) {
+		t.Fatalf("measured %v words vs predicted %v", measuredWords, predicted)
+	}
+}
+
+// TestEndToEndBenchHarness exercises the benchmark harness across engines
+// exactly as cmd/agnn-bench would.
+func TestEndToEndBenchHarness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness test skipped in -short mode")
+	}
+	for _, engine := range []benchutil.Engine{benchutil.EngineGlobal, benchutil.EngineLocal} {
+		r, err := benchutil.RunSpec(benchutil.Spec{
+			Model: "AGNN", Dataset: "uniform", Vertices: 300, Edges: 2400,
+			Features: 8, Layers: 2, Ranks: 4, Engine: engine, Inference: true,
+			Repeat: 1, Warmup: 1, Seed: 4,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		if r.MedianSec <= 0 || r.CommBytesMax <= 0 {
+			t.Fatalf("%s: implausible result %+v", engine, r)
+		}
+	}
+}

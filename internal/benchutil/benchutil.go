@@ -1,0 +1,319 @@
+// Package benchutil is the experiment harness behind cmd/agnn-bench,
+// cmd/agnn-plots and the repository-level benchmarks: it is the Go
+// equivalent of the artifact's unified_single_bench.py /
+// unified_distr_bench.py. A Spec names one configuration (model, dataset,
+// sizes, rank count, engine, task); RunSpec executes it with warmup and
+// repetitions and reports the median runtime, the measured per-rank
+// communication volume, the α-β-modeled network time, and the theoretical
+// volume prediction.
+package benchutil
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"agnn/internal/costmodel"
+	"agnn/internal/dist"
+	"agnn/internal/distgnn"
+	"agnn/internal/gnn"
+	"agnn/internal/graph"
+	"agnn/internal/local"
+	"agnn/internal/sparse"
+	"agnn/internal/tensor"
+)
+
+// Engine selects the execution strategy under test.
+type Engine string
+
+// Engines. EngineGlobal is the paper's global tensor formulation (the grid
+// engine when Ranks > 1); EngineLocal is the message-passing baseline
+// (full-batch; halo exchange when distributed); EngineMiniBatch is the
+// DistDGL-style mini-batch baseline (training only).
+const (
+	EngineGlobal    Engine = "global"
+	EngineLocal     Engine = "local"
+	EngineMiniBatch Engine = "minibatch"
+)
+
+// Spec describes one benchmark configuration, mirroring the command-line
+// surface of the artifact's benchmark scripts.
+type Spec struct {
+	Model     string // VA | AGNN | GAT | GCN
+	Dataset   string // kronecker | uniform | makg | file
+	File      string // dataset == file
+	Vertices  int    // n (kronecker rounds down to a power of two)
+	Edges     int    // target number of directed non-zeros
+	Features  int    // k
+	Layers    int    // L
+	Ranks     int    // simulated process count (1 = shared-memory)
+	Engine    Engine
+	Inference bool // forward only vs forward+backward+update
+	BatchSize int  // minibatch engine: seeds per step (paper: 16384)
+	Repeat    int  // timed executions (paper: 10)
+	Warmup    int  // untimed executions (paper: 2)
+	Seed      int64
+}
+
+// Defaults fills unset fields with the paper's experiment conventions.
+func (s Spec) Defaults() Spec {
+	if s.Features == 0 {
+		s.Features = 16
+	}
+	if s.Layers == 0 {
+		s.Layers = 3
+	}
+	if s.Ranks == 0 {
+		s.Ranks = 1
+	}
+	if s.Engine == "" {
+		s.Engine = EngineGlobal
+	}
+	if s.Repeat == 0 {
+		s.Repeat = 10
+	}
+	if s.Warmup == 0 {
+		s.Warmup = 2
+	}
+	if s.BatchSize == 0 {
+		s.BatchSize = 16384
+	}
+	if s.Dataset == "" {
+		s.Dataset = "kronecker"
+	}
+	return s
+}
+
+// Result is the measured outcome of a Spec.
+type Result struct {
+	Spec
+	N, M           int     // actual graph size after generation
+	MaxDegree      int     // d
+	MedianSec      float64 // median wall time per execution
+	StdSec         float64
+	CommBytesMax   int64   // max per-rank bytes per execution
+	CommMsgsMax    int64   // max per-rank messages per execution
+	NetModelSec    float64 // α-β modeled network time per execution
+	PredictedWords float64 // costmodel prediction for this engine
+}
+
+// BuildGraph materializes the Spec's dataset.
+func BuildGraph(s Spec) (*sparse.CSR, error) {
+	switch s.Dataset {
+	case "kronecker":
+		scale := int(math.Floor(math.Log2(float64(s.Vertices))))
+		if 1<<scale != s.Vertices {
+			// The artifact "rounds down to the nearest power of two".
+			s.Vertices = 1 << scale
+		}
+		ef := float64(s.Edges) / (2 * float64(s.Vertices))
+		if ef < 1 {
+			ef = 1
+		}
+		return graph.Kronecker(scale, ef, s.Seed), nil
+	case "uniform":
+		m := s.Edges / 2
+		if m < s.Vertices {
+			m = s.Vertices
+		}
+		return graph.ErdosRenyi(s.Vertices, m, s.Seed), nil
+	case "makg":
+		scale := int(math.Floor(math.Log2(float64(s.Vertices))))
+		return graph.MAKGSim(scale, s.Seed), nil
+	case "file":
+		return graph.LoadFile(s.File)
+	}
+	return nil, fmt.Errorf("benchutil: unknown dataset %q", s.Dataset)
+}
+
+func (s Spec) gnnConfig(kind gnn.Kind) gnn.Config {
+	return gnn.Config{
+		Model: kind, Layers: s.Layers,
+		InDim: s.Features, HiddenDim: s.Features, OutDim: s.Features,
+		Activation: gnn.ReLU(), SelfLoops: true, Seed: s.Seed,
+	}
+}
+
+// RunSpec executes the configuration and returns its Result.
+func RunSpec(s Spec) (Result, error) {
+	s = s.Defaults()
+	kind, err := gnn.ParseKind(s.Model)
+	if err != nil {
+		return Result{}, err
+	}
+	a, err := BuildGraph(s)
+	if err != nil {
+		return Result{}, err
+	}
+	st := graph.Summarize(a)
+	res := Result{Spec: s, N: st.N, M: st.M, MaxDegree: st.MaxDeg}
+
+	h := tensor.RandN(st.N, s.Features, 0.5, rand.New(rand.NewSource(s.Seed+1)))
+	labels := make([]int, st.N)
+	for i := range labels {
+		labels[i] = i % s.Features
+	}
+	cfg := s.gnnConfig(kind)
+
+	var times []float64
+	var maxBytes, maxMsgs int64
+	runs := s.Warmup + s.Repeat
+	switch {
+	case s.Ranks == 1:
+		times, err = runSingle(s, cfg, a, h, labels, runs)
+	default:
+		times, maxBytes, maxMsgs, err = runDistributed(s, cfg, a, h, labels, runs)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	times = times[s.Warmup:]
+	sort.Float64s(times)
+	res.MedianSec = times[len(times)/2]
+	res.StdSec = stddev(times)
+	res.CommBytesMax = maxBytes
+	res.CommMsgsMax = maxMsgs
+	res.NetModelSec = dist.CrayAries().Time(dist.Counters{
+		BytesSent: maxBytes, MsgsSent: maxMsgs})
+
+	switch s.Engine {
+	case EngineGlobal:
+		res.PredictedWords = float64(s.Layers) * costmodel.GlobalVolume(st.N, s.Features, s.Ranks)
+	default:
+		res.PredictedWords = float64(s.Layers) * costmodel.LocalVolume(st.N, s.Features, st.MaxDeg, s.Ranks)
+	}
+	return res, nil
+}
+
+// runSingle executes the shared-memory configurations.
+func runSingle(s Spec, cfg gnn.Config, a *sparse.CSR, h *tensor.Dense, labels []int, runs int) ([]float64, error) {
+	model, err := gnn.New(cfg, a)
+	if err != nil {
+		return nil, err
+	}
+	if s.Engine == EngineLocal || s.Engine == EngineMiniBatch {
+		if model, err = local.Mirror(model); err != nil {
+			return nil, err
+		}
+	}
+	loss := &gnn.CrossEntropyLoss{Labels: labels}
+	opt := gnn.NewSGD(1e-4, 0)
+	var times []float64
+	for r := 0; r < runs; r++ {
+		t0 := time.Now()
+		if s.Inference {
+			model.Forward(h, false)
+		} else {
+			model.TrainStep(h, loss, opt)
+		}
+		times = append(times, time.Since(t0).Seconds())
+	}
+	return times, nil
+}
+
+// runDistributed executes the multi-rank configurations on the simulated
+// runtime, timing rank 0 between barriers.
+func runDistributed(s Spec, cfg gnn.Config, a *sparse.CSR, h *tensor.Dense, labels []int, runs int) ([]float64, int64, int64, error) {
+	var times []float64
+	var mu sync.Mutex
+	var firstErr error
+	cs := dist.Run(s.Ranks, func(c *dist.Comm) {
+		record := func(err error) {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}
+		switch s.Engine {
+		case EngineGlobal:
+			e, err := distgnn.NewGlobalEngine(c, a, cfg)
+			if err != nil {
+				record(err)
+				return
+			}
+			xd := e.SliceOwnedBlock(h)
+			opt := gnn.NewSGD(1e-4, 0)
+			for r := 0; r < runs; r++ {
+				c.Barrier()
+				t0 := time.Now()
+				if s.Inference {
+					e.Forward(xd, false)
+				} else {
+					e.TrainStep(xd, labels, nil, opt)
+				}
+				c.Barrier()
+				if c.Rank() == 0 {
+					mu.Lock()
+					times = append(times, time.Since(t0).Seconds())
+					mu.Unlock()
+				}
+			}
+		case EngineLocal, EngineMiniBatch:
+			e, err := distgnn.NewLocalEngine(c, a, cfg)
+			if err != nil {
+				record(err)
+				return
+			}
+			hOwned := h.SliceRows(e.Lo, e.Hi).Clone()
+			opt := gnn.NewSGD(1e-4, 0)
+			rng := rand.New(rand.NewSource(s.Seed + int64(c.Rank())))
+			for r := 0; r < runs; r++ {
+				c.Barrier()
+				t0 := time.Now()
+				switch {
+				case s.Engine == EngineLocal || s.Inference:
+					e.Forward(hOwned)
+				default:
+					seeds := sampleSeeds(e.Lo, e.Hi, s.BatchSize/s.Ranks, rng)
+					e.MiniBatchStep(hOwned, labels, seeds, opt)
+				}
+				c.Barrier()
+				if c.Rank() == 0 {
+					mu.Lock()
+					times = append(times, time.Since(t0).Seconds())
+					mu.Unlock()
+				}
+			}
+		default:
+			record(fmt.Errorf("benchutil: unknown engine %q", s.Engine))
+		}
+	})
+	if firstErr != nil {
+		return nil, 0, 0, firstErr
+	}
+	m := dist.MaxCounters(cs)
+	// Per-execution volume: total across warmup+timed runs divided by runs.
+	return times, m.BytesSent / int64(runs), m.MsgsSent / int64(runs), nil
+}
+
+func sampleSeeds(lo, hi, n int, rng *rand.Rand) []int32 {
+	if n > hi-lo {
+		n = hi - lo
+	}
+	perm := rng.Perm(hi - lo)
+	seeds := make([]int32, n)
+	for i := 0; i < n; i++ {
+		seeds[i] = int32(lo + perm[i])
+	}
+	return seeds
+}
+
+func stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	v := 0.0
+	for _, x := range xs {
+		v += (x - mean) * (x - mean)
+	}
+	return math.Sqrt(v / float64(len(xs)-1))
+}

@@ -1,0 +1,203 @@
+package benchutil
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickSpec() Spec {
+	return Spec{Model: "GAT", Dataset: "kronecker", Vertices: 256, Edges: 2048,
+		Features: 4, Layers: 2, Ranks: 1, Engine: EngineGlobal,
+		Inference: true, Repeat: 2, Warmup: 1, Seed: 1}
+}
+
+func TestSpecDefaults(t *testing.T) {
+	d := Spec{}.Defaults()
+	if d.Features != 16 || d.Layers != 3 || d.Ranks != 1 || d.Repeat != 10 ||
+		d.Warmup != 2 || d.BatchSize != 16384 || d.Engine != EngineGlobal ||
+		d.Dataset != "kronecker" {
+		t.Fatalf("bad defaults %+v", d)
+	}
+}
+
+func TestBuildGraphDatasets(t *testing.T) {
+	for _, ds := range []string{"kronecker", "uniform", "makg"} {
+		s := quickSpec()
+		s.Dataset = ds
+		a, err := BuildGraph(s)
+		if err != nil {
+			t.Fatalf("%s: %v", ds, err)
+		}
+		if a.Rows == 0 || a.NNZ() == 0 {
+			t.Fatalf("%s: empty graph", ds)
+		}
+	}
+	if _, err := BuildGraph(Spec{Dataset: "nope"}); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestBuildGraphKroneckerRoundsToPowerOfTwo(t *testing.T) {
+	s := quickSpec()
+	s.Vertices = 300 // not a power of two → rounds down to 256
+	a, err := BuildGraph(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows != 256 {
+		t.Fatalf("kronecker n = %d, want 256", a.Rows)
+	}
+}
+
+func TestRunSpecSingleNode(t *testing.T) {
+	for _, engine := range []Engine{EngineGlobal, EngineLocal} {
+		for _, inf := range []bool{true, false} {
+			s := quickSpec()
+			s.Engine = engine
+			s.Inference = inf
+			r, err := RunSpec(s)
+			if err != nil {
+				t.Fatalf("%s inf=%v: %v", engine, inf, err)
+			}
+			if r.MedianSec <= 0 {
+				t.Fatalf("%s: non-positive runtime", engine)
+			}
+			if r.CommBytesMax != 0 {
+				t.Fatalf("single-node run should have no comm, got %d", r.CommBytesMax)
+			}
+		}
+	}
+}
+
+func TestRunSpecDistributed(t *testing.T) {
+	cases := []struct {
+		engine Engine
+		inf    bool
+	}{
+		{EngineGlobal, true}, {EngineGlobal, false},
+		{EngineLocal, true}, {EngineMiniBatch, false},
+	}
+	for _, c := range cases {
+		s := quickSpec()
+		s.Ranks = 4
+		s.Engine = c.engine
+		s.Inference = c.inf
+		s.BatchSize = 64
+		r, err := RunSpec(s)
+		if err != nil {
+			t.Fatalf("%s inf=%v: %v", c.engine, c.inf, err)
+		}
+		if r.CommBytesMax == 0 {
+			t.Fatalf("%s: distributed run reported zero communication", c.engine)
+		}
+		if r.MedianSec <= 0 || r.NetModelSec <= 0 {
+			t.Fatalf("%s: bad timing %v / %v", c.engine, r.MedianSec, r.NetModelSec)
+		}
+	}
+}
+
+func TestRunSpecRejectsBadModel(t *testing.T) {
+	s := quickSpec()
+	s.Model = "GIN"
+	if _, err := RunSpec(s); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestRunSpecRejectsNonSquareGlobalRanks(t *testing.T) {
+	s := quickSpec()
+	s.Ranks = 2
+	if _, err := RunSpec(s); err == nil {
+		t.Fatal("non-square rank count accepted for the global engine")
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	r, err := RunSpec(quickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSVHeader(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteCSV(&buf, "fig6"); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV lines = %d", len(lines))
+	}
+	if cols := strings.Split(lines[0], ","); len(cols) != len(strings.Split(lines[1], ",")) {
+		t.Fatal("header and row column counts differ")
+	}
+	if !strings.HasPrefix(lines[1], "fig6,GAT,global,kronecker,inference,1,256,") {
+		t.Fatalf("unexpected CSV row %q", lines[1])
+	}
+}
+
+func TestFigureSweepsWellFormed(t *testing.T) {
+	for _, sc := range []Scale{ScaleSmall, ScaleFull} {
+		figs := AllFigures(sc)
+		if len(figs) != 5 {
+			t.Fatalf("expected 5 figures, got %d", len(figs))
+		}
+		for _, f := range figs {
+			if len(f.Specs) == 0 || f.ID == "" || f.Title == "" {
+				t.Fatalf("figure %q malformed", f.ID)
+			}
+			for _, s := range f.Specs {
+				s = s.Defaults()
+				if _, err := BuildGraph(Spec{Dataset: s.Dataset, Vertices: 256,
+					Edges: 1024, Seed: 1}); err != nil {
+					t.Fatalf("%s: dataset %q unbuildable: %v", f.ID, s.Dataset, err)
+				}
+				if s.Engine == EngineGlobal && s.Ranks > 1 {
+					sq := 1
+					for sq*sq < s.Ranks {
+						sq++
+					}
+					if sq*sq != s.Ranks {
+						t.Fatalf("%s: global engine with non-square ranks %d", f.ID, s.Ranks)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFigureByID(t *testing.T) {
+	if _, err := FigureByID("fig6", ScaleSmall); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FigureByID("fig99", ScaleSmall); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+// TestFig6SmallEndToEnd runs the entire small-scale Fig. 6 sweep — the
+// smoke test that every figure's code path executes.
+func TestFig6SmallEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep test skipped in -short mode")
+	}
+	f := Fig6(ScaleSmall)
+	var buf bytes.Buffer
+	if err := WriteCSVHeader(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range f.Specs {
+		r, err := RunSpec(s)
+		if err != nil {
+			t.Fatalf("%+v: %v", s, err)
+		}
+		if err := r.WriteCSV(&buf, f.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows := strings.Count(buf.String(), "\n")
+	if rows != len(f.Specs)+1 {
+		t.Fatalf("wrote %d rows for %d specs", rows, len(f.Specs))
+	}
+}

@@ -1,0 +1,219 @@
+package benchutil
+
+import "fmt"
+
+// Figure is one reproduced figure or table of the paper's evaluation: an
+// identifier, a description of what the original measured, and the sweep of
+// Specs that regenerates it at simulator scale.
+type Figure struct {
+	ID    string
+	Title string
+	Specs []Spec
+}
+
+// Scale selects the sweep size. ScaleSmall keeps every run below ~1 s so
+// the whole suite is usable as a smoke test and inside testing.B; ScaleFull
+// is the EXPERIMENTS.md configuration (minutes, still laptop-sized — the
+// paper's absolute n values are scaled down by a recorded factor, densities
+// and rank progressions preserved).
+type Scale int
+
+// Scales.
+const (
+	ScaleSmall Scale = iota
+	ScaleFull
+)
+
+// aGNNModels are the models of Figures 6–8.
+var aGNNModels = []string{"VA", "AGNN", "GAT"}
+
+func edgesForDensity(n int, rho float64) int {
+	m := int(rho * float64(n) * float64(n))
+	if m < n {
+		m = n
+	}
+	return m
+}
+
+// Fig6 is the strong-scaling training sweep (Kronecker graphs, fixed n per
+// subplot, rank count grows). Paper: n ∈ {131k, 262k, 1M, 2M}, ρ from 1% to
+// 0.01%, k ∈ {16, 128}, nodes 1–256, DistDGL mini-batch baseline.
+func Fig6(s Scale) Figure {
+	type sub struct {
+		n   int
+		rho float64
+	}
+	subs := []sub{{1 << 12, 0.01}, {1 << 13, 0.01}, {1 << 14, 0.001}, {1 << 15, 0.0001}}
+	ranks := []int{1, 4, 16}
+	feats := []int{16, 128}
+	repeat := 3
+	if s == ScaleSmall {
+		subs = subs[:1]
+		subs[0] = sub{1 << 10, 0.01}
+		ranks = []int{1, 4}
+		feats = []int{16}
+		repeat = 1
+	}
+	f := Figure{ID: "fig6", Title: "Strong scaling of GNN training on Kronecker graphs (global vs mini-batch local)"}
+	for _, sb := range subs {
+		for _, k := range feats {
+			for _, model := range aGNNModels {
+				for _, p := range ranks {
+					base := Spec{Model: model, Dataset: "kronecker", Vertices: sb.n,
+						Edges: edgesForDensity(sb.n, sb.rho), Features: k, Layers: 3,
+						Ranks: p, Repeat: repeat, Warmup: 1, Seed: 42}
+					g := base
+					g.Engine = EngineGlobal
+					f.Specs = append(f.Specs, g)
+					l := base
+					l.Engine = EngineMiniBatch
+					l.BatchSize = 1024 // 16k scaled down with n
+					f.Specs = append(f.Specs, l)
+				}
+			}
+		}
+	}
+	return f
+}
+
+// Fig7MAKG is the MAKG strong-scaling sweep (paper: 111M vertices / 3.2B
+// edges; here MAKGSim preserving average degree ≈29 and heavy tail),
+// inference and training.
+func Fig7MAKG(s Scale) Figure {
+	n := 1 << 15
+	ranks := []int{1, 4, 16}
+	feats := []int{16, 128}
+	repeat := 3
+	if s == ScaleSmall {
+		n = 1 << 11
+		ranks = []int{1, 4}
+		feats = []int{16}
+		repeat = 1
+	}
+	f := Figure{ID: "fig7makg", Title: "Strong scaling on the MAKG-like graph (inference and training)"}
+	for _, k := range feats {
+		for _, model := range aGNNModels {
+			for _, p := range ranks {
+				for _, inf := range []bool{true, false} {
+					f.Specs = append(f.Specs, Spec{Model: model, Dataset: "makg",
+						Vertices: n, Features: k, Layers: 3, Ranks: p,
+						Engine: EngineGlobal, Inference: inf,
+						Repeat: repeat, Warmup: 1, Seed: 43})
+				}
+			}
+		}
+	}
+	return f
+}
+
+// Fig7Rand is the weak-scaling verification sweep on Erdős–Rényi graphs
+// (inference; global vs local; ρ ∈ {1%, 0.1%, 0.01%}): n grows with √p so
+// nnz grows with p.
+func Fig7Rand(s Scale) Figure {
+	base := 1 << 12
+	ranks := []int{1, 4, 16}
+	repeat := 3
+	rhos := []float64{0.01, 0.001, 0.0001}
+	if s == ScaleSmall {
+		base = 1 << 10
+		ranks = []int{1, 4}
+		repeat = 1
+		rhos = []float64{0.01}
+	}
+	f := Figure{ID: "fig7rand", Title: "Weak scaling on random-uniform graphs: global vs local formulation (inference)"}
+	for _, rho := range rhos {
+		for _, model := range aGNNModels {
+			for i, p := range ranks {
+				n := base << uint(i) // n ∝ √p with p growing 4× per step
+				baseSpec := Spec{Model: model, Dataset: "uniform", Vertices: n,
+					Edges: edgesForDensity(n, rho), Features: 16, Layers: 3,
+					Ranks: p, Inference: true, Repeat: repeat, Warmup: 1, Seed: 44}
+				g := baseSpec
+				g.Engine = EngineGlobal
+				f.Specs = append(f.Specs, g)
+				l := baseSpec
+				l.Engine = EngineLocal
+				f.Specs = append(f.Specs, l)
+			}
+		}
+	}
+	return f
+}
+
+// Fig8 is the weak-scaling training sweep on Kronecker graphs.
+func Fig8(s Scale) Figure {
+	base := 1 << 12
+	ranks := []int{1, 4, 16}
+	repeat := 3
+	rhos := []float64{0.01, 0.001}
+	if s == ScaleSmall {
+		base = 1 << 10
+		ranks = []int{1, 4}
+		repeat = 1
+		rhos = []float64{0.01}
+	}
+	f := Figure{ID: "fig8", Title: "Weak scaling of training on Kronecker graphs"}
+	for _, rho := range rhos {
+		for _, model := range aGNNModels {
+			for i, p := range ranks {
+				n := base << uint(i)
+				g := Spec{Model: model, Dataset: "kronecker", Vertices: n,
+					Edges: edgesForDensity(n, rho), Features: 16, Layers: 3,
+					Ranks: p, Engine: EngineGlobal, Repeat: repeat, Warmup: 1, Seed: 45}
+				f.Specs = append(f.Specs, g)
+				l := g
+				l.Engine = EngineMiniBatch
+				l.BatchSize = 1024
+				f.Specs = append(f.Specs, l)
+			}
+		}
+	}
+	return f
+}
+
+// FigVerify is the Section 8.4 theory-verification sweep: communication
+// volume of global vs local across ER densities, including the C-GNN (GCN)
+// special case.
+func FigVerify(s Scale) Figure {
+	n := 1 << 12
+	p := 16
+	repeat := 3
+	rhos := []float64{0.01, 0.001, 0.0001}
+	if s == ScaleSmall {
+		n = 1 << 10
+		p = 4
+		repeat = 1
+		rhos = []float64{0.01, 0.001}
+	}
+	f := Figure{ID: "verify", Title: "Verification of the communication-volume analysis (Section 8.4)"}
+	models := append(append([]string(nil), aGNNModels...), "GCN")
+	for _, rho := range rhos {
+		for _, model := range models {
+			baseSpec := Spec{Model: model, Dataset: "uniform", Vertices: n,
+				Edges: edgesForDensity(n, rho), Features: 16, Layers: 3,
+				Ranks: p, Inference: true, Repeat: repeat, Warmup: 1, Seed: 46}
+			g := baseSpec
+			g.Engine = EngineGlobal
+			f.Specs = append(f.Specs, g)
+			l := baseSpec
+			l.Engine = EngineLocal
+			f.Specs = append(f.Specs, l)
+		}
+	}
+	return f
+}
+
+// AllFigures returns every reproduced figure at the given scale.
+func AllFigures(s Scale) []Figure {
+	return []Figure{Fig6(s), Fig7MAKG(s), Fig7Rand(s), Fig8(s), FigVerify(s)}
+}
+
+// FigureByID resolves a figure identifier.
+func FigureByID(id string, s Scale) (Figure, error) {
+	for _, f := range AllFigures(s) {
+		if f.ID == id {
+			return f, nil
+		}
+	}
+	return Figure{}, fmt.Errorf("benchutil: unknown figure %q (want fig6, fig7makg, fig7rand, fig8, verify)", id)
+}

@@ -1,0 +1,74 @@
+package costmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChoosePlanSingleNode(t *testing.T) {
+	p := ChoosePlan(1000, 16, 10, 1)
+	if p.Layout != LayoutSingle || p.PredictedWords != 0 {
+		t.Fatalf("p=1 plan: %+v", p)
+	}
+	if !strings.Contains(p.String(), "single-node") {
+		t.Fatal("String() wrong")
+	}
+}
+
+func TestChoosePlanDenseGraphPrefers2D(t *testing.T) {
+	// Heavy-tail / dense: d ≫ √p → the 2D global grid must win.
+	p := ChoosePlan(1<<20, 16, 2048, 64)
+	if p.Layout != LayoutGrid2D {
+		t.Fatalf("dense plan = %v (alts %v)", p.Layout, p.Alternatives)
+	}
+	if p.GridSide != 8 {
+		t.Fatalf("grid side = %d", p.GridSide)
+	}
+}
+
+func TestChoosePlanSparseGraphPrefersLocal(t *testing.T) {
+	// Very sparse: d ≪ √p → the halo-exchange local layout moves least.
+	p := ChoosePlan(1<<20, 16, 2, 256)
+	if p.Layout != LayoutLocal1D {
+		t.Fatalf("sparse plan = %v (alts %v)", p.Layout, p.Alternatives)
+	}
+}
+
+func TestChoosePlan1DNeverBeats2DAsymptotically(t *testing.T) {
+	// The no-replication 1D layout costs ≈√p/4 more than the grid, so it
+	// competes at small p (at p = 16 the two tie: 4nk/√p = nk — the very
+	// reason the 1.5D family interpolates replication factors) but must
+	// lose for sizable p.
+	for _, p := range []int{64, 256} {
+		plan := ChoosePlan(1<<18, 32, 64, p)
+		if plan.Layout == LayoutRows1D {
+			t.Fatalf("p=%d: planner chose the 1D layout over the grid", p)
+		}
+		if plan.Alternatives[LayoutRows1D] <= plan.Alternatives[LayoutGrid2D] {
+			t.Fatalf("p=%d: 1D volume not above 2D volume", p)
+		}
+	}
+}
+
+func TestChoosePlanNonSquareP(t *testing.T) {
+	// p = 8: the grid evaluates at p' = 4 (side 2).
+	p := ChoosePlan(1<<16, 16, 512, 8)
+	if p.GridSide != 2 {
+		t.Fatalf("grid side for p=8: %d", p.GridSide)
+	}
+	if p.Alternatives[LayoutGrid2D] != GlobalVolume(1<<16, 16, 4) {
+		t.Fatal("non-square grid volume not evaluated at the square subset")
+	}
+}
+
+func TestChoosePlanReportsAllAlternatives(t *testing.T) {
+	p := ChoosePlan(10000, 16, 32, 16)
+	for _, l := range []Layout{LayoutGrid2D, LayoutRows1D, LayoutLocal1D} {
+		if _, ok := p.Alternatives[l]; !ok {
+			t.Fatalf("missing alternative %v", l)
+		}
+	}
+	if !strings.Contains(p.String(), "words/rank/layer") {
+		t.Fatalf("String() = %q", p.String())
+	}
+}

@@ -1,0 +1,209 @@
+// Package dist is the simulated distributed-memory runtime substituting for
+// MPI on Piz Daint (see DESIGN.md §2): each rank is a goroutine, point-to-
+// point messages travel over buffered channels, and collectives are
+// implemented with volume-optimal ring algorithms (scatter + ring allgather
+// broadcast, ring reduce-scatter, reduce-scatter + allgather allreduce) so
+// the per-rank communication volume matches what an MPI implementation
+// would move — the quantity the paper's BSP analysis (Section 7) bounds.
+//
+// Every rank's bytes sent, message count and communication rounds are
+// recorded in Counters; an α-β network model converts them into modeled
+// network time for the scaling figures.
+package dist
+
+import (
+	"fmt"
+	"sync"
+)
+
+// message is one point-to-point transfer. Data is copied on send so ranks
+// never alias each other's buffers.
+type message struct {
+	data []float64
+}
+
+// Counters accumulates per-rank communication statistics.
+type Counters struct {
+	BytesSent int64 // 8 bytes per float64 word
+	MsgsSent  int64
+	Rounds    int64 // communication rounds (BSP supersteps entered)
+}
+
+// Add merges two counter sets.
+func (c Counters) Add(o Counters) Counters {
+	return Counters{
+		BytesSent: c.BytesSent + o.BytesSent,
+		MsgsSent:  c.MsgsSent + o.MsgsSent,
+		Rounds:    c.Rounds + o.Rounds,
+	}
+}
+
+// NetModel is an α-β communication-time model: each message costs Alpha
+// seconds of latency and each byte Beta seconds of bandwidth time.
+type NetModel struct {
+	Alpha float64 // seconds per message
+	Beta  float64 // seconds per byte
+}
+
+// CrayAries returns parameters approximating the paper's Piz Daint
+// interconnect: ~1.5 µs latency, ~10 GB/s injection bandwidth per node.
+func CrayAries() NetModel { return NetModel{Alpha: 1.5e-6, Beta: 1e-10} }
+
+// Time converts counters to modeled network seconds.
+func (m NetModel) Time(c Counters) float64 {
+	return m.Alpha*float64(c.MsgsSent) + m.Beta*float64(c.BytesSent)
+}
+
+// World owns the mailboxes and counters of a p-rank simulation.
+type World struct {
+	P        int
+	mailbox  [][]chan message // mailbox[to][from]
+	counters []Counters
+	mu       []sync.Mutex // protects counters[i] against torn reads in MaxCounters
+}
+
+// mailboxCap bounds in-flight messages per (sender, receiver) pair. Ring
+// collectives keep at most a couple of messages in flight; the slack covers
+// pipelined point-to-point phases.
+const mailboxCap = 1024
+
+// NewWorld creates a p-rank world.
+func NewWorld(p int) *World {
+	if p < 1 {
+		panic(fmt.Sprintf("dist: world size %d", p))
+	}
+	w := &World{P: p, counters: make([]Counters, p), mu: make([]sync.Mutex, p)}
+	w.mailbox = make([][]chan message, p)
+	for to := 0; to < p; to++ {
+		w.mailbox[to] = make([]chan message, p)
+		for from := 0; from < p; from++ {
+			w.mailbox[to][from] = make(chan message, mailboxCap)
+		}
+	}
+	return w
+}
+
+// Run executes f on every rank of a fresh p-rank world concurrently and
+// returns the per-rank communication counters.
+func Run(p int, f func(c *Comm)) []Counters {
+	w := NewWorld(p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			f(w.Comm(rank))
+		}(r)
+	}
+	wg.Wait()
+	return w.Counters()
+}
+
+// Comm returns the world communicator of a rank (group = all ranks).
+func (w *World) Comm(rank int) *Comm {
+	group := make([]int, w.P)
+	for i := range group {
+		group[i] = i
+	}
+	return &Comm{w: w, global: rank, group: group, me: rank}
+}
+
+// Counters returns a snapshot of all per-rank counters.
+func (w *World) Counters() []Counters {
+	out := make([]Counters, w.P)
+	for i := range out {
+		w.mu[i].Lock()
+		out[i] = w.counters[i]
+		w.mu[i].Unlock()
+	}
+	return out
+}
+
+// MaxCounters returns the element-wise maximum over ranks — the BSP
+// "maximum words sent by any processor" of Section 7.
+func MaxCounters(cs []Counters) Counters {
+	var m Counters
+	for _, c := range cs {
+		if c.BytesSent > m.BytesSent {
+			m.BytesSent = c.BytesSent
+		}
+		if c.MsgsSent > m.MsgsSent {
+			m.MsgsSent = c.MsgsSent
+		}
+		if c.Rounds > m.Rounds {
+			m.Rounds = c.Rounds
+		}
+	}
+	return m
+}
+
+// TotalCounters sums counters over ranks.
+func TotalCounters(cs []Counters) Counters {
+	var t Counters
+	for _, c := range cs {
+		t = t.Add(c)
+	}
+	return t
+}
+
+// Comm is a communicator: a rank's endpoint within a group of ranks. The
+// world communicator spans all ranks; Group derives row/column
+// sub-communicators for the 2D process grid.
+type Comm struct {
+	w      *World
+	global int   // my global rank
+	group  []int // global ranks of the group, in group order
+	me     int   // my index within group
+}
+
+// Rank returns the caller's rank within the communicator's group.
+func (c *Comm) Rank() int { return c.me }
+
+// Size returns the group size.
+func (c *Comm) Size() int { return len(c.group) }
+
+// GlobalRank returns the world rank.
+func (c *Comm) GlobalRank() int { return c.global }
+
+// Group returns a sub-communicator over the given group-local ranks. All
+// listed members must call Group with the same list (SPMD convention).
+// Callers not in the list receive nil.
+func (c *Comm) Group(local []int) *Comm {
+	globals := make([]int, len(local))
+	me := -1
+	for i, l := range local {
+		globals[i] = c.group[l]
+		if l == c.me {
+			me = i
+		}
+	}
+	if me < 0 {
+		return nil
+	}
+	return &Comm{w: c.w, global: c.global, group: globals, me: me}
+}
+
+// Send transfers a copy of data to group rank `to`. It never blocks as long
+// as fewer than mailboxCap messages are outstanding on the (from, to) pair.
+func (c *Comm) Send(to int, data []float64) {
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	c.w.mu[c.global].Lock()
+	c.w.counters[c.global].BytesSent += int64(8 * len(data))
+	c.w.counters[c.global].MsgsSent++
+	c.w.mu[c.global].Unlock()
+	c.w.mailbox[c.group[to]][c.global] <- message{data: cp}
+}
+
+// Recv blocks until a message from group rank `from` arrives.
+func (c *Comm) Recv(from int) []float64 {
+	m := <-c.w.mailbox[c.global][c.group[from]]
+	return m.data
+}
+
+// round records one communication round (BSP superstep).
+func (c *Comm) round() {
+	c.w.mu[c.global].Lock()
+	c.w.counters[c.global].Rounds++
+	c.w.mu[c.global].Unlock()
+}

@@ -1,0 +1,278 @@
+package distgnn
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+
+	"agnn/internal/dist"
+	"agnn/internal/gnn"
+	"agnn/internal/graph"
+	"agnn/internal/tensor"
+)
+
+// TestGlobalEngineOddGrid exercises a non-power-of-two grid (p = 25, s = 5)
+// where every collective takes the general ring path and blocks are ragged.
+func TestGlobalEngineOddGrid(t *testing.T) {
+	a := graph.ErdosRenyi(33, 120, 31) // 33 % 5 != 0: padded blocks
+	cfg := testCfg(gnn.GAT, 2, 4, 5, 3)
+	h := testFeatures(33, 4)
+	single, err := gnn.New(cfg, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := single.Forward(h, false)
+	got, _ := runGlobal(t, 25, a, cfg, h, false)
+	if !got.ApproxEqual(want, 1e-9) {
+		t.Fatalf("p=25 grid differs by %g", got.MaxAbsDiff(want))
+	}
+}
+
+// TestGlobalEngineMaskedLoss: distributed masked cross-entropy must match
+// the single-node loss exactly.
+func TestGlobalEngineMaskedLoss(t *testing.T) {
+	a := graph.ErdosRenyi(20, 60, 32)
+	cfg := testCfg(gnn.GCN, 2, 4, 4, 3)
+	h := testFeatures(20, 4)
+	labels := make([]int, 20)
+	mask := make([]bool, 20)
+	for i := range labels {
+		labels[i] = i % 3
+		mask[i] = i%2 == 0
+	}
+	single, err := gnn.New(cfg, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLoss, _ := (&gnn.CrossEntropyLoss{Labels: labels, Mask: mask}).Eval(single.Forward(h, true))
+
+	var gotLoss float64
+	var mu sync.Mutex
+	dist.Run(4, func(c *dist.Comm) {
+		e, err := NewGlobalEngine(c, a, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		out := e.Forward(e.SliceOwnedBlock(h), true)
+		l, _ := e.EvalLoss(out, labels, mask)
+		if c.Rank() == 0 {
+			mu.Lock()
+			gotLoss = l
+			mu.Unlock()
+		}
+	})
+	if math.Abs(gotLoss-wantLoss) > 1e-10 {
+		t.Fatalf("masked distributed loss %v vs single-node %v", gotLoss, wantLoss)
+	}
+}
+
+// TestGlobalEngineAdamTraining: optimizer state lives per rank; Adam's
+// moment buffers must stay in sync because gradients are identical, so the
+// whole trajectory matches single-node Adam training.
+func TestGlobalEngineAdamTraining(t *testing.T) {
+	a := graph.ErdosRenyi(24, 70, 33)
+	cfg := testCfg(gnn.AGNN, 2, 4, 4, 3)
+	h := testFeatures(24, 4)
+	labels := make([]int, 24)
+	for i := range labels {
+		labels[i] = i % 3
+	}
+	single, err := gnn.New(cfg, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := single.Train(h, &gnn.CrossEntropyLoss{Labels: labels}, gnn.NewAdam(0.01), 5)
+
+	var got []float64
+	var mu sync.Mutex
+	dist.Run(9, func(c *dist.Comm) {
+		e, err := NewGlobalEngine(c, a, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		opt := gnn.NewAdam(0.01)
+		xd := e.SliceOwnedBlock(h)
+		var ls []float64
+		for s := 0; s < 5; s++ {
+			ls = append(ls, e.TrainStep(xd, labels, nil, opt))
+		}
+		if c.Rank() == 0 {
+			mu.Lock()
+			got = ls
+			mu.Unlock()
+		}
+	})
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-8*(1+math.Abs(want[i])) {
+			t.Fatalf("Adam loss[%d]: distributed %v vs single %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestLocalEngineParamsReplicated: all ranks must construct bit-identical
+// replicated weights.
+func TestLocalEngineParamsReplicated(t *testing.T) {
+	a := graph.ErdosRenyi(16, 48, 34)
+	cfg := testCfg(gnn.GAT, 2, 3, 4, 2)
+	sums := make([]float64, 4)
+	dist.Run(4, func(c *dist.Comm) {
+		e, err := NewLocalEngine(c, a, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		s := 0.0
+		for _, p := range e.Params() {
+			for _, v := range p.Value.Data {
+				s += v
+			}
+		}
+		sums[c.Rank()] = s
+	})
+	for r := 1; r < 4; r++ {
+		if sums[r] != sums[0] {
+			t.Fatalf("rank %d weights differ from rank 0", r)
+		}
+	}
+}
+
+// TestGlobalEngineInferenceVolumeIndependentOfTraining: the --inference
+// path must not move more data than the training forward (paper §7.2:
+// training communicates asymptotically the same as inference).
+func TestTrainingVolumeWithinConstantOfInference(t *testing.T) {
+	a := graph.ErdosRenyi(64, 512, 35)
+	cfg := testCfg(gnn.GAT, 2, 8, 8, 8)
+	h := testFeatures(64, 8)
+	labels := make([]int, 64)
+	vol := func(train bool) int64 {
+		cs := dist.Run(16, func(c *dist.Comm) {
+			e, err := NewGlobalEngine(c, a, cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			xd := e.SliceOwnedBlock(h)
+			if train {
+				e.TrainStep(xd, labels, nil, gnn.NewSGD(0.01, 0))
+			} else {
+				e.Forward(xd, false)
+			}
+		})
+		return dist.MaxCounters(cs).BytesSent
+	}
+	vi, vt := vol(false), vol(true)
+	if vt < vi {
+		t.Fatalf("training volume %d below inference %d?", vt, vi)
+	}
+	if float64(vt) > 6*float64(vi) {
+		t.Fatalf("training volume %d not within a small constant of inference %d", vt, vi)
+	}
+}
+
+// TestGatherOutputOffDiagNil: only world rank 0 receives the assembled
+// output.
+func TestGatherOutputRank0Only(t *testing.T) {
+	a := graph.ErdosRenyi(12, 40, 36)
+	cfg := testCfg(gnn.GCN, 1, 2, 2, 2)
+	h := testFeatures(12, 2)
+	var nonNil [4]bool
+	dist.Run(4, func(c *dist.Comm) {
+		e, err := NewGlobalEngine(c, a, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		out := e.Forward(e.SliceOwnedBlock(h), false)
+		full := e.GatherOutput(out, 2)
+		nonNil[c.Rank()] = full != nil
+	})
+	if !nonNil[0] || nonNil[1] || nonNil[2] || nonNil[3] {
+		t.Fatalf("GatherOutput distribution wrong: %v", nonNil)
+	}
+}
+
+func TestSliceOwnedBlockPadding(t *testing.T) {
+	a := graph.ErdosRenyi(10, 30, 37) // n=10, p=4 → b=5, no padding; p=9 → b=4, pad 2
+	cfg := testCfg(gnn.GCN, 1, 2, 2, 2)
+	h := testFeatures(10, 2)
+	dist.Run(9, func(c *dist.Comm) {
+		e, err := NewGlobalEngine(c, a, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		blk := e.SliceOwnedBlock(h)
+		if !e.Diag {
+			if blk != nil {
+				t.Error("off-diagonal rank got a block")
+			}
+			return
+		}
+		if blk.Rows != e.B {
+			t.Errorf("block rows %d != B %d", blk.Rows, e.B)
+		}
+		lo, hi := e.OwnedRange()
+		for r := lo; r < hi; r++ {
+			if blk.At(r-lo, 0) != h.At(r, 0) {
+				t.Error("owned block content wrong")
+			}
+		}
+		for r := hi - lo; r < e.B; r++ {
+			if blk.At(r, 0) != 0 {
+				t.Error("padding rows must be zero")
+			}
+		}
+	})
+}
+
+// TestGridCheckpointPortableToSingleNode: a checkpoint written from the
+// distributed engine's (replicated) parameters loads into a single-node
+// model and produces identical outputs — the engines share one parameter
+// inventory.
+func TestGridCheckpointPortableToSingleNode(t *testing.T) {
+	a := graph.ErdosRenyi(20, 60, 80)
+	cfg := testCfg(gnn.GAT, 2, 4, 4, 3)
+	h := testFeatures(20, 4)
+	labels := make([]int, 20)
+	for i := range labels {
+		labels[i] = i % 3
+	}
+	var ckpt bytes.Buffer
+	var wantOut *tensor.Dense
+	var mu sync.Mutex
+	dist.Run(4, func(c *dist.Comm) {
+		e, err := NewGlobalEngine(c, a, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		opt := gnn.NewSGD(0.05, 0)
+		xd := e.SliceOwnedBlock(h)
+		for s := 0; s < 3; s++ {
+			e.TrainStep(xd, labels, nil, opt)
+		}
+		out := e.Forward(xd, false)
+		full := e.GatherOutput(out, cfg.OutDim)
+		if c.Rank() == 0 {
+			mu.Lock()
+			wantOut = full
+			if err := gnn.SaveParams(&ckpt, e.Params()); err != nil {
+				t.Error(err)
+			}
+			mu.Unlock()
+		}
+	})
+	single, err := gnn.New(cfg, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gnn.LoadWeights(bytes.NewReader(ckpt.Bytes()), single); err != nil {
+		t.Fatal(err)
+	}
+	if got := single.Forward(h, false); !got.ApproxEqual(wantOut, 1e-9) {
+		t.Fatalf("grid checkpoint in single-node model differs by %g", got.MaxAbsDiff(wantOut))
+	}
+}

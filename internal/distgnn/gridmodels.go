@@ -1,0 +1,424 @@
+package distgnn
+
+import (
+	"math/rand"
+
+	"agnn/internal/gnn"
+	"agnn/internal/kernels"
+	"agnn/internal/sparse"
+	"agnn/internal/tensor"
+)
+
+// The four model-specific distributed layers. The data movement per layer
+// follows Section 7.1 exactly:
+//
+//   forward:  broadcast feature blocks down grid columns (and, for the
+//             models whose Ψ needs H on both sides, across grid rows),
+//             compute the stationary-block SpMM/SDDMM locally, reduce the
+//             partial sums along grid rows onto the diagonal owners.
+//   backward: mirror image — gradients broadcast along rows, transposed
+//             contributions reduced along columns (the Aᵀ of Section 5.2),
+//             softmax statistics as length-B vector allreduces.
+//
+// Every broadcast/reduce moves O(B·k) = O(nk/√p) words per rank; parameter
+// gradients contribute the +k² term via GlobalEngine.AllreduceGrads.
+
+// ------------------------------------------------------------------- GCN
+
+type gridGCN struct {
+	w   *gnn.Param
+	act gnn.Activation
+
+	xd, z *tensor.Dense
+}
+
+func newGridGCN(in, out int, act gnn.Activation, rng *rand.Rand) *gridGCN {
+	return &gridGCN{w: gnn.NewParam("W", tensor.GlorotInit(in, out, rng)), act: act}
+}
+
+func (l *gridGCN) params() []*gnn.Param { return []*gnn.Param{l.w} }
+
+func (l *gridGCN) forward(e *GlobalEngine, xd *tensor.Dense, training bool) *tensor.Dense {
+	in, out := l.w.Value.Rows, l.w.Value.Cols
+	xCol := e.bcastColBlock(xd, in)
+	xpCol := tensor.MM(xCol, l.w.Value) // W replicated: no communication
+	part := e.ABlk.MulDense(xpCol)
+	z := e.reduceRowToDiag(part, out)
+	if !e.Diag {
+		return nil
+	}
+	if training {
+		l.xd, l.z = xd, z
+	}
+	return z.Apply(l.act.F)
+}
+
+func (l *gridGCN) backward(e *GlobalEngine, gd *tensor.Dense) *tensor.Dense {
+	out := l.w.Value.Cols
+	var gz *tensor.Dense
+	if e.Diag {
+		gz = gd.Hadamard(l.z.Apply(l.act.DF))
+	}
+	gRow := e.bcastRowBlock(gz, out)
+	part := e.ABlk.Transpose().MulDense(gRow) // (Âᵀ G)_j contribution
+	hpBar := e.reduceColToDiag(part, out)
+	if !e.Diag {
+		return nil
+	}
+	l.w.Grad.AddInPlace(tensor.TMM(l.xd, hpBar))
+	return tensor.MM(hpBar, l.w.Value.T())
+}
+
+// ------------------------------------------------------------------- VA
+
+type gridVA struct {
+	w   *gnn.Param
+	act gnn.Activation
+
+	xd, xRow, xCol, xpCol *tensor.Dense
+	psi                   *sparse.CSR
+	z                     *tensor.Dense
+}
+
+func newGridVA(in, out int, act gnn.Activation, rng *rand.Rand) *gridVA {
+	return &gridVA{w: gnn.NewParam("W", tensor.GlorotInit(in, out, rng)), act: act}
+}
+
+func (l *gridVA) params() []*gnn.Param { return []*gnn.Param{l.w} }
+
+func (l *gridVA) forward(e *GlobalEngine, xd *tensor.Dense, training bool) *tensor.Dense {
+	in, out := l.w.Value.Rows, l.w.Value.Cols
+	xCol := e.bcastColBlock(xd, in)
+	xRow := e.bcastRowBlock(xd, in)
+	psi := sparse.SDDMMScaled(e.ABlk, xRow, xCol) // Ψ_ij = A_ij ⊙ X_i·X_jᵀ
+	xpCol := tensor.MM(xCol, l.w.Value)
+	part := psi.MulDense(xpCol)
+	z := e.reduceRowToDiag(part, out)
+	if training {
+		l.xd, l.xRow, l.xCol, l.xpCol, l.psi, l.z = xd, xRow, xCol, xpCol, psi, z
+	}
+	if !e.Diag {
+		return nil
+	}
+	return z.Apply(l.act.F)
+}
+
+func (l *gridVA) backward(e *GlobalEngine, gd *tensor.Dense) *tensor.Dense {
+	in, out := l.w.Value.Rows, l.w.Value.Cols
+	var gz *tensor.Dense
+	if e.Diag {
+		gz = gd.Hadamard(l.z.Apply(l.act.DF))
+	}
+	gRow := e.bcastRowBlock(gz, out)
+	mRow := tensor.MM(gRow, l.w.Value.T())        // M_i = G_i·Wᵀ, local
+	n := sparse.SDDMMScaled(e.ABlk, mRow, l.xCol) // N_ij = A ⊙ M_i·X_jᵀ
+	nT := n.Transpose()
+	psiT := l.psi.Transpose()
+
+	rowPart := n.MulDense(l.xCol)           // (N·H)_i along the row
+	colPart := nT.MulDense(l.xRow)          // (Nᵀ·H)_j along the column
+	colPart.AddInPlace(psiT.MulDense(mRow)) // (Ψᵀ·M)_j along the column
+	psiTG := psiT.MulDense(gRow)            // (Ψᵀ·G)_j for the weight update
+
+	rowRed := e.reduceRowToDiag(rowPart, in)
+	colRed := e.reduceColToDiag(colPart, in)
+	wRed := e.reduceColToDiag(psiTG, out)
+	if !e.Diag {
+		return nil
+	}
+	// Y = Hᵀ·Ψᵀ·G (Eq. 13), accumulated from this diagonal's block; the
+	// global sum happens in AllreduceGrads.
+	l.w.Grad.AddInPlace(tensor.TMM(l.xd, wRed))
+	return rowRed.AddInPlace(colRed)
+}
+
+// ------------------------------------------------------------------- AGNN
+
+type gridAGNN struct {
+	w    *gnn.Param
+	beta *gnn.Param
+	act  gnn.Activation
+
+	xd, xRow, xCol, xpCol *tensor.Dense
+	invRow, invCol, invD  []float64
+	cos, psi              *sparse.CSR
+	z                     *tensor.Dense
+}
+
+func newGridAGNN(in, out int, act gnn.Activation, rng *rand.Rand) *gridAGNN {
+	return &gridAGNN{
+		w:    gnn.NewParam("W", tensor.GlorotInit(in, out, rng)),
+		beta: gnn.NewScalarParam("beta", 1),
+		act:  act,
+	}
+}
+
+func (l *gridAGNN) params() []*gnn.Param { return []*gnn.Param{l.w, l.beta} }
+
+func (l *gridAGNN) forward(e *GlobalEngine, xd *tensor.Dense, training bool) *tensor.Dense {
+	in, out := l.w.Value.Rows, l.w.Value.Cols
+	beta := l.beta.Scalar()
+	var invD []float64
+	if e.Diag {
+		norms := tensor.RowNorms(xd)
+		invD = make([]float64, len(norms))
+		for i, v := range norms {
+			if v > 0 {
+				invD[i] = 1 / v
+			}
+		}
+	}
+	invRow := e.bcastRowVec(invD)
+	invCol := e.bcastColVec(invD)
+	xCol := e.bcastColBlock(xd, in)
+	xRow := e.bcastRowBlock(xd, in)
+
+	s := sparse.SDDMMScaled(e.ABlk, xRow, xCol)
+	cos := s.ScaleRowsCols(invRow, invCol) // ⊘ n·nᵀ, virtual outer product
+	psi := distRowSoftmax(e, cos.Scale(beta))
+	xpCol := tensor.MM(xCol, l.w.Value)
+	part := psi.MulDense(xpCol)
+	z := e.reduceRowToDiag(part, out)
+	if training {
+		l.xd, l.xRow, l.xCol, l.xpCol = xd, xRow, xCol, xpCol
+		l.invRow, l.invCol, l.invD = invRow, invCol, invD
+		l.cos, l.psi, l.z = cos, psi, z
+	}
+	if !e.Diag {
+		return nil
+	}
+	return z.Apply(l.act.F)
+}
+
+func (l *gridAGNN) backward(e *GlobalEngine, gd *tensor.Dense) *tensor.Dense {
+	in, out := l.w.Value.Rows, l.w.Value.Cols
+	beta := l.beta.Scalar()
+	var gz *tensor.Dense
+	if e.Diag {
+		gz = gd.Hadamard(l.z.Apply(l.act.DF))
+	}
+	gRow := e.bcastRowBlock(gz, out)
+
+	psiBar := sparse.SDDMM(e.ABlk, gRow, l.xpCol)
+	tBar := distSoftmaxBackward(e, l.psi, psiBar)
+	// β gradient: local partial over this block; summed by AllreduceGrads.
+	betaGrad := 0.0
+	for p := range tBar.Val {
+		betaGrad += tBar.Val[p] * l.cos.Val[p]
+	}
+	l.beta.AddScalarGrad(betaGrad)
+	cBar := tBar.Scale(beta)
+	sBar := cBar.ScaleRowsCols(l.invRow, l.invCol).HadamardSamePattern(e.ABlk)
+
+	rowPart := sBar.MulDense(l.xCol)
+	colPart := sBar.Transpose().MulDense(l.xRow)
+	psiTG := l.psi.Transpose().MulDense(gRow)
+
+	d := cBar.HadamardSamePattern(l.cos)
+	rowD := e.reduceRowVecToDiag(d.RowSums())
+	colD := e.reduceColVecToDiag(d.ColSums())
+
+	rowRed := e.reduceRowToDiag(rowPart, in)
+	colRed := e.reduceColToDiag(colPart, in)
+	hpBar := e.reduceColToDiag(psiTG, out)
+	if !e.Diag {
+		return nil
+	}
+	l.w.Grad.AddInPlace(tensor.TMM(l.xd, hpBar))
+	hbar := tensor.MM(hpBar, l.w.Value.T())
+	hbar.AddInPlace(rowRed)
+	hbar.AddInPlace(colRed)
+	for i := 0; i < hbar.Rows; i++ {
+		coef := -l.invD[i] * (rowD[i] + colD[i]) * l.invD[i]
+		if coef != 0 {
+			tensor.Axpy(coef, l.xd.Row(i), hbar.Row(i))
+		}
+	}
+	return hbar
+}
+
+// ------------------------------------------------------------------- GAT
+
+type gridGAT struct {
+	w, a1, a2 *gnn.Param
+	act       gnn.Activation
+	negSlope  float64
+
+	xd, xpD, xpCol *tensor.Dense
+	uRow, vCol     []float64
+	psi            *sparse.CSR
+	z              *tensor.Dense
+}
+
+func newGridGAT(in, out int, act gnn.Activation, negSlope float64, rng *rand.Rand) *gridGAT {
+	return &gridGAT{
+		w:        gnn.NewParam("W", tensor.GlorotInit(in, out, rng)),
+		a1:       gnn.NewParam("a1", tensor.GlorotInit(out, 1, rng)),
+		a2:       gnn.NewParam("a2", tensor.GlorotInit(out, 1, rng)),
+		act:      act,
+		negSlope: negSlope,
+	}
+}
+
+func (l *gridGAT) params() []*gnn.Param { return []*gnn.Param{l.w, l.a1, l.a2} }
+
+func (l *gridGAT) forward(e *GlobalEngine, xd *tensor.Dense, training bool) *tensor.Dense {
+	out := l.w.Value.Cols
+	var xpD *tensor.Dense
+	var uD, vD []float64
+	if e.Diag {
+		xpD = tensor.MM(xd, l.w.Value)
+		uD = tensor.MatVec(xpD, l.a1.Value.Data)
+		vD = tensor.MatVec(xpD, l.a2.Value.Data)
+	}
+	// GAT only moves the projected block plus two length-B score vectors —
+	// the paper's observation that GAT "puts less pressure on memory".
+	xpCol := e.bcastColBlock(xpD, out)
+	uRow := e.bcastRowVec(uD)
+	vCol := e.bcastColVec(vD)
+
+	score := kernels.GATEdgeScore(uRow, vCol, l.negSlope)
+	if !training {
+		// Distributed --inference fast path: the attention block Ψ_{ij} is
+		// never materialized. Scores are evaluated on the fly in two local
+		// sweeps (statistics, then accumulation), with the row max/sum
+		// vectors exchanged along the grid row as usual.
+		part := distFusedSoftmaxApply(e, score, xpCol)
+		z := e.reduceRowToDiag(part, out)
+		if !e.Diag {
+			return nil
+		}
+		return z.Apply(l.act.F)
+	}
+	scores := kernels.FusedScores(e.ABlk, score)
+	psi := distRowSoftmax(e, scores)
+	part := psi.MulDense(xpCol)
+	z := e.reduceRowToDiag(part, out)
+	l.xd, l.xpD, l.xpCol = xd, xpD, xpCol
+	l.uRow, l.vCol, l.psi, l.z = uRow, vCol, psi, z
+	if !e.Diag {
+		return nil
+	}
+	return z.Apply(l.act.F)
+}
+
+func (l *gridGAT) backward(e *GlobalEngine, gd *tensor.Dense) *tensor.Dense {
+	out := l.w.Value.Cols
+	var gz *tensor.Dense
+	if e.Diag {
+		gz = gd.Hadamard(l.z.Apply(l.act.DF))
+	}
+	gRow := e.bcastRowBlock(gz, out)
+
+	psiBar := sparse.SDDMM(e.ABlk, gRow, l.xpCol)
+	eBar := distSoftmaxBackward(e, l.psi, psiBar)
+	// LeakyReLU mask on the virtual C, re-evaluated from u, v.
+	cVals := make([]float64, eBar.NNZ())
+	for i := 0; i < eBar.Rows; i++ {
+		for p := eBar.RowPtr[i]; p < eBar.RowPtr[i+1]; p++ {
+			d := 1.0
+			if l.uRow[i]+l.vCol[eBar.Col[p]] < 0 {
+				d = l.negSlope
+			}
+			cVals[p] = eBar.Val[p] * d
+		}
+	}
+	cBar := eBar.WithValues(cVals)
+
+	uBar := e.reduceRowVecToDiag(cBar.RowSums())
+	vBar := e.reduceColVecToDiag(cBar.ColSums())
+	hpBar := e.reduceColToDiag(l.psi.Transpose().MulDense(gRow), out)
+	if !e.Diag {
+		return nil
+	}
+	tensor.AddOuterInPlace(hpBar, 1, uBar, l.a1.Value.Data)
+	tensor.AddOuterInPlace(hpBar, 1, vBar, l.a2.Value.Data)
+	a1g := tensor.VecMat(uBar, l.xpD)
+	a2g := tensor.VecMat(vBar, l.xpD)
+	for i := range a1g {
+		l.a1.Grad.Data[i] += a1g[i]
+		l.a2.Grad.Data[i] += a2g[i]
+	}
+	l.w.Grad.AddInPlace(tensor.TMM(l.xd, hpBar))
+	return tensor.MM(hpBar, l.w.Value.T())
+}
+
+// ---------------------------------------------------------- multi-head GAT
+
+// gridMultiGAT runs K independent grid GAT heads and concatenates (hidden
+// layers) or averages (final layer) their diagonal-owned outputs. Each head
+// performs its own broadcasts and reductions, so the communication volume
+// scales linearly with K — the same behavior a real per-head execution has.
+type gridMultiGAT struct {
+	heads   []*gridGAT
+	concat  bool
+	headDim int
+}
+
+func newGridMultiGAT(in, headDim, heads int, concat bool, act gnn.Activation,
+	negSlope float64, rng *rand.Rand) *gridMultiGAT {
+	l := &gridMultiGAT{concat: concat, headDim: headDim}
+	for h := 0; h < heads; h++ {
+		l.heads = append(l.heads, newGridGAT(in, headDim, act, negSlope, rng))
+	}
+	return l
+}
+
+func (l *gridMultiGAT) params() []*gnn.Param {
+	var ps []*gnn.Param
+	for _, h := range l.heads {
+		ps = append(ps, h.params()...)
+	}
+	return ps
+}
+
+func (l *gridMultiGAT) forward(e *GlobalEngine, xd *tensor.Dense, training bool) *tensor.Dense {
+	outs := make([]*tensor.Dense, len(l.heads))
+	for i, h := range l.heads {
+		outs[i] = h.forward(e, xd, training)
+	}
+	if !e.Diag {
+		return nil
+	}
+	if l.concat {
+		out := tensor.NewDense(e.B, len(l.heads)*l.headDim)
+		for i, o := range outs {
+			for r := 0; r < e.B; r++ {
+				copy(out.Row(r)[i*l.headDim:(i+1)*l.headDim], o.Row(r))
+			}
+		}
+		return out
+	}
+	out := outs[0].Clone()
+	for _, o := range outs[1:] {
+		out.AddInPlace(o)
+	}
+	return out.ScaleInPlace(1 / float64(len(l.heads)))
+}
+
+func (l *gridMultiGAT) backward(e *GlobalEngine, gd *tensor.Dense) *tensor.Dense {
+	var gIn *tensor.Dense
+	for i, h := range l.heads {
+		var gHead *tensor.Dense
+		if e.Diag {
+			if l.concat {
+				gHead = tensor.NewDense(e.B, l.headDim)
+				for r := 0; r < e.B; r++ {
+					copy(gHead.Row(r), gd.Row(r)[i*l.headDim:(i+1)*l.headDim])
+				}
+			} else {
+				gHead = gd.Scale(1 / float64(len(l.heads)))
+			}
+		}
+		g := h.backward(e, gHead)
+		if !e.Diag {
+			continue
+		}
+		if gIn == nil {
+			gIn = g
+		} else {
+			gIn.AddInPlace(g)
+		}
+	}
+	return gIn
+}

@@ -1,0 +1,105 @@
+package distgnn
+
+import (
+	"math"
+
+	"agnn/internal/dist"
+	"agnn/internal/kernels"
+	"agnn/internal/sparse"
+	"agnn/internal/tensor"
+)
+
+// distRowSoftmax computes the graph softmax of Section 4.2 when each rank
+// holds a B×B block of the score matrix: the per-row maxima and exp-sums
+// are combined along the grid row with length-B vector allreduces (volume
+// O(n/√p) per rank — the cheap part of the bound), then each block
+// normalizes locally. The resulting blocks tile sm(scores) exactly.
+func distRowSoftmax(e *GlobalEngine, scores *sparse.CSR) *sparse.CSR {
+	rowMax := e.Row.AllreduceOp(scores.RowMax(), dist.OpMax)
+	// exp(v − rowmax) restricted to the pattern.
+	expVals := make([]float64, scores.NNZ())
+	sums := make([]float64, e.B)
+	for i := 0; i < scores.Rows; i++ {
+		m := rowMax[i]
+		for p := scores.RowPtr[i]; p < scores.RowPtr[i+1]; p++ {
+			v := math.Exp(scores.Val[p] - m)
+			expVals[p] = v
+			sums[i] += v
+		}
+	}
+	denom := e.Row.Allreduce(sums)
+	inv := make([]float64, e.B)
+	for i, d := range denom {
+		if d > 0 {
+			inv[i] = 1 / d
+		}
+	}
+	return scores.WithValues(expVals).ScaleRows(inv)
+}
+
+// distSoftmaxBackward computes the softmax VJP blockwise: the per-row
+// correction ρ_i = Σ_j Ψ̄_ij·Ψ_ij spans the whole grid row, so the local
+// partial sums are allreduced along the row communicator before the local
+// update S̄ = Ψ ⊙ (Ψ̄ − ρ).
+func distSoftmaxBackward(e *GlobalEngine, psi, psiBar *sparse.CSR) *sparse.CSR {
+	rho := make([]float64, e.B)
+	for i := 0; i < psi.Rows; i++ {
+		for p := psi.RowPtr[i]; p < psi.RowPtr[i+1]; p++ {
+			rho[i] += psiBar.Val[p] * psi.Val[p]
+		}
+	}
+	rho = e.Row.Allreduce(rho)
+	vals := make([]float64, psi.NNZ())
+	for i := 0; i < psi.Rows; i++ {
+		for p := psi.RowPtr[i]; p < psi.RowPtr[i+1]; p++ {
+			vals[p] = psi.Val[p] * (psiBar.Val[p] - rho[i])
+		}
+	}
+	return psi.WithValues(vals)
+}
+
+// distFusedSoftmaxApply computes this rank's partial of sm(A ⊙ scores)·X
+// without materializing the local attention block: pass one evaluates the
+// virtual scores to collect per-row max and exp-sum (combined along the
+// grid row), pass two re-evaluates them to accumulate the weighted
+// features — the distributed counterpart of kernels.FusedSoftmaxApply and
+// of the artifact's --inference mode.
+func distFusedSoftmaxApply(e *GlobalEngine, score kernels.ScoreFunc, x *tensor.Dense) *tensor.Dense {
+	a := e.ABlk
+	rowMaxLocal := make([]float64, e.B)
+	for i := range rowMaxLocal {
+		rowMaxLocal[i] = math.Inf(-1)
+	}
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if v := score(int32(i), a.Col[p]); v > rowMaxLocal[i] {
+				rowMaxLocal[i] = v
+			}
+		}
+	}
+	rowMax := e.Row.AllreduceOp(rowMaxLocal, dist.OpMax)
+	sums := make([]float64, e.B)
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			sums[i] += math.Exp(score(int32(i), a.Col[p]) - rowMax[i])
+		}
+	}
+	denom := e.Row.Allreduce(sums)
+	k := x.Cols
+	out := tensor.NewDense(e.B, k)
+	for i := 0; i < a.Rows; i++ {
+		if denom[i] == 0 {
+			continue
+		}
+		inv := 1 / denom[i]
+		orow := out.Row(i)
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			w := math.Exp(score(int32(i), a.Col[p])-rowMax[i]) * inv
+			xrow := x.Row(int(a.Col[p]))
+			for t, xv := range xrow {
+				orow[t] += w * xv
+			}
+		}
+	}
+	return out
+}

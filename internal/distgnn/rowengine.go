@@ -1,0 +1,145 @@
+package distgnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"agnn/internal/dist"
+	"agnn/internal/gnn"
+	"agnn/internal/graph"
+	"agnn/internal/kernels"
+	"agnn/internal/sparse"
+	"agnn/internal/tensor"
+)
+
+// RowEngine is the 1D A-stationary layout — the degenerate end of the 1.5D
+// family of Section 6.3 with no replication: each rank owns a contiguous
+// block of adjacency *rows* and the matching feature rows, and every layer
+// begins with a full feature allgather, costing Θ(nk) words per rank
+// regardless of p. It exists as the replication-factor ablation of
+// DESIGN.md: comparing its measured volume against GridEngine's
+// O(nk/√p) demonstrates why the paper adopts the 2D distribution.
+// Inference only; training belongs to the 2D engine.
+type RowEngine struct {
+	C      *dist.Comm
+	Part   graph.Partition
+	Lo, Hi int
+
+	aRows  *sparse.CSR // owned rows over all n columns
+	cfg    gnn.Config
+	layers []rowLayer
+}
+
+type rowLayer struct {
+	w, a1, a2 *gnn.Param // a1/a2 GAT only
+	beta      *gnn.Param // AGNN only
+	act       gnn.Activation
+}
+
+// NewRowEngine builds the 1D engine (SPMD; adjacency replicated at setup
+// like the other engines).
+func NewRowEngine(c *dist.Comm, a *sparse.CSR, cfg gnn.Config) (*RowEngine, error) {
+	cfg = cfg.Defaults()
+	switch cfg.Model {
+	case gnn.GCN:
+		a = graph.NormalizeGCN(a)
+	case gnn.VA, gnn.AGNN, gnn.GAT:
+		if cfg.SelfLoops {
+			a = graph.AddSelfLoops(a)
+		}
+	default:
+		return nil, fmt.Errorf("distgnn: unsupported model %v", cfg.Model)
+	}
+	part := graph.Partition1D(a.Rows, c.Size())
+	lo, hi := part.Range(c.Rank())
+	e := &RowEngine{C: c, Part: part, Lo: lo, Hi: hi, cfg: cfg}
+
+	// Slice the owned row block (columns stay global).
+	coo := sparse.NewCOO(hi-lo, a.Cols, int(a.RowPtr[hi]-a.RowPtr[lo]))
+	for i := lo; i < hi; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			coo.AppendVal(int32(i-lo), a.Col[p], a.Val[p])
+		}
+	}
+	e.aRows = sparse.FromCOO(coo)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for l := 0; l < cfg.Layers; l++ {
+		in := cfg.HiddenDim
+		if l == 0 {
+			in = cfg.InDim
+		}
+		out := cfg.HiddenDim
+		act := cfg.Activation
+		if l == cfg.Layers-1 {
+			out = cfg.OutDim
+			act = gnn.Identity()
+		}
+		rl := rowLayer{w: gnn.NewParam("W", tensor.GlorotInit(in, out, rng)), act: act}
+		switch cfg.Model {
+		case gnn.AGNN:
+			rl.beta = gnn.NewScalarParam("beta", 1)
+		case gnn.GAT:
+			rl.a1 = gnn.NewParam("a1", tensor.GlorotInit(out, 1, rng))
+			rl.a2 = gnn.NewParam("a2", tensor.GlorotInit(out, 1, rng))
+		}
+		e.layers = append(e.layers, rl)
+	}
+	return e, nil
+}
+
+// Forward runs inference: per layer, one full allgather of the feature
+// matrix (the Θ(nk) term), then purely local computation on the owned rows.
+func (e *RowEngine) Forward(hOwned *tensor.Dense) *tensor.Dense {
+	h := hOwned
+	for _, l := range e.layers {
+		k := h.Cols
+		full := tensor.NewDenseFrom(e.Part.N, k, e.C.Allgather(h.Data))
+		h = e.layerForward(l, full)
+	}
+	return h
+}
+
+func (e *RowEngine) layerForward(l rowLayer, full *tensor.Dense) *tensor.Dense {
+	own := full.SliceRows(e.Lo, e.Hi)
+	switch e.cfg.Model {
+	case gnn.GCN:
+		return e.aRows.MulDense(tensor.MM(full, l.w.Value)).Apply(l.act.F)
+	case gnn.VA:
+		psi := sparse.SDDMMScaled(e.aRows, own.Clone(), full)
+		return psi.MulDense(tensor.MM(full, l.w.Value)).Apply(l.act.F)
+	case gnn.AGNN:
+		norms := tensor.RowNorms(full)
+		score := kernels.AGNNEdgeScore(full, norms, l.beta.Scalar())
+		// Row indices of aRows are local; shift into global for the score.
+		shift := func(i, j int32) float64 { return score(i+int32(e.Lo), j) }
+		psi := kernels.FusedSoftmaxScores(e.aRows, shift)
+		return psi.MulDense(tensor.MM(full, l.w.Value)).Apply(l.act.F)
+	case gnn.GAT:
+		hp := tensor.MM(full, l.w.Value)
+		u := tensor.MatVec(hp, l.a1.Value.Data)
+		v := tensor.MatVec(hp, l.a2.Value.Data)
+		score := kernels.GATEdgeScore(u, v, e.cfg.NegSlope)
+		shift := func(i, j int32) float64 { return score(i+int32(e.Lo), j) }
+		psi := kernels.FusedSoftmaxScores(e.aRows, shift)
+		return psi.MulDense(hp).Apply(l.act.F)
+	}
+	panic("unreachable")
+}
+
+// GatherOutput assembles the full output on rank 0 (test helper).
+func (e *RowEngine) GatherOutput(out *tensor.Dense) *tensor.Dense {
+	parts := e.C.Gatherv(out.Data, 0)
+	if e.C.Rank() != 0 {
+		return nil
+	}
+	full := tensor.NewDense(e.Part.N, out.Cols)
+	row := 0
+	for r := 0; r < e.C.Size(); r++ {
+		for off := 0; off+out.Cols <= len(parts[r]); off += out.Cols {
+			copy(full.Row(row), parts[r][off:off+out.Cols])
+			row++
+		}
+	}
+	return full
+}

@@ -1,0 +1,113 @@
+package distgnn
+
+import (
+	"sync"
+	"testing"
+
+	"agnn/internal/dist"
+	"agnn/internal/gnn"
+	"agnn/internal/graph"
+	"agnn/internal/tensor"
+)
+
+func TestRowEngineMatchesSingleNode(t *testing.T) {
+	a := graph.ErdosRenyi(26, 80, 50)
+	h := testFeatures(26, 4)
+	for _, kind := range []gnn.Kind{gnn.VA, gnn.AGNN, gnn.GAT, gnn.GCN} {
+		cfg := testCfg(kind, 2, 4, 5, 3)
+		single, err := gnn.New(cfg, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := single.Forward(h, false)
+		for _, p := range []int{1, 3, 4} {
+			var got *tensor.Dense
+			var mu sync.Mutex
+			dist.Run(p, func(c *dist.Comm) {
+				e, err := NewRowEngine(c, a, cfg)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				out := e.Forward(h.SliceRows(e.Lo, e.Hi).Clone())
+				full := e.GatherOutput(out)
+				if full != nil {
+					mu.Lock()
+					got = full
+					mu.Unlock()
+				}
+			})
+			if !got.ApproxEqual(want, 1e-9) {
+				t.Fatalf("%v p=%d: 1D engine differs by %g", kind, p, got.MaxAbsDiff(want))
+			}
+		}
+	}
+}
+
+// TestReplicationAblation: the 2D grid engine must move asymptotically less
+// data than the 1D layout — the volume gap that motivates the paper's
+// distribution (1D is Θ(nk) per rank; 2D is O(nk/√p)).
+func TestReplicationAblation(t *testing.T) {
+	n, k := 256, 16
+	a := graph.ErdosRenyi(n, 8*n, 51)
+	cfg := testCfg(gnn.GAT, 3, k, k, k)
+	h := testFeatures(n, k)
+	p := 16
+
+	cs1 := dist.Run(p, func(c *dist.Comm) {
+		e, err := NewRowEngine(c, a, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		e.Forward(h.SliceRows(e.Lo, e.Hi).Clone())
+	})
+	cs2 := dist.Run(p, func(c *dist.Comm) {
+		e, err := NewGlobalEngine(c, a, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		e.Forward(e.SliceOwnedBlock(h), false)
+	})
+	v1 := dist.MaxCounters(cs1).BytesSent
+	v2 := dist.MaxCounters(cs2).BytesSent
+	if v2 >= v1 {
+		t.Fatalf("2D grid (%d B) should move less than 1D layout (%d B)", v2, v1)
+	}
+}
+
+// TestRowEngineVolumeIndependentOfP: the 1D layout's per-rank volume stays
+// ≈Θ(nk) as p grows — it does not strong-scale in communication.
+func TestRowEngineVolumeIndependentOfP(t *testing.T) {
+	n, k := 240, 8
+	a := graph.ErdosRenyi(n, 5*n, 52)
+	cfg := testCfg(gnn.GCN, 2, k, k, k)
+	h := testFeatures(n, k)
+	vol := func(p int) int64 {
+		cs := dist.Run(p, func(c *dist.Comm) {
+			e, err := NewRowEngine(c, a, cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			e.Forward(h.SliceRows(e.Lo, e.Hi).Clone())
+		})
+		return dist.MaxCounters(cs).BytesSent
+	}
+	v4, v16 := vol(4), vol(16)
+	ratio := float64(v4) / float64(v16)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("1D volume should be ≈independent of p: v4=%d v16=%d", v4, v16)
+	}
+}
+
+func TestRowEngineRejectsUnknownModel(t *testing.T) {
+	a := graph.ErdosRenyi(10, 30, 53)
+	dist.Run(2, func(c *dist.Comm) {
+		cfg := testCfg(gnn.Kind(99), 1, 2, 2, 2)
+		if _, err := NewRowEngine(c, a, cfg); err == nil {
+			t.Error("unknown model accepted")
+		}
+	})
+}

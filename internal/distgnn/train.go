@@ -1,0 +1,70 @@
+package distgnn
+
+import (
+	"math"
+
+	"agnn/internal/gnn"
+	"agnn/internal/tensor"
+)
+
+// EvalLoss computes the masked softmax cross-entropy over the distributed
+// output (diagonal-owned blocks). The loss decomposes over vertices, so
+// each diagonal rank evaluates its own rows; only two scalars (loss sum and
+// masked count) cross the network. Returns the global mean loss and the
+// gradient block for this rank's owned rows (nil off-diagonal).
+func (e *GlobalEngine) EvalLoss(out *tensor.Dense, labels []int, mask []bool) (float64, *tensor.Dense) {
+	localLoss, localCount := 0.0, 0.0
+	var grad *tensor.Dense
+	if e.Diag {
+		grad = tensor.NewDense(e.B, out.Cols)
+		lo, hi := e.OwnedRange()
+		for r := lo; r < hi; r++ {
+			if mask != nil && !mask[r] {
+				continue
+			}
+			y := labels[r]
+			row := out.Row(r - lo)
+			m := math.Inf(-1)
+			for _, v := range row {
+				if v > m {
+					m = v
+				}
+			}
+			sum := 0.0
+			for _, v := range row {
+				sum += math.Exp(v - m)
+			}
+			logZ := m + math.Log(sum)
+			localLoss += logZ - row[y]
+			localCount++
+			grow := grad.Row(r - lo)
+			for j, v := range row {
+				grow[j] = math.Exp(v - logZ)
+			}
+			grow[y] -= 1
+		}
+	}
+	tot := e.C.Allreduce([]float64{localLoss, localCount})
+	if tot[1] == 0 {
+		return 0, grad
+	}
+	if grad != nil {
+		grad.ScaleInPlace(1 / tot[1])
+	}
+	return tot[0] / tot[1], grad
+}
+
+// TrainStep runs one distributed full-batch training iteration: forward,
+// distributed loss, backward, global gradient allreduce, local optimizer
+// step (replicated weights stay bit-identical across ranks because every
+// rank applies the same update to the same values). Every rank must pass
+// its own optimizer instance; xd is the diagonal-owned input block.
+func (e *GlobalEngine) TrainStep(xd *tensor.Dense, labels []int, mask []bool, opt gnn.Optimizer) float64 {
+	e.ZeroGrad()
+	out := e.Forward(xd, true)
+	loss, g := e.EvalLoss(out, labels, mask)
+	e.Backward(g)
+	e.AllreduceGrads()
+	opt.Step(e.Params())
+	return loss
+}

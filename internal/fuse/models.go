@@ -1,0 +1,111 @@
+package fuse
+
+// Prebuilt execution DAGs of the three A-GNN forward and backward passes,
+// mirroring Figure 5 of the paper. The tests run Analyze over them and
+// check that the derived fusion groups coincide with the kernels
+// implemented by hand in internal/kernels and internal/gnn.
+
+// VAForward builds the VA forward DAG: Ψ = A ⊙ (H·Hᵀ), Z = Ψ·(H·W).
+func VAForward() *DAG {
+	d := NewDAG("va-forward")
+	a := d.Input("A", Sparse)
+	h := d.Input("H", Dense)
+	w := d.Input("W", Param)
+	hht := d.Add("HHt", "mmt", Virtual, h, h) // n×n virtual
+	psi := d.Add("Psi", "mask", Sparse, a, hht)
+	hw := d.Add("HW", "mm", Dense, h, w)
+	z := d.Add("Z", "spmm", Dense, psi, hw)
+	d.Add("Hout", "sigma", Dense, z)
+	return d
+}
+
+// AGNNForward builds the AGNN forward DAG: Ψ = sm(β·(A ⊙ H·Hᵀ) ⊘ n·nᵀ).
+func AGNNForward() *DAG {
+	d := NewDAG("agnn-forward")
+	a := d.Input("A", Sparse)
+	h := d.Input("H", Dense)
+	w := d.Input("W", Param)
+	beta := d.Input("beta", Param)
+	norms := d.Add("n", "rownorm", Vector, h)
+	hht := d.Add("HHt", "mmt", Virtual, h, h)
+	nnt := d.Add("nnT", "outer", Virtual, norms, norms)
+	cos := d.Add("C", "divide", Virtual, hht, nnt)
+	scaled := d.Add("betaC", "scale", Virtual, cos, beta)
+	masked := d.Add("S", "mask", Sparse, a, scaled)
+	psi := d.Add("Psi", "softmax", Sparse, masked)
+	hw := d.Add("HW", "mm", Dense, h, w)
+	z := d.Add("Z", "spmm", Dense, psi, hw)
+	d.Add("Hout", "sigma", Dense, z)
+	return d
+}
+
+// GATForward builds the GAT forward DAG of Figure 2: C = u·1ᵀ + 1·vᵀ,
+// Ψ = sm(A ⊙ LeakyReLU(C)), Z = Ψ·H'.
+func GATForward() *DAG {
+	d := NewDAG("gat-forward")
+	a := d.Input("A", Sparse)
+	h := d.Input("H", Dense)
+	w := d.Input("W", Param)
+	a1 := d.Input("a1", Param)
+	a2 := d.Input("a2", Param)
+	hp := d.Add("Hp", "mm", Dense, h, w)
+	u := d.Add("u", "matvec", Vector, hp, a1)
+	v := d.Add("v", "matvec", Vector, hp, a2)
+	repU := d.Add("u1T", "rep", Virtual, u)
+	repV := d.Add("1vT", "repT", Virtual, v)
+	c := d.Add("C", "add", Virtual, repU, repV)
+	lr := d.Add("lreluC", "lrelu", Virtual, c)
+	e := d.Add("E", "mask", Sparse, a, lr)
+	psi := d.Add("Psi", "softmax", Sparse, e)
+	z := d.Add("Z", "spmm", Dense, psi, hp)
+	d.Add("Hout", "sigma", Dense, z)
+	return d
+}
+
+// VABackward builds the VA backward DAG (Eq. 11–13): M = G·Wᵀ,
+// N = A ⊙ (M·Hᵀ), Γ = N₊·H + Ψᵀ·M, Y = Hᵀ·Ψᵀ·G.
+func VABackward() *DAG {
+	d := NewDAG("va-backward")
+	a := d.Input("A", Sparse)
+	h := d.Input("H", Dense)
+	w := d.Input("W", Param)
+	g := d.Input("G", Dense)
+	psiT := d.Input("PsiT", Sparse) // cached from forward, transposed
+	m := d.Add("M", "mm", Dense, g, w)
+	mht := d.Add("MHt", "mmt", Virtual, m, h)
+	nmat := d.Add("N", "mask", Sparse, a, mht)
+	nplus := d.Add("Nplus", "add-transpose", Sparse, nmat)
+	t1 := d.Add("NplusH", "spmm", Dense, nplus, h)
+	t2 := d.Add("PsiTM", "spmm", Dense, psiT, m)
+	gamma := d.Add("Gamma", "add", Dense, t1, t2)
+	d.Add("Gprev", "sigma-vjp", Dense, gamma)
+	d.Add("Y", "mspmm", Param, h, psiT, g)
+	return d
+}
+
+// GATBackward builds the GAT backward DAG: the softmax VJP feeds the
+// virtual LeakyReLU-derivative mask (re-evaluating C = u·1ᵀ + 1·vᵀ), whose
+// row/column sums produce ū and v̄.
+func GATBackward() *DAG {
+	d := NewDAG("gat-backward")
+	a := d.Input("A", Sparse)
+	hp := d.Input("Hp", Dense)
+	g := d.Input("G", Dense)
+	psi := d.Input("Psi", Sparse)
+	u := d.Input("u", Vector)
+	v := d.Input("v", Vector)
+	ghpT := d.Add("GHpT", "mmt", Virtual, g, hp)
+	psiBar := d.Add("PsiBar", "mask", Sparse, a, ghpT)
+	eBar := d.Add("EBar", "softmax-vjp", Sparse, psi, psiBar)
+	// lrelu'(C) is itself virtual (re-evaluated from u, v per non-zero).
+	repU := d.Add("u1T", "rep", Virtual, u)
+	repV := d.Add("1vT", "repT", Virtual, v)
+	c := d.Add("C", "add", Virtual, repU, repV)
+	dmask := d.Add("lreluPrimeC", "lrelu-deriv", Virtual, c)
+	cBar := d.Add("CBar", "mask", Sparse, eBar, dmask)
+	d.Add("uBar", "rowsum", Vector, cBar)
+	d.Add("vBar", "colsum", Vector, cBar)
+	psiT := d.Add("PsiT", "transpose", Sparse, psi)
+	d.Add("HpBar", "spmm", Dense, psiT, g)
+	return d
+}

@@ -1,0 +1,133 @@
+package gnn
+
+import (
+	"math/rand"
+
+	"agnn/internal/kernels"
+	"agnn/internal/sparse"
+	"agnn/internal/tensor"
+)
+
+// AGNNLayer is the attention-based GNN of Thekumparampil et al. in the
+// paper's global formulation (Figure 1, "AGNN"):
+//
+//	Forward:   n    = row L2 norms of H
+//	           C    = (A ⊙ H·Hᵀ) ⊘ (n·nᵀ)      cosine scores; n·nᵀ virtual
+//	           Ψ    = sm(β·C)                    graph softmax, β learnable
+//	           Z    = Ψ·H·W
+//	           H'   = σ(Z)
+//
+//	Backward (derived with the paper's VJP building blocks; ∂Ψ/∂W = 0 as
+//	stated in Section 5.2, but ∂Ψ/∂β ≠ 0 and ∂Ψ/∂H ≠ 0):
+//	           Ψ̄    = SDDMM(A, G, H·W)           from Z = Ψ·(H·W)
+//	           T̄    = softmax-VJP(Ψ, Ψ̄)
+//	           β̄    = Σ T̄ ⊙ C
+//	           C̄    = β·T̄
+//	           S̄    = C̄ ⊘ n·nᵀ ⊙ A               grad into the H·Hᵀ factor
+//	           n̄_i  = −(1/n_i)·Σ_j (C̄⊙C)_{ij} + (C̄⊙C)_{ji}
+//	           Γ    = Ψᵀ·G·Wᵀ + S̄·H + S̄ᵀ·H + diag(n̄⊘n)·H
+type AGNNLayer struct {
+	A, AT *sparse.CSR
+	W     *Param
+	Beta  *Param
+	Act   Activation
+
+	// cached intermediates
+	h     *tensor.Dense
+	hp    *tensor.Dense
+	norms []float64
+	inv   []float64
+	cos   *sparse.CSR // C (pre-β cosine scores)
+	psi   *sparse.CSR // softmax output
+	z     *tensor.Dense
+}
+
+// NewAGNNLayer constructs an AGNN layer with β initialized to 1.
+func NewAGNNLayer(a, at *sparse.CSR, inDim, outDim int, act Activation, rng *rand.Rand) *AGNNLayer {
+	return &AGNNLayer{
+		A: a, AT: at,
+		W:    NewParam("W", tensor.GlorotInit(inDim, outDim, rng)),
+		Beta: NewScalarParam("beta", 1),
+		Act:  act,
+	}
+}
+
+// Name implements Layer.
+func (l *AGNNLayer) Name() string { return "agnn" }
+
+// Params implements Layer.
+func (l *AGNNLayer) Params() []*Param { return []*Param{l.W, l.Beta} }
+
+// Forward implements Layer.
+func (l *AGNNLayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {
+	beta := l.Beta.Scalar()
+	if !training {
+		// Fully fused inference: score evaluation, softmax and aggregation
+		// in one kernel; Ψ never stored.
+		norms := tensor.RowNorms(h)
+		hp := tensor.MM(h, l.W.Value)
+		score := kernels.AGNNEdgeScore(h, norms, beta)
+		return l.Act.apply(kernels.FusedSoftmaxApply(l.A, score, hp))
+	}
+	l.h = h
+	l.norms = tensor.RowNorms(h)
+	l.inv = make([]float64, len(l.norms))
+	for i, v := range l.norms {
+		if v > 0 {
+			l.inv[i] = 1 / v
+		}
+	}
+	s := sparse.SDDMMScaled(l.A, h, h)           // A ⊙ H·Hᵀ
+	l.cos = s.ScaleRowsCols(l.inv, l.inv)        // ⊘ n·nᵀ (virtual outer product)
+	l.psi = sparse.RowSoftmax(l.cos.Scale(beta)) // Ψ = sm(β·C)
+	l.hp = tensor.MM(h, l.W.Value)
+	l.z = l.psi.MulDense(l.hp)
+	return l.Act.apply(l.z)
+}
+
+// Backward implements Layer.
+func (l *AGNNLayer) Backward(gOut *tensor.Dense) *tensor.Dense {
+	if l.z == nil {
+		panic("gnn: AGNNLayer.Backward before training-mode Forward")
+	}
+	beta := l.Beta.Scalar()
+	g := gOut.Hadamard(l.Act.derivAt(l.z))
+
+	// Z = Ψ·Hp.
+	psiBar := sparse.SDDMM(l.A, g, l.hp)
+	psiT := l.psi.Transpose()
+	hpBar := psiT.MulDense(g)
+	// Hp = H·W.
+	hbar := tensor.MM(hpBar, l.W.Value.T())
+	l.W.Grad.AddInPlace(tensor.TMM(l.h, hpBar))
+
+	// Ψ = softmax(β·C).
+	tBar := sparse.RowSoftmaxBackward(l.psi, psiBar)
+	// β̄ = Σ T̄ ⊙ C.
+	betaGrad := 0.0
+	for p := range tBar.Val {
+		betaGrad += tBar.Val[p] * l.cos.Val[p]
+	}
+	l.Beta.AddScalarGrad(betaGrad)
+	cBar := tBar.Scale(beta)
+
+	// C = (A ⊙ H·Hᵀ) ⊘ n·nᵀ: grad into the raw dot products.
+	sBar := cBar.ScaleRowsCols(l.inv, l.inv).HadamardSamePattern(l.A)
+	hbar.AddInPlace(sBar.MulDense(l.h))
+	hbar.AddInPlace(sBar.Transpose().MulDense(l.h))
+
+	// Norm gradient: n̄_i = −inv_i · (Σ_j D_ij + Σ_j D_ji) with D = C̄ ⊙ C,
+	// then H̄[i,:] += n̄_i · inv_i · H[i,:].
+	d := cBar.HadamardSamePattern(l.cos)
+	rows := d.RowSums()
+	cols := d.ColSums()
+	for i := 0; i < hbar.Rows; i++ {
+		nb := -l.inv[i] * (rows[i] + cols[i])
+		coef := nb * l.inv[i]
+		if coef == 0 {
+			continue
+		}
+		tensor.Axpy(coef, l.h.Row(i), hbar.Row(i))
+	}
+	return hbar
+}

@@ -1,0 +1,148 @@
+package gnn
+
+import (
+	"math/rand"
+
+	"agnn/internal/sparse"
+	"agnn/internal/tensor"
+)
+
+// The remaining C-GNN models the paper names (Sections 1, 2.2 and 4.4):
+// GIN, whose Φ is an MLP ("a series of multiplications with different
+// parameter matrices, interleaved with non-linearities"), and SGC, the
+// Simple Graph Convolution that stacks K propagation hops with a single
+// projection. Both fit the same σ((Φ∘⊕)(Ψ,H)) scheme with Ψ ≡ A.
+
+// GINLayer implements the Graph Isomorphism Network layer:
+//
+//	Z = MLP((1+ε)·H + A·H),  MLP(X) = σm(X·W₁)·W₂
+//
+// with a trainable ε (as in GIN-ε).
+type GINLayer struct {
+	A, AT  *sparse.CSR
+	W1, W2 *Param
+	Eps    *Param
+	ActMLP Activation // the MLP's internal non-linearity
+	Act    Activation // the layer output non-linearity σ
+
+	h, pre, mid1, mid2, z *tensor.Dense
+}
+
+// NewGINLayer constructs a GIN layer with a 2-layer MLP of the given
+// hidden width and ε initialized to 0.
+func NewGINLayer(a, at *sparse.CSR, inDim, hidden, outDim int, act Activation, rng *rand.Rand) *GINLayer {
+	return &GINLayer{
+		A: a, AT: at,
+		W1:     NewParam("W1", tensor.GlorotInit(inDim, hidden, rng)),
+		W2:     NewParam("W2", tensor.GlorotInit(hidden, outDim, rng)),
+		Eps:    NewScalarParam("eps", 0),
+		ActMLP: ReLU(),
+		Act:    act,
+	}
+}
+
+// Name implements Layer.
+func (l *GINLayer) Name() string { return "gin" }
+
+// Params implements Layer.
+func (l *GINLayer) Params() []*Param { return []*Param{l.W1, l.W2, l.Eps} }
+
+// Forward implements Layer.
+func (l *GINLayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {
+	eps := l.Eps.Scalar()
+	pre := l.A.MulDense(h)             // Σ_{j∈N(i)} h_j
+	pre.AxpyInPlace(1+eps, h)          // + (1+ε)h_i
+	mid1 := tensor.MM(pre, l.W1.Value) // MLP layer 1 pre-activation
+	mid2 := mid1.Apply(l.ActMLP.F)
+	z := tensor.MM(mid2, l.W2.Value)
+	if training {
+		l.h, l.pre, l.mid1, l.mid2, l.z = h, pre, mid1, mid2, z
+	}
+	return z.Apply(l.Act.F)
+}
+
+// Backward implements Layer.
+func (l *GINLayer) Backward(gOut *tensor.Dense) *tensor.Dense {
+	if l.z == nil {
+		panic("gnn: GINLayer.Backward before training-mode Forward")
+	}
+	eps := l.Eps.Scalar()
+	g := gOut.Hadamard(l.z.Apply(l.Act.DF))
+	// Z = mid2·W2.
+	l.W2.Grad.AddInPlace(tensor.TMM(l.mid2, g))
+	gMid2 := tensor.MM(g, l.W2.Value.T())
+	// mid2 = σm(mid1).
+	gMid1 := gMid2.Hadamard(l.mid1.Apply(l.ActMLP.DF))
+	// mid1 = pre·W1.
+	l.W1.Grad.AddInPlace(tensor.TMM(l.pre, gMid1))
+	gPre := tensor.MM(gMid1, l.W1.Value.T())
+	// pre = (1+ε)·H + A·H.
+	epsGrad := 0.0
+	for i, v := range gPre.Data {
+		epsGrad += v * l.h.Data[i]
+	}
+	l.Eps.AddScalarGrad(epsGrad)
+	hbar := l.AT.MulDense(gPre)
+	hbar.AxpyInPlace(1+eps, gPre)
+	return hbar
+}
+
+// SGCLayer implements Simple Graph Convolution: K propagation hops with the
+// symmetric-normalized adjacency and one projection,
+//
+//	Z = Â^K·H·W,
+//
+// the "simple graph convolution model" of the paper's Section 8.4
+// verification, with no non-linearity between hops.
+type SGCLayer struct {
+	A, AT *sparse.CSR // expected pre-normalized
+	K     int
+	W     *Param
+	Act   Activation
+
+	hk *tensor.Dense // Â^K·H
+	z  *tensor.Dense
+}
+
+// NewSGCLayer constructs a K-hop SGC layer; a should carry the GCN
+// normalization.
+func NewSGCLayer(a, at *sparse.CSR, k, inDim, outDim int, act Activation, rng *rand.Rand) *SGCLayer {
+	if k < 1 {
+		panic("gnn: SGC needs K >= 1 hops")
+	}
+	return &SGCLayer{A: a, AT: at, K: k,
+		W: NewParam("W", tensor.GlorotInit(inDim, outDim, rng)), Act: act}
+}
+
+// Name implements Layer.
+func (l *SGCLayer) Name() string { return "sgc" }
+
+// Params implements Layer.
+func (l *SGCLayer) Params() []*Param { return []*Param{l.W} }
+
+// Forward implements Layer.
+func (l *SGCLayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {
+	hk := h
+	for t := 0; t < l.K; t++ {
+		hk = l.A.MulDense(hk)
+	}
+	z := tensor.MM(hk, l.W.Value)
+	if training {
+		l.hk, l.z = hk, z
+	}
+	return z.Apply(l.Act.F)
+}
+
+// Backward implements Layer.
+func (l *SGCLayer) Backward(gOut *tensor.Dense) *tensor.Dense {
+	if l.z == nil {
+		panic("gnn: SGCLayer.Backward before training-mode Forward")
+	}
+	g := gOut.Hadamard(l.z.Apply(l.Act.DF))
+	l.W.Grad.AddInPlace(tensor.TMM(l.hk, g))
+	hbar := tensor.MM(g, l.W.Value.T())
+	for t := 0; t < l.K; t++ {
+		hbar = l.AT.MulDense(hbar)
+	}
+	return hbar
+}

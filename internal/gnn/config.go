@@ -1,0 +1,161 @@
+package gnn
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"agnn/internal/graph"
+	"agnn/internal/sparse"
+)
+
+// Kind identifies a built-in GNN model.
+type Kind int
+
+// Built-in model kinds. VA, AGNN and GAT are the A-GNNs of the paper;
+// GCN is the C-GNN special case used for the theory-verification runs.
+const (
+	VA Kind = iota
+	AGNN
+	GAT
+	GCN
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case VA:
+		return "VA"
+	case AGNN:
+		return "AGNN"
+	case GAT:
+		return "GAT"
+	case GCN:
+		return "GCN"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind resolves a model name (case-insensitive) to its Kind.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToUpper(s) {
+	case "VA":
+		return VA, nil
+	case "AGNN":
+		return AGNN, nil
+	case "GAT":
+		return GAT, nil
+	case "GCN", "SGC":
+		return GCN, nil
+	}
+	return 0, fmt.Errorf("gnn: unknown model %q (want VA, AGNN, GAT, or GCN)", s)
+}
+
+// Config describes a full GNN model. Dims follow the paper's convention:
+// feature dimensionality k may vary per layer but is typically constant.
+type Config struct {
+	Model     Kind
+	Layers    int // L ≥ 1
+	InDim     int // k of the input features
+	HiddenDim int // k of intermediate layers
+	OutDim    int // k of the final layer (e.g. #classes)
+
+	Activation Activation // hidden-layer σ; the final layer emits raw logits
+	NegSlope   float64    // GAT LeakyReLU slope (default 0.2)
+	SelfLoops  bool       // add self loops (GAT/GCN convention)
+	Heads      int        // GAT only: attention heads (≤1 = single-head).
+	// With Heads > 1, hidden layers concatenate head outputs (width
+	// Heads·HiddenDim) and the final layer averages them (Veličković et
+	// al.'s convention).
+	Seed int64
+}
+
+// Defaults fills zero-valued fields with the conventions used throughout
+// the paper's experiments: 3 layers, ReLU, slope 0.2.
+func (c Config) Defaults() Config {
+	if c.Layers == 0 {
+		c.Layers = 3
+	}
+	if c.HiddenDim == 0 {
+		c.HiddenDim = c.InDim
+	}
+	if c.OutDim == 0 {
+		c.OutDim = c.HiddenDim
+	}
+	if c.Activation.F == nil {
+		c.Activation = ReLU()
+	}
+	if c.NegSlope == 0 {
+		c.NegSlope = 0.2
+	}
+	return c
+}
+
+// New builds a model of cfg.Model on adjacency a. The adjacency matrix is
+// preprocessed per model convention: self loops for GAT/GCN (when
+// SelfLoops), symmetric normalization for GCN. The transpose is built once
+// and shared by all layers for the backward pass.
+func New(cfg Config, a *sparse.CSR) (*Model, error) {
+	cfg = cfg.Defaults()
+	if cfg.Layers < 1 {
+		return nil, fmt.Errorf("gnn: need at least one layer, got %d", cfg.Layers)
+	}
+	if cfg.InDim < 1 || cfg.HiddenDim < 1 || cfg.OutDim < 1 {
+		return nil, fmt.Errorf("gnn: non-positive feature dimensions %d/%d/%d", cfg.InDim, cfg.HiddenDim, cfg.OutDim)
+	}
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("gnn: adjacency matrix must be square, got %d×%d", a.Rows, a.Cols)
+	}
+	switch cfg.Model {
+	case GCN:
+		a = graph.NormalizeGCN(a) // includes self loops
+	default:
+		if cfg.SelfLoops {
+			a = graph.AddSelfLoops(a)
+		}
+	}
+	at := a.Transpose()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	m := &Model{}
+	multiHead := cfg.Model == GAT && cfg.Heads > 1
+	for l := 0; l < cfg.Layers; l++ {
+		in := cfg.HiddenDim
+		if multiHead {
+			in = cfg.Heads * cfg.HiddenDim
+		}
+		if l == 0 {
+			in = cfg.InDim
+		}
+		out := cfg.HiddenDim
+		act := cfg.Activation
+		if l == cfg.Layers-1 {
+			out = cfg.OutDim
+			act = Identity()
+		}
+		var layer Layer
+		switch cfg.Model {
+		case VA:
+			layer = NewVALayer(a, at, in, out, act, rng)
+		case AGNN:
+			layer = NewAGNNLayer(a, at, in, out, act, rng)
+		case GAT:
+			if multiHead {
+				if l == cfg.Layers-1 {
+					// Final layer: average the heads into OutDim.
+					layer = NewMultiHeadGATLayer(a, at, in, out, cfg.Heads, false, act, cfg.NegSlope, rng)
+				} else {
+					layer = NewMultiHeadGATLayer(a, at, in, cfg.HiddenDim, cfg.Heads, true, act, cfg.NegSlope, rng)
+				}
+			} else {
+				layer = NewGATLayer(a, at, in, out, act, cfg.NegSlope, rng)
+			}
+		case GCN:
+			layer = NewGCNLayer(a, at, in, out, act, rng)
+		default:
+			return nil, fmt.Errorf("gnn: unknown model kind %v", cfg.Model)
+		}
+		m.Layers = append(m.Layers, layer)
+	}
+	return m, nil
+}

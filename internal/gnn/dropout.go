@@ -1,0 +1,56 @@
+package gnn
+
+import (
+	"math/rand"
+
+	"agnn/internal/tensor"
+)
+
+// DropoutLayer applies inverted-scaling dropout to the feature matrix
+// during training and is the identity during inference. The original GAT
+// applies dropout to both input features and attention coefficients; this
+// layer covers the feature side and composes with any model layer in a
+// gnn.Model stack.
+type DropoutLayer struct {
+	Rate float64 // drop probability in [0, 1)
+	rng  *rand.Rand
+	mask *tensor.Dense
+}
+
+// NewDropout creates a dropout layer with its own deterministic RNG.
+func NewDropout(rate float64, seed int64) *DropoutLayer {
+	if rate < 0 || rate >= 1 {
+		panic("gnn: dropout rate must be in [0, 1)")
+	}
+	return &DropoutLayer{Rate: rate, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Layer.
+func (l *DropoutLayer) Name() string { return "dropout" }
+
+// Params implements Layer.
+func (l *DropoutLayer) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (l *DropoutLayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {
+	if !training || l.Rate == 0 {
+		l.mask = nil
+		return h
+	}
+	scale := 1 / (1 - l.Rate)
+	l.mask = tensor.NewDense(h.Rows, h.Cols)
+	for i := range l.mask.Data {
+		if l.rng.Float64() >= l.Rate {
+			l.mask.Data[i] = scale
+		}
+	}
+	return h.Hadamard(l.mask)
+}
+
+// Backward implements Layer.
+func (l *DropoutLayer) Backward(gOut *tensor.Dense) *tensor.Dense {
+	if l.mask == nil {
+		return gOut
+	}
+	return gOut.Hadamard(l.mask)
+}

@@ -1,0 +1,134 @@
+package gnn
+
+import (
+	"math/rand"
+
+	"agnn/internal/kernels"
+	"agnn/internal/par"
+	"agnn/internal/sparse"
+	"agnn/internal/tensor"
+)
+
+// GATLayer is the Graph Attention Network in the paper's global formulation
+// (Figures 1 and 2):
+//
+//	Forward:   H' = H·W
+//	           u  = H'·a₁,  v = H'·a₂          split of aᵀ[Wh_i ‖ Wh_j]
+//	           C  = u·1ᵀ + 1·vᵀ                virtual n×n, never stored
+//	           E  = A ⊙ LeakyReLU(C)           fused SDDMM-like kernel
+//	           Ψ  = sm(E)
+//	           Z  = Ψ·H'
+//	           Hᵒ = σ(Z)
+//
+//	Backward (∂Ψ/∂W ≠ 0 — the second term of Eq. (7) is live for GAT):
+//	           Ψ̄  = SDDMM(A, G, H')
+//	           Ē  = softmax-VJP(Ψ, Ψ̄)
+//	           C̄  = Ē ⊙ lrelu'(u_i + v_j)      fused, virtual C again
+//	           ū  = sum(C̄),  v̄ = sumᵀ(C̄)
+//	           H̄' = Ψᵀ·G + ū·a₁ᵀ + v̄·a₂ᵀ
+//	           ā₁ = H'ᵀ·ū,  ā₂ = H'ᵀ·v̄
+//	           Γ  = H̄'·Wᵀ,  Y = Hᵀ·H̄'
+type GATLayer struct {
+	A, AT    *sparse.CSR
+	W        *Param
+	A1, A2   *Param // the two halves of the attention vector a
+	Act      Activation
+	NegSlope float64
+
+	// cached intermediates
+	h    *tensor.Dense
+	hp   *tensor.Dense
+	u, v []float64
+	psi  *sparse.CSR
+	z    *tensor.Dense
+}
+
+// NewGATLayer constructs a single-head GAT layer. The attention vector
+// halves are initialized with Glorot fan-in k.
+func NewGATLayer(a, at *sparse.CSR, inDim, outDim int, act Activation, negSlope float64, rng *rand.Rand) *GATLayer {
+	return &GATLayer{
+		A: a, AT: at,
+		W:        NewParam("W", tensor.GlorotInit(inDim, outDim, rng)),
+		A1:       NewParam("a1", tensor.GlorotInit(outDim, 1, rng)),
+		A2:       NewParam("a2", tensor.GlorotInit(outDim, 1, rng)),
+		Act:      act,
+		NegSlope: negSlope,
+	}
+}
+
+// Name implements Layer.
+func (l *GATLayer) Name() string { return "gat" }
+
+// Params implements Layer.
+func (l *GATLayer) Params() []*Param { return []*Param{l.W, l.A1, l.A2} }
+
+// Forward implements Layer.
+func (l *GATLayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {
+	hp := tensor.MM(h, l.W.Value)
+	u := tensor.MatVec(hp, l.A1.Value.Data)
+	v := tensor.MatVec(hp, l.A2.Value.Data)
+	score := kernels.GATEdgeScore(u, v, l.NegSlope)
+	if !training {
+		return l.Act.apply(kernels.FusedSoftmaxApply(l.A, score, hp))
+	}
+	l.h, l.hp, l.u, l.v = h, hp, u, v
+	l.psi = kernels.FusedSoftmaxScores(l.A, score) // sm(A ⊙ σ(C)), C virtual
+	l.z = l.psi.MulDense(hp)
+	return l.Act.apply(l.z)
+}
+
+// Backward implements Layer.
+func (l *GATLayer) Backward(gOut *tensor.Dense) *tensor.Dense {
+	if l.z == nil {
+		panic("gnn: GATLayer.Backward before training-mode Forward")
+	}
+	g := gOut.Hadamard(l.Act.derivAt(l.z))
+
+	// Z = Ψ·H'.
+	psiBar := sparse.SDDMM(l.A, g, l.hp)
+	hpBar := l.psi.Transpose().MulDense(g)
+
+	// Softmax VJP, then the LeakyReLU mask on the virtual C = u·1ᵀ + 1·vᵀ.
+	eBar := sparse.RowSoftmaxBackward(l.psi, psiBar)
+	cBar := l.lreluMask(eBar)
+
+	// Score gradients through the rep/sum building blocks: ū = sum(C̄),
+	// v̄ = sumᵀ(C̄).
+	uBar := cBar.RowSums()
+	vBar := cBar.ColSums()
+
+	// H̄' accumulates the aggregation path and the two score paths.
+	tensor.AddOuterInPlace(hpBar, 1, uBar, l.A1.Value.Data)
+	tensor.AddOuterInPlace(hpBar, 1, vBar, l.A2.Value.Data)
+
+	// Attention-vector gradients ā₁ = H'ᵀ·ū, ā₂ = H'ᵀ·v̄.
+	a1g := tensor.VecMat(uBar, l.hp)
+	a2g := tensor.VecMat(vBar, l.hp)
+	for i := range a1g {
+		l.A1.Grad.Data[i] += a1g[i]
+		l.A2.Grad.Data[i] += a2g[i]
+	}
+
+	// H' = H·W.
+	l.W.Grad.AddInPlace(tensor.TMM(l.h, hpBar))
+	return tensor.MM(hpBar, l.W.Value.T())
+}
+
+// lreluMask multiplies each stored entry of eBar by lrelu'(u_i + v_j),
+// re-evaluating the virtual pre-activation scores instead of having stored
+// them — the same fusion the forward pass uses.
+func (l *GATLayer) lreluMask(eBar *sparse.CSR) *sparse.CSR {
+	vals := make([]float64, eBar.NNZ())
+	par.RangeWeighted(eBar.Rows, func(i int) int64 { return int64(eBar.RowNNZ(i)) }, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for p := eBar.RowPtr[i]; p < eBar.RowPtr[i+1]; p++ {
+				d := 1.0
+				if l.u[i]+l.v[eBar.Col[p]] < 0 {
+					d = l.NegSlope
+				}
+				vals[p] = eBar.Val[p] * d
+			}
+		}
+	})
+	return eBar.WithValues(vals)
+}

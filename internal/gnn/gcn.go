@@ -1,0 +1,59 @@
+package gnn
+
+import (
+	"math/rand"
+
+	"agnn/internal/sparse"
+	"agnn/internal/tensor"
+)
+
+// GCNLayer is the C-GNN special case used by the Section 8.4 verification
+// experiment: Z = Â·H·W with Â the (pre-)normalized adjacency matrix. Ψ
+// degenerates to Â itself, so — as the paper notes in Section 4.4 — once Ψ
+// is fixed, the execution strategy is identical to the A-GNNs'.
+type GCNLayer struct {
+	A, AT *sparse.CSR // expected pre-normalized (graph.NormalizeGCN)
+	W     *Param
+	Act   Activation
+
+	h *tensor.Dense
+	z *tensor.Dense
+}
+
+// NewGCNLayer constructs a GCN layer; a should already carry the symmetric
+// normalization (graph.NormalizeGCN).
+func NewGCNLayer(a, at *sparse.CSR, inDim, outDim int, act Activation, rng *rand.Rand) *GCNLayer {
+	return &GCNLayer{
+		A: a, AT: at,
+		W:   NewParam("W", tensor.GlorotInit(inDim, outDim, rng)),
+		Act: act,
+	}
+}
+
+// Name implements Layer.
+func (l *GCNLayer) Name() string { return "gcn" }
+
+// Params implements Layer.
+func (l *GCNLayer) Params() []*Param { return []*Param{l.W} }
+
+// Forward implements Layer.
+func (l *GCNLayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {
+	hp := tensor.MM(h, l.W.Value)
+	z := l.A.MulDense(hp)
+	if training {
+		l.h, l.z = h, z
+	}
+	return l.Act.apply(z)
+}
+
+// Backward implements Layer.
+func (l *GCNLayer) Backward(gOut *tensor.Dense) *tensor.Dense {
+	if l.z == nil {
+		panic("gnn: GCNLayer.Backward before training-mode Forward")
+	}
+	g := gOut.Hadamard(l.Act.derivAt(l.z))
+	// Z = Â·(H·W): H̄p = Âᵀ·G; W̄ += Hᵀ·H̄p; H̄ = H̄p·Wᵀ.
+	hpBar := l.AT.MulDense(g)
+	l.W.Grad.AddInPlace(tensor.TMM(l.h, hpBar))
+	return tensor.MM(hpBar, l.W.Value.T())
+}

@@ -1,0 +1,139 @@
+package gnn
+
+import (
+	"agnn/internal/sparse"
+	"agnn/internal/tensor"
+)
+
+// This file implements the programmability story of Eq. (1): a user-defined
+// A-GNN is assembled from three pluggable pieces,
+//
+//	H^{l+1} = σ(Z),  Z = (Φ∘⊕)(Ψ(A, H), H)
+//
+// where Ψ computes the (sparse) attention/coefficient matrix, ⊕ aggregates
+// neighbor features through it, and Φ updates the aggregate. The generic
+// layer targets inference — the paper's built-in models provide trained
+// backward passes; a custom model supplies one by implementing Layer
+// directly.
+
+// PsiFunc computes the sparse coefficient matrix Ψ(A, H) — its output must
+// have A's shape. Built-in examples: VA's A ⊙ H·Hᵀ, GAT's sm(A ⊙ σ(C)).
+type PsiFunc func(a *sparse.CSR, h *tensor.Dense) *sparse.CSR
+
+// AggFunc is the ⊕ aggregation: it combines Ψ with the feature matrix.
+// The default is the real-semiring SpMM Ψ·H; semiring variants (max, min,
+// average) plug in here.
+type AggFunc func(psi *sparse.CSR, h *tensor.Dense) *tensor.Dense
+
+// UpdateFunc is the Φ update applied around the aggregation. Typical
+// instances are a linear projection (·W) or an MLP.
+type UpdateFunc func(h *tensor.Dense) *tensor.Dense
+
+// GenericLayer is a programmable, inference-only A-GNN layer. PhiFirst
+// selects the Φ∘⊕ application order of Section 4.4: when true, Φ is applied
+// to the features before aggregation (legal whenever Φ is linear), which is
+// usually cheaper because the projection shrinks the feature dimension
+// before the sparse product.
+type GenericLayer struct {
+	A        *sparse.CSR
+	Psi      PsiFunc
+	Agg      AggFunc
+	Phi      UpdateFunc
+	Act      Activation
+	PhiFirst bool
+}
+
+// Name implements Layer.
+func (l *GenericLayer) Name() string { return "generic" }
+
+// Params implements Layer; user-supplied closures own their parameters.
+func (l *GenericLayer) Params() []*Param { return nil }
+
+// Forward implements Layer (Eq. 1).
+func (l *GenericLayer) Forward(h *tensor.Dense, _ bool) *tensor.Dense {
+	psi := l.Psi(l.A, h)
+	agg := l.Agg
+	if agg == nil {
+		agg = SumAgg()
+	}
+	phi := l.Phi
+	if phi == nil {
+		phi = func(x *tensor.Dense) *tensor.Dense { return x }
+	}
+	act := l.Act
+	if act.F == nil {
+		act = Identity()
+	}
+	var z *tensor.Dense
+	if l.PhiFirst {
+		z = agg(psi, phi(h))
+	} else {
+		z = phi(agg(psi, h))
+	}
+	return act.apply(z)
+}
+
+// Backward implements Layer; the generic layer is inference-only.
+func (l *GenericLayer) Backward(*tensor.Dense) *tensor.Dense {
+	panic("gnn: GenericLayer supports inference only; implement Layer for training")
+}
+
+// SumAgg is the standard sum aggregation — a sparse-dense product over the
+// real semiring (Section 4.3).
+func SumAgg() AggFunc {
+	return func(psi *sparse.CSR, h *tensor.Dense) *tensor.Dense { return psi.MulDense(h) }
+}
+
+// MaxAgg aggregates with the tropical-max semiring.
+func MaxAgg() AggFunc {
+	return func(psi *sparse.CSR, h *tensor.Dense) *tensor.Dense { return psi.MulDenseMax(h) }
+}
+
+// MinAgg aggregates with the tropical-min semiring.
+func MinAgg() AggFunc {
+	return func(psi *sparse.CSR, h *tensor.Dense) *tensor.Dense { return psi.MulDenseMin(h) }
+}
+
+// MeanAgg aggregates with the ℝ² averaging semiring.
+func MeanAgg() AggFunc {
+	return func(psi *sparse.CSR, h *tensor.Dense) *tensor.Dense { return psi.MulDenseMean(h) }
+}
+
+// LinearPhi returns the projection update Φ(X) = X·W.
+func LinearPhi(w *tensor.Dense) UpdateFunc {
+	return func(x *tensor.Dense) *tensor.Dense { return tensor.MM(x, w) }
+}
+
+// MLPPhi returns an MLP update: alternating projections and non-linearities
+// (the GIN-style Φ of Section 4.4).
+func MLPPhi(act Activation, ws ...*tensor.Dense) UpdateFunc {
+	return func(x *tensor.Dense) *tensor.Dense {
+		for i, w := range ws {
+			x = tensor.MM(x, w)
+			if i < len(ws)-1 {
+				x = x.Apply(act.F)
+			}
+		}
+		return x
+	}
+}
+
+// AdjacencyPsi returns the degenerate Ψ(A, H) = A of C-GNNs.
+func AdjacencyPsi() PsiFunc {
+	return func(a *sparse.CSR, _ *tensor.Dense) *sparse.CSR { return a }
+}
+
+// DotPsi returns VA's Ψ(A, H) = A ⊙ H·Hᵀ.
+func DotPsi() PsiFunc {
+	return func(a *sparse.CSR, h *tensor.Dense) *sparse.CSR {
+		return sparse.SDDMMScaled(a, h, h)
+	}
+}
+
+// SoftmaxDotPsi returns sm(A ⊙ H·Hᵀ) — dot-product attention with
+// neighborhood softmax.
+func SoftmaxDotPsi() PsiFunc {
+	return func(a *sparse.CSR, h *tensor.Dense) *sparse.CSR {
+		return sparse.RowSoftmax(sparse.SDDMMScaled(a, h, h))
+	}
+}

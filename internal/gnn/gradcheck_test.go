@@ -1,0 +1,167 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"agnn/internal/graph"
+	"agnn/internal/sparse"
+	"agnn/internal/tensor"
+)
+
+// testGraph builds a small connected symmetric graph for gradient checks.
+func testGraph(n int, seed int64) *sparse.CSR {
+	return graph.ErdosRenyi(n, 3*n, seed)
+}
+
+// gradCheckModel verifies every parameter gradient and the input-feature
+// gradient of a model against central finite differences of the loss. This
+// is validation strategy #2 of DESIGN.md: the hand-derived backward
+// formulations of Section 5 must match the numerical Jacobian.
+func gradCheckModel(t *testing.T, m *Model, h0 *tensor.Dense, loss Loss, tol float64) {
+	t.Helper()
+	m.ZeroGrad()
+	out := m.Forward(h0, true)
+	_, g := loss.Eval(out)
+	inGrad := m.Backward(g)
+
+	evalLoss := func() float64 {
+		v, _ := loss.Eval(m.Forward(h0, true))
+		return v
+	}
+	const eps = 1e-6
+	check := func(name string, data []float64, analytic []float64) {
+		for i := range data {
+			orig := data[i]
+			data[i] = orig + eps
+			lp := evalLoss()
+			data[i] = orig - eps
+			lm := evalLoss()
+			data[i] = orig
+			num := (lp - lm) / (2 * eps)
+			if math.Abs(num-analytic[i]) > tol*(1+math.Abs(num)) {
+				t.Fatalf("%s[%d]: analytic %v vs numeric %v", name, i, analytic[i], num)
+			}
+		}
+	}
+	for _, p := range m.Params() {
+		check(p.Name, p.Value.Data, p.Grad.Data)
+	}
+	check("input", h0.Data, inGrad.Data)
+}
+
+func modelForGradcheck(t *testing.T, kind Kind, seed int64) (*Model, *tensor.Dense) {
+	t.Helper()
+	a := testGraph(10, seed)
+	cfg := Config{
+		Model: kind, Layers: 2, InDim: 3, HiddenDim: 4, OutDim: 2,
+		Activation: Tanh(), // smooth activation so finite differences are clean
+		SelfLoops:  true,
+		Seed:       seed,
+	}
+	m, err := New(cfg, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0 := tensor.RandN(10, 3, 0.8, rand.New(rand.NewSource(seed+100)))
+	return m, h0
+}
+
+func TestGradCheckVA(t *testing.T) {
+	m, h0 := modelForGradcheck(t, VA, 1)
+	loss := &CrossEntropyLoss{Labels: []int{0, 1, 0, 1, 0, 1, 0, 1, 0, 1}}
+	gradCheckModel(t, m, h0, loss, 2e-4)
+}
+
+func TestGradCheckVAReferenceBackward(t *testing.T) {
+	m, h0 := modelForGradcheck(t, VA, 2)
+	for _, l := range m.Layers {
+		l.(*VALayer).UseReferenceBackward = true
+	}
+	loss := &MSELoss{Target: tensor.RandN(10, 2, 1, rand.New(rand.NewSource(7)))}
+	gradCheckModel(t, m, h0, loss, 2e-4)
+}
+
+func TestGradCheckAGNN(t *testing.T) {
+	m, h0 := modelForGradcheck(t, AGNN, 3)
+	loss := &CrossEntropyLoss{Labels: []int{1, 0, 1, 0, 1, 0, 1, 0, 1, 0}}
+	gradCheckModel(t, m, h0, loss, 5e-4)
+}
+
+func TestGradCheckGAT(t *testing.T) {
+	m, h0 := modelForGradcheck(t, GAT, 4)
+	loss := &CrossEntropyLoss{Labels: []int{0, 0, 1, 1, 0, 0, 1, 1, 0, 0}}
+	gradCheckModel(t, m, h0, loss, 5e-4)
+}
+
+func TestGradCheckGCN(t *testing.T) {
+	m, h0 := modelForGradcheck(t, GCN, 5)
+	loss := &MSELoss{Target: tensor.RandN(10, 2, 1, rand.New(rand.NewSource(8)))}
+	gradCheckModel(t, m, h0, loss, 2e-4)
+}
+
+func TestGradCheckSingleLayerMSE(t *testing.T) {
+	// One-layer variants catch sign errors that two-layer chains can mask.
+	for _, kind := range []Kind{VA, AGNN, GAT, GCN} {
+		a := testGraph(8, 11)
+		cfg := Config{Model: kind, Layers: 1, InDim: 3, HiddenDim: 3, OutDim: 3,
+			Activation: Tanh(), SelfLoops: true, Seed: 11}
+		m, err := New(cfg, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h0 := tensor.RandN(8, 3, 1, rand.New(rand.NewSource(12)))
+		loss := &MSELoss{Target: tensor.RandN(8, 3, 1, rand.New(rand.NewSource(13)))}
+		gradCheckModel(t, m, h0, loss, 3e-4)
+	}
+}
+
+// TestVAFusedBackwardMatchesReference asserts that the Eq.-(11) fused
+// backward pass and the op-by-op VJP composition produce identical
+// gradients — validation strategy #4 of DESIGN.md.
+func TestVAFusedBackwardMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	a := testGraph(30, 21)
+	at := a.Transpose()
+	h0 := tensor.RandN(30, 5, 1, rng)
+	gOut := tensor.RandN(30, 4, 1, rng)
+
+	mk := func(ref bool) (*VALayer, *tensor.Dense) {
+		l := NewVALayer(a, at, 5, 4, Tanh(), rand.New(rand.NewSource(22)))
+		l.UseReferenceBackward = ref
+		l.Forward(h0, true)
+		return l, l.Backward(gOut)
+	}
+	fused, gFused := mk(false)
+	ref, gRef := mk(true)
+	if !gFused.ApproxEqual(gRef, 1e-10) {
+		t.Fatalf("input grads differ by %g", gFused.MaxAbsDiff(gRef))
+	}
+	if !fused.W.Grad.ApproxEqual(ref.W.Grad, 1e-10) {
+		t.Fatalf("W grads differ by %g", fused.W.Grad.MaxAbsDiff(ref.W.Grad))
+	}
+}
+
+func TestBackwardBeforeForwardPanics(t *testing.T) {
+	a := testGraph(5, 30)
+	at := a.Transpose()
+	rng := rand.New(rand.NewSource(31))
+	g := tensor.NewDense(5, 2)
+	layers := []Layer{
+		NewVALayer(a, at, 2, 2, ReLU(), rng),
+		NewAGNNLayer(a, at, 2, 2, ReLU(), rng),
+		NewGATLayer(a, at, 2, 2, ReLU(), 0.2, rng),
+		NewGCNLayer(a, at, 2, 2, ReLU(), rng),
+	}
+	for _, l := range layers {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: Backward before Forward must panic", l.Name())
+				}
+			}()
+			l.Backward(g)
+		}()
+	}
+}

@@ -1,0 +1,115 @@
+package gnn
+
+import (
+	"fmt"
+
+	"agnn/internal/par"
+	"agnn/internal/sparse"
+	"agnn/internal/tensor"
+)
+
+// Graph Networks (Battaglia et al.) — the conclusion's "models outside the
+// A-GNN family" that the global formulation extends to. A GN block carries
+// three feature sets: per-edge vectors (aligned with the adjacency
+// pattern's non-zeros, the same alignment trick the sparse attention
+// matrices use), per-vertex vectors, and a global vector; one block applies
+// an edge update, a per-vertex aggregation of the updated edges, a vertex
+// update, and a global update. This implementation targets inference (like
+// GenericLayer); the built-in A-GNNs remain the trained models.
+
+// EdgeFeatures stores an f-dimensional feature vector per stored entry of
+// a sparsity pattern, in the pattern's nnz order.
+type EdgeFeatures struct {
+	Pat  *sparse.CSR
+	Dim  int
+	Data []float64 // len NNZ × Dim
+}
+
+// NewEdgeFeatures allocates zeroed edge features over a pattern.
+func NewEdgeFeatures(pat *sparse.CSR, dim int) *EdgeFeatures {
+	return &EdgeFeatures{Pat: pat, Dim: dim, Data: make([]float64, pat.NNZ()*dim)}
+}
+
+// At returns the feature slice of edge index p (aliasing storage).
+func (e *EdgeFeatures) At(p int) []float64 { return e.Data[p*e.Dim : (p+1)*e.Dim] }
+
+// GraphNetBlock is one GN block. All update functions write into out (whose
+// length defines the respective output dimensionality).
+type GraphNetBlock struct {
+	A *sparse.CSR
+
+	// EdgeUpdate computes e'_ij from (e_ij, h_i, h_j, u).
+	EdgeUpdate func(out, e, hi, hj, u []float64)
+	EdgeOutDim int
+
+	// VertexUpdate computes h'_i from (h_i, agg_i, u) where agg_i is the
+	// element-wise sum of i's updated out-edge features.
+	VertexUpdate func(out, h, agg, u []float64)
+	VertexOutDim int
+
+	// GlobalUpdate computes u' from (u, meanH', meanE'); nil keeps u.
+	GlobalUpdate func(out, u, meanH, meanE []float64)
+	GlobalOutDim int
+}
+
+// Forward applies the block and returns (E', H', u').
+func (b *GraphNetBlock) Forward(e *EdgeFeatures, h *tensor.Dense, u []float64) (*EdgeFeatures, *tensor.Dense, []float64) {
+	if b.EdgeUpdate == nil || b.VertexUpdate == nil {
+		panic("gnn: GraphNetBlock needs EdgeUpdate and VertexUpdate")
+	}
+	if e.Pat != b.A && !e.Pat.SamePattern(b.A) {
+		panic("gnn: edge features not aligned with the block's adjacency")
+	}
+	if h.Rows != b.A.Rows {
+		panic(fmt.Sprintf("gnn: %d feature rows for %d vertices", h.Rows, b.A.Rows))
+	}
+	a := b.A
+	eOut := NewEdgeFeatures(a, b.EdgeOutDim)
+	// Edge update, parallel over rows (all touched edges are row-local).
+	par.RangeWeighted(a.Rows, func(i int) int64 { return int64(a.RowNNZ(i)) }, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hi_ := h.Row(i)
+			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+				b.EdgeUpdate(eOut.At(int(p)), e.At(int(p)), hi_, h.Row(int(a.Col[p])), u)
+			}
+		}
+	})
+	// Vertex update with summed out-edge aggregation.
+	hOut := tensor.NewDense(a.Rows, b.VertexOutDim)
+	par.RangeWeighted(a.Rows, func(i int) int64 { return int64(a.RowNNZ(i)) }, func(worker, lo, hi int) {
+		agg := make([]float64, b.EdgeOutDim)
+		for i := lo; i < hi; i++ {
+			for t := range agg {
+				agg[t] = 0
+			}
+			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+				row := eOut.At(int(p))
+				for t, v := range row {
+					agg[t] += v
+				}
+			}
+			b.VertexUpdate(hOut.Row(i), h.Row(i), agg, u)
+		}
+	})
+	// Global update from the means of the new vertex and edge features.
+	uOut := u
+	if b.GlobalUpdate != nil {
+		meanH := tensor.SumT(hOut)
+		for t := range meanH {
+			meanH[t] /= float64(max(1, hOut.Rows))
+		}
+		meanE := make([]float64, b.EdgeOutDim)
+		for p := 0; p < a.NNZ(); p++ {
+			row := eOut.At(p)
+			for t, v := range row {
+				meanE[t] += v
+			}
+		}
+		for t := range meanE {
+			meanE[t] /= float64(max(1, a.NNZ()))
+		}
+		uOut = make([]float64, b.GlobalOutDim)
+		b.GlobalUpdate(uOut, u, meanH, meanE)
+	}
+	return eOut, hOut, uOut
+}

@@ -1,0 +1,130 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"agnn/internal/tensor"
+)
+
+func TestCrossEntropyKnownValue(t *testing.T) {
+	// Two vertices, two classes; uniform logits → loss = ln 2 each.
+	out := tensor.NewDense(2, 2)
+	loss := &CrossEntropyLoss{Labels: []int{0, 1}}
+	v, g := loss.Eval(out)
+	if math.Abs(v-math.Log(2)) > 1e-12 {
+		t.Fatalf("loss = %v, want ln2", v)
+	}
+	// Gradient: (softmax - onehot)/count = ±0.25.
+	want := tensor.NewDenseFrom(2, 2, []float64{-0.25, 0.25, 0.25, -0.25})
+	if !g.ApproxEqual(want, 1e-12) {
+		t.Fatalf("grad = %v", g)
+	}
+}
+
+func TestCrossEntropyMask(t *testing.T) {
+	out := tensor.NewDenseFrom(2, 2, []float64{10, -10, -10, 10})
+	loss := &CrossEntropyLoss{Labels: []int{0, 0}, Mask: []bool{true, false}}
+	v, g := loss.Eval(out)
+	if v > 1e-6 {
+		t.Fatalf("masked loss = %v, want ≈0 (vertex 0 is correct)", v)
+	}
+	for j := 0; j < 2; j++ {
+		if g.At(1, j) != 0 {
+			t.Fatal("masked vertex must have zero gradient")
+		}
+	}
+}
+
+func TestCrossEntropyAllMasked(t *testing.T) {
+	out := tensor.NewDense(2, 2)
+	loss := &CrossEntropyLoss{Labels: []int{0, 1}, Mask: []bool{false, false}}
+	v, g := loss.Eval(out)
+	if v != 0 || g.FrobeniusNorm() != 0 {
+		t.Fatal("all-masked loss must be zero")
+	}
+}
+
+func TestCrossEntropyGradFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	out := tensor.RandN(5, 4, 1, rng)
+	labels := []int{1, 3, 0, 2, 2}
+	loss := &CrossEntropyLoss{Labels: labels}
+	_, g := loss.Eval(out)
+	const eps = 1e-6
+	for i := range out.Data {
+		out.Data[i] += eps
+		lp, _ := loss.Eval(out)
+		out.Data[i] -= 2 * eps
+		lm, _ := loss.Eval(out)
+		out.Data[i] += eps
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-g.Data[i]) > 1e-6 {
+			t.Fatalf("CE grad[%d] = %v, finite diff %v", i, g.Data[i], num)
+		}
+	}
+}
+
+func TestCrossEntropyPanics(t *testing.T) {
+	out := tensor.NewDense(2, 2)
+	for name, l := range map[string]*CrossEntropyLoss{
+		"label count": {Labels: []int{0}},
+		"bad label":   {Labels: []int{0, 5}},
+		"mask length": {Labels: []int{0, 1}, Mask: []bool{true}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			l.Eval(out)
+		}()
+	}
+}
+
+func TestMSELoss(t *testing.T) {
+	pred := tensor.NewDenseFrom(1, 2, []float64{1, 3})
+	target := tensor.NewDenseFrom(1, 2, []float64{0, 1})
+	loss := &MSELoss{Target: target}
+	v, g := loss.Eval(pred)
+	if math.Abs(v-2.5) > 1e-12 { // (1 + 4)/2
+		t.Fatalf("MSE = %v", v)
+	}
+	if math.Abs(g.At(0, 0)-1) > 1e-12 || math.Abs(g.At(0, 1)-2) > 1e-12 {
+		t.Fatalf("MSE grad = %v", g)
+	}
+}
+
+func TestMSEGradFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pred := tensor.RandN(3, 3, 1, rng)
+	loss := &MSELoss{Target: tensor.RandN(3, 3, 1, rng)}
+	_, g := loss.Eval(pred)
+	const eps = 1e-6
+	for i := range pred.Data {
+		pred.Data[i] += eps
+		lp, _ := loss.Eval(pred)
+		pred.Data[i] -= 2 * eps
+		lm, _ := loss.Eval(pred)
+		pred.Data[i] += eps
+		if num := (lp - lm) / (2 * eps); math.Abs(num-g.Data[i]) > 1e-6 {
+			t.Fatalf("MSE grad[%d] mismatch", i)
+		}
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	out := tensor.NewDenseFrom(3, 2, []float64{2, 1, 0, 5, 1, 0})
+	labels := []int{0, 1, 1}
+	if got := Accuracy(out, labels, nil); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("accuracy = %v", got)
+	}
+	if got := Accuracy(out, labels, []bool{true, true, false}); got != 1 {
+		t.Fatalf("masked accuracy = %v", got)
+	}
+	if got := Accuracy(out, labels, []bool{false, false, false}); got != 0 {
+		t.Fatalf("empty-mask accuracy = %v", got)
+	}
+}

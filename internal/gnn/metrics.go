@@ -1,0 +1,180 @@
+package gnn
+
+import (
+	"fmt"
+	"math"
+
+	"agnn/internal/tensor"
+)
+
+// Evaluation metrics beyond plain accuracy, for the downstream ML tasks the
+// final GNN layer feeds (Section 2).
+
+// ConfusionMatrix returns the classes×classes count matrix C with C[y][ŷ] =
+// number of (masked) vertices of true class y predicted as ŷ.
+func ConfusionMatrix(out *tensor.Dense, labels []int, mask []bool, classes int) [][]int {
+	cm := make([][]int, classes)
+	for i := range cm {
+		cm[i] = make([]int, classes)
+	}
+	for i := 0; i < out.Rows; i++ {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		row := out.Row(i)
+		pred := 0
+		for j, v := range row {
+			if v > row[pred] {
+				pred = j
+			}
+		}
+		cm[labels[i]][pred]++
+	}
+	return cm
+}
+
+// F1Scores computes the per-class F1 from a confusion matrix, plus the
+// macro (unweighted class mean) and micro (global) averages. Classes with
+// no support and no predictions get F1 = 0.
+func F1Scores(cm [][]int) (perClass []float64, macro, micro float64) {
+	classes := len(cm)
+	perClass = make([]float64, classes)
+	var tpTotal, fpTotal, fnTotal int
+	nonEmpty := 0
+	for c := 0; c < classes; c++ {
+		tp := cm[c][c]
+		fn, fp := 0, 0
+		for j := 0; j < classes; j++ {
+			if j != c {
+				fn += cm[c][j]
+				fp += cm[j][c]
+			}
+		}
+		tpTotal += tp
+		fpTotal += fp
+		fnTotal += fn
+		if tp+fp+fn == 0 {
+			continue
+		}
+		nonEmpty++
+		perClass[c] = 2 * float64(tp) / float64(2*tp+fp+fn)
+		macro += perClass[c]
+	}
+	if nonEmpty > 0 {
+		macro /= float64(nonEmpty)
+	}
+	if tpTotal+fpTotal+fnTotal > 0 {
+		micro = 2 * float64(tpTotal) / float64(2*tpTotal+fpTotal+fnTotal)
+	}
+	return perClass, macro, micro
+}
+
+// Schedule adjusts a learning rate across epochs.
+type Schedule interface {
+	// LR returns the learning rate for 0-indexed epoch e.
+	LR(e int) float64
+	Name() string
+}
+
+// ConstantLR is the trivial schedule.
+type ConstantLR float64
+
+// LR implements Schedule.
+func (c ConstantLR) LR(int) float64 { return float64(c) }
+
+// Name implements Schedule.
+func (c ConstantLR) Name() string { return "constant" }
+
+// StepLR multiplies the base rate by Gamma every StepSize epochs.
+type StepLR struct {
+	Base     float64
+	StepSize int
+	Gamma    float64
+}
+
+// LR implements Schedule.
+func (s StepLR) LR(e int) float64 {
+	lr := s.Base
+	for i := s.StepSize; i <= e; i += s.StepSize {
+		lr *= s.Gamma
+	}
+	return lr
+}
+
+// Name implements Schedule.
+func (s StepLR) Name() string { return "step" }
+
+// CosineLR anneals from Base to Min over Span epochs (then stays at Min).
+type CosineLR struct {
+	Base, Min float64
+	Span      int
+}
+
+// LR implements Schedule.
+func (s CosineLR) LR(e int) float64 {
+	if e >= s.Span {
+		return s.Min
+	}
+	t := float64(e) / float64(s.Span)
+	return s.Min + (s.Base-s.Min)*0.5*(1+math.Cos(math.Pi*t))
+}
+
+// Name implements Schedule.
+func (s CosineLR) Name() string { return "cosine" }
+
+// EarlyStopper tracks a validation metric and reports when to stop:
+// Patience epochs without improvement of at least MinDelta.
+type EarlyStopper struct {
+	Patience int
+	MinDelta float64
+	Mode     string // "min" (loss) or "max" (accuracy)
+
+	best    float64
+	bad     int
+	started bool
+}
+
+// Step records an epoch's metric and returns true when training should
+// stop.
+func (e *EarlyStopper) Step(metric float64) bool {
+	if e.Mode != "min" && e.Mode != "max" {
+		panic(fmt.Sprintf("gnn: EarlyStopper mode %q", e.Mode))
+	}
+	improved := false
+	if !e.started {
+		e.started = true
+		improved = true
+	} else if e.Mode == "min" && metric < e.best-e.MinDelta {
+		improved = true
+	} else if e.Mode == "max" && metric > e.best+e.MinDelta {
+		improved = true
+	}
+	if improved {
+		e.best = metric
+		e.bad = 0
+		return false
+	}
+	e.bad++
+	return e.bad >= e.Patience
+}
+
+// Best returns the best metric seen so far.
+func (e *EarlyStopper) Best() float64 { return e.best }
+
+// TrainWithSchedule runs full-batch training with a per-epoch learning-rate
+// schedule (applied to an SGD optimizer) and optional early stopping on the
+// training loss. Returns the loss history.
+func (m *Model) TrainWithSchedule(h *tensor.Dense, loss Loss, sched Schedule,
+	momentum float64, epochs int, stopper *EarlyStopper) []float64 {
+	opt := NewSGD(sched.LR(0), momentum)
+	var hist []float64
+	for e := 0; e < epochs; e++ {
+		opt.LR = sched.LR(e)
+		l := m.TrainStep(h, loss, opt)
+		hist = append(hist, l)
+		if stopper != nil && stopper.Step(l) {
+			break
+		}
+	}
+	return hist
+}

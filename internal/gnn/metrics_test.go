@@ -1,0 +1,143 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"agnn/internal/tensor"
+)
+
+func TestConfusionMatrix(t *testing.T) {
+	// 3 vertices, 2 classes: true = [0,1,1], preds = [0,0,1].
+	out := tensor.NewDenseFrom(3, 2, []float64{2, 1, 5, 0, 1, 4})
+	cm := ConfusionMatrix(out, []int{0, 1, 1}, nil, 2)
+	if cm[0][0] != 1 || cm[1][0] != 1 || cm[1][1] != 1 || cm[0][1] != 0 {
+		t.Fatalf("confusion matrix %v", cm)
+	}
+	// Mask out the misclassified vertex.
+	cm = ConfusionMatrix(out, []int{0, 1, 1}, []bool{true, false, true}, 2)
+	if cm[1][0] != 0 || cm[1][1] != 1 {
+		t.Fatalf("masked confusion matrix %v", cm)
+	}
+}
+
+func TestF1Scores(t *testing.T) {
+	// Perfect predictions → all F1 = 1.
+	cm := [][]int{{5, 0}, {0, 7}}
+	per, macro, micro := F1Scores(cm)
+	if per[0] != 1 || per[1] != 1 || macro != 1 || micro != 1 {
+		t.Fatalf("perfect F1 = %v %v %v", per, macro, micro)
+	}
+	// Known case: class 0: tp=2 fp=1 fn=1 → F1 = 2·2/(4+1+1) = 2/3;
+	// class 1: tp=3 fp=1 fn=1 → 0.75.
+	cm = [][]int{{2, 1}, {1, 3}}
+	per, macro, micro = F1Scores(cm)
+	if math.Abs(per[0]-2.0/3) > 1e-12 || math.Abs(per[1]-0.75) > 1e-12 {
+		t.Fatalf("per-class F1 = %v", per)
+	}
+	if math.Abs(macro-(2.0/3+0.75)/2) > 1e-12 {
+		t.Fatalf("macro F1 = %v", macro)
+	}
+	// Micro = 2·5/(10+2+2) = 10/14.
+	if math.Abs(micro-10.0/14) > 1e-12 {
+		t.Fatalf("micro F1 = %v", micro)
+	}
+	// Empty class contributes nothing to macro.
+	cm = [][]int{{2, 0, 0}, {0, 2, 0}, {0, 0, 0}}
+	_, macro, _ = F1Scores(cm)
+	if macro != 1 {
+		t.Fatalf("macro with empty class = %v", macro)
+	}
+}
+
+func TestSchedules(t *testing.T) {
+	c := ConstantLR(0.1)
+	if c.LR(0) != 0.1 || c.LR(100) != 0.1 || c.Name() != "constant" {
+		t.Fatal("ConstantLR wrong")
+	}
+	s := StepLR{Base: 1, StepSize: 10, Gamma: 0.5}
+	if s.LR(0) != 1 || s.LR(9) != 1 || s.LR(10) != 0.5 || s.LR(25) != 0.25 {
+		t.Fatalf("StepLR: %v %v %v", s.LR(9), s.LR(10), s.LR(25))
+	}
+	cos := CosineLR{Base: 1, Min: 0.1, Span: 100}
+	if cos.LR(0) != 1 {
+		t.Fatalf("cosine start %v", cos.LR(0))
+	}
+	if math.Abs(cos.LR(50)-0.55) > 1e-12 {
+		t.Fatalf("cosine midpoint %v", cos.LR(50))
+	}
+	if cos.LR(100) != 0.1 || cos.LR(500) != 0.1 {
+		t.Fatal("cosine tail wrong")
+	}
+	// Monotone decreasing over the span.
+	for e := 1; e < 100; e++ {
+		if cos.LR(e) > cos.LR(e-1)+1e-12 {
+			t.Fatalf("cosine not monotone at %d", e)
+		}
+	}
+}
+
+func TestEarlyStopper(t *testing.T) {
+	es := &EarlyStopper{Patience: 2, MinDelta: 0.01, Mode: "min"}
+	seq := []float64{1.0, 0.8, 0.79, 0.795, 0.80}
+	var stoppedAt int
+	for i, v := range seq {
+		if es.Step(v) {
+			stoppedAt = i
+			break
+		}
+	}
+	// 0.8 improves, 0.79 improves (>0.01? 0.8-0.79=0.01 → NOT > MinDelta...
+	// improvement needs metric < best-MinDelta = 0.79; 0.79 is not <0.79 →
+	// bad=1; 0.795 bad=2 → stop at index 3.
+	if stoppedAt != 3 {
+		t.Fatalf("stopped at %d", stoppedAt)
+	}
+	if es.Best() != 0.8 {
+		t.Fatalf("best = %v", es.Best())
+	}
+	// Max mode.
+	es = &EarlyStopper{Patience: 1, Mode: "max"}
+	if es.Step(0.5) {
+		t.Fatal("first step must not stop")
+	}
+	if !es.Step(0.4) {
+		t.Fatal("no improvement with patience 1 must stop")
+	}
+	// Bad mode panics.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad mode accepted")
+		}
+	}()
+	(&EarlyStopper{Mode: "sideways"}).Step(1)
+}
+
+func TestTrainWithScheduleAndEarlyStop(t *testing.T) {
+	a := testGraph(20, 300)
+	m, err := New(Config{Model: GCN, Layers: 2, InDim: 4, HiddenDim: 6, OutDim: 2,
+		Activation: ReLU(), Seed: 301}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := tensor.RandN(20, 4, 1, rand.New(rand.NewSource(302)))
+	labels := make([]int, 20)
+	for i := range labels {
+		labels[i] = i % 2
+		h.Set(i, labels[i], h.At(i, labels[i])+1)
+	}
+	loss := &CrossEntropyLoss{Labels: labels}
+	hist := m.TrainWithSchedule(h, loss, CosineLR{Base: 0.1, Min: 0.001, Span: 40},
+		0.9, 40, nil)
+	if len(hist) != 40 || hist[39] >= hist[0] {
+		t.Fatalf("scheduled training failed: %d epochs, %v → %v", len(hist), hist[0], hist[len(hist)-1])
+	}
+	// Early stopping cuts training short on a plateau (zero LR → no change).
+	m2, _ := New(Config{Model: GCN, Layers: 1, InDim: 4, HiddenDim: 4, OutDim: 2, Seed: 303}, a)
+	hist = m2.TrainWithSchedule(h, loss, ConstantLR(0), 0, 50,
+		&EarlyStopper{Patience: 3, Mode: "min"})
+	if len(hist) >= 50 {
+		t.Fatalf("early stopping did not trigger: %d epochs", len(hist))
+	}
+}

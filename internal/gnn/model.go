@@ -1,0 +1,122 @@
+package gnn
+
+import (
+	"fmt"
+	"strings"
+
+	"agnn/internal/tensor"
+)
+
+// Layer is one GNN layer: H_out = σ(Z(A, H_in, params)). Forward with
+// training == true caches whatever intermediates the backward pass needs
+// (Ψ, Z, projected features …), matching the paper's GnnLayer classes whose
+// forward methods "allow caching of intermediate results for training";
+// with training == false layers may use fused inference-only kernels that
+// never materialize the attention matrix.
+type Layer interface {
+	// Forward computes the layer output σ(Z).
+	Forward(h *tensor.Dense, training bool) *tensor.Dense
+	// Backward consumes ∂L/∂H_out, accumulates parameter gradients, and
+	// returns ∂L/∂H_in. It must be called after a training-mode Forward.
+	Backward(gOut *tensor.Dense) *tensor.Dense
+	// Params returns the layer's trainable parameters.
+	Params() []*Param
+	// Name identifies the layer kind for reporting.
+	Name() string
+}
+
+// Model is a stack of GNN layers trained full-batch.
+type Model struct {
+	Layers []Layer
+}
+
+// Forward runs all layers on the input feature matrix.
+func (m *Model) Forward(h *tensor.Dense, training bool) *tensor.Dense {
+	for _, l := range m.Layers {
+		h = l.Forward(h, training)
+	}
+	return h
+}
+
+// Backward propagates ∇_{H^L}L through all layers in reverse, accumulating
+// parameter gradients, and returns the gradient with respect to the input
+// features (useful for gradient checking and for stacking models).
+func (m *Model) Backward(g *tensor.Dense) *tensor.Dense {
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		g = m.Layers[i].Backward(g)
+	}
+	return g
+}
+
+// Params returns all trainable parameters, layer order preserved.
+func (m *Model) Params() []*Param {
+	var ps []*Param
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears all parameter gradients.
+func (m *Model) ZeroGrad() {
+	for _, p := range m.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// NumParams returns the total number of trainable scalars.
+func (m *Model) NumParams() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += p.NumElements()
+	}
+	return n
+}
+
+// TrainStep runs one full-batch training iteration — forward, loss,
+// backward, optimizer step — and returns the loss value.
+func (m *Model) TrainStep(h *tensor.Dense, loss Loss, opt Optimizer) float64 {
+	m.ZeroGrad()
+	out := m.Forward(h, true)
+	val, g := loss.Eval(out)
+	m.Backward(g)
+	opt.Step(m.Params())
+	return val
+}
+
+// Train runs epochs full-batch training iterations and returns the loss
+// trajectory.
+func (m *Model) Train(h *tensor.Dense, loss Loss, opt Optimizer, epochs int) []float64 {
+	hist := make([]float64, 0, epochs)
+	for e := 0; e < epochs; e++ {
+		hist = append(hist, m.TrainStep(h, loss, opt))
+	}
+	return hist
+}
+
+// Summary renders a human-readable table of the model's layers and
+// parameter shapes (the quick architecture sanity check every framework
+// grows eventually).
+func (m *Model) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %-16s %-24s %10s\n", "layer", "kind", "parameters", "#scalars")
+	total := 0
+	for i, l := range m.Layers {
+		names := ""
+		count := 0
+		for _, p := range l.Params() {
+			if names != "" {
+				names += " "
+			}
+			names += fmt.Sprintf("%s[%d×%d]", p.Name, p.Value.Rows, p.Value.Cols)
+			count += p.NumElements()
+		}
+		if names == "" {
+			names = "—"
+		}
+		fmt.Fprintf(&b, "%-5d %-16s %-24s %10d\n", i, l.Name(), names, count)
+		total += count
+	}
+	fmt.Fprintf(&b, "total %d trainable scalars\n", total)
+	return b.String()
+}

@@ -1,0 +1,101 @@
+package gnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"agnn/internal/sparse"
+	"agnn/internal/tensor"
+)
+
+// MultiHeadGATLayer is the K-head extension of GAT from Veličković et al.,
+// one of the paper's "models beyond those considered" that the global
+// formulation covers for free: each head h runs the single-head global
+// pipeline with its own (W_h, a_h) parameters, and the head outputs are
+// either concatenated (hidden layers) or averaged (final layer). Because σ
+// is element-wise, σ(concat) = concat(σ), so the layer simply fans the
+// gradient slices back into the per-head backward passes.
+type MultiHeadGATLayer struct {
+	Heads   []*GATLayer
+	Concat  bool // true: concat head outputs (out = heads·headDim); false: average
+	headDim int
+}
+
+// NewMultiHeadGATLayer builds a K-head GAT layer. With Concat the output
+// dimensionality is heads·headDim; with averaging it is headDim.
+func NewMultiHeadGATLayer(a, at *sparse.CSR, inDim, headDim, heads int, concat bool,
+	act Activation, negSlope float64, rng *rand.Rand) *MultiHeadGATLayer {
+	if heads < 1 {
+		panic(fmt.Sprintf("gnn: %d heads", heads))
+	}
+	l := &MultiHeadGATLayer{Concat: concat, headDim: headDim}
+	for h := 0; h < heads; h++ {
+		l.Heads = append(l.Heads, NewGATLayer(a, at, inDim, headDim, act, negSlope, rng))
+	}
+	return l
+}
+
+// Name implements Layer.
+func (l *MultiHeadGATLayer) Name() string { return "gat-multihead" }
+
+// Params implements Layer.
+func (l *MultiHeadGATLayer) Params() []*Param {
+	var ps []*Param
+	for _, h := range l.Heads {
+		ps = append(ps, h.Params()...)
+	}
+	return ps
+}
+
+// OutDim returns the layer's output dimensionality.
+func (l *MultiHeadGATLayer) OutDim() int {
+	if l.Concat {
+		return len(l.Heads) * l.headDim
+	}
+	return l.headDim
+}
+
+// Forward implements Layer.
+func (l *MultiHeadGATLayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {
+	outs := make([]*tensor.Dense, len(l.Heads))
+	for i, head := range l.Heads {
+		outs[i] = head.Forward(h, training)
+	}
+	if l.Concat {
+		out := tensor.NewDense(h.Rows, len(l.Heads)*l.headDim)
+		for i, o := range outs {
+			for r := 0; r < h.Rows; r++ {
+				copy(out.Row(r)[i*l.headDim:(i+1)*l.headDim], o.Row(r))
+			}
+		}
+		return out
+	}
+	out := outs[0].Clone()
+	for _, o := range outs[1:] {
+		out.AddInPlace(o)
+	}
+	return out.ScaleInPlace(1 / float64(len(l.Heads)))
+}
+
+// Backward implements Layer.
+func (l *MultiHeadGATLayer) Backward(gOut *tensor.Dense) *tensor.Dense {
+	var gIn *tensor.Dense
+	for i, head := range l.Heads {
+		var gHead *tensor.Dense
+		if l.Concat {
+			gHead = tensor.NewDense(gOut.Rows, l.headDim)
+			for r := 0; r < gOut.Rows; r++ {
+				copy(gHead.Row(r), gOut.Row(r)[i*l.headDim:(i+1)*l.headDim])
+			}
+		} else {
+			gHead = gOut.Scale(1 / float64(len(l.Heads)))
+		}
+		g := head.Backward(gHead)
+		if gIn == nil {
+			gIn = g
+		} else {
+			gIn.AddInPlace(g)
+		}
+	}
+	return gIn
+}

@@ -1,0 +1,149 @@
+package gnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"agnn/internal/tensor"
+)
+
+func TestMultiHeadShapes(t *testing.T) {
+	a := testGraph(12, 60)
+	at := a.Transpose()
+	rng := rand.New(rand.NewSource(61))
+	h := tensor.RandN(12, 5, 1, rng)
+
+	concat := NewMultiHeadGATLayer(a, at, 5, 4, 3, true, Tanh(), 0.2, rng)
+	if concat.OutDim() != 12 {
+		t.Fatalf("concat OutDim = %d", concat.OutDim())
+	}
+	out := concat.Forward(h, false)
+	if out.Rows != 12 || out.Cols != 12 {
+		t.Fatalf("concat output %d×%d", out.Rows, out.Cols)
+	}
+
+	avg := NewMultiHeadGATLayer(a, at, 5, 4, 3, false, Tanh(), 0.2, rng)
+	if avg.OutDim() != 4 {
+		t.Fatalf("avg OutDim = %d", avg.OutDim())
+	}
+	out = avg.Forward(h, false)
+	if out.Cols != 4 {
+		t.Fatalf("avg output cols %d", out.Cols)
+	}
+	if got := len(concat.Params()); got != 9 { // 3 heads × (W, a1, a2)
+		t.Fatalf("params = %d", got)
+	}
+	if concat.Name() != "gat-multihead" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestMultiHeadSingleHeadEqualsGAT(t *testing.T) {
+	// One concat head must behave exactly like a plain GAT layer.
+	a := testGraph(15, 62)
+	at := a.Transpose()
+	h := tensor.RandN(15, 4, 1, rand.New(rand.NewSource(63)))
+	mh := NewMultiHeadGATLayer(a, at, 4, 3, 1, true, Tanh(), 0.2, rand.New(rand.NewSource(64)))
+	plain := NewGATLayer(a, at, 4, 3, Tanh(), 0.2, rand.New(rand.NewSource(64)))
+	if !mh.Forward(h, false).ApproxEqual(plain.Forward(h, false), 1e-12) {
+		t.Fatal("1-head multi-head != single-head GAT")
+	}
+}
+
+func TestMultiHeadAverageIsHeadMean(t *testing.T) {
+	a := testGraph(10, 65)
+	at := a.Transpose()
+	h := tensor.RandN(10, 4, 1, rand.New(rand.NewSource(66)))
+	mh := NewMultiHeadGATLayer(a, at, 4, 3, 4, false, Tanh(), 0.2, rand.New(rand.NewSource(67)))
+	out := mh.Forward(h, false)
+	want := tensor.NewDense(10, 3)
+	for _, head := range mh.Heads {
+		want.AddInPlace(head.Forward(h, false))
+	}
+	want.ScaleInPlace(0.25)
+	if !out.ApproxEqual(want, 1e-12) {
+		t.Fatal("average != mean of head outputs")
+	}
+}
+
+func TestMultiHeadGradCheck(t *testing.T) {
+	// Full finite-difference validation of the multi-head backward pass,
+	// both concat and average variants, stacked into a 2-layer model.
+	a := testGraph(8, 68)
+	at := a.Transpose()
+	rng := rand.New(rand.NewSource(69))
+	l1 := NewMultiHeadGATLayer(a, at, 3, 2, 2, true, Tanh(), 0.2, rng) // out 4
+	l2 := NewMultiHeadGATLayer(a, at, 4, 2, 3, false, Identity(), 0.2, rng)
+	m := &Model{Layers: []Layer{l1, l2}}
+	h0 := tensor.RandN(8, 3, 0.8, rng)
+	loss := &MSELoss{Target: tensor.RandN(8, 2, 1, rng)}
+	gradCheckModel(t, m, h0, loss, 5e-4)
+}
+
+func TestMultiHeadTrainsOnClassification(t *testing.T) {
+	a := testGraph(30, 70)
+	at := a.Transpose()
+	rng := rand.New(rand.NewSource(71))
+	m := &Model{Layers: []Layer{
+		NewMultiHeadGATLayer(a, at, 6, 4, 2, true, ELU(1), 0.2, rng), // out 8
+		NewMultiHeadGATLayer(a, at, 8, 3, 2, false, Identity(), 0.2, rng),
+	}}
+	h := tensor.RandN(30, 6, 0.5, rng)
+	labels := make([]int, 30)
+	for i := range labels {
+		labels[i] = i % 3
+		h.Set(i, labels[i], h.At(i, labels[i])+1)
+	}
+	hist := m.Train(h, &CrossEntropyLoss{Labels: labels}, NewAdam(0.02), 30)
+	if hist[len(hist)-1] >= 0.8*hist[0] {
+		t.Fatalf("multi-head training did not reduce loss: %v → %v", hist[0], hist[len(hist)-1])
+	}
+}
+
+func TestMultiHeadPanicsOnZeroHeads(t *testing.T) {
+	a := testGraph(5, 72)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMultiHeadGATLayer(a, a.Transpose(), 2, 2, 0, true, ReLU(), 0.2, rand.New(rand.NewSource(73)))
+}
+
+func TestConfigHeadsBuildsMultiHeadModel(t *testing.T) {
+	a := testGraph(20, 74)
+	m, err := New(Config{Model: GAT, Layers: 3, InDim: 5, HiddenDim: 4,
+		OutDim: 3, Heads: 2, Activation: ELU(1), SelfLoops: true, Seed: 75}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l, layer := range m.Layers {
+		mh, ok := layer.(*MultiHeadGATLayer)
+		if !ok {
+			t.Fatalf("layer %d is %T, want MultiHeadGATLayer", l, layer)
+		}
+		if l < 2 && (!mh.Concat || mh.OutDim() != 8) {
+			t.Fatalf("hidden layer %d: concat=%v out=%d", l, mh.Concat, mh.OutDim())
+		}
+		if l == 2 && (mh.Concat || mh.OutDim() != 3) {
+			t.Fatalf("final layer: concat=%v out=%d", mh.Concat, mh.OutDim())
+		}
+	}
+	// Whole stack runs and trains.
+	h := tensor.RandN(20, 5, 0.5, rand.New(rand.NewSource(76)))
+	labels := make([]int, 20)
+	for i := range labels {
+		labels[i] = i % 3
+		h.Set(i, labels[i], h.At(i, labels[i])+1)
+	}
+	hist := m.Train(h, &CrossEntropyLoss{Labels: labels}, NewAdam(0.02), 25)
+	if hist[len(hist)-1] >= hist[0] {
+		t.Fatalf("multi-head config model did not train: %v → %v", hist[0], hist[len(hist)-1])
+	}
+	// Heads<=1 keeps single-head layers.
+	m1, _ := New(Config{Model: GAT, Layers: 1, InDim: 5, HiddenDim: 4, OutDim: 3,
+		Heads: 1, Seed: 77}, a)
+	if _, ok := m1.Layers[0].(*GATLayer); !ok {
+		t.Fatal("Heads=1 must build plain GAT layers")
+	}
+}

@@ -1,0 +1,93 @@
+package gnn
+
+import (
+	"math"
+
+	"agnn/internal/tensor"
+)
+
+// Optimizer applies one update step to a parameter set using the gradients
+// accumulated by the backward pass (the paper's W := W − αY learning rule
+// and its momentum/Adam refinements).
+type Optimizer interface {
+	Step(params []*Param)
+	Name() string
+}
+
+// SGD is stochastic gradient descent with optional classical momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	vel      map[*Param]*tensor.Dense
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, vel: make(map[*Param]*tensor.Dense)}
+}
+
+// Name implements Optimizer.
+func (o *SGD) Name() string { return "sgd" }
+
+// Step implements Optimizer: v = μv + g; W -= lr·v (or plain W -= lr·g when
+// momentum is zero).
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if o.Momentum == 0 {
+			p.Value.AxpyInPlace(-o.LR, p.Grad)
+			continue
+		}
+		v := o.vel[p]
+		if v == nil {
+			v = tensor.NewDense(p.Value.Rows, p.Value.Cols)
+			o.vel[p] = v
+		}
+		v.ScaleInPlace(o.Momentum)
+		v.AddInPlace(p.Grad)
+		p.Value.AxpyInPlace(-o.LR, v)
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  map[*Param]*tensor.Dense
+}
+
+// NewAdam returns Adam with the conventional defaults β₁=0.9, β₂=0.999,
+// ε=1e-8.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param]*tensor.Dense),
+		v: make(map[*Param]*tensor.Dense),
+	}
+}
+
+// Name implements Optimizer.
+func (o *Adam) Name() string { return "adam" }
+
+// Step implements Optimizer.
+func (o *Adam) Step(params []*Param) {
+	o.t++
+	c1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	c2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range params {
+		m := o.m[p]
+		v := o.v[p]
+		if m == nil {
+			m = tensor.NewDense(p.Value.Rows, p.Value.Cols)
+			v = tensor.NewDense(p.Value.Rows, p.Value.Cols)
+			o.m[p] = m
+			o.v[p] = v
+		}
+		for i, g := range p.Grad.Data {
+			m.Data[i] = o.Beta1*m.Data[i] + (1-o.Beta1)*g
+			v.Data[i] = o.Beta2*v.Data[i] + (1-o.Beta2)*g*g
+			mh := m.Data[i] / c1
+			vh := v.Data[i] / c2
+			p.Value.Data[i] -= o.LR * mh / (math.Sqrt(vh) + o.Eps)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package gnn
+
+import (
+	"math"
+	"testing"
+
+	"agnn/internal/tensor"
+)
+
+// quadratic: L = ½‖x − c‖², grad = x − c. Every optimizer must converge.
+func runQuadratic(t *testing.T, opt Optimizer, steps int, tol float64) {
+	t.Helper()
+	c := []float64{3, -2, 0.5, 7}
+	p := NewParam("x", tensor.NewDense(1, 4))
+	for s := 0; s < steps; s++ {
+		p.ZeroGrad()
+		for i := range c {
+			p.Grad.Data[i] = p.Value.Data[i] - c[i]
+		}
+		opt.Step([]*Param{p})
+	}
+	for i := range c {
+		if math.Abs(p.Value.Data[i]-c[i]) > tol {
+			t.Fatalf("%s did not converge: x[%d] = %v, want %v", opt.Name(), i, p.Value.Data[i], c[i])
+		}
+	}
+}
+
+func TestSGDConverges(t *testing.T) {
+	runQuadratic(t, NewSGD(0.1, 0), 200, 1e-6)
+}
+
+func TestSGDMomentumConverges(t *testing.T) {
+	runQuadratic(t, NewSGD(0.05, 0.9), 400, 1e-6)
+}
+
+func TestAdamConverges(t *testing.T) {
+	runQuadratic(t, NewAdam(0.3), 500, 1e-3)
+}
+
+func TestSGDStepDirection(t *testing.T) {
+	p := NewParam("x", tensor.NewDenseFrom(1, 1, []float64{1}))
+	p.Grad.Set(0, 0, 2)
+	NewSGD(0.5, 0).Step([]*Param{p})
+	if p.Value.At(0, 0) != 0 {
+		t.Fatalf("SGD step: %v, want 0", p.Value.At(0, 0))
+	}
+}
+
+func TestAdamFirstStepMagnitude(t *testing.T) {
+	// Adam's bias-corrected first step has magnitude ≈ lr regardless of
+	// gradient scale.
+	for _, g := range []float64{1e-4, 1, 1e4} {
+		p := NewParam("x", tensor.NewDense(1, 1))
+		p.Grad.Set(0, 0, g)
+		NewAdam(0.01).Step([]*Param{p})
+		if math.Abs(math.Abs(p.Value.At(0, 0))-0.01) > 1e-5 {
+			t.Fatalf("Adam first step for g=%v moved %v, want ≈0.01", g, p.Value.At(0, 0))
+		}
+	}
+}
+
+func TestOptimizerHandlesMultipleParams(t *testing.T) {
+	a := NewParam("a", tensor.NewDenseFrom(1, 1, []float64{5}))
+	b := NewParam("b", tensor.NewDenseFrom(2, 2, []float64{1, 2, 3, 4}))
+	a.Grad.Set(0, 0, 1)
+	b.Grad.Fill(1)
+	opt := NewSGD(1, 0.5)
+	opt.Step([]*Param{a, b})
+	opt.Step([]*Param{a, b})
+	// After 2 steps with momentum 0.5 and constant grad 1: total = 1 + 1.5.
+	if math.Abs(a.Value.At(0, 0)-(5-2.5)) > 1e-12 {
+		t.Fatalf("a = %v", a.Value.At(0, 0))
+	}
+	if math.Abs(b.Value.At(0, 0)-(1-2.5)) > 1e-12 {
+		t.Fatalf("b = %v", b.Value.At(0, 0))
+	}
+}
+
+func TestScalarParamHelpers(t *testing.T) {
+	p := NewScalarParam("beta", 2.5)
+	if p.Scalar() != 2.5 {
+		t.Fatal("Scalar roundtrip failed")
+	}
+	p.AddScalarGrad(1)
+	p.AddScalarGrad(0.5)
+	if p.Grad.At(0, 0) != 1.5 {
+		t.Fatal("AddScalarGrad accumulation failed")
+	}
+	if p.NumElements() != 1 {
+		t.Fatal("NumElements wrong")
+	}
+	w := NewParam("W", tensor.NewDense(3, 4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Scalar on matrix param must panic")
+		}
+	}()
+	w.Scalar()
+}

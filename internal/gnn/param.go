@@ -1,0 +1,47 @@
+package gnn
+
+import (
+	"fmt"
+
+	"agnn/internal/tensor"
+)
+
+// Param is a trainable tensor with its accumulated gradient. Scalar
+// parameters (AGNN's β) are represented as 1×1 matrices so optimizers treat
+// every parameter uniformly.
+type Param struct {
+	Name  string
+	Value *tensor.Dense
+	Grad  *tensor.Dense
+}
+
+// NewParam wraps an initialized value with a zeroed gradient buffer.
+func NewParam(name string, value *tensor.Dense) *Param {
+	return &Param{Name: name, Value: value, Grad: tensor.NewDense(value.Rows, value.Cols)}
+}
+
+// NewScalarParam wraps a scalar as a 1×1 parameter.
+func NewScalarParam(name string, v float64) *Param {
+	m := tensor.NewDense(1, 1)
+	m.Set(0, 0, v)
+	return NewParam(name, m)
+}
+
+// Scalar returns the value of a 1×1 parameter.
+func (p *Param) Scalar() float64 {
+	if p.Value.Rows != 1 || p.Value.Cols != 1 {
+		panic(fmt.Sprintf("gnn: parameter %q is not scalar (%d×%d)", p.Name, p.Value.Rows, p.Value.Cols))
+	}
+	return p.Value.At(0, 0)
+}
+
+// AddScalarGrad accumulates g into a 1×1 parameter's gradient.
+func (p *Param) AddScalarGrad(g float64) {
+	p.Grad.Set(0, 0, p.Grad.At(0, 0)+g)
+}
+
+// ZeroGrad clears the gradient buffer.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// NumElements returns the parameter count.
+func (p *Param) NumElements() int { return p.Value.Rows * p.Value.Cols }

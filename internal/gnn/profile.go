@@ -1,0 +1,115 @@
+package gnn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"agnn/internal/tensor"
+)
+
+// Per-layer profiling: Instrument wraps every layer of a model so forward
+// and backward wall times accumulate per layer — the shared-memory
+// performance-analysis counterpart of the distributed engines' byte
+// counters.
+
+// LayerStats accumulates timings for one layer.
+type LayerStats struct {
+	Index    int
+	Name     string
+	Forward  time.Duration
+	Backward time.Duration
+	Calls    int
+}
+
+// Profile holds the per-layer statistics of an instrumented model.
+type Profile struct {
+	Stats []*LayerStats
+}
+
+// TotalForward sums forward time across layers.
+func (p *Profile) TotalForward() time.Duration {
+	var t time.Duration
+	for _, s := range p.Stats {
+		t += s.Forward
+	}
+	return t
+}
+
+// TotalBackward sums backward time across layers.
+func (p *Profile) TotalBackward() time.Duration {
+	var t time.Duration
+	for _, s := range p.Stats {
+		t += s.Backward
+	}
+	return t
+}
+
+// Reset clears all accumulated timings.
+func (p *Profile) Reset() {
+	for _, s := range p.Stats {
+		s.Forward, s.Backward, s.Calls = 0, 0, 0
+	}
+}
+
+// String renders a table sorted by total time, heaviest first.
+func (p *Profile) String() string {
+	rows := append([]*LayerStats(nil), p.Stats...)
+	sort.Slice(rows, func(i, j int) bool {
+		return rows[i].Forward+rows[i].Backward > rows[j].Forward+rows[j].Backward
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-14s %12s %12s %8s\n", "layer", "kind", "forward", "backward", "calls")
+	for _, s := range rows {
+		fmt.Fprintf(&b, "%-6d %-14s %12s %12s %8d\n",
+			s.Index, s.Name, s.Forward.Round(time.Microsecond),
+			s.Backward.Round(time.Microsecond), s.Calls)
+	}
+	fmt.Fprintf(&b, "total  %-14s %12s %12s\n", "",
+		p.TotalForward().Round(time.Microsecond), p.TotalBackward().Round(time.Microsecond))
+	return b.String()
+}
+
+// profiledLayer decorates a Layer with timing.
+type profiledLayer struct {
+	inner Layer
+	stats *LayerStats
+}
+
+// Name implements Layer.
+func (l *profiledLayer) Name() string { return l.inner.Name() }
+
+// Params implements Layer.
+func (l *profiledLayer) Params() []*Param { return l.inner.Params() }
+
+// Forward implements Layer.
+func (l *profiledLayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {
+	t0 := time.Now()
+	out := l.inner.Forward(h, training)
+	l.stats.Forward += time.Since(t0)
+	l.stats.Calls++
+	return out
+}
+
+// Backward implements Layer.
+func (l *profiledLayer) Backward(g *tensor.Dense) *tensor.Dense {
+	t0 := time.Now()
+	out := l.inner.Backward(g)
+	l.stats.Backward += time.Since(t0)
+	return out
+}
+
+// Instrument wraps every layer of m with timing decorators and returns the
+// instrumented model together with its live Profile. The original model is
+// not modified; both share the same layer objects and parameters.
+func Instrument(m *Model) (*Model, *Profile) {
+	prof := &Profile{}
+	out := &Model{}
+	for i, l := range m.Layers {
+		s := &LayerStats{Index: i, Name: l.Name()}
+		prof.Stats = append(prof.Stats, s)
+		out.Layers = append(out.Layers, &profiledLayer{inner: l, stats: s})
+	}
+	return out, prof
+}

@@ -1,0 +1,64 @@
+package gnn
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"agnn/internal/tensor"
+)
+
+func TestInstrumentPreservesSemantics(t *testing.T) {
+	a := testGraph(15, 400)
+	m, err := New(Config{Model: GAT, Layers: 2, InDim: 3, HiddenDim: 4, OutDim: 2,
+		Activation: Tanh(), Seed: 401}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := tensor.RandN(15, 3, 1, rand.New(rand.NewSource(402)))
+	want := m.Forward(h, false)
+	im, prof := Instrument(m)
+	got := im.Forward(h, false)
+	if !got.ApproxEqual(want, 0) {
+		t.Fatal("instrumented model changed outputs")
+	}
+	if len(prof.Stats) != 2 || prof.Stats[0].Calls != 1 {
+		t.Fatalf("profile stats wrong: %+v", prof.Stats)
+	}
+	if prof.TotalForward() <= 0 {
+		t.Fatal("no forward time recorded")
+	}
+	if prof.TotalBackward() != 0 {
+		t.Fatal("backward time recorded without Backward call")
+	}
+}
+
+func TestInstrumentRecordsBackwardAndShares(t *testing.T) {
+	a := testGraph(12, 403)
+	m, err := New(Config{Model: VA, Layers: 2, InDim: 3, HiddenDim: 3, OutDim: 2,
+		Activation: Tanh(), Seed: 404}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, prof := Instrument(m)
+	h := tensor.RandN(12, 3, 1, rand.New(rand.NewSource(405)))
+	loss := &MSELoss{Target: tensor.RandN(12, 2, 1, rand.New(rand.NewSource(406)))}
+	im.TrainStep(h, loss, NewSGD(0.01, 0))
+	if prof.TotalBackward() <= 0 {
+		t.Fatal("no backward time recorded")
+	}
+	// Parameters are shared: the training step must have updated the
+	// original model's weights too.
+	if m.Params()[0].Grad == nil {
+		t.Fatal("params not shared")
+	}
+	// String table renders all layers and a total row.
+	s := prof.String()
+	if !strings.Contains(s, "va") || !strings.Contains(s, "total") {
+		t.Fatalf("profile table missing content:\n%s", s)
+	}
+	prof.Reset()
+	if prof.TotalForward() != 0 || prof.Stats[0].Calls != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}

@@ -1,0 +1,47 @@
+package gnn
+
+import (
+	"fmt"
+
+	"agnn/internal/sparse"
+)
+
+// RebindAdjacency builds a new model over a different adjacency matrix that
+// *shares* the parameter objects of src. This is the global-formulation
+// side of mini-batch training (the paper's "one can straightforwardly
+// extend most of our routines to mini-batching"): extract the induced
+// subgraph of an expanded seed batch (graph.InducedSubgraph), rebind the
+// model to it, and train — gradients accumulate into the shared buffers.
+// The matrix a must already carry the model's preprocessing (self loops /
+// normalization), as it does when it is an induced subgraph of a processed
+// layer adjacency.
+func RebindAdjacency(src *Model, a *sparse.CSR) (*Model, error) {
+	at := a.Transpose()
+	out := &Model{}
+	for _, l := range src.Layers {
+		switch ll := l.(type) {
+		case *VALayer:
+			out.Layers = append(out.Layers, &VALayer{A: a, AT: at, W: ll.W, Act: ll.Act,
+				UseReferenceBackward: ll.UseReferenceBackward})
+		case *AGNNLayer:
+			out.Layers = append(out.Layers, &AGNNLayer{A: a, AT: at, W: ll.W, Beta: ll.Beta, Act: ll.Act})
+		case *GATLayer:
+			out.Layers = append(out.Layers, &GATLayer{A: a, AT: at, W: ll.W, A1: ll.A1, A2: ll.A2,
+				Act: ll.Act, NegSlope: ll.NegSlope})
+		case *GCNLayer:
+			out.Layers = append(out.Layers, &GCNLayer{A: a, AT: at, W: ll.W, Act: ll.Act})
+		case *MultiHeadGATLayer:
+			mh := &MultiHeadGATLayer{Concat: ll.Concat, headDim: ll.headDim}
+			for _, head := range ll.Heads {
+				mh.Heads = append(mh.Heads, &GATLayer{A: a, AT: at, W: head.W,
+					A1: head.A1, A2: head.A2, Act: head.Act, NegSlope: head.NegSlope})
+			}
+			out.Layers = append(out.Layers, mh)
+		case *DropoutLayer:
+			out.Layers = append(out.Layers, ll)
+		default:
+			return nil, fmt.Errorf("gnn: cannot rebind layer type %T", l)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,123 @@
+package gnn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Weight checkpointing. The format is self-describing and validated on
+// load: magic, parameter count, then per parameter its name, shape and
+// row-major float64 data (little-endian). Loading requires a model with an
+// identical parameter inventory (same construction config), so checkpoints
+// are portable across the single-node, local-formulation and distributed
+// engines — they all draw the same parameter sequence.
+
+const weightsMagic = "AGNNWTS1"
+
+// SaveWeights serializes all parameters of a model.
+func SaveWeights(w io.Writer, m *Model) error { return SaveParams(w, m.Params()) }
+
+// SaveParams serializes an explicit parameter list — the engine-agnostic
+// entry point (the distributed engines expose the same parameter sequence
+// as their single-node counterparts, so checkpoints are interchangeable).
+func SaveParams(w io.Writer, params []*Param) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(weightsMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, int64(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		name := []byte(p.Name)
+		if err := binary.Write(bw, binary.LittleEndian, int64(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(name); err != nil {
+			return err
+		}
+		hdr := []int64{int64(p.Value.Rows), int64(p.Value.Cols)}
+		if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, p.Value.Data); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadWeights restores parameters into an already-constructed model. The
+// checkpoint's parameter sequence (names and shapes) must match the
+// model's exactly.
+func LoadWeights(r io.Reader, m *Model) error { return LoadParams(r, m.Params()) }
+
+// LoadParams restores an explicit parameter list (see SaveParams).
+func LoadParams(r io.Reader, params []*Param) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(weightsMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return err
+	}
+	if string(magic) != weightsMagic {
+		return fmt.Errorf("gnn: bad checkpoint magic %q", magic)
+	}
+	var count int64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	if int(count) != len(params) {
+		return fmt.Errorf("gnn: checkpoint has %d parameters, model has %d", count, len(params))
+	}
+	for _, p := range params {
+		var nameLen int64
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return err
+		}
+		if nameLen < 0 || nameLen > 1<<16 {
+			return fmt.Errorf("gnn: corrupt checkpoint (name length %d)", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return err
+		}
+		if string(name) != p.Name {
+			return fmt.Errorf("gnn: checkpoint parameter %q does not match model parameter %q", name, p.Name)
+		}
+		var hdr [2]int64
+		if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+			return err
+		}
+		if int(hdr[0]) != p.Value.Rows || int(hdr[1]) != p.Value.Cols {
+			return fmt.Errorf("gnn: checkpoint %q is %d×%d, model wants %d×%d",
+				p.Name, hdr[0], hdr[1], p.Value.Rows, p.Value.Cols)
+		}
+		if err := binary.Read(br, binary.LittleEndian, p.Value.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveWeightsFile writes a checkpoint to path.
+func SaveWeightsFile(path string, m *Model) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return SaveWeights(f, m)
+}
+
+// LoadWeightsFile restores a checkpoint from path.
+func LoadWeightsFile(path string, m *Model) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return LoadWeights(f, m)
+}

@@ -1,0 +1,117 @@
+package gnn
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"agnn/internal/tensor"
+)
+
+func trainedModel(t *testing.T, kind Kind, seed int64) (*Model, *tensor.Dense) {
+	t.Helper()
+	a := testGraph(15, 999) // same graph for every model; only weights vary
+	m, err := New(Config{Model: kind, Layers: 2, InDim: 4, HiddenDim: 5, OutDim: 3,
+		Activation: Tanh(), SelfLoops: true, Seed: seed}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := tensor.RandN(15, 4, 1, rand.New(rand.NewSource(seed+1)))
+	labels := make([]int, 15)
+	for i := range labels {
+		labels[i] = i % 3
+	}
+	m.Train(h, &CrossEntropyLoss{Labels: labels}, NewAdam(0.01), 3)
+	return m, h
+}
+
+func TestWeightsRoundtrip(t *testing.T) {
+	for _, kind := range []Kind{VA, AGNN, GAT, GCN} {
+		src, h := trainedModel(t, kind, 200)
+		var buf bytes.Buffer
+		if err := SaveWeights(&buf, src); err != nil {
+			t.Fatal(err)
+		}
+		// Fresh model with different (default) weights.
+		dst, _ := trainedModel(t, kind, 201)
+		if dst.Forward(h, false).ApproxEqual(src.Forward(h, false), 1e-12) {
+			t.Fatal("test premise broken: fresh model already matches")
+		}
+		if err := LoadWeights(&buf, dst); err != nil {
+			t.Fatal(err)
+		}
+		if !dst.Forward(h, false).ApproxEqual(src.Forward(h, false), 0) {
+			t.Fatalf("%v: loaded model output differs", kind)
+		}
+	}
+}
+
+func TestWeightsFileRoundtrip(t *testing.T) {
+	src, h := trainedModel(t, GAT, 202)
+	path := filepath.Join(t.TempDir(), "ckpt.bin")
+	if err := SaveWeightsFile(path, src); err != nil {
+		t.Fatal(err)
+	}
+	dst, _ := trainedModel(t, GAT, 203)
+	if err := LoadWeightsFile(path, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Forward(h, false).ApproxEqual(src.Forward(h, false), 0) {
+		t.Fatal("file roundtrip output differs")
+	}
+	if err := LoadWeightsFile(filepath.Join(t.TempDir(), "missing"), dst); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadWeightsValidation(t *testing.T) {
+	src, _ := trainedModel(t, GAT, 204)
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Wrong magic.
+	bad := append([]byte("WRONGMAG"), raw[8:]...)
+	if err := LoadWeights(bytes.NewReader(bad), src); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Parameter-count mismatch: load a GAT checkpoint into a GCN model.
+	other, _ := trainedModel(t, GCN, 205)
+	if err := LoadWeights(bytes.NewReader(raw), other); err == nil {
+		t.Fatal("parameter-count mismatch accepted")
+	}
+	// Shape mismatch: a same-model-kind network with different dims.
+	a := testGraph(15, 999)
+	wrongDims, err := New(Config{Model: GAT, Layers: 2, InDim: 4, HiddenDim: 7,
+		OutDim: 3, Seed: 206}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadWeights(bytes.NewReader(raw), wrongDims); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	// Truncated stream.
+	if err := LoadWeights(bytes.NewReader(raw[:len(raw)/2]), src); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+}
+
+func TestCheckpointPortableToLocalEngine(t *testing.T) {
+	// A checkpoint saved from the global model must load into the local
+	// mirror (same parameter inventory) — done through the shared format.
+	src, h := trainedModel(t, AGNN, 207)
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst, _ := trainedModel(t, AGNN, 208)
+	if err := LoadWeights(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Forward(h, false).ApproxEqual(src.Forward(h, false), 0) {
+		t.Fatal("checkpoint not portable")
+	}
+}

@@ -1,0 +1,119 @@
+package gnn
+
+import (
+	"math/rand"
+
+	"agnn/internal/kernels"
+	"agnn/internal/sparse"
+	"agnn/internal/tensor"
+)
+
+// VALayer is the vanilla-attention model (Figure 1, "VA"):
+//
+//	Forward:   Ψ = A ⊙ (H·Hᵀ)            (SDDMM on the adjacency pattern)
+//	           Z = Ψ·H·W                 (SpMMM; computed as Ψ·(H·W))
+//	           H' = σ(Z)
+//
+//	Backward (Eq. 11–13):
+//	           M  = G·Wᵀ
+//	           N  = A ⊙ (M·Hᵀ)
+//	           Γ  = N₊·H + (Aᵀ ⊙ H×)·M   with N₊ = N + Nᵀ, Aᵀ⊙H× = Ψᵀ
+//	           Y  = Hᵀ·(Aᵀ ⊙ H×)·G       (MSpMM)
+//
+// The layer keeps two interchangeable backward implementations: the fused
+// Eq.-11 formulation (default) and an op-by-op vector-Jacobian composition
+// (UseReferenceBackward) used to validate it.
+type VALayer struct {
+	A, AT *sparse.CSR
+	W     *Param
+	Act   Activation
+
+	// UseReferenceBackward switches to the op-composed backward pass.
+	UseReferenceBackward bool
+
+	// cached intermediates (training-mode forward)
+	h   *tensor.Dense
+	psi *sparse.CSR
+	z   *tensor.Dense
+}
+
+// NewVALayer constructs a VA layer on adjacency a (and its transpose) with
+// Glorot-initialized weights.
+func NewVALayer(a, at *sparse.CSR, inDim, outDim int, act Activation, rng *rand.Rand) *VALayer {
+	return &VALayer{
+		A: a, AT: at,
+		W:   NewParam("W", tensor.GlorotInit(inDim, outDim, rng)),
+		Act: act,
+	}
+}
+
+// Name implements Layer.
+func (l *VALayer) Name() string { return "va" }
+
+// Params implements Layer.
+func (l *VALayer) Params() []*Param { return []*Param{l.W} }
+
+// Forward implements Layer.
+func (l *VALayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {
+	if !training {
+		// Inference fast path: Ψ applied through the fused kernel, scores
+		// evaluated on the fly (scaled by A's values), Φ applied first.
+		hp := tensor.MM(h, l.W.Value)
+		score := kernels.VAEdgeScore(h)
+		psi := scaleByPattern(kernels.FusedScores(l.A, score), l.A)
+		return l.Act.apply(psi.MulDense(hp))
+	}
+	l.h = h
+	l.psi = sparse.SDDMMScaled(l.A, h, h) // Ψ = A ⊙ H·Hᵀ
+	hp := tensor.MM(h, l.W.Value)         // Φ before ⊕ (Section 4.4)
+	l.z = l.psi.MulDense(hp)              // ⊕: SpMM
+	return l.Act.apply(l.z)
+}
+
+// Backward implements Layer.
+func (l *VALayer) Backward(gOut *tensor.Dense) *tensor.Dense {
+	if l.z == nil {
+		panic("gnn: VALayer.Backward before training-mode Forward")
+	}
+	g := gOut.Hadamard(l.Act.derivAt(l.z)) // G = ∂L/∂Z
+	if l.UseReferenceBackward {
+		return l.backwardReference(g)
+	}
+	// Fused Eq. (11)–(13).
+	psiT := l.psi.Transpose() // Aᵀ ⊙ H× for symmetric-valued H·Hᵀ
+	m := tensor.MM(g, l.W.Value.T())
+	n := sparse.SDDMMScaled(l.A, m, l.h) // N = A ⊙ (M·Hᵀ)
+	nPlus := n.AddTranspose()
+	hbar := nPlus.MulDense(l.h)
+	hbar.AddInPlace(psiT.MulDense(m)) // Γ = N₊H + ΨᵀM
+
+	// Y = Hᵀ·Ψᵀ·G via the fused MSpMM kernel.
+	l.W.Grad.AddInPlace(kernels.MSpMM(l.h, psiT, g))
+	return hbar
+}
+
+// backwardReference recomputes the backward pass as a plain composition of
+// per-operation vector-Jacobian products: Z = Ψ·(H·W) with Ψ = A ⊙ (H·Hᵀ).
+// It must produce results identical to the Eq.-11 path; the equality is
+// asserted by tests, demonstrating the paper's derivation op by op.
+func (l *VALayer) backwardReference(g *tensor.Dense) *tensor.Dense {
+	hp := tensor.MM(l.h, l.W.Value)
+	// Z = Ψ·Hp: Ψ̄ = (G·Hpᵀ) sampled on Ψ's pattern; H̄p = Ψᵀ·G.
+	psiBar := sparse.SDDMM(l.A, g, hp)
+	hpBar := l.psi.Transpose().MulDense(g)
+	// Hp = H·W: H̄ += H̄p·Wᵀ; W̄ += Hᵀ·H̄p.
+	hbar := tensor.MM(hpBar, l.W.Value.T())
+	l.W.Grad.AddInPlace(tensor.TMM(l.h, hpBar))
+	// Ψ = A ⊙ (H·Hᵀ): grad into the dense factor is Ψ̄ ⊙ A (values), and
+	// H̄ += S̄·H + S̄ᵀ·H for the symmetric product H·Hᵀ.
+	sBar := scaleByPattern(psiBar, l.A)
+	hbar.AddInPlace(sBar.MulDense(l.h))
+	hbar.AddInPlace(sBar.Transpose().MulDense(l.h))
+	return hbar
+}
+
+// scaleByPattern multiplies s's values element-wise by pat's values (same
+// pattern); used to account for non-unit adjacency weights.
+func scaleByPattern(s, pat *sparse.CSR) *sparse.CSR {
+	return s.HadamardSamePattern(pat)
+}

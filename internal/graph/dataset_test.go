@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestSyntheticCitationIsValid(t *testing.T) {
+	d := SyntheticCitation(200, 4, 16, 0.3, 7)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Adj.Rows != 200 || d.Features.Cols != 16 || d.Classes != 4 {
+		t.Fatal("shape wrong")
+	}
+	// Roughly trainFrac of vertices in the training mask.
+	train := 0
+	for _, m := range d.TrainMask {
+		if m {
+			train++
+		}
+	}
+	if train < 30 || train > 90 {
+		t.Fatalf("train split %d of 200 for frac 0.3", train)
+	}
+	// TestMask is the complement.
+	tm := d.TestMask()
+	for i := range tm {
+		if tm[i] == d.TrainMask[i] {
+			t.Fatal("TestMask not complementary")
+		}
+	}
+}
+
+func TestDatasetRoundtrip(t *testing.T) {
+	d := SyntheticCitation(80, 3, 8, 0.5, 8)
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Adj.NNZ() != d.Adj.NNZ() || got.Classes != d.Classes {
+		t.Fatal("structure mismatch")
+	}
+	if !got.Features.ApproxEqual(d.Features, 0) {
+		t.Fatal("features mismatch")
+	}
+	for i := range d.Labels {
+		if got.Labels[i] != d.Labels[i] || got.TrainMask[i] != d.TrainMask[i] {
+			t.Fatal("labels/mask mismatch")
+		}
+	}
+}
+
+func TestDatasetFileRoundtrip(t *testing.T) {
+	d := SyntheticCitation(50, 2, 4, 0.4, 9)
+	path := filepath.Join(t.TempDir(), "ds.bin")
+	if err := SaveDataset(path, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Adj.NNZ() != d.Adj.NNZ() {
+		t.Fatal("file roundtrip mismatch")
+	}
+	if _, err := LoadDataset(filepath.Join(t.TempDir(), "none")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestDatasetValidation(t *testing.T) {
+	d := SyntheticCitation(40, 3, 4, 0.5, 10)
+	d.Labels[0] = 99
+	if err := d.Validate(); err == nil {
+		t.Fatal("bad label accepted")
+	}
+	d = SyntheticCitation(40, 3, 4, 0.5, 10)
+	d.Labels = d.Labels[:10]
+	if err := d.Validate(); err == nil {
+		t.Fatal("short labels accepted")
+	}
+	d = SyntheticCitation(40, 3, 4, 0.5, 10)
+	d.Classes = 0
+	if err := d.Validate(); err == nil {
+		t.Fatal("zero classes accepted")
+	}
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, d); err == nil {
+		t.Fatal("WriteDataset must validate")
+	}
+}
+
+func TestReadDatasetRejectsGarbage(t *testing.T) {
+	if _, err := ReadDataset(bytes.NewReader([]byte("NOTADATASETFILE..."))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Truncated after header.
+	d := SyntheticCitation(30, 2, 4, 0.5, 11)
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadDataset(bytes.NewReader(raw[:40])); err == nil {
+		t.Fatal("truncated dataset accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets for the three file-format parsers. Under plain `go test`
+// only the seed corpus runs (as regression tests); `go test -fuzz=FuzzX`
+// explores further. The invariant in all cases: arbitrary input must yield
+// an error or a valid structure — never a panic or a malformed matrix.
+
+func FuzzReadCOOText(f *testing.F) {
+	f.Add([]byte("0 1\n1 0\n"))
+	f.Add([]byte("# comment\n5 5\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("not numbers\n"))
+	f.Add([]byte("1 2 3 4\n"))
+	f.Add([]byte("-3 7\n"))
+	f.Add([]byte("999999999 0\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := ReadCOOText(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if a.Rows != a.Cols {
+			t.Fatalf("parser produced non-square adjacency %d×%d", a.Rows, a.Cols)
+		}
+		for _, j := range a.Col {
+			if int(j) >= a.Cols || j < 0 {
+				t.Fatal("column index out of range")
+			}
+		}
+	})
+}
+
+func FuzzReadCOOBinary(f *testing.F) {
+	// Seed with a valid file and mutations of it.
+	var buf bytes.Buffer
+	if err := WriteCOOBinary(&buf, Kronecker(4, 2, 1)); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("AGNNCOO1garbage"))
+	f.Add([]byte{})
+	corrupt := append([]byte(nil), valid...)
+	if len(corrupt) > 20 {
+		corrupt[15] = 0xFF // header byte
+	}
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := ReadCOOBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if a.Rows < 0 || a.Cols < 0 {
+			t.Fatal("negative dimensions")
+		}
+		for _, j := range a.Col {
+			if int(j) >= a.Cols || j < 0 {
+				t.Fatal("column index out of range")
+			}
+		}
+	})
+}
+
+func FuzzReadDataset(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, SyntheticCitation(20, 2, 4, 0.5, 1)); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:30])
+	f.Add([]byte("AGNNDS01"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ReadDataset(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("parser returned invalid dataset: %v", err)
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCOOTextRoundtrip(t *testing.T) {
+	a := Kronecker(6, 4, 1)
+	var buf bytes.Buffer
+	if err := WriteCOOText(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadCOOText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Rows > a.Rows || b.NNZ() != a.NNZ() {
+		t.Fatalf("roundtrip shape %d/%d nnz %d/%d", b.Rows, a.Rows, b.NNZ(), a.NNZ())
+	}
+	for p := range a.Col {
+		if a.Col[p] != b.Col[p] {
+			t.Fatal("roundtrip column mismatch")
+		}
+	}
+}
+
+func TestReadCOOTextSkipsComments(t *testing.T) {
+	in := "# SNAP header\n% matrix market\n0 1\n1 0\n\n2 0\n"
+	a, err := ReadCOOText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows != 3 || a.NNZ() != 3 {
+		t.Fatalf("parsed %d vertices %d edges", a.Rows, a.NNZ())
+	}
+}
+
+func TestReadCOOTextRejectsBadLines(t *testing.T) {
+	if _, err := ReadCOOText(strings.NewReader("0 x\n")); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := ReadCOOText(strings.NewReader("-1 2\n")); err == nil {
+		t.Fatal("expected negative-id error")
+	}
+}
+
+func TestCOOBinaryRoundtripPreservesValues(t *testing.T) {
+	a := NormalizeGCN(Kronecker(6, 4, 2)) // non-unit values
+	var buf bytes.Buffer
+	if err := WriteCOOBinary(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadCOOBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Rows != a.Rows || b.NNZ() != a.NNZ() {
+		t.Fatal("binary roundtrip shape mismatch")
+	}
+	for p := range a.Val {
+		if a.Val[p] != b.Val[p] || a.Col[p] != b.Col[p] {
+			t.Fatal("binary roundtrip content mismatch")
+		}
+	}
+}
+
+func TestReadCOOBinaryBadMagic(t *testing.T) {
+	if _, err := ReadCOOBinary(bytes.NewReader([]byte("NOTMAGICethpadding"))); err == nil {
+		t.Fatal("expected magic error")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	a := Kronecker(5, 4, 3)
+	for _, name := range []string{"g.el", "g.bin"} {
+		path := filepath.Join(dir, name)
+		if err := SaveFile(path, a); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if b.NNZ() != a.NNZ() {
+			t.Fatalf("%s: nnz %d != %d", name, b.NNZ(), a.NNZ())
+		}
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.bin")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

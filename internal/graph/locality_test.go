@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+
+	"agnn/internal/tensor"
+)
+
+func TestLocalityOrderIsPermutation(t *testing.T) {
+	a := Kronecker(8, 6, 60)
+	perm := LocalityOrder(a)
+	if len(perm) != a.Rows {
+		t.Fatalf("perm length %d", len(perm))
+	}
+	seen := make([]bool, a.Rows)
+	for _, v := range perm {
+		if seen[v] {
+			t.Fatal("duplicate in permutation")
+		}
+		seen[v] = true
+	}
+}
+
+func TestRelabelPreservesStructure(t *testing.T) {
+	a := ErdosRenyi(40, 120, 61)
+	perm := LocalityOrder(a)
+	r := Relabel(a, perm)
+	if r.NNZ() != a.NNZ() {
+		t.Fatal("relabel changed edge count")
+	}
+	// Degree multiset preserved.
+	d1, d2 := Degrees(a), Degrees(r)
+	sort.Ints(d1)
+	sort.Ints(d2)
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatal("degree multiset changed")
+		}
+	}
+	// Spot-check edge correspondence: r[x][y] == a[perm[x]][perm[y]].
+	ad, rd := a.ToDense(), r.ToDense()
+	for x := 0; x < 40; x += 7 {
+		for y := 0; y < 40; y += 5 {
+			if rd.At(x, y) != ad.At(int(perm[x]), int(perm[y])) {
+				t.Fatalf("relabel mismatch at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestLocalityOrderReducesCut(t *testing.T) {
+	// A community graph labeled round-robin (i % classes) has terrible
+	// locality; the BFS ordering must cut substantially fewer edges. (BFS
+	// region growing is a lightweight heuristic, not a min-cut partitioner;
+	// a leaked cross-community hop can shift block boundaries, so the bound
+	// here is deliberately conservative.)
+	a, _ := PlantedPartition(240, 4, 0.2, 0.002, 62)
+	before := CutEdges(a, 4)
+	after := CutEdges(Relabel(a, LocalityOrder(a)), 4)
+	if after >= (4*before)/5 {
+		t.Fatalf("locality ordering did not help: cut %d → %d", before, after)
+	}
+}
+
+func TestRelabelRows(t *testing.T) {
+	labels := []int{10, 11, 12, 13}
+	perm := []int32{2, 0, 3, 1}
+	got := RelabelRows(labels, perm)
+	want := []int{12, 10, 13, 11}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RelabelRows = %v", got)
+		}
+	}
+}
+
+func TestRelabelPanicsOnBadInput(t *testing.T) {
+	a := ErdosRenyi(10, 20, 63)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Relabel(a, []int32{0, 1})
+}
+
+func TestRelabeledModelIsEquivalent(t *testing.T) {
+	// Relabeling must not change GNN semantics: outputs permute with the
+	// vertices (uses the dense reference to avoid importing gnn here).
+	a := ErdosRenyi(12, 36, 64)
+	perm := LocalityOrder(a)
+	h := tensor.NewDense(12, 3)
+	for i := range h.Data {
+		h.Data[i] = float64(i%7) - 3
+	}
+	hp := tensor.NewDense(12, 3)
+	for newID, oldID := range perm {
+		copy(hp.Row(newID), h.Row(int(oldID)))
+	}
+	out := a.MulDense(h)
+	outP := Relabel(a, perm).MulDense(hp)
+	for newID, oldID := range perm {
+		for j := 0; j < 3; j++ {
+			if outP.At(newID, j) != out.At(int(oldID), j) {
+				t.Fatal("relabeled aggregation differs")
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"agnn/internal/tensor"
+)
+
+func TestPartition1DCoversAndBalances(t *testing.T) {
+	for _, tc := range [][2]int{{10, 3}, {100, 7}, {5, 5}, {4, 8}, {0, 2}} {
+		n, p := tc[0], tc[1]
+		pt := Partition1D(n, p)
+		if pt.Bounds[0] != 0 || pt.Bounds[p] != n {
+			t.Fatalf("n=%d p=%d bounds %v", n, p, pt.Bounds)
+		}
+		for r := 0; r < p; r++ {
+			lo, hi := pt.Range(r)
+			if hi < lo {
+				t.Fatalf("negative range for rank %d", r)
+			}
+			if hi-lo > n/p+1 {
+				t.Fatalf("imbalanced range %d..%d", lo, hi)
+			}
+		}
+	}
+}
+
+func TestPartitionOwnerProperty(t *testing.T) {
+	f := func(rawN uint8, rawP uint8) bool {
+		n := int(rawN) + 1
+		p := int(rawP)%8 + 1
+		pt := Partition1D(n, p)
+		for v := 0; v < n; v++ {
+			r := pt.Owner(v)
+			lo, hi := pt.Range(r)
+			if v < lo || v >= hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSquareGrid(t *testing.T) {
+	for _, p := range []int{1, 4, 9, 16, 64, 256} {
+		s, err := SquareGrid(p)
+		if err != nil || s*s != p {
+			t.Fatalf("SquareGrid(%d) = %d, %v", p, s, err)
+		}
+	}
+	if _, err := SquareGrid(8); err == nil {
+		t.Fatal("SquareGrid(8) should fail")
+	}
+}
+
+func TestPadTo(t *testing.T) {
+	cases := [][3]int{{10, 4, 12}, {12, 4, 12}, {0, 4, 0}, {1, 7, 7}}
+	for _, c := range cases {
+		if got := PadTo(c[0], c[1]); got != c[2] {
+			t.Fatalf("PadTo(%d,%d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+}
+
+func TestBlock2DReassembles(t *testing.T) {
+	a := Kronecker(6, 6, 4) // n = 64
+	s := 4                  // 4×4 grid of 16×16 blocks
+	bs := a.Rows / s
+	full := tensor.NewDense(a.Rows, a.Cols)
+	for bi := 0; bi < s; bi++ {
+		for bj := 0; bj < s; bj++ {
+			blk := Block2D(a, bi, bj, bs)
+			if blk.Rows != bs || blk.Cols != bs {
+				t.Fatalf("block shape %d×%d", blk.Rows, blk.Cols)
+			}
+			bd := blk.ToDense()
+			for i := 0; i < bs; i++ {
+				for j := 0; j < bs; j++ {
+					full.Set(bi*bs+i, bj*bs+j, bd.At(i, j))
+				}
+			}
+		}
+	}
+	if !full.ApproxEqual(a.ToDense(), 0) {
+		t.Fatal("2D blocks do not reassemble the matrix")
+	}
+}
+
+func TestBlock2DPadding(t *testing.T) {
+	a := pathGraph(5) // n = 5, pad to blocks of 3 → 2×2 grid with ragged edge
+	blk := Block2D(a, 1, 1, 3)
+	// Rows 3..5 and cols 3..5: contains edge (3,4) and (4,3).
+	d := blk.ToDense()
+	if d.At(0, 1) != 1 || d.At(1, 0) != 1 {
+		t.Fatalf("padded block content wrong: %v", d)
+	}
+	// Block fully outside the matrix must be empty.
+	empty := Block2D(a, 2, 2, 3)
+	if empty.NNZ() != 0 {
+		t.Fatal("out-of-range block must be empty")
+	}
+}

@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"agnn/internal/sparse"
+)
+
+func pathGraph(n int) *sparse.CSR {
+	c := sparse.NewCOO(n, n, 2*(n-1))
+	for i := 0; i < n-1; i++ {
+		c.Append(int32(i), int32(i+1))
+		c.Append(int32(i+1), int32(i))
+	}
+	return sparse.FromCOO(c)
+}
+
+func TestAddSelfLoops(t *testing.T) {
+	a := pathGraph(4)
+	ah := AddSelfLoops(a)
+	d := ah.ToDense()
+	for i := 0; i < 4; i++ {
+		if d.At(i, i) != 1 {
+			t.Fatalf("missing self loop at %d", i)
+		}
+	}
+	if ah.NNZ() != a.NNZ()+4 {
+		t.Fatalf("nnz = %d", ah.NNZ())
+	}
+	// Idempotent on the pattern: adding again keeps value 1.
+	ah2 := AddSelfLoops(ah)
+	if ah2.NNZ() != ah.NNZ() {
+		t.Fatal("AddSelfLoops not idempotent on pattern")
+	}
+	for _, v := range ah2.Val {
+		if v != 1 {
+			t.Fatal("self loop value must stay 1")
+		}
+	}
+}
+
+func TestRemoveSelfLoops(t *testing.T) {
+	ah := AddSelfLoops(pathGraph(4))
+	a := RemoveSelfLoops(ah)
+	d := a.ToDense()
+	for i := 0; i < 4; i++ {
+		if d.At(i, i) != 0 {
+			t.Fatal("self loop survived removal")
+		}
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	c := sparse.NewCOO(3, 3, 1)
+	c.Append(0, 2)
+	a := sparse.FromCOO(c)
+	s := Symmetrize(a)
+	if !s.IsSymmetricPattern() {
+		t.Fatal("Symmetrize result not symmetric")
+	}
+	if s.ToDense().At(2, 0) != 1 || s.ToDense().At(0, 2) != 1 {
+		t.Fatal("values must be unit")
+	}
+}
+
+func TestNormalizeGCN(t *testing.T) {
+	a := pathGraph(3) // degrees with self loops: 2, 3, 2
+	n := NormalizeGCN(a)
+	d := n.ToDense()
+	// Entry (0,1) = 1/sqrt(2·3).
+	if math.Abs(d.At(0, 1)-1/math.Sqrt(6)) > 1e-12 {
+		t.Fatalf("normalized (0,1) = %v", d.At(0, 1))
+	}
+	if math.Abs(d.At(0, 0)-0.5) > 1e-12 {
+		t.Fatalf("normalized (0,0) = %v", d.At(0, 0))
+	}
+	// Symmetric normalization keeps symmetry.
+	if !n.ToDense().ApproxEqual(n.ToDense().T(), 1e-14) {
+		t.Fatal("GCN normalization must be symmetric")
+	}
+}
+
+func TestNormalizeRW(t *testing.T) {
+	a := pathGraph(3)
+	n := NormalizeRW(a)
+	rows := n.RowSums()
+	for i, v := range rows {
+		if math.Abs(v-1) > 1e-12 {
+			t.Fatalf("row %d of D⁻¹A sums to %v", i, v)
+		}
+	}
+}
+
+func TestDegreesAndSummarize(t *testing.T) {
+	a := pathGraph(5)
+	deg := Degrees(a)
+	want := []int{1, 2, 2, 2, 1}
+	for i := range want {
+		if deg[i] != want[i] {
+			t.Fatalf("degree[%d] = %d, want %d", i, deg[i], want[i])
+		}
+	}
+	st := Summarize(a)
+	if st.MaxDeg != 2 || st.N != 5 || st.M != 8 || !st.Symmetric || st.Isolated != 0 {
+		t.Fatalf("bad stats %+v", st)
+	}
+	if math.Abs(st.Density-8.0/25) > 1e-12 {
+		t.Fatalf("density %v", st.Density)
+	}
+}

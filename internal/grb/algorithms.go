@@ -1,0 +1,220 @@
+package grb
+
+import (
+	"math"
+
+	"agnn/internal/sparse"
+)
+
+// Classic linear-algebra graph algorithms built from the GraphBLAS verbs.
+// They serve two purposes: exercising the semiring machinery the GNN
+// aggregations rely on (Section 4.3 uses the same tropical semirings), and
+// demonstrating that the repository's sparse substrate is a general
+// irregular-computation substrate in the sense of the paper's related-work
+// section.
+
+// BFSLevels computes BFS levels from source over the boolean-ish structure
+// of a (any non-zero is an edge): level[v] is the hop distance, -1 if
+// unreachable. Each step is one masked VxM over (∨, ∧).
+func BFSLevels(a *sparse.CSR, source int) []int {
+	n := a.Rows
+	levels := make([]int, n)
+	for i := range levels {
+		levels[i] = -1
+	}
+	levels[source] = 0
+	frontier := NewVector(n, 0)
+	frontier.Data[source] = 1
+	visited := make([]bool, n)
+	visited[source] = true
+
+	for depth := 1; ; depth++ {
+		// next = frontierᵀ · A, masked to unvisited vertices.
+		next := VxM(frontier, a, PlusTimes, &Mask{Keep: visited, Complement: true},
+			func(float64) float64 { return 1 })
+		any := false
+		for v, x := range next.Data {
+			if x != 0 && !visited[v] {
+				visited[v] = true
+				levels[v] = depth
+				any = true
+			} else {
+				next.Data[v] = 0
+			}
+		}
+		if !any {
+			return levels
+		}
+		frontier = next
+	}
+}
+
+// SSSP computes single-source shortest paths over the min-plus (tropical)
+// semiring with Bellman-Ford-style relaxation: dist' = min(dist, Aᵀ ⊕.⊗
+// dist). Edge weights are the stored matrix values; +Inf marks
+// unreachable.
+func SSSP(a *sparse.CSR, source int) []float64 {
+	n := a.Rows
+	dist := NewVector(n, math.Inf(1))
+	dist.Data[source] = 0
+	at := a.Transpose() // relax along incoming edges of each vertex
+	for iter := 0; iter < n; iter++ {
+		relaxed := MxV(at, dist, MinPlus, nil, nil)
+		changed := false
+		for v := range dist.Data {
+			if relaxed.Data[v] < dist.Data[v] {
+				dist.Data[v] = relaxed.Data[v]
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist.Data
+}
+
+// TriangleCount returns the number of triangles in an undirected graph
+// using the masked-mxm formulation: with L the strict lower triangle,
+// #triangles = reduce(L ⊙ (L·Lᵀ)) — one masked MxM plus a reduce.
+func TriangleCount(a *sparse.CSR) int {
+	l := Select(a, func(i, j int32, _ float64) bool { return j < i })
+	ones := l.Apply(func(float64) float64 { return 1 })
+	c := MxM(ones, ones.Transpose(), PlusTimes, ones)
+	return int(ReduceMatrix(c, PlusTimes))
+}
+
+// ConnectedComponents labels vertices of an undirected graph by repeated
+// min-label propagation over the (min, min) style semiring (implemented as
+// min-plus with zero edge cost). Returns component ids in [0, n).
+func ConnectedComponents(a *sparse.CSR) []int {
+	n := a.Rows
+	label := NewVector(n, 0)
+	for i := range label.Data {
+		label.Data[i] = float64(i)
+	}
+	for {
+		prop := MxV(a, label, MinPlus, nil, func(float64) float64 { return 0 })
+		changed := false
+		for v := range label.Data {
+			if prop.Data[v] < label.Data[v] {
+				label.Data[v] = prop.Data[v]
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	out := make([]int, n)
+	for i, l := range label.Data {
+		out[i] = int(l)
+	}
+	return out
+}
+
+// PageRank computes the classic damped PageRank with dangling-mass
+// redistribution, expressed as repeated VxM over (+, ×).
+func PageRank(a *sparse.CSR, damping float64, iters int) []float64 {
+	n := a.Rows
+	deg := a.RowSums()
+	rank := NewVector(n, 1/float64(n))
+	for it := 0; it < iters; it++ {
+		// Push: contribution of v is rank[v]/deg[v] along out-edges.
+		contrib := NewVector(n, 0)
+		dangling := 0.0
+		for v := range contrib.Data {
+			if deg[v] > 0 {
+				contrib.Data[v] = rank.Data[v] / deg[v]
+			} else {
+				dangling += rank.Data[v]
+			}
+		}
+		next := VxM(contrib, a, PlusTimes, nil, nil)
+		base := (1-damping)/float64(n) + damping*dangling/float64(n)
+		for v := range next.Data {
+			next.Data[v] = base + damping*next.Data[v]
+		}
+		rank = next
+	}
+	return rank.Data
+}
+
+// BetweennessCentrality computes exact betweenness for unweighted graphs
+// with the linear-algebra Brandes formulation (cf. the paper's reference to
+// communication-efficient betweenness via sparse matrix products): per
+// source, a breadth-first sweep of masked VxM operations accumulates
+// shortest-path counts σ, and a reverse sweep accumulates dependencies δ.
+// sources selects the pivots (nil = all vertices, exact BC).
+func BetweennessCentrality(a *sparse.CSR, sources []int) []float64 {
+	n := a.Rows
+	if sources == nil {
+		sources = make([]int, n)
+		for i := range sources {
+			sources[i] = i
+		}
+	}
+	bc := make([]float64, n)
+	for _, s := range sources {
+		// Forward phase: levels and path counts.
+		sigma := NewVector(n, 0)
+		sigma.Data[s] = 1
+		level := make([]int, n)
+		for i := range level {
+			level[i] = -1
+		}
+		level[s] = 0
+		var frontiers [][]int
+		frontier := []int{s}
+		visited := make([]bool, n)
+		visited[s] = true
+		for depth := 1; len(frontier) > 0; depth++ {
+			frontiers = append(frontiers, frontier)
+			// σ contribution of the current frontier pushed along edges.
+			fvec := NewVector(n, 0)
+			for _, v := range frontier {
+				fvec.Data[v] = sigma.Data[v]
+			}
+			pushed := VxM(fvec, a, PlusTimes, &Mask{Keep: visited, Complement: true},
+				func(float64) float64 { return 1 })
+			var next []int
+			for v, x := range pushed.Data {
+				if x != 0 && !visited[v] {
+					level[v] = depth
+					sigma.Data[v] += x
+					next = append(next, v)
+				}
+			}
+			for _, v := range next {
+				visited[v] = true
+			}
+			frontier = next
+		}
+		// Backward phase: dependency accumulation level by level.
+		delta := make([]float64, n)
+		for d := len(frontiers) - 1; d >= 1; d-- {
+			// For each vertex u at level d-1: δ_u += Σ over successors w at
+			// level d of (σ_u/σ_w)(1+δ_w). Push (1+δ_w)/σ_w from level d
+			// backwards along incoming edges, then scale by σ_u.
+			wvec := NewVector(n, 0)
+			for _, w := range frontiers[d] {
+				wvec.Data[w] = (1 + delta[w]) / sigma.Data[w]
+			}
+			keep := make([]bool, n)
+			for _, u := range frontiers[d-1] {
+				keep[u] = true
+			}
+			pulled := MxV(a, wvec, PlusTimes, &Mask{Keep: keep},
+				func(float64) float64 { return 1 })
+			for _, u := range frontiers[d-1] {
+				delta[u] += sigma.Data[u] * pulled.Data[u]
+			}
+		}
+		for v := range delta {
+			if v != s {
+				bc[v] += delta[v]
+			}
+		}
+	}
+	return bc
+}

@@ -1,0 +1,257 @@
+// Package grb provides a small GraphBLAS-flavored interface over the sparse
+// substrate — the integration surface the paper emphasizes ("our global
+// formulations could easily be used with GraphBLAS implementations such as
+// Combinatorial BLAS, GraphMat, or GraphBLAST"). It offers the core
+// GraphBLAS verbs — mxm, mxv, vxm, eWiseAdd, eWiseMult, apply, reduce,
+// select — over arbitrary float64 semirings with optional structural masks,
+// enough to express both classic linear-algebra graph algorithms (BFS,
+// SSSP, triangle counting; see the tests) and the A-GNN Ψ pipelines.
+package grb
+
+import (
+	"fmt"
+	"math"
+
+	"agnn/internal/par"
+	"agnn/internal/semiring"
+	"agnn/internal/sparse"
+)
+
+// Semiring is the scalar semiring used by the matrix verbs.
+type Semiring = semiring.Semiring[float64]
+
+// Standard semirings re-exported for convenience.
+var (
+	PlusTimes = semiring.Real()
+	MinPlus   = semiring.TropicalMin()
+	MaxPlus   = semiring.TropicalMax()
+)
+
+// Vector is a dense GraphBLAS vector; entries equal to the ambient
+// semiring's Zero are treated as structurally absent by masked operations.
+type Vector struct {
+	Data []float64
+}
+
+// NewVector returns a vector of n copies of fill.
+func NewVector(n int, fill float64) *Vector {
+	v := &Vector{Data: make([]float64, n)}
+	for i := range v.Data {
+		v.Data[i] = fill
+	}
+	return v
+}
+
+// Len returns the dimension.
+func (v *Vector) Len() int { return len(v.Data) }
+
+// Clone copies the vector.
+func (v *Vector) Clone() *Vector {
+	return &Vector{Data: append([]float64(nil), v.Data...)}
+}
+
+// NVals counts entries different from zero (structural presence for the
+// given identity value).
+func (v *Vector) NVals(zero float64) int {
+	n := 0
+	for _, x := range v.Data {
+		if x != zero && !(math.IsNaN(x) && math.IsNaN(zero)) {
+			n++
+		}
+	}
+	return n
+}
+
+// Mask restricts writes: nil means no mask. Complement inverts it
+// (GraphBLAS GrB_COMP).
+type Mask struct {
+	Keep       []bool
+	Complement bool
+}
+
+// allows reports whether index i may be written.
+func (m *Mask) allows(i int) bool {
+	if m == nil {
+		return true
+	}
+	k := m.Keep[i]
+	if m.Complement {
+		return !k
+	}
+	return k
+}
+
+// MxV computes w = A ⊕.⊗ u over the semiring, honoring the mask: masked-out
+// positions keep Zero. Missing matrix entries contribute nothing; the
+// matrix value is passed through edge (e.g. map stored weights into the
+// semiring domain), identity if nil.
+func MxV(a *sparse.CSR, u *Vector, sr Semiring, mask *Mask, edge func(float64) float64) *Vector {
+	if a.Cols != u.Len() {
+		panic(fmt.Sprintf("grb: MxV dimension mismatch %d×%d · %d", a.Rows, a.Cols, u.Len()))
+	}
+	if edge == nil {
+		edge = func(v float64) float64 { return v }
+	}
+	w := NewVector(a.Rows, sr.Zero)
+	par.RangeWeighted(a.Rows, func(i int) int64 { return int64(a.RowNNZ(i)) }, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if !mask.allows(i) {
+				continue
+			}
+			acc := sr.Zero
+			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+				acc = sr.Plus(acc, sr.Times(edge(a.Val[p]), u.Data[a.Col[p]]))
+			}
+			w.Data[i] = acc
+		}
+	})
+	return w
+}
+
+// VxM computes w = uᵀ ⊕.⊗ A (push direction).
+func VxM(u *Vector, a *sparse.CSR, sr Semiring, mask *Mask, edge func(float64) float64) *Vector {
+	if a.Rows != u.Len() {
+		panic(fmt.Sprintf("grb: VxM dimension mismatch %d · %d×%d", u.Len(), a.Rows, a.Cols))
+	}
+	// Gather formulation over Aᵀ keeps the operation race-free.
+	return MxV(a.Transpose(), u, sr, mask, edge)
+}
+
+// MxM computes C = A ⊕.⊗ B over the semiring with an optional structural
+// output mask M (compute only positions present in M — the masked mxm of
+// triangle counting). With a mask the result has M's pattern; without one
+// it has the full product's pattern (row-merge Gustavson algorithm).
+func MxM(a, b *sparse.CSR, sr Semiring, outMask *sparse.CSR) *sparse.CSR {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("grb: MxM dimension mismatch %d×%d · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if outMask != nil {
+		// Masked: evaluate only the mask's non-zero positions. For each
+		// (i, j) in the mask, compute ⊕_t a_it ⊗ b_tj by merging row i of A
+		// with column j of B — done via B's transpose rows.
+		bt := b.Transpose()
+		vals := make([]float64, outMask.NNZ())
+		par.RangeWeighted(outMask.Rows, func(i int) int64 { return int64(outMask.RowNNZ(i)) }, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				for p := outMask.RowPtr[i]; p < outMask.RowPtr[i+1]; p++ {
+					j := outMask.Col[p]
+					vals[p] = dotRows(a, i, bt, int(j), sr)
+				}
+			}
+		})
+		return outMask.WithValues(vals)
+	}
+	// Unmasked Gustavson: per output row, scatter-accumulate.
+	coo := sparse.NewCOO(a.Rows, b.Cols, a.NNZ())
+	accVal := make([]float64, b.Cols)
+	accSet := make([]bool, b.Cols)
+	var touched []int32
+	for i := 0; i < a.Rows; i++ {
+		touched = touched[:0]
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			av := a.Val[p]
+			t := a.Col[p]
+			for q := b.RowPtr[t]; q < b.RowPtr[t+1]; q++ {
+				j := b.Col[q]
+				prod := sr.Times(av, b.Val[q])
+				if !accSet[j] {
+					accSet[j] = true
+					accVal[j] = prod
+					touched = append(touched, j)
+				} else {
+					accVal[j] = sr.Plus(accVal[j], prod)
+				}
+			}
+		}
+		for _, j := range touched {
+			coo.AppendVal(int32(i), j, accVal[j])
+			accSet[j] = false
+		}
+	}
+	return sparse.FromCOO(coo)
+}
+
+// dotRows computes ⊕_t a[i,t] ⊗ btRow[j,t] by merging two sorted sparse rows.
+func dotRows(a *sparse.CSR, i int, bt *sparse.CSR, j int, sr Semiring) float64 {
+	pa, ea := a.RowPtr[i], a.RowPtr[i+1]
+	pb, eb := bt.RowPtr[j], bt.RowPtr[j+1]
+	acc := sr.Zero
+	for pa < ea && pb < eb {
+		switch {
+		case a.Col[pa] < bt.Col[pb]:
+			pa++
+		case a.Col[pa] > bt.Col[pb]:
+			pb++
+		default:
+			acc = sr.Plus(acc, sr.Times(a.Val[pa], bt.Val[pb]))
+			pa++
+			pb++
+		}
+	}
+	return acc
+}
+
+// EWiseAdd combines two vectors with the semiring's Plus.
+func EWiseAdd(u, v *Vector, sr Semiring) *Vector {
+	if u.Len() != v.Len() {
+		panic("grb: EWiseAdd length mismatch")
+	}
+	w := NewVector(u.Len(), sr.Zero)
+	for i := range w.Data {
+		w.Data[i] = sr.Plus(u.Data[i], v.Data[i])
+	}
+	return w
+}
+
+// EWiseMult combines two vectors with the semiring's Times.
+func EWiseMult(u, v *Vector, sr Semiring) *Vector {
+	if u.Len() != v.Len() {
+		panic("grb: EWiseMult length mismatch")
+	}
+	w := NewVector(u.Len(), sr.Zero)
+	for i := range w.Data {
+		w.Data[i] = sr.Times(u.Data[i], v.Data[i])
+	}
+	return w
+}
+
+// Apply maps f over the vector.
+func Apply(u *Vector, f func(float64) float64) *Vector {
+	w := &Vector{Data: make([]float64, u.Len())}
+	for i, x := range u.Data {
+		w.Data[i] = f(x)
+	}
+	return w
+}
+
+// Reduce folds the vector with the semiring's Plus.
+func Reduce(u *Vector, sr Semiring) float64 {
+	acc := sr.Zero
+	for _, x := range u.Data {
+		acc = sr.Plus(acc, x)
+	}
+	return acc
+}
+
+// ReduceMatrix folds all stored matrix values with the semiring's Plus.
+func ReduceMatrix(a *sparse.CSR, sr Semiring) float64 {
+	acc := sr.Zero
+	for _, v := range a.Val {
+		acc = sr.Plus(acc, v)
+	}
+	return acc
+}
+
+// Select keeps matrix entries satisfying pred (GraphBLAS GrB_select), e.g.
+// the strict lower triangle for triangle counting.
+func Select(a *sparse.CSR, pred func(i, j int32, v float64) bool) *sparse.CSR {
+	coo := sparse.NewCOO(a.Rows, a.Cols, a.NNZ())
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if pred(int32(i), a.Col[p], a.Val[p]) {
+				coo.AppendVal(int32(i), a.Col[p], a.Val[p])
+			}
+		}
+	}
+	return sparse.FromCOO(coo)
+}

@@ -1,0 +1,314 @@
+package grb
+
+import (
+	"math"
+	"testing"
+
+	"agnn/internal/sparse"
+	"agnn/internal/tensor"
+)
+
+// pathWeighted builds a weighted directed path 0→1→2→…→n-1 with weight w.
+func pathWeighted(n int, w float64) *sparse.CSR {
+	c := sparse.NewCOO(n, n, n-1)
+	for i := 0; i < n-1; i++ {
+		c.AppendVal(int32(i), int32(i+1), w)
+	}
+	return sparse.FromCOO(c)
+}
+
+func undirected(edges [][2]int32, n int) *sparse.CSR {
+	c := sparse.NewCOO(n, n, 2*len(edges))
+	for _, e := range edges {
+		c.Append(e[0], e[1])
+		c.Append(e[1], e[0])
+	}
+	return sparse.FromCOO(c)
+}
+
+func TestVectorBasics(t *testing.T) {
+	v := NewVector(4, 7)
+	if v.Len() != 4 || v.Data[3] != 7 {
+		t.Fatal("NewVector wrong")
+	}
+	c := v.Clone()
+	c.Data[0] = 0
+	if v.Data[0] != 7 {
+		t.Fatal("Clone aliases")
+	}
+	if c.NVals(0) != 3 {
+		t.Fatalf("NVals = %d", c.NVals(0))
+	}
+}
+
+func TestMxVPlusTimesMatchesDense(t *testing.T) {
+	a := pathWeighted(4, 2)
+	u := &Vector{Data: []float64{1, 2, 3, 4}}
+	w := MxV(a, u, PlusTimes, nil, nil)
+	// Row i has entry 2 at column i+1 → w[i] = 2·u[i+1].
+	want := []float64{4, 6, 8, 0}
+	for i := range want {
+		if w.Data[i] != want[i] {
+			t.Fatalf("MxV[%d] = %v want %v", i, w.Data[i], want[i])
+		}
+	}
+}
+
+func TestMxVMask(t *testing.T) {
+	a := pathWeighted(3, 1)
+	u := &Vector{Data: []float64{1, 1, 1}}
+	keep := []bool{true, false, true}
+	w := MxV(a, u, PlusTimes, &Mask{Keep: keep}, nil)
+	if w.Data[0] != 1 || w.Data[1] != 0 {
+		t.Fatalf("masked MxV = %v", w.Data)
+	}
+	wc := MxV(a, u, PlusTimes, &Mask{Keep: keep, Complement: true}, nil)
+	if wc.Data[0] != 0 || wc.Data[1] != 1 {
+		t.Fatalf("complement-masked MxV = %v", wc.Data)
+	}
+}
+
+func TestVxMIsTransposedMxV(t *testing.T) {
+	a := pathWeighted(4, 3)
+	u := &Vector{Data: []float64{1, 2, 3, 4}}
+	w := VxM(u, a, PlusTimes, nil, nil)
+	want := MxV(a.Transpose(), u, PlusTimes, nil, nil)
+	for i := range w.Data {
+		if w.Data[i] != want.Data[i] {
+			t.Fatal("VxM != MxV over Aᵀ")
+		}
+	}
+}
+
+func TestMxMUnmaskedMatchesDense(t *testing.T) {
+	a := undirected([][2]int32{{0, 1}, {1, 2}, {0, 2}}, 4)
+	c := MxM(a, a, PlusTimes, nil)
+	want := tensor.MM(a.ToDense(), a.ToDense())
+	if !c.ToDense().ApproxEqual(want, 1e-12) {
+		t.Fatalf("MxM mismatch:\n%v\nvs\n%v", c.ToDense(), want)
+	}
+}
+
+func TestMxMMaskedMatchesDenseAtMask(t *testing.T) {
+	a := undirected([][2]int32{{0, 1}, {1, 2}, {0, 2}, {2, 3}}, 4)
+	c := MxM(a, a, PlusTimes, a) // A ⊙ (A·A)
+	full := tensor.MM(a.ToDense(), a.ToDense())
+	cd := c.ToDense()
+	ad := a.ToDense()
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if ad.At(i, j) != 0 {
+				want = full.At(i, j)
+			}
+			if cd.At(i, j) != want {
+				t.Fatalf("masked MxM (%d,%d) = %v want %v", i, j, cd.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestMxMMinPlusIsAPSPStep(t *testing.T) {
+	// One min-plus squaring of the weighted adjacency gives 2-hop shortest
+	// path candidates.
+	c := sparse.NewCOO(3, 3, 2)
+	c.AppendVal(0, 1, 5)
+	c.AppendVal(1, 2, 7)
+	a := sparse.FromCOO(c)
+	sq := MxM(a, a, MinPlus, nil)
+	if sq.ToDense().At(0, 2) != 12 {
+		t.Fatalf("min-plus square (0,2) = %v, want 12", sq.ToDense().At(0, 2))
+	}
+}
+
+func TestEWiseAndApplyAndReduce(t *testing.T) {
+	u := &Vector{Data: []float64{1, 2, 3}}
+	v := &Vector{Data: []float64{10, 20, 30}}
+	if w := EWiseAdd(u, v, PlusTimes); w.Data[2] != 33 {
+		t.Fatal("EWiseAdd wrong")
+	}
+	if w := EWiseMult(u, v, PlusTimes); w.Data[1] != 40 {
+		t.Fatal("EWiseMult wrong")
+	}
+	if w := EWiseAdd(u, v, MinPlus); w.Data[0] != 1 {
+		t.Fatal("min EWiseAdd wrong")
+	}
+	if w := Apply(u, func(x float64) float64 { return -x }); w.Data[0] != -1 {
+		t.Fatal("Apply wrong")
+	}
+	if Reduce(u, PlusTimes) != 6 {
+		t.Fatal("Reduce wrong")
+	}
+	if Reduce(u, MaxPlus) != 3 {
+		t.Fatal("max Reduce wrong")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	a := undirected([][2]int32{{0, 1}, {1, 2}}, 3)
+	lower := Select(a, func(i, j int32, _ float64) bool { return j < i })
+	if lower.NNZ() != 2 { // (1,0) and (2,1)
+		t.Fatalf("lower triangle nnz = %d", lower.NNZ())
+	}
+}
+
+func TestShapePanics(t *testing.T) {
+	a := pathWeighted(3, 1)
+	for name, f := range map[string]func(){
+		"MxV":       func() { MxV(a, NewVector(5, 0), PlusTimes, nil, nil) },
+		"VxM":       func() { VxM(NewVector(5, 0), a, PlusTimes, nil, nil) },
+		"MxM":       func() { MxM(a, pathWeighted(4, 1), PlusTimes, nil) },
+		"EWiseAdd":  func() { EWiseAdd(NewVector(2, 0), NewVector(3, 0), PlusTimes) },
+		"EWiseMult": func() { EWiseMult(NewVector(2, 0), NewVector(3, 0), PlusTimes) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// ------------------------------ algorithms -------------------------------
+
+func TestBFSLevels(t *testing.T) {
+	// 0-1-2-3 path plus isolated 4.
+	a := undirected([][2]int32{{0, 1}, {1, 2}, {2, 3}}, 5)
+	lv := BFSLevels(a, 0)
+	want := []int{0, 1, 2, 3, -1}
+	for i := range want {
+		if lv[i] != want[i] {
+			t.Fatalf("BFS level[%d] = %d want %d", i, lv[i], want[i])
+		}
+	}
+}
+
+func TestSSSP(t *testing.T) {
+	// 0→1 (5), 0→2 (2), 2→1 (1), 1→3 (1): dist = [0, 3, 2, 4].
+	c := sparse.NewCOO(5, 5, 4)
+	c.AppendVal(0, 1, 5)
+	c.AppendVal(0, 2, 2)
+	c.AppendVal(2, 1, 1)
+	c.AppendVal(1, 3, 1)
+	a := sparse.FromCOO(c)
+	d := SSSP(a, 0)
+	want := []float64{0, 3, 2, 4, math.Inf(1)}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("SSSP[%d] = %v want %v", i, d[i], want[i])
+		}
+	}
+}
+
+func TestTriangleCount(t *testing.T) {
+	// Triangle 0-1-2 plus pendant 3 → exactly 1 triangle.
+	a := undirected([][2]int32{{0, 1}, {1, 2}, {0, 2}, {2, 3}}, 4)
+	if got := TriangleCount(a); got != 1 {
+		t.Fatalf("triangles = %d, want 1", got)
+	}
+	// K4 has 4 triangles.
+	k4 := undirected([][2]int32{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}, 4)
+	if got := TriangleCount(k4); got != 4 {
+		t.Fatalf("K4 triangles = %d, want 4", got)
+	}
+	// Triangle-free bipartite square → 0.
+	sq := undirected([][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 0}}, 4)
+	if got := TriangleCount(sq); got != 0 {
+		t.Fatalf("C4 triangles = %d, want 0", got)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	// Two components: {0,1,2} and {3,4}; isolated 5.
+	a := undirected([][2]int32{{0, 1}, {1, 2}, {3, 4}}, 6)
+	cc := ConnectedComponents(a)
+	if cc[0] != 0 || cc[1] != 0 || cc[2] != 0 {
+		t.Fatalf("component of 0-2: %v", cc)
+	}
+	if cc[3] != 3 || cc[4] != 3 {
+		t.Fatalf("component of 3-4: %v", cc)
+	}
+	if cc[5] != 5 {
+		t.Fatalf("isolated vertex component: %v", cc)
+	}
+}
+
+func TestPageRank(t *testing.T) {
+	// Star: hub 0 connected to 1..3 (undirected). Hub must rank highest.
+	a := undirected([][2]int32{{0, 1}, {0, 2}, {0, 3}}, 4)
+	pr := PageRank(a, 0.85, 50)
+	sum := 0.0
+	for _, v := range pr {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("PageRank mass %v, want 1", sum)
+	}
+	for v := 1; v < 4; v++ {
+		if pr[0] <= pr[v] {
+			t.Fatalf("hub rank %v not above leaf %v", pr[0], pr[v])
+		}
+	}
+	// Dangling vertex handling: directed edge into a sink keeps mass = 1.
+	c := sparse.NewCOO(2, 2, 1)
+	c.AppendVal(0, 1, 1)
+	pr = PageRank(sparse.FromCOO(c), 0.85, 30)
+	if math.Abs(pr[0]+pr[1]-1) > 1e-9 {
+		t.Fatalf("dangling mass lost: %v", pr)
+	}
+}
+
+func TestBetweennessCentralityPath(t *testing.T) {
+	// Path 0-1-2-3-4: exact BC (undirected counts both directions as
+	// separate source sweeps) is 2·[0, 3, 4, 3, 0].
+	a := undirected([][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}}, 5)
+	bc := BetweennessCentrality(a, nil)
+	want := []float64{0, 6, 8, 6, 0}
+	for i := range want {
+		if math.Abs(bc[i]-want[i]) > 1e-9 {
+			t.Fatalf("BC[%d] = %v, want %v (full %v)", i, bc[i], want[i], bc)
+		}
+	}
+}
+
+func TestBetweennessCentralityStar(t *testing.T) {
+	// Star with hub 0 and leaves 1..4: hub lies on all leaf-pair paths:
+	// directed-pair count = 4·3 = 12; leaves have 0.
+	a := undirected([][2]int32{{0, 1}, {0, 2}, {0, 3}, {0, 4}}, 5)
+	bc := BetweennessCentrality(a, nil)
+	if math.Abs(bc[0]-12) > 1e-9 {
+		t.Fatalf("hub BC = %v, want 12", bc[0])
+	}
+	for v := 1; v < 5; v++ {
+		if bc[v] != 0 {
+			t.Fatalf("leaf BC[%d] = %v", v, bc[v])
+		}
+	}
+}
+
+func TestBetweennessCentralitySigmaSplit(t *testing.T) {
+	// Diamond 0-1-3, 0-2-3: two shortest paths 0→3; each middle vertex gets
+	// dependency 1/2 per direction of each endpoint pair... exact values:
+	// pairs (0,3) and (3,0) each contribute 0.5 to vertices 1 and 2.
+	// By symmetry every vertex also carries the (1,2)/(2,1) pairs' split
+	// through 0 and 3, so all four vertices end with BC = 1.
+	a := undirected([][2]int32{{0, 1}, {0, 2}, {1, 3}, {2, 3}}, 4)
+	bc := BetweennessCentrality(a, nil)
+	for v := range bc {
+		if math.Abs(bc[v]-1) > 1e-9 {
+			t.Fatalf("diamond BC = %v, want all 1", bc)
+		}
+	}
+}
+
+func TestBetweennessSampledSources(t *testing.T) {
+	a := undirected([][2]int32{{0, 1}, {1, 2}}, 3)
+	// Only source 0: path 0→2 passes through 1 → δ contribution 1.
+	bc := BetweennessCentrality(a, []int{0})
+	if math.Abs(bc[1]-1) > 1e-9 || bc[0] != 0 || bc[2] != 0 {
+		t.Fatalf("sampled BC = %v", bc)
+	}
+}

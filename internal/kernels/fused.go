@@ -1,0 +1,254 @@
+// Package kernels implements the fused compute kernels of the paper:
+// the SpMMM and MSpMM compositions identified in Table 2, and the
+// SDDMM-like fused operators produced by the execution-DAG analysis of
+// Section 6.2 (Figure 5). The fusion rule is the paper's: walk the DAG
+// from an edge whose output is a *virtual* dense matrix (the n×n score
+// matrix C) until a sparse intermediate samples it, then collapse the whole
+// path into one kernel that iterates over the non-zeros of the sparse
+// matrix and evaluates the virtual values on the fly.
+package kernels
+
+import (
+	"math"
+
+	"agnn/internal/par"
+	"agnn/internal/sparse"
+	"agnn/internal/tensor"
+)
+
+// ScoreFunc evaluates one entry (i, j) of a virtual dense score matrix.
+// Implementations close over the small dense factors (u, v, H, norms …)
+// that represent the virtual matrix implicitly.
+type ScoreFunc func(i, j int32) float64
+
+// GATEdgeScore returns the virtual-matrix evaluator for GAT's attention
+// logits: C_ij = LeakyReLU(u_i + v_j) where u = H'·a₁ and v = H'·a₂ are the
+// per-vertex halves of the split dot product aᵀ[Wh_i ‖ Wh_j] (Figure 2).
+// The full C = σ(u·1ᵀ + 1·vᵀ) is never instantiated.
+func GATEdgeScore(u, v []float64, negSlope float64) ScoreFunc {
+	return func(i, j int32) float64 {
+		s := u[i] + v[j]
+		if s < 0 {
+			s *= negSlope
+		}
+		return s
+	}
+}
+
+// VAEdgeScore returns the evaluator for vanilla attention: C_ij = h_i·h_j,
+// the virtual H·Hᵀ.
+func VAEdgeScore(h *tensor.Dense) ScoreFunc {
+	k := h.Cols
+	return func(i, j int32) float64 {
+		hi := h.Data[int(i)*k : int(i)*k+k]
+		hj := h.Data[int(j)*k : int(j)*k+k]
+		acc := 0.0
+		for t, v := range hi {
+			acc += v * hj[t]
+		}
+		return acc
+	}
+}
+
+// AGNNEdgeScore returns the evaluator for AGNN's scaled cosine similarity:
+// C_ij = β · (h_i·h_j)/(‖h_i‖‖h_j‖), the virtual (H·Hᵀ) ⊘ n·nᵀ scaled by β.
+// Zero-norm rows contribute score 0.
+func AGNNEdgeScore(h *tensor.Dense, norms []float64, beta float64) ScoreFunc {
+	k := h.Cols
+	return func(i, j int32) float64 {
+		ni, nj := norms[i], norms[j]
+		if ni == 0 || nj == 0 {
+			return 0
+		}
+		hi := h.Data[int(i)*k : int(i)*k+k]
+		hj := h.Data[int(j)*k : int(j)*k+k]
+		acc := 0.0
+		for t, v := range hi {
+			acc += v * hj[t]
+		}
+		return beta * acc / (ni * nj)
+	}
+}
+
+// FusedScores samples the virtual score matrix through the sparsity pattern:
+// the result is pat's pattern with values f(i, j). This is the generalized
+// SDDMM the paper fuses attention-score pipelines into.
+func FusedScores(pat *sparse.CSR, f ScoreFunc) *sparse.CSR {
+	vals := make([]float64, pat.NNZ())
+	par.RangeWeighted(pat.Rows, func(i int) int64 { return int64(pat.RowNNZ(i)) }, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for p := pat.RowPtr[i]; p < pat.RowPtr[i+1]; p++ {
+				vals[p] = f(int32(i), pat.Col[p])
+			}
+		}
+	})
+	return pat.WithValues(vals)
+}
+
+// FusedSoftmaxScores computes sm(A ⊙ scores) in a single sweep per row:
+// score evaluation, row max, exponentiation and normalization are fused, so
+// no unnormalized score matrix is materialized.
+func FusedSoftmaxScores(pat *sparse.CSR, f ScoreFunc) *sparse.CSR {
+	vals := make([]float64, pat.NNZ())
+	par.RangeWeighted(pat.Rows, func(i int) int64 { return int64(pat.RowNNZ(i)) }, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			b, e := pat.RowPtr[i], pat.RowPtr[i+1]
+			if b == e {
+				continue
+			}
+			m := math.Inf(-1)
+			for p := b; p < e; p++ {
+				v := f(int32(i), pat.Col[p])
+				vals[p] = v
+				if v > m {
+					m = v
+				}
+			}
+			sum := 0.0
+			for p := b; p < e; p++ {
+				v := math.Exp(vals[p] - m)
+				vals[p] = v
+				sum += v
+			}
+			inv := 1 / sum
+			for p := b; p < e; p++ {
+				vals[p] *= inv
+			}
+		}
+	})
+	return pat.WithValues(vals)
+}
+
+// FusedSoftmaxApply computes Z = sm(A ⊙ scores)·X without materializing the
+// attention matrix Ψ at all — the inference-only fast path matching the
+// paper's --inference mode, which skips storing intermediates needed for
+// backpropagation. Per-worker scratch holds one row of scores at a time.
+func FusedSoftmaxApply(pat *sparse.CSR, f ScoreFunc, x *tensor.Dense) *tensor.Dense {
+	if pat.Cols != x.Rows {
+		panic("kernels: FusedSoftmaxApply shape mismatch")
+	}
+	k := x.Cols
+	out := tensor.NewDense(pat.Rows, k)
+	maxRow := pat.MaxRowNNZ()
+	scratch := make([][]float64, par.Workers())
+	par.RangeWeighted(pat.Rows, func(i int) int64 { return int64(pat.RowNNZ(i)) }, func(worker, lo, hi int) {
+		buf := scratch[worker]
+		if buf == nil {
+			buf = make([]float64, maxRow)
+			scratch[worker] = buf
+		}
+		for i := lo; i < hi; i++ {
+			b, e := pat.RowPtr[i], pat.RowPtr[i+1]
+			if b == e {
+				continue
+			}
+			m := math.Inf(-1)
+			for p := b; p < e; p++ {
+				v := f(int32(i), pat.Col[p])
+				buf[p-b] = v
+				if v > m {
+					m = v
+				}
+			}
+			sum := 0.0
+			for p := b; p < e; p++ {
+				v := math.Exp(buf[p-b] - m)
+				buf[p-b] = v
+				sum += v
+			}
+			inv := 1 / sum
+			orow := out.Data[i*k : (i+1)*k]
+			for p := b; p < e; p++ {
+				w := buf[p-b] * inv
+				xrow := x.Data[int(pat.Col[p])*k : int(pat.Col[p])*k+k]
+				for t, xv := range xrow {
+					orow[t] += w * xv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// SpMMM computes the sparse–dense–dense composition S·B·C (forward-pass
+// pattern of Table 2). Both association orders produce n×k intermediates;
+// S·(B·C) performs nnz(S)·k + n·k·k multiplies versus (S·B)·C's
+// nnz(S)·k + n·k·k as well, but S·(B·C) touches the sparse matrix once with
+// the *projected* features, which is the order the paper's Φ-before-⊕
+// optimization prefers. A flop-based heuristic picks the order when the
+// dense shapes make them differ (k_in ≠ k_out).
+func SpMMM(s *sparse.CSR, b, c *tensor.Dense) *tensor.Dense {
+	// flops(S·(B·C)) = b.Rows·b.Cols·c.Cols + nnz·c.Cols
+	// flops((S·B)·C) = nnz·b.Cols + s.Rows·b.Cols·c.Cols
+	nnz := int64(s.NNZ())
+	right := int64(b.Rows)*int64(b.Cols)*int64(c.Cols) + nnz*int64(c.Cols)
+	left := nnz*int64(b.Cols) + int64(s.Rows)*int64(b.Cols)*int64(c.Cols)
+	if right <= left {
+		return s.MulDense(tensor.MM(b, c))
+	}
+	return tensor.MM(s.MulDense(b), c)
+}
+
+// MSpMM computes the dense–sparse–dense composition Xᵀ·S·Y (backward-pass
+// pattern of Table 2, e.g. the weight gradient Hᵀ·Ψᵀ·G) as one fused sweep:
+// per sparse row i it accumulates t_i = Σ_{j∈row i} S_ij·Y[j,:] into a
+// per-worker k₂ scratch vector and folds the rank-1 update X[i,:]ᵀ·t_i into
+// a per-worker k₁×k₂ accumulator. Flop count matches the unfused
+// composition (nnz·k₂ + n·k₁·k₂) but the n×k₂ intermediate of Xᵀ·(S·Y) is
+// never allocated — the point of the fusion.
+func MSpMM(x *tensor.Dense, s *sparse.CSR, y *tensor.Dense) *tensor.Dense {
+	if x.Rows != s.Rows || y.Rows != s.Cols {
+		panic("kernels: MSpMM shape mismatch")
+	}
+	k1, k2 := x.Cols, y.Cols
+	partials := make([]*tensor.Dense, par.Workers())
+	scratch := make([][]float64, par.Workers())
+	par.RangeWeighted(s.Rows, func(i int) int64 { return int64(s.RowNNZ(i)) }, func(worker, lo, hi int) {
+		acc := partials[worker]
+		if acc == nil {
+			acc = tensor.NewDense(k1, k2)
+			partials[worker] = acc
+			scratch[worker] = make([]float64, k2)
+		}
+		t := scratch[worker]
+		for i := lo; i < hi; i++ {
+			b, e := s.RowPtr[i], s.RowPtr[i+1]
+			if b == e {
+				continue
+			}
+			for q := range t {
+				t[q] = 0
+			}
+			for p := b; p < e; p++ {
+				v := s.Val[p]
+				yrow := y.Data[int(s.Col[p])*k2 : int(s.Col[p])*k2+k2]
+				for q, yv := range yrow {
+					t[q] += v * yv
+				}
+			}
+			xrow := x.Data[i*k1 : (i+1)*k1]
+			for c, xv := range xrow {
+				if xv == 0 {
+					continue
+				}
+				arow := acc.Data[c*k2 : (c+1)*k2]
+				for q, tv := range t {
+					arow[q] += xv * tv
+				}
+			}
+		}
+	})
+	out := tensor.NewDense(k1, k2)
+	for _, p := range partials {
+		if p != nil {
+			out.AddInPlace(p)
+		}
+	}
+	return out
+}
+
+// MSpMMUnfused computes Xᵀ·S·Y as the two-kernel composition Xᵀ·(S·Y),
+// materializing the n×k₂ intermediate. Ablation target for MSpMM.
+func MSpMMUnfused(x *tensor.Dense, s *sparse.CSR, y *tensor.Dense) *tensor.Dense {
+	return tensor.TMM(x, s.MulDense(y))
+}

@@ -1,0 +1,234 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"agnn/internal/sparse"
+	"agnn/internal/tensor"
+)
+
+func randDense(r, c int, rng *rand.Rand) *tensor.Dense {
+	m := tensor.NewDense(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func randPattern(n int, density float64, rng *rand.Rand) *sparse.CSR {
+	c := sparse.NewCOO(n, n, int(density*float64(n*n))+n)
+	for i := 0; i < n; i++ {
+		c.Append(int32(i), int32(rng.Intn(n)))
+		for j := 0; j < n; j++ {
+			if rng.Float64() < density {
+				c.Append(int32(i), int32(j))
+			}
+		}
+	}
+	return sparse.FromCOO(c)
+}
+
+func randVec(n int, rng *rand.Rand) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestFusedScoresMatchesExplicitComputation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 20
+	pat := randPattern(n, 0.2, rng)
+	u, v := randVec(n, rng), randVec(n, rng)
+	slope := 0.2
+	got := FusedScores(pat, GATEdgeScore(u, v, slope))
+	// Explicit: C = u·1ᵀ + 1·vᵀ, lrelu, Hadamard with pattern.
+	c := tensor.Rep(u, n).Add(tensor.RepT(v, n))
+	c.ApplyInPlace(func(x float64) float64 {
+		if x < 0 {
+			return slope * x
+		}
+		return x
+	})
+	gd := got.ToDense()
+	pd := pat.ToDense()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			if pd.At(i, j) != 0 {
+				want = c.At(i, j)
+			}
+			if math.Abs(gd.At(i, j)-want) > 1e-12 {
+				t.Fatalf("fused GAT score (%d,%d) = %v want %v", i, j, gd.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestVAEdgeScoreMatchesSDDMM(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n, k := 15, 6
+	pat := randPattern(n, 0.3, rng)
+	h := randDense(n, k, rng)
+	got := FusedScores(pat, VAEdgeScore(h))
+	want := sparse.SDDMM(pat, h, h)
+	for p := range got.Val {
+		if math.Abs(got.Val[p]-want.Val[p]) > 1e-12 {
+			t.Fatal("VA fused score != SDDMM")
+		}
+	}
+}
+
+func TestAGNNEdgeScoreIsCosine(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, k := 12, 5
+	pat := randPattern(n, 0.3, rng)
+	h := randDense(n, k, rng)
+	norms := tensor.RowNorms(h)
+	beta := 1.7
+	got := FusedScores(pat, AGNNEdgeScore(h, norms, beta))
+	// Cosine similarity is in [-1, 1]; scaled by β.
+	for p := range got.Val {
+		if math.Abs(got.Val[p]) > beta+1e-12 {
+			t.Fatalf("cosine score %v exceeds β", got.Val[p])
+		}
+	}
+	// Cross-check one row against the unfused SDDMM + ScaleRowsCols route.
+	s := sparse.SDDMM(pat, h, h)
+	inv := make([]float64, n)
+	for i := range inv {
+		inv[i] = 1 / norms[i]
+	}
+	want := s.ScaleRowsCols(inv, inv).Scale(beta)
+	for p := range got.Val {
+		if math.Abs(got.Val[p]-want.Val[p]) > 1e-12 {
+			t.Fatal("AGNN fused score != unfused composition")
+		}
+	}
+}
+
+func TestAGNNEdgeScoreZeroNorm(t *testing.T) {
+	pat := sparse.Identity(2)
+	h := tensor.NewDense(2, 3) // all-zero features → zero norms
+	got := FusedScores(pat, AGNNEdgeScore(h, tensor.RowNorms(h), 1))
+	for _, v := range got.Val {
+		if v != 0 {
+			t.Fatal("zero-norm rows must score 0, not NaN")
+		}
+	}
+}
+
+func TestFusedSoftmaxScoresMatchesTwoStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(20)
+		pat := randPattern(n, 0.25, r)
+		u, v := randVec(n, r), randVec(n, r)
+		sf := GATEdgeScore(u, v, 0.2)
+		fused := FusedSoftmaxScores(pat, sf)
+		twoStep := sparse.RowSoftmax(FusedScores(pat, sf))
+		for p := range fused.Val {
+			if math.Abs(fused.Val[p]-twoStep.Val[p]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFusedSoftmaxApplyMatchesMaterialized(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(25)
+		k := 1 + r.Intn(8)
+		pat := randPattern(n, 0.2, r)
+		h := randDense(n, k, r)
+		sf := VAEdgeScore(h)
+		got := FusedSoftmaxApply(pat, sf, h)
+		want := FusedSoftmaxScores(pat, sf).MulDense(h)
+		return got.ApproxEqual(want, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFusedSoftmaxApplyEmptyRows(t *testing.T) {
+	c := sparse.NewCOO(3, 3, 1)
+	c.Append(0, 1)
+	pat := sparse.FromCOO(c)
+	h := randDense(3, 4, rand.New(rand.NewSource(6)))
+	out := FusedSoftmaxApply(pat, VAEdgeScore(h), h)
+	for j := 0; j < 4; j++ {
+		if out.At(1, j) != 0 || out.At(2, j) != 0 {
+			t.Fatal("rows without neighbors must stay zero")
+		}
+	}
+}
+
+func TestSpMMMBothOrders(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n, kin, kout := 30, 8, 5
+	s := randPattern(n, 0.2, rng)
+	b := randDense(n, kin, rng)
+	c := randDense(kin, kout, rng)
+	got := SpMMM(s, b, c)
+	want := tensor.MM(s.MulDense(b), c)
+	if !got.ApproxEqual(want, 1e-10) {
+		t.Fatalf("SpMMM mismatch %g", got.MaxAbsDiff(want))
+	}
+	// Force the other branch with a very dense sparse matrix and small k.
+	dense := randPattern(n, 0.9, rng)
+	got2 := SpMMM(dense, b, c)
+	want2 := tensor.MM(dense.MulDense(b), c)
+	if !got2.ApproxEqual(want2, 1e-9) {
+		t.Fatal("SpMMM dense-branch mismatch")
+	}
+}
+
+func TestMSpMMMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(30)
+		k1 := 1 + r.Intn(6)
+		k2 := 1 + r.Intn(6)
+		s := randPattern(n, 0.25, r)
+		x := randDense(n, k1, r)
+		y := randDense(n, k2, r)
+		return MSpMM(x, s, y).ApproxEqual(MSpMMUnfused(x, s, y), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMSpMMMatchesDenseReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n, k1, k2 := 20, 4, 3
+	s := randPattern(n, 0.3, rng)
+	x, y := randDense(n, k1, rng), randDense(n, k2, rng)
+	got := MSpMM(x, s, y)
+	want := tensor.MM(tensor.MM(x.T(), s.ToDense()), y)
+	if !got.ApproxEqual(want, 1e-9) {
+		t.Fatalf("MSpMM dense reference mismatch %g", got.MaxAbsDiff(want))
+	}
+}
+
+func TestMSpMMShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MSpMM(tensor.NewDense(3, 2), sparse.Identity(4), tensor.NewDense(4, 2))
+}

@@ -1,0 +1,50 @@
+package local
+
+import (
+	"agnn/internal/gnn"
+	"agnn/internal/tensor"
+)
+
+// GCNLayer is the C-GNN special case in the local formulation:
+// h'_i = σ(Σ_{j∈N̂(i)} a_ij·W h_j) with pre-normalized edge weights a_ij.
+// It backs the Section 8.4 verification runs on the local side.
+type GCNLayer struct {
+	G   *Graph
+	W   *gnn.Param
+	Act gnn.Activation
+
+	h *tensor.Dense
+	z *tensor.Dense
+}
+
+// NewGCNLayer wraps an existing weight matrix (cloned) as a local GCN layer.
+func NewGCNLayer(g *Graph, w *tensor.Dense, act gnn.Activation) *GCNLayer {
+	return &GCNLayer{G: g, W: gnn.NewParam("W", w.Clone()), Act: act}
+}
+
+// Name implements gnn.Layer.
+func (l *GCNLayer) Name() string { return "local-gcn" }
+
+// Params implements gnn.Layer.
+func (l *GCNLayer) Params() []*gnn.Param { return []*gnn.Param{l.W} }
+
+// Forward implements gnn.Layer.
+func (l *GCNLayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {
+	hp := project(h, l.W.Value)
+	z := aggregateEdges(l.G, l.G.OutVal, hp)
+	if training {
+		l.h, l.z = h, z
+	}
+	return z.Apply(l.Act.F)
+}
+
+// Backward implements gnn.Layer.
+func (l *GCNLayer) Backward(gOut *tensor.Dense) *tensor.Dense {
+	if l.z == nil {
+		panic("local: GCNLayer.Backward before training-mode Forward")
+	}
+	gz := gOut.Hadamard(l.z.Apply(l.Act.DF))
+	hpBar := gatherScaled(l.G, l.G.OutVal, gz)
+	accumWeightGrad(l.W.Grad, l.h, hpBar)
+	return project(hpBar, l.W.Value.T())
+}

@@ -1,0 +1,141 @@
+// Package par provides small parallel-execution helpers shared by all
+// compute kernels in this repository. The kernels follow the same pattern
+// the paper's CUDA implementation uses — grid-stride work distribution over
+// contiguous index ranges — translated to goroutines: a fixed worker pool
+// processes disjoint [lo, hi) ranges of rows or non-zeros.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxWorkers is the process-wide parallelism cap. It defaults to
+// runtime.GOMAXPROCS(0) and can be lowered for deterministic profiling.
+var (
+	mu         sync.RWMutex
+	maxWorkers = runtime.GOMAXPROCS(0)
+)
+
+// SetWorkers sets the number of workers used by Range and Do.
+// n < 1 resets to runtime.GOMAXPROCS(0). It returns the previous value.
+func SetWorkers(n int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	prev := maxWorkers
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	maxWorkers = n
+	return prev
+}
+
+// Workers reports the current worker cap.
+func Workers() int {
+	mu.RLock()
+	defer mu.RUnlock()
+	return maxWorkers
+}
+
+// minGrain is the smallest per-worker range worth spawning a goroutine for.
+// Below this the scheduling overhead dominates the work.
+const minGrain = 256
+
+// Range runs fn over [0, n) split into at most Workers() contiguous chunks.
+// fn receives a worker id in [0, workers) and its [lo, hi) range. Ranges are
+// balanced by count; use RangeWeighted when per-index work is skewed.
+// When n is small, fn runs inline on the calling goroutine.
+func Range(n int, fn func(worker, lo, hi int)) {
+	w := Workers()
+	if n <= 0 {
+		return
+	}
+	if w == 1 || n <= minGrain {
+		fn(0, 0, n)
+		return
+	}
+	if w > n {
+		w = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	worker := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(id, lo, hi int) {
+			defer wg.Done()
+			fn(id, lo, hi)
+		}(worker, lo, hi)
+		worker++
+	}
+	wg.Wait()
+}
+
+// RangeWeighted runs fn over [0, n) split into chunks of approximately equal
+// total weight, where weight(i) is the cost of index i (e.g. the number of
+// non-zeros in row i of a sparse matrix). This is the nnz-balanced schedule
+// used by every sparse kernel; DESIGN.md calls the row-count-balanced
+// alternative out for ablation.
+func RangeWeighted(n int, weight func(i int) int64, fn func(worker, lo, hi int)) {
+	w := Workers()
+	if n <= 0 {
+		return
+	}
+	if w == 1 || n <= minGrain {
+		fn(0, 0, n)
+		return
+	}
+	if w > n {
+		w = n
+	}
+	var total int64
+	for i := 0; i < n; i++ {
+		total += weight(i)
+	}
+	if total <= 0 {
+		Range(n, fn)
+		return
+	}
+	target := (total + int64(w) - 1) / int64(w)
+
+	var wg sync.WaitGroup
+	worker := 0
+	lo := 0
+	var acc int64
+	for i := 0; i < n; i++ {
+		acc += weight(i)
+		if acc >= target || i == n-1 {
+			hi := i + 1
+			wg.Add(1)
+			go func(id, lo, hi int) {
+				defer wg.Done()
+				fn(id, lo, hi)
+			}(worker, lo, hi)
+			worker++
+			lo = hi
+			acc = 0
+		}
+	}
+	wg.Wait()
+}
+
+// Do runs the given thunks concurrently and waits for all of them.
+func Do(fns ...func()) {
+	if len(fns) == 1 {
+		fns[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	for _, fn := range fns {
+		wg.Add(1)
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(fn)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,113 @@
+// Package semiring implements the generalized-aggregation algebra of
+// Section 4.3 of the paper. A semiring (X, op1, op2, el1, el2) generalizes
+// the matrix product: op1 ("Plus") folds contributions across a vertex
+// neighborhood and op2 ("Times") combines an adjacency entry with a feature.
+// Sum aggregation is the real semiring; max/min are the tropical variants;
+// average uses the paper's ℝ² tuple construction that threads partial sums
+// and weights through op1.
+package semiring
+
+import "math"
+
+// Semiring describes (X, Plus, Times, Zero, One) over an element type T.
+// (X, Plus) must be a commutative monoid with identity Zero and (X, Times)
+// a monoid with identity One. Implementations in this package additionally
+// guarantee Times(Zero, x) == Zero for the sparse-skip optimization, except
+// where documented (tropical semirings redefine the "missing edge" element).
+type Semiring[T any] struct {
+	Name  string
+	Plus  func(a, b T) T
+	Times func(a, b T) T
+	Zero  T // identity of Plus
+	One   T // identity of Times
+}
+
+// Real is the standard (ℝ, +, ·, 0, 1) semiring: sum aggregation.
+func Real() Semiring[float64] {
+	return Semiring[float64]{
+		Name:  "real",
+		Plus:  func(a, b float64) float64 { return a + b },
+		Times: func(a, b float64) float64 { return a * b },
+		Zero:  0,
+		One:   1,
+	}
+}
+
+// TropicalMin is (ℝ ∪ {∞}, min, +, ∞, 0): min aggregation. Off-diagonal
+// structural zeros of the adjacency matrix must be mapped to +∞ before use
+// (see sparse.SpMMSemiring's edge-value mapping).
+func TropicalMin() Semiring[float64] {
+	return Semiring[float64]{
+		Name:  "tropical-min",
+		Plus:  math.Min,
+		Times: func(a, b float64) float64 { return a + b },
+		Zero:  math.Inf(1),
+		One:   0,
+	}
+}
+
+// TropicalMax is (ℝ ∪ {−∞}, max, +, −∞, 0): max aggregation.
+func TropicalMax() Semiring[float64] {
+	return Semiring[float64]{
+		Name:  "tropical-max",
+		Plus:  math.Max,
+		Times: func(a, b float64) float64 { return a + b },
+		Zero:  math.Inf(-1),
+		One:   0,
+	}
+}
+
+// Boolean is ({false,true}, ∨, ∧, false, true): reachability aggregation.
+func Boolean() Semiring[bool] {
+	return Semiring[bool]{
+		Name:  "boolean",
+		Plus:  func(a, b bool) bool { return a || b },
+		Times: func(a, b bool) bool { return a && b },
+		Zero:  false,
+		One:   true,
+	}
+}
+
+// Pair is the ℝ² element of the averaging semiring: V is a running
+// (weighted) average and W the accumulated weight that produced it.
+type Pair struct {
+	V, W float64
+}
+
+// Average implements the paper's averaging aggregation over ℝ² tuples.
+// Plus merges two running averages by their weights:
+//
+//	(a₁,a₂) ⊕ (b₁,b₂) = ((a₁a₂ + b₁b₂)/(a₂+b₂), a₂+b₂)
+//
+// Times lifts an adjacency entry x (as the tuple (x,x)) and a feature value
+// h (as (h,1)) into the contribution (h, x): value h carrying weight x.
+// Aggregating a row of a binary adjacency matrix therefore yields the
+// arithmetic mean of the neighbor features, and for weighted adjacency the
+// edge-weighted mean.
+func Average() Semiring[Pair] {
+	return Semiring[Pair]{
+		Name: "average",
+		Plus: func(a, b Pair) Pair {
+			w := a.W + b.W
+			if w == 0 {
+				return Pair{}
+			}
+			return Pair{V: (a.V*a.W + b.V*b.W) / w, W: w}
+		},
+		Times: func(a, b Pair) Pair {
+			// a is the lifted adjacency entry (x, x); b the lifted feature
+			// (h, 1). The contribution is value h with weight x.
+			return Pair{V: b.V, W: a.V * b.W}
+		},
+		Zero: Pair{},
+		One:  Pair{V: 0, W: 1},
+	}
+}
+
+// LiftEdge converts a raw adjacency value into the averaging-semiring
+// element the paper assigns to each initial matrix entry: (x, x).
+func LiftEdge(x float64) Pair { return Pair{V: x, W: x} }
+
+// LiftFeature converts a raw feature value into an averaging-semiring
+// element with unit weight: (h, 1).
+func LiftFeature(h float64) Pair { return Pair{V: h, W: 1} }

@@ -1,0 +1,157 @@
+package semiring
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// checkMonoidLaws verifies associativity and identity for an operation.
+func checkMonoidLaws(t *testing.T, name string, op func(a, b float64) float64, id float64, commutative bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	f := func(sa, sb, sc int16) bool {
+		a, b, c := float64(sa), float64(sb), float64(sc)
+		assoc := op(op(a, b), c) == op(a, op(b, c))
+		ident := op(a, id) == a && op(id, a) == a
+		comm := !commutative || op(a, b) == op(b, a)
+		return assoc && ident && comm
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Fatalf("%s monoid law violated: %v", name, err)
+	}
+}
+
+func TestRealSemiringLaws(t *testing.T) {
+	s := Real()
+	checkMonoidLaws(t, "real.Plus", s.Plus, s.Zero, true)
+	checkMonoidLaws(t, "real.Times", s.Times, s.One, true)
+	// Annihilation: Times(Zero, x) == Zero.
+	if s.Times(s.Zero, 5) != s.Zero {
+		t.Fatal("real: Zero does not annihilate")
+	}
+	// Distributivity on a sample grid.
+	for a := -3.0; a <= 3; a++ {
+		for b := -3.0; b <= 3; b++ {
+			for c := -3.0; c <= 3; c++ {
+				if s.Times(a, s.Plus(b, c)) != s.Plus(s.Times(a, b), s.Times(a, c)) {
+					t.Fatalf("real distributivity fails at %v %v %v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestTropicalMinLaws(t *testing.T) {
+	s := TropicalMin()
+	checkMonoidLaws(t, "tropmin.Plus", s.Plus, s.Zero, true)
+	checkMonoidLaws(t, "tropmin.Times", s.Times, s.One, true)
+	// min distributes over +: a + min(b,c) == min(a+b, a+c).
+	for a := -3.0; a <= 3; a++ {
+		for b := -3.0; b <= 3; b++ {
+			for c := -3.0; c <= 3; c++ {
+				if s.Times(a, s.Plus(b, c)) != s.Plus(s.Times(a, b), s.Times(a, c)) {
+					t.Fatalf("tropical-min distributivity fails at %v %v %v", a, b, c)
+				}
+			}
+		}
+	}
+	if !math.IsInf(s.Plus(s.Zero, s.Zero), 1) {
+		t.Fatal("min(∞,∞) != ∞")
+	}
+}
+
+func TestTropicalMaxLaws(t *testing.T) {
+	s := TropicalMax()
+	checkMonoidLaws(t, "tropmax.Plus", s.Plus, s.Zero, true)
+	checkMonoidLaws(t, "tropmax.Times", s.Times, s.One, true)
+	if s.Plus(3, 7) != 7 || s.Times(3, 7) != 10 {
+		t.Fatal("tropical-max semantics wrong")
+	}
+}
+
+func TestBooleanLaws(t *testing.T) {
+	s := Boolean()
+	vals := []bool{false, true}
+	for _, a := range vals {
+		for _, b := range vals {
+			for _, c := range vals {
+				if s.Plus(s.Plus(a, b), c) != s.Plus(a, s.Plus(b, c)) {
+					t.Fatal("bool Plus not associative")
+				}
+				if s.Times(s.Times(a, b), c) != s.Times(a, s.Times(b, c)) {
+					t.Fatal("bool Times not associative")
+				}
+				if s.Times(a, s.Plus(b, c)) != s.Plus(s.Times(a, b), s.Times(a, c)) {
+					t.Fatal("bool distributivity fails")
+				}
+			}
+		}
+	}
+	if s.Plus(false, true) != true || s.Times(true, false) != false {
+		t.Fatal("bool semantics wrong")
+	}
+}
+
+func TestAveragePlusAssociativeAndCommutative(t *testing.T) {
+	s := Average()
+	rng := rand.New(rand.NewSource(2))
+	f := func(v1, v2, v3 int8, w1, w2, w3 uint8) bool {
+		a := Pair{float64(v1), float64(w1)}
+		b := Pair{float64(v2), float64(w2)}
+		c := Pair{float64(v3), float64(w3)}
+		l := s.Plus(s.Plus(a, b), c)
+		r := s.Plus(a, s.Plus(b, c))
+		comm := s.Plus(a, b)
+		comm2 := s.Plus(b, a)
+		return approxPair(l, r, 1e-9) && approxPair(comm, comm2, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+	// Identity.
+	a := Pair{5, 3}
+	if got := s.Plus(a, s.Zero); !approxPair(got, a, 0) {
+		t.Fatalf("Plus identity: got %v", got)
+	}
+}
+
+func TestAverageComputesMean(t *testing.T) {
+	s := Average()
+	// Aggregate features 2, 4, 9 over unit-weight edges: mean = 5.
+	acc := s.Zero
+	for _, h := range []float64{2, 4, 9} {
+		acc = s.Plus(acc, s.Times(LiftEdge(1), LiftFeature(h)))
+	}
+	if math.Abs(acc.V-5) > 1e-12 || acc.W != 3 {
+		t.Fatalf("average aggregation = %v, want (5,3)", acc)
+	}
+	// Weighted: edges 1,3 with features 10, 2 → (10 + 3·2)/4 = 4.
+	acc = s.Zero
+	acc = s.Plus(acc, s.Times(LiftEdge(1), LiftFeature(10)))
+	acc = s.Plus(acc, s.Times(LiftEdge(3), LiftFeature(2)))
+	if math.Abs(acc.V-4) > 1e-12 {
+		t.Fatalf("weighted average = %v, want 4", acc.V)
+	}
+}
+
+func TestAverageEmptyNeighborhood(t *testing.T) {
+	s := Average()
+	if got := s.Plus(s.Zero, s.Zero); got.V != 0 || got.W != 0 {
+		t.Fatalf("empty aggregation = %v", got)
+	}
+}
+
+func TestLiftHelpers(t *testing.T) {
+	if LiftEdge(2) != (Pair{2, 2}) {
+		t.Fatal("LiftEdge wrong")
+	}
+	if LiftFeature(7) != (Pair{7, 1}) {
+		t.Fatal("LiftFeature wrong")
+	}
+}
+
+func approxPair(a, b Pair, tol float64) bool {
+	return math.Abs(a.V-b.V) <= tol && math.Abs(a.W-b.W) <= tol
+}

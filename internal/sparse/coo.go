@@ -1,0 +1,109 @@
+// Package sparse implements the sparse-tensor substrate: COO and CSR
+// matrices, the SpMM / SDDMM kernels of Table 2, semiring-generalized
+// sparse-dense products (Section 4.3), pattern-restricted element-wise
+// operations, and the global graph-softmax formulation (Section 4.2).
+//
+// All matrices in this package use 32-bit column indices; graphs are
+// limited to 2^31-1 vertices and non-zeros, far beyond what a single
+// simulated node processes in this reproduction.
+package sparse
+
+import (
+	"fmt"
+	"slices"
+)
+
+// COO is a coordinate-format sparse matrix. Val may be nil, in which case
+// every stored entry has the implicit value 1 (a pattern/adjacency matrix).
+type COO struct {
+	Rows, Cols int
+	Row, Col   []int32
+	Val        []float64
+}
+
+// NewCOO returns an empty COO with the given shape and capacity hint.
+func NewCOO(rows, cols, capHint int) *COO {
+	return &COO{
+		Rows: rows,
+		Cols: cols,
+		Row:  make([]int32, 0, capHint),
+		Col:  make([]int32, 0, capHint),
+	}
+}
+
+// Len returns the number of stored entries (before deduplication).
+func (c *COO) Len() int { return len(c.Row) }
+
+// Append adds a pattern entry (i, j). Mixing Append and AppendVal on the
+// same COO is not allowed.
+func (c *COO) Append(i, j int32) {
+	if c.Val != nil {
+		panic("sparse: Append on a COO with explicit values")
+	}
+	c.Row = append(c.Row, i)
+	c.Col = append(c.Col, j)
+}
+
+// AppendVal adds an entry (i, j, v).
+func (c *COO) AppendVal(i, j int32, v float64) {
+	if c.Val == nil && len(c.Row) > 0 {
+		panic("sparse: AppendVal on a pattern COO")
+	}
+	if c.Val == nil {
+		c.Val = make([]float64, 0, cap(c.Row))
+	}
+	c.Row = append(c.Row, i)
+	c.Col = append(c.Col, j)
+	c.Val = append(c.Val, v)
+}
+
+// sortEntries orders entries by (row, col). Entries are packed into uint64
+// keys so the sort runs on flat integers rather than through an index
+// permutation — generated graphs reach tens of millions of entries.
+func (c *COO) sortEntries() {
+	n := c.Len()
+	if c.Val == nil {
+		keys := make([]uint64, n)
+		for p := 0; p < n; p++ {
+			keys[p] = uint64(uint32(c.Row[p]))<<32 | uint64(uint32(c.Col[p]))
+		}
+		slices.Sort(keys)
+		for p, k := range keys {
+			c.Row[p] = int32(k >> 32)
+			c.Col[p] = int32(uint32(k))
+		}
+		return
+	}
+	type entry struct {
+		key uint64
+		val float64
+	}
+	es := make([]entry, n)
+	for p := 0; p < n; p++ {
+		es[p] = entry{uint64(uint32(c.Row[p]))<<32 | uint64(uint32(c.Col[p])), c.Val[p]}
+	}
+	slices.SortFunc(es, func(a, b entry) int {
+		switch {
+		case a.key < b.key:
+			return -1
+		case a.key > b.key:
+			return 1
+		default:
+			return 0
+		}
+	})
+	for p, e := range es {
+		c.Row[p] = int32(e.key >> 32)
+		c.Col[p] = int32(uint32(e.key))
+		c.Val[p] = e.val
+	}
+}
+
+// validate panics on out-of-range indices.
+func (c *COO) validate() {
+	for p := range c.Row {
+		if c.Row[p] < 0 || int(c.Row[p]) >= c.Rows || c.Col[p] < 0 || int(c.Col[p]) >= c.Cols {
+			panic(fmt.Sprintf("sparse: entry (%d,%d) outside %d×%d", c.Row[p], c.Col[p], c.Rows, c.Cols))
+		}
+	}
+}

@@ -1,0 +1,410 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+
+	"agnn/internal/par"
+	"agnn/internal/tensor"
+)
+
+// CSR is a compressed-sparse-row matrix. By convention throughout this
+// repository, CSR pattern slices (RowPtr, Col) are immutable after
+// construction and may be shared among matrices with the same sparsity
+// structure (adjacency matrix, attention scores, softmax output, gradients
+// of all of these); only Val differs. This is the concrete realization of
+// the paper's observation that "the output almost always has the same
+// sparsity pattern as the adjacency matrix".
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int64 // len Rows+1
+	Col        []int32 // len NNZ
+	Val        []float64
+}
+
+// NNZ returns the number of stored entries.
+func (s *CSR) NNZ() int { return len(s.Col) }
+
+// FromCOO builds a CSR from a COO, sorting entries and summing duplicates.
+// A nil-valued (pattern) COO yields unit values with duplicates collapsed.
+func FromCOO(c *COO) *CSR {
+	c.validate()
+	c.sortEntries()
+	n := c.Len()
+	out := &CSR{Rows: c.Rows, Cols: c.Cols, RowPtr: make([]int64, c.Rows+1)}
+	out.Col = make([]int32, 0, n)
+	out.Val = make([]float64, 0, n)
+	lastRow, lastCol := int32(-1), int32(-1)
+	for p := 0; p < n; p++ {
+		i, j := c.Row[p], c.Col[p]
+		v := 1.0
+		if c.Val != nil {
+			v = c.Val[p]
+		}
+		if i == lastRow && j == lastCol {
+			if c.Val != nil {
+				out.Val[len(out.Val)-1] += v // sum duplicates of weighted matrices
+			}
+			continue
+		}
+		out.Col = append(out.Col, j)
+		out.Val = append(out.Val, v)
+		out.RowPtr[i+1]++
+		lastRow, lastCol = i, j
+	}
+	for i := 0; i < c.Rows; i++ {
+		out.RowPtr[i+1] += out.RowPtr[i]
+	}
+	return out
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *CSR {
+	s := &CSR{Rows: n, Cols: n, RowPtr: make([]int64, n+1), Col: make([]int32, n), Val: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		s.RowPtr[i+1] = int64(i + 1)
+		s.Col[i] = int32(i)
+		s.Val[i] = 1
+	}
+	return s
+}
+
+// Clone returns a deep copy (pattern included).
+func (s *CSR) Clone() *CSR {
+	out := &CSR{Rows: s.Rows, Cols: s.Cols,
+		RowPtr: append([]int64(nil), s.RowPtr...),
+		Col:    append([]int32(nil), s.Col...),
+		Val:    append([]float64(nil), s.Val...)}
+	return out
+}
+
+// WithValues returns a matrix sharing the receiver's pattern with the given
+// values. len(vals) must equal NNZ. The pattern slices are shared, honoring
+// the package's immutable-pattern convention.
+func (s *CSR) WithValues(vals []float64) *CSR {
+	if len(vals) != s.NNZ() {
+		panic(fmt.Sprintf("sparse: WithValues length %d != nnz %d", len(vals), s.NNZ()))
+	}
+	return &CSR{Rows: s.Rows, Cols: s.Cols, RowPtr: s.RowPtr, Col: s.Col, Val: vals}
+}
+
+// ZeroLike returns a same-pattern matrix with zero values.
+func (s *CSR) ZeroLike() *CSR { return s.WithValues(make([]float64, s.NNZ())) }
+
+// SamePattern reports whether two matrices share an identical sparsity
+// structure. It is O(1) when the slices are literally shared and O(nnz)
+// otherwise.
+func (s *CSR) SamePattern(b *CSR) bool {
+	if s.Rows != b.Rows || s.Cols != b.Cols || s.NNZ() != b.NNZ() {
+		return false
+	}
+	if len(s.RowPtr) > 0 && len(b.RowPtr) > 0 && &s.RowPtr[0] == &b.RowPtr[0] &&
+		(len(s.Col) == 0 || &s.Col[0] == &b.Col[0]) {
+		return true
+	}
+	for i := range s.RowPtr {
+		if s.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	for i := range s.Col {
+		if s.Col[i] != b.Col[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Transpose returns Sᵀ in CSR form (counting-sort construction, O(nnz)).
+func (s *CSR) Transpose() *CSR {
+	out := &CSR{Rows: s.Cols, Cols: s.Rows,
+		RowPtr: make([]int64, s.Cols+1),
+		Col:    make([]int32, s.NNZ()),
+		Val:    make([]float64, s.NNZ())}
+	for _, j := range s.Col {
+		out.RowPtr[j+1]++
+	}
+	for i := 0; i < s.Cols; i++ {
+		out.RowPtr[i+1] += out.RowPtr[i]
+	}
+	next := append([]int64(nil), out.RowPtr[:s.Cols]...)
+	for i := 0; i < s.Rows; i++ {
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			j := s.Col[p]
+			q := next[j]
+			next[j]++
+			out.Col[q] = int32(i)
+			out.Val[q] = s.Val[p]
+		}
+	}
+	return out
+}
+
+// IsSymmetricPattern reports whether the sparsity pattern equals that of the
+// transpose (the usual case for the undirected graphs that dominate GNN
+// workloads; cf. Section 5.2).
+func (s *CSR) IsSymmetricPattern() bool {
+	if s.Rows != s.Cols {
+		return false
+	}
+	return s.SamePattern(s.Transpose())
+}
+
+// Apply returns a same-pattern matrix with f applied to every value.
+func (s *CSR) Apply(f func(float64) float64) *CSR {
+	vals := make([]float64, s.NNZ())
+	par.Range(s.NNZ(), func(_, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			vals[p] = f(s.Val[p])
+		}
+	})
+	return s.WithValues(vals)
+}
+
+// Exp returns exp(S) restricted to the pattern (step (1) of the global
+// softmax formulation).
+func (s *CSR) Exp() *CSR { return s.Apply(math.Exp) }
+
+// Scale returns alpha·S.
+func (s *CSR) Scale(alpha float64) *CSR {
+	return s.Apply(func(v float64) float64 { return alpha * v })
+}
+
+// HadamardSamePattern returns S ⊙ B for two matrices sharing a pattern.
+func (s *CSR) HadamardSamePattern(b *CSR) *CSR {
+	if !s.SamePattern(b) {
+		panic("sparse: HadamardSamePattern on different patterns")
+	}
+	vals := make([]float64, s.NNZ())
+	par.Range(s.NNZ(), func(_, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			vals[p] = s.Val[p] * b.Val[p]
+		}
+	})
+	return s.WithValues(vals)
+}
+
+// AddSamePattern returns S + B for two matrices sharing a pattern.
+func (s *CSR) AddSamePattern(b *CSR) *CSR {
+	if !s.SamePattern(b) {
+		panic("sparse: AddSamePattern on different patterns")
+	}
+	vals := make([]float64, s.NNZ())
+	par.Range(s.NNZ(), func(_, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			vals[p] = s.Val[p] + b.Val[p]
+		}
+	})
+	return s.WithValues(vals)
+}
+
+// Add returns S + B with a merged (union) pattern. This implements the X₊ =
+// X + Xᵀ building block of Table 2 in the general case; when the patterns
+// coincide the cheaper AddSamePattern path is taken automatically.
+func (s *CSR) Add(b *CSR) *CSR {
+	if s.Rows != b.Rows || s.Cols != b.Cols {
+		panic(fmt.Sprintf("sparse: Add shape mismatch %d×%d + %d×%d", s.Rows, s.Cols, b.Rows, b.Cols))
+	}
+	if s.SamePattern(b) {
+		return s.AddSamePattern(b)
+	}
+	out := &CSR{Rows: s.Rows, Cols: s.Cols, RowPtr: make([]int64, s.Rows+1)}
+	// Two passes: count, then fill.
+	for i := 0; i < s.Rows; i++ {
+		out.RowPtr[i+1] = out.RowPtr[i] + int64(mergedRowLen(s, b, i))
+	}
+	out.Col = make([]int32, out.RowPtr[s.Rows])
+	out.Val = make([]float64, out.RowPtr[s.Rows])
+	par.Range(s.Rows, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			q := out.RowPtr[i]
+			pa, ea := s.RowPtr[i], s.RowPtr[i+1]
+			pb, eb := b.RowPtr[i], b.RowPtr[i+1]
+			for pa < ea || pb < eb {
+				switch {
+				case pb >= eb || (pa < ea && s.Col[pa] < b.Col[pb]):
+					out.Col[q], out.Val[q] = s.Col[pa], s.Val[pa]
+					pa++
+				case pa >= ea || b.Col[pb] < s.Col[pa]:
+					out.Col[q], out.Val[q] = b.Col[pb], b.Val[pb]
+					pb++
+				default:
+					out.Col[q], out.Val[q] = s.Col[pa], s.Val[pa]+b.Val[pb]
+					pa++
+					pb++
+				}
+				q++
+			}
+		}
+	})
+	return out
+}
+
+func mergedRowLen(a, b *CSR, i int) int {
+	pa, ea := a.RowPtr[i], a.RowPtr[i+1]
+	pb, eb := b.RowPtr[i], b.RowPtr[i+1]
+	n := 0
+	for pa < ea || pb < eb {
+		switch {
+		case pb >= eb || (pa < ea && a.Col[pa] < b.Col[pb]):
+			pa++
+		case pa >= ea || b.Col[pb] < a.Col[pa]:
+			pb++
+		default:
+			pa++
+			pb++
+		}
+		n++
+	}
+	return n
+}
+
+// AddTranspose returns S + Sᵀ (the X₊ building block).
+func (s *CSR) AddTranspose() *CSR { return s.Add(s.Transpose()) }
+
+// RowSums returns the vector of row sums (sum(X) = X·1 on the pattern).
+func (s *CSR) RowSums() []float64 {
+	out := make([]float64, s.Rows)
+	par.Range(s.Rows, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			acc := 0.0
+			for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+				acc += s.Val[p]
+			}
+			out[i] = acc
+		}
+	})
+	return out
+}
+
+// ColSums returns the vector of column sums (sumᵀ(X) = 1ᵀ·X).
+func (s *CSR) ColSums() []float64 {
+	w := par.Workers()
+	partials := make([][]float64, w)
+	par.Range(s.Rows, func(worker, lo, hi int) {
+		acc := partials[worker]
+		if acc == nil {
+			acc = make([]float64, s.Cols)
+			partials[worker] = acc
+		}
+		for i := lo; i < hi; i++ {
+			for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+				acc[s.Col[p]] += s.Val[p]
+			}
+		}
+	})
+	out := make([]float64, s.Cols)
+	for _, pp := range partials {
+		if pp == nil {
+			continue
+		}
+		for j, v := range pp {
+			out[j] += v
+		}
+	}
+	return out
+}
+
+// RowMax returns per-row maxima; empty rows yield -Inf.
+func (s *CSR) RowMax() []float64 {
+	out := make([]float64, s.Rows)
+	par.Range(s.Rows, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m := math.Inf(-1)
+			for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+				if s.Val[p] > m {
+					m = s.Val[p]
+				}
+			}
+			out[i] = m
+		}
+	})
+	return out
+}
+
+// ScaleRows returns diag(r)·S (row i scaled by r[i]).
+func (s *CSR) ScaleRows(r []float64) *CSR {
+	if len(r) != s.Rows {
+		panic("sparse: ScaleRows length mismatch")
+	}
+	vals := make([]float64, s.NNZ())
+	par.Range(s.Rows, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ri := r[i]
+			for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+				vals[p] = s.Val[p] * ri
+			}
+		}
+	})
+	return s.WithValues(vals)
+}
+
+// ScaleRowsCols returns diag(r)·S·diag(c): entry (i,j) scaled by r[i]·c[j].
+// With r = c = 1⊘n this is the Hadamard division by the virtual outer
+// product n·nᵀ used by AGNN's cosine normalization — the n×n matrix is
+// never formed.
+func (s *CSR) ScaleRowsCols(r, c []float64) *CSR {
+	if len(r) != s.Rows || len(c) != s.Cols {
+		panic("sparse: ScaleRowsCols length mismatch")
+	}
+	vals := make([]float64, s.NNZ())
+	par.Range(s.Rows, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ri := r[i]
+			for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+				vals[p] = s.Val[p] * ri * c[s.Col[p]]
+			}
+		}
+	})
+	return s.WithValues(vals)
+}
+
+// ToDense materializes the matrix; for tests and tiny examples only.
+func (s *CSR) ToDense() *tensor.Dense {
+	out := tensor.NewDense(s.Rows, s.Cols)
+	for i := 0; i < s.Rows; i++ {
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			out.Set(i, int(s.Col[p]), out.At(i, int(s.Col[p]))+s.Val[p])
+		}
+	}
+	return out
+}
+
+// FromDense converts a dense matrix to CSR, dropping exact zeros.
+func FromDense(d *tensor.Dense) *CSR {
+	coo := NewCOO(d.Rows, d.Cols, d.Rows)
+	for i := 0; i < d.Rows; i++ {
+		row := d.Row(i)
+		for j, v := range row {
+			if v != 0 {
+				coo.AppendVal(int32(i), int32(j), v)
+			}
+		}
+	}
+	return FromCOO(coo)
+}
+
+// ToCOO converts back to coordinate format (entries in row-major order).
+func (s *CSR) ToCOO() *COO {
+	c := NewCOO(s.Rows, s.Cols, s.NNZ())
+	for i := 0; i < s.Rows; i++ {
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			c.AppendVal(int32(i), s.Col[p], s.Val[p])
+		}
+	}
+	return c
+}
+
+// RowNNZ returns the number of stored entries in row i.
+func (s *CSR) RowNNZ(i int) int { return int(s.RowPtr[i+1] - s.RowPtr[i]) }
+
+// MaxRowNNZ returns the maximum row degree d of the pattern.
+func (s *CSR) MaxRowNNZ() int {
+	d := 0
+	for i := 0; i < s.Rows; i++ {
+		if r := s.RowNNZ(i); r > d {
+			d = r
+		}
+	}
+	return d
+}

@@ -1,0 +1,326 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"agnn/internal/tensor"
+)
+
+// randSparse builds a random rows×cols CSR with approximately density·rows·cols
+// non-zeros and N(0,1) values.
+func randSparse(rows, cols int, density float64, rng *rand.Rand) *CSR {
+	c := NewCOO(rows, cols, int(density*float64(rows*cols))+1)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				c.AppendVal(int32(i), int32(j), rng.NormFloat64())
+			}
+		}
+	}
+	return FromCOO(c)
+}
+
+// randPattern builds a random binary pattern with at least one entry per row.
+func randPattern(rows, cols int, density float64, rng *rand.Rand) *CSR {
+	c := NewCOO(rows, cols, int(density*float64(rows*cols))+rows)
+	for i := 0; i < rows; i++ {
+		c.Append(int32(i), int32(rng.Intn(cols)))
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				c.Append(int32(i), int32(j))
+			}
+		}
+	}
+	return FromCOO(c)
+}
+
+func TestFromCOOSortsAndDedups(t *testing.T) {
+	c := NewCOO(3, 3, 4)
+	c.AppendVal(2, 1, 5)
+	c.AppendVal(0, 2, 1)
+	c.AppendVal(2, 1, 3) // duplicate, summed
+	c.AppendVal(1, 0, 7)
+	s := FromCOO(c)
+	if s.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3", s.NNZ())
+	}
+	d := s.ToDense()
+	want := tensor.NewDenseFrom(3, 3, []float64{0, 0, 1, 7, 0, 0, 0, 8, 0})
+	if !d.ApproxEqual(want, 0) {
+		t.Fatalf("FromCOO dense = %v", d)
+	}
+}
+
+func TestFromCOOPatternDedup(t *testing.T) {
+	c := NewCOO(2, 2, 4)
+	c.Append(0, 1)
+	c.Append(0, 1) // duplicate pattern entry collapses to a single 1
+	c.Append(1, 0)
+	s := FromCOO(c)
+	if s.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", s.NNZ())
+	}
+	if s.ToDense().At(0, 1) != 1 {
+		t.Fatal("pattern entry should have value 1")
+	}
+}
+
+func TestFromCOOOutOfRangePanics(t *testing.T) {
+	c := NewCOO(2, 2, 1)
+	c.Append(0, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromCOO(c)
+}
+
+func TestCOOAppendMixingPanics(t *testing.T) {
+	c := NewCOO(2, 2, 2)
+	c.Append(0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.AppendVal(1, 1, 2)
+}
+
+func TestIdentity(t *testing.T) {
+	s := Identity(4)
+	d := s.ToDense()
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if d.At(i, j) != want {
+				t.Fatalf("Identity(%d,%d) = %v", i, j, d.At(i, j))
+			}
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := randSparse(13, 29, 0.2, rng)
+	st := s.Transpose()
+	if !st.ToDense().ApproxEqual(s.ToDense().T(), 0) {
+		t.Fatal("Transpose dense mismatch")
+	}
+	// Involution.
+	if !st.Transpose().ToDense().ApproxEqual(s.ToDense(), 0) {
+		t.Fatal("(Sᵀ)ᵀ != S")
+	}
+}
+
+func TestWithValuesSharesPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := randSparse(5, 5, 0.4, rng)
+	v := make([]float64, s.NNZ())
+	b := s.WithValues(v)
+	if !s.SamePattern(b) {
+		t.Fatal("WithValues must share pattern")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong length")
+		}
+	}()
+	s.WithValues(make([]float64, s.NNZ()+1))
+}
+
+func TestSamePattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := randSparse(10, 10, 0.3, rng)
+	// Deep-equal but not shared pattern.
+	c := s.Clone()
+	if !s.SamePattern(c) {
+		t.Fatal("clone must have same pattern")
+	}
+	other := randSparse(10, 10, 0.3, rand.New(rand.NewSource(99)))
+	if s.NNZ() == other.NNZ() && s.SamePattern(other) {
+		t.Fatal("different random patterns reported equal")
+	}
+}
+
+func TestApplyExpScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := randSparse(8, 8, 0.3, rng)
+	e := s.Exp()
+	for p := range e.Val {
+		if math.Abs(e.Val[p]-math.Exp(s.Val[p])) > 1e-15 {
+			t.Fatal("Exp value mismatch")
+		}
+	}
+	sc := s.Scale(-2)
+	for p := range sc.Val {
+		if sc.Val[p] != -2*s.Val[p] {
+			t.Fatal("Scale value mismatch")
+		}
+	}
+}
+
+func TestHadamardAndAddSamePattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := randSparse(10, 12, 0.3, rng)
+	b := s.WithValues(make([]float64, s.NNZ()))
+	for p := range b.Val {
+		b.Val[p] = float64(p)
+	}
+	h := s.HadamardSamePattern(b)
+	a := s.AddSamePattern(b)
+	for p := range s.Val {
+		if h.Val[p] != s.Val[p]*b.Val[p] || a.Val[p] != s.Val[p]+b.Val[p] {
+			t.Fatal("Hadamard/Add value mismatch")
+		}
+	}
+}
+
+func TestHadamardPatternMismatchPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := randSparse(6, 6, 0.5, rng)
+	o := randSparse(6, 6, 0.1, rng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.HadamardSamePattern(o)
+}
+
+func TestAddGeneralMergesPatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randSparse(15, 15, 0.2, rng)
+	b := randSparse(15, 15, 0.2, rng)
+	got := a.Add(b).ToDense()
+	want := a.ToDense().Add(b.ToDense())
+	if !got.ApproxEqual(want, 1e-14) {
+		t.Fatalf("general Add mismatch: %g", got.MaxAbsDiff(want))
+	}
+}
+
+func TestAddTransposeMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	s := randSparse(20, 20, 0.15, rng)
+	got := s.AddTranspose().ToDense()
+	want := s.ToDense().Add(s.ToDense().T())
+	if !got.ApproxEqual(want, 1e-14) {
+		t.Fatal("X₊ = X + Xᵀ mismatch")
+	}
+}
+
+func TestRowColSumsAndMax(t *testing.T) {
+	c := NewCOO(3, 3, 4)
+	c.AppendVal(0, 0, 1)
+	c.AppendVal(0, 2, 3)
+	c.AppendVal(2, 1, -5)
+	s := FromCOO(c)
+	rs := s.RowSums()
+	if rs[0] != 4 || rs[1] != 0 || rs[2] != -5 {
+		t.Fatalf("RowSums = %v", rs)
+	}
+	cs := s.ColSums()
+	if cs[0] != 1 || cs[1] != -5 || cs[2] != 3 {
+		t.Fatalf("ColSums = %v", cs)
+	}
+	rm := s.RowMax()
+	if rm[0] != 3 || !math.IsInf(rm[1], -1) || rm[2] != -5 {
+		t.Fatalf("RowMax = %v", rm)
+	}
+}
+
+func TestColSumsLargeParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := randSparse(2000, 37, 0.05, rng)
+	got := s.ColSums()
+	want := tensor.SumT(s.ToDense())
+	for j := range got {
+		if math.Abs(got[j]-want[j]) > 1e-10 {
+			t.Fatalf("ColSums[%d] = %v want %v", j, got[j], want[j])
+		}
+	}
+}
+
+func TestScaleRowsCols(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	s := randSparse(6, 7, 0.4, rng)
+	r := make([]float64, 6)
+	c := make([]float64, 7)
+	for i := range r {
+		r[i] = float64(i + 1)
+	}
+	for j := range c {
+		c[j] = float64(j) - 3
+	}
+	got := s.ScaleRowsCols(r, c).ToDense()
+	want := tensor.NewDense(6, 7)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 7; j++ {
+			want.Set(i, j, s.ToDense().At(i, j)*r[i]*c[j])
+		}
+	}
+	if !got.ApproxEqual(want, 1e-14) {
+		t.Fatal("ScaleRowsCols mismatch")
+	}
+	// ScaleRows only.
+	got2 := s.ScaleRows(r).ToDense()
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 7; j++ {
+			if math.Abs(got2.At(i, j)-s.ToDense().At(i, j)*r[i]) > 1e-14 {
+				t.Fatal("ScaleRows mismatch")
+			}
+		}
+	}
+}
+
+func TestRowNNZAndMaxRowNNZ(t *testing.T) {
+	c := NewCOO(3, 5, 5)
+	c.Append(0, 1)
+	c.Append(0, 2)
+	c.Append(0, 3)
+	c.Append(2, 0)
+	s := FromCOO(c)
+	if s.RowNNZ(0) != 3 || s.RowNNZ(1) != 0 || s.RowNNZ(2) != 1 {
+		t.Fatal("RowNNZ wrong")
+	}
+	if s.MaxRowNNZ() != 3 {
+		t.Fatal("MaxRowNNZ wrong")
+	}
+}
+
+func TestIsSymmetricPattern(t *testing.T) {
+	c := NewCOO(3, 3, 4)
+	c.Append(0, 1)
+	c.Append(1, 0)
+	c.Append(2, 2)
+	if !FromCOO(c).IsSymmetricPattern() {
+		t.Fatal("symmetric pattern not detected")
+	}
+	c2 := NewCOO(3, 3, 1)
+	c2.Append(0, 1)
+	if FromCOO(c2).IsSymmetricPattern() {
+		t.Fatal("asymmetric pattern reported symmetric")
+	}
+	if FromCOO(NewCOO(2, 3, 0)).IsSymmetricPattern() {
+		t.Fatal("non-square matrix cannot be symmetric")
+	}
+}
+
+func TestToCOORoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	s := randSparse(25, 19, 0.2, rng)
+	back := FromCOO(s.ToCOO())
+	if !back.SamePattern(s) {
+		t.Fatal("ToCOO/FromCOO changed the pattern")
+	}
+	for p := range s.Val {
+		if back.Val[p] != s.Val[p] {
+			t.Fatal("ToCOO/FromCOO changed values")
+		}
+	}
+}

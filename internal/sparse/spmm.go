@@ -1,0 +1,119 @@
+package sparse
+
+import (
+	"fmt"
+
+	"agnn/internal/par"
+	"agnn/internal/tensor"
+)
+
+// MulDense computes the SpMM kernel Y = S·X (sparse × tall-dense). Rows are
+// distributed over workers with nnz-balanced chunks, mirroring the paper's
+// grid-stride CUDA kernels.
+func (s *CSR) MulDense(x *tensor.Dense) *tensor.Dense {
+	out := tensor.NewDense(s.Rows, x.Cols)
+	s.MulDenseInto(out, x)
+	return out
+}
+
+// MulDenseInto computes out = S·X into pre-allocated out.
+func (s *CSR) MulDenseInto(out, x *tensor.Dense) {
+	if s.Cols != x.Rows || out.Rows != s.Rows || out.Cols != x.Cols {
+		panic(fmt.Sprintf("sparse: SpMM shape mismatch out %d×%d = %d×%d · %d×%d",
+			out.Rows, out.Cols, s.Rows, s.Cols, x.Rows, x.Cols))
+	}
+	k := x.Cols
+	par.RangeWeighted(s.Rows, func(i int) int64 { return int64(s.RowNNZ(i)) }, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := out.Data[i*k : (i+1)*k]
+			for t := range orow {
+				orow[t] = 0
+			}
+			for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+				v := s.Val[p]
+				xrow := x.Data[int(s.Col[p])*k : int(s.Col[p])*k+k]
+				for t, xv := range xrow {
+					orow[t] += v * xv
+				}
+			}
+		}
+	})
+}
+
+// MulDenseAccumulate computes out += S·X.
+func (s *CSR) MulDenseAccumulate(out, x *tensor.Dense) {
+	if s.Cols != x.Rows || out.Rows != s.Rows || out.Cols != x.Cols {
+		panic("sparse: MulDenseAccumulate shape mismatch")
+	}
+	k := x.Cols
+	par.RangeWeighted(s.Rows, func(i int) int64 { return int64(s.RowNNZ(i)) }, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := out.Data[i*k : (i+1)*k]
+			for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+				v := s.Val[p]
+				xrow := x.Data[int(s.Col[p])*k : int(s.Col[p])*k+k]
+				for t, xv := range xrow {
+					orow[t] += v * xv
+				}
+			}
+		}
+	})
+}
+
+// MulVec computes the SpMV y = S·x.
+func (s *CSR) MulVec(x []float64) []float64 {
+	if len(x) != s.Cols {
+		panic("sparse: SpMV dimension mismatch")
+	}
+	out := make([]float64, s.Rows)
+	par.RangeWeighted(s.Rows, func(i int) int64 { return int64(s.RowNNZ(i)) }, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			acc := 0.0
+			for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+				acc += s.Val[p] * x[s.Col[p]]
+			}
+			out[i] = acc
+		}
+	})
+	return out
+}
+
+// SDDMM computes the sampled dense-dense matrix product: a matrix with the
+// pattern of pat whose value at (i, j) is X[i,:]·Y[j,:] (i.e. pat ⊙ X·Yᵀ,
+// with the n×n dense product never materialized — it is the virtual matrix
+// of Table 1). For VA this yields Ψ = A ⊙ H·Hᵀ directly.
+func SDDMM(pat *CSR, x, y *tensor.Dense) *CSR {
+	if x.Rows != pat.Rows || y.Rows != pat.Cols || x.Cols != y.Cols {
+		panic(fmt.Sprintf("sparse: SDDMM shape mismatch pat %d×%d, X %d×%d, Y %d×%d",
+			pat.Rows, pat.Cols, x.Rows, x.Cols, y.Rows, y.Cols))
+	}
+	k := x.Cols
+	vals := make([]float64, pat.NNZ())
+	par.RangeWeighted(pat.Rows, func(i int) int64 { return int64(pat.RowNNZ(i)) }, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xrow := x.Data[i*k : (i+1)*k]
+			for p := pat.RowPtr[i]; p < pat.RowPtr[i+1]; p++ {
+				yrow := y.Data[int(pat.Col[p])*k : int(pat.Col[p])*k+k]
+				acc := 0.0
+				for t, xv := range xrow {
+					acc += xv * yrow[t]
+				}
+				vals[p] = acc
+			}
+		}
+	})
+	return pat.WithValues(vals)
+}
+
+// SDDMMScaled computes pat ⊙ (X·Yᵀ) with every stored value additionally
+// multiplied by pat's own value — i.e. the true Hadamard pat ⊙ X·Yᵀ when pat
+// carries non-unit weights.
+func SDDMMScaled(pat *CSR, x, y *tensor.Dense) *CSR {
+	out := SDDMM(pat, x, y)
+	par.Range(out.NNZ(), func(_, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			out.Val[p] *= pat.Val[p]
+		}
+	})
+	return out
+}

@@ -1,0 +1,145 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+
+	"agnn/internal/par"
+)
+
+// This file implements the tensor-algebra building blocks of Table 2 in the
+// paper: replication (rep), row summation (sum), their composition (rs),
+// ones vectors, and the row-norm vector n used by AGNN. Expressing these as
+// first-class kernels is what lets every A-GNN be written purely in tensor
+// algebra.
+
+// Ones returns a vector of n ones (the blue 1 vectors of Table 1).
+func Ones(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// Rep replicates the column vector x i times: rep_i(x) = x·1ᵀ ∈ R^{len(x)×i}.
+func Rep(x []float64, i int) *Dense {
+	return Outer(x, Ones(i))
+}
+
+// RepT replicates the row vector x i times: rep_iᵀ(x) = 1·xᵀ ∈ R^{i×len(x)}.
+func RepT(x []float64, i int) *Dense {
+	return Outer(Ones(i), x)
+}
+
+// Sum computes sum(X) = X·1, the vector of row sums.
+func Sum(m *Dense) []float64 {
+	out := make([]float64, m.Rows)
+	par.Range(m.Rows, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Data[i*m.Cols : (i+1)*m.Cols]
+			s := 0.0
+			for _, v := range row {
+				s += v
+			}
+			out[i] = s
+		}
+	})
+	return out
+}
+
+// SumT computes sumᵀ(X) = 1ᵀ·X, the vector of column sums.
+func SumT(m *Dense) []float64 {
+	w := par.Workers()
+	partials := make([][]float64, w)
+	par.Range(m.Rows, func(worker, lo, hi int) {
+		acc := partials[worker]
+		if acc == nil {
+			acc = make([]float64, m.Cols)
+			partials[worker] = acc
+		}
+		for i := lo; i < hi; i++ {
+			row := m.Data[i*m.Cols : (i+1)*m.Cols]
+			for j, v := range row {
+				acc[j] += v
+			}
+		}
+	})
+	out := make([]float64, m.Cols)
+	for _, p := range partials {
+		if p == nil {
+			continue
+		}
+		for j, v := range p {
+			out[j] += v
+		}
+	}
+	return out
+}
+
+// RS computes rs_i(X) = rep_i(sum(X)), equivalent to multiplying X by an
+// all-ones matrix. Note that in the actual GNN implementations this matrix
+// is never materialized (cf. the softmax in sparse.RowSoftmax); RS exists to
+// make the algebraic formulation executable and testable.
+func RS(m *Dense, i int) *Dense {
+	return Rep(Sum(m), i)
+}
+
+// RowNorms returns the vector n with n_i = ‖X[i,:]‖₂ (AGNN's normalizer).
+func RowNorms(m *Dense) []float64 {
+	out := make([]float64, m.Rows)
+	par.Range(m.Rows, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Data[i*m.Cols : (i+1)*m.Cols]
+			s := 0.0
+			for _, v := range row {
+				s += v * v
+			}
+			out[i] = math.Sqrt(s)
+		}
+	})
+	return out
+}
+
+// Dot returns the dot product of two equal-length vectors.
+func Dot(x, y []float64) float64 {
+	s := 0.0
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x.
+func Axpy(alpha float64, x, y []float64) {
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// RandN fills a new r×c matrix with i.i.d. N(0, std²) entries drawn from a
+// deterministic source. Every weight initialization in the repository goes
+// through this so experiments are reproducible for a fixed seed.
+func RandN(r, c int, std float64, rng *rand.Rand) *Dense {
+	m := NewDense(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * std
+	}
+	return m
+}
+
+// RandUniform fills a new r×c matrix with i.i.d. U[lo, hi) entries.
+func RandUniform(r, c int, lo, hi float64, rng *rand.Rand) *Dense {
+	m := NewDense(r, c)
+	for i := range m.Data {
+		m.Data[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return m
+}
+
+// GlorotInit returns the Xavier/Glorot initialization used for GNN weight
+// matrices: U(-s, s) with s = sqrt(6/(fanIn+fanOut)).
+func GlorotInit(fanIn, fanOut int, rng *rand.Rand) *Dense {
+	s := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	return RandUniform(fanIn, fanOut, -s, s, rng)
+}
