@@ -8,6 +8,13 @@
 //	agnn-bench -m VA -v 10000 -e 1000000
 //	agnn-bench -m GAT -v 16384 -e 2000000 -p 16 --features 128 --inference
 //	agnn-bench -m AGNN -d uniform -v 8192 -e 500000 -p 4 --engine local
+//
+// Observability (docs/OBSERVABILITY.md): -trace captures a Chrome trace
+// with one track per simulated rank — the per-rank BSP superstep timeline —
+// and -cpuprofile/-memprofile/-metrics produce pprof profiles and the
+// aggregated run-report.
+//
+//	agnn-bench -m GAT -l 2 -p 4 -repeat 2 -warmup 0 -trace trace.json
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"agnn/internal/benchutil"
 	"agnn/internal/costmodel"
 	"agnn/internal/graph"
+	"agnn/internal/obs"
 )
 
 func main() {
@@ -40,6 +48,8 @@ func main() {
 	flag.Int64Var(&s.Seed, "s", 0, "random number generator seed")
 	flag.StringVar(&csvPath, "csv", "", "append the result row to this CSV file")
 	planOnly := flag.Bool("plan", false, "print the cost-model execution plan and exit (no benchmark)")
+	var o obs.CLI
+	o.Register(flag.CommandLine)
 	flag.Parse()
 
 	s.Engine = benchutil.Engine(*engine)
@@ -61,7 +71,14 @@ func main() {
 		}
 		return
 	}
+	if err := o.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "agnn-bench:", err)
+		os.Exit(1)
+	}
 	res, err := benchutil.RunSpec(s)
+	if stopErr := o.Stop(); err == nil {
+		err = stopErr
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "agnn-bench:", err)
 		os.Exit(1)

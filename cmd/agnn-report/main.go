@@ -6,6 +6,13 @@
 // markdown table.
 //
 //	agnn-report results_full/fig6.csv
+//
+// It also ingests the aggregated run-reports written by the -metrics flag
+// of agnn-train/agnn-bench (see docs/OBSERVABILITY.md): pass a .json file
+// and it prints the per-span time table plus the per-rank communication
+// totals.
+//
+//	agnn-train -m GAT -epochs 10 -metrics run.json && agnn-report run.json
 package main
 
 import (
@@ -14,6 +21,10 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
+	"time"
+
+	"agnn/internal/obs"
 )
 
 type row struct {
@@ -29,6 +40,15 @@ func main() {
 		os.Exit(1)
 	}
 	for _, path := range os.Args[1:] {
+		if strings.HasSuffix(path, ".json") {
+			rep, err := obs.ReadReportFile(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "agnn-report: %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			reportMetrics(path, rep)
+			continue
+		}
 		rows, err := readCSV(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "agnn-report: %s: %v\n", path, err)
@@ -36,6 +56,51 @@ func main() {
 		}
 		report(path, rows)
 	}
+}
+
+// reportMetrics renders an obs run-report (agnn-train/agnn-bench -metrics)
+// as markdown: the per-span-name time table, then per-rank communication
+// totals for distributed runs.
+func reportMetrics(path string, rep *obs.Report) {
+	fmt.Printf("\n## %s\n\n", path)
+	fmt.Println("| span | calls | total | mean | max | bytes | msgs |")
+	fmt.Println("|---|---|---|---|---|---|---|")
+	for _, s := range rep.Spans {
+		mean := time.Duration(0)
+		if s.Count > 0 {
+			mean = time.Duration(s.TotalNs / s.Count)
+		}
+		fmt.Printf("| %s | %d | %s | %s | %s | %s | %s |\n",
+			s.Name, s.Count,
+			time.Duration(s.TotalNs).Round(time.Microsecond),
+			mean.Round(time.Microsecond),
+			time.Duration(s.MaxNs).Round(time.Microsecond),
+			attrCell(s.Attrs, "bytes"), attrCell(s.Attrs, "msgs"))
+	}
+	var ranks []obs.TrackStat
+	for _, ts := range rep.Tracks {
+		if ts.Spans > 0 && strings.HasPrefix(ts.Track, "rank ") {
+			ranks = append(ranks, ts)
+		}
+	}
+	if len(ranks) == 0 {
+		return
+	}
+	fmt.Println()
+	fmt.Println("| rank | spans | bytes | msgs |")
+	fmt.Println("|---|---|---|---|")
+	for _, ts := range ranks {
+		fmt.Printf("| %s | %d | %s | %s |\n", ts.Track, ts.Spans,
+			attrCell(ts.Attrs, "bytes"), attrCell(ts.Attrs, "msgs"))
+	}
+}
+
+func attrCell(attrs map[string]int64, key string) string {
+	v, ok := attrs[key]
+	if !ok {
+		return "—"
+	}
+	return strconv.FormatInt(v, 10)
 }
 
 func readCSV(path string) ([]row, error) {

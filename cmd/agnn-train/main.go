@@ -9,6 +9,13 @@
 //	agnn-train -m GAT -v 2048 -classes 4 -epochs 50 -lr 0.01
 //	agnn-gen -d dataset -v 4096 -classes 5 -o cora-like.ds
 //	agnn-train -m AGNN -data cora-like.ds -epochs 100 -save model.ckpt
+//
+// Observability (docs/OBSERVABILITY.md): -trace writes a Chrome trace-event
+// JSON of every layer and kernel span, -metrics the aggregated run-report,
+// -cpuprofile/-memprofile standard pprof profiles, and -profile prints the
+// per-layer wall-time table after training.
+//
+//	agnn-train -m GAT -l 2 -epochs 10 -trace trace.json -metrics run.json
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 
 	"agnn/internal/gnn"
 	"agnn/internal/graph"
+	"agnn/internal/obs"
 )
 
 func main() {
@@ -35,10 +43,14 @@ func main() {
 	heads := flag.Int("heads", 1, "GAT attention heads (>1 enables the multi-head extension)")
 	savePath := flag.String("save", "", "write a weight checkpoint here after training")
 	loadPath := flag.String("load", "", "initialize weights from this checkpoint")
+	profile := flag.Bool("profile", false, "print the per-layer wall-time table after training")
+	var o obs.CLI
+	o.Register(flag.CommandLine)
 	flag.Parse()
 
 	kind, err := gnn.ParseKind(*model)
 	fatal(err)
+	fatal(o.Start())
 
 	var ds *graph.Dataset
 	if *dataFile != "" {
@@ -60,13 +72,24 @@ func main() {
 	fmt.Printf("training %s: n=%d m=%d k=%d L=%d classes=%d params=%d\n",
 		kind, n, ds.Adj.NNZ(), ds.Features.Cols, *layers, ds.Classes, m.NumParams())
 
+	// The instrumented view shares layers and parameters with m; it adds
+	// per-layer wall-time accounting and, when -trace/-metrics are on,
+	// obs spans nesting the kernel spans.
+	run := m
+	var prof *gnn.Profile
+	if *profile || o.Tracing() {
+		run, prof = gnn.Instrument(m)
+	}
+
 	loss := &gnn.CrossEntropyLoss{Labels: ds.Labels, Mask: ds.TrainMask}
 	testMask := ds.TestMask()
 	opt := gnn.NewAdam(*lr)
 	for e := 1; e <= *epochs; e++ {
-		l := m.TrainStep(ds.Features, loss, opt)
+		sp := obs.Start("epoch")
+		l := run.TrainStep(ds.Features, loss, opt)
+		sp.End()
 		if e%10 == 0 || e == 1 || e == *epochs {
-			out := m.Forward(ds.Features, false)
+			out := run.Forward(ds.Features, false)
 			fmt.Printf("epoch %3d  loss %.4f  train-acc %.3f  test-acc %.3f\n",
 				e, l, gnn.Accuracy(out, ds.Labels, ds.TrainMask),
 				gnn.Accuracy(out, ds.Labels, testMask))
@@ -76,6 +99,10 @@ func main() {
 		fatal(gnn.SaveWeightsFile(*savePath, m))
 		fmt.Printf("saved weights to %s\n", *savePath)
 	}
+	if *profile && prof != nil {
+		fmt.Print(prof.String())
+	}
+	fatal(o.Stop())
 }
 
 func fatal(err error) {

@@ -22,6 +22,7 @@ import (
 	"agnn/internal/gnn"
 	"agnn/internal/graph"
 	"agnn/internal/local"
+	"agnn/internal/obs"
 	"agnn/internal/sparse"
 	"agnn/internal/tensor"
 )
@@ -201,8 +202,13 @@ func runSingle(s Spec, cfg gnn.Config, a *sparse.CSR, h *tensor.Dense, labels []
 	}
 	loss := &gnn.CrossEntropyLoss{Labels: labels}
 	opt := gnn.NewSGD(1e-4, 0)
+	if obs.Enabled() {
+		// Instrumented layers emit per-layer spans nesting the kernel spans.
+		model, _ = gnn.Instrument(model)
+	}
 	var times []float64
 	for r := 0; r < runs; r++ {
+		sp := obs.Start("execution")
 		t0 := time.Now()
 		if s.Inference {
 			model.Forward(h, false)
@@ -210,6 +216,7 @@ func runSingle(s Spec, cfg gnn.Config, a *sparse.CSR, h *tensor.Dense, labels []
 			model.TrainStep(h, loss, opt)
 		}
 		times = append(times, time.Since(t0).Seconds())
+		sp.End()
 	}
 	return times, nil
 }
@@ -239,12 +246,14 @@ func runDistributed(s Spec, cfg gnn.Config, a *sparse.CSR, h *tensor.Dense, labe
 			opt := gnn.NewSGD(1e-4, 0)
 			for r := 0; r < runs; r++ {
 				c.Barrier()
+				sp := c.StartSpan("execution")
 				t0 := time.Now()
 				if s.Inference {
 					e.Forward(xd, false)
 				} else {
 					e.TrainStep(xd, labels, nil, opt)
 				}
+				sp.End()
 				c.Barrier()
 				if c.Rank() == 0 {
 					mu.Lock()
@@ -263,6 +272,7 @@ func runDistributed(s Spec, cfg gnn.Config, a *sparse.CSR, h *tensor.Dense, labe
 			rng := rand.New(rand.NewSource(s.Seed + int64(c.Rank())))
 			for r := 0; r < runs; r++ {
 				c.Barrier()
+				sp := c.StartSpan("execution")
 				t0 := time.Now()
 				switch {
 				case s.Engine == EngineLocal || s.Inference:
@@ -271,6 +281,7 @@ func runDistributed(s Spec, cfg gnn.Config, a *sparse.CSR, h *tensor.Dense, labe
 					seeds := sampleSeeds(e.Lo, e.Hi, s.BatchSize/s.Ranks, rng)
 					e.MiniBatchStep(hOwned, labels, seeds, opt)
 				}
+				sp.End()
 				c.Barrier()
 				if c.Rank() == 0 {
 					mu.Lock()

@@ -25,6 +25,8 @@ func chunkBounds(n, g int) []int {
 // Barrier synchronizes the group with a two-pass token ring: the first
 // circulation proves every rank has entered, the second releases them.
 func (c *Comm) Barrier() {
+	sp, c0 := c.beginCollective("barrier")
+	defer c.endCollective(sp, c0)
 	g := c.Size()
 	if g == 1 {
 		return
@@ -49,6 +51,8 @@ func (c *Comm) Barrier() {
 // copy (root returns its input). Implemented as direct scatter from root
 // followed by a ring allgather: root sends ≈n words, everyone else ≈n.
 func (c *Comm) Bcast(data []float64, root int) []float64 {
+	sp, c0 := c.beginCollective("bcast")
+	defer c.endCollective(sp, c0)
 	g := c.Size()
 	if g == 1 {
 		return data
@@ -106,6 +110,8 @@ func (c *Comm) ringAllgather(out []float64, bounds []int) {
 // Allgather concatenates every rank's (equal-length or varying) vector in
 // group-rank order and returns the full concatenation.
 func (c *Comm) Allgather(data []float64) []float64 {
+	sp, c0 := c.beginCollective("allgather")
+	defer c.endCollective(sp, c0)
 	g := c.Size()
 	if g == 1 {
 		cp := make([]float64, len(data))
@@ -163,6 +169,8 @@ func (c *Comm) ReduceScatter(data []float64) []float64 {
 
 // ReduceScatterOp is ReduceScatter with an arbitrary reduction operator.
 func (c *Comm) ReduceScatterOp(data []float64, op ReduceOp) []float64 {
+	sp, c0 := c.beginCollective("reduce_scatter")
+	defer c.endCollective(sp, c0)
 	g := c.Size()
 	bounds := chunkBounds(len(data), g)
 	if g == 1 {
@@ -198,6 +206,8 @@ func (c *Comm) Allreduce(data []float64) []float64 {
 
 // AllreduceOp is Allreduce with an arbitrary reduction operator.
 func (c *Comm) AllreduceOp(data []float64, op ReduceOp) []float64 {
+	sp, c0 := c.beginCollective("allreduce")
+	defer c.endCollective(sp, c0)
 	g := c.Size()
 	if g == 1 {
 		cp := make([]float64, len(data))
@@ -216,6 +226,8 @@ func (c *Comm) AllreduceOp(data []float64, op ReduceOp) []float64 {
 // Reduce sums the group's vectors onto root (reduce-scatter + gather).
 // Non-root ranks return nil.
 func (c *Comm) Reduce(data []float64, root int) []float64 {
+	sp, c0 := c.beginCollective("reduce")
+	defer c.endCollective(sp, c0)
 	g := c.Size()
 	if g == 1 {
 		cp := make([]float64, len(data))
@@ -244,6 +256,8 @@ func (c *Comm) Reduce(data []float64, root int) []float64 {
 // Gatherv collects every rank's vector on root in group-rank order;
 // non-root ranks return nil.
 func (c *Comm) Gatherv(data []float64, root int) [][]float64 {
+	sp, c0 := c.beginCollective("gatherv")
+	defer c.endCollective(sp, c0)
 	g := c.Size()
 	if g == 1 {
 		cp := make([]float64, len(data))
@@ -270,6 +284,8 @@ func (c *Comm) Gatherv(data []float64, root int) [][]float64 {
 // Scatterv sends chunks[r] to each group rank r from root and returns the
 // local chunk. Non-root callers pass nil.
 func (c *Comm) Scatterv(chunks [][]float64, root int) []float64 {
+	sp, c0 := c.beginCollective("scatterv")
+	defer c.endCollective(sp, c0)
 	g := c.Size()
 	if g == 1 {
 		cp := make([]float64, len(chunks[0]))
@@ -293,6 +309,8 @@ func (c *Comm) Scatterv(chunks [][]float64, root int) []float64 {
 // Alltoallv sends out[r] to each rank r and returns the vectors received
 // from every rank (in group-rank order).
 func (c *Comm) Alltoallv(out [][]float64) [][]float64 {
+	sp, c0 := c.beginCollective("alltoallv")
+	defer c.endCollective(sp, c0)
 	g := c.Size()
 	in := make([][]float64, g)
 	if g == 1 {

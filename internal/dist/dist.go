@@ -14,6 +14,8 @@ package dist
 import (
 	"fmt"
 	"sync"
+
+	"agnn/internal/obs"
 )
 
 // message is one point-to-point transfer. Data is copied on send so ranks
@@ -60,6 +62,9 @@ type World struct {
 	mailbox  [][]chan message // mailbox[to][from]
 	counters []Counters
 	mu       []sync.Mutex // protects counters[i] against torn reads in MaxCounters
+
+	tracer *obs.Tracer  // nil when tracing is off
+	tracks []*obs.Track // one per rank when tracing
 }
 
 // mailboxCap bounds in-flight messages per (sender, receiver) pair. Ring
@@ -83,15 +88,41 @@ func NewWorld(p int) *World {
 	return w
 }
 
+// EnableTracing attaches one trace track per rank ("rank 0" … "rank p-1")
+// to the world. Rank goroutines started by Run/RunTraced bind themselves to
+// their track, so both the collective spans recorded by Comm and any kernel
+// spans fired inside rank code land on the rank's timeline.
+func (w *World) EnableTracing(t *obs.Tracer) {
+	if t == nil {
+		return
+	}
+	w.tracer = t
+	w.tracks = make([]*obs.Track, w.P)
+	for r := 0; r < w.P; r++ {
+		w.tracks[r] = t.Track(fmt.Sprintf("rank %d", r))
+	}
+}
+
 // Run executes f on every rank of a fresh p-rank world concurrently and
-// returns the per-rank communication counters.
+// returns the per-rank communication counters. When process-wide tracing is
+// enabled (obs.Enable), every rank gets its own track automatically.
 func Run(p int, f func(c *Comm)) []Counters {
+	return RunTraced(p, obs.Get(), f)
+}
+
+// RunTraced is Run with an explicit tracer (nil disables tracing).
+func RunTraced(p int, tr *obs.Tracer, f func(c *Comm)) []Counters {
 	w := NewWorld(p)
+	w.EnableTracing(tr)
 	var wg sync.WaitGroup
 	for r := 0; r < p; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			if w.tracer != nil {
+				w.tracer.BindGoroutine(w.tracks[rank])
+				defer w.tracer.UnbindGoroutine()
+			}
 			f(w.Comm(rank))
 		}(r)
 	}
@@ -105,7 +136,11 @@ func (w *World) Comm(rank int) *Comm {
 	for i := range group {
 		group[i] = i
 	}
-	return &Comm{w: w, global: rank, group: group, me: rank}
+	c := &Comm{w: w, global: rank, group: group, me: rank}
+	if w.tracks != nil {
+		c.track = w.tracks[rank]
+	}
+	return c
 }
 
 // Counters returns a snapshot of all per-rank counters.
@@ -151,9 +186,10 @@ func TotalCounters(cs []Counters) Counters {
 // sub-communicators for the 2D process grid.
 type Comm struct {
 	w      *World
-	global int   // my global rank
-	group  []int // global ranks of the group, in group order
-	me     int   // my index within group
+	global int        // my global rank
+	group  []int      // global ranks of the group, in group order
+	me     int        // my index within group
+	track  *obs.Track // this rank's trace track (nil when tracing is off)
 }
 
 // Rank returns the caller's rank within the communicator's group.
@@ -180,7 +216,7 @@ func (c *Comm) Group(local []int) *Comm {
 	if me < 0 {
 		return nil
 	}
-	return &Comm{w: c.w, global: c.global, group: globals, me: me}
+	return &Comm{w: c.w, global: c.global, group: globals, me: me, track: c.track}
 }
 
 // Send transfers a copy of data to group rank `to`. It never blocks as long
@@ -206,4 +242,38 @@ func (c *Comm) round() {
 	c.w.mu[c.global].Lock()
 	c.w.counters[c.global].Rounds++
 	c.w.mu[c.global].Unlock()
+}
+
+// StartSpan begins a span on this rank's trace track. It is a no-op (one
+// nil check) when tracing is off, so engines can instrument compute steps
+// unconditionally.
+func (c *Comm) StartSpan(name string) obs.Span { return c.track.Start(name) }
+
+// snapshot returns this rank's current counters.
+func (c *Comm) snapshot() Counters {
+	c.w.mu[c.global].Lock()
+	out := c.w.counters[c.global]
+	c.w.mu[c.global].Unlock()
+	return out
+}
+
+// beginCollective opens a span for a collective and snapshots the counters
+// so endCollective can attach the bytes/messages moved by this call.
+func (c *Comm) beginCollective(name string) (obs.Span, Counters) {
+	if c.track == nil {
+		return obs.Span{}, Counters{}
+	}
+	return c.track.Start(name), c.snapshot()
+}
+
+// endCollective completes a collective span, attaching the per-call byte
+// and message deltas as span attributes (the quantities the Section 7 BSP
+// analysis bounds, now visible per superstep in the trace).
+func (c *Comm) endCollective(sp obs.Span, before Counters) {
+	if !sp.Active() {
+		return
+	}
+	after := c.snapshot()
+	sp.End(obs.Int64("bytes", after.BytesSent-before.BytesSent),
+		obs.Int64("msgs", after.MsgsSent-before.MsgsSent))
 }

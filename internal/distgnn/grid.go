@@ -44,6 +44,9 @@ type GlobalEngine struct {
 	ABlk   *sparse.CSR // stationary block A_{ij}, B×B
 	Cfg    gnn.Config
 	layers []gridLayer
+
+	// Precomputed span names so the traced path does no formatting.
+	spanFwd, spanBwd []string
 }
 
 // gridLayer is one distributed layer. Every rank calls forward/backward;
@@ -138,6 +141,8 @@ func NewGlobalEngine(c *dist.Comm, a *sparse.CSR, cfg gnn.Config) (*GlobalEngine
 			return nil, fmt.Errorf("distgnn: unsupported model %v", cfg.Model)
 		}
 		e.layers = append(e.layers, gl)
+		e.spanFwd = append(e.spanFwd, fmt.Sprintf("layer%d.forward(%s)", l, cfg.Model))
+		e.spanBwd = append(e.spanBwd, fmt.Sprintf("layer%d.backward(%s)", l, cfg.Model))
 	}
 	return e, nil
 }
@@ -173,8 +178,10 @@ func (e *GlobalEngine) SliceOwnedBlock(h *tensor.Dense) *tensor.Dense {
 // Forward runs all layers; xd is the diagonal-owned input block (nil
 // off-diagonal) and the return value is the diagonal-owned output block.
 func (e *GlobalEngine) Forward(xd *tensor.Dense, training bool) *tensor.Dense {
-	for _, l := range e.layers {
+	for i, l := range e.layers {
+		sp := e.C.StartSpan(e.spanFwd[i])
 		xd = l.forward(e, xd, training)
+		sp.End()
 	}
 	return xd
 }
@@ -183,7 +190,9 @@ func (e *GlobalEngine) Forward(xd *tensor.Dense, training bool) *tensor.Dense {
 // and returns the input-feature gradient block.
 func (e *GlobalEngine) Backward(gd *tensor.Dense) *tensor.Dense {
 	for i := len(e.layers) - 1; i >= 0; i-- {
+		sp := e.C.StartSpan(e.spanBwd[i])
 		gd = e.layers[i].backward(e, gd)
+		sp.End()
 	}
 	return gd
 }
@@ -209,6 +218,8 @@ func (e *GlobalEngine) ZeroGrad() {
 // this every rank holds identical gradients and can step its optimizer
 // locally, keeping the replicated weights in sync.
 func (e *GlobalEngine) AllreduceGrads() {
+	sp := e.C.StartSpan("allreduce_grads")
+	defer sp.End()
 	ps := e.Params()
 	total := 0
 	for _, p := range ps {

@@ -34,6 +34,7 @@ type LocalEngine struct {
 	sendTo   [][]int32 // per remote rank: our owned ids they pull
 	model    *gnn.Model
 	cfg      gnn.Config
+	spanFwd  []string // precomputed per-layer span names
 }
 
 // NewLocalEngine builds the baseline engine; like NewGlobalEngine it takes
@@ -138,6 +139,7 @@ func NewLocalEngine(c *dist.Comm, a *sparse.CSR, cfg gnn.Config) (*LocalEngine, 
 			return nil, fmt.Errorf("distgnn: unsupported model %v", cfg.Model)
 		}
 		e.model.Layers = append(e.model.Layers, layer)
+		e.spanFwd = append(e.spanFwd, fmt.Sprintf("layer%d.forward(%s)", l, cfg.Model))
 	}
 	return e, nil
 }
@@ -153,6 +155,8 @@ func (e *LocalEngine) localCol(j int32) int32 {
 // their owners and returns the extended feature matrix [owned ++ halo].
 // This is the per-layer Θ(k·halo) traffic of the local formulation.
 func (e *LocalEngine) haloExchange(h *tensor.Dense) *tensor.Dense {
+	sp := e.C.StartSpan("halo_exchange")
+	defer sp.End()
 	p := e.C.Size()
 	k := h.Cols
 	out := make([][]float64, p)
@@ -182,9 +186,11 @@ func (e *LocalEngine) haloExchange(h *tensor.Dense) *tensor.Dense {
 func (e *LocalEngine) Forward(hOwned *tensor.Dense) *tensor.Dense {
 	nOwned := e.Hi - e.Lo
 	h := hOwned
-	for _, l := range e.model.Layers {
+	for i, l := range e.model.Layers {
 		ext := e.haloExchange(h)
+		sp := e.C.StartSpan(e.spanFwd[i])
 		out := l.Forward(ext, false)
+		sp.End()
 		h = out.SliceRows(0, nOwned).Clone()
 	}
 	return h
@@ -214,8 +220,12 @@ func (e *LocalEngine) GatherOutput(out *tensor.Dense) *tensor.Dense {
 // traffic), trains on the induced subgraph, and allreduces gradients.
 // hOwned are this rank's feature rows; labels are global (replicated).
 func (e *LocalEngine) MiniBatchStep(hOwned *tensor.Dense, labels []int, seeds []int32, opt gnn.Optimizer) float64 {
+	sp := e.C.StartSpan("minibatch_step")
+	defer sp.End()
+	ex := e.C.StartSpan("minibatch_expand")
 	fullG := local.FromCSR(e.full)
 	batch := local.NeighborhoodExpand(fullG, seeds, e.cfg.Layers)
+	ex.End()
 
 	// Pull remote feature rows for the batch.
 	p := e.C.Size()
@@ -259,6 +269,7 @@ func (e *LocalEngine) MiniBatchStep(hOwned *tensor.Dense, labels []int, seeds []
 		}
 	}
 
+	tr := e.C.StartSpan("minibatch_train")
 	sub, err := local.Rebind(e.model, batch.Sub)
 	if err != nil {
 		panic(err)
@@ -271,6 +282,7 @@ func (e *LocalEngine) MiniBatchStep(hOwned *tensor.Dense, labels []int, seeds []
 	outM := sub.Forward(feats, true)
 	lossVal, grad := (&gnn.CrossEntropyLoss{Labels: batchLabels, Mask: batch.SeedMask()}).Eval(outM)
 	sub.Backward(grad)
+	tr.End()
 
 	// Gradient allreduce across ranks, then replicated optimizer step.
 	ps := sub.Params()

@@ -60,11 +60,21 @@ func (e *GlobalEngine) EvalLoss(out *tensor.Dense, labels []int, mask []bool) (f
 // rank applies the same update to the same values). Every rank must pass
 // its own optimizer instance; xd is the diagonal-owned input block.
 func (e *GlobalEngine) TrainStep(xd *tensor.Dense, labels []int, mask []bool, opt gnn.Optimizer) float64 {
+	sp := e.C.StartSpan("train_step")
+	defer sp.End()
 	e.ZeroGrad()
+	fw := e.C.StartSpan("forward")
 	out := e.Forward(xd, true)
+	fw.End()
+	ls := e.C.StartSpan("loss")
 	loss, g := e.EvalLoss(out, labels, mask)
+	ls.End()
+	bw := e.C.StartSpan("backward")
 	e.Backward(g)
+	bw.End()
 	e.AllreduceGrads()
+	st := e.C.StartSpan("opt_step")
 	opt.Step(e.Params())
+	st.End()
 	return loss
 }

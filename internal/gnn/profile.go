@@ -6,13 +6,17 @@ import (
 	"strings"
 	"time"
 
+	"agnn/internal/obs"
 	"agnn/internal/tensor"
 )
 
 // Per-layer profiling: Instrument wraps every layer of a model so forward
 // and backward wall times accumulate per layer — the shared-memory
 // performance-analysis counterpart of the distributed engines' byte
-// counters.
+// counters. The decorator is backed by internal/obs: when process-wide
+// tracing is on, every forward/backward additionally emits a span (e.g.
+// "layer0.forward(gat)") that nests the kernel spans fired inside it, so
+// the Chrome trace shows layer boundaries around the SpMM/SDDMM work.
 
 // LayerStats accumulates timings for one layer.
 type LayerStats struct {
@@ -46,6 +50,15 @@ func (p *Profile) TotalBackward() time.Duration {
 	return t
 }
 
+// TotalCalls sums forward invocations across layers.
+func (p *Profile) TotalCalls() int {
+	n := 0
+	for _, s := range p.Stats {
+		n += s.Calls
+	}
+	return n
+}
+
 // Reset clears all accumulated timings.
 func (p *Profile) Reset() {
 	for _, s := range p.Stats {
@@ -66,15 +79,18 @@ func (p *Profile) String() string {
 			s.Index, s.Name, s.Forward.Round(time.Microsecond),
 			s.Backward.Round(time.Microsecond), s.Calls)
 	}
-	fmt.Fprintf(&b, "total  %-14s %12s %12s\n", "",
-		p.TotalForward().Round(time.Microsecond), p.TotalBackward().Round(time.Microsecond))
+	fmt.Fprintf(&b, "total  %-14s %12s %12s %8d\n", "",
+		p.TotalForward().Round(time.Microsecond), p.TotalBackward().Round(time.Microsecond),
+		p.TotalCalls())
 	return b.String()
 }
 
-// profiledLayer decorates a Layer with timing.
+// profiledLayer decorates a Layer with timing and obs spans.
 type profiledLayer struct {
 	inner Layer
 	stats *LayerStats
+	// Span names are precomputed so the enabled path does no formatting.
+	spanFwd, spanBwd string
 }
 
 // Name implements Layer.
@@ -85,18 +101,22 @@ func (l *profiledLayer) Params() []*Param { return l.inner.Params() }
 
 // Forward implements Layer.
 func (l *profiledLayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {
+	sp := obs.Start(l.spanFwd)
 	t0 := time.Now()
 	out := l.inner.Forward(h, training)
 	l.stats.Forward += time.Since(t0)
 	l.stats.Calls++
+	sp.End()
 	return out
 }
 
 // Backward implements Layer.
 func (l *profiledLayer) Backward(g *tensor.Dense) *tensor.Dense {
+	sp := obs.Start(l.spanBwd)
 	t0 := time.Now()
 	out := l.inner.Backward(g)
 	l.stats.Backward += time.Since(t0)
+	sp.End()
 	return out
 }
 
@@ -109,7 +129,11 @@ func Instrument(m *Model) (*Model, *Profile) {
 	for i, l := range m.Layers {
 		s := &LayerStats{Index: i, Name: l.Name()}
 		prof.Stats = append(prof.Stats, s)
-		out.Layers = append(out.Layers, &profiledLayer{inner: l, stats: s})
+		out.Layers = append(out.Layers, &profiledLayer{
+			inner: l, stats: s,
+			spanFwd: fmt.Sprintf("layer%d.forward(%s)", i, l.Name()),
+			spanBwd: fmt.Sprintf("layer%d.backward(%s)", i, l.Name()),
+		})
 	}
 	return out, prof
 }

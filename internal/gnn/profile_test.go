@@ -4,7 +4,9 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+	"time"
 
+	"agnn/internal/obs"
 	"agnn/internal/tensor"
 )
 
@@ -60,5 +62,51 @@ func TestInstrumentRecordsBackwardAndShares(t *testing.T) {
 	prof.Reset()
 	if prof.TotalForward() != 0 || prof.Stats[0].Calls != 0 {
 		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestProfileTotalRowIncludesCalls(t *testing.T) {
+	p := &Profile{Stats: []*LayerStats{
+		{Index: 0, Name: "gat", Forward: time.Millisecond, Calls: 3},
+		{Index: 1, Name: "gat", Backward: time.Millisecond, Calls: 2},
+	}}
+	lines := strings.Split(strings.TrimSpace(p.String()), "\n")
+	total := lines[len(lines)-1]
+	if !strings.HasPrefix(total, "total") {
+		t.Fatalf("last row is not the total row: %q", total)
+	}
+	fields := strings.Fields(total)
+	if fields[len(fields)-1] != "5" {
+		t.Fatalf("total row must end with the summed calls column, got %q", total)
+	}
+}
+
+func TestInstrumentEmitsObsSpans(t *testing.T) {
+	tr := obs.New()
+	obs.Enable(tr)
+	defer obs.Disable()
+
+	a := testGraph(12, 407)
+	m, err := New(Config{Model: GAT, Layers: 2, InDim: 3, HiddenDim: 4, OutDim: 2,
+		Activation: Tanh(), Seed: 408}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, _ := Instrument(m)
+	h := tensor.RandN(12, 3, 1, rand.New(rand.NewSource(409)))
+	loss := &MSELoss{Target: tensor.RandN(12, 2, 1, rand.New(rand.NewSource(410)))}
+	im.TrainStep(h, loss, NewSGD(0.01, 0))
+
+	counts := map[string]int64{}
+	for _, s := range tr.Report().Spans {
+		counts[s.Name] = s.Count
+	}
+	for _, want := range []string{
+		"layer0.forward(gat)", "layer1.forward(gat)",
+		"layer0.backward(gat)", "layer1.backward(gat)",
+	} {
+		if counts[want] != 1 {
+			t.Fatalf("span %q count = %d, want 1 (have %v)", want, counts[want], counts)
+		}
 	}
 }

@@ -11,6 +11,7 @@ package kernels
 import (
 	"math"
 
+	"agnn/internal/obs"
 	"agnn/internal/par"
 	"agnn/internal/sparse"
 	"agnn/internal/tensor"
@@ -74,6 +75,7 @@ func AGNNEdgeScore(h *tensor.Dense, norms []float64, beta float64) ScoreFunc {
 // the result is pat's pattern with values f(i, j). This is the generalized
 // SDDMM the paper fuses attention-score pipelines into.
 func FusedScores(pat *sparse.CSR, f ScoreFunc) *sparse.CSR {
+	defer obs.Start("fused_scores").End()
 	vals := make([]float64, pat.NNZ())
 	par.RangeWeighted(pat.Rows, func(i int) int64 { return int64(pat.RowNNZ(i)) }, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -89,6 +91,7 @@ func FusedScores(pat *sparse.CSR, f ScoreFunc) *sparse.CSR {
 // score evaluation, row max, exponentiation and normalization are fused, so
 // no unnormalized score matrix is materialized.
 func FusedSoftmaxScores(pat *sparse.CSR, f ScoreFunc) *sparse.CSR {
+	defer obs.Start("fused_softmax_scores").End()
 	vals := make([]float64, pat.NNZ())
 	par.RangeWeighted(pat.Rows, func(i int) int64 { return int64(pat.RowNNZ(i)) }, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -127,6 +130,7 @@ func FusedSoftmaxApply(pat *sparse.CSR, f ScoreFunc, x *tensor.Dense) *tensor.De
 	if pat.Cols != x.Rows {
 		panic("kernels: FusedSoftmaxApply shape mismatch")
 	}
+	defer obs.Start("fused_softmax_apply").End()
 	k := x.Cols
 	out := tensor.NewDense(pat.Rows, k)
 	maxRow := pat.MaxRowNNZ()
@@ -178,6 +182,7 @@ func FusedSoftmaxApply(pat *sparse.CSR, f ScoreFunc, x *tensor.Dense) *tensor.De
 // optimization prefers. A flop-based heuristic picks the order when the
 // dense shapes make them differ (k_in ≠ k_out).
 func SpMMM(s *sparse.CSR, b, c *tensor.Dense) *tensor.Dense {
+	defer obs.Start("spmmm").End()
 	// flops(S·(B·C)) = b.Rows·b.Cols·c.Cols + nnz·c.Cols
 	// flops((S·B)·C) = nnz·b.Cols + s.Rows·b.Cols·c.Cols
 	nnz := int64(s.NNZ())
@@ -200,6 +205,7 @@ func MSpMM(x *tensor.Dense, s *sparse.CSR, y *tensor.Dense) *tensor.Dense {
 	if x.Rows != s.Rows || y.Rows != s.Cols {
 		panic("kernels: MSpMM shape mismatch")
 	}
+	defer obs.Start("mspmm").End()
 	k1, k2 := x.Cols, y.Cols
 	partials := make([]*tensor.Dense, par.Workers())
 	scratch := make([][]float64, par.Workers())

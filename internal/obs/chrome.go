@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+)
+
+// Chrome trace-event export: the JSON object format understood by
+// chrome://tracing and https://ui.perfetto.dev. Every track becomes a
+// thread (tid) of a single process; spans are "X" (complete) events with
+// microsecond timestamps relative to the tracer epoch, and span attributes
+// become event args.
+
+// chromeEvent is one entry of the traceEvents array.
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Ph   string           `json:"ph"`
+	Pid  int              `json:"pid"`
+	Tid  int              `json:"tid"`
+	Ts   float64          `json:"ts"`
+	Dur  *float64         `json:"dur,omitempty"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// chromeMeta is a metadata ("M") event naming a process or thread.
+type chromeMeta struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// chromeTrace is the top-level JSON object.
+type chromeTrace struct {
+	TraceEvents     []json.RawMessage `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace serializes every completed span as Chrome trace-event
+// JSON. Safe to call while tracing continues; it snapshots each track under
+// its lock.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	out := chromeTrace{DisplayTimeUnit: "ms"}
+	add := func(v any) error {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		out.TraceEvents = append(out.TraceEvents, raw)
+		return nil
+	}
+	if err := add(chromeMeta{Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]string{"name": "agnn"}}); err != nil {
+		return err
+	}
+	for _, tr := range t.Tracks() {
+		if err := add(chromeMeta{Name: "thread_name", Ph: "M", Pid: 0, Tid: tr.id,
+			Args: map[string]string{"name": tr.name}}); err != nil {
+			return err
+		}
+		tr.mu.Lock()
+		evs := append([]event(nil), tr.events...)
+		tr.mu.Unlock()
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].start < evs[j].start })
+		for _, e := range evs {
+			dur := float64(e.dur.Nanoseconds()) / 1e3
+			ce := chromeEvent{Name: e.name, Ph: "X", Pid: 0, Tid: tr.id,
+				Ts: float64(e.start.Nanoseconds()) / 1e3, Dur: &dur}
+			if len(e.attrs) > 0 {
+				ce.Args = make(map[string]int64, len(e.attrs))
+				for _, a := range e.attrs {
+					ce.Args[a.Key] = a.Val
+				}
+			}
+			if err := add(ce); err != nil {
+				return err
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// WriteChromeTraceFile writes the Chrome trace to path.
+func (t *Tracer) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

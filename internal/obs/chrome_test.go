@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func osStat(p string) (int64, error) {
+	fi, err := os.Stat(p)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// deterministicTracer builds a fixed little trace: a nested pair on the
+// main track plus one attributed collective span on a rank track.
+func deterministicTracer() *Tracer {
+	tr := New()
+	fakeClock(tr, time.Millisecond)
+	r0 := tr.Track("rank 0")
+	outer := tr.Main().Start("train")
+	k := tr.Main().Start("spmm")
+	k.End()
+	outer.End()
+	c := r0.Start("allreduce")
+	c.End(Int64("bytes", 1024), Int64("msgs", 4))
+	return tr
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := deterministicTracer().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome trace drifted from golden file:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestChromeTraceWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := deterministicTracer().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string          `json:"name"`
+			Ph   string          `json:"ph"`
+			Pid  *int            `json:"pid"`
+			Tid  *int            `json:"tid"`
+			Ts   *float64        `json:"ts"`
+			Dur  *float64        `json:"dur"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if parsed.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", parsed.DisplayTimeUnit)
+	}
+	var metas, spans int
+	threadNames := map[string]bool{}
+	for _, e := range parsed.TraceEvents {
+		if e.Pid == nil || e.Tid == nil {
+			t.Fatalf("event %q missing pid/tid", e.Name)
+		}
+		switch e.Ph {
+		case "M":
+			metas++
+			if e.Name == "thread_name" {
+				var args map[string]string
+				if err := json.Unmarshal(e.Args, &args); err != nil || args["name"] == "" {
+					t.Fatalf("thread_name meta malformed: %s", e.Args)
+				}
+				threadNames[args["name"]] = true
+			}
+		case "X":
+			spans++
+			if e.Ts == nil || *e.Ts < 0 || e.Dur == nil || *e.Dur < 0 {
+				t.Fatalf("span %q has invalid ts/dur", e.Name)
+			}
+			if e.Name == "allreduce" {
+				var args map[string]int64
+				if err := json.Unmarshal(e.Args, &args); err != nil {
+					t.Fatalf("span args malformed: %s", e.Args)
+				}
+				if args["bytes"] != 1024 || args["msgs"] != 4 {
+					t.Fatalf("collective attrs not exported: %v", args)
+				}
+			}
+		default:
+			t.Fatalf("unexpected event phase %q", e.Ph)
+		}
+	}
+	if spans != 3 {
+		t.Fatalf("got %d X events, want 3", spans)
+	}
+	if !threadNames["main"] || !threadNames["rank 0"] {
+		t.Fatalf("thread names missing: %v", threadNames)
+	}
+}

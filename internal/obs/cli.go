@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// CLI is the shared observability flag surface of the binaries: every
+// command that does real work registers the same four flags and brackets
+// its run with Start/Stop.
+//
+//	var o obs.CLI
+//	o.Register(flag.CommandLine)
+//	flag.Parse()
+//	if err := o.Start(); err != nil { ... }
+//	defer o.Stop()
+type CLI struct {
+	Trace      string // Chrome trace-event JSON output path
+	Metrics    string // aggregated run-report JSON output path
+	CPUProfile string // runtime/pprof CPU profile output path
+	MemProfile string // runtime/pprof heap profile output path
+
+	tracer  *Tracer
+	cpuFile *os.File
+}
+
+// Register adds the -trace, -metrics, -cpuprofile and -memprofile flags.
+func (c *CLI) Register(fs *flag.FlagSet) {
+	fs.StringVar(&c.Trace, "trace", "", "write a Chrome trace-event JSON (chrome://tracing, Perfetto) here")
+	fs.StringVar(&c.Metrics, "metrics", "", "write the aggregated run-report JSON here (see agnn-report)")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile here")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof heap profile here (captured at exit)")
+}
+
+// Active reports whether any observability output was requested.
+func (c *CLI) Active() bool {
+	return c.Trace != "" || c.Metrics != "" || c.CPUProfile != "" || c.MemProfile != ""
+}
+
+// Tracing reports whether span collection is on (-trace or -metrics).
+func (c *CLI) Tracing() bool { return c.Trace != "" || c.Metrics != "" }
+
+// Start begins CPU profiling and enables the process-wide tracer as
+// requested by the flags.
+func (c *CLI) Start() error {
+	if c.CPUProfile != "" {
+		f, err := os.Create(c.CPUProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("obs: start cpu profile: %w", err)
+		}
+		c.cpuFile = f
+	}
+	if c.Tracing() {
+		c.tracer = New()
+		Enable(c.tracer)
+	}
+	return nil
+}
+
+// Stop flushes every requested output: stops the CPU profile, writes the
+// heap profile, the Chrome trace and the run-report, and disables the
+// process-wide tracer. Returns the first error encountered but attempts
+// all outputs.
+func (c *CLI) Stop() error {
+	var first error
+	keep := func(err error) {
+		if first == nil && err != nil {
+			first = err
+		}
+	}
+	if c.cpuFile != nil {
+		pprof.StopCPUProfile()
+		keep(c.cpuFile.Close())
+		c.cpuFile = nil
+	}
+	if c.tracer != nil {
+		Disable()
+		if c.Trace != "" {
+			keep(c.tracer.WriteChromeTraceFile(c.Trace))
+		}
+		if c.Metrics != "" {
+			keep(c.tracer.WriteReportFile(c.Metrics))
+		}
+		c.tracer = nil
+	}
+	if c.MemProfile != "" {
+		f, err := os.Create(c.MemProfile)
+		if err != nil {
+			keep(err)
+		} else {
+			runtime.GC() // materialize up-to-date heap statistics
+			keep(pprof.WriteHeapProfile(f))
+			keep(f.Close())
+		}
+	}
+	return first
+}

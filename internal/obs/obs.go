@@ -1,0 +1,213 @@
+// Package obs is the unified tracing and metrics substrate of the
+// repository: cheap start/stop spans over a monotonic clock, one track per
+// rank (or per bound goroutine) so BSP supersteps line up visually across
+// ranks, a Chrome trace-event exporter loadable in chrome://tracing or
+// Perfetto, and an aggregated run-report that cmd/agnn-report summarizes.
+//
+// The package is zero-dependency (stdlib only) and safe to leave compiled
+// into every hot path: the global tracer defaults to disabled, and a span
+// on the disabled path costs one atomic load and allocates nothing. Enable
+// tracing for a region with
+//
+//	tr := obs.New()
+//	obs.Enable(tr)
+//	defer obs.Disable()
+//	...
+//	tr.WriteChromeTraceFile("trace.json")
+//
+// or, in the CLI binaries, with the shared -trace/-metrics flags (see CLI).
+//
+// Spans started through the package-level Start land on the track bound to
+// the calling goroutine (Tracer.BindGoroutine), falling back to the "main"
+// track. internal/dist binds one track per simulated rank, so kernel spans
+// fired inside rank goroutines are attributed to the right rank
+// automatically.
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one integer span attribute (communication bytes, message counts,
+// nnz …). Attributes are attached at End and exported both as Chrome trace
+// args and as per-span-name sums in the aggregated report.
+type Attr struct {
+	Key string
+	Val int64
+}
+
+// Int64 constructs a span attribute.
+func Int64(key string, val int64) Attr { return Attr{Key: key, Val: val} }
+
+// event is one completed span on a track.
+type event struct {
+	name  string
+	start time.Duration // since tracer epoch (monotonic)
+	dur   time.Duration
+	attrs []Attr
+}
+
+// Track is an ordered sequence of spans rendered as one horizontal timeline
+// (one Chrome trace tid). Tracks are cheap; create one per rank or per
+// logical thread of activity. All methods are safe for concurrent use, but
+// spans on a single track should be well-nested (the natural shape when one
+// goroutine owns the track).
+type Track struct {
+	tracer *Tracer
+	id     int
+	name   string
+
+	mu     sync.Mutex
+	events []event
+}
+
+// Name returns the track's display name.
+func (t *Track) Name() string { return t.name }
+
+// ID returns the track's numeric id (the Chrome trace tid).
+func (t *Track) ID() int { return t.id }
+
+// Start begins a span on the track. Starting on a nil track returns an
+// inert span, so handles threaded through un-traced runs cost only a nil
+// check.
+func (t *Track) Start(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{track: t, name: name, start: t.tracer.now()}
+}
+
+// Span is an in-flight timed region. The zero value is inert: End on it
+// does nothing, which is what the disabled path returns.
+type Span struct {
+	track *Track
+	name  string
+	start time.Duration
+}
+
+// Active reports whether the span records anything. Use it to skip
+// attribute computation on un-traced runs.
+func (s Span) Active() bool { return s.track != nil }
+
+// End completes the span, attaching any attributes. Calling End() with no
+// attributes does not allocate.
+func (s Span) End(attrs ...Attr) {
+	if s.track == nil {
+		return
+	}
+	d := s.track.tracer.now() - s.start
+	s.track.mu.Lock()
+	s.track.events = append(s.track.events, event{name: s.name, start: s.start, dur: d, attrs: attrs})
+	s.track.mu.Unlock()
+}
+
+// Tracer owns a set of tracks plus the epoch all spans are timed against.
+type Tracer struct {
+	epoch time.Time
+	nowFn func() time.Duration // test hook; defaults to time.Since(epoch)
+
+	mu     sync.Mutex
+	tracks []*Track
+	main   *Track
+
+	byGID sync.Map // goroutine id (uint64) → *Track
+}
+
+// New creates a Tracer with a "main" default track.
+func New() *Tracer {
+	t := &Tracer{epoch: time.Now()}
+	t.main = t.Track("main")
+	return t
+}
+
+// now returns the monotonic time since the tracer epoch.
+func (t *Tracer) now() time.Duration {
+	if t.nowFn != nil {
+		return t.nowFn()
+	}
+	return time.Since(t.epoch)
+}
+
+// Track creates a new track. Track ids are assigned in creation order, so
+// ranks created 0..p-1 render in rank order.
+func (t *Tracer) Track(name string) *Track {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr := &Track{tracer: t, id: len(t.tracks), name: name}
+	t.tracks = append(t.tracks, tr)
+	return tr
+}
+
+// Tracks returns a snapshot of all tracks in id order.
+func (t *Tracer) Tracks() []*Track {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Track(nil), t.tracks...)
+}
+
+// Main returns the default track used by unbound goroutines.
+func (t *Tracer) Main() *Track { return t.main }
+
+// BindGoroutine routes package-level Start calls made from the current
+// goroutine to tr. internal/dist binds each rank goroutine to its rank
+// track so kernel spans nest under the rank's timeline.
+func (t *Tracer) BindGoroutine(tr *Track) { t.byGID.Store(gid(), tr) }
+
+// UnbindGoroutine removes the current goroutine's binding.
+func (t *Tracer) UnbindGoroutine() { t.byGID.Delete(gid()) }
+
+// current resolves the calling goroutine's track (main when unbound).
+func (t *Tracer) current() *Track {
+	if tr, ok := t.byGID.Load(gid()); ok {
+		return tr.(*Track)
+	}
+	return t.main
+}
+
+// global is the process-wide tracer; nil means tracing is disabled and
+// instrumented hot paths pay exactly one atomic load.
+var global atomic.Pointer[Tracer]
+
+// Enable installs t as the process-wide tracer.
+func Enable(t *Tracer) { global.Store(t) }
+
+// Disable turns process-wide tracing off.
+func Disable() { global.Store(nil) }
+
+// Enabled reports whether a process-wide tracer is installed.
+func Enabled() bool { return global.Load() != nil }
+
+// Get returns the process-wide tracer, or nil when disabled.
+func Get() *Tracer { return global.Load() }
+
+// Start begins a span on the calling goroutine's track of the process-wide
+// tracer. When tracing is disabled it returns an inert span after a single
+// atomic load and does not allocate.
+func Start(name string) Span {
+	t := global.Load()
+	if t == nil {
+		return Span{}
+	}
+	return t.current().Start(name)
+}
+
+// gid returns the current goroutine id, parsed from the runtime stack
+// header ("goroutine N [status]:"). This costs on the order of a
+// microsecond and is paid only on the enabled path, where spans wrap
+// kernel- or collective-sized work.
+func gid() uint64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	var id uint64
+	for i := len("goroutine "); i < n; i++ {
+		c := buf[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}

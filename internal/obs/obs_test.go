@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a tracer deterministically: every call to now advances
+// by step.
+func fakeClock(t *Tracer, step time.Duration) {
+	var tick time.Duration
+	t.nowFn = func() time.Duration {
+		tick += step
+		return tick
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr := New()
+	fakeClock(tr, time.Millisecond)
+	outer := tr.Main().Start("outer")
+	inner := tr.Main().Start("inner")
+	inner.End()
+	outer.End()
+
+	evs := tr.Main().events
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	// End order: inner completes first.
+	in, out := evs[0], evs[1]
+	if in.name != "inner" || out.name != "outer" {
+		t.Fatalf("event order wrong: %q, %q", in.name, out.name)
+	}
+	if in.start <= out.start {
+		t.Fatalf("inner must start after outer: %v vs %v", in.start, out.start)
+	}
+	if in.start+in.dur > out.start+out.dur {
+		t.Fatalf("inner must end before outer: inner ends %v, outer ends %v",
+			in.start+in.dur, out.start+out.dur)
+	}
+}
+
+func TestConcurrentRanksDisjointTracks(t *testing.T) {
+	tr := New()
+	Enable(tr)
+	defer Disable()
+
+	const p = 8
+	tracks := make([]*Track, p)
+	for r := 0; r < p; r++ {
+		tracks[r] = tr.Track(fmt.Sprintf("rank %d", r))
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			tr.BindGoroutine(tracks[rank])
+			defer tr.UnbindGoroutine()
+			for i := 0; i < 10; i++ {
+				// Package-level Start must resolve to this rank's track.
+				sp := Start("step")
+				sp.End(Int64("rank", int64(rank)))
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	if got := len(tr.Tracks()); got != p+1 { // + main
+		t.Fatalf("got %d tracks, want %d", got, p+1)
+	}
+	if n := len(tr.Main().events); n != 0 {
+		t.Fatalf("main track has %d stray events", n)
+	}
+	for r, trk := range tracks {
+		if len(trk.events) != 10 {
+			t.Fatalf("rank %d: got %d events, want 10", r, len(trk.events))
+		}
+		for _, e := range trk.events {
+			if len(e.attrs) != 1 || e.attrs[0].Val != int64(r) {
+				t.Fatalf("rank %d: event leaked from another goroutine: %+v", r, e)
+			}
+		}
+	}
+}
+
+func TestDisabledPathDoesNotAllocate(t *testing.T) {
+	Disable()
+	allocs := testing.AllocsPerRun(200, func() {
+		sp := Start("hot")
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span path allocates %.1f times per op, want 0", allocs)
+	}
+	// Nil-track handles (the un-traced distributed path) are free too.
+	var trk *Track
+	allocs = testing.AllocsPerRun(200, func() {
+		sp := trk.Start("hot")
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-track span path allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestReportAggregation(t *testing.T) {
+	tr := New()
+	fakeClock(tr, time.Millisecond)
+	r0 := tr.Track("rank 0")
+	r1 := tr.Track("rank 1")
+	for i := 0; i < 3; i++ {
+		sp := r0.Start("allreduce")
+		sp.End(Int64("bytes", 100), Int64("msgs", 2))
+	}
+	sp := r1.Start("allreduce")
+	sp.End(Int64("bytes", 50), Int64("msgs", 1))
+	sp = r1.Start("spmm")
+	sp.End()
+
+	rep := tr.Report()
+	stats := map[string]SpanStat{}
+	for _, s := range rep.Spans {
+		stats[s.Name] = s
+	}
+	ar := stats["allreduce"]
+	if ar.Count != 4 {
+		t.Fatalf("allreduce count = %d, want 4", ar.Count)
+	}
+	if ar.Attrs["bytes"] != 350 || ar.Attrs["msgs"] != 7 {
+		t.Fatalf("allreduce attrs wrong: %v", ar.Attrs)
+	}
+	if ar.TotalNs <= 0 || ar.MaxNs <= 0 || ar.MaxNs > ar.TotalNs {
+		t.Fatalf("allreduce timing stats wrong: %+v", ar)
+	}
+	if stats["spmm"].Count != 1 {
+		t.Fatalf("spmm count = %d, want 1", stats["spmm"].Count)
+	}
+	if len(rep.Tracks) != 3 {
+		t.Fatalf("got %d track stats, want 3", len(rep.Tracks))
+	}
+	byTrack := map[string]TrackStat{}
+	for _, ts := range rep.Tracks {
+		byTrack[ts.Track] = ts
+	}
+	if byTrack["rank 0"].Attrs["bytes"] != 300 || byTrack["rank 1"].Attrs["bytes"] != 50 {
+		t.Fatalf("per-rank byte totals wrong: %v", byTrack)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	tr := New()
+	fakeClock(tr, time.Millisecond)
+	sp := tr.Main().Start("work")
+	sp.End(Int64("bytes", 7))
+	path := t.TempDir() + "/report.json"
+	if err := tr.WriteReportFile(path); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadReportFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Spans) != 1 || rep.Spans[0].Name != "work" || rep.Spans[0].Attrs["bytes"] != 7 {
+		t.Fatalf("round-tripped report wrong: %+v", rep)
+	}
+}
+
+func TestCLIWritesAllOutputs(t *testing.T) {
+	dir := t.TempDir()
+	c := CLI{
+		Trace:      dir + "/trace.json",
+		Metrics:    dir + "/metrics.json",
+		CPUProfile: dir + "/cpu.pprof",
+		MemProfile: dir + "/mem.pprof",
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() {
+		t.Fatal("CLI.Start did not enable tracing")
+	}
+	sp := Start("work")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if Enabled() {
+		t.Fatal("CLI.Stop did not disable tracing")
+	}
+	for _, p := range []string{c.Trace, c.Metrics, c.CPUProfile, c.MemProfile} {
+		if fi, err := osStat(p); err != nil || fi == 0 {
+			t.Fatalf("output %s missing or empty (err %v, size %d)", p, err, fi)
+		}
+	}
+}

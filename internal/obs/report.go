@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+)
+
+// Aggregated run-report: the compact JSON summary written by -metrics and
+// consumed by cmd/agnn-report. It collapses the trace into per-span-name
+// statistics (count, total, max, summed integer attributes) plus per-track
+// totals, which for distributed runs are the per-rank communication bytes
+// and message counts.
+
+// SpanStat aggregates every span sharing one name.
+type SpanStat struct {
+	Name    string           `json:"name"`
+	Count   int64            `json:"count"`
+	TotalNs int64            `json:"total_ns"`
+	MaxNs   int64            `json:"max_ns"`
+	Attrs   map[string]int64 `json:"attrs,omitempty"` // summed over spans
+}
+
+// TrackStat aggregates one track (one rank, in distributed runs).
+type TrackStat struct {
+	Track string           `json:"track"`
+	Spans int64            `json:"spans"`
+	Attrs map[string]int64 `json:"attrs,omitempty"` // summed over the track's spans
+}
+
+// Report is the aggregated run-report.
+type Report struct {
+	Spans  []SpanStat  `json:"spans"`
+	Tracks []TrackStat `json:"tracks"`
+}
+
+// Report aggregates the tracer's completed spans. Span stats are sorted by
+// total time, heaviest first; tracks stay in id order.
+func (t *Tracer) Report() *Report {
+	byName := map[string]*SpanStat{}
+	var order []string
+	rep := &Report{}
+	for _, tr := range t.Tracks() {
+		tr.mu.Lock()
+		evs := append([]event(nil), tr.events...)
+		tr.mu.Unlock()
+		ts := TrackStat{Track: tr.name}
+		for _, e := range evs {
+			s := byName[e.name]
+			if s == nil {
+				s = &SpanStat{Name: e.name}
+				byName[e.name] = s
+				order = append(order, e.name)
+			}
+			s.Count++
+			s.TotalNs += e.dur.Nanoseconds()
+			if ns := e.dur.Nanoseconds(); ns > s.MaxNs {
+				s.MaxNs = ns
+			}
+			ts.Spans++
+			for _, a := range e.attrs {
+				if s.Attrs == nil {
+					s.Attrs = map[string]int64{}
+				}
+				s.Attrs[a.Key] += a.Val
+				if ts.Attrs == nil {
+					ts.Attrs = map[string]int64{}
+				}
+				ts.Attrs[a.Key] += a.Val
+			}
+		}
+		rep.Tracks = append(rep.Tracks, ts)
+	}
+	for _, n := range order {
+		rep.Spans = append(rep.Spans, *byName[n])
+	}
+	sort.SliceStable(rep.Spans, func(i, j int) bool {
+		return rep.Spans[i].TotalNs > rep.Spans[j].TotalNs
+	})
+	return rep
+}
+
+// WriteJSON serializes the report.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r)
+}
+
+// WriteReportFile aggregates and writes the run-report to path.
+func (t *Tracer) WriteReportFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Report().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadReport parses a run-report previously written by WriteReportFile.
+func ReadReport(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// ReadReportFile parses the run-report at path.
+func ReadReportFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadReport(f)
+}

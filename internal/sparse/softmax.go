@@ -3,6 +3,7 @@ package sparse
 import (
 	"math"
 
+	"agnn/internal/obs"
 	"agnn/internal/par"
 )
 
@@ -17,6 +18,7 @@ import (
 // exponentiation, which is algebraically identical to the paper's
 // formulation (the factor exp(-max) cancels).
 func RowSoftmax(s *CSR) *CSR {
+	defer obs.Start("row_softmax").End()
 	vals := make([]float64, s.NNZ())
 	par.RangeWeighted(s.Rows, func(i int) int64 { return int64(s.RowNNZ(i)) }, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -58,6 +60,7 @@ func RowSoftmaxBackward(p, g *CSR) *CSR {
 	if !p.SamePattern(g) {
 		panic("sparse: RowSoftmaxBackward pattern mismatch")
 	}
+	defer obs.Start("row_softmax_bwd").End()
 	vals := make([]float64, p.NNZ())
 	par.RangeWeighted(p.Rows, func(i int) int64 { return int64(p.RowNNZ(i)) }, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {

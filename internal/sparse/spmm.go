@@ -3,6 +3,7 @@ package sparse
 import (
 	"fmt"
 
+	"agnn/internal/obs"
 	"agnn/internal/par"
 	"agnn/internal/tensor"
 )
@@ -22,6 +23,7 @@ func (s *CSR) MulDenseInto(out, x *tensor.Dense) {
 		panic(fmt.Sprintf("sparse: SpMM shape mismatch out %d×%d = %d×%d · %d×%d",
 			out.Rows, out.Cols, s.Rows, s.Cols, x.Rows, x.Cols))
 	}
+	defer obs.Start("spmm").End()
 	k := x.Cols
 	par.RangeWeighted(s.Rows, func(i int) int64 { return int64(s.RowNNZ(i)) }, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -87,6 +89,7 @@ func SDDMM(pat *CSR, x, y *tensor.Dense) *CSR {
 		panic(fmt.Sprintf("sparse: SDDMM shape mismatch pat %d×%d, X %d×%d, Y %d×%d",
 			pat.Rows, pat.Cols, x.Rows, x.Cols, y.Rows, y.Cols))
 	}
+	defer obs.Start("sddmm").End()
 	k := x.Cols
 	vals := make([]float64, pat.NNZ())
 	par.RangeWeighted(pat.Rows, func(i int) int64 { return int64(pat.RowNNZ(i)) }, func(_, lo, hi int) {
