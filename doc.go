@@ -8,8 +8,9 @@
 // model — all validated against an independent local (message-passing)
 // implementation and finite-difference gradient checks.
 //
-// See README.md for the architecture overview, DESIGN.md for the system
-// inventory and experiment index, and EXPERIMENTS.md for paper-vs-measured
-// results. The library lives under internal/; the runnable surfaces are
-// cmd/ and examples/.
+// See README.md for the architecture overview, docs/ARCHITECTURE.md for
+// the compile → fuse → execute operator-plan pipeline, DESIGN.md for the
+// system inventory and experiment index, and EXPERIMENTS.md for
+// paper-vs-measured results. The library lives under internal/; the
+// runnable surfaces are cmd/ and examples/.
 package agnn

@@ -67,7 +67,7 @@ func main() {
 	}
 	gaussModel := &gnn.GenericLayer{
 		A:   a,
-		Psi: gaussianPsi,
+		Psi: gnn.CustomPsi(gaussianPsi),
 		Agg: gnn.SumAgg(),
 		// GIN-style MLP update Φ: two projections with a ReLU between.
 		Phi: gnn.MLPPhi(gnn.ReLU(), tensor.GlorotInit(8, 16, rng), tensor.GlorotInit(16, 8, rng)),

@@ -43,7 +43,10 @@ func TestEndToEndPipeline(t *testing.T) {
 			t.Fatal(err)
 		}
 		loss := &gnn.CrossEntropyLoss{Labels: loaded.Labels, Mask: loaded.TrainMask}
-		hist := m.Train(loaded.Features, loss, gnn.NewAdam(0.01), 40)
+		hist, err := m.Train(loaded.Features, loss, gnn.NewAdam(0.01), 40)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if hist[len(hist)-1] >= hist[0] {
 			t.Fatalf("%v did not train: %v → %v", kind, hist[0], hist[len(hist)-1])
 		}

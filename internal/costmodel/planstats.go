@@ -1,0 +1,65 @@
+package costmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"agnn/internal/fuse"
+)
+
+// This file closes the loop between the SOAP-style planner and the
+// executable operator plans of internal/fuse: instead of estimating kernel
+// counts from the model kind, the cost model reads them off a compiled
+// plan — the same op list the runtime executes — together with the fusion
+// savings and the resident workspace.
+
+// ExecutionProfile summarizes a compiled operator plan for cost reporting.
+type ExecutionProfile struct {
+	Name            string
+	Train           bool
+	ForwardKernels  int // kernel launches per forward step
+	BackwardKernels int // kernel launches per backward step (0 for inference plans)
+	FusedVirtual    int // virtual nodes collapsed into sampling kernels (Section 6.2)
+	SoftmaxFused    int // softmaxes folded into their mask's sampling sweep
+	OpCounts        map[string]int
+	WorkspaceBytes  int64 // preallocated intermediate storage held by the plan
+}
+
+// ProfilePlan reads the execution counts off a compiled plan.
+func ProfilePlan(p *fuse.Plan) ExecutionProfile {
+	s := p.Stats()
+	return ExecutionProfile{
+		Name:            p.Name,
+		Train:           p.Train(),
+		ForwardKernels:  s.ForwardOps,
+		BackwardKernels: s.BackwardOps,
+		FusedVirtual:    s.FusedVirtual,
+		SoftmaxFused:    s.SoftmaxFused,
+		OpCounts:        s.OpCounts,
+		WorkspaceBytes:  s.WorkspaceBytes(),
+	}
+}
+
+// KernelInvocations returns the kernel launches of one training step
+// (forward + backward), the quantity the BSP timeline model charges one
+// synchronization to.
+func (e ExecutionProfile) KernelInvocations() int {
+	return e.ForwardKernels + e.BackwardKernels
+}
+
+// String renders the profile for reports.
+func (e ExecutionProfile) String() string {
+	ops := make([]string, 0, len(e.OpCounts))
+	for op, c := range e.OpCounts {
+		ops = append(ops, fmt.Sprintf("%s×%d", op, c))
+	}
+	sort.Strings(ops)
+	mode := "inference"
+	if e.Train {
+		mode = "train"
+	}
+	return fmt.Sprintf("%s [%s]: %d fwd + %d bwd kernels (%d virtual fused, %d softmax fused), %d KiB workspace; %s",
+		e.Name, mode, e.ForwardKernels, e.BackwardKernels, e.FusedVirtual, e.SoftmaxFused,
+		e.WorkspaceBytes/1024, strings.Join(ops, " "))
+}

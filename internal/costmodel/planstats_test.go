@@ -1,0 +1,65 @@
+package costmodel
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"agnn/internal/gnn"
+	"agnn/internal/graph"
+	"agnn/internal/tensor"
+)
+
+// TestProfilePlanReadsCompiledCounts: the cost model must report the op
+// counts of the plan the runtime actually executes — including the
+// Section 6.2 fusion savings — rather than estimating them from the model
+// kind.
+func TestProfilePlanReadsCompiledCounts(t *testing.T) {
+	a := graph.ErdosRenyi(30, 90, 1)
+	at := a.Transpose()
+	rng := rand.New(rand.NewSource(2))
+	h := tensor.RandN(30, 4, 1, rng)
+
+	agnn := gnn.NewAGNNLayer(a, at, 4, 3, gnn.Tanh(), rng)
+	agnn.Forward(h, true)
+	prof := ProfilePlan(agnn.Plan())
+	if !prof.Train {
+		t.Fatal("AGNN layer plan must be a training plan")
+	}
+	// AGNN forward: fused softmax sampling, rownorm, mm, spmm, sigma = 5.
+	if prof.ForwardKernels != 5 {
+		t.Fatalf("AGNN forward kernels = %d, want 5", prof.ForwardKernels)
+	}
+	if prof.BackwardKernels == 0 {
+		t.Fatal("training plan must report backward kernels")
+	}
+	// The virtual chain HHᵀ ⊘ nnᵀ scaled by β is fully fused (4 virtual
+	// nodes), and the softmax folded into the sampling sweep.
+	if prof.FusedVirtual != 4 || prof.SoftmaxFused != 1 {
+		t.Fatalf("AGNN fusion counts = (%d, %d), want (4, 1)",
+			prof.FusedVirtual, prof.SoftmaxFused)
+	}
+	if prof.WorkspaceBytes <= 0 {
+		t.Fatal("compiled plan must hold preallocated workspace")
+	}
+	if prof.KernelInvocations() != prof.ForwardKernels+prof.BackwardKernels {
+		t.Fatal("KernelInvocations mismatch")
+	}
+	s := prof.String()
+	for _, want := range []string{"agnn", "train", "spmm"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("profile string missing %q: %s", want, s)
+		}
+	}
+
+	gat := gnn.NewGATLayer(a, at, 4, 3, gnn.Tanh(), 0.2, rng)
+	gat.Forward(h, true)
+	gprof := ProfilePlan(gat.Plan())
+	// GAT forward: mm, matvec×2, fused softmax sampling, spmm, sigma = 6.
+	if gprof.ForwardKernels != 6 {
+		t.Fatalf("GAT forward kernels = %d, want 6", gprof.ForwardKernels)
+	}
+	if gprof.OpCounts["matvec"] != 2 {
+		t.Fatalf("GAT matvec count = %d, want 2", gprof.OpCounts["matvec"])
+	}
+}

@@ -83,7 +83,10 @@ func TestGlobalEngineAdamTraining(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := single.Train(h, &gnn.CrossEntropyLoss{Labels: labels}, gnn.NewAdam(0.01), 5)
+	want, err := single.Train(h, &gnn.CrossEntropyLoss{Labels: labels}, gnn.NewAdam(0.01), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	var got []float64
 	var mu sync.Mutex

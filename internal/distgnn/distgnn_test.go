@@ -117,7 +117,10 @@ func TestGlobalEngineTrainingMatchesSingleNode(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		wantLosses := single.Train(h, &gnn.CrossEntropyLoss{Labels: labels}, gnn.NewSGD(0.05, 0), steps)
+		wantLosses, err := single.Train(h, &gnn.CrossEntropyLoss{Labels: labels}, gnn.NewSGD(0.05, 0), steps)
+		if err != nil {
+			t.Fatal(err)
+		}
 		wantOut := single.Forward(h, false)
 
 		var gotLosses []float64

@@ -32,7 +32,10 @@ func TestDistributedMultiHeadGATMatchesSingleNode(t *testing.T) {
 	for i := range labels {
 		labels[i] = i % 2
 	}
-	wantLoss := single.Train(h, &gnn.CrossEntropyLoss{Labels: labels}, gnn.NewSGD(0.05, 0), 3)
+	wantLoss, err := single.Train(h, &gnn.CrossEntropyLoss{Labels: labels}, gnn.NewSGD(0.05, 0), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var gotLoss []float64
 	var mu sync.Mutex
 	dist.Run(4, func(c *dist.Comm) {

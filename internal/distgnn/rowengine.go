@@ -5,9 +5,9 @@ import (
 	"math/rand"
 
 	"agnn/internal/dist"
+	"agnn/internal/fuse"
 	"agnn/internal/gnn"
 	"agnn/internal/graph"
-	"agnn/internal/kernels"
 	"agnn/internal/sparse"
 	"agnn/internal/tensor"
 )
@@ -34,6 +34,24 @@ type rowLayer struct {
 	w, a1, a2 *gnn.Param // a1/a2 GAT only
 	beta      *gnn.Param // AGNN only
 	act       gnn.Activation
+
+	// plan is the compiled per-rank inference plan over the owned row block:
+	// the layer's DAG with SetRowOffset(Lo), so score closures index the
+	// full-height (allgathered) factors with global row ids.
+	plan *fuse.Plan
+}
+
+// rowRef and rowAct adapt gnn types to the fuse runtime (mirrors the
+// unexported adapters inside package gnn).
+func rowRef(p *gnn.Param) fuse.ParamRef {
+	return fuse.ParamRef{Name: p.Name, Value: p.Value, Grad: p.Grad}
+}
+
+func rowAct(a gnn.Activation) fuse.Act {
+	if a.F == nil {
+		a = gnn.Identity()
+	}
+	return fuse.Act{Name: a.Name, F: a.F, DF: a.DF}
 }
 
 // NewRowEngine builds the 1D engine (SPMD; adjacency replicated at setup
@@ -83,9 +101,49 @@ func NewRowEngine(c *dist.Comm, a *sparse.CSR, cfg gnn.Config) (*RowEngine, erro
 			rl.a1 = gnn.NewParam("a1", tensor.GlorotInit(out, 1, rng))
 			rl.a2 = gnn.NewParam("a2", tensor.GlorotInit(out, 1, rng))
 		}
+		rl.plan = e.compileLayerPlan(rl, in)
 		e.layers = append(e.layers, rl)
 	}
 	return e, nil
+}
+
+// compileLayerPlan builds one layer's execution DAG over the owned row
+// block and compiles it into a reusable inference plan. The row offset
+// shifts local pattern rows into global indices, so the virtual score
+// closures read the full-height allgathered factors directly.
+func (e *RowEngine) compileLayerPlan(rl rowLayer, in int) *fuse.Plan {
+	g := fuse.NewGraph(fmt.Sprintf("row-%v", e.cfg.Model), e.aRows)
+	g.SetRowOffset(e.Lo)
+	h := g.InputDense("H", e.Part.N, in)
+	wn := g.ParamNode("W", rowRef(rl.w))
+	act := rowAct(rl.act)
+	switch e.cfg.Model {
+	case gnn.GCN:
+		g.SetOutput(g.Sigma("Hout", g.SpMM("Z", g.Adj(), g.MM("HW", h, wn)), act))
+	case gnn.VA:
+		psi := g.Mask("Psi", g.DotScores("HHt", h, h), true)
+		g.SetOutput(g.Sigma("Hout", g.SpMM("Z", psi, g.MM("HW", h, wn)), act))
+	case gnn.AGNN:
+		bn := g.ParamNode("beta", rowRef(rl.beta))
+		norms := g.RowNormsNode("n", h)
+		cos := g.DivScores("C", g.DotScores("HHt", h, h), g.OuterScores("nnT", norms, norms))
+		s := g.Mask("S", g.ScaleScores("betaC", cos, bn), true)
+		psi := g.Softmax("Psi", s)
+		g.SetOutput(g.Sigma("Hout", g.SpMM("Z", psi, g.MM("HW", h, wn)), act))
+	case gnn.GAT:
+		a1n := g.ParamNode("a1", rowRef(rl.a1))
+		a2n := g.ParamNode("a2", rowRef(rl.a2))
+		hp := g.MM("Hp", h, wn)
+		u := g.MatVecNode("u", hp, a1n)
+		v := g.MatVecNode("v", hp, a2n)
+		c := g.AddScores("C", g.RepRow("u1T", u), g.RepCol("1vT", v))
+		msk := g.Mask("E", g.LReLUScores("lreluC", c, e.cfg.NegSlope), false)
+		psi := g.Softmax("Psi", msk)
+		g.SetOutput(g.Sigma("Hout", g.SpMM("Z", psi, hp), act))
+	default:
+		panic("unreachable")
+	}
+	return g.MustCompile(fuse.Options{SpanPrefix: fmt.Sprintf("row%d.", e.C.Rank())})
 }
 
 // Forward runs inference: per layer, one full allgather of the feature
@@ -101,30 +159,7 @@ func (e *RowEngine) Forward(hOwned *tensor.Dense) *tensor.Dense {
 }
 
 func (e *RowEngine) layerForward(l rowLayer, full *tensor.Dense) *tensor.Dense {
-	own := full.SliceRows(e.Lo, e.Hi)
-	switch e.cfg.Model {
-	case gnn.GCN:
-		return e.aRows.MulDense(tensor.MM(full, l.w.Value)).Apply(l.act.F)
-	case gnn.VA:
-		psi := sparse.SDDMMScaled(e.aRows, own.Clone(), full)
-		return psi.MulDense(tensor.MM(full, l.w.Value)).Apply(l.act.F)
-	case gnn.AGNN:
-		norms := tensor.RowNorms(full)
-		score := kernels.AGNNEdgeScore(full, norms, l.beta.Scalar())
-		// Row indices of aRows are local; shift into global for the score.
-		shift := func(i, j int32) float64 { return score(i+int32(e.Lo), j) }
-		psi := kernels.FusedSoftmaxScores(e.aRows, shift)
-		return psi.MulDense(tensor.MM(full, l.w.Value)).Apply(l.act.F)
-	case gnn.GAT:
-		hp := tensor.MM(full, l.w.Value)
-		u := tensor.MatVec(hp, l.a1.Value.Data)
-		v := tensor.MatVec(hp, l.a2.Value.Data)
-		score := kernels.GATEdgeScore(u, v, e.cfg.NegSlope)
-		shift := func(i, j int32) float64 { return score(i+int32(e.Lo), j) }
-		psi := kernels.FusedSoftmaxScores(e.aRows, shift)
-		return psi.MulDense(hp).Apply(l.act.F)
-	}
-	panic("unreachable")
+	return l.plan.Forward(full)
 }
 
 // GatherOutput assembles the full output on rank 0 (test helper).

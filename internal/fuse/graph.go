@@ -1,0 +1,299 @@
+package fuse
+
+import (
+	"fmt"
+
+	"agnn/internal/sparse"
+	"agnn/internal/tensor"
+)
+
+// This file adds the executable half of the package: a Graph builder that
+// co-constructs the analysis DAG of fuse.go together with the execution
+// metadata (shapes, parameters, activation functions, score closures)
+// needed to compile it into a runnable Plan. The builder's op vocabulary
+// mirrors the prebuilt model DAGs of models.go, so the fusion analysis and
+// the runtime always see the same graph.
+
+// ScoreFunc evaluates one entry (i, j) of a virtual score matrix; it is the
+// same contract as kernels.ScoreFunc (i and j are global vertex indices).
+type ScoreFunc = func(i, j int32) float64
+
+// ParamRef points at a trainable tensor and its gradient accumulator
+// without importing the gnn package (which imports fuse). The plan reads
+// Value on every step (so optimizer updates are observed) and accumulates
+// into Grad during Backward.
+type ParamRef struct {
+	Name        string
+	Value, Grad *tensor.Dense
+}
+
+// Act is an element-wise non-linearity with its derivative, both evaluated
+// at the pre-activation value (the gnn.Activation contract).
+type Act struct {
+	Name string
+	F    func(float64) float64
+	DF   func(float64) float64
+}
+
+// spec carries the execution-level state of one DAG node: its shape, its
+// buffers (allocated once at compile time from the plan's arena), the
+// composed score closure for virtual nodes, and the cotangent buffers used
+// by the derived backward pass.
+type spec struct {
+	node       *Node
+	rows, cols int // dense shape; rows doubles as vector length
+
+	param    ParamRef // param leaves
+	hasParam bool
+	act      Act     // sigma nodes
+	slope    float64 // lrelu nodes
+	weighted bool    // mask nodes: multiply A's stored values in
+	agg      string  // spmm nodes: "" (real), "max", "min", "mean"
+
+	dense *tensor.Dense // dense value (params alias Value; input bound per call)
+	vec   []float64     // vector value
+	vals  []float64     // sparse value buffer on the pattern
+	view  *sparse.CSR   // pattern view over vals
+	score ScoreFunc     // virtual evaluator, composed at compile time
+
+	gdense *tensor.Dense // cotangent buffers (training plans only)
+	gvec   []float64
+	gvals  []float64
+	gview  *sparse.CSR
+}
+
+// Graph is a buildable, compilable execution DAG over one sparsity pattern.
+// All sparse and virtual nodes live on the pattern of the adjacency matrix
+// passed to NewGraph (the repo-wide shared-pattern convention).
+type Graph struct {
+	Name   string
+	dag    *DAG
+	pat    *sparse.CSR
+	rowOff int
+	specs  map[*Node]*spec
+	adj    *Node
+	input  *Node
+	output *Node
+}
+
+// NewGraph starts a graph over adjacency pattern (and values) pat.
+func NewGraph(name string, pat *sparse.CSR) *Graph {
+	g := &Graph{Name: name, dag: NewDAG(name), pat: pat, specs: make(map[*Node]*spec)}
+	g.adj = g.dag.Input("A", Sparse)
+	g.specs[g.adj] = &spec{node: g.adj, rows: pat.Rows, cols: pat.Cols, view: pat}
+	return g
+}
+
+// DAG exposes the co-constructed analysis DAG (for Analyze / KernelCount).
+func (g *Graph) DAG() *DAG { return g.dag }
+
+// Adj returns the adjacency leaf.
+func (g *Graph) Adj() *Node { return g.adj }
+
+// SetRowOffset declares that the pattern's rows are a block of a larger
+// global matrix starting at global row off — the 1.5D row-distributed
+// case. Score closures receive global row indices; dense inputs must then
+// be full-height. Row offsets are inference-only.
+func (g *Graph) SetRowOffset(off int) { g.rowOff = off }
+
+func (g *Graph) sp(v *Node) *spec {
+	s, ok := g.specs[v]
+	if !ok {
+		panic(fmt.Sprintf("fuse: node %q does not belong to graph %q", v.ID, g.Name))
+	}
+	return s
+}
+
+func (g *Graph) add(id, op string, kind Kind, s *spec, inputs ...*Node) *Node {
+	n := g.dag.Add(id, op, kind, inputs...)
+	s.node = n
+	g.specs[n] = s
+	return n
+}
+
+// InputDense declares the single dense input tensor (the feature matrix H,
+// bound anew on every Plan.Forward call).
+func (g *Graph) InputDense(id string, rows, cols int) *Node {
+	if g.input != nil {
+		panic("fuse: graph already has a dense input")
+	}
+	n := g.dag.Input(id, Dense)
+	g.specs[n] = &spec{node: n, rows: rows, cols: cols}
+	g.input = n
+	return n
+}
+
+// ParamNode declares a trainable parameter leaf.
+func (g *Graph) ParamNode(id string, p ParamRef) *Node {
+	n := g.dag.Input(id, Param)
+	g.specs[n] = &spec{node: n, rows: p.Value.Rows, cols: p.Value.Cols,
+		param: p, hasParam: true, dense: p.Value}
+	return n
+}
+
+func (g *Graph) virtual(id, op string, s *spec, inputs ...*Node) *Node {
+	s.rows, s.cols = g.pat.Rows, g.pat.Cols
+	return g.add(id, op, Virtual, s, inputs...)
+}
+
+// DotScores builds the virtual X·Yᵀ score matrix (op "mmt"): entry (i, j)
+// is X[i,:]·Y[j,:].
+func (g *Graph) DotScores(id string, x, y *Node) *Node {
+	xs, ys := g.sp(x), g.sp(y)
+	if xs.cols != ys.cols {
+		panic(fmt.Sprintf("fuse: DotScores inner dim mismatch %d vs %d", xs.cols, ys.cols))
+	}
+	return g.virtual(id, "mmt", &spec{}, x, y)
+}
+
+// OuterScores builds the virtual outer product a·bᵀ of two vectors.
+func (g *Graph) OuterScores(id string, a, b *Node) *Node {
+	g.wantKind(a, Vector, "OuterScores")
+	g.wantKind(b, Vector, "OuterScores")
+	return g.virtual(id, "outer", &spec{}, a, b)
+}
+
+// DivScores builds the virtual element-wise quotient num ⊘ den; entries
+// with a zero denominator evaluate to 0 (the zero-norm guard).
+func (g *Graph) DivScores(id string, num, den *Node) *Node {
+	g.wantKind(num, Virtual, "DivScores")
+	g.wantKind(den, Virtual, "DivScores")
+	return g.virtual(id, "divide", &spec{}, num, den)
+}
+
+// ScaleScores multiplies a virtual matrix by a scalar parameter (AGNN's β).
+func (g *Graph) ScaleScores(id string, x, beta *Node) *Node {
+	g.wantKind(x, Virtual, "ScaleScores")
+	bs := g.sp(beta)
+	if !bs.hasParam || bs.rows != 1 || bs.cols != 1 {
+		panic("fuse: ScaleScores needs a 1×1 parameter")
+	}
+	return g.virtual(id, "scale", &spec{}, x, beta)
+}
+
+// RepRow broadcasts vector u over columns: the virtual u·1ᵀ (op "rep").
+func (g *Graph) RepRow(id string, u *Node) *Node {
+	g.wantKind(u, Vector, "RepRow")
+	return g.virtual(id, "rep", &spec{}, u)
+}
+
+// RepCol broadcasts vector v over rows: the virtual 1·vᵀ (op "repT").
+func (g *Graph) RepCol(id string, v *Node) *Node {
+	g.wantKind(v, Vector, "RepCol")
+	return g.virtual(id, "repT", &spec{}, v)
+}
+
+// AddScores builds the virtual element-wise sum of two virtual matrices.
+func (g *Graph) AddScores(id string, a, b *Node) *Node {
+	g.wantKind(a, Virtual, "AddScores")
+	g.wantKind(b, Virtual, "AddScores")
+	return g.virtual(id, "add", &spec{}, a, b)
+}
+
+// LReLUScores applies LeakyReLU with the given negative slope to a virtual
+// matrix (GAT's score non-linearity).
+func (g *Graph) LReLUScores(id string, x *Node, slope float64) *Node {
+	g.wantKind(x, Virtual, "LReLUScores")
+	return g.virtual(id, "lrelu", &spec{slope: slope}, x)
+}
+
+// Mask samples a virtual matrix through the adjacency pattern — the
+// SDDMM-like sparse node that terminates a fusion group. With weighted,
+// each sampled score is multiplied by A's stored value (the true Hadamard
+// A ⊙ C); without, only the pattern is used (GAT's convention).
+func (g *Graph) Mask(id string, virt *Node, weighted bool) *Node {
+	g.wantKind(virt, Virtual, "Mask")
+	s := &spec{rows: g.pat.Rows, cols: g.pat.Cols, weighted: weighted}
+	return g.add(id, "mask", Sparse, s, g.adj, virt)
+}
+
+// Softmax applies the per-row (per-neighborhood) softmax to a sparse node.
+func (g *Graph) Softmax(id string, s *Node) *Node {
+	g.wantKind(s, Sparse, "Softmax")
+	sp := &spec{rows: g.pat.Rows, cols: g.pat.Cols}
+	return g.add(id, "softmax", Sparse, sp, s)
+}
+
+// RowNormsNode computes the row L2 norms of a dense node.
+func (g *Graph) RowNormsNode(id string, x *Node) *Node {
+	xs := g.sp(x)
+	return g.add(id, "rownorm", Vector, &spec{rows: xs.rows}, x)
+}
+
+// MatVecNode computes X·a for a k×1 parameter a (GAT's u = H'·a₁).
+func (g *Graph) MatVecNode(id string, x, a *Node) *Node {
+	xs, as := g.sp(x), g.sp(a)
+	if !as.hasParam || as.rows != xs.cols || as.cols != 1 {
+		panic(fmt.Sprintf("fuse: MatVecNode needs a %d×1 parameter", xs.cols))
+	}
+	return g.add(id, "matvec", Vector, &spec{rows: xs.rows}, x, a)
+}
+
+// MM multiplies a dense node by a parameter: X·W.
+func (g *Graph) MM(id string, x, w *Node) *Node {
+	xs, ws := g.sp(x), g.sp(w)
+	if !ws.hasParam {
+		panic("fuse: MM weight must be a parameter node")
+	}
+	if xs.cols != ws.rows {
+		panic(fmt.Sprintf("fuse: MM inner dim mismatch %d vs %d", xs.cols, ws.rows))
+	}
+	return g.add(id, "mm", Dense, &spec{rows: xs.rows, cols: ws.cols}, x, w)
+}
+
+// SpMM aggregates a dense node through a sparse node (or the adjacency
+// leaf) over the real semiring: Ψ·X.
+func (g *Graph) SpMM(id string, s, x *Node) *Node {
+	g.wantKind(s, Sparse, "SpMM")
+	xs := g.sp(x)
+	if xs.rows != g.pat.Cols {
+		panic(fmt.Sprintf("fuse: SpMM feature height %d != pattern cols %d", xs.rows, g.pat.Cols))
+	}
+	return g.add(id, "spmm", Dense, &spec{rows: g.pat.Rows, cols: xs.cols}, s, x)
+}
+
+// SpMMSemiring aggregates over a non-real semiring ("max", "min", "mean" —
+// Section 4.3). Semiring aggregations are forward-only.
+func (g *Graph) SpMMSemiring(id string, s, x *Node, kind string) *Node {
+	switch kind {
+	case "max", "min", "mean":
+	default:
+		panic(fmt.Sprintf("fuse: unknown semiring %q", kind))
+	}
+	g.wantKind(s, Sparse, "SpMMSemiring")
+	xs := g.sp(x)
+	sp := &spec{rows: g.pat.Rows, cols: xs.cols, agg: kind}
+	return g.add(id, "spmm-"+kind, Dense, sp, s, x)
+}
+
+// GINCombine builds GIN's pre-MLP combination agg + (1+ε)·h with a scalar
+// parameter ε.
+func (g *Graph) GINCombine(id string, agg, h, eps *Node) *Node {
+	as, hs := g.sp(agg), g.sp(h)
+	es := g.sp(eps)
+	if as.rows != hs.rows || as.cols != hs.cols {
+		panic("fuse: GINCombine shape mismatch")
+	}
+	if !es.hasParam || es.rows != 1 || es.cols != 1 {
+		panic("fuse: GINCombine needs a 1×1 parameter ε")
+	}
+	return g.add(id, "gin-combine", Dense, &spec{rows: as.rows, cols: as.cols}, agg, h, eps)
+}
+
+// Sigma applies an element-wise activation to a dense node.
+func (g *Graph) Sigma(id string, z *Node, act Act) *Node {
+	zs := g.sp(z)
+	return g.add(id, "sigma", Dense, &spec{rows: zs.rows, cols: zs.cols, act: act}, z)
+}
+
+// SetOutput marks the graph's output node (must be dense).
+func (g *Graph) SetOutput(v *Node) {
+	g.wantKind(v, Dense, "SetOutput")
+	g.output = v
+}
+
+func (g *Graph) wantKind(v *Node, k Kind, op string) {
+	if g.sp(v).node.Kind != k {
+		panic(fmt.Sprintf("fuse: %s wants a %s node, got %s %q", op, k, v.Kind, v.ID))
+	}
+}

@@ -1,0 +1,757 @@
+package fuse
+
+import (
+	"math"
+
+	"agnn/internal/par"
+	"agnn/internal/sparse"
+	"agnn/internal/tensor"
+)
+
+// This file contains the op bodies a compiled Plan executes. Every builder
+// returns a func() whose loop body closures are created exactly once, at
+// compile time: closure literals passed to par.Range escape to the heap
+// when they are created, so building them per step would put one
+// allocation per kernel on the hot path. With prebuilt bodies the
+// steady-state forward/backward pass performs no allocations at all (the
+// property the alloc-regression tests pin down). The loop shapes mirror
+// the hand-written kernels in internal/kernels, internal/sparse and
+// internal/tensor.
+
+// planOp is one executable step of a compiled plan.
+type planOp struct {
+	span string // obs span name, precomputed
+	op   string // op vocabulary name, for Stats
+	run  func()
+}
+
+// redScratch accumulates per-worker partial sums for scalar-parameter
+// gradients (β, ε). Slots stay zero between calls.
+type redScratch struct{ sums []float64 }
+
+func (r *redScratch) ensure() []float64 {
+	// One extra slot: the weighted scheduler may emit Workers()+1 chunks.
+	if need := par.Workers() + 1; len(r.sums) < need {
+		grown := make([]float64, need)
+		copy(grown, r.sums)
+		r.sums = grown
+	}
+	return r.sums
+}
+
+func (r *redScratch) fold() float64 {
+	total := 0.0
+	for i, v := range r.sums {
+		if v != 0 {
+			total += v
+			r.sums[i] = 0
+		}
+	}
+	return total
+}
+
+// partialsScratch holds per-worker dense accumulators for the Aᵀ·B weight
+// gradients. Buffers are allocated lazily on first use (the warm-up step)
+// and stay zero between calls.
+type partialsScratch struct{ mats []*tensor.Dense }
+
+func (s *partialsScratch) ensure(k, m int) []*tensor.Dense {
+	if need := par.Workers() + 1; len(s.mats) < need {
+		grown := make([]*tensor.Dense, need)
+		copy(grown, s.mats)
+		s.mats = grown
+	}
+	for i, p := range s.mats {
+		if p != nil && (p.Rows != k || p.Cols != m) {
+			s.mats[i] = nil
+		}
+	}
+	return s.mats
+}
+
+func nnzWeight(pat *sparse.CSR) func(int) int64 {
+	return func(i int) int64 { return int64(pat.RowNNZ(i)) }
+}
+
+// opSample is the fused SDDMM-like sampler that terminates a fusion group
+// (Section 6.2): it evaluates the composed virtual score closure on every
+// non-zero of the pattern. weights (the adjacency values) multiply each
+// score when the mask is weighted; with softmax, the row softmax is folded
+// into the same sweep (the FusedSoftmaxScores shape).
+func opSample(pat *sparse.CSR, dst []float64, f ScoreFunc, weights []float64, rowOff int32, softmax bool) func() {
+	weight := nnzWeight(pat)
+	var body func(int, int, int)
+	if softmax {
+		body = func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				b, e := pat.RowPtr[i], pat.RowPtr[i+1]
+				if b == e {
+					continue
+				}
+				gi := int32(i) + rowOff
+				m := math.Inf(-1)
+				for p := b; p < e; p++ {
+					v := f(gi, pat.Col[p])
+					if weights != nil {
+						v *= weights[p]
+					}
+					dst[p] = v
+					if v > m {
+						m = v
+					}
+				}
+				sum := 0.0
+				for p := b; p < e; p++ {
+					v := math.Exp(dst[p] - m)
+					dst[p] = v
+					sum += v
+				}
+				inv := 1 / sum
+				for p := b; p < e; p++ {
+					dst[p] *= inv
+				}
+			}
+		}
+	} else {
+		body = func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				gi := int32(i) + rowOff
+				for p := pat.RowPtr[i]; p < pat.RowPtr[i+1]; p++ {
+					v := f(gi, pat.Col[p])
+					if weights != nil {
+						v *= weights[p]
+					}
+					dst[p] = v
+				}
+			}
+		}
+	}
+	return func() { par.RangeWeighted(pat.Rows, weight, body) }
+}
+
+// opRowSoftmax is the standalone row softmax (used when the peephole could
+// not fold it into the sampler).
+func opRowSoftmax(pat *sparse.CSR, src, dst []float64) func() {
+	weight := nnzWeight(pat)
+	body := func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			b, e := pat.RowPtr[i], pat.RowPtr[i+1]
+			if b == e {
+				continue
+			}
+			m := math.Inf(-1)
+			for p := b; p < e; p++ {
+				if src[p] > m {
+					m = src[p]
+				}
+			}
+			sum := 0.0
+			for p := b; p < e; p++ {
+				v := math.Exp(src[p] - m)
+				dst[p] = v
+				sum += v
+			}
+			inv := 1 / sum
+			for p := b; p < e; p++ {
+				dst[p] *= inv
+			}
+		}
+	}
+	return func() { par.RangeWeighted(pat.Rows, weight, body) }
+}
+
+// opSpMM computes out = S·X where sv's value slice aliases the sparse
+// node's buffer.
+func opSpMM(sv *sparse.CSR, x, out *spec) func() {
+	weight := nnzWeight(sv)
+	body := func(_, lo, hi int) {
+		xd, od := x.dense, out.dense
+		k := od.Cols
+		for i := lo; i < hi; i++ {
+			orow := od.Data[i*k : (i+1)*k]
+			for t := range orow {
+				orow[t] = 0
+			}
+			for p := sv.RowPtr[i]; p < sv.RowPtr[i+1]; p++ {
+				v := sv.Val[p]
+				xrow := xd.Data[int(sv.Col[p])*k : int(sv.Col[p])*k+k]
+				for t, xv := range xrow {
+					orow[t] += v * xv
+				}
+			}
+		}
+	}
+	return func() { par.RangeWeighted(sv.Rows, weight, body) }
+}
+
+// opSemiring delegates to the semiring SpMM kernels. Semiring aggregation
+// is inference-only and not on the zero-alloc path, so the delegation
+// (which allocates its result) is acceptable.
+func opSemiring(sv *sparse.CSR, x, out *spec, kind string) func() {
+	return func() {
+		var r *tensor.Dense
+		switch kind {
+		case "max":
+			r = sv.MulDenseMax(x.dense)
+		case "min":
+			r = sv.MulDenseMin(x.dense)
+		case "mean":
+			r = sv.MulDenseMean(x.dense)
+		}
+		out.dense.CopyFrom(r)
+	}
+}
+
+// opMM computes out = X·W (W a parameter).
+func opMM(x, w, out *spec) func() {
+	body := func(_, lo, hi int) {
+		xd, wd, od := x.dense, w.dense, out.dense
+		k, m := xd.Cols, od.Cols
+		for i := lo; i < hi; i++ {
+			xrow := xd.Data[i*k : (i+1)*k]
+			orow := od.Data[i*m : (i+1)*m]
+			for j := range orow {
+				orow[j] = 0
+			}
+			for t := 0; t < k; t++ {
+				xv := xrow[t]
+				if xv == 0 {
+					continue
+				}
+				wrow := wd.Data[t*m : (t+1)*m]
+				for j, wv := range wrow {
+					orow[j] += xv * wv
+				}
+			}
+		}
+	}
+	rows := out.rows
+	return func() { par.Range(rows, body) }
+}
+
+// opMatVec computes out = X·a for a k×1 parameter a.
+func opMatVec(x, a, out *spec) func() {
+	body := func(_, lo, hi int) {
+		xd, av := x.dense, a.dense.Data
+		k := xd.Cols
+		for i := lo; i < hi; i++ {
+			row := xd.Data[i*k : (i+1)*k]
+			s := 0.0
+			for t, v := range row {
+				s += v * av[t]
+			}
+			out.vec[i] = s
+		}
+	}
+	rows := out.rows
+	return func() { par.Range(rows, body) }
+}
+
+// opRowNorms computes the row L2 norms of X.
+func opRowNorms(x, out *spec) func() {
+	body := func(_, lo, hi int) {
+		xd := x.dense
+		k := xd.Cols
+		for i := lo; i < hi; i++ {
+			row := xd.Data[i*k : (i+1)*k]
+			s := 0.0
+			for _, v := range row {
+				s += v * v
+			}
+			out.vec[i] = math.Sqrt(s)
+		}
+	}
+	rows := out.rows
+	return func() { par.Range(rows, body) }
+}
+
+// opSigma applies the activation element-wise.
+func opSigma(z, out *spec, f func(float64) float64) func() {
+	body := func(_, lo, hi int) {
+		zd, od := z.dense.Data, out.dense.Data
+		for i := lo; i < hi; i++ {
+			od[i] = f(zd[i])
+		}
+	}
+	n := out.rows * out.cols
+	return func() { par.Range(n, body) }
+}
+
+// opGINCombine computes out = agg + (1+ε)·h, reading ε at run time so
+// optimizer updates are observed.
+func opGINCombine(agg, h, eps, out *spec) func() {
+	body := func(_, lo, hi int) {
+		c := 1 + eps.param.Value.Data[0]
+		ad, hd, od := agg.dense.Data, h.dense.Data, out.dense.Data
+		for i := lo; i < hi; i++ {
+			od[i] = ad[i] + c*hd[i]
+		}
+	}
+	n := out.rows * out.cols
+	return func() { par.Range(n, body) }
+}
+
+// --- backward op bodies (reverse-traversal VJPs) ---
+
+// opSigmaVJP accumulates z̄ += ḡ ⊙ σ'(z), with σ' evaluated at the stored
+// pre-activation (the gnn.Activation contract).
+func opSigmaVJP(z, out *spec, df func(float64) float64) func() {
+	body := func(_, lo, hi int) {
+		zd, zg, og := z.dense.Data, z.gdense.Data, out.gdense.Data
+		for i := lo; i < hi; i++ {
+			zg[i] += og[i] * df(zd[i])
+		}
+	}
+	n := out.rows * out.cols
+	return func() { par.Range(n, body) }
+}
+
+// opMMVJP accumulates X̄ += Ḡ·Wᵀ and W̄ += Xᵀ·Ḡ (per-worker partials,
+// folded and re-zeroed after the sweep).
+func opMMVJP(x, w, out *spec, ps *partialsScratch) func() {
+	xBody := func(_, lo, hi int) {
+		wd, og, xg := w.dense, out.gdense, x.gdense
+		k, m := xg.Cols, og.Cols
+		for i := lo; i < hi; i++ {
+			grow := og.Data[i*m : (i+1)*m]
+			xrow := xg.Data[i*k : (i+1)*k]
+			for t := 0; t < k; t++ {
+				wrow := wd.Data[t*m : (t+1)*m]
+				s := 0.0
+				for j, gv := range grow {
+					s += gv * wrow[j]
+				}
+				xrow[t] += s
+			}
+		}
+	}
+	wBody := func(worker, lo, hi int) {
+		xd, og := x.dense, out.gdense
+		k, m := xd.Cols, og.Cols
+		acc := ps.mats[worker]
+		if acc == nil {
+			acc = tensor.NewDense(k, m)
+			ps.mats[worker] = acc
+		}
+		for i := lo; i < hi; i++ {
+			xrow := xd.Data[i*k : (i+1)*k]
+			grow := og.Data[i*m : (i+1)*m]
+			for t, xv := range xrow {
+				if xv == 0 {
+					continue
+				}
+				arow := acc.Data[t*m : (t+1)*m]
+				for j, gv := range grow {
+					arow[j] += xv * gv
+				}
+			}
+		}
+	}
+	rows := out.rows
+	grad := w.param.Grad
+	return func() {
+		par.Range(rows, xBody)
+		mats := ps.ensure(x.cols, out.cols)
+		par.Range(rows, wBody)
+		for _, p := range mats {
+			if p == nil {
+				continue
+			}
+			for i, v := range p.Data {
+				grad.Data[i] += v
+				p.Data[i] = 0
+			}
+		}
+	}
+}
+
+// opSpMMVJP handles Z = S·X: the sampler cotangent S̄_ij = Z̄[i,:]·X[j,:]
+// (written onto the pattern — the SDDMM of the backward pass) and the
+// feature cotangent X̄ += Sᵀ·Z̄ via the transposed pattern. For the
+// adjacency leaf only the feature half runs (A is not trainable), using
+// the transpose's own values; for sparse value nodes the current values
+// are permuted into the shared tvals scratch first.
+func opSpMMVJP(pat, patT *sparse.CSR, svals, sgvals []float64, perm []int64, tvals []float64, x, out *spec) func() {
+	weight := nnzWeight(pat)
+	weightT := nnzWeight(patT)
+	var samplerBody func(int, int, int)
+	if sgvals != nil {
+		samplerBody = func(_, lo, hi int) {
+			og, xd := out.gdense, x.dense
+			k := og.Cols
+			for i := lo; i < hi; i++ {
+				grow := og.Data[i*k : (i+1)*k]
+				for p := pat.RowPtr[i]; p < pat.RowPtr[i+1]; p++ {
+					xrow := xd.Data[int(pat.Col[p])*k : int(pat.Col[p])*k+k]
+					s := 0.0
+					for t, gv := range grow {
+						s += gv * xrow[t]
+					}
+					sgvals[p] = s
+				}
+			}
+		}
+	}
+	vals := patT.Val
+	var permBody func(int, int, int)
+	if svals != nil {
+		vals = tvals
+		permBody = func(_, lo, hi int) {
+			for p := lo; p < hi; p++ {
+				tvals[perm[p]] = svals[p]
+			}
+		}
+	}
+	accBody := func(_, lo, hi int) {
+		og, xg := out.gdense, x.gdense
+		k := xg.Cols
+		for j := lo; j < hi; j++ {
+			xrow := xg.Data[j*k : (j+1)*k]
+			for p := patT.RowPtr[j]; p < patT.RowPtr[j+1]; p++ {
+				v := vals[p]
+				grow := og.Data[int(patT.Col[p])*k : int(patT.Col[p])*k+k]
+				for t, gv := range grow {
+					xrow[t] += v * gv
+				}
+			}
+		}
+	}
+	n := len(perm)
+	return func() {
+		if samplerBody != nil {
+			par.RangeWeighted(pat.Rows, weight, samplerBody)
+		}
+		if permBody != nil {
+			par.Range(n, permBody)
+		}
+		par.RangeWeighted(patT.Rows, weightT, accBody)
+	}
+}
+
+// opSoftmaxVJP writes the softmax cotangent onto the input's value-grad
+// buffer: S̄_ij = P_ij·(Ḡ_ij − ρ_i), ρ_i = Σ_j Ḡ_ij·P_ij.
+func opSoftmaxVJP(pat *sparse.CSR, pvals, pgvals, dst []float64) func() {
+	weight := nnzWeight(pat)
+	body := func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			b, e := pat.RowPtr[i], pat.RowPtr[i+1]
+			rho := 0.0
+			for p := b; p < e; p++ {
+				rho += pgvals[p] * pvals[p]
+			}
+			for p := b; p < e; p++ {
+				dst[p] = pvals[p] * (pgvals[p] - rho)
+			}
+		}
+	}
+	return func() { par.RangeWeighted(pat.Rows, weight, body) }
+}
+
+// opMaskVJP propagates the mask cotangent to the virtual input: the
+// weighted mask multiplies A's values back in, the pattern-only mask is a
+// pass-through.
+func opMaskVJP(src, dst, weights []float64) func() {
+	n := len(src)
+	if weights == nil {
+		return func() { copy(dst, src) }
+	}
+	body := func(_, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			dst[p] = src[p] * weights[p]
+		}
+	}
+	return func() { par.Range(n, body) }
+}
+
+// opDotVJP handles the virtual C = X·Yᵀ: X̄ += C̄·Y and Ȳ += C̄ᵀ·X, both
+// restricted to the pattern (C̄ lives on it). Aliased X == Y (the H·Hᵀ
+// self-attention case) is safe: the two accumulations run sequentially.
+func opDotVJP(pat, patT *sparse.CSR, gvals []float64, perm []int64, tvals []float64, x, y *spec) func() {
+	weight := nnzWeight(pat)
+	weightT := nnzWeight(patT)
+	xBody := func(_, lo, hi int) {
+		yd, xg := y.dense, x.gdense
+		k := xg.Cols
+		for i := lo; i < hi; i++ {
+			xrow := xg.Data[i*k : (i+1)*k]
+			for p := pat.RowPtr[i]; p < pat.RowPtr[i+1]; p++ {
+				v := gvals[p]
+				yrow := yd.Data[int(pat.Col[p])*k : int(pat.Col[p])*k+k]
+				for t, yv := range yrow {
+					xrow[t] += v * yv
+				}
+			}
+		}
+	}
+	permBody := func(_, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			tvals[perm[p]] = gvals[p]
+		}
+	}
+	yBody := func(_, lo, hi int) {
+		xd, yg := x.dense, y.gdense
+		k := yg.Cols
+		for j := lo; j < hi; j++ {
+			yrow := yg.Data[j*k : (j+1)*k]
+			for p := patT.RowPtr[j]; p < patT.RowPtr[j+1]; p++ {
+				v := tvals[p]
+				xrow := xd.Data[int(patT.Col[p])*k : int(patT.Col[p])*k+k]
+				for t, xv := range xrow {
+					yrow[t] += v * xv
+				}
+			}
+		}
+	}
+	n := len(perm)
+	return func() {
+		par.RangeWeighted(pat.Rows, weight, xBody)
+		par.Range(n, permBody)
+		par.RangeWeighted(patT.Rows, weightT, yBody)
+	}
+}
+
+// opOuterVJP handles the virtual C = a·bᵀ: ā_i += Σ_j C̄_ij·b_j and
+// b̄_j += Σ_i C̄_ij·a_i (column sums via the transposed pattern).
+func opOuterVJP(pat, patT *sparse.CSR, gvals []float64, perm []int64, tvals []float64, a, b *spec) func() {
+	weight := nnzWeight(pat)
+	weightT := nnzWeight(patT)
+	aBody := func(_, lo, hi int) {
+		bv, ag := b.vec, a.gvec
+		for i := lo; i < hi; i++ {
+			s := 0.0
+			for p := pat.RowPtr[i]; p < pat.RowPtr[i+1]; p++ {
+				s += gvals[p] * bv[pat.Col[p]]
+			}
+			ag[i] += s
+		}
+	}
+	permBody := func(_, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			tvals[perm[p]] = gvals[p]
+		}
+	}
+	bBody := func(_, lo, hi int) {
+		av, bg := a.vec, b.gvec
+		for j := lo; j < hi; j++ {
+			s := 0.0
+			for p := patT.RowPtr[j]; p < patT.RowPtr[j+1]; p++ {
+				s += tvals[p] * av[patT.Col[p]]
+			}
+			bg[j] += s
+		}
+	}
+	n := len(perm)
+	return func() {
+		par.RangeWeighted(pat.Rows, weight, aBody)
+		par.Range(n, permBody)
+		par.RangeWeighted(patT.Rows, weightT, bBody)
+	}
+}
+
+// opDivVJP handles C = N ⊘ D on the pattern, recomputing the virtual
+// operands entry-wise: N̄ = C̄ ⊘ D, D̄ = −C̄ ⊙ N ⊘ D². Zero denominators
+// (the zero-norm guard) contribute zero cotangent.
+func opDivVJP(pat *sparse.CSR, gvals []float64, num, den *spec) func() {
+	weight := nnzWeight(pat)
+	body := func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			gi := int32(i)
+			for p := pat.RowPtr[i]; p < pat.RowPtr[i+1]; p++ {
+				de := den.score(gi, pat.Col[p])
+				if de == 0 {
+					num.gvals[p] = 0
+					den.gvals[p] = 0
+					continue
+				}
+				g := gvals[p]
+				ne := num.score(gi, pat.Col[p])
+				num.gvals[p] = g / de
+				den.gvals[p] = -g * ne / (de * de)
+			}
+		}
+	}
+	return func() { par.RangeWeighted(pat.Rows, weight, body) }
+}
+
+// opScaleVJP handles C = β·X: X̄ = β·C̄ and β̄ += Σ C̄ ⊙ X, the latter
+// re-evaluating the virtual X entry-wise and reducing over per-worker
+// partial sums.
+func opScaleVJP(pat *sparse.CSR, gvals []float64, x *spec, beta ParamRef, rs *redScratch) func() {
+	weight := nnzWeight(pat)
+	body := func(worker, lo, hi int) {
+		bv := beta.Value.Data[0]
+		local := 0.0
+		for i := lo; i < hi; i++ {
+			gi := int32(i)
+			for p := pat.RowPtr[i]; p < pat.RowPtr[i+1]; p++ {
+				g := gvals[p]
+				x.gvals[p] = bv * g
+				if g != 0 {
+					local += g * x.score(gi, pat.Col[p])
+				}
+			}
+		}
+		rs.sums[worker] += local
+	}
+	return func() {
+		rs.ensure()
+		par.RangeWeighted(pat.Rows, weight, body)
+		beta.Grad.Data[0] += rs.fold()
+	}
+}
+
+// opRepVJP handles C = u·1ᵀ: ū_i += Σ_j C̄_ij (row sums).
+func opRepVJP(pat *sparse.CSR, gvals []float64, u *spec) func() {
+	weight := nnzWeight(pat)
+	body := func(_, lo, hi int) {
+		ug := u.gvec
+		for i := lo; i < hi; i++ {
+			s := 0.0
+			for p := pat.RowPtr[i]; p < pat.RowPtr[i+1]; p++ {
+				s += gvals[p]
+			}
+			ug[i] += s
+		}
+	}
+	return func() { par.RangeWeighted(pat.Rows, weight, body) }
+}
+
+// opRepTVJP handles C = 1·vᵀ: v̄_j += Σ_i C̄_ij (column sums via the
+// transposed pattern).
+func opRepTVJP(patT *sparse.CSR, gvals []float64, perm []int64, tvals []float64, v *spec) func() {
+	weightT := nnzWeight(patT)
+	permBody := func(_, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			tvals[perm[p]] = gvals[p]
+		}
+	}
+	body := func(_, lo, hi int) {
+		vg := v.gvec
+		for j := lo; j < hi; j++ {
+			s := 0.0
+			for p := patT.RowPtr[j]; p < patT.RowPtr[j+1]; p++ {
+				s += tvals[p]
+			}
+			vg[j] += s
+		}
+	}
+	n := len(perm)
+	return func() {
+		par.Range(n, permBody)
+		par.RangeWeighted(patT.Rows, weightT, body)
+	}
+}
+
+// opAddVJP handles C = A + B on virtual operands: both cotangents are the
+// incoming one (overwrite semantics — each virtual has a single consumer).
+func opAddVJP(gvals []float64, a, b *spec) func() {
+	return func() {
+		copy(a.gvals, gvals)
+		copy(b.gvals, gvals)
+	}
+}
+
+// opLReLUVJP handles C = LeakyReLU(X): X̄ = C̄ ⊙ (X < 0 ? slope : 1),
+// re-evaluating the virtual input's sign entry-wise.
+func opLReLUVJP(pat *sparse.CSR, gvals []float64, x *spec, slope float64) func() {
+	weight := nnzWeight(pat)
+	body := func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			gi := int32(i)
+			for p := pat.RowPtr[i]; p < pat.RowPtr[i+1]; p++ {
+				d := 1.0
+				if x.score(gi, pat.Col[p]) < 0 {
+					d = slope
+				}
+				x.gvals[p] = gvals[p] * d
+			}
+		}
+	}
+	return func() { par.RangeWeighted(pat.Rows, weight, body) }
+}
+
+// opMatVecVJP handles u = X·a: X̄ += ū·aᵀ (a rank-1 row update) and
+// ā += Xᵀ·ū (short k-vector, accumulated serially like tensor.VecMat).
+func opMatVecVJP(x, a, out *spec) func() {
+	rowBody := func(_, lo, hi int) {
+		av, xg := a.dense.Data, x.gdense
+		k := xg.Cols
+		for i := lo; i < hi; i++ {
+			g := out.gvec[i]
+			if g == 0 {
+				continue
+			}
+			xrow := xg.Data[i*k : (i+1)*k]
+			for t, v := range av {
+				xrow[t] += g * v
+			}
+		}
+	}
+	rows := out.rows
+	grad := a.param.Grad
+	return func() {
+		par.Range(rows, rowBody)
+		xd := x.dense
+		k := xd.Cols
+		for i := 0; i < rows; i++ {
+			g := out.gvec[i]
+			if g == 0 {
+				continue
+			}
+			xrow := xd.Data[i*k : (i+1)*k]
+			for t, v := range xrow {
+				grad.Data[t] += g * v
+			}
+		}
+	}
+}
+
+// opRowNormsVJP handles n_i = ‖X[i,:]‖₂: X̄[i,:] += (n̄_i / n_i)·X[i,:],
+// skipping zero-norm rows (subgradient 0, matching the forward guard).
+func opRowNormsVJP(x, out *spec) func() {
+	body := func(_, lo, hi int) {
+		xd, xg := x.dense, x.gdense
+		k := xd.Cols
+		for i := lo; i < hi; i++ {
+			n := out.vec[i]
+			if n == 0 {
+				continue
+			}
+			c := out.gvec[i] / n
+			if c == 0 {
+				continue
+			}
+			row := xd.Data[i*k : (i+1)*k]
+			grow := xg.Data[i*k : (i+1)*k]
+			for t, v := range row {
+				grow[t] += c * v
+			}
+		}
+	}
+	rows := out.rows
+	return func() { par.Range(rows, body) }
+}
+
+// opGINCombineVJP handles Z = agg + (1+ε)·H: both dense cotangents
+// accumulate, and ε̄ += Σ Z̄ ⊙ H reduces over per-worker partials.
+func opGINCombineVJP(agg, h, eps, out *spec, rs *redScratch) func() {
+	body := func(worker, lo, hi int) {
+		c := 1 + eps.param.Value.Data[0]
+		og, ag, hg, hd := out.gdense.Data, agg.gdense.Data, h.gdense.Data, h.dense.Data
+		local := 0.0
+		for i := lo; i < hi; i++ {
+			g := og[i]
+			ag[i] += g
+			hg[i] += c * g
+			local += g * hd[i]
+		}
+		rs.sums[worker] += local
+	}
+	n := out.rows * out.cols
+	grad := eps.param.Grad
+	return func() {
+		rs.ensure()
+		par.Range(n, body)
+		grad.Data[0] += rs.fold()
+	}
+}

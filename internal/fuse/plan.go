@@ -1,0 +1,512 @@
+package fuse
+
+import (
+	"fmt"
+	"sort"
+
+	"agnn/internal/obs"
+	"agnn/internal/sparse"
+	"agnn/internal/tensor"
+)
+
+// Options configures plan compilation.
+type Options struct {
+	// Train derives the backward pass by reverse traversal of the op list
+	// and allocates cotangent buffers for every node. Inference plans skip
+	// both.
+	Train bool
+	// SpanPrefix prefixes the obs span emitted around every executed op,
+	// e.g. "va.l0." → spans "va.l0.Psi", "va.l0.Psi.bwd".
+	SpanPrefix string
+	// Workspace is the buffer arena the plan acquires its intermediates
+	// from. Sharing one arena across recompilations (adjacency rebinds)
+	// recycles the old plan's buffers. Nil allocates a private arena.
+	Workspace *tensor.Arena
+}
+
+// PlanStats describes a compiled plan: the audit trail connecting the
+// runtime back to the Section 6.2 analysis, and the measured op counts the
+// cost model consumes instead of closed-form guesses.
+type PlanStats struct {
+	ForwardOps     int            // kernels launched per forward step
+	BackwardOps    int            // kernels launched per backward step
+	FusedVirtual   int            // virtual nodes folded into samplers
+	SoftmaxFused   int            // mask→softmax pairs peephole-fused beyond the paper's rule
+	Groups         []string       // fusion groups, Analyze formatting
+	OpCounts       map[string]int // forward op vocabulary histogram
+	WorkspaceWords int64          // float64 words of workspace held by the plan
+}
+
+// WorkspaceBytes returns the plan's held workspace in bytes.
+func (s PlanStats) WorkspaceBytes() int64 { return 8 * s.WorkspaceWords }
+
+// Plan is a compiled, reusable executable form of a Graph: an ordered op
+// list over preallocated buffers. Forward binds the input feature matrix
+// and runs the op list; Backward (training plans) runs the reverse-derived
+// VJP list and returns the input cotangent. All returned tensors are owned
+// by the plan and are overwritten by the next step.
+type Plan struct {
+	Name   string
+	train  bool
+	rowOff int
+
+	input, output *spec
+	fwd, bwd      []planOp
+
+	zeroDense []*tensor.Dense // cotangent buffers zeroed before each backward
+	zeroVecs  [][]float64
+
+	denseBufs []*tensor.Dense // everything acquired from the workspace,
+	floatBufs [][]float64     // for Release
+
+	ws    *tensor.Arena
+	stats PlanStats
+
+	ranForward bool
+	released   bool
+}
+
+// Compile lowers the graph into an executable plan: it runs the Section 6.2
+// fusion analysis, fuses mask→softmax pairs into single sampling sweeps (a
+// peephole beyond the paper's rule, matching the hand-written
+// FusedSoftmaxScores kernel), allocates every intermediate once from the
+// workspace arena, composes the virtual score closures, and emits the
+// forward op list plus — for training plans — the reverse-traversal
+// backward op list.
+func (g *Graph) Compile(opt Options) (*Plan, error) {
+	if g.output == nil {
+		return nil, fmt.Errorf("fuse: graph %q has no output", g.Name)
+	}
+	if g.input == nil {
+		return nil, fmt.Errorf("fuse: graph %q has no dense input", g.Name)
+	}
+	if opt.Train && g.rowOff != 0 {
+		return nil, fmt.Errorf("fuse: graph %q: row-offset plans are inference-only", g.Name)
+	}
+	cons := g.dag.consumers()
+	if opt.Train {
+		for _, n := range g.dag.Nodes() {
+			if n == g.adj || (n.Kind != Sparse && n.Kind != Virtual) {
+				continue
+			}
+			if len(cons[n]) > 1 {
+				return nil, fmt.Errorf("fuse: graph %q: %s node %q has %d consumers; training plans require single-consumer sparse/virtual nodes",
+					g.Name, n.Kind, n.ID, len(cons[n]))
+			}
+		}
+		for _, n := range g.dag.Nodes() {
+			switch n.Op {
+			case "spmm-max", "spmm-min", "spmm-mean":
+				return nil, fmt.Errorf("fuse: graph %q: semiring aggregation %q is inference-only", g.Name, n.ID)
+			}
+		}
+	}
+
+	groups := Analyze(g.dag) // panics if a virtual escapes — a builder bug
+
+	// Peephole: a softmax whose only producer chain is a single-consumer
+	// mask compiles to one fused sampling sweep; the mask's value buffer is
+	// never materialized (its cotangent still is, for training).
+	fusedMask := make(map[*Node]bool)
+	for _, n := range g.dag.Nodes() {
+		if n.Op == "softmax" {
+			if in := n.Inputs[0]; in.Op == "mask" && len(cons[in]) == 1 {
+				fusedMask[in] = true
+			}
+		}
+	}
+
+	ws := opt.Workspace
+	if ws == nil {
+		ws = tensor.NewArena()
+	}
+	p := &Plan{Name: g.Name, train: opt.Train, rowOff: g.rowOff,
+		input: g.sp(g.input), output: g.sp(g.output), ws: ws}
+
+	var words int64
+	dense := func(r, c int) *tensor.Dense {
+		m := ws.AcquireDense(r, c)
+		p.denseBufs = append(p.denseBufs, m)
+		words += int64(r) * int64(c)
+		return m
+	}
+	floats := func(n int) []float64 {
+		s := ws.AcquireFloats(n)
+		p.floatBufs = append(p.floatBufs, s)
+		words += int64(n)
+		return s
+	}
+
+	pat := g.pat
+	nnz := pat.NNZ()
+
+	// Allocate buffers and compose virtual score closures, in topological
+	// (insertion) order so every node's inputs are ready.
+	for _, n := range g.dag.Nodes() {
+		s := g.sp(n)
+		switch {
+		case n == g.adj:
+			// pattern view already set
+		case n == g.input:
+			if opt.Train {
+				s.gdense = dense(s.rows, s.cols)
+				p.zeroDense = append(p.zeroDense, s.gdense)
+			}
+		case s.hasParam:
+			// dense aliases the parameter value; gradients go to param.Grad
+		case n.Kind == Virtual:
+			s.score = composeScore(g, n)
+			if opt.Train {
+				s.gvals = floats(nnz)
+			}
+		case n.Kind == Sparse:
+			if !fusedMask[n] {
+				s.vals = floats(nnz)
+				s.view = pat.WithValues(s.vals)
+			}
+			if opt.Train {
+				s.gvals = floats(nnz)
+			}
+		case n.Kind == Vector:
+			s.vec = floats(s.rows)
+			if opt.Train {
+				s.gvec = floats(s.rows)
+				p.zeroVecs = append(p.zeroVecs, s.gvec)
+			}
+		default: // dense compute node
+			s.dense = dense(s.rows, s.cols)
+			if opt.Train {
+				s.gdense = dense(s.rows, s.cols)
+				p.zeroDense = append(p.zeroDense, s.gdense)
+			}
+		}
+	}
+
+	// Shared transpose machinery for the backward pass: Sᵀ·X products run
+	// over the transposed pattern, permuting the sparse node's current
+	// values into a shared scratch. The adjacency transpose carries A's own
+	// values, so adjacency SpMM backward needs no permutation.
+	var patT *sparse.CSR
+	var perm []int64
+	var tvals []float64
+	if opt.Train {
+		patT = pat.Transpose()
+		perm = pat.TransposePerm()
+		tvals = floats(nnz)
+	}
+
+	rowOff := int32(g.rowOff)
+	emit := func(list *[]planOp, n *Node, suffix, op string, run func()) {
+		*list = append(*list, planOp{span: opt.SpanPrefix + n.ID + suffix, op: op, run: run})
+	}
+
+	// Forward op list, in topological order. Virtual nodes and fused masks
+	// emit nothing — they live inside their sampler's sweep.
+	for _, n := range g.dag.Nodes() {
+		s := g.sp(n)
+		switch n.Op {
+		case "input":
+			continue
+		case "mask":
+			if fusedMask[n] {
+				continue
+			}
+			virt := g.sp(n.Inputs[1])
+			emit(&p.fwd, n, "", "mask",
+				opSample(pat, s.vals, virt.score, maskWeights(pat, s), rowOff, false))
+		case "softmax":
+			in := n.Inputs[0]
+			if fusedMask[in] {
+				m := g.sp(in)
+				virt := g.sp(in.Inputs[1])
+				emit(&p.fwd, n, "", "fused-softmax",
+					opSample(pat, s.vals, virt.score, maskWeights(pat, m), rowOff, true))
+			} else {
+				emit(&p.fwd, n, "", "softmax", opRowSoftmax(pat, g.sp(in).vals, s.vals))
+			}
+		case "spmm":
+			sv := g.sp(n.Inputs[0]).view
+			emit(&p.fwd, n, "", "spmm", opSpMM(sv, g.sp(n.Inputs[1]), s))
+		case "spmm-max", "spmm-min", "spmm-mean":
+			sv := g.sp(n.Inputs[0]).view
+			emit(&p.fwd, n, "", n.Op, opSemiring(sv, g.sp(n.Inputs[1]), s, s.agg))
+		case "mm":
+			emit(&p.fwd, n, "", "mm", opMM(g.sp(n.Inputs[0]), g.sp(n.Inputs[1]), s))
+		case "matvec":
+			emit(&p.fwd, n, "", "matvec", opMatVec(g.sp(n.Inputs[0]), g.sp(n.Inputs[1]), s))
+		case "rownorm":
+			emit(&p.fwd, n, "", "rownorm", opRowNorms(g.sp(n.Inputs[0]), s))
+		case "sigma":
+			emit(&p.fwd, n, "", "sigma", opSigma(g.sp(n.Inputs[0]), s, s.act.F))
+		case "gin-combine":
+			emit(&p.fwd, n, "", "gin-combine",
+				opGINCombine(g.sp(n.Inputs[0]), g.sp(n.Inputs[1]), g.sp(n.Inputs[2]), s))
+		default:
+			if n.Kind == Virtual {
+				continue
+			}
+			return nil, fmt.Errorf("fuse: graph %q: no executable lowering for op %q (node %q)", g.Name, n.Op, n.ID)
+		}
+	}
+
+	// Backward op list: reverse traversal of the same node order. Dense and
+	// vector cotangents accumulate (+=) into zeroed buffers; sparse and
+	// virtual cotangents are overwritten by their single consumer.
+	if opt.Train {
+		nodes := g.dag.Nodes()
+		for idx := len(nodes) - 1; idx >= 0; idx-- {
+			n := nodes[idx]
+			s := g.sp(n)
+			switch n.Op {
+			case "input":
+				continue
+			case "sigma":
+				emit(&p.bwd, n, ".bwd", "sigma",
+					opSigmaVJP(g.sp(n.Inputs[0]), s, s.act.DF))
+			case "mm":
+				emit(&p.bwd, n, ".bwd", "mm",
+					opMMVJP(g.sp(n.Inputs[0]), g.sp(n.Inputs[1]), s, &partialsScratch{}))
+			case "matvec":
+				emit(&p.bwd, n, ".bwd", "matvec",
+					opMatVecVJP(g.sp(n.Inputs[0]), g.sp(n.Inputs[1]), s))
+			case "rownorm":
+				emit(&p.bwd, n, ".bwd", "rownorm", opRowNormsVJP(g.sp(n.Inputs[0]), s))
+			case "gin-combine":
+				emit(&p.bwd, n, ".bwd", "gin-combine",
+					opGINCombineVJP(g.sp(n.Inputs[0]), g.sp(n.Inputs[1]), g.sp(n.Inputs[2]), s, &redScratch{}))
+			case "spmm":
+				sam := g.sp(n.Inputs[0])
+				x := g.sp(n.Inputs[1])
+				if n.Inputs[0] == g.adj {
+					emit(&p.bwd, n, ".bwd", "spmm",
+						opSpMMVJP(pat, patT, nil, nil, perm, tvals, x, s))
+				} else {
+					emit(&p.bwd, n, ".bwd", "spmm",
+						opSpMMVJP(pat, patT, sam.vals, sam.gvals, perm, tvals, x, s))
+				}
+			case "softmax":
+				in := g.sp(n.Inputs[0])
+				emit(&p.bwd, n, ".bwd", "softmax",
+					opSoftmaxVJP(pat, s.vals, s.gvals, in.gvals))
+			case "mask":
+				virt := g.sp(n.Inputs[1])
+				emit(&p.bwd, n, ".bwd", "mask", opMaskVJP(s.gvals, virt.gvals, maskWeights(pat, s)))
+			case "mmt":
+				emit(&p.bwd, n, ".bwd", "mmt",
+					opDotVJP(pat, patT, s.gvals, perm, tvals, g.sp(n.Inputs[0]), g.sp(n.Inputs[1])))
+			case "outer":
+				emit(&p.bwd, n, ".bwd", "outer",
+					opOuterVJP(pat, patT, s.gvals, perm, tvals, g.sp(n.Inputs[0]), g.sp(n.Inputs[1])))
+			case "divide":
+				emit(&p.bwd, n, ".bwd", "divide",
+					opDivVJP(pat, s.gvals, g.sp(n.Inputs[0]), g.sp(n.Inputs[1])))
+			case "scale":
+				emit(&p.bwd, n, ".bwd", "scale",
+					opScaleVJP(pat, s.gvals, g.sp(n.Inputs[0]), g.sp(n.Inputs[1]).param, &redScratch{}))
+			case "rep":
+				emit(&p.bwd, n, ".bwd", "rep", opRepVJP(pat, s.gvals, g.sp(n.Inputs[0])))
+			case "repT":
+				emit(&p.bwd, n, ".bwd", "repT",
+					opRepTVJP(patT, s.gvals, perm, tvals, g.sp(n.Inputs[0])))
+			case "add":
+				emit(&p.bwd, n, ".bwd", "add",
+					opAddVJP(s.gvals, g.sp(n.Inputs[0]), g.sp(n.Inputs[1])))
+			case "lrelu":
+				emit(&p.bwd, n, ".bwd", "lrelu",
+					opLReLUVJP(pat, s.gvals, g.sp(n.Inputs[0]), s.slope))
+			default:
+				return nil, fmt.Errorf("fuse: graph %q: no VJP for op %q (node %q)", g.Name, n.Op, n.ID)
+			}
+		}
+	}
+
+	p.stats = PlanStats{
+		ForwardOps:     len(p.fwd),
+		BackwardOps:    len(p.bwd),
+		SoftmaxFused:   len(fusedMask),
+		OpCounts:       make(map[string]int),
+		WorkspaceWords: words,
+	}
+	for _, grp := range groups {
+		p.stats.FusedVirtual += len(grp.Virtual)
+		p.stats.Groups = append(p.stats.Groups, grp.String())
+	}
+	for _, op := range p.fwd {
+		p.stats.OpCounts[op.op]++
+	}
+	return p, nil
+}
+
+// MustCompile is Compile panicking on error — for the layer constructors,
+// whose graphs are built by the library itself.
+func (g *Graph) MustCompile(opt Options) *Plan {
+	p, err := g.Compile(opt)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func maskWeights(pat *sparse.CSR, mask *spec) []float64 {
+	if mask.weighted {
+		return pat.Val
+	}
+	return nil
+}
+
+// composeScore builds the closure evaluating one entry of a virtual node by
+// composing its inputs' evaluators — the runtime realization of "evaluate
+// the virtual values on the fly inside the sampler's sweep".
+func composeScore(g *Graph, n *Node) ScoreFunc {
+	switch n.Op {
+	case "mmt":
+		xs, ys := g.sp(n.Inputs[0]), g.sp(n.Inputs[1])
+		return func(i, j int32) float64 {
+			xd, yd := xs.dense, ys.dense
+			k := xd.Cols
+			xrow := xd.Data[int(i)*k : int(i)*k+k]
+			yrow := yd.Data[int(j)*k : int(j)*k+k]
+			acc := 0.0
+			for t, v := range xrow {
+				acc += v * yrow[t]
+			}
+			return acc
+		}
+	case "outer":
+		as, bs := g.sp(n.Inputs[0]), g.sp(n.Inputs[1])
+		return func(i, j int32) float64 { return as.vec[i] * bs.vec[j] }
+	case "divide":
+		num, den := g.sp(n.Inputs[0]), g.sp(n.Inputs[1])
+		return func(i, j int32) float64 {
+			d := den.score(i, j)
+			if d == 0 {
+				return 0
+			}
+			return num.score(i, j) / d
+		}
+	case "scale":
+		xs := g.sp(n.Inputs[0])
+		beta := g.sp(n.Inputs[1]).param
+		return func(i, j int32) float64 { return beta.Value.Data[0] * xs.score(i, j) }
+	case "rep":
+		us := g.sp(n.Inputs[0])
+		return func(i, _ int32) float64 { return us.vec[i] }
+	case "repT":
+		vs := g.sp(n.Inputs[0])
+		return func(_, j int32) float64 { return vs.vec[j] }
+	case "add":
+		as, bs := g.sp(n.Inputs[0]), g.sp(n.Inputs[1])
+		return func(i, j int32) float64 { return as.score(i, j) + bs.score(i, j) }
+	case "lrelu":
+		xs := g.sp(n.Inputs[0])
+		slope := g.sp(n).slope
+		return func(i, j int32) float64 {
+			s := xs.score(i, j)
+			if s < 0 {
+				s *= slope
+			}
+			return s
+		}
+	}
+	panic(fmt.Sprintf("fuse: no score composition for virtual op %q (node %q)", n.Op, n.ID))
+}
+
+// Stats returns the plan's compile-time statistics.
+func (p *Plan) Stats() PlanStats { return p.stats }
+
+// Train reports whether the plan carries a backward pass.
+func (p *Plan) Train() bool { return p.train }
+
+// InputDims returns the expected input shape.
+func (p *Plan) InputDims() (rows, cols int) { return p.input.rows, p.input.cols }
+
+// Forward binds h as the input feature matrix and executes the op list.
+// The returned matrix is owned by the plan and overwritten by the next
+// step.
+func (p *Plan) Forward(h *tensor.Dense) *tensor.Dense {
+	if p.released {
+		panic("fuse: Forward on a released plan")
+	}
+	if h.Rows != p.input.rows || h.Cols != p.input.cols {
+		panic(fmt.Sprintf("fuse: plan %q input shape %d×%d, got %d×%d",
+			p.Name, p.input.rows, p.input.cols, h.Rows, h.Cols))
+	}
+	p.input.dense = h
+	for i := range p.fwd {
+		sp := obs.Start(p.fwd[i].span)
+		p.fwd[i].run()
+		sp.End()
+	}
+	p.ranForward = true
+	return p.output.dense
+}
+
+// Backward executes the reverse-derived VJP op list for the cotangent g of
+// the plan's output, accumulates parameter gradients into their Grad
+// buffers, and returns the cotangent of the input (owned by the plan).
+func (p *Plan) Backward(g *tensor.Dense) *tensor.Dense {
+	if !p.train {
+		panic(fmt.Sprintf("fuse: plan %q is inference-only", p.Name))
+	}
+	if !p.ranForward {
+		panic(fmt.Sprintf("fuse: plan %q: Backward before Forward", p.Name))
+	}
+	if g.Rows != p.output.rows || g.Cols != p.output.cols {
+		panic(fmt.Sprintf("fuse: plan %q output shape %d×%d, got cotangent %d×%d",
+			p.Name, p.output.rows, p.output.cols, g.Rows, g.Cols))
+	}
+	for _, m := range p.zeroDense {
+		d := m.Data
+		for i := range d {
+			d[i] = 0
+		}
+	}
+	for _, v := range p.zeroVecs {
+		for i := range v {
+			v[i] = 0
+		}
+	}
+	copy(p.output.gdense.Data, g.Data)
+	for i := range p.bwd {
+		sp := obs.Start(p.bwd[i].span)
+		p.bwd[i].run()
+		sp.End()
+	}
+	return p.input.gdense
+}
+
+// Release returns every buffer the plan holds to its workspace arena. The
+// plan is unusable afterwards; recompiling against the same arena (an
+// adjacency rebind, say) recycles the storage.
+func (p *Plan) Release() {
+	if p.released {
+		return
+	}
+	p.released = true
+	for _, m := range p.denseBufs {
+		p.ws.ReleaseDense(m)
+	}
+	for _, s := range p.floatBufs {
+		p.ws.ReleaseFloats(s)
+	}
+	p.denseBufs, p.floatBufs = nil, nil
+}
+
+// String renders a compact plan summary.
+func (p *Plan) String() string {
+	mode := "infer"
+	if p.train {
+		mode = "train"
+	}
+	ops := make([]string, 0, len(p.stats.OpCounts))
+	for op := range p.stats.OpCounts {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	s := fmt.Sprintf("plan %q (%s): %d fwd ops, %d bwd ops, %d KiB workspace\n",
+		p.Name, mode, p.stats.ForwardOps, p.stats.BackwardOps, p.stats.WorkspaceBytes()/1024)
+	for _, op := range ops {
+		s += fmt.Sprintf("  %-14s ×%d\n", op, p.stats.OpCounts[op])
+	}
+	return s
+}

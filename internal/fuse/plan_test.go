@@ -1,0 +1,437 @@
+package fuse_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"agnn/internal/fuse"
+	"agnn/internal/graph"
+	"agnn/internal/kernels"
+	"agnn/internal/par"
+	"agnn/internal/sparse"
+	"agnn/internal/tensor"
+)
+
+var tanhAct = fuse.Act{Name: "tanh", F: math.Tanh, DF: func(z float64) float64 {
+	t := math.Tanh(z)
+	return 1 - t*t
+}}
+
+func randDense(rng *rand.Rand, r, c int) *tensor.Dense {
+	m := tensor.NewDense(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func randParam(rng *rand.Rand, name string, r, c int) fuse.ParamRef {
+	return fuse.ParamRef{Name: name, Value: randDense(rng, r, c), Grad: tensor.NewDense(r, c)}
+}
+
+// weightedGraph gives the test adjacency non-unit values so the weighted
+// mask semantics (A ⊙ C, not just the pattern) are actually exercised.
+func weightedGraph(n, m int, seed int64) *sparse.CSR {
+	a := graph.ErdosRenyi(n, m, seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	vals := make([]float64, a.NNZ())
+	for i := range vals {
+		vals[i] = 0.25 + rng.Float64()
+	}
+	return a.WithValues(vals)
+}
+
+func buildVA(a *sparse.CSR, w fuse.ParamRef, k int) *fuse.Graph {
+	g := fuse.NewGraph("va", a)
+	h := g.InputDense("H", a.Rows, k)
+	wn := g.ParamNode("W", w)
+	psi := g.Mask("Psi", g.DotScores("HHt", h, h), true)
+	z := g.SpMM("Z", psi, g.MM("HW", h, wn))
+	g.SetOutput(g.Sigma("Hout", z, tanhAct))
+	return g
+}
+
+func buildAGNN(a *sparse.CSR, w, beta fuse.ParamRef, k int) *fuse.Graph {
+	g := fuse.NewGraph("agnn", a)
+	h := g.InputDense("H", a.Rows, k)
+	wn := g.ParamNode("W", w)
+	bn := g.ParamNode("beta", beta)
+	norms := g.RowNormsNode("n", h)
+	cos := g.DivScores("C", g.DotScores("HHt", h, h), g.OuterScores("nnT", norms, norms))
+	s := g.Mask("S", g.ScaleScores("betaC", cos, bn), true)
+	psi := g.Softmax("Psi", s)
+	z := g.SpMM("Z", psi, g.MM("HW", h, wn))
+	g.SetOutput(g.Sigma("Hout", z, tanhAct))
+	return g
+}
+
+func buildGAT(a *sparse.CSR, w, a1, a2 fuse.ParamRef, k int, slope float64) *fuse.Graph {
+	g := fuse.NewGraph("gat", a)
+	h := g.InputDense("H", a.Rows, k)
+	wn := g.ParamNode("W", w)
+	a1n := g.ParamNode("a1", a1)
+	a2n := g.ParamNode("a2", a2)
+	hp := g.MM("Hp", h, wn)
+	u := g.MatVecNode("u", hp, a1n)
+	v := g.MatVecNode("v", hp, a2n)
+	c := g.AddScores("C", g.RepRow("u1T", u), g.RepCol("1vT", v))
+	e := g.Mask("E", g.LReLUScores("lreluC", c, slope), false)
+	psi := g.Softmax("Psi", e)
+	z := g.SpMM("Z", psi, hp)
+	g.SetOutput(g.Sigma("Hout", z, tanhAct))
+	return g
+}
+
+func invNorms(h *tensor.Dense) []float64 {
+	norms := tensor.RowNorms(h)
+	inv := make([]float64, len(norms))
+	for i, v := range norms {
+		if v != 0 {
+			inv[i] = 1 / v
+		}
+	}
+	return inv
+}
+
+func TestPlanVAForwardMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := weightedGraph(40, 160, 7)
+	const k = 5
+	w := randParam(rng, "W", k, k)
+	h := randDense(rng, a.Rows, k)
+
+	p := buildVA(a, w, k).MustCompile(fuse.Options{Train: true})
+	got := p.Forward(h)
+
+	psi := sparse.SDDMMScaled(a, h, h)
+	want := psi.MulDense(tensor.MM(h, w.Value)).Apply(math.Tanh)
+	if !got.ApproxEqual(want, 1e-12) {
+		t.Fatalf("plan VA forward deviates from direct path by %g", got.MaxAbsDiff(want))
+	}
+}
+
+func TestPlanAGNNForwardMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := weightedGraph(40, 160, 8)
+	const k = 4
+	w := randParam(rng, "W", k, k)
+	beta := randParam(rng, "beta", 1, 1)
+	h := randDense(rng, a.Rows, k)
+
+	p := buildAGNN(a, w, beta, k).MustCompile(fuse.Options{Train: true})
+	got := p.Forward(h)
+
+	inv := invNorms(h)
+	cos := sparse.SDDMMScaled(a, h, h).ScaleRowsCols(inv, inv)
+	psi := sparse.RowSoftmax(cos.Scale(beta.Value.Data[0]))
+	want := psi.MulDense(tensor.MM(h, w.Value)).Apply(math.Tanh)
+	if !got.ApproxEqual(want, 1e-12) {
+		t.Fatalf("plan AGNN forward deviates from direct path by %g", got.MaxAbsDiff(want))
+	}
+}
+
+func TestPlanGATForwardMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := weightedGraph(40, 160, 9)
+	const k, slope = 4, 0.2
+	w := randParam(rng, "W", k, k)
+	a1 := randParam(rng, "a1", k, 1)
+	a2 := randParam(rng, "a2", k, 1)
+	h := randDense(rng, a.Rows, k)
+
+	p := buildGAT(a, w, a1, a2, k, slope).MustCompile(fuse.Options{Train: true})
+	got := p.Forward(h)
+
+	hp := tensor.MM(h, w.Value)
+	u := tensor.MatVec(hp, a1.Value.Data)
+	v := tensor.MatVec(hp, a2.Value.Data)
+	psi := kernels.FusedSoftmaxScores(a, kernels.GATEdgeScore(u, v, slope))
+	want := psi.MulDense(hp).Apply(math.Tanh)
+	if !got.ApproxEqual(want, 1e-12) {
+		t.Fatalf("plan GAT forward deviates from direct path by %g", got.MaxAbsDiff(want))
+	}
+}
+
+// TestPlanKernelCounts pins the compiled op count to the Section 6.2
+// analysis: one kernel per unfused node, minus one more for each
+// mask→softmax pair the peephole folds beyond the paper's rule.
+func TestPlanKernelCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := weightedGraph(30, 90, 10)
+	const k = 3
+	cases := []struct {
+		name string
+		g    *fuse.Graph
+		ops  int
+	}{
+		{"va", buildVA(a, randParam(rng, "W", k, k), k), 4},
+		{"agnn", buildAGNN(a, randParam(rng, "W", k, k), randParam(rng, "beta", 1, 1), k), 5},
+		{"gat", buildGAT(a, randParam(rng, "W", k, k), randParam(rng, "a1", k, 1), randParam(rng, "a2", k, 1), k, 0.2), 6},
+	}
+	for _, tc := range cases {
+		kc := fuse.KernelCount(tc.g.DAG())
+		p := tc.g.MustCompile(fuse.Options{Train: true})
+		st := p.Stats()
+		if st.ForwardOps != tc.ops {
+			t.Errorf("%s: ForwardOps = %d, want %d\n%s", tc.name, st.ForwardOps, tc.ops, p)
+		}
+		if st.ForwardOps != kc-st.SoftmaxFused {
+			t.Errorf("%s: ForwardOps = %d, KernelCount %d - fused %d = %d",
+				tc.name, st.ForwardOps, kc, st.SoftmaxFused, kc-st.SoftmaxFused)
+		}
+		if st.BackwardOps == 0 {
+			t.Errorf("%s: training plan emitted no backward ops", tc.name)
+		}
+	}
+}
+
+// TestPlanBackwardFiniteDifference checks the reverse-traversal autodiff of
+// the hardest graph (AGNN: softmax, division, scaling, row norms, weighted
+// mask) against central differences, for the weight matrix, the scalar β,
+// and the input features.
+func TestPlanBackwardFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := weightedGraph(24, 70, 11)
+	const k = 3
+	w := randParam(rng, "W", k, k)
+	beta := randParam(rng, "beta", 1, 1)
+	h := randDense(rng, a.Rows, k)
+	r := randDense(rng, a.Rows, k)
+
+	p := buildAGNN(a, w, beta, k).MustCompile(fuse.Options{Train: true})
+
+	loss := func() float64 {
+		out := p.Forward(h)
+		s := 0.0
+		for i, v := range out.Data {
+			s += v * r.Data[i]
+		}
+		return s
+	}
+
+	p.Forward(h)
+	hbar := p.Backward(r)
+
+	const eps, tol = 1e-6, 2e-4
+	check := func(name string, data []float64, idx int, analytic float64) {
+		t.Helper()
+		orig := data[idx]
+		data[idx] = orig + eps
+		up := loss()
+		data[idx] = orig - eps
+		down := loss()
+		data[idx] = orig
+		numeric := (up - down) / (2 * eps)
+		if math.Abs(numeric-analytic) > tol*(1+math.Abs(numeric)) {
+			t.Errorf("%s[%d]: analytic %.8f, numeric %.8f", name, idx, analytic, numeric)
+		}
+	}
+
+	for _, idx := range []int{0, 3, k*k - 1} {
+		check("W", w.Value.Data, idx, w.Grad.Data[idx])
+	}
+	check("beta", beta.Value.Data, 0, beta.Grad.Data[0])
+	for _, idx := range []int{0, 7, len(h.Data) - 1} {
+		check("H", h.Data, idx, hbar.Data[idx])
+	}
+}
+
+// TestPlanSteadyStateAllocs pins the tentpole property: once warmed up, a
+// compiled plan's forward and backward steps allocate nothing.
+func TestPlanSteadyStateAllocs(t *testing.T) {
+	old := par.Workers()
+	par.SetWorkers(1)
+	defer par.SetWorkers(old)
+
+	rng := rand.New(rand.NewSource(6))
+	a := weightedGraph(64, 256, 12)
+	const k = 8
+	w := randParam(rng, "W", k, k)
+	beta := randParam(rng, "beta", 1, 1)
+	h := randDense(rng, a.Rows, k)
+	r := randDense(rng, a.Rows, k)
+
+	p := buildAGNN(a, w, beta, k).MustCompile(fuse.Options{Train: true})
+	p.Forward(h)
+	p.Backward(r) // warm up lazily-grown per-worker scratch
+
+	if af := testing.AllocsPerRun(20, func() { p.Forward(h) }); af != 0 {
+		t.Errorf("steady-state Forward allocates %.1f objects/op, want 0", af)
+	}
+	if ab := testing.AllocsPerRun(20, func() { p.Backward(r) }); ab != 0 {
+		t.Errorf("steady-state Backward allocates %.1f objects/op, want 0", ab)
+	}
+}
+
+// TestPlanWorkspaceRecycling compiles, releases and recompiles against a
+// shared arena: the second plan must reuse the first one's buffers rather
+// than growing the workspace.
+func TestPlanWorkspaceRecycling(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := weightedGraph(40, 160, 13)
+	const k = 4
+	ws := tensor.NewArena()
+
+	p1 := buildVA(a, randParam(rng, "W", k, k), k).MustCompile(fuse.Options{Train: true, Workspace: ws})
+	grown := ws.Bytes()
+	p1.Release()
+
+	buildVA(a, randParam(rng, "W", k, k), k).MustCompile(fuse.Options{Train: true, Workspace: ws})
+	if ws.Bytes() != grown {
+		t.Fatalf("recompile grew the workspace: %d -> %d bytes", grown, ws.Bytes())
+	}
+}
+
+func TestPlanCompileErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := weightedGraph(20, 60, 14)
+	const k = 3
+
+	t.Run("no output", func(t *testing.T) {
+		g := fuse.NewGraph("bad", a)
+		g.InputDense("H", a.Rows, k)
+		if _, err := g.Compile(fuse.Options{}); err == nil {
+			t.Fatal("expected error for graph without output")
+		}
+	})
+
+	t.Run("row offset is inference-only", func(t *testing.T) {
+		g := buildVA(a, randParam(rng, "W", k, k), k)
+		g.SetRowOffset(4)
+		if _, err := g.Compile(fuse.Options{Train: true}); err == nil {
+			t.Fatal("expected error for train plan with row offset")
+		}
+	})
+
+	t.Run("semiring is inference-only", func(t *testing.T) {
+		g := fuse.NewGraph("sr", a)
+		h := g.InputDense("H", a.Rows, k)
+		z := g.SpMMSemiring("Z", g.Adj(), h, "max")
+		g.SetOutput(z)
+		if _, err := g.Compile(fuse.Options{Train: true}); err == nil {
+			t.Fatal("expected error for train plan with semiring aggregation")
+		}
+		if _, err := g.Compile(fuse.Options{}); err != nil {
+			t.Fatalf("inference semiring plan should compile: %v", err)
+		}
+	})
+
+	t.Run("multi-consumer sparse node", func(t *testing.T) {
+		g := fuse.NewGraph("mc", a)
+		h := g.InputDense("H", a.Rows, k)
+		psi := g.Mask("Psi", g.DotScores("HHt", h, h), true)
+		z1 := g.SpMM("Z1", psi, h)
+		z2 := g.SpMM("Z2", psi, z1)
+		g.SetOutput(z2)
+		if _, err := g.Compile(fuse.Options{Train: true}); err == nil {
+			t.Fatal("expected error for multi-consumer sparse node in train plan")
+		}
+	})
+}
+
+func TestPlanSemiringForwardMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := weightedGraph(30, 90, 15)
+	const k = 4
+	h := randDense(rng, a.Rows, k)
+	for _, kind := range []string{"max", "min", "mean"} {
+		g := fuse.NewGraph("sr-"+kind, a)
+		hn := g.InputDense("H", a.Rows, k)
+		g.SetOutput(g.SpMMSemiring("Z", g.Adj(), hn, kind))
+		p := g.MustCompile(fuse.Options{})
+		got := p.Forward(h)
+		var want *tensor.Dense
+		switch kind {
+		case "max":
+			want = a.MulDenseMax(h)
+		case "min":
+			want = a.MulDenseMin(h)
+		case "mean":
+			want = a.MulDenseMean(h)
+		}
+		if !got.ApproxEqual(want, 1e-12) {
+			t.Errorf("semiring %s deviates by %g", kind, got.MaxAbsDiff(want))
+		}
+	}
+}
+
+func TestPlanBackwardGuards(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := weightedGraph(20, 60, 16)
+	const k = 3
+	h := randDense(rng, a.Rows, k)
+
+	t.Run("inference-only", func(t *testing.T) {
+		p := buildVA(a, randParam(rng, "W", k, k), k).MustCompile(fuse.Options{})
+		p.Forward(h)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic for Backward on inference plan")
+			}
+		}()
+		p.Backward(h)
+	})
+
+	t.Run("backward before forward", func(t *testing.T) {
+		p := buildVA(a, randParam(rng, "W", k, k), k).MustCompile(fuse.Options{Train: true})
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic for Backward before Forward")
+			}
+		}()
+		p.Backward(h)
+	})
+}
+
+// TestPlanRowOffsetMatchesFullPlan runs a row-block inference plan per
+// partition and checks the stacked result against the single full-graph
+// plan — the RowEngine execution shape.
+func TestPlanRowOffsetMatchesFullPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	full := weightedGraph(40, 160, 17)
+	const k = 4
+	w := randParam(rng, "W", k, k)
+	a1 := randParam(rng, "a1", k, 1)
+	a2 := randParam(rng, "a2", k, 1)
+	h := randDense(rng, full.Rows, k)
+
+	want := buildGAT(full, w, a1, a2, k, 0.2).MustCompile(fuse.Options{}).Forward(h)
+
+	got := tensor.NewDense(full.Rows, k)
+	for _, cut := range [][2]int{{0, 13}, {13, 28}, {28, 40}} {
+		lo, hi := cut[0], cut[1]
+		rows := sliceRows(full, lo, hi)
+		g := fuse.NewGraph("gat-rows", rows)
+		g.SetRowOffset(lo)
+		hn := g.InputDense("H", full.Rows, k)
+		wn := g.ParamNode("W", w)
+		a1n := g.ParamNode("a1", a1)
+		a2n := g.ParamNode("a2", a2)
+		hp := g.MM("Hp", hn, wn)
+		u := g.MatVecNode("u", hp, a1n)
+		v := g.MatVecNode("v", hp, a2n)
+		c := g.AddScores("C", g.RepRow("u1T", u), g.RepCol("1vT", v))
+		e := g.Mask("E", g.LReLUScores("lreluC", c, 0.2), false)
+		psi := g.Softmax("Psi", e)
+		z := g.SpMM("Z", psi, hp)
+		g.SetOutput(g.Sigma("Hout", z, tanhAct))
+		out := g.MustCompile(fuse.Options{}).Forward(h)
+		got.SliceRows(lo, hi).CopyFrom(out)
+	}
+	if !got.ApproxEqual(want, 1e-12) {
+		t.Fatalf("row-offset plans deviate from full plan by %g", got.MaxAbsDiff(want))
+	}
+}
+
+// sliceRows extracts rows [lo, hi) of s as a standalone CSR block with the
+// full column space (what the 1.5D row partitioning hands each rank).
+func sliceRows(s *sparse.CSR, lo, hi int) *sparse.CSR {
+	coo := sparse.NewCOO(hi-lo, s.Cols, 0)
+	for i := lo; i < hi; i++ {
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			coo.AppendVal(int32(i-lo), s.Col[p], s.Val[p])
+		}
+	}
+	return sparse.FromCOO(coo)
+}

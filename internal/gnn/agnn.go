@@ -3,6 +3,7 @@ package gnn
 import (
 	"math/rand"
 
+	"agnn/internal/fuse"
 	"agnn/internal/kernels"
 	"agnn/internal/sparse"
 	"agnn/internal/tensor"
@@ -32,7 +33,13 @@ type AGNNLayer struct {
 	Beta  *Param
 	Act   Activation
 
-	// cached intermediates
+	// Direct bypasses the compiled plan and trains through the hand-written
+	// kernel path.
+	Direct bool
+
+	pc planCache
+
+	// cached intermediates (direct training-mode forward)
 	h     *tensor.Dense
 	hp    *tensor.Dense
 	norms []float64
@@ -69,6 +76,9 @@ func (l *AGNNLayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {
 		score := kernels.AGNNEdgeScore(h, norms, beta)
 		return l.Act.apply(kernels.FusedSoftmaxApply(l.A, score, hp))
 	}
+	if !l.Direct {
+		return l.ensurePlan(h.Cols).Forward(h)
+	}
 	l.h = h
 	l.norms = tensor.RowNorms(h)
 	l.inv = make([]float64, len(l.norms))
@@ -85,8 +95,37 @@ func (l *AGNNLayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {
 	return l.Act.apply(l.z)
 }
 
+// ensurePlan compiles AGNN's DAG into a reusable training plan. The whole
+// virtual chain H·Hᵀ ⊘ n·nᵀ scaled by β collapses into the softmax sampling
+// sweep (mask+softmax fuse into one kernel), matching the Figure 5 analysis.
+func (l *AGNNLayer) ensurePlan(in int) *fuse.Plan {
+	return l.pc.get(l.A, in, func(ws *tensor.Arena) *fuse.Plan {
+		g := fuse.NewGraph("agnn", l.A)
+		h := g.InputDense("H", l.A.Rows, in)
+		wn := g.ParamNode("W", planRef(l.W))
+		bn := g.ParamNode("beta", planRef(l.Beta))
+		norms := g.RowNormsNode("n", h)
+		cos := g.DivScores("C", g.DotScores("HHt", h, h), g.OuterScores("nnT", norms, norms))
+		s := g.Mask("S", g.ScaleScores("betaC", cos, bn), true)
+		psi := g.Softmax("Psi", s)
+		z := g.SpMM("Z", psi, g.MM("HW", h, wn))
+		g.SetOutput(g.Sigma("Hout", z, planAct(l.Act)))
+		return g.MustCompile(fuse.Options{Train: true, SpanPrefix: "agnn.", Workspace: ws})
+	})
+}
+
+// Plan returns the compiled training plan (nil before the first planned
+// training-mode Forward).
+func (l *AGNNLayer) Plan() *fuse.Plan { return l.pc.plan }
+
 // Backward implements Layer.
 func (l *AGNNLayer) Backward(gOut *tensor.Dense) *tensor.Dense {
+	if !l.Direct {
+		if l.pc.plan == nil {
+			panic("gnn: AGNNLayer.Backward before training-mode Forward")
+		}
+		return l.pc.plan.Backward(gOut)
+	}
 	if l.z == nil {
 		panic("gnn: AGNNLayer.Backward before training-mode Forward")
 	}

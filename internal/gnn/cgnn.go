@@ -1,8 +1,10 @@
 package gnn
 
 import (
+	"fmt"
 	"math/rand"
 
+	"agnn/internal/fuse"
 	"agnn/internal/sparse"
 	"agnn/internal/tensor"
 )
@@ -24,6 +26,12 @@ type GINLayer struct {
 	Eps    *Param
 	ActMLP Activation // the MLP's internal non-linearity
 	Act    Activation // the layer output non-linearity σ
+
+	// Direct bypasses the compiled plan and trains through the hand-written
+	// kernel path.
+	Direct bool
+
+	pc planCache
 
 	h, pre, mid1, mid2, z *tensor.Dense
 }
@@ -47,8 +55,32 @@ func (l *GINLayer) Name() string { return "gin" }
 // Params implements Layer.
 func (l *GINLayer) Params() []*Param { return []*Param{l.W1, l.W2, l.Eps} }
 
+// ensurePlan compiles GIN's DAG — aggregation, the (1+ε) combine, and the
+// two-layer MLP — into a reusable training plan.
+func (l *GINLayer) ensurePlan(in int) *fuse.Plan {
+	return l.pc.get(l.A, in, func(ws *tensor.Arena) *fuse.Plan {
+		g := fuse.NewGraph("gin", l.A)
+		h := g.InputDense("H", l.A.Rows, in)
+		w1 := g.ParamNode("W1", planRef(l.W1))
+		w2 := g.ParamNode("W2", planRef(l.W2))
+		eps := g.ParamNode("eps", planRef(l.Eps))
+		pre := g.GINCombine("pre", g.SpMM("AH", g.Adj(), h), h, eps)
+		mid := g.Sigma("mid2", g.MM("mid1", pre, w1), planAct(l.ActMLP))
+		z := g.MM("Z", mid, w2)
+		g.SetOutput(g.Sigma("Hout", z, planAct(l.Act)))
+		return g.MustCompile(fuse.Options{Train: true, SpanPrefix: "gin.", Workspace: ws})
+	})
+}
+
+// Plan returns the compiled training plan (nil before the first planned
+// training-mode Forward).
+func (l *GINLayer) Plan() *fuse.Plan { return l.pc.plan }
+
 // Forward implements Layer.
 func (l *GINLayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {
+	if training && !l.Direct {
+		return l.ensurePlan(h.Cols).Forward(h)
+	}
 	eps := l.Eps.Scalar()
 	pre := l.A.MulDense(h)             // Σ_{j∈N(i)} h_j
 	pre.AxpyInPlace(1+eps, h)          // + (1+ε)h_i
@@ -63,6 +95,12 @@ func (l *GINLayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {
 
 // Backward implements Layer.
 func (l *GINLayer) Backward(gOut *tensor.Dense) *tensor.Dense {
+	if !l.Direct {
+		if l.pc.plan == nil {
+			panic("gnn: GINLayer.Backward before training-mode Forward")
+		}
+		return l.pc.plan.Backward(gOut)
+	}
 	if l.z == nil {
 		panic("gnn: GINLayer.Backward before training-mode Forward")
 	}
@@ -100,6 +138,12 @@ type SGCLayer struct {
 	W     *Param
 	Act   Activation
 
+	// Direct bypasses the compiled plan and trains through the hand-written
+	// kernel path.
+	Direct bool
+
+	pc planCache
+
 	hk *tensor.Dense // Â^K·H
 	z  *tensor.Dense
 }
@@ -120,8 +164,32 @@ func (l *SGCLayer) Name() string { return "sgc" }
 // Params implements Layer.
 func (l *SGCLayer) Params() []*Param { return []*Param{l.W} }
 
+// ensurePlan compiles SGC's DAG — K chained propagation hops and one
+// projection — into a reusable training plan.
+func (l *SGCLayer) ensurePlan(in int) *fuse.Plan {
+	return l.pc.get(l.A, in, func(ws *tensor.Arena) *fuse.Plan {
+		g := fuse.NewGraph("sgc", l.A)
+		h := g.InputDense("H", l.A.Rows, in)
+		wn := g.ParamNode("W", planRef(l.W))
+		cur := h
+		for t := 0; t < l.K; t++ {
+			cur = g.SpMM(fmt.Sprintf("A%d", t+1), g.Adj(), cur)
+		}
+		z := g.MM("Z", cur, wn)
+		g.SetOutput(g.Sigma("Hout", z, planAct(l.Act)))
+		return g.MustCompile(fuse.Options{Train: true, SpanPrefix: "sgc.", Workspace: ws})
+	})
+}
+
+// Plan returns the compiled training plan (nil before the first planned
+// training-mode Forward).
+func (l *SGCLayer) Plan() *fuse.Plan { return l.pc.plan }
+
 // Forward implements Layer.
 func (l *SGCLayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {
+	if training && !l.Direct {
+		return l.ensurePlan(h.Cols).Forward(h)
+	}
 	hk := h
 	for t := 0; t < l.K; t++ {
 		hk = l.A.MulDense(hk)
@@ -135,6 +203,12 @@ func (l *SGCLayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {
 
 // Backward implements Layer.
 func (l *SGCLayer) Backward(gOut *tensor.Dense) *tensor.Dense {
+	if !l.Direct {
+		if l.pc.plan == nil {
+			panic("gnn: SGCLayer.Backward before training-mode Forward")
+		}
+		return l.pc.plan.Backward(gOut)
+	}
 	if l.z == nil {
 		panic("gnn: SGCLayer.Backward before training-mode Forward")
 	}

@@ -47,7 +47,10 @@ func TestGINTrains(t *testing.T) {
 	for i := range labels {
 		h.Set(i, labels[i], h.At(i, labels[i])+1)
 	}
-	hist := m.Train(h, &CrossEntropyLoss{Labels: labels}, NewAdam(0.02), 30)
+	hist, err := m.Train(h, &CrossEntropyLoss{Labels: labels}, NewAdam(0.02), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if hist[len(hist)-1] >= 0.7*hist[0] {
 		t.Fatalf("GIN did not train: %v → %v", hist[0], hist[len(hist)-1])
 	}

@@ -93,7 +93,10 @@ func TestDropoutInModelStack(t *testing.T) {
 		labels[i] = i % 2
 		h.Set(i, labels[i], h.At(i, labels[i])+1)
 	}
-	hist := m.Train(h, &CrossEntropyLoss{Labels: labels}, NewAdam(0.02), 25)
+	hist, err := m.Train(h, &CrossEntropyLoss{Labels: labels}, NewAdam(0.02), 25)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if hist[len(hist)-1] >= hist[0] {
 		t.Fatalf("dropout model did not train: %v → %v", hist[0], hist[len(hist)-1])
 	}

@@ -3,6 +3,7 @@ package gnn
 import (
 	"math/rand"
 
+	"agnn/internal/fuse"
 	"agnn/internal/kernels"
 	"agnn/internal/par"
 	"agnn/internal/sparse"
@@ -35,7 +36,13 @@ type GATLayer struct {
 	Act      Activation
 	NegSlope float64
 
-	// cached intermediates
+	// Direct bypasses the compiled plan and trains through the hand-written
+	// kernel path.
+	Direct bool
+
+	pc planCache
+
+	// cached intermediates (direct training-mode forward)
 	h    *tensor.Dense
 	hp   *tensor.Dense
 	u, v []float64
@@ -62,8 +69,36 @@ func (l *GATLayer) Name() string { return "gat" }
 // Params implements Layer.
 func (l *GATLayer) Params() []*Param { return []*Param{l.W, l.A1, l.A2} }
 
+// ensurePlan compiles GAT's DAG into a reusable training plan. The virtual
+// chain u·1ᵀ + 1·vᵀ → LeakyReLU fuses into the softmax sampling sweep.
+func (l *GATLayer) ensurePlan(in int) *fuse.Plan {
+	return l.pc.get(l.A, in, func(ws *tensor.Arena) *fuse.Plan {
+		g := fuse.NewGraph("gat", l.A)
+		h := g.InputDense("H", l.A.Rows, in)
+		wn := g.ParamNode("W", planRef(l.W))
+		a1n := g.ParamNode("a1", planRef(l.A1))
+		a2n := g.ParamNode("a2", planRef(l.A2))
+		hp := g.MM("Hp", h, wn)
+		u := g.MatVecNode("u", hp, a1n)
+		v := g.MatVecNode("v", hp, a2n)
+		c := g.AddScores("C", g.RepRow("u1T", u), g.RepCol("1vT", v))
+		e := g.Mask("E", g.LReLUScores("lreluC", c, l.NegSlope), false)
+		psi := g.Softmax("Psi", e)
+		z := g.SpMM("Z", psi, hp)
+		g.SetOutput(g.Sigma("Hout", z, planAct(l.Act)))
+		return g.MustCompile(fuse.Options{Train: true, SpanPrefix: "gat.", Workspace: ws})
+	})
+}
+
+// Plan returns the compiled training plan (nil before the first planned
+// training-mode Forward).
+func (l *GATLayer) Plan() *fuse.Plan { return l.pc.plan }
+
 // Forward implements Layer.
 func (l *GATLayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {
+	if training && !l.Direct {
+		return l.ensurePlan(h.Cols).Forward(h)
+	}
 	hp := tensor.MM(h, l.W.Value)
 	u := tensor.MatVec(hp, l.A1.Value.Data)
 	v := tensor.MatVec(hp, l.A2.Value.Data)
@@ -79,6 +114,12 @@ func (l *GATLayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {
 
 // Backward implements Layer.
 func (l *GATLayer) Backward(gOut *tensor.Dense) *tensor.Dense {
+	if !l.Direct {
+		if l.pc.plan == nil {
+			panic("gnn: GATLayer.Backward before training-mode Forward")
+		}
+		return l.pc.plan.Backward(gOut)
+	}
 	if l.z == nil {
 		panic("gnn: GATLayer.Backward before training-mode Forward")
 	}

@@ -3,6 +3,7 @@ package gnn
 import (
 	"math/rand"
 
+	"agnn/internal/fuse"
 	"agnn/internal/sparse"
 	"agnn/internal/tensor"
 )
@@ -15,6 +16,12 @@ type GCNLayer struct {
 	A, AT *sparse.CSR // expected pre-normalized (graph.NormalizeGCN)
 	W     *Param
 	Act   Activation
+
+	// Direct bypasses the compiled plan and trains through the hand-written
+	// kernel path.
+	Direct bool
+
+	pc planCache
 
 	h *tensor.Dense
 	z *tensor.Dense
@@ -36,8 +43,27 @@ func (l *GCNLayer) Name() string { return "gcn" }
 // Params implements Layer.
 func (l *GCNLayer) Params() []*Param { return []*Param{l.W} }
 
+// ensurePlan compiles Z = Â·(H·W), σ into a reusable training plan.
+func (l *GCNLayer) ensurePlan(in int) *fuse.Plan {
+	return l.pc.get(l.A, in, func(ws *tensor.Arena) *fuse.Plan {
+		g := fuse.NewGraph("gcn", l.A)
+		h := g.InputDense("H", l.A.Rows, in)
+		w := g.ParamNode("W", planRef(l.W))
+		z := g.SpMM("Z", g.Adj(), g.MM("HW", h, w))
+		g.SetOutput(g.Sigma("Hout", z, planAct(l.Act)))
+		return g.MustCompile(fuse.Options{Train: true, SpanPrefix: "gcn.", Workspace: ws})
+	})
+}
+
+// Plan returns the compiled training plan (nil before the first planned
+// training-mode Forward).
+func (l *GCNLayer) Plan() *fuse.Plan { return l.pc.plan }
+
 // Forward implements Layer.
 func (l *GCNLayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {
+	if training && !l.Direct {
+		return l.ensurePlan(h.Cols).Forward(h)
+	}
 	hp := tensor.MM(h, l.W.Value)
 	z := l.A.MulDense(hp)
 	if training {
@@ -48,6 +74,12 @@ func (l *GCNLayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {
 
 // Backward implements Layer.
 func (l *GCNLayer) Backward(gOut *tensor.Dense) *tensor.Dense {
+	if !l.Direct {
+		if l.pc.plan == nil {
+			panic("gnn: GCNLayer.Backward before training-mode Forward")
+		}
+		return l.pc.plan.Backward(gOut)
+	}
 	if l.z == nil {
 		panic("gnn: GCNLayer.Backward before training-mode Forward")
 	}

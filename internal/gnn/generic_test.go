@@ -61,7 +61,7 @@ func TestGenericSemiringAggregations(t *testing.T) {
 	a := testGraph(10, 48)
 	rng := rand.New(rand.NewSource(49))
 	h := tensor.RandN(10, 3, 1, rng)
-	psi := SoftmaxDotPsi()(a, h)
+	psi := SoftmaxDotPsi().F(a, h)
 
 	maxOut := (&GenericLayer{A: a, Psi: SoftmaxDotPsi(), Agg: MaxAgg()}).Forward(h, false)
 	minOut := (&GenericLayer{A: a, Psi: SoftmaxDotPsi(), Agg: MinAgg()}).Forward(h, false)
@@ -116,7 +116,7 @@ func TestMLPPhi(t *testing.T) {
 	w1 := tensor.GlorotInit(3, 4, rng)
 	w2 := tensor.GlorotInit(4, 2, rng)
 	phi := MLPPhi(ReLU(), w1, w2)
-	got := phi(x)
+	got := phi.F(x)
 	want := tensor.MM(tensor.MM(x, w1).Apply(ReLU().F), w2)
 	if !got.ApproxEqual(want, 1e-12) {
 		t.Fatal("MLPPhi composition wrong")
@@ -125,7 +125,7 @@ func TestMLPPhi(t *testing.T) {
 		t.Fatal("MLPPhi shape wrong")
 	}
 	// Single-matrix MLP == LinearPhi.
-	if !MLPPhi(ReLU(), w1)(x).ApproxEqual(LinearPhi(w1)(x), 0) {
+	if !MLPPhi(ReLU(), w1).F(x).ApproxEqual(LinearPhi(w1).F(x), 0) {
 		t.Fatal("single-layer MLP != linear")
 	}
 }

@@ -25,9 +25,34 @@ type Layer interface {
 	Name() string
 }
 
+// TrainableLayer is implemented by layers that may refuse training — e.g. a
+// GenericLayer assembled from custom closures or a semiring aggregation has
+// no plan-derived backward. Model.CheckTrainable (and Train) surface the
+// refusal as a descriptive error before any backward pass can panic
+// mid-epoch. Layers that do not implement the interface are assumed
+// trainable.
+type TrainableLayer interface {
+	// CanTrain returns nil when the layer supports Backward, or an error
+	// explaining why it does not.
+	CanTrain() error
+}
+
 // Model is a stack of GNN layers trained full-batch.
 type Model struct {
 	Layers []Layer
+}
+
+// CheckTrainable reports whether every layer supports training, identifying
+// the first offending layer by index and kind.
+func (m *Model) CheckTrainable() error {
+	for i, l := range m.Layers {
+		if tl, ok := l.(TrainableLayer); ok {
+			if err := tl.CanTrain(); err != nil {
+				return fmt.Errorf("gnn: layer %d (%s) cannot train: %w", i, l.Name(), err)
+			}
+		}
+	}
+	return nil
 }
 
 // Forward runs all layers on the input feature matrix.
@@ -85,13 +110,17 @@ func (m *Model) TrainStep(h *tensor.Dense, loss Loss, opt Optimizer) float64 {
 }
 
 // Train runs epochs full-batch training iterations and returns the loss
-// trajectory.
-func (m *Model) Train(h *tensor.Dense, loss Loss, opt Optimizer, epochs int) []float64 {
+// trajectory. It refuses untrainable models (see TrainableLayer) with a
+// descriptive error instead of panicking mid-epoch.
+func (m *Model) Train(h *tensor.Dense, loss Loss, opt Optimizer, epochs int) ([]float64, error) {
+	if err := m.CheckTrainable(); err != nil {
+		return nil, err
+	}
 	hist := make([]float64, 0, epochs)
 	for e := 0; e < epochs; e++ {
 		hist = append(hist, m.TrainStep(h, loss, opt))
 	}
-	return hist
+	return hist, nil
 }
 
 // Summary renders a human-readable table of the model's layers and

@@ -135,7 +135,10 @@ func TestTrainingReducesLoss(t *testing.T) {
 			t.Fatal(err)
 		}
 		loss := &CrossEntropyLoss{Labels: labels}
-		hist := m.Train(h, loss, NewAdam(0.01), 40)
+		hist, err := m.Train(h, loss, NewAdam(0.01), 40)
+		if err != nil {
+			t.Fatal(err)
+		}
 		first, last := hist[0], hist[len(hist)-1]
 		if !(last < 0.7*first) {
 			t.Fatalf("%v: loss did not decrease: %v → %v", kind, first, last)
@@ -174,7 +177,11 @@ func TestDeterministicTraining(t *testing.T) {
 		for i := range labels {
 			labels[i] = i % 2
 		}
-		return m.Train(h, &CrossEntropyLoss{Labels: labels}, NewSGD(0.05, 0.9), 5)
+		hist, err := m.Train(h, &CrossEntropyLoss{Labels: labels}, NewSGD(0.05, 0.9), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hist
 	}
 	h1, h2 := run(), run()
 	for i := range h1 {

@@ -19,6 +19,20 @@ type MultiHeadGATLayer struct {
 	Heads   []*GATLayer
 	Concat  bool // true: concat head outputs (out = heads·headDim); false: average
 	headDim int
+
+	// Layer-owned buffers reused across steps. The heads' plan-backed
+	// Forward/Backward return plan-owned buffers that must not be mutated,
+	// so combination and gradient fan-out happen in these.
+	out, gHead, gIn *tensor.Dense
+}
+
+// ensureBuf returns a layer-owned rows×cols buffer, reallocating only on
+// shape change.
+func ensureBuf(buf **tensor.Dense, rows, cols int) *tensor.Dense {
+	if *buf == nil || (*buf).Rows != rows || (*buf).Cols != cols {
+		*buf = tensor.NewDense(rows, cols)
+	}
+	return *buf
 }
 
 // NewMultiHeadGATLayer builds a K-head GAT layer. With Concat the output
@@ -62,7 +76,7 @@ func (l *MultiHeadGATLayer) Forward(h *tensor.Dense, training bool) *tensor.Dens
 		outs[i] = head.Forward(h, training)
 	}
 	if l.Concat {
-		out := tensor.NewDense(h.Rows, len(l.Heads)*l.headDim)
+		out := ensureBuf(&l.out, h.Rows, len(l.Heads)*l.headDim)
 		for i, o := range outs {
 			for r := 0; r < h.Rows; r++ {
 				copy(out.Row(r)[i*l.headDim:(i+1)*l.headDim], o.Row(r))
@@ -70,7 +84,8 @@ func (l *MultiHeadGATLayer) Forward(h *tensor.Dense, training bool) *tensor.Dens
 		}
 		return out
 	}
-	out := outs[0].Clone()
+	out := ensureBuf(&l.out, h.Rows, l.headDim)
+	out.CopyFrom(outs[0])
 	for _, o := range outs[1:] {
 		out.AddInPlace(o)
 	}
@@ -79,20 +94,26 @@ func (l *MultiHeadGATLayer) Forward(h *tensor.Dense, training bool) *tensor.Dens
 
 // Backward implements Layer.
 func (l *MultiHeadGATLayer) Backward(gOut *tensor.Dense) *tensor.Dense {
+	var gHead *tensor.Dense
+	if l.Concat {
+		gHead = ensureBuf(&l.gHead, gOut.Rows, l.headDim)
+	} else {
+		// The averaged gradient is the same for every head; build it once.
+		gHead = ensureBuf(&l.gHead, gOut.Rows, gOut.Cols)
+		gHead.CopyFrom(gOut)
+		gHead.ScaleInPlace(1 / float64(len(l.Heads)))
+	}
 	var gIn *tensor.Dense
 	for i, head := range l.Heads {
-		var gHead *tensor.Dense
 		if l.Concat {
-			gHead = tensor.NewDense(gOut.Rows, l.headDim)
 			for r := 0; r < gOut.Rows; r++ {
 				copy(gHead.Row(r), gOut.Row(r)[i*l.headDim:(i+1)*l.headDim])
 			}
-		} else {
-			gHead = gOut.Scale(1 / float64(len(l.Heads)))
 		}
 		g := head.Backward(gHead)
 		if gIn == nil {
-			gIn = g
+			gIn = ensureBuf(&l.gIn, g.Rows, g.Cols)
+			gIn.CopyFrom(g)
 		} else {
 			gIn.AddInPlace(g)
 		}

@@ -94,7 +94,10 @@ func TestMultiHeadTrainsOnClassification(t *testing.T) {
 		labels[i] = i % 3
 		h.Set(i, labels[i], h.At(i, labels[i])+1)
 	}
-	hist := m.Train(h, &CrossEntropyLoss{Labels: labels}, NewAdam(0.02), 30)
+	hist, err := m.Train(h, &CrossEntropyLoss{Labels: labels}, NewAdam(0.02), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if hist[len(hist)-1] >= 0.8*hist[0] {
 		t.Fatalf("multi-head training did not reduce loss: %v → %v", hist[0], hist[len(hist)-1])
 	}
@@ -136,7 +139,10 @@ func TestConfigHeadsBuildsMultiHeadModel(t *testing.T) {
 		labels[i] = i % 3
 		h.Set(i, labels[i], h.At(i, labels[i])+1)
 	}
-	hist := m.Train(h, &CrossEntropyLoss{Labels: labels}, NewAdam(0.02), 25)
+	hist, err := m.Train(h, &CrossEntropyLoss{Labels: labels}, NewAdam(0.02), 25)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if hist[len(hist)-1] >= hist[0] {
 		t.Fatalf("multi-head config model did not train: %v → %v", hist[0], hist[len(hist)-1])
 	}

@@ -1,0 +1,58 @@
+package gnn
+
+import (
+	"agnn/internal/fuse"
+	"agnn/internal/sparse"
+	"agnn/internal/tensor"
+)
+
+// This file adapts the gnn layer types to the executable plan runtime of
+// internal/fuse. Every built-in layer describes its tensor-op DAG once with
+// the fuse.Graph builder; Compile applies the Section 6.2 fusion rule,
+// preallocates every intermediate from a shape-keyed arena, and derives the
+// backward pass by reverse traversal. Training-mode Forward/Backward then
+// execute the compiled op list with zero steady-state allocations.
+
+// planRef adapts a Param to the fuse runtime's package-neutral handle. The
+// plan reads Value on every step (optimizer updates are mutations of the
+// shared buffer, so they are observed) and accumulates into Grad.
+func planRef(p *Param) fuse.ParamRef {
+	return fuse.ParamRef{Name: p.Name, Value: p.Value, Grad: p.Grad}
+}
+
+// planAct adapts an Activation; a zero Activation defaults to identity, the
+// same convention the direct paths use.
+func planAct(a Activation) fuse.Act {
+	if a.F == nil {
+		a = Identity()
+	}
+	return fuse.Act{Name: a.Name, F: a.F, DF: a.DF}
+}
+
+// planCache lazily compiles and caches one layer's plan, keyed on the
+// adjacency matrix and the input feature width. Rebinding the layer to a new
+// adjacency (RebindAdjacency, mini-batching) or feeding a different feature
+// width triggers a recompile; the old plan's buffers are released into the
+// layer-local arena first, so recompiles over same-shape graphs recycle the
+// workspace instead of growing it.
+type planCache struct {
+	plan *fuse.Plan
+	a    *sparse.CSR
+	in   int
+	ws   *tensor.Arena
+}
+
+func (c *planCache) get(a *sparse.CSR, in int, build func(ws *tensor.Arena) *fuse.Plan) *fuse.Plan {
+	if c.plan != nil && c.a == a && c.in == in {
+		return c.plan
+	}
+	if c.ws == nil {
+		c.ws = tensor.NewArena()
+	}
+	if c.plan != nil {
+		c.plan.Release()
+	}
+	c.plan = build(c.ws)
+	c.a, c.in = a, in
+	return c.plan
+}

@@ -1,0 +1,267 @@
+package gnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"agnn/internal/graph"
+	"agnn/internal/par"
+	"agnn/internal/tensor"
+)
+
+// planLayerFixtures builds one instance of every plan-backed built-in layer
+// (deterministic per seed).
+func planLayerFixtures(seed int64) (layers []Layer, h *tensor.Dense) {
+	a := testGraph(12, seed)
+	at := a.Transpose()
+	an := graph.NormalizeGCN(a)
+	ant := an.Transpose()
+	mk := func() *rand.Rand { return rand.New(rand.NewSource(seed + 1)) }
+	layers = []Layer{
+		NewVALayer(a, at, 4, 3, Tanh(), mk()),
+		NewGCNLayer(an, ant, 4, 3, Tanh(), mk()),
+		NewAGNNLayer(a, at, 4, 3, Tanh(), mk()),
+		NewGATLayer(a, at, 4, 3, Tanh(), 0.2, mk()),
+		NewGINLayer(a, at, 4, 5, 3, Tanh(), mk()),
+		NewSGCLayer(an, ant, 2, 4, 3, Tanh(), mk()),
+	}
+	layers[4].(*GINLayer).ActMLP = Tanh()
+	h = tensor.RandN(12, 4, 0.8, rand.New(rand.NewSource(seed+2)))
+	return layers, h
+}
+
+// setDirect flips a built-in layer onto the hand-written kernel path.
+func setDirect(l Layer) {
+	switch ll := l.(type) {
+	case *VALayer:
+		ll.Direct = true
+	case *GCNLayer:
+		ll.Direct = true
+	case *AGNNLayer:
+		ll.Direct = true
+	case *GATLayer:
+		ll.Direct = true
+	case *GINLayer:
+		ll.Direct = true
+	case *SGCLayer:
+		ll.Direct = true
+	}
+}
+
+// TestPlanBackwardMatchesDirectBackward differentially tests the compiled
+// plans against the hand-derived Section 5 backward passes: identical
+// layers, one planned and one direct, must produce matching outputs,
+// parameter gradients, and input gradients.
+func TestPlanBackwardMatchesDirectBackward(t *testing.T) {
+	const seed = 800
+	planned, h := planLayerFixtures(seed)
+	direct, _ := planLayerFixtures(seed)
+	gOut := tensor.RandN(12, 3, 1, rand.New(rand.NewSource(seed+3)))
+
+	for i := range planned {
+		p, d := planned[i], direct[i]
+		setDirect(d)
+		outP := p.Forward(h, true)
+		outD := d.Forward(h, true)
+		if !outP.ApproxEqual(outD, 1e-10) {
+			t.Fatalf("%s: plan forward differs from direct by %g", p.Name(), outP.MaxAbsDiff(outD))
+		}
+		gInP := p.Backward(gOut)
+		gInD := d.Backward(gOut)
+		if !gInP.ApproxEqual(gInD, 1e-9) {
+			t.Fatalf("%s: plan input grad differs from direct by %g", p.Name(), gInP.MaxAbsDiff(gInD))
+		}
+		pp, dp := p.Params(), d.Params()
+		for j := range pp {
+			if !pp[j].Grad.ApproxEqual(dp[j].Grad, 1e-9) {
+				t.Fatalf("%s: plan %s grad differs from direct by %g",
+					p.Name(), pp[j].Name, pp[j].Grad.MaxAbsDiff(dp[j].Grad))
+			}
+		}
+	}
+}
+
+// TestPlannedLayerSteadyStateAllocs: after the first (compiling, warm-up)
+// step, the planned forward/backward hot path must run with zero
+// allocations — every intermediate lives in the plan's preallocated
+// workspace. Pinned to one worker because the parallel runtime allocates
+// goroutine bookkeeping when fanning out.
+func TestPlannedLayerSteadyStateAllocs(t *testing.T) {
+	prev := par.Workers()
+	par.SetWorkers(1)
+	defer par.SetWorkers(prev)
+
+	layers, h := planLayerFixtures(801)
+	gOut := tensor.NewDense(12, 3)
+	gOut.Fill(0.25)
+
+	for _, l := range layers {
+		l.Forward(h, true) // compile + warm up lazily allocated scratch
+		l.Backward(gOut)
+		if n := testing.AllocsPerRun(20, func() { l.Forward(h, true) }); n > 0 {
+			t.Fatalf("%s: planned forward allocates %v per step", l.Name(), n)
+		}
+		if n := testing.AllocsPerRun(20, func() { l.Forward(h, true); l.Backward(gOut) }); n > 0 {
+			t.Fatalf("%s: planned forward+backward allocates %v per step", l.Name(), n)
+		}
+	}
+}
+
+func TestMultiHeadGATGradCheckPlanned(t *testing.T) {
+	for _, concat := range []bool{true, false} {
+		a := testGraph(9, 810)
+		at := a.Transpose()
+		rng := rand.New(rand.NewSource(811))
+		mh := NewMultiHeadGATLayer(a, at, 3, 2, 3, concat, Tanh(), 0.2, rng)
+		m := &Model{Layers: []Layer{mh}}
+		h := tensor.RandN(9, 3, 0.8, rng)
+		loss := &MSELoss{Target: tensor.RandN(9, mh.OutDim(), 1, rng)}
+		gradCheckModel(t, m, h, loss, 5e-4)
+	}
+}
+
+// TestGenericGradCheckPlanned: the generic Ψ/⊕/Φ layer gets a real trained
+// backward from the plan compiler for built-in assemblies — linear and MLP
+// Φ, both application orders.
+func TestGenericGradCheckPlanned(t *testing.T) {
+	a := testGraph(9, 820)
+	rng := rand.New(rand.NewSource(821))
+	cases := []struct {
+		name string
+		mk   func() *GenericLayer
+	}{
+		{"dot+linear+phiFirst", func() *GenericLayer {
+			return &GenericLayer{A: a, Psi: DotPsi(), Agg: SumAgg(),
+				Phi: LinearPhi(tensor.GlorotInit(3, 2, rng)), Act: Tanh(), PhiFirst: true}
+		}},
+		{"softmaxdot+linear", func() *GenericLayer {
+			return &GenericLayer{A: a, Psi: SoftmaxDotPsi(), Agg: SumAgg(),
+				Phi: LinearPhi(tensor.GlorotInit(3, 2, rng)), Act: Tanh()}
+		}},
+		{"adjacency+mlp", func() *GenericLayer {
+			return &GenericLayer{A: a, Psi: AdjacencyPsi(), Agg: SumAgg(),
+				Phi: MLPPhi(Tanh(), tensor.GlorotInit(3, 4, rng), tensor.GlorotInit(4, 2, rng)),
+				Act: Tanh()}
+		}},
+	}
+	for _, tc := range cases {
+		gen := tc.mk()
+		if err := gen.CanTrain(); err != nil {
+			t.Fatalf("%s: expected trainable, got %v", tc.name, err)
+		}
+		m := &Model{Layers: []Layer{gen}}
+		h := tensor.RandN(9, 3, 0.8, rand.New(rand.NewSource(822)))
+		loss := &MSELoss{Target: tensor.RandN(9, 2, 1, rand.New(rand.NewSource(823)))}
+		gradCheckModel(t, m, h, loss, 5e-4)
+	}
+}
+
+// TestUntrainableGenericIsReportedNotPanicked: Model.Train must refuse an
+// untrainable assembly with a descriptive error before any backward pass
+// can panic (the TrainableLayer contract).
+func TestUntrainableGenericIsReportedNotPanicked(t *testing.T) {
+	a := testGraph(8, 830)
+	h := tensor.RandN(8, 3, 1, rand.New(rand.NewSource(831)))
+	m := &Model{Layers: []Layer{
+		&GenericLayer{A: a, Psi: SoftmaxDotPsi(), Agg: MaxAgg()},
+	}}
+	if err := m.CheckTrainable(); err == nil {
+		t.Fatal("semiring aggregation must be reported as untrainable")
+	}
+	hist, err := m.Train(h, &MSELoss{Target: tensor.NewDense(8, 3)}, NewSGD(0.1, 0), 3)
+	if err == nil || hist != nil {
+		t.Fatalf("Train must refuse untrainable models, got hist=%v err=%v", hist, err)
+	}
+	// Custom closures are equally untrainable — and say so.
+	custom := &GenericLayer{A: a, Psi: CustomPsi(AdjacencyPsi().F)}
+	if err := custom.CanTrain(); err == nil {
+		t.Fatal("custom Ψ must be reported as untrainable")
+	}
+	// A trainable stack passes the check.
+	ok := &Model{Layers: []Layer{&GenericLayer{A: a, Psi: DotPsi(), Agg: SumAgg(),
+		Phi: LinearPhi(tensor.GlorotInit(3, 3, rand.New(rand.NewSource(832))))}}}
+	if err := ok.CheckTrainable(); err != nil {
+		t.Fatalf("trainable generic reported untrainable: %v", err)
+	}
+}
+
+// FuzzGenericPlanVsDirect cross-checks the compiled plan against the raw
+// closure composition for arbitrary built-in Ψ/⊕/Φ assemblies.
+func FuzzGenericPlanVsDirect(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint8(0), false, uint8(0))
+	f.Add(uint8(1), uint8(0), uint8(1), true, uint8(1))
+	f.Add(uint8(2), uint8(1), uint8(2), false, uint8(2))
+	f.Add(uint8(2), uint8(3), uint8(0), false, uint8(1))
+	f.Fuzz(func(t *testing.T, psiSel, aggSel, phiSel uint8, phiFirst bool, actSel uint8) {
+		psis := []Psi{AdjacencyPsi(), DotPsi(), SoftmaxDotPsi()}
+		aggs := []Agg{SumAgg(), MaxAgg(), MinAgg(), MeanAgg()}
+		acts := []Activation{Identity(), Tanh(), ReLU()}
+		rng := rand.New(rand.NewSource(900))
+		a := testGraph(10, 901)
+		h := tensor.RandN(10, 3, 1, rng)
+		phis := []Phi{
+			{}, // identity
+			LinearPhi(tensor.GlorotInit(3, 2, rng)),
+			MLPPhi(Tanh(), tensor.GlorotInit(3, 4, rng), tensor.GlorotInit(4, 2, rng)),
+		}
+		mk := func() *GenericLayer {
+			return &GenericLayer{
+				A:        a,
+				Psi:      psis[int(psiSel)%len(psis)],
+				Agg:      aggs[int(aggSel)%len(aggs)],
+				Phi:      phis[int(phiSel)%len(phis)],
+				Act:      acts[int(actSel)%len(acts)],
+				PhiFirst: phiFirst,
+			}
+		}
+		planned := mk()
+		direct := mk()
+		direct.Direct = true
+		got := planned.Forward(h, true)
+		want := direct.Forward(h, true)
+		if !got.ApproxEqual(want, 1e-10) {
+			t.Fatalf("plan deviates from closures by %g (psi=%q agg=%q phi=%q first=%v)",
+				got.MaxAbsDiff(want), planned.Psi.Kind, planned.Agg.Kind, planned.Phi.Kind, phiFirst)
+		}
+	})
+}
+
+// BenchmarkPlanVsHandwritten compares one training step (forward +
+// backward) through the compiled plan against the hand-written kernel
+// path. The plan's advantage is allocation-free steady state; the kernels
+// themselves are shared.
+func BenchmarkPlanVsHandwritten(b *testing.B) {
+	a := graph.Kronecker(10, 8, 1) // 1024 vertices
+	at := a.Transpose()
+	h := tensor.RandN(a.Rows, 16, 1, rand.New(rand.NewSource(2)))
+	gOut := tensor.RandN(a.Rows, 16, 1, rand.New(rand.NewSource(3)))
+	for _, mode := range []string{"plan", "direct"} {
+		b.Run(mode, func(b *testing.B) {
+			l := NewAGNNLayer(a, at, 16, 16, Tanh(), rand.New(rand.NewSource(4)))
+			l.Direct = mode == "direct"
+			l.Forward(h, true)
+			l.Backward(gOut)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l.Forward(h, true)
+				l.Backward(gOut)
+			}
+		})
+	}
+}
+
+// BenchmarkPlannedForwardAllocs isolates the planned forward hot path for
+// the CI allocation gate.
+func BenchmarkPlannedForwardAllocs(b *testing.B) {
+	a := graph.Kronecker(9, 8, 1)
+	at := a.Transpose()
+	h := tensor.RandN(a.Rows, 16, 1, rand.New(rand.NewSource(5)))
+	l := NewGATLayer(a, at, 16, 16, Tanh(), 0.2, rand.New(rand.NewSource(6)))
+	l.Forward(h, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Forward(h, true)
+	}
+}

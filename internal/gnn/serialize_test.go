@@ -22,7 +22,9 @@ func trainedModel(t *testing.T, kind Kind, seed int64) (*Model, *tensor.Dense) {
 	for i := range labels {
 		labels[i] = i % 3
 	}
-	m.Train(h, &CrossEntropyLoss{Labels: labels}, NewAdam(0.01), 3)
+	if _, err := m.Train(h, &CrossEntropyLoss{Labels: labels}, NewAdam(0.01), 3); err != nil {
+		t.Fatal(err)
+	}
 	return m, h
 }
 

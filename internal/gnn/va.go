@@ -3,6 +3,7 @@ package gnn
 import (
 	"math/rand"
 
+	"agnn/internal/fuse"
 	"agnn/internal/kernels"
 	"agnn/internal/sparse"
 	"agnn/internal/tensor"
@@ -28,10 +29,17 @@ type VALayer struct {
 	W     *Param
 	Act   Activation
 
-	// UseReferenceBackward switches to the op-composed backward pass.
+	// Direct bypasses the compiled plan and trains through the hand-written
+	// Eq.-11 kernels (the pre-plan code path, kept as an escape hatch and as
+	// a differential-testing oracle).
+	Direct bool
+	// UseReferenceBackward switches to the op-composed backward pass
+	// (implies Direct).
 	UseReferenceBackward bool
 
-	// cached intermediates (training-mode forward)
+	pc planCache
+
+	// cached intermediates (direct training-mode forward)
 	h   *tensor.Dense
 	psi *sparse.CSR
 	z   *tensor.Dense
@@ -53,6 +61,28 @@ func (l *VALayer) Name() string { return "va" }
 // Params implements Layer.
 func (l *VALayer) Params() []*Param { return []*Param{l.W} }
 
+func (l *VALayer) direct() bool { return l.Direct || l.UseReferenceBackward }
+
+// ensurePlan compiles the layer's execution DAG into a reusable training
+// plan: Ψ = A ⊙ (H·Hᵀ) fuses into a single SDDMM-like sampling kernel, and
+// the backward op list is derived by reverse traversal.
+func (l *VALayer) ensurePlan(in int) *fuse.Plan {
+	return l.pc.get(l.A, in, func(ws *tensor.Arena) *fuse.Plan {
+		g := fuse.NewGraph("va", l.A)
+		h := g.InputDense("H", l.A.Rows, in)
+		w := g.ParamNode("W", planRef(l.W))
+		psi := g.Mask("Psi", g.DotScores("HHt", h, h), true)
+		z := g.SpMM("Z", psi, g.MM("HW", h, w))
+		g.SetOutput(g.Sigma("Hout", z, planAct(l.Act)))
+		return g.MustCompile(fuse.Options{Train: true, SpanPrefix: "va.", Workspace: ws})
+	})
+}
+
+// Plan returns the compiled training plan, or nil before the first planned
+// training-mode Forward. Cost-model and observability consumers read its
+// Stats.
+func (l *VALayer) Plan() *fuse.Plan { return l.pc.plan }
+
 // Forward implements Layer.
 func (l *VALayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {
 	if !training {
@@ -63,6 +93,9 @@ func (l *VALayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {
 		psi := scaleByPattern(kernels.FusedScores(l.A, score), l.A)
 		return l.Act.apply(psi.MulDense(hp))
 	}
+	if !l.direct() {
+		return l.ensurePlan(h.Cols).Forward(h)
+	}
 	l.h = h
 	l.psi = sparse.SDDMMScaled(l.A, h, h) // Ψ = A ⊙ H·Hᵀ
 	hp := tensor.MM(h, l.W.Value)         // Φ before ⊕ (Section 4.4)
@@ -72,6 +105,12 @@ func (l *VALayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {
 
 // Backward implements Layer.
 func (l *VALayer) Backward(gOut *tensor.Dense) *tensor.Dense {
+	if !l.direct() {
+		if l.pc.plan == nil {
+			panic("gnn: VALayer.Backward before training-mode Forward")
+		}
+		return l.pc.plan.Backward(gOut)
+	}
 	if l.z == nil {
 		panic("gnn: VALayer.Backward before training-mode Forward")
 	}

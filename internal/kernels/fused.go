@@ -75,33 +75,65 @@ func AGNNEdgeScore(h *tensor.Dense, norms []float64, beta float64) ScoreFunc {
 // the result is pat's pattern with values f(i, j). This is the generalized
 // SDDMM the paper fuses attention-score pipelines into.
 func FusedScores(pat *sparse.CSR, f ScoreFunc) *sparse.CSR {
-	defer obs.Start("fused_scores").End()
 	vals := make([]float64, pat.NNZ())
+	FusedScoresInto(vals, pat, f, nil, 0)
+	return pat.WithValues(vals)
+}
+
+// FusedScoresInto samples the virtual score matrix into a pre-allocated
+// value buffer. A non-nil weights slice (pat's own values, typically)
+// multiplies each sampled score — the weighted mask A ⊙ C. rowOff shifts
+// local row indices into global ones for row-distributed patterns whose
+// score closures index full-height factors (the 1.5D engines).
+func FusedScoresInto(vals []float64, pat *sparse.CSR, f ScoreFunc, weights []float64, rowOff int32) {
+	defer obs.Start("fused_scores").End()
+	if len(vals) != pat.NNZ() {
+		panic("kernels: FusedScoresInto value length mismatch")
+	}
 	par.RangeWeighted(pat.Rows, func(i int) int64 { return int64(pat.RowNNZ(i)) }, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
+			gi := int32(i) + rowOff
 			for p := pat.RowPtr[i]; p < pat.RowPtr[i+1]; p++ {
-				vals[p] = f(int32(i), pat.Col[p])
+				v := f(gi, pat.Col[p])
+				if weights != nil {
+					v *= weights[p]
+				}
+				vals[p] = v
 			}
 		}
 	})
-	return pat.WithValues(vals)
 }
 
 // FusedSoftmaxScores computes sm(A ⊙ scores) in a single sweep per row:
 // score evaluation, row max, exponentiation and normalization are fused, so
 // no unnormalized score matrix is materialized.
 func FusedSoftmaxScores(pat *sparse.CSR, f ScoreFunc) *sparse.CSR {
-	defer obs.Start("fused_softmax_scores").End()
 	vals := make([]float64, pat.NNZ())
+	FusedSoftmaxScoresInto(vals, pat, f, nil, 0)
+	return pat.WithValues(vals)
+}
+
+// FusedSoftmaxScoresInto computes sm(A ⊙ scores) into a pre-allocated
+// value buffer, with the same weights/rowOff semantics as FusedScoresInto
+// (weights multiply the scores *before* the softmax).
+func FusedSoftmaxScoresInto(vals []float64, pat *sparse.CSR, f ScoreFunc, weights []float64, rowOff int32) {
+	defer obs.Start("fused_softmax_scores").End()
+	if len(vals) != pat.NNZ() {
+		panic("kernels: FusedSoftmaxScoresInto value length mismatch")
+	}
 	par.RangeWeighted(pat.Rows, func(i int) int64 { return int64(pat.RowNNZ(i)) }, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			b, e := pat.RowPtr[i], pat.RowPtr[i+1]
 			if b == e {
 				continue
 			}
+			gi := int32(i) + rowOff
 			m := math.Inf(-1)
 			for p := b; p < e; p++ {
-				v := f(int32(i), pat.Col[p])
+				v := f(gi, pat.Col[p])
+				if weights != nil {
+					v *= weights[p]
+				}
 				vals[p] = v
 				if v > m {
 					m = v
@@ -119,7 +151,6 @@ func FusedSoftmaxScores(pat *sparse.CSR, f ScoreFunc) *sparse.CSR {
 			}
 		}
 	})
-	return pat.WithValues(vals)
 }
 
 // FusedSoftmaxApply computes Z = sm(A ⊙ scores)·X without materializing the

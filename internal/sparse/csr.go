@@ -140,6 +140,42 @@ func (s *CSR) Transpose() *CSR {
 	return out
 }
 
+// TransposePerm returns the value permutation of Transpose: entry p of s
+// lands at position perm[p] of Sᵀ's value array. Computing the permutation
+// once lets callers re-transpose a same-pattern matrix's values into a
+// pre-allocated buffer with PermuteVals — the compiled plans use this to
+// run Ψᵀ·G products every step without rebuilding the transpose.
+func (s *CSR) TransposePerm() []int64 {
+	rowPtr := make([]int64, s.Cols+1)
+	for _, j := range s.Col {
+		rowPtr[j+1]++
+	}
+	for i := 0; i < s.Cols; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	perm := make([]int64, s.NNZ())
+	next := rowPtr[:s.Cols]
+	for i := 0; i < s.Rows; i++ {
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			j := s.Col[p]
+			perm[p] = next[j]
+			next[j]++
+		}
+	}
+	return perm
+}
+
+// PermuteVals scatters src through perm into dst: dst[perm[p]] = src[p].
+// With perm = TransposePerm, dst becomes the transposed value array.
+func PermuteVals(dst, src []float64, perm []int64) {
+	if len(dst) != len(src) || len(perm) != len(src) {
+		panic("sparse: PermuteVals length mismatch")
+	}
+	for p, v := range src {
+		dst[perm[p]] = v
+	}
+}
+
 // IsSymmetricPattern reports whether the sparsity pattern equals that of the
 // transpose (the usual case for the undirected graphs that dominate GNN
 // workloads; cf. Section 5.2).

@@ -18,8 +18,18 @@ import (
 // exponentiation, which is algebraically identical to the paper's
 // formulation (the factor exp(-max) cancels).
 func RowSoftmax(s *CSR) *CSR {
-	defer obs.Start("row_softmax").End()
 	vals := make([]float64, s.NNZ())
+	RowSoftmaxInto(vals, s)
+	return s.WithValues(vals)
+}
+
+// RowSoftmaxInto computes the row softmax of s's values into a
+// pre-allocated value buffer (same pattern as s).
+func RowSoftmaxInto(vals []float64, s *CSR) {
+	defer obs.Start("row_softmax").End()
+	if len(vals) != s.NNZ() {
+		panic("sparse: RowSoftmaxInto value length mismatch")
+	}
 	par.RangeWeighted(s.Rows, func(i int) int64 { return int64(s.RowNNZ(i)) }, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			b, e := s.RowPtr[i], s.RowPtr[i+1]
@@ -44,7 +54,6 @@ func RowSoftmax(s *CSR) *CSR {
 			}
 		}
 	})
-	return s.WithValues(vals)
 }
 
 // RowSoftmaxBackward computes the vector-Jacobian product of RowSoftmax:
@@ -57,11 +66,21 @@ func RowSoftmax(s *CSR) *CSR {
 // pattern. This is the Γ sub-expression shared by the AGNN and GAT backward
 // passes.
 func RowSoftmaxBackward(p, g *CSR) *CSR {
+	vals := make([]float64, p.NNZ())
+	RowSoftmaxBackwardInto(vals, p, g)
+	return p.WithValues(vals)
+}
+
+// RowSoftmaxBackwardInto computes the softmax VJP into a pre-allocated
+// value buffer (same pattern as p).
+func RowSoftmaxBackwardInto(vals []float64, p, g *CSR) {
 	if !p.SamePattern(g) {
 		panic("sparse: RowSoftmaxBackward pattern mismatch")
 	}
 	defer obs.Start("row_softmax_bwd").End()
-	vals := make([]float64, p.NNZ())
+	if len(vals) != p.NNZ() {
+		panic("sparse: RowSoftmaxBackwardInto value length mismatch")
+	}
 	par.RangeWeighted(p.Rows, func(i int) int64 { return int64(p.RowNNZ(i)) }, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			b, e := p.RowPtr[i], p.RowPtr[i+1]
@@ -74,7 +93,6 @@ func RowSoftmaxBackward(p, g *CSR) *CSR {
 			}
 		}
 	})
-	return p.WithValues(vals)
 }
 
 // RowSoftmaxUnstable is the literal transcription of the paper's global

@@ -1,0 +1,90 @@
+package tensor
+
+import "fmt"
+
+// Arena is a shape-keyed buffer pool: the workspace substrate of the
+// compiled execution plans (internal/fuse). A plan acquires every
+// intermediate it needs once, at compile time, and reuses the buffers on
+// every subsequent step, so steady-state training does no per-step
+// allocations on the hot path. Buffers released back to the arena are
+// recycled for later acquisitions of the same shape, which lets
+// non-overlapping intermediates share storage.
+//
+// An Arena is not safe for concurrent use; plans acquire at compile time
+// and execute single-threaded op lists (the kernels themselves parallelize
+// internally).
+type Arena struct {
+	freeDense  map[[2]int][]*Dense
+	freeFloats map[int][][]float64
+
+	denseOut  int // dense buffers handed out and not released
+	floatsOut int
+	words     int64 // total float64 words ever allocated by this arena
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena {
+	return &Arena{
+		freeDense:  make(map[[2]int][]*Dense),
+		freeFloats: make(map[int][][]float64),
+	}
+}
+
+// AcquireDense returns a zeroed r×c matrix, recycling a released buffer of
+// the same shape when one is available.
+func (a *Arena) AcquireDense(r, c int) *Dense {
+	a.denseOut++
+	key := [2]int{r, c}
+	if l := a.freeDense[key]; len(l) > 0 {
+		m := l[len(l)-1]
+		a.freeDense[key] = l[:len(l)-1]
+		return m.Zero()
+	}
+	a.words += int64(r) * int64(c)
+	return NewDense(r, c)
+}
+
+// ReleaseDense returns m to the shape-keyed free list for reuse.
+func (a *Arena) ReleaseDense(m *Dense) {
+	if m == nil {
+		return
+	}
+	a.denseOut--
+	key := [2]int{m.Rows, m.Cols}
+	a.freeDense[key] = append(a.freeDense[key], m)
+}
+
+// AcquireFloats returns a zeroed length-n slice, recycling when possible.
+func (a *Arena) AcquireFloats(n int) []float64 {
+	a.floatsOut++
+	if l := a.freeFloats[n]; len(l) > 0 {
+		s := l[len(l)-1]
+		a.freeFloats[n] = l[:len(l)-1]
+		for i := range s {
+			s[i] = 0
+		}
+		return s
+	}
+	a.words += int64(n)
+	return make([]float64, n)
+}
+
+// ReleaseFloats returns s to the free list for reuse.
+func (a *Arena) ReleaseFloats(s []float64) {
+	if s == nil {
+		return
+	}
+	a.floatsOut--
+	a.freeFloats[len(s)] = append(a.freeFloats[len(s)], s)
+}
+
+// Bytes returns the total workspace footprint allocated through the arena.
+func (a *Arena) Bytes() int64 { return a.words * 8 }
+
+// Live returns the number of buffers currently held by acquirers.
+func (a *Arena) Live() int { return a.denseOut + a.floatsOut }
+
+// String summarizes the arena for workspace reports.
+func (a *Arena) String() string {
+	return fmt.Sprintf("arena{%d live buffers, %d KiB}", a.Live(), a.Bytes()/1024)
+}

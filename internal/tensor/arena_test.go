@@ -1,0 +1,54 @@
+package tensor
+
+import "testing"
+
+func TestArenaRecyclesByShape(t *testing.T) {
+	a := NewArena()
+	m := a.AcquireDense(4, 3)
+	m.Fill(7)
+	a.ReleaseDense(m)
+	m2 := a.AcquireDense(4, 3)
+	if m2 != m {
+		t.Fatal("same-shape acquire did not recycle the released buffer")
+	}
+	for _, v := range m2.Data {
+		if v != 0 {
+			t.Fatal("recycled buffer not zeroed")
+		}
+	}
+	if m3 := a.AcquireDense(3, 4); m3 == m {
+		t.Fatal("different shape must not recycle")
+	}
+	if a.Bytes() != (4*3+3*4)*8 {
+		t.Fatalf("Bytes = %d", a.Bytes())
+	}
+}
+
+func TestArenaFloats(t *testing.T) {
+	a := NewArena()
+	s := a.AcquireFloats(10)
+	s[0] = 1
+	a.ReleaseFloats(s)
+	s2 := a.AcquireFloats(10)
+	if &s2[0] != &s[0] {
+		t.Fatal("floats not recycled")
+	}
+	if s2[0] != 0 {
+		t.Fatal("recycled floats not zeroed")
+	}
+	if a.Live() != 1 {
+		t.Fatalf("Live = %d", a.Live())
+	}
+}
+
+func TestArenaSteadyStateDoesNotAllocate(t *testing.T) {
+	a := NewArena()
+	a.ReleaseDense(a.AcquireDense(8, 8))
+	allocs := testing.AllocsPerRun(100, func() {
+		m := a.AcquireDense(8, 8)
+		a.ReleaseDense(m)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state acquire/release allocated %v times", allocs)
+	}
+}

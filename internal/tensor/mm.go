@@ -111,6 +111,135 @@ func TMM(a, b *Dense) *Dense {
 	return out
 }
 
+// MMTAccumulate computes out += A·Bᵀ without materializing the transpose
+// and without allocating; rows of out are owned by workers, so no partial
+// buffers are needed.
+func MMTAccumulate(out, a, b *Dense) {
+	if a.Cols != b.Cols || out.Rows != a.Rows || out.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MMTAccumulate shape mismatch out %d×%d += %d×%d · (%d×%d)ᵀ",
+			out.Rows, out.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	n, k, m := a.Rows, a.Cols, b.Rows
+	par.Range(n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*m : (i+1)*m]
+			for j := 0; j < m; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				s := 0.0
+				for t, av := range arow {
+					s += av * brow[t]
+				}
+				orow[j] += s
+			}
+		}
+	})
+}
+
+// TMMScratch holds the per-worker partial accumulators TMMAccumulate needs
+// to parallelize over rows without races. The buffers are kept zeroed
+// between calls, so a scratch that has warmed up to the current worker
+// count makes TMMAccumulate allocation-free — the property the compiled
+// plans rely on.
+type TMMScratch struct {
+	partials []*Dense
+}
+
+// ensure grows the scratch to the current worker count (plus one: the
+// weighted scheduler may emit one extra chunk) and the requested shape.
+func (s *TMMScratch) ensure(k, m int) []*Dense {
+	need := par.Workers() + 1
+	if len(s.partials) < need {
+		grown := make([]*Dense, need)
+		copy(grown, s.partials)
+		s.partials = grown
+	}
+	for i, p := range s.partials {
+		if p != nil && (p.Rows != k || p.Cols != m) {
+			s.partials[i] = nil
+		}
+	}
+	return s.partials
+}
+
+// TMMAccumulate computes out += Aᵀ·B without materializing the transpose,
+// accumulating per-worker partials from scratch (allocated lazily on first
+// use and when the worker count grows). Pass nil scratch for one-shot use.
+func TMMAccumulate(out, a, b *Dense, scratch *TMMScratch) {
+	if a.Rows != b.Rows || out.Rows != a.Cols || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: TMMAccumulate shape mismatch out %d×%d += (%d×%d)ᵀ · %d×%d",
+			out.Rows, out.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if scratch == nil {
+		scratch = &TMMScratch{}
+	}
+	n, k, m := a.Rows, a.Cols, b.Cols
+	partials := scratch.ensure(k, m)
+	par.Range(n, func(worker, lo, hi int) {
+		acc := partials[worker]
+		if acc == nil {
+			acc = NewDense(k, m)
+			partials[worker] = acc
+		}
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			brow := b.Data[i*m : (i+1)*m]
+			for t, av := range arow {
+				if av == 0 {
+					continue
+				}
+				crow := acc.Data[t*m : (t+1)*m]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	})
+	// Fold the partials in and re-zero them, restoring the invariant that
+	// scratch buffers are zero between calls.
+	for _, p := range partials {
+		if p != nil {
+			out.AddInPlace(p)
+			p.Zero()
+		}
+	}
+}
+
+// MatVecInto computes out = A·x into a pre-allocated slice.
+func MatVecInto(out []float64, a *Dense, x []float64) {
+	if len(x) != a.Cols || len(out) != a.Rows {
+		panic(fmt.Sprintf("tensor: MatVecInto dimension mismatch %d = %d×%d · %d", len(out), a.Rows, a.Cols, len(x)))
+	}
+	par.Range(a.Rows, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := a.Data[i*a.Cols : (i+1)*a.Cols]
+			s := 0.0
+			for t, v := range row {
+				s += v * x[t]
+			}
+			out[i] = s
+		}
+	})
+}
+
+// VecMatAccumulate computes out += xᵀ·A serially (the output is a short
+// k-vector; the backward passes that use it are dominated by their sparse
+// products).
+func VecMatAccumulate(out, x []float64, a *Dense) {
+	if len(x) != a.Rows || len(out) != a.Cols {
+		panic(fmt.Sprintf("tensor: VecMatAccumulate dimension mismatch %d += %d · %d×%d", len(out), len(x), a.Rows, a.Cols))
+	}
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for j, v := range row {
+			out[j] += xv * v
+		}
+	}
+}
+
 // MatVec returns A·x for a column vector x (len(x) == A.Cols).
 func MatVec(a *Dense, x []float64) []float64 {
 	if len(x) != a.Cols {
