@@ -47,6 +47,7 @@ func main() {
 	flag.IntVar(&s.BatchSize, "batch", 16384, "mini-batch seed count (engine=minibatch)")
 	flag.Int64Var(&s.Seed, "s", 0, "random number generator seed")
 	flag.StringVar(&csvPath, "csv", "", "append the result row to this CSV file")
+	jsonPath := flag.String("json", "", "write the result + metrics snapshot as a BENCH_*.json baseline here")
 	planOnly := flag.Bool("plan", false, "print the cost-model execution plan and exit (no benchmark)")
 	var o obs.CLI
 	o.Register(flag.CommandLine)
@@ -94,13 +95,21 @@ func main() {
 	if res.Ranks > 1 {
 		fmt.Printf("comm: max per-rank %d bytes, %d msgs per execution (α-β model: %.6fs)\n",
 			res.CommBytesMax, res.CommMsgsMax, res.NetModelSec)
-		fmt.Printf("theory: predicted %.0f words per rank per execution\n", res.PredictedWords)
+		fmt.Printf("theory: predicted %.0f words per rank per execution (measured/predicted %.2f)\n",
+			res.PredictedWords, res.CommRatio)
 	}
 	if csvPath != "" {
 		if err := appendCSV(csvPath, res); err != nil {
 			fmt.Fprintln(os.Stderr, "agnn-bench:", err)
 			os.Exit(1)
 		}
+	}
+	if *jsonPath != "" {
+		if err := benchutil.WriteRecordFile(*jsonPath, benchutil.NewRecord(res)); err != nil {
+			fmt.Fprintln(os.Stderr, "agnn-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 }
 

@@ -18,6 +18,7 @@ package main
 import (
 	"encoding/csv"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	"agnn/internal/obs"
+	"agnn/internal/obs/metrics"
 )
 
 type row struct {
@@ -46,7 +48,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "agnn-report: %s: %v\n", path, err)
 				os.Exit(1)
 			}
-			reportMetrics(path, rep)
+			reportMetrics(os.Stdout, path, rep)
 			continue
 		}
 		rows, err := readCSV(path)
@@ -59,18 +61,19 @@ func main() {
 }
 
 // reportMetrics renders an obs run-report (agnn-train/agnn-bench -metrics)
-// as markdown: the per-span-name time table, then per-rank communication
-// totals for distributed runs.
-func reportMetrics(path string, rep *obs.Report) {
-	fmt.Printf("\n## %s\n\n", path)
-	fmt.Println("| span | calls | total | mean | max | bytes | msgs |")
-	fmt.Println("|---|---|---|---|---|---|---|")
+// as markdown: the per-span-name time table, per-rank communication totals
+// for distributed runs, then the live-registry section (latency quantiles,
+// per-rank counters, cost-model validation).
+func reportMetrics(w io.Writer, path string, rep *obs.Report) {
+	fmt.Fprintf(w, "\n## %s\n\n", path)
+	fmt.Fprintln(w, "| span | calls | total | mean | max | bytes | msgs |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|---|")
 	for _, s := range rep.Spans {
 		mean := time.Duration(0)
 		if s.Count > 0 {
 			mean = time.Duration(s.TotalNs / s.Count)
 		}
-		fmt.Printf("| %s | %d | %s | %s | %s | %s | %s |\n",
+		fmt.Fprintf(w, "| %s | %d | %s | %s | %s | %s | %s |\n",
 			s.Name, s.Count,
 			time.Duration(s.TotalNs).Round(time.Microsecond),
 			mean.Round(time.Microsecond),
@@ -83,15 +86,71 @@ func reportMetrics(path string, rep *obs.Report) {
 			ranks = append(ranks, ts)
 		}
 	}
-	if len(ranks) == 0 {
-		return
+	if len(ranks) > 0 {
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "| rank | spans | open | bytes | msgs |")
+		fmt.Fprintln(w, "|---|---|---|---|---|")
+		for _, ts := range ranks {
+			fmt.Fprintf(w, "| %s | %d | %d | %s | %s |\n", ts.Track, ts.Spans, ts.Open,
+				attrCell(ts.Attrs, "bytes"), attrCell(ts.Attrs, "msgs"))
+		}
 	}
-	fmt.Println()
-	fmt.Println("| rank | spans | bytes | msgs |")
-	fmt.Println("|---|---|---|---|")
-	for _, ts := range ranks {
-		fmt.Printf("| %s | %d | %s | %s |\n", ts.Track, ts.Spans,
-			attrCell(ts.Attrs, "bytes"), attrCell(ts.Attrs, "msgs"))
+	if rep.Metrics != nil {
+		renderMetricsSnapshot(w, rep.Metrics)
+	}
+}
+
+// renderMetricsSnapshot renders the registry section: one quantile row per
+// non-empty histogram series, the per-rank communication counter table, and
+// the Section 7 predicted-vs-measured word-count comparison.
+func renderMetricsSnapshot(w io.Writer, snap *metrics.Snapshot) {
+	var hists []metrics.HistogramSnap
+	for _, h := range snap.Histograms {
+		if h.Count > 0 {
+			hists = append(hists, h)
+		}
+	}
+	if len(hists) > 0 {
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "### histogram quantiles")
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "| histogram | count | p50 | p90 | p99 | sum |")
+		fmt.Fprintln(w, "|---|---|---|---|---|---|")
+		for _, h := range hists {
+			name := h.Name
+			if h.LabelValue != "" {
+				name = fmt.Sprintf("%s{%s=%s}", h.Name, h.Label, h.LabelValue)
+			}
+			fmt.Fprintf(w, "| %s | %d | %.3g | %.3g | %.3g | %.4g |\n",
+				name, h.Count, h.P50, h.P90, h.P99, h.Sum)
+		}
+	}
+	bytesByRank := snap.CounterFamily("agnn_comm_bytes_total")
+	if len(bytesByRank) > 0 {
+		msgs := snap.CounterFamily("agnn_comm_msgs_total")
+		rounds := snap.CounterFamily("agnn_comm_rounds_total")
+		var rankIDs []string
+		for r := range bytesByRank {
+			rankIDs = append(rankIDs, r)
+		}
+		sort.Slice(rankIDs, func(a, b int) bool { return atoi(rankIDs[a]) < atoi(rankIDs[b]) })
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "### per-rank communication (registry)")
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "| rank | bytes | msgs | rounds |")
+		fmt.Fprintln(w, "|---|---|---|---|")
+		for _, r := range rankIDs {
+			fmt.Fprintf(w, "| %s | %d | %d | %d |\n", r, bytesByRank[r], msgs[r], rounds[r])
+		}
+	}
+	pred, okP := snap.Gauge("agnn_comm_predicted_words", "")
+	meas, okM := snap.Gauge("agnn_comm_measured_words", "")
+	if okP && okM && pred > 0 {
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "### cost-model validation")
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "predicted %.0f words/rank, measured %.0f — ratio %.2f\n",
+			pred, meas, meas/pred)
 	}
 }
 

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"agnn/internal/obs"
+	"agnn/internal/obs/metrics"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// deterministicReport builds a fixed run-report with every section the
+// renderer knows: spans, rank tracks with an open span, histogram
+// quantiles, per-rank registry counters, and the cost-model gauges.
+func deterministicReport() *obs.Report {
+	return &obs.Report{
+		Spans: []obs.SpanStat{
+			{Name: "allreduce", Count: 4, TotalNs: 8_000_000, MaxNs: 3_000_000,
+				Attrs: map[string]int64{"bytes": 4096, "msgs": 8}},
+			{Name: "spmm", Count: 2, TotalNs: 2_000_000, MaxNs: 1_500_000},
+		},
+		Tracks: []obs.TrackStat{
+			{Track: "main", Spans: 1},
+			{Track: "rank 0", Spans: 3, Open: 1, Attrs: map[string]int64{"bytes": 2048, "msgs": 4}},
+			{Track: "rank 1", Spans: 3, Attrs: map[string]int64{"bytes": 2048, "msgs": 4}},
+		},
+		Metrics: &metrics.Snapshot{
+			Counters: []metrics.CounterSnap{
+				{Name: "agnn_comm_bytes_total", Label: "rank", LabelValue: "0", Value: 2048},
+				{Name: "agnn_comm_bytes_total", Label: "rank", LabelValue: "1", Value: 2048},
+				{Name: "agnn_comm_msgs_total", Label: "rank", LabelValue: "0", Value: 4},
+				{Name: "agnn_comm_msgs_total", Label: "rank", LabelValue: "1", Value: 4},
+				{Name: "agnn_comm_rounds_total", Label: "rank", LabelValue: "0", Value: 2},
+				{Name: "agnn_comm_rounds_total", Label: "rank", LabelValue: "1", Value: 2},
+			},
+			Gauges: []metrics.GaugeSnap{
+				{Name: "agnn_comm_measured_words", Value: 256},
+				{Name: "agnn_comm_predicted_words", Value: 512},
+			},
+			Histograms: []metrics.HistogramSnap{
+				{Name: "agnn_plan_op_seconds", Label: "op", LabelValue: "spmm",
+					Count: 100, Sum: 0.25, P50: 0.002, P90: 0.004, P99: 0.0075},
+				{Name: "agnn_plan_op_seconds", Label: "op", LabelValue: "mm",
+					Count: 0}, // empty series must be skipped
+				{Name: "agnn_epoch_seconds",
+					Count: 10, Sum: 1.5, P50: 0.14, P90: 0.18, P99: 0.2},
+			},
+		},
+	}
+}
+
+func TestReportMetricsGolden(t *testing.T) {
+	var buf bytes.Buffer
+	reportMetrics(&buf, "run.json", deterministicReport())
+	golden := filepath.Join("testdata", "report_golden.md")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("report drifted from golden file:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestReportMetricsNoRegistry(t *testing.T) {
+	// Reports written before the metrics section existed (Metrics == nil)
+	// must still render the span tables without panicking.
+	rep := deterministicReport()
+	rep.Metrics = nil
+	var buf bytes.Buffer
+	reportMetrics(&buf, "old.json", rep)
+	if !bytes.Contains(buf.Bytes(), []byte("| allreduce | 4 |")) {
+		t.Fatalf("span table missing:\n%s", buf.Bytes())
+	}
+	if bytes.Contains(buf.Bytes(), []byte("histogram quantiles")) {
+		t.Fatalf("metrics section rendered without a snapshot:\n%s", buf.Bytes())
+	}
+}

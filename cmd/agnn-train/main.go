@@ -22,10 +22,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"agnn/internal/gnn"
 	"agnn/internal/graph"
 	"agnn/internal/obs"
+	"agnn/internal/obs/metrics"
 )
 
 func main() {
@@ -84,10 +86,20 @@ func main() {
 	loss := &gnn.CrossEntropyLoss{Labels: ds.Labels, Mask: ds.TrainMask}
 	testMask := ds.TestMask()
 	opt := gnn.NewAdam(*lr)
+	edges := float64(ds.Adj.NNZ())
 	for e := 1; e <= *epochs; e++ {
 		sp := obs.Start("epoch")
+		t0 := time.Now()
 		l := run.TrainStep(ds.Features, loss, opt)
+		dt := time.Since(t0).Seconds()
 		sp.End()
+		metrics.EpochSeconds.Observe(dt)
+		metrics.TrainEpoch.Set(float64(e))
+		metrics.TrainLoss.Set(l)
+		metrics.TrainGradNorm.Set(gnn.GradNorm(m.Params()))
+		if dt > 0 {
+			metrics.TrainEdgesPerSec.Set(edges / dt)
+		}
 		if e%10 == 0 || e == 1 || e == *epochs {
 			out := run.Forward(ds.Features, false)
 			fmt.Printf("epoch %3d  loss %.4f  train-acc %.3f  test-acc %.3f\n",

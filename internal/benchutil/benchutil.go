@@ -23,6 +23,7 @@ import (
 	"agnn/internal/graph"
 	"agnn/internal/local"
 	"agnn/internal/obs"
+	"agnn/internal/obs/metrics"
 	"agnn/internal/sparse"
 	"agnn/internal/tensor"
 )
@@ -99,6 +100,9 @@ type Result struct {
 	CommMsgsMax    int64   // max per-rank messages per execution
 	NetModelSec    float64 // α-β modeled network time per execution
 	PredictedWords float64 // costmodel prediction for this engine
+	MeasuredWords  float64 // max per-rank words per execution (CommBytesMax/8)
+	CommRatio      float64 // measured / predicted words (0 when p = 1)
+	PeakArenaBytes int64   // high-water mark of live workspace bytes
 }
 
 // BuildGraph materializes the Spec's dataset.
@@ -185,6 +189,11 @@ func RunSpec(s Spec) (Result, error) {
 		res.PredictedWords = float64(s.Layers) * costmodel.GlobalVolume(st.N, s.Features, s.Ranks)
 	default:
 		res.PredictedWords = float64(s.Layers) * costmodel.LocalVolume(st.N, s.Features, st.MaxDeg, s.Ranks)
+	}
+	res.PeakArenaBytes = int64(metrics.ArenaPeakBytes.Value())
+	if s.Ranks > 1 {
+		res.MeasuredWords = float64(maxBytes) / 8
+		res.CommRatio = costmodel.ValidateComm(res.PredictedWords, res.MeasuredWords).Ratio
 	}
 	return res, nil
 }

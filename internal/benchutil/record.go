@@ -1,0 +1,62 @@
+package benchutil
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+
+	"agnn/internal/obs/metrics"
+)
+
+// RecordSchema identifies the BENCH_*.json layout; bump on incompatible
+// changes so downstream comparison tooling can refuse mismatched baselines.
+const RecordSchema = "agnn-bench/v1"
+
+// Record is the BENCH_*.json baseline schema (docs/OBSERVABILITY.md): one
+// benchmark configuration, its measured result including the cost-model
+// comparison, and the end-of-run snapshot of the metrics registry — which
+// carries the per-op latency quantiles, per-rank communication counters and
+// workspace high-water marks the run accumulated.
+type Record struct {
+	Schema  string            `json:"schema"`
+	Result  Result            `json:"result"`
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
+}
+
+// NewRecord bundles a Result with the current Default-registry snapshot.
+func NewRecord(res Result) Record {
+	return Record{Schema: RecordSchema, Result: res, Metrics: metrics.Default.Snapshot()}
+}
+
+// WriteJSON writes the record as indented JSON.
+func (r Record) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteRecordFile writes the record to path.
+func WriteRecordFile(path string, r Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadRecordFile loads a BENCH_*.json baseline.
+func ReadRecordFile(path string) (Record, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Record{}, err
+	}
+	var r Record
+	if err := json.Unmarshal(b, &r); err != nil {
+		return Record{}, err
+	}
+	return r, nil
+}

@@ -1,0 +1,45 @@
+package benchutil
+
+import (
+	"testing"
+)
+
+// TestRecordRoundTrip runs a tiny distributed spec end to end, writes the
+// BENCH record, reads it back and checks the schema, the cost-model
+// comparison fields and that the registry snapshot made it into the file.
+func TestRecordRoundTrip(t *testing.T) {
+	res, err := RunSpec(Spec{
+		Model: "GCN", Dataset: "uniform", Vertices: 64, Edges: 512,
+		Features: 4, Layers: 1, Ranks: 4, Inference: true,
+		Repeat: 1, Warmup: 0, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeasuredWords <= 0 || res.CommRatio <= 0 {
+		t.Fatalf("distributed run must fill measured words and ratio: %+v", res)
+	}
+	path := t.TempDir() + "/BENCH_test.json"
+	if err := WriteRecordFile(path, NewRecord(res)); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ReadRecordFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Schema != RecordSchema {
+		t.Fatalf("schema = %q, want %q", rec.Schema, RecordSchema)
+	}
+	if rec.Result.MeasuredWords != res.MeasuredWords || rec.Result.CommRatio != res.CommRatio {
+		t.Fatalf("result drifted through JSON: %+v vs %+v", rec.Result, res)
+	}
+	if rec.Metrics == nil {
+		t.Fatal("record is missing the metrics snapshot")
+	}
+	if _, ok := rec.Metrics.Counter("agnn_comm_bytes_total", "0"); !ok {
+		t.Fatal("snapshot is missing rank 0's comm byte counter")
+	}
+	if g, ok := rec.Metrics.Gauge("agnn_comm_measured_words", ""); !ok || g != res.MeasuredWords {
+		t.Fatalf("measured-words gauge %v (ok=%v), want %v", g, ok, res.MeasuredWords)
+	}
+}

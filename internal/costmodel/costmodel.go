@@ -9,7 +9,11 @@
 // per GNN layer.
 package costmodel
 
-import "math"
+import (
+	"math"
+
+	"agnn/internal/obs/metrics"
+)
 
 // GlobalVolume returns the Section 7.1 bound for one layer of the global
 // formulation: O(nk/√p + k²) words per processor. The constant in front of
@@ -92,6 +96,36 @@ func Predict(n, k, d, p, layers int) Prediction {
 		GlobalWords: float64(layers) * GlobalVolume(n, k, p),
 		LocalWords:  float64(layers) * LocalVolume(n, k, d, p),
 	}
+}
+
+// Validation is the outcome of comparing an analytic communication
+// prediction against the counters the simulated runtime measured — the
+// closed loop between the Section 7 bounds and the Section 6 runtime.
+type Validation struct {
+	PredictedWords float64 `json:"predicted_words"`
+	MeasuredWords  float64 `json:"measured_words"`
+	Ratio          float64 `json:"ratio"` // measured / predicted; 0 when nothing was predicted
+}
+
+// Within reports whether the measurement is within factor f of the
+// prediction in either direction.
+func (v Validation) Within(f float64) bool {
+	return WithinFactor(v.MeasuredWords, v.PredictedWords, f)
+}
+
+// ValidateComm compares a predicted max per-rank word count against the
+// measured one and publishes both sides to the live metrics registry
+// (agnn_comm_predicted_words / agnn_comm_measured_words), so the /metrics
+// endpoint, run reports and BENCH_*.json records all carry the
+// model-vs-measurement ratio.
+func ValidateComm(predictedWords, measuredWords float64) Validation {
+	metrics.CommPredictedWords.Set(predictedWords)
+	metrics.CommMeasuredWords.Set(measuredWords)
+	v := Validation{PredictedWords: predictedWords, MeasuredWords: measuredWords}
+	if predictedWords > 0 {
+		v.Ratio = measuredWords / predictedWords
+	}
+	return v
 }
 
 // WithinFactor reports whether measured is within factor f of predicted

@@ -9,6 +9,7 @@ import (
 	"agnn/internal/distgnn"
 	"agnn/internal/gnn"
 	"agnn/internal/graph"
+	"agnn/internal/obs/metrics"
 	"agnn/internal/tensor"
 )
 
@@ -181,5 +182,70 @@ func TestERLocalVolumeAndHelpers(t *testing.T) {
 	}
 	if pr.Layers != 3 || pr.N != 1000 {
 		t.Fatal("Predict metadata wrong")
+	}
+}
+
+// TestRegistryMeasuredCommTracksModelKronecker is the live-registry
+// counterpart of TestMeasuredGlobalVolumeTracksModel: on a Graph500-style
+// Kronecker graph at p=16, the per-rank word counts accumulated in the
+// metrics registry (agnn_comm_bytes_total{rank}) must agree with the
+// Section 7.1 prediction within 2×, and ValidateComm must publish both
+// sides to the registry gauges.
+func TestRegistryMeasuredCommTracksModelKronecker(t *testing.T) {
+	const (
+		scale  = 7 // n = 128 vertices
+		k      = 8
+		layers = 2
+		p      = 16
+	)
+	a := graph.Kronecker(scale, 8, 42)
+	n := a.Rows
+	h := tensor.NewDense(n, k)
+	for i := range h.Data {
+		h.Data[i] = math.Sin(float64(i) * 0.37)
+	}
+	cfg := gnn.Config{Model: gnn.GCN, Layers: layers, InDim: k, HiddenDim: k,
+		OutDim: k, Activation: gnn.Tanh(), Seed: 7}
+
+	// The Default registry is cumulative across the test binary, so measure
+	// this run as a delta between snapshots.
+	before := metrics.Default.Snapshot().CounterFamily("agnn_comm_bytes_total")
+	dist.Run(p, func(c *dist.Comm) {
+		e, err := distgnn.NewGlobalEngine(c, a, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		e.Forward(e.SliceOwnedBlock(h), false)
+	})
+	after := metrics.Default.Snapshot().CounterFamily("agnn_comm_bytes_total")
+
+	var maxWords float64
+	ranks := 0
+	for rank, bytes := range after {
+		if d := bytes - before[rank]; d > 0 {
+			ranks++
+			if w := float64(d) / 8; w > maxWords {
+				maxWords = w
+			}
+		}
+	}
+	if ranks != p {
+		t.Fatalf("registry saw traffic from %d ranks, want %d", ranks, p)
+	}
+
+	predicted := float64(layers) * GlobalVolume(n, k, p)
+	v := ValidateComm(predicted, maxWords)
+	t.Logf("kronecker n=%d k=%d p=%d: predicted %.0f words, measured %.0f (ratio %.2f)",
+		n, k, p, predicted, maxWords, v.Ratio)
+	if !v.Within(2) {
+		t.Fatalf("measured %v words vs predicted %v: ratio %.2f exceeds 2×",
+			maxWords, predicted, v.Ratio)
+	}
+	if got := metrics.CommPredictedWords.Value(); got != predicted {
+		t.Fatalf("predicted gauge = %v, want %v", got, predicted)
+	}
+	if got := metrics.CommMeasuredWords.Value(); got != maxWords {
+		t.Fatalf("measured gauge = %v, want %v", got, maxWords)
 	}
 }

@@ -26,7 +26,7 @@ func chunkBounds(n, g int) []int {
 // circulation proves every rank has entered, the second releases them.
 func (c *Comm) Barrier() {
 	sp, c0 := c.beginCollective("barrier")
-	defer c.endCollective(sp, c0)
+	defer c.endCollective("barrier", sp, c0)
 	g := c.Size()
 	if g == 1 {
 		return
@@ -52,7 +52,7 @@ func (c *Comm) Barrier() {
 // followed by a ring allgather: root sends ≈n words, everyone else ≈n.
 func (c *Comm) Bcast(data []float64, root int) []float64 {
 	sp, c0 := c.beginCollective("bcast")
-	defer c.endCollective(sp, c0)
+	defer c.endCollective("bcast", sp, c0)
 	g := c.Size()
 	if g == 1 {
 		return data
@@ -111,7 +111,7 @@ func (c *Comm) ringAllgather(out []float64, bounds []int) {
 // group-rank order and returns the full concatenation.
 func (c *Comm) Allgather(data []float64) []float64 {
 	sp, c0 := c.beginCollective("allgather")
-	defer c.endCollective(sp, c0)
+	defer c.endCollective("allgather", sp, c0)
 	g := c.Size()
 	if g == 1 {
 		cp := make([]float64, len(data))
@@ -170,7 +170,7 @@ func (c *Comm) ReduceScatter(data []float64) []float64 {
 // ReduceScatterOp is ReduceScatter with an arbitrary reduction operator.
 func (c *Comm) ReduceScatterOp(data []float64, op ReduceOp) []float64 {
 	sp, c0 := c.beginCollective("reduce_scatter")
-	defer c.endCollective(sp, c0)
+	defer c.endCollective("reduce_scatter", sp, c0)
 	g := c.Size()
 	bounds := chunkBounds(len(data), g)
 	if g == 1 {
@@ -207,7 +207,7 @@ func (c *Comm) Allreduce(data []float64) []float64 {
 // AllreduceOp is Allreduce with an arbitrary reduction operator.
 func (c *Comm) AllreduceOp(data []float64, op ReduceOp) []float64 {
 	sp, c0 := c.beginCollective("allreduce")
-	defer c.endCollective(sp, c0)
+	defer c.endCollective("allreduce", sp, c0)
 	g := c.Size()
 	if g == 1 {
 		cp := make([]float64, len(data))
@@ -227,7 +227,7 @@ func (c *Comm) AllreduceOp(data []float64, op ReduceOp) []float64 {
 // Non-root ranks return nil.
 func (c *Comm) Reduce(data []float64, root int) []float64 {
 	sp, c0 := c.beginCollective("reduce")
-	defer c.endCollective(sp, c0)
+	defer c.endCollective("reduce", sp, c0)
 	g := c.Size()
 	if g == 1 {
 		cp := make([]float64, len(data))
@@ -257,7 +257,7 @@ func (c *Comm) Reduce(data []float64, root int) []float64 {
 // non-root ranks return nil.
 func (c *Comm) Gatherv(data []float64, root int) [][]float64 {
 	sp, c0 := c.beginCollective("gatherv")
-	defer c.endCollective(sp, c0)
+	defer c.endCollective("gatherv", sp, c0)
 	g := c.Size()
 	if g == 1 {
 		cp := make([]float64, len(data))
@@ -285,7 +285,7 @@ func (c *Comm) Gatherv(data []float64, root int) [][]float64 {
 // local chunk. Non-root callers pass nil.
 func (c *Comm) Scatterv(chunks [][]float64, root int) []float64 {
 	sp, c0 := c.beginCollective("scatterv")
-	defer c.endCollective(sp, c0)
+	defer c.endCollective("scatterv", sp, c0)
 	g := c.Size()
 	if g == 1 {
 		cp := make([]float64, len(chunks[0]))
@@ -310,7 +310,7 @@ func (c *Comm) Scatterv(chunks [][]float64, root int) []float64 {
 // from every rank (in group-rank order).
 func (c *Comm) Alltoallv(out [][]float64) [][]float64 {
 	sp, c0 := c.beginCollective("alltoallv")
-	defer c.endCollective(sp, c0)
+	defer c.endCollective("alltoallv", sp, c0)
 	g := c.Size()
 	in := make([][]float64, g)
 	if g == 1 {

@@ -13,9 +13,12 @@ package dist
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"agnn/internal/obs"
+	"agnn/internal/obs/metrics"
 )
 
 // message is one point-to-point transfer. Data is copied on send so ranks
@@ -63,6 +66,11 @@ type World struct {
 	counters []Counters
 	mu       []sync.Mutex // protects counters[i] against torn reads in MaxCounters
 
+	// Live-registry instruments, resolved once per rank at construction so
+	// the per-message fast path is two atomic adds.
+	mBytes, mMsgs, mRounds []*metrics.Counter
+	totalBytes             atomic.Int64 // world-wide cumulative, for the trace timeline
+
 	tracer *obs.Tracer  // nil when tracing is off
 	tracks []*obs.Track // one per rank when tracing
 }
@@ -79,11 +87,18 @@ func NewWorld(p int) *World {
 	}
 	w := &World{P: p, counters: make([]Counters, p), mu: make([]sync.Mutex, p)}
 	w.mailbox = make([][]chan message, p)
+	w.mBytes = make([]*metrics.Counter, p)
+	w.mMsgs = make([]*metrics.Counter, p)
+	w.mRounds = make([]*metrics.Counter, p)
 	for to := 0; to < p; to++ {
 		w.mailbox[to] = make([]chan message, p)
 		for from := 0; from < p; from++ {
 			w.mailbox[to][from] = make(chan message, mailboxCap)
 		}
+		r := strconv.Itoa(to)
+		w.mBytes[to] = metrics.CommBytesTotal.With(r)
+		w.mMsgs[to] = metrics.CommMsgsTotal.With(r)
+		w.mRounds[to] = metrics.CommRoundsTotal.With(r)
 	}
 	return w
 }
@@ -224,10 +239,14 @@ func (c *Comm) Group(local []int) *Comm {
 func (c *Comm) Send(to int, data []float64) {
 	cp := make([]float64, len(data))
 	copy(cp, data)
+	bytes := int64(8 * len(data))
 	c.w.mu[c.global].Lock()
-	c.w.counters[c.global].BytesSent += int64(8 * len(data))
+	c.w.counters[c.global].BytesSent += bytes
 	c.w.counters[c.global].MsgsSent++
 	c.w.mu[c.global].Unlock()
+	c.w.mBytes[c.global].Add(bytes)
+	c.w.mMsgs[c.global].Inc()
+	c.w.totalBytes.Add(bytes)
 	c.w.mailbox[c.group[to]][c.global] <- message{data: cp}
 }
 
@@ -242,6 +261,7 @@ func (c *Comm) round() {
 	c.w.mu[c.global].Lock()
 	c.w.counters[c.global].Rounds++
 	c.w.mu[c.global].Unlock()
+	c.w.mRounds[c.global].Inc()
 }
 
 // StartSpan begins a span on this rank's trace track. It is a no-op (one
@@ -258,22 +278,30 @@ func (c *Comm) snapshot() Counters {
 }
 
 // beginCollective opens a span for a collective and snapshots the counters
-// so endCollective can attach the bytes/messages moved by this call.
+// so endCollective can attach the bytes/messages moved by this call. The
+// snapshot is taken even with tracing off: the per-call byte delta feeds
+// the live per-collective histogram in the metrics registry.
 func (c *Comm) beginCollective(name string) (obs.Span, Counters) {
-	if c.track == nil {
-		return obs.Span{}, Counters{}
+	var sp obs.Span
+	if c.track != nil {
+		sp = c.track.Start(name)
 	}
-	return c.track.Start(name), c.snapshot()
+	return sp, c.snapshot()
 }
 
-// endCollective completes a collective span, attaching the per-call byte
-// and message deltas as span attributes (the quantities the Section 7 BSP
-// analysis bounds, now visible per superstep in the trace).
-func (c *Comm) endCollective(sp obs.Span, before Counters) {
-	if !sp.Active() {
-		return
-	}
+// endCollective completes one collective call: it records the per-call
+// byte delta into the collective's latency-style histogram (the "words per
+// rank per superstep" distribution the Section 7 BSP analysis bounds),
+// samples the world-wide cumulative byte count onto the trace's "comm
+// bytes" counter timeline, and — when tracing — attaches the byte and
+// message deltas as span attributes.
+func (c *Comm) endCollective(name string, sp obs.Span, before Counters) {
 	after := c.snapshot()
-	sp.End(obs.Int64("bytes", after.BytesSent-before.BytesSent),
-		obs.Int64("msgs", after.MsgsSent-before.MsgsSent))
+	bytes := after.BytesSent - before.BytesSent
+	metrics.CollectiveBytes.With(name).Observe(float64(bytes))
+	if sp.Active() {
+		obs.Sample("comm bytes", c.w.totalBytes.Load())
+		sp.End(obs.Int64("bytes", bytes),
+			obs.Int64("msgs", after.MsgsSent-before.MsgsSent))
+	}
 }

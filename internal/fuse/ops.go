@@ -3,6 +3,7 @@ package fuse
 import (
 	"math"
 
+	"agnn/internal/obs/metrics"
 	"agnn/internal/par"
 	"agnn/internal/sparse"
 	"agnn/internal/tensor"
@@ -18,11 +19,18 @@ import (
 // the hand-written kernels in internal/kernels, internal/sparse and
 // internal/tensor.
 
-// planOp is one executable step of a compiled plan.
+// planOp is one executable step of a compiled plan. The metric handles and
+// cost estimates are resolved at compile time so recording a step is a
+// handful of atomic operations — nothing on the hot path allocates or
+// locks (the property the alloc-regression tests pin down).
 type planOp struct {
-	span string // obs span name, precomputed
-	op   string // op vocabulary name, for Stats
-	run  func()
+	span  string // obs span name, precomputed
+	op    string // op vocabulary name, for Stats
+	run   func()
+	lat   *metrics.Histogram // latency histogram for this op kind
+	ops   *metrics.Counter   // executions of this op kind
+	flops int64              // estimated flops per execution (Section 6 op counts)
+	nnz   int64              // sparse non-zeros swept per execution
 }
 
 // redScratch accumulates per-worker partial sums for scalar-parameter

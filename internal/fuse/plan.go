@@ -3,8 +3,10 @@ package fuse
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"agnn/internal/obs"
+	"agnn/internal/obs/metrics"
 	"agnn/internal/sparse"
 	"agnn/internal/tensor"
 )
@@ -197,7 +199,16 @@ func (g *Graph) Compile(opt Options) (*Plan, error) {
 
 	rowOff := int32(g.rowOff)
 	emit := func(list *[]planOp, n *Node, suffix, op string, run func()) {
-		*list = append(*list, planOp{span: opt.SpanPrefix + n.ID + suffix, op: op, run: run})
+		flops, swept := opCost(g, n, op, nnz, suffix != "")
+		*list = append(*list, planOp{
+			span:  opt.SpanPrefix + n.ID + suffix,
+			op:    op,
+			run:   run,
+			lat:   metrics.PlanOpSeconds.With(op),
+			ops:   metrics.PlanOpsTotal.With(op),
+			flops: flops,
+			nnz:   swept,
+		})
 	}
 
 	// Forward op list, in topological order. Virtual nodes and fused masks
@@ -432,13 +443,65 @@ func (p *Plan) Forward(h *tensor.Dense) *tensor.Dense {
 			p.Name, p.input.rows, p.input.cols, h.Rows, h.Cols))
 	}
 	p.input.dense = h
-	for i := range p.fwd {
-		sp := obs.Start(p.fwd[i].span)
-		p.fwd[i].run()
-		sp.End()
-	}
+	runOps(p.fwd)
 	p.ranForward = true
 	return p.output.dense
+}
+
+// runOps executes an op list, recording each op's wall time into its
+// latency histogram and its estimated flop/nnz cost into the process
+// totals. Only atomic operations touch the metrics — no allocations.
+func runOps(list []planOp) {
+	for i := range list {
+		op := &list[i]
+		sp := obs.Start(op.span)
+		t0 := time.Now()
+		op.run()
+		op.lat.Observe(time.Since(t0).Seconds())
+		sp.End()
+		op.ops.Inc()
+		metrics.PlanFlopsTotal.Add(op.flops)
+		metrics.PlanNNZTotal.Add(op.nnz)
+	}
+}
+
+// opCost estimates, from compile-time shapes, the floating-point operations
+// and sparse non-zeros one execution of an op sweeps — the Section 6 op
+// counts, made concrete per compiled op. Backward variants approximately
+// double the forward work (two sweeps: operand cotangent + parameter/value
+// cotangent).
+func opCost(g *Graph, n *Node, op string, nnz int, backward bool) (flops, swept int64) {
+	s := g.sp(n)
+	r, c := int64(s.rows), int64(s.cols)
+	nz := int64(nnz)
+	switch op {
+	case "mm":
+		k := int64(g.sp(n.Inputs[0]).cols)
+		flops = 2 * r * k * c
+	case "spmm", "spmm-max", "spmm-min", "spmm-mean":
+		flops, swept = 2*nz*c, nz
+	case "mask":
+		flops, swept = 2*nz, nz
+	case "softmax":
+		flops, swept = 5*nz, nz
+	case "fused-softmax":
+		flops, swept = 9*nz, nz
+	case "matvec", "rownorm":
+		k := int64(g.sp(n.Inputs[0]).cols)
+		flops = 2 * r * k
+	case "sigma":
+		flops = r * c
+	case "gin-combine":
+		flops = 3 * r * c
+	default:
+		// Virtual-node VJPs (mmt, outer, divide, scale, rep, repT, add,
+		// lrelu): one pattern sweep re-evaluating scores entry-wise.
+		flops, swept = 4*nz, nz
+	}
+	if backward {
+		flops *= 2
+	}
+	return flops, swept
 }
 
 // Backward executes the reverse-derived VJP op list for the cotangent g of
@@ -467,11 +530,7 @@ func (p *Plan) Backward(g *tensor.Dense) *tensor.Dense {
 		}
 	}
 	copy(p.output.gdense.Data, g.Data)
-	for i := range p.bwd {
-		sp := obs.Start(p.bwd[i].span)
-		p.bwd[i].run()
-		sp.End()
-	}
+	runOps(p.bwd)
 	return p.input.gdense
 }
 

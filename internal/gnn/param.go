@@ -2,6 +2,7 @@ package gnn
 
 import (
 	"fmt"
+	"math"
 
 	"agnn/internal/tensor"
 )
@@ -45,3 +46,15 @@ func (p *Param) ZeroGrad() { p.Grad.Zero() }
 
 // NumElements returns the parameter count.
 func (p *Param) NumElements() int { return p.Value.Rows * p.Value.Cols }
+
+// GradNorm returns the global L2 norm over all parameters' gradients — the
+// scalar training-health signal the per-epoch metrics record.
+func GradNorm(params []*Param) float64 {
+	ss := 0.0
+	for _, p := range params {
+		for _, v := range p.Grad.Data {
+			ss += v * v
+		}
+	}
+	return math.Sqrt(ss)
+}

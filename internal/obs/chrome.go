@@ -80,6 +80,24 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			}
 		}
 	}
+	// Counter timelines (Tracer.Sample) become "C" events, which Perfetto
+	// renders as per-process value graphs — the memory and communication
+	// timelines drawn alongside the span tracks.
+	t.seriesMu.Lock()
+	allSeries := append([]*series(nil), t.series...)
+	t.seriesMu.Unlock()
+	for _, s := range allSeries {
+		s.mu.Lock()
+		samples := append([]counterSample(nil), s.samples...)
+		s.mu.Unlock()
+		for _, smp := range samples {
+			if err := add(chromeEvent{Name: s.name, Ph: "C", Pid: 0, Tid: 0,
+				Ts:   float64(smp.ts.Nanoseconds()) / 1e3,
+				Args: map[string]int64{"value": smp.val}}); err != nil {
+				return err
+			}
+		}
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(out)

@@ -21,7 +21,8 @@ func osStat(p string) (int64, error) {
 }
 
 // deterministicTracer builds a fixed little trace: a nested pair on the
-// main track plus one attributed collective span on a rank track.
+// main track, one attributed collective span on a rank track, and a
+// two-point counter timeline.
 func deterministicTracer() *Tracer {
 	tr := New()
 	fakeClock(tr, time.Millisecond)
@@ -32,6 +33,9 @@ func deterministicTracer() *Tracer {
 	outer.End()
 	c := r0.Start("allreduce")
 	c.End(Int64("bytes", 1024), Int64("msgs", 4))
+	tr.Sample("arena bytes", 4096)
+	tr.Sample("arena bytes", 8192)
+	tr.Sample("comm bytes", 1024)
 	return tr
 }
 
@@ -81,7 +85,8 @@ func TestChromeTraceWellFormed(t *testing.T) {
 	if parsed.DisplayTimeUnit != "ms" {
 		t.Fatalf("displayTimeUnit = %q", parsed.DisplayTimeUnit)
 	}
-	var metas, spans int
+	var metas, spans, counters int
+	counterVals := map[string][]int64{}
 	threadNames := map[string]bool{}
 	for _, e := range parsed.TraceEvents {
 		if e.Pid == nil || e.Tid == nil {
@@ -111,12 +116,31 @@ func TestChromeTraceWellFormed(t *testing.T) {
 					t.Fatalf("collective attrs not exported: %v", args)
 				}
 			}
+		case "C":
+			counters++
+			if e.Ts == nil || *e.Ts < 0 {
+				t.Fatalf("counter %q has invalid ts", e.Name)
+			}
+			var args map[string]int64
+			if err := json.Unmarshal(e.Args, &args); err != nil {
+				t.Fatalf("counter args malformed: %s", e.Args)
+			}
+			counterVals[e.Name] = append(counterVals[e.Name], args["value"])
 		default:
 			t.Fatalf("unexpected event phase %q", e.Ph)
 		}
 	}
 	if spans != 3 {
 		t.Fatalf("got %d X events, want 3", spans)
+	}
+	if counters != 3 {
+		t.Fatalf("got %d C events, want 3", counters)
+	}
+	if v := counterVals["arena bytes"]; len(v) != 2 || v[0] != 4096 || v[1] != 8192 {
+		t.Fatalf("arena bytes counter timeline wrong: %v", v)
+	}
+	if v := counterVals["comm bytes"]; len(v) != 1 || v[0] != 1024 {
+		t.Fatalf("comm bytes counter timeline wrong: %v", v)
 	}
 	if !threadNames["main"] || !threadNames["rank 0"] {
 		t.Fatalf("thread names missing: %v", threadNames)

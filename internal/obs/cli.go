@@ -6,11 +6,14 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+
+	"agnn/internal/obs/metrics"
+	"agnn/internal/obs/serve"
 )
 
 // CLI is the shared observability flag surface of the binaries: every
-// command that does real work registers the same four flags and brackets
-// its run with Start/Stop.
+// command that does real work registers the same flags and brackets its
+// run with Start/Stop.
 //
 //	var o obs.CLI
 //	o.Register(flag.CommandLine)
@@ -22,29 +25,48 @@ type CLI struct {
 	Metrics    string // aggregated run-report JSON output path
 	CPUProfile string // runtime/pprof CPU profile output path
 	MemProfile string // runtime/pprof heap profile output path
+	Serve      string // live diagnostics HTTP address (/metrics, /report, /debug/pprof)
 
 	tracer  *Tracer
 	cpuFile *os.File
+	server  *serve.Server
 }
 
-// Register adds the -trace, -metrics, -cpuprofile and -memprofile flags.
+// Register adds the -trace, -metrics, -cpuprofile, -memprofile and -serve
+// flags.
 func (c *CLI) Register(fs *flag.FlagSet) {
 	fs.StringVar(&c.Trace, "trace", "", "write a Chrome trace-event JSON (chrome://tracing, Perfetto) here")
 	fs.StringVar(&c.Metrics, "metrics", "", "write the aggregated run-report JSON here (see agnn-report)")
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile here")
 	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof heap profile here (captured at exit)")
+	fs.StringVar(&c.Serve, "serve", "", "serve live diagnostics on this address (/metrics, /report, /debug/pprof), e.g. :6060")
 }
 
 // Active reports whether any observability output was requested.
 func (c *CLI) Active() bool {
-	return c.Trace != "" || c.Metrics != "" || c.CPUProfile != "" || c.MemProfile != ""
+	return c.Trace != "" || c.Metrics != "" || c.CPUProfile != "" || c.MemProfile != "" || c.Serve != ""
 }
 
-// Tracing reports whether span collection is on (-trace or -metrics).
-func (c *CLI) Tracing() bool { return c.Trace != "" || c.Metrics != "" }
+// Tracing reports whether span collection is on (-trace, -metrics or
+// -serve; the live /report endpoint snapshots the tracer too).
+func (c *CLI) Tracing() bool { return c.Trace != "" || c.Metrics != "" || c.Serve != "" }
 
-// Start begins CPU profiling and enables the process-wide tracer as
-// requested by the flags.
+// report aggregates the tracer's spans (empty when tracing is off) and
+// attaches the live metrics snapshot — the payload of both the -metrics
+// file and the /report endpoint.
+func (c *CLI) report() *Report {
+	var rep *Report
+	if t := Get(); t != nil {
+		rep = t.Report()
+	} else {
+		rep = &Report{}
+	}
+	rep.Metrics = metrics.Default.Snapshot()
+	return rep
+}
+
+// Start begins CPU profiling, enables the process-wide tracer, and starts
+// the diagnostics server, as requested by the flags.
 func (c *CLI) Start() error {
 	if c.CPUProfile != "" {
 		f, err := os.Create(c.CPUProfile)
@@ -61,13 +83,32 @@ func (c *CLI) Start() error {
 		c.tracer = New()
 		Enable(c.tracer)
 	}
+	if c.Serve != "" {
+		s, err := serve.Start(c.Serve, serve.Options{
+			Registry: metrics.Default,
+			Report:   func() any { return c.report() },
+		})
+		if err != nil {
+			return err
+		}
+		c.server = s
+		fmt.Fprintf(os.Stderr, "obs: serving diagnostics on http://%s (/metrics, /report, /debug/pprof)\n", s.Addr())
+	}
 	return nil
 }
 
+// ServeAddr returns the bound diagnostics address ("" when -serve is off).
+func (c *CLI) ServeAddr() string {
+	if c.server == nil {
+		return ""
+	}
+	return c.server.Addr()
+}
+
 // Stop flushes every requested output: stops the CPU profile, writes the
-// heap profile, the Chrome trace and the run-report, and disables the
-// process-wide tracer. Returns the first error encountered but attempts
-// all outputs.
+// heap profile, the Chrome trace and the run-report, shuts down the
+// diagnostics server, and disables the process-wide tracer. Returns the
+// first error encountered but attempts all outputs.
 func (c *CLI) Stop() error {
 	var first error
 	keep := func(err error) {
@@ -80,15 +121,19 @@ func (c *CLI) Stop() error {
 		keep(c.cpuFile.Close())
 		c.cpuFile = nil
 	}
+	if c.Metrics != "" {
+		keep(writeReportFile(c.Metrics, c.report()))
+	}
 	if c.tracer != nil {
 		Disable()
 		if c.Trace != "" {
 			keep(c.tracer.WriteChromeTraceFile(c.Trace))
 		}
-		if c.Metrics != "" {
-			keep(c.tracer.WriteReportFile(c.Metrics))
-		}
 		c.tracer = nil
+	}
+	if c.server != nil {
+		keep(c.server.Close())
+		c.server = nil
 	}
 	if c.MemProfile != "" {
 		f, err := os.Create(c.MemProfile)
@@ -101,4 +146,17 @@ func (c *CLI) Stop() error {
 		}
 	}
 	return first
+}
+
+// writeReportFile writes an already-built report to path.
+func writeReportFile(path string, rep *Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition format (version 0.0.4): the wire format of
+// the /metrics endpoint. One # HELP / # TYPE pair per metric family,
+// children rendered with their label, histograms expanded into cumulative
+// _bucket series plus _sum and _count.
+
+// WritePrometheus renders the registry in exposition format. Families are
+// emitted in name order and label values in sorted order, so the output is
+// deterministic for a given registry state (the property the golden test
+// pins down).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range r.sorted() {
+		if m.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", m.name, escapeHelp(m.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, m.kind)
+		if m.children != nil {
+			for _, lv := range r.childValues(m) {
+				r.mu.Lock()
+				child := m.children[lv]
+				r.mu.Unlock()
+				writeOne(bw, m.name, m.label, lv, child)
+			}
+		} else {
+			writeOne(bw, m.name, "", "", m)
+		}
+	}
+	return bw.Flush()
+}
+
+// writeOne renders one instrument (a family child or an unlabeled metric).
+func writeOne(w io.Writer, name, label, lv string, m *metric) {
+	series := func(suffix, extraLabel, extraVal string) string {
+		var b strings.Builder
+		b.WriteString(name)
+		b.WriteString(suffix)
+		if label != "" || extraLabel != "" {
+			b.WriteByte('{')
+			sep := ""
+			if label != "" {
+				fmt.Fprintf(&b, "%s=%q", label, lv)
+				sep = ","
+			}
+			if extraLabel != "" {
+				fmt.Fprintf(&b, "%s%s=%q", sep, extraLabel, extraVal)
+			}
+			b.WriteByte('}')
+		}
+		return b.String()
+	}
+	switch {
+	case m.counter != nil:
+		fmt.Fprintf(w, "%s %d\n", series("", "", ""), m.counter.Value())
+	case m.gauge != nil:
+		fmt.Fprintf(w, "%s %s\n", series("", "", ""), formatFloat(m.gauge.Value()))
+	case m.hist != nil:
+		h := m.hist
+		counts := h.BucketCounts()
+		var cum int64
+		for i, ub := range h.bounds {
+			cum += counts[i]
+			fmt.Fprintf(w, "%s %d\n", series("_bucket", "le", formatFloat(ub)), cum)
+		}
+		cum += counts[len(counts)-1]
+		fmt.Fprintf(w, "%s %d\n", series("_bucket", "le", "+Inf"), cum)
+		fmt.Fprintf(w, "%s %s\n", series("_sum", "", ""), formatFloat(h.Sum()))
+		fmt.Fprintf(w, "%s %d\n", series("_count", "", ""), h.Count())
+	}
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// round-trippable representation, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition spec.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

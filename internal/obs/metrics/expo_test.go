@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// expoRegistry builds a fixed registry covering every exposition shape:
+// unlabeled counter, labeled family, gauge, histogram.
+func expoRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("agnn_plan_flops_total", "Estimated FLOPs retired.").Add(123456)
+	v := r.CounterVec("agnn_comm_bytes_total", "Bytes sent by each simulated rank.", "rank")
+	v.With("0").Add(4096)
+	v.With("1").Add(2048)
+	v.With("10").Add(512) // sorts lexically after "1"
+	r.Gauge("agnn_train_loss", "Training loss of the last completed epoch.").Set(0.6931471805599453)
+	h := r.Histogram("agnn_epoch_seconds", "Wall time of one training epoch.", []float64{0.001, 0.01, 0.1, 1})
+	h.Observe(0.0005)
+	h.Observe(0.02)
+	h.Observe(0.02)
+	h.Observe(5) // +Inf bucket
+	return r
+}
+
+func TestPrometheusExpositionGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := expoRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "expo_golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestPrometheusExpositionShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := expoRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Cumulative histogram buckets with an +Inf terminator equal to _count.
+	for _, want := range []string{
+		`agnn_epoch_seconds_bucket{le="0.001"} 1`,
+		`agnn_epoch_seconds_bucket{le="0.01"} 1`,
+		`agnn_epoch_seconds_bucket{le="0.1"} 3`,
+		`agnn_epoch_seconds_bucket{le="1"} 3`,
+		`agnn_epoch_seconds_bucket{le="+Inf"} 4`,
+		`agnn_epoch_seconds_count 4`,
+		`# TYPE agnn_comm_bytes_total counter`,
+		`agnn_comm_bytes_total{rank="0"} 4096`,
+		`agnn_train_loss 0.6931471805599453`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Every non-comment line is "series value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+	}
+}

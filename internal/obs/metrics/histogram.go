@@ -1,0 +1,170 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram counts observations into fixed buckets, Prometheus-style: the
+// i-th bucket counts observations ≤ bounds[i], plus an implicit +Inf
+// bucket. Observation is a binary search over a handful of bounds and two
+// atomic adds — cheap enough to time every compiled-plan op. Quantiles are
+// estimated by linear interpolation inside the bucket containing the
+// target rank, the same estimate Prometheus's histogram_quantile computes
+// server-side.
+type Histogram struct {
+	bounds []float64 // strictly increasing upper bounds, +Inf excluded
+	counts []atomic.Int64
+	inf    atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// DefLatencyBuckets spans 1 µs – ~16 s in powers of four: wide enough for
+// whole-epoch timings, fine enough to separate kernel classes.
+var DefLatencyBuckets = ExpBuckets(1e-6, 4, 13)
+
+// ExpBuckets returns count upper bounds growing geometrically from start
+// by factor.
+func ExpBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 || factor <= 1 || count < 1 {
+		panic("metrics: ExpBuckets needs start > 0, factor > 1, count ≥ 1")
+	}
+	b := make([]float64, count)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// LinearBuckets returns count upper bounds from start in steps of width.
+func LinearBuckets(start, width float64, count int) []float64 {
+	if width <= 0 || count < 1 {
+		panic("metrics: LinearBuckets needs width > 0, count ≥ 1")
+	}
+	b := make([]float64, count)
+	for i := range b {
+		b[i] = start + float64(i)*width
+	}
+	return b
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefLatencyBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: histogram bounds must be strictly increasing")
+		}
+	}
+	cp := make([]float64, len(bounds))
+	copy(cp, bounds)
+	return &Histogram{bounds: cp, counts: make([]atomic.Int64, len(cp))}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound ≥ v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(h.bounds) {
+		h.counts[lo].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Bounds returns the finite bucket upper bounds.
+func (h *Histogram) Bounds() []float64 {
+	cp := make([]float64, len(h.bounds))
+	copy(cp, h.bounds)
+	return cp
+}
+
+// BucketCounts returns the per-bucket counts, the +Inf bucket last. The
+// snapshot is not atomic across buckets; concurrent observers can make the
+// per-bucket sum momentarily lag Count.
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, len(h.counts)+1)
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	out[len(h.counts)] = h.inf.Load()
+	return out
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the bucket containing the target rank. Observations in the +Inf
+// bucket clamp to the largest finite bound. Returns NaN when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts := h.BucketCounts()
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		if float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		if i == len(h.bounds) {
+			// +Inf bucket: clamp to the largest finite bound.
+			return h.bounds[len(h.bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = h.bounds[i-1]
+		}
+		upper := h.bounds[i]
+		if c == 0 {
+			return upper
+		}
+		frac := (rank - float64(cum)) / float64(c)
+		return lower + (upper-lower)*frac
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+func (h *Histogram) reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.inf.Store(0)
+	h.count.Store(0)
+	h.sum.Store(0)
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	// Boundary semantics are Prometheus's: bucket i counts v ≤ bounds[i].
+	for _, v := range []float64{0.5, 1.0} { // both land in the ≤1 bucket
+		h.Observe(v)
+	}
+	h.Observe(1.5) // ≤2
+	h.Observe(2.0) // ≤2 (boundary is inclusive)
+	h.Observe(3.0) // ≤4
+	h.Observe(9.0) // +Inf
+	got := h.BucketCounts()
+	want := []int64{2, 2, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 0.5+1+1.5+2+3+9 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 30})
+	// 10 observations uniformly in (0,10], 10 in (10,20].
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+		h.Observe(15)
+	}
+	// Median rank = 10 falls exactly at the top of the first bucket.
+	if q := h.Quantile(0.5); q != 10 {
+		t.Fatalf("p50 = %v, want 10", q)
+	}
+	// p75: rank 15, halfway through the second bucket → 15.
+	if q := h.Quantile(0.75); q != 15 {
+		t.Fatalf("p75 = %v, want 15", q)
+	}
+	// p25: rank 5, halfway through the first bucket → 5.
+	if q := h.Quantile(0.25); q != 5 {
+		t.Fatalf("p25 = %v, want 5", q)
+	}
+	// q clamps.
+	if q := h.Quantile(-1); q != h.Quantile(0) {
+		t.Fatalf("q<0 must clamp: %v vs %v", q, h.Quantile(0))
+	}
+	if q := h.Quantile(2); q != h.Quantile(1) {
+		t.Fatal("q>1 must clamp")
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile must be NaN")
+	}
+	// All mass in the +Inf bucket clamps to the largest finite bound.
+	h.Observe(100)
+	h.Observe(200)
+	if q := h.Quantile(0.5); q != 2 {
+		t.Fatalf("overflow quantile = %v, want clamp to 2", q)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if exp[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v", exp)
+		}
+	}
+	lin := LinearBuckets(0, 5, 3)
+	want = []float64{0, 5, 10}
+	for i := range want {
+		if lin[i] != want[i] {
+			t.Fatalf("LinearBuckets = %v", lin)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-increasing bounds must panic")
+		}
+	}()
+	newHistogram([]float64{2, 2})
+}
+
+func TestDefaultBucketsUsedWhenNil(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "", nil)
+	if len(h.Bounds()) != len(DefLatencyBuckets) {
+		t.Fatalf("nil buckets must default: got %v", h.Bounds())
+	}
+	h.Observe(1e-6)
+	if h.BucketCounts()[0] != 1 {
+		t.Fatal("1µs must land in the first default bucket")
+	}
+}

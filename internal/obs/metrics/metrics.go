@@ -1,0 +1,308 @@
+// Package metrics is the live counterpart of the span tracer in
+// internal/obs: a lock-cheap registry of counters, gauges and fixed-bucket
+// histograms that the hot paths update unconditionally — compiled-plan ops
+// record kernel latency and arithmetic volume, the simulated distributed
+// runtime records words and messages moved per rank, the workspace arenas
+// record live and peak bytes, and the training loop records loss and
+// throughput. Where the tracer answers "what happened during that run"
+// post-mortem, the registry answers "what is happening right now": its
+// values are readable at any instant, either programmatically (Snapshot)
+// or over HTTP in Prometheus exposition format (internal/obs/serve).
+//
+// Every instrument is updated with a handful of atomic operations and no
+// locks or allocations, so leaving them compiled into kernel-sized hot
+// paths is free for practical purposes. The package is stdlib-only and —
+// deliberately — does not import internal/obs, so obs can embed metric
+// snapshots into its run-reports without an import cycle.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer — bytes sent, kernels
+// launched, FLOPs retired. All methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n must be ≥ 0).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous float64 value — current loss, live workspace
+// bytes, words predicted by the cost model. All methods are safe for
+// concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add atomically adds d to the gauge (d may be negative).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// SetMax raises the gauge to v if v exceeds the current value — the
+// peak-tracking primitive behind the high-water-mark gauges.
+func (g *Gauge) SetMax(v float64) {
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// metric is one registered instrument, with everything the exposition
+// encoders need.
+type metric struct {
+	name string
+	help string
+	kind string // "counter" | "gauge" | "histogram"
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+
+	// Labeled families: label is the single label name ("rank"), children
+	// maps label value → child instrument. Guarded by the registry lock for
+	// structural changes; reads go through the lock-free cache in the Vec.
+	label    string
+	children map[string]*metric
+}
+
+// Registry owns a namespace of instruments. Registration takes a lock;
+// updating a registered instrument never does. Get-or-create semantics
+// make registration idempotent, so package-level wiring in different
+// subsystems can name the same metric without coordinating.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// Default is the process-wide registry the hot-path wiring records into
+// and the -serve endpoint exposes.
+var Default = NewRegistry()
+
+// validName enforces the Prometheus metric/label name charset.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// lookup returns the named metric, creating it with mk on first use and
+// panicking on a kind clash — a wiring bug, not a runtime condition.
+func (r *Registry) lookup(name, help, kind string, mk func() *metric) *metric {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("metrics: %q already registered as %s, requested %s", name, m.kind, kind))
+		}
+		return m
+	}
+	m := mk()
+	m.name, m.help, m.kind = name, help, kind
+	r.metrics[name] = m
+	return m
+}
+
+// Counter returns the named counter, registering it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.lookup(name, help, "counter", func() *metric {
+		return &metric{counter: &Counter{}}
+	}).counter
+}
+
+// Gauge returns the named gauge, registering it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.lookup(name, help, "gauge", func() *metric {
+		return &metric{gauge: &Gauge{}}
+	}).gauge
+}
+
+// Histogram returns the named histogram, registering it on first use with
+// the given bucket upper bounds (see ExpBuckets / LinearBuckets). Bounds
+// are fixed at registration; later calls may pass nil.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.lookup(name, help, "histogram", func() *metric {
+		return &metric{hist: newHistogram(buckets)}
+	}).hist
+}
+
+// CounterVec is a family of counters sharing a name and distinguished by
+// one label (per-rank byte counters, per-op-kind kernel counters). With
+// resolves a child once; hot paths cache the returned *Counter.
+type CounterVec struct {
+	r *Registry
+	m *metric
+
+	cache sync.Map // label value → *Counter
+}
+
+// CounterVec returns the named counter family with the given label name.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	if !validName(label) {
+		panic(fmt.Sprintf("metrics: invalid label name %q", label))
+	}
+	m := r.lookup(name, help, "counter", func() *metric {
+		return &metric{label: label, children: make(map[string]*metric)}
+	})
+	if m.children == nil {
+		panic(fmt.Sprintf("metrics: %q registered as an unlabeled counter", name))
+	}
+	return &CounterVec{r: r, m: m}
+}
+
+// With returns the child counter for one label value, creating it on first
+// use. The fast path is one lock-free map load.
+func (v *CounterVec) With(value string) *Counter {
+	if c, ok := v.cache.Load(value); ok {
+		return c.(*Counter)
+	}
+	v.r.mu.Lock()
+	child, ok := v.m.children[value]
+	if !ok {
+		child = &metric{counter: &Counter{}}
+		v.m.children[value] = child
+	}
+	v.r.mu.Unlock()
+	v.cache.Store(value, child.counter)
+	return child.counter
+}
+
+// HistogramVec is a family of histograms sharing a name and bucket layout,
+// distinguished by one label (per-op-kind kernel latency).
+type HistogramVec struct {
+	r       *Registry
+	m       *metric
+	buckets []float64
+
+	cache sync.Map // label value → *Histogram
+}
+
+// HistogramVec returns the named histogram family.
+func (r *Registry) HistogramVec(name, help, label string, buckets []float64) *HistogramVec {
+	if !validName(label) {
+		panic(fmt.Sprintf("metrics: invalid label name %q", label))
+	}
+	m := r.lookup(name, help, "histogram", func() *metric {
+		return &metric{label: label, children: make(map[string]*metric)}
+	})
+	if m.children == nil {
+		panic(fmt.Sprintf("metrics: %q registered as an unlabeled histogram", name))
+	}
+	return &HistogramVec{r: r, m: m, buckets: buckets}
+}
+
+// With returns the child histogram for one label value.
+func (v *HistogramVec) With(value string) *Histogram {
+	if h, ok := v.cache.Load(value); ok {
+		return h.(*Histogram)
+	}
+	v.r.mu.Lock()
+	child, ok := v.m.children[value]
+	if !ok {
+		child = &metric{hist: newHistogram(v.buckets)}
+		v.m.children[value] = child
+	}
+	v.r.mu.Unlock()
+	v.cache.Store(value, child.hist)
+	return child.hist
+}
+
+// sorted returns the registry's metrics in name order, and each family's
+// children in label-value order — the deterministic iteration behind both
+// exposition formats.
+func (r *Registry) sorted() []*metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// childValues returns a family's label values in sorted order.
+func (r *Registry) childValues(m *metric) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	vals := make([]string, 0, len(m.children))
+	for v := range m.children {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	return vals
+}
+
+// Reset zeroes every registered instrument in place. Handles returned
+// earlier stay valid — tests and benchmark harnesses use this to measure
+// deltas without re-wiring the hot paths.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range r.metrics {
+		m.reset()
+		for _, c := range m.children {
+			c.reset()
+		}
+	}
+}
+
+func (m *metric) reset() {
+	switch {
+	case m.counter != nil:
+		m.counter.v.Store(0)
+	case m.gauge != nil:
+		m.gauge.bits.Store(0)
+	case m.hist != nil:
+		m.hist.reset()
+	}
+}

@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	// Get-or-create: same handle back.
+	if r.Counter("ops_total", "ops") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+
+	g := r.Gauge("level", "level")
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", g.Value())
+	}
+	g.SetMax(1.0)
+	if g.Value() != 1.5 {
+		t.Fatal("SetMax lowered the gauge")
+	}
+	g.SetMax(3.0)
+	if g.Value() != 3.0 {
+		t.Fatal("SetMax did not raise the gauge")
+	}
+}
+
+func TestKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x as a gauge after a counter must panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "1abc", "a-b", "a b", "ü"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("name %q must be rejected", bad)
+				}
+			}()
+			r.Counter(bad, "")
+		}()
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("bytes_total", "bytes", "rank")
+	v.With("0").Add(10)
+	v.With("1").Add(20)
+	v.With("0").Add(5)
+	s := r.Snapshot()
+	fam := s.CounterFamily("bytes_total")
+	if fam["0"] != 15 || fam["1"] != 20 {
+		t.Fatalf("family values wrong: %v", fam)
+	}
+	// A second vec handle for the same family shares children.
+	v2 := r.CounterVec("bytes_total", "bytes", "rank")
+	v2.With("1").Inc()
+	if got, _ := r.Snapshot().Counter("bytes_total", "1"); got != 21 {
+		t.Fatalf("shared family child = %d, want 21", got)
+	}
+}
+
+// TestConcurrentCounters exercises the atomic paths under -race: many
+// goroutines hammer one counter, one gauge, one histogram and one labeled
+// family concurrently, and the totals must come out exact.
+func TestConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits", "")
+	g := r.Gauge("live", "")
+	peak := r.Gauge("peak", "")
+	h := r.Histogram("lat", "", LinearBuckets(1, 1, 8))
+	v := r.CounterVec("per_rank", "", "rank")
+
+	const workers, iters = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rank := v.With(fmt.Sprint(id % 4))
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				peak.SetMax(float64(id*iters + i))
+				h.Observe(float64(i % 10))
+				rank.Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if c.Value() != workers*iters {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*iters)
+	}
+	if g.Value() != workers*iters {
+		t.Fatalf("gauge = %v, want %d", g.Value(), workers*iters)
+	}
+	if peak.Value() != workers*iters-1 {
+		t.Fatalf("peak = %v, want %d", peak.Value(), workers*iters-1)
+	}
+	if h.Count() != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*iters)
+	}
+	var famTotal int64
+	for _, n := range r.Snapshot().CounterFamily("per_rank") {
+		famTotal += n
+	}
+	if famTotal != workers*iters {
+		t.Fatalf("family total = %d, want %d", famTotal, workers*iters)
+	}
+}
+
+func TestResetZeroesInPlace(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", nil)
+	v := r.CounterVec("v", "", "rank")
+	rk := v.With("3")
+	c.Add(7)
+	g.Set(7)
+	h.Observe(7)
+	rk.Add(7)
+	r.Reset()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || rk.Value() != 0 {
+		t.Fatalf("reset left values behind: c=%d g=%v h=%d/%v rk=%d",
+			c.Value(), g.Value(), h.Count(), h.Sum(), rk.Value())
+	}
+	// Old handles remain live after reset.
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("counter handle dead after reset")
+	}
+}
+
+func TestSnapshotLookups(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "").Add(3)
+	r.Gauge("b", "").Set(1.25)
+	s := r.Snapshot()
+	if v, ok := s.Counter("a_total", ""); !ok || v != 3 {
+		t.Fatalf("counter lookup: %v %v", v, ok)
+	}
+	if v, ok := s.Gauge("b", ""); !ok || v != 1.25 {
+		t.Fatalf("gauge lookup: %v %v", v, ok)
+	}
+	if _, ok := s.Counter("missing", ""); ok {
+		t.Fatal("missing counter reported present")
+	}
+}

@@ -1,0 +1,116 @@
+package metrics
+
+// Snapshot is a point-in-time, JSON-serializable copy of a registry's
+// values: the payload of the /report endpoint and the metrics section of
+// the obs run-report. Series appear in the same deterministic order as the
+// Prometheus exposition (families by name, children by label value).
+type Snapshot struct {
+	Counters   []CounterSnap   `json:"counters,omitempty"`
+	Gauges     []GaugeSnap     `json:"gauges,omitempty"`
+	Histograms []HistogramSnap `json:"histograms,omitempty"`
+}
+
+// CounterSnap is one counter series. Label/LabelValue are set for family
+// children only.
+type CounterSnap struct {
+	Name       string `json:"name"`
+	Label      string `json:"label,omitempty"`
+	LabelValue string `json:"label_value,omitempty"`
+	Value      int64  `json:"value"`
+}
+
+// GaugeSnap is one gauge series.
+type GaugeSnap struct {
+	Name       string  `json:"name"`
+	Label      string  `json:"label,omitempty"`
+	LabelValue string  `json:"label_value,omitempty"`
+	Value      float64 `json:"value"`
+}
+
+// HistogramSnap is one histogram series with its raw buckets and the
+// interpolated convenience quantiles every consumer wants.
+type HistogramSnap struct {
+	Name       string    `json:"name"`
+	Label      string    `json:"label,omitempty"`
+	LabelValue string    `json:"label_value,omitempty"`
+	Count      int64     `json:"count"`
+	Sum        float64   `json:"sum"`
+	Bounds     []float64 `json:"bounds"`
+	Counts     []int64   `json:"counts"` // per bucket, +Inf last
+	P50        float64   `json:"p50"`
+	P90        float64   `json:"p90"`
+	P99        float64   `json:"p99"`
+}
+
+// Snapshot copies the registry's current values.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	for _, m := range r.sorted() {
+		if m.children != nil {
+			for _, lv := range r.childValues(m) {
+				r.mu.Lock()
+				child := m.children[lv]
+				r.mu.Unlock()
+				s.add(m.name, m.label, lv, child)
+			}
+		} else {
+			s.add(m.name, "", "", m)
+		}
+	}
+	return s
+}
+
+func (s *Snapshot) add(name, label, lv string, m *metric) {
+	switch {
+	case m.counter != nil:
+		s.Counters = append(s.Counters, CounterSnap{
+			Name: name, Label: label, LabelValue: lv, Value: m.counter.Value()})
+	case m.gauge != nil:
+		s.Gauges = append(s.Gauges, GaugeSnap{
+			Name: name, Label: label, LabelValue: lv, Value: m.gauge.Value()})
+	case m.hist != nil:
+		h := m.hist
+		hs := HistogramSnap{
+			Name: name, Label: label, LabelValue: lv,
+			Count: h.Count(), Sum: h.Sum(),
+			Bounds: h.Bounds(), Counts: h.BucketCounts(),
+		}
+		if hs.Count > 0 {
+			hs.P50, hs.P90, hs.P99 = h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99)
+		}
+		s.Histograms = append(s.Histograms, hs)
+	}
+}
+
+// Counter returns the value of the named counter series ("" labelValue for
+// unlabeled counters) and whether it exists.
+func (s *Snapshot) Counter(name, labelValue string) (int64, bool) {
+	for _, c := range s.Counters {
+		if c.Name == name && c.LabelValue == labelValue {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Gauge returns the value of the named gauge series and whether it exists.
+func (s *Snapshot) Gauge(name, labelValue string) (float64, bool) {
+	for _, g := range s.Gauges {
+		if g.Name == name && g.LabelValue == labelValue {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}
+
+// CounterFamily returns every series of the named counter family as a
+// label-value → value map (empty when absent).
+func (s *Snapshot) CounterFamily(name string) map[string]int64 {
+	out := map[string]int64{}
+	for _, c := range s.Counters {
+		if c.Name == name {
+			out[c.LabelValue] = c.Value
+		}
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package metrics
+
+// Standard instruments: the shared vocabulary the hot-path wiring records
+// into and the reporting tools read back. Declaring them here (against the
+// Default registry, with get-or-create semantics) keeps the names, help
+// strings and bucket layouts in one place; internal/fuse, internal/dist,
+// internal/tensor and the CLIs all reference these variables.
+var (
+	// Compiled-plan execution (internal/fuse).
+	PlanOpSeconds = Default.HistogramVec("agnn_plan_op_seconds",
+		"Latency of one compiled-plan op execution, by op kind.", "op", DefLatencyBuckets)
+	PlanOpsTotal = Default.CounterVec("agnn_plan_ops_total",
+		"Compiled-plan ops executed, by op kind.", "op")
+	PlanFlopsTotal = Default.Counter("agnn_plan_flops_total",
+		"Estimated floating-point operations retired by compiled-plan ops.")
+	PlanNNZTotal = Default.Counter("agnn_plan_nnz_total",
+		"Sparse non-zeros swept by compiled-plan ops.")
+
+	// Simulated distributed runtime (internal/dist).
+	CommBytesTotal = Default.CounterVec("agnn_comm_bytes_total",
+		"Bytes sent by each simulated rank.", "rank")
+	CommMsgsTotal = Default.CounterVec("agnn_comm_msgs_total",
+		"Point-to-point messages sent by each simulated rank.", "rank")
+	CommRoundsTotal = Default.CounterVec("agnn_comm_rounds_total",
+		"Communication rounds (BSP supersteps) entered by each simulated rank.", "rank")
+	CollectiveBytes = Default.HistogramVec("agnn_collective_bytes",
+		"Bytes one rank moved in one collective call, by collective kind.",
+		"kind", ExpBuckets(64, 4, 12))
+
+	// Workspace arenas (internal/tensor).
+	ArenaLiveBytes = Default.Gauge("agnn_arena_live_bytes",
+		"Workspace bytes currently held by plan buffers across all arenas.")
+	ArenaPeakBytes = Default.Gauge("agnn_arena_peak_bytes",
+		"High-water mark of live workspace bytes.")
+
+	// Training loop (cmd/agnn-train, internal/distgnn).
+	TrainEpoch = Default.Gauge("agnn_train_epoch",
+		"Last completed training epoch.")
+	TrainLoss = Default.Gauge("agnn_train_loss",
+		"Training loss of the last completed epoch.")
+	TrainGradNorm = Default.Gauge("agnn_train_grad_norm",
+		"Global L2 norm of all parameter gradients after the last epoch.")
+	TrainEdgesPerSec = Default.Gauge("agnn_train_edges_per_second",
+		"Adjacency non-zeros processed per second over the last epoch.")
+	EpochSeconds = Default.Histogram("agnn_epoch_seconds",
+		"Wall time of one training epoch.", DefLatencyBuckets)
+
+	// Cost-model validation (internal/costmodel, benchutil).
+	CommPredictedWords = Default.Gauge("agnn_comm_predicted_words",
+		"Cost-model predicted max per-rank words for the run's configuration.")
+	CommMeasuredWords = Default.Gauge("agnn_comm_measured_words",
+		"Measured max per-rank words for the run.")
+)

@@ -60,6 +60,8 @@ type Track struct {
 	id     int
 	name   string
 
+	open atomic.Int64 // spans started but not yet ended
+
 	mu     sync.Mutex
 	events []event
 }
@@ -77,7 +79,18 @@ func (t *Track) Start(name string) Span {
 	if t == nil {
 		return Span{}
 	}
+	t.open.Add(1)
 	return Span{track: t, name: name, start: t.tracer.now()}
+}
+
+// Open returns the number of spans started on the track that have not
+// ended yet. Live snapshots (the /report endpoint) surface it so a
+// mid-superstep report is not mistaken for a complete one.
+func (t *Track) Open() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.open.Load()
 }
 
 // Span is an in-flight timed region. The zero value is inert: End on it
@@ -102,6 +115,7 @@ func (s Span) End(attrs ...Attr) {
 	s.track.mu.Lock()
 	s.track.events = append(s.track.events, event{name: s.name, start: s.start, dur: d, attrs: attrs})
 	s.track.mu.Unlock()
+	s.track.open.Add(-1)
 }
 
 // Tracer owns a set of tracks plus the epoch all spans are timed against.
@@ -113,7 +127,56 @@ type Tracer struct {
 	tracks []*Track
 	main   *Track
 
+	seriesMu sync.Mutex
+	series   []*series
+	byName   map[string]*series
+
 	byGID sync.Map // goroutine id (uint64) → *Track
+}
+
+// counterSample is one point of a counter timeline.
+type counterSample struct {
+	ts  time.Duration
+	val int64
+}
+
+// series is one named counter timeline, rendered by the Chrome exporter as
+// "C" (counter) events — the memory/communication graphs Perfetto draws
+// alongside the span tracks.
+type series struct {
+	name string
+
+	mu      sync.Mutex
+	samples []counterSample
+}
+
+// Sample appends one point to the named counter timeline. Instrumented
+// gauges (arena bytes, cumulative communication bytes) call this on every
+// update while tracing is enabled.
+func (t *Tracer) Sample(name string, val int64) {
+	t.seriesMu.Lock()
+	s := t.byName[name]
+	if s == nil {
+		if t.byName == nil {
+			t.byName = make(map[string]*series)
+		}
+		s = &series{name: name}
+		t.byName[name] = s
+		t.series = append(t.series, s)
+	}
+	t.seriesMu.Unlock()
+	now := t.now()
+	s.mu.Lock()
+	s.samples = append(s.samples, counterSample{ts: now, val: val})
+	s.mu.Unlock()
+}
+
+// Sample records a counter point on the process-wide tracer; a no-op (one
+// atomic load) when tracing is disabled.
+func Sample(name string, val int64) {
+	if t := global.Load(); t != nil {
+		t.Sample(name, val)
+	}
 }
 
 // New creates a Tracer with a "main" default track.

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"testing"
@@ -148,6 +149,63 @@ func TestReportAggregation(t *testing.T) {
 	}
 	if byTrack["rank 0"].Attrs["bytes"] != 300 || byTrack["rank 1"].Attrs["bytes"] != 50 {
 		t.Fatalf("per-rank byte totals wrong: %v", byTrack)
+	}
+}
+
+// TestReportCountsOpenSpans: a live snapshot must not silently drop spans
+// that are still in flight — they show up in the per-track open count.
+func TestReportCountsOpenSpans(t *testing.T) {
+	tr := New()
+	fakeClock(tr, time.Millisecond)
+	r0 := tr.Track("rank 0")
+	done := r0.Start("allreduce")
+	done.End()
+	inFlight := r0.Start("spmm") // never ended before the snapshot
+	alsoInFlight := tr.Main().Start("epoch")
+
+	rep := tr.Report()
+	byTrack := map[string]TrackStat{}
+	for _, ts := range rep.Tracks {
+		byTrack[ts.Track] = ts
+	}
+	if got := byTrack["rank 0"]; got.Spans != 1 || got.Open != 1 {
+		t.Fatalf("rank 0 stats = %+v, want 1 completed + 1 open", got)
+	}
+	if got := byTrack["main"]; got.Spans != 0 || got.Open != 1 {
+		t.Fatalf("main stats = %+v, want 0 completed + 1 open", got)
+	}
+
+	// After the spans end, a fresh snapshot reports them closed.
+	inFlight.End()
+	alsoInFlight.End()
+	rep = tr.Report()
+	for _, ts := range rep.Tracks {
+		if ts.Open != 0 {
+			t.Fatalf("track %q still reports %d open spans after End", ts.Track, ts.Open)
+		}
+	}
+	// And the open count survives the JSON round trip.
+	tr2 := New()
+	fakeClock(tr2, time.Millisecond)
+	tr2.Main().Start("pending") // left open
+	var buf bytes.Buffer
+	if err := tr2.Report().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Tracks) != 1 || parsed.Tracks[0].Open != 1 {
+		t.Fatalf("open count lost in round trip: %+v", parsed.Tracks)
+	}
+}
+
+func TestSampleDisabledIsNoop(t *testing.T) {
+	Disable()
+	allocs := testing.AllocsPerRun(200, func() { Sample("arena bytes", 1) })
+	if allocs != 0 {
+		t.Fatalf("disabled Sample allocates %.1f times per op, want 0", allocs)
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 	"io"
 	"os"
 	"sort"
+
+	"agnn/internal/obs/metrics"
 )
 
 // Aggregated run-report: the compact JSON summary written by -metrics and
@@ -22,17 +24,26 @@ type SpanStat struct {
 	Attrs   map[string]int64 `json:"attrs,omitempty"` // summed over spans
 }
 
-// TrackStat aggregates one track (one rank, in distributed runs).
+// TrackStat aggregates one track (one rank, in distributed runs). Open
+// counts spans still in flight at snapshot time: a post-mortem report has
+// Open == 0 everywhere, while a live /report snapshot taken mid-superstep
+// reports how many regions each rank has entered but not finished — the
+// signal that the span stats undercount ongoing work.
 type TrackStat struct {
 	Track string           `json:"track"`
 	Spans int64            `json:"spans"`
+	Open  int64            `json:"open,omitempty"`
 	Attrs map[string]int64 `json:"attrs,omitempty"` // summed over the track's spans
 }
 
-// Report is the aggregated run-report.
+// Report is the aggregated run-report. Metrics carries the live-registry
+// snapshot (counters, gauges, histogram quantiles) when the producer had
+// one — the CLI attaches metrics.Default at exit, the /report endpoint at
+// request time.
 type Report struct {
-	Spans  []SpanStat  `json:"spans"`
-	Tracks []TrackStat `json:"tracks"`
+	Spans   []SpanStat        `json:"spans"`
+	Tracks  []TrackStat       `json:"tracks"`
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
 }
 
 // Report aggregates the tracer's completed spans. Span stats are sorted by
@@ -45,7 +56,7 @@ func (t *Tracer) Report() *Report {
 		tr.mu.Lock()
 		evs := append([]event(nil), tr.events...)
 		tr.mu.Unlock()
-		ts := TrackStat{Track: tr.name}
+		ts := TrackStat{Track: tr.name, Open: tr.Open()}
 		for _, e := range evs {
 			s := byName[e.name]
 			if s == nil {

@@ -1,0 +1,110 @@
+// Package serve is the opt-in HTTP diagnostics endpoint of the binaries:
+// a tiny stdlib server exposing the live metrics registry in Prometheus
+// exposition format (/metrics), the standard pprof handlers
+// (/debug/pprof/*), and a JSON run-report snapshot (/report), so a
+// long-running training or benchmark job can be inspected while it runs
+// instead of only post-mortem.
+//
+// The package intentionally does not import internal/obs — it accepts the
+// /report payload as a closure — so obs.CLI can start a server without an
+// import cycle.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"agnn/internal/obs/metrics"
+)
+
+// Options configures the diagnostics handler.
+type Options struct {
+	// Registry is the metrics registry behind /metrics and the metrics
+	// section of /report. Nil means metrics.Default.
+	Registry *metrics.Registry
+	// Report, when set, produces the /report JSON payload (typically the
+	// obs run-report with the metrics snapshot attached). Nil serves the
+	// registry snapshot alone.
+	Report func() any
+}
+
+func (o Options) registry() *metrics.Registry {
+	if o.Registry != nil {
+		return o.Registry
+	}
+	return metrics.Default
+}
+
+// Handler returns the diagnostics mux: /metrics, /report, /debug/pprof/*.
+func Handler(opt Options) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, `<html><body><h1>agnn diagnostics</h1><ul>
+<li><a href="/metrics">/metrics</a> — Prometheus exposition</li>
+<li><a href="/report">/report</a> — JSON run-report snapshot</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> — pprof profiles</li>
+</ul></body></html>`)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := opt.registry().WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {
+		var payload any
+		if opt.Report != nil {
+			payload = opt.Report()
+		} else {
+			payload = map[string]any{"metrics": opt.registry().Snapshot()}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(payload); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running diagnostics endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start listens on addr (":0" picks a free port) and serves the
+// diagnostics handler in a background goroutine.
+func Start(addr string, opt Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{
+		Handler:           Handler(opt),
+		ReadHeaderTimeout: 5 * time.Second,
+	}}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return s, nil
+}
+
+// Addr returns the bound address ("127.0.0.1:43121").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server immediately.
+func (s *Server) Close() error { return s.srv.Close() }

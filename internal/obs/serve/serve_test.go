@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"agnn/internal/obs/metrics"
+)
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.Counter("test_requests_total", "requests").Add(42)
+	r.CounterVec("test_rank_bytes_total", "bytes", "rank").With("3").Add(8)
+
+	s, err := Start("127.0.0.1:0", Options{Registry: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	code, body, hdr := get(t, "http://"+s.Addr()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	for _, want := range []string{
+		"test_requests_total 42",
+		`test_rank_bytes_total{rank="3"} 8`,
+		"# TYPE test_requests_total counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestReportEndpoint(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.Gauge("test_loss", "").Set(0.5)
+	s, err := Start("127.0.0.1:0", Options{Registry: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	code, body, hdr := get(t, "http://"+s.Addr()+"/report")
+	if code != http.StatusOK {
+		t.Fatalf("/report status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("content type %q", ct)
+	}
+	var payload struct {
+		Metrics metrics.Snapshot `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("/report not JSON: %v\n%s", err, body)
+	}
+	if v, ok := payload.Metrics.Gauge("test_loss", ""); !ok || v != 0.5 {
+		t.Fatalf("/report metrics wrong: %v %v", v, ok)
+	}
+}
+
+func TestCustomReportPayload(t *testing.T) {
+	s, err := Start("127.0.0.1:0", Options{
+		Registry: metrics.NewRegistry(),
+		Report:   func() any { return map[string]string{"state": "mid-epoch"} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	_, body, _ := get(t, "http://"+s.Addr()+"/report")
+	if !strings.Contains(body, "mid-epoch") {
+		t.Fatalf("custom report payload not served: %s", body)
+	}
+}
+
+func TestPprofAndIndex(t *testing.T) {
+	s, err := Start("127.0.0.1:0", Options{Registry: metrics.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if code, body, _ := get(t, "http://"+s.Addr()+"/debug/pprof/cmdline"); code != http.StatusOK || body == "" {
+		t.Fatalf("/debug/pprof/cmdline: status %d body %q", code, body)
+	}
+	if code, body, _ := get(t, "http://"+s.Addr()+"/"); code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: status %d", code)
+	}
+	if code, _, _ := get(t, "http://"+s.Addr()+"/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown path status %d, want 404", code)
+	}
+}

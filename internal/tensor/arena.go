@@ -1,6 +1,11 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"agnn/internal/obs"
+	"agnn/internal/obs/metrics"
+)
 
 // Arena is a shape-keyed buffer pool: the workspace substrate of the
 // compiled execution plans (internal/fuse). A plan acquires every
@@ -20,6 +25,18 @@ type Arena struct {
 	denseOut  int // dense buffers handed out and not released
 	floatsOut int
 	words     int64 // total float64 words ever allocated by this arena
+	liveWords int64 // words currently held by acquirers
+}
+
+// trackLive mirrors this arena's held-buffer delta into the process-wide
+// workspace gauges (live and peak bytes) and, when tracing is on, the
+// "arena bytes" counter timeline of the Chrome trace.
+func (a *Arena) trackLive(deltaWords int64) {
+	a.liveWords += deltaWords
+	metrics.ArenaLiveBytes.Add(float64(8 * deltaWords))
+	live := metrics.ArenaLiveBytes.Value()
+	metrics.ArenaPeakBytes.SetMax(live)
+	obs.Sample("arena bytes", int64(live))
 }
 
 // NewArena returns an empty arena.
@@ -34,6 +51,7 @@ func NewArena() *Arena {
 // the same shape when one is available.
 func (a *Arena) AcquireDense(r, c int) *Dense {
 	a.denseOut++
+	a.trackLive(int64(r) * int64(c))
 	key := [2]int{r, c}
 	if l := a.freeDense[key]; len(l) > 0 {
 		m := l[len(l)-1]
@@ -50,6 +68,7 @@ func (a *Arena) ReleaseDense(m *Dense) {
 		return
 	}
 	a.denseOut--
+	a.trackLive(-int64(m.Rows) * int64(m.Cols))
 	key := [2]int{m.Rows, m.Cols}
 	a.freeDense[key] = append(a.freeDense[key], m)
 }
@@ -57,6 +76,7 @@ func (a *Arena) ReleaseDense(m *Dense) {
 // AcquireFloats returns a zeroed length-n slice, recycling when possible.
 func (a *Arena) AcquireFloats(n int) []float64 {
 	a.floatsOut++
+	a.trackLive(int64(n))
 	if l := a.freeFloats[n]; len(l) > 0 {
 		s := l[len(l)-1]
 		a.freeFloats[n] = l[:len(l)-1]
@@ -75,11 +95,15 @@ func (a *Arena) ReleaseFloats(s []float64) {
 		return
 	}
 	a.floatsOut--
+	a.trackLive(-int64(len(s)))
 	a.freeFloats[len(s)] = append(a.freeFloats[len(s)], s)
 }
 
 // Bytes returns the total workspace footprint allocated through the arena.
 func (a *Arena) Bytes() int64 { return a.words * 8 }
+
+// LiveBytes returns the bytes currently held by acquirers of this arena.
+func (a *Arena) LiveBytes() int64 { return a.liveWords * 8 }
 
 // Live returns the number of buffers currently held by acquirers.
 func (a *Arena) Live() int { return a.denseOut + a.floatsOut }
