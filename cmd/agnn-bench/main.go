@@ -40,8 +40,9 @@ func main() {
 	flag.IntVar(&s.Features, "features", 16, "number of features k")
 	flag.IntVar(&s.Layers, "l", 3, "number of GNN layers")
 	flag.IntVar(&s.Ranks, "p", 1, "simulated process count (1 = shared memory; >1 must be a perfect square for the global engine)")
-	engine := flag.String("engine", "global", "execution engine: global, local, minibatch")
+	engine := flag.String("engine", "global", "execution engine: global, rows, local, minibatch")
 	flag.BoolVar(&s.Inference, "inference", false, "run inference only (no intermediate matrices stored)")
+	flag.BoolVar(&s.Overlap, "overlap", false, "engine=rows: overlap the feature allgather with arrival-gated plan fragments")
 	flag.IntVar(&s.Repeat, "repeat", 10, "number of timed repetitions")
 	flag.IntVar(&s.Warmup, "warmup", 2, "number of warmup runs")
 	flag.IntVar(&s.BatchSize, "batch", 16384, "mini-batch seed count (engine=minibatch)")
@@ -97,6 +98,12 @@ func main() {
 			res.CommBytesMax, res.CommMsgsMax, res.NetModelSec)
 		fmt.Printf("theory: predicted %.0f words per rank per execution (measured/predicted %.2f)\n",
 			res.PredictedWords, res.CommRatio)
+		fmt.Printf("layer time: measured %.6fs, model %.6fs (measured/predicted %.2f)\n",
+			res.MeanLayerSec, res.PredictedLayerSec, res.LayerTimeRatio)
+		if res.Overlap {
+			fmt.Printf("overlap: hidden %.6fs per rank per execution, local fraction %.2f\n",
+				res.OverlapHiddenSec, res.OverlapLocalFrac)
+		}
 	}
 	if csvPath != "" {
 		if err := appendCSV(csvPath, res); err != nil {
@@ -105,7 +112,22 @@ func main() {
 		}
 	}
 	if *jsonPath != "" {
-		if err := benchutil.WriteRecordFile(*jsonPath, benchutil.NewRecord(res)); err != nil {
+		rec := benchutil.NewRecord(res)
+		if s.Overlap {
+			// Overlapped baselines carry their sequential twin, so one file
+			// holds the on/off per-layer wall-clock comparison.
+			seq := s
+			seq.Overlap = false
+			seqRes, err := benchutil.RunSpec(seq)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "agnn-bench:", err)
+				os.Exit(1)
+			}
+			rec.Baseline = &seqRes
+			fmt.Printf("sequential baseline: median=%.6fs layer=%.6fs\n",
+				seqRes.MedianSec, seqRes.MeanLayerSec)
+		}
+		if err := benchutil.WriteRecordFile(*jsonPath, rec); err != nil {
 			fmt.Fprintln(os.Stderr, "agnn-bench:", err)
 			os.Exit(1)
 		}

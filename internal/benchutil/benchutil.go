@@ -32,11 +32,14 @@ import (
 type Engine string
 
 // Engines. EngineGlobal is the paper's global tensor formulation (the grid
-// engine when Ranks > 1); EngineLocal is the message-passing baseline
-// (full-batch; halo exchange when distributed); EngineMiniBatch is the
-// DistDGL-style mini-batch baseline (training only).
+// engine when Ranks > 1); EngineRows is the 1D A-stationary row layout
+// (full feature allgather per layer, inference only — the replication-factor
+// ablation and the overlap testbed); EngineLocal is the message-passing
+// baseline (full-batch; halo exchange when distributed); EngineMiniBatch is
+// the DistDGL-style mini-batch baseline (training only).
 const (
 	EngineGlobal    Engine = "global"
+	EngineRows      Engine = "rows"
 	EngineLocal     Engine = "local"
 	EngineMiniBatch Engine = "minibatch"
 )
@@ -54,6 +57,7 @@ type Spec struct {
 	Ranks     int    // simulated process count (1 = shared-memory)
 	Engine    Engine
 	Inference bool // forward only vs forward+backward+update
+	Overlap   bool // rows engine: chunked allgather + arrival-gated plan fragments
 	BatchSize int  // minibatch engine: seeds per step (paper: 16384)
 	Repeat    int  // timed executions (paper: 10)
 	Warmup    int  // untimed executions (paper: 2)
@@ -103,6 +107,13 @@ type Result struct {
 	MeasuredWords  float64 // max per-rank words per execution (CommBytesMax/8)
 	CommRatio      float64 // measured / predicted words (0 when p = 1)
 	PeakArenaBytes int64   // high-water mark of live workspace bytes
+
+	// Latency-side validation (Ranks > 1; see costmodel.ValidateTime).
+	MeanLayerSec      float64 // measured median wall time per layer
+	PredictedLayerSec float64 // cost-model layer time (overlap-adjusted when Overlap)
+	LayerTimeRatio    float64 // measured / predicted layer time
+	OverlapHiddenSec  float64 // comm wall time hidden per rank per execution (Overlap)
+	OverlapLocalFrac  float64 // fraction of rows runnable before the first remote chunk
 }
 
 // BuildGraph materializes the Spec's dataset.
@@ -163,9 +174,14 @@ func RunSpec(s Spec) (Result, error) {
 	}
 	cfg := s.gnnConfig(kind)
 
+	if s.Overlap && s.Engine != EngineRows {
+		return Result{}, fmt.Errorf("benchutil: -overlap requires engine=rows (got %q)", s.Engine)
+	}
+
 	var times []float64
 	var maxBytes, maxMsgs int64
 	runs := s.Warmup + s.Repeat
+	hidden0 := metrics.OverlapHiddenSeconds.Value()
 	switch {
 	case s.Ranks == 1:
 		times, err = runSingle(s, cfg, a, h, labels, runs)
@@ -187,6 +203,11 @@ func RunSpec(s Spec) (Result, error) {
 	switch s.Engine {
 	case EngineGlobal:
 		res.PredictedWords = float64(s.Layers) * costmodel.GlobalVolume(st.N, s.Features, s.Ranks)
+	case EngineRows:
+		// Full feature allgather per layer: Θ(nk) words per rank.
+		if s.Ranks > 1 {
+			res.PredictedWords = float64(s.Layers) * float64(st.N) * float64(s.Features)
+		}
 	default:
 		res.PredictedWords = float64(s.Layers) * costmodel.LocalVolume(st.N, s.Features, st.MaxDeg, s.Ranks)
 	}
@@ -194,6 +215,24 @@ func RunSpec(s Spec) (Result, error) {
 	if s.Ranks > 1 {
 		res.MeasuredWords = float64(maxBytes) / 8
 		res.CommRatio = costmodel.ValidateComm(res.PredictedWords, res.MeasuredWords).Ratio
+
+		// Latency closed loop: comm time from the α-β model on the measured
+		// counters, compute time inferred from the measured layer wall time,
+		// prediction overlap-adjusted when chunked execution was on.
+		res.MeanLayerSec = res.MedianSec / float64(s.Layers)
+		commSec := res.NetModelSec / float64(s.Layers)
+		if s.Overlap {
+			// Accumulated across every rank, layer and execution (warmup included).
+			res.OverlapHiddenSec = (metrics.OverlapHiddenSeconds.Value() - hidden0) / float64(runs*s.Ranks)
+			res.OverlapLocalFrac = metrics.OverlapLocalFraction.Value()
+			seqSec := res.MeanLayerSec + res.OverlapHiddenSec/float64(s.Layers)
+			computeSec := math.Max(seqSec-commSec, 0)
+			res.PredictedLayerSec = costmodel.OverlappedLayerTime(computeSec, commSec, 1)
+		} else {
+			computeSec := math.Max(res.MeanLayerSec-commSec, 0)
+			res.PredictedLayerSec = costmodel.SequentialLayerTime(computeSec, commSec)
+		}
+		res.LayerTimeRatio = costmodel.ValidateTime(res.PredictedLayerSec, res.MeanLayerSec).Ratio
 	}
 	return res, nil
 }
@@ -262,6 +301,36 @@ func runDistributed(s Spec, cfg gnn.Config, a *sparse.CSR, h *tensor.Dense, labe
 				} else {
 					e.TrainStep(xd, labels, nil, opt)
 				}
+				sp.End()
+				c.Barrier()
+				if c.Rank() == 0 {
+					mu.Lock()
+					times = append(times, time.Since(t0).Seconds())
+					mu.Unlock()
+				}
+			}
+		case EngineRows:
+			if !s.Inference {
+				record(fmt.Errorf("benchutil: engine=rows is inference-only (pass -inference)"))
+				return
+			}
+			e, err := distgnn.NewRowEngine(c, a, cfg)
+			if err != nil {
+				record(err)
+				return
+			}
+			if s.Overlap {
+				if err := e.EnableOverlap(); err != nil {
+					record(err)
+					return
+				}
+			}
+			hOwned := h.SliceRows(e.Lo, e.Hi).Clone()
+			for r := 0; r < runs; r++ {
+				c.Barrier()
+				sp := c.StartSpan("execution")
+				t0 := time.Now()
+				e.Forward(hOwned)
 				sp.End()
 				c.Barrier()
 				if c.Rank() == 0 {

@@ -18,9 +18,12 @@ const RecordSchema = "agnn-bench/v1"
 // carries the per-op latency quantiles, per-rank communication counters and
 // workspace high-water marks the run accumulated.
 type Record struct {
-	Schema  string            `json:"schema"`
-	Result  Result            `json:"result"`
-	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
+	Schema string `json:"schema"`
+	Result Result `json:"result"`
+	// Baseline is the non-overlapped twin of an overlapped Result (same spec
+	// with Overlap off), so one BENCH_*.json carries the on/off comparison.
+	Baseline *Result           `json:"sequential_baseline,omitempty"`
+	Metrics  *metrics.Snapshot `json:"metrics,omitempty"`
 }
 
 // NewRecord bundles a Result with the current Default-registry snapshot.

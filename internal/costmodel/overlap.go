@@ -1,0 +1,68 @@
+package costmodel
+
+import (
+	"math"
+
+	"agnn/internal/obs/metrics"
+)
+
+// This file extends the Section 7 volume analysis from *words* to *wall
+// time*: with chunked collectives and arrival-gated plan fragments
+// (internal/dist.AllgatherChunks + fuse.PartitionedPlan), part of a layer's
+// communication no longer sits on the critical path. The model below is the
+// standard overlap bound — communication can hide behind compute only up to
+// the amount of compute that does not depend on in-flight data.
+
+// SequentialLayerTime is the non-overlapped per-layer wall time: the
+// collective completes before any compute starts, so the two terms add.
+func SequentialLayerTime(computeSec, commSec float64) float64 {
+	return computeSec + commSec
+}
+
+// OverlappedLayerTime is the overlap-adjusted per-layer wall time.
+// overlappable is the fraction of the layer's compute that can run while
+// the collective is still in flight — for the arrival-gated row plans this
+// is bounded below by fuse.PartitionedPlan.LocalFraction (rank-resident
+// rows) and above by 1 − the work gated on the final chunk. The hideable
+// time is min(overlappable·compute, comm): overlap cannot hide more
+// communication than exists, nor more than the eligible compute covers.
+func OverlappedLayerTime(computeSec, commSec, overlappable float64) float64 {
+	overlappable = math.Max(0, math.Min(1, overlappable))
+	hidden := math.Min(overlappable*computeSec, commSec)
+	return computeSec + commSec - hidden
+}
+
+// PredictedHiddenSeconds is the model's counterpart of the measured
+// agnn_overlap_hidden_seconds gauge for one layer.
+func PredictedHiddenSeconds(computeSec, commSec, overlappable float64) float64 {
+	return SequentialLayerTime(computeSec, commSec) -
+		OverlappedLayerTime(computeSec, commSec, overlappable)
+}
+
+// TimeValidation is the latency-side counterpart of Validation: predicted
+// vs measured mean per-layer wall time.
+type TimeValidation struct {
+	PredictedSeconds float64 `json:"predicted_seconds"`
+	MeasuredSeconds  float64 `json:"measured_seconds"`
+	Ratio            float64 `json:"ratio"` // measured / predicted; 0 when nothing was predicted
+}
+
+// Within reports whether the measurement is within factor f of the
+// prediction in either direction.
+func (v TimeValidation) Within(f float64) bool {
+	return WithinFactor(v.MeasuredSeconds, v.PredictedSeconds, f)
+}
+
+// ValidateTime compares a predicted mean per-layer wall time against the
+// measured one and publishes both sides to the live metrics registry
+// (agnn_layer_predicted_seconds / agnn_layer_measured_seconds) — the
+// latency-side closed loop that ValidateComm provides for volumes.
+func ValidateTime(predictedSec, measuredSec float64) TimeValidation {
+	metrics.LayerPredictedSeconds.Set(predictedSec)
+	metrics.LayerMeasuredSeconds.Set(measuredSec)
+	v := TimeValidation{PredictedSeconds: predictedSec, MeasuredSeconds: measuredSec}
+	if predictedSec > 0 {
+		v.Ratio = measuredSec / predictedSec
+	}
+	return v
+}

@@ -1,0 +1,56 @@
+package costmodel
+
+import (
+	"testing"
+
+	"agnn/internal/obs/metrics"
+)
+
+func TestOverlappedLayerTime(t *testing.T) {
+	cases := []struct {
+		name                        string
+		compute, comm, overlappable float64
+		want                        float64
+	}{
+		{"comm-bound, full overlap", 1, 3, 1, 3},    // hides all compute-worth: 1+3-1
+		{"compute-bound, full overlap", 3, 1, 1, 3}, // hides all comm: 3+1-1
+		{"half overlappable", 2, 2, 0.5, 3},         // hides 0.5·2 = 1
+		{"nothing overlappable", 2, 2, 0, 4},        // sequential
+		{"clamped fraction", 2, 2, 1.5, 2},          // treated as 1
+		{"negative fraction clamped", 2, 2, -1, 4},  // treated as 0
+		{"no communication", 5, 0, 1, 5},            // nothing to hide
+	}
+	for _, c := range cases {
+		if got := OverlappedLayerTime(c.compute, c.comm, c.overlappable); got != c.want {
+			t.Errorf("%s: OverlappedLayerTime(%v,%v,%v) = %v, want %v",
+				c.name, c.compute, c.comm, c.overlappable, got, c.want)
+		}
+		seq := SequentialLayerTime(c.compute, c.comm)
+		if got := OverlappedLayerTime(c.compute, c.comm, c.overlappable); got > seq {
+			t.Errorf("%s: overlapped %v exceeds sequential %v", c.name, got, seq)
+		}
+		wantHidden := seq - c.want
+		if got := PredictedHiddenSeconds(c.compute, c.comm, c.overlappable); got != wantHidden {
+			t.Errorf("%s: PredictedHiddenSeconds = %v, want %v", c.name, got, wantHidden)
+		}
+	}
+}
+
+func TestValidateTimePublishesGauges(t *testing.T) {
+	v := ValidateTime(0.02, 0.03)
+	if v.Ratio != 1.5 {
+		t.Errorf("ratio %v, want 1.5", v.Ratio)
+	}
+	if !v.Within(2) || v.Within(1.2) {
+		t.Errorf("Within misbehaves: %+v", v)
+	}
+	if got := metrics.LayerPredictedSeconds.Value(); got != 0.02 {
+		t.Errorf("predicted gauge %v, want 0.02", got)
+	}
+	if got := metrics.LayerMeasuredSeconds.Value(); got != 0.03 {
+		t.Errorf("measured gauge %v, want 0.03", got)
+	}
+	if v0 := ValidateTime(0, 0.01); v0.Ratio != 0 {
+		t.Errorf("zero prediction must give ratio 0, got %v", v0.Ratio)
+	}
+}

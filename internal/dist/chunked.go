@@ -1,0 +1,123 @@
+package dist
+
+import (
+	"fmt"
+
+	"agnn/internal/obs"
+	"agnn/internal/obs/metrics"
+)
+
+// Chunked (asynchronous) allgather: the communication half of compute/
+// communication overlap. Instead of blocking until the whole ring has
+// circulated, AllgatherChunks returns immediately with the rank's own chunk
+// available and streams the remaining chunks over a channel as each ring
+// hop completes, so the engine can run arrival-gated plan fragments (see
+// fuse.Partition) while the collective is still in flight. Volume, message
+// and round accounting is identical to the blocking Allgather — one round
+// and one chunk-sized message per ring hop — but attributed per chunk, so
+// the BSP counters and the per-collective byte histogram expose the
+// pipelined structure instead of one opaque call.
+
+// Chunk announces that a contiguous word range of the gather output has
+// landed and may be read.
+type Chunk struct {
+	Step int // arrival step: 0 = rank-resident chunk, t = t-th ring hop
+	Src  int // group rank that contributed the range
+	Lo   int // word offsets into Out(), half-open [Lo, Hi)
+	Hi   int
+}
+
+// ChunkedGather is an in-flight chunked allgather. Out is the full
+// concatenation buffer; a range of it is safe to read only after the
+// corresponding Chunk has been received from Chunks. The channel is closed
+// when the collective completes; callers must drain it before issuing any
+// other collective on the same communicator (the ring shares the rank's
+// mailboxes).
+type ChunkedGather struct {
+	out []float64
+	ch  chan Chunk
+}
+
+// Chunks returns the arrival stream: exactly Size() chunks (own chunk
+// first), then close.
+func (cg *ChunkedGather) Chunks() <-chan Chunk { return cg.ch }
+
+// Out returns the gather output buffer (concatenation in group-rank order).
+func (cg *ChunkedGather) Out() []float64 { return cg.out }
+
+// Wait drains any undelivered chunks and returns the completed output —
+// the blocking-Allgather view of a chunked gather.
+func (cg *ChunkedGather) Wait() []float64 {
+	for range cg.ch {
+	}
+	return cg.out
+}
+
+// AllgatherChunks starts a chunked ring allgather. lens[r] is the word
+// count contributed by group rank r (the SPMD-agreed layout — unlike
+// Allgather there is no length-exchange ring, so the caller supplies it);
+// data is this rank's contribution of length lens[Rank()].
+//
+// The ring runs on a helper goroutine: Send/Recv, counters and metrics are
+// all safe under the concurrent rank compute the caller is expected to do.
+// Arrival order for rank me is deterministic: me, me-1, me-2, … (mod size),
+// one chunk per ring hop — the order fuse.Partition's arrival schedule
+// mirrors. Each hop counts one round and one chunk-sized message on this
+// rank and lands one observation in the "allgather_chunk" byte histogram.
+func (c *Comm) AllgatherChunks(data []float64, lens []int) *ChunkedGather {
+	g := c.Size()
+	if len(lens) != g {
+		panic(fmt.Sprintf("dist: AllgatherChunks lens has %d entries for group size %d", len(lens), g))
+	}
+	if len(data) != lens[c.me] {
+		panic(fmt.Sprintf("dist: AllgatherChunks rank %d contributes %d words, lens says %d", c.me, len(data), lens[c.me]))
+	}
+	bounds := make([]int, g+1)
+	for i, l := range lens {
+		bounds[i+1] = bounds[i] + l
+	}
+	cg := &ChunkedGather{
+		out: make([]float64, bounds[g]),
+		// Buffered for every chunk: the ring never blocks on a slow
+		// consumer, so communication progresses at full speed even when the
+		// engine is deep in a compute fragment.
+		ch: make(chan Chunk, g),
+	}
+	copy(cg.out[bounds[c.me]:bounds[c.me+1]], data)
+	cg.ch <- Chunk{Step: 0, Src: c.me, Lo: bounds[c.me], Hi: bounds[c.me+1]}
+	if g == 1 {
+		close(cg.ch)
+		return cg
+	}
+
+	right := (c.me + 1) % g
+	left := (c.me - 1 + g) % g
+	go func() {
+		track := c.w.gatherTrack(c.global)
+		whole := track.Start("allgather_chunks")
+		before := c.snapshot()
+		for t := 0; t < g-1; t++ {
+			sendIdx := (c.me - t + g) % g
+			recvIdx := (c.me - 1 - t + 2*g) % g
+			c.round()
+			hop := track.Start("gather.hop")
+			c.Send(right, cg.out[bounds[sendIdx]:bounds[sendIdx+1]])
+			chunk := c.Recv(left)
+			copy(cg.out[bounds[recvIdx]:bounds[recvIdx+1]], chunk)
+			bytes := int64(8 * len(chunk))
+			metrics.CollectiveBytes.With("allgather_chunk").Observe(float64(bytes))
+			if hop.Active() {
+				hop.End(obs.Int64("bytes", bytes), obs.Int64("src", int64(recvIdx)))
+			}
+			cg.ch <- Chunk{Step: t + 1, Src: recvIdx, Lo: bounds[recvIdx], Hi: bounds[recvIdx+1]}
+		}
+		if whole.Active() {
+			after := c.snapshot()
+			obs.Sample("comm bytes", c.w.totalBytes.Load())
+			whole.End(obs.Int64("bytes", after.BytesSent-before.BytesSent),
+				obs.Int64("msgs", after.MsgsSent-before.MsgsSent))
+		}
+		close(cg.ch)
+	}()
+	return cg
+}

@@ -1,0 +1,141 @@
+package dist
+
+import (
+	"testing"
+)
+
+// TestAllgatherChunksMatchesAllgather checks the chunked gather's completed
+// output, arrival order and per-chunk accounting against the blocking ring.
+func TestAllgatherChunksMatchesAllgather(t *testing.T) {
+	for _, p := range []int{1, 4, 16} {
+		lens := make([]int, p)
+		total := 0
+		for r := range lens {
+			lens[r] = 3 + r%4 // varying contributions
+			total += lens[r]
+		}
+		want := make([]float64, total)
+		{
+			off := 0
+			for r := 0; r < p; r++ {
+				for i := 0; i < lens[r]; i++ {
+					want[off] = float64(100*r + i)
+					off++
+				}
+			}
+		}
+		results := make([][]float64, p)
+		counters := Run(p, func(c *Comm) {
+			me := c.Rank()
+			data := make([]float64, lens[me])
+			for i := range data {
+				data[i] = float64(100*me + i)
+			}
+			cg := c.AllgatherChunks(data, lens)
+			seen := 0
+			for ch := range cg.Chunks() {
+				wantSrc := ((me-ch.Step)%p + p) % p
+				if ch.Src != wantSrc {
+					t.Errorf("p=%d rank %d step %d: chunk from %d, want ring order %d", p, me, ch.Step, ch.Src, wantSrc)
+				}
+				// The announced range must already hold the source's data.
+				out := cg.Out()
+				for i := ch.Lo; i < ch.Hi; i++ {
+					if out[i] != want[i] {
+						t.Errorf("p=%d rank %d step %d: word %d = %v before/after arrival, want %v", p, me, ch.Step, i, out[i], want[i])
+						break
+					}
+				}
+				seen++
+			}
+			if seen != p {
+				t.Errorf("p=%d rank %d: %d chunks delivered, want %d", p, me, seen, p)
+			}
+		})
+		for r, c := range counters {
+			_ = results
+			if wantRounds := int64(p - 1); c.Rounds != wantRounds {
+				t.Errorf("p=%d rank %d: %d rounds, want %d (one per ring hop)", p, r, c.Rounds, wantRounds)
+			}
+		}
+	}
+}
+
+// TestAllgatherChunksWaitEquivalence checks Wait() returns the same
+// concatenation as the blocking Allgather, with the same per-rank volume.
+func TestAllgatherChunksWaitEquivalence(t *testing.T) {
+	const p = 8
+	const chunk = 5
+	lens := make([]int, p)
+	for r := range lens {
+		lens[r] = chunk
+	}
+	var blocking, chunked []Counters
+	var blockOut, chunkOut [][]float64
+
+	mk := func(me int) []float64 {
+		d := make([]float64, chunk)
+		for i := range d {
+			d[i] = float64(me)*1000 + float64(i)
+		}
+		return d
+	}
+	blockOut = make([][]float64, p)
+	blocking = Run(p, func(c *Comm) {
+		blockOut[c.Rank()] = c.Allgather(mk(c.Rank()))
+	})
+	chunkOut = make([][]float64, p)
+	chunked = Run(p, func(c *Comm) {
+		chunkOut[c.Rank()] = c.AllgatherChunks(mk(c.Rank()), lens).Wait()
+	})
+	for r := 0; r < p; r++ {
+		if len(blockOut[r]) != len(chunkOut[r]) {
+			t.Fatalf("rank %d: length %d vs %d", r, len(chunkOut[r]), len(blockOut[r]))
+		}
+		for i := range blockOut[r] {
+			if blockOut[r][i] != chunkOut[r][i] {
+				t.Fatalf("rank %d word %d: chunked %v, blocking %v", r, i, chunkOut[r][i], blockOut[r][i])
+			}
+		}
+		// The chunked ring moves exactly the payload words; the blocking
+		// Allgather additionally runs its length-exchange ring.
+		payload := int64(8 * chunk * (p - 1))
+		if chunked[r].BytesSent != payload {
+			t.Errorf("rank %d: chunked gather sent %d bytes, want %d", r, chunked[r].BytesSent, payload)
+		}
+		if blocking[r].BytesSent < payload {
+			t.Errorf("rank %d: blocking gather sent %d bytes, want >= %d", r, blocking[r].BytesSent, payload)
+		}
+	}
+}
+
+// TestAllgatherChunksOverlappedConsumer drains the chunk stream while doing
+// unrelated work between receives — the engine's consumption pattern — and
+// is the -race anchor for the chunked-collective handoff.
+func TestAllgatherChunksOverlappedConsumer(t *testing.T) {
+	const p = 4
+	const chunk = 64
+	lens := []int{chunk, chunk, chunk, chunk}
+	sums := make([]float64, p)
+	Run(p, func(c *Comm) {
+		me := c.Rank()
+		data := make([]float64, chunk)
+		for i := range data {
+			data[i] = 1
+		}
+		cg := c.AllgatherChunks(data, lens)
+		acc := 0.0
+		for ch := range cg.Chunks() {
+			out := cg.Out()
+			for i := ch.Lo; i < ch.Hi; i++ {
+				acc += out[i]
+			}
+		}
+		sums[me] = acc
+	})
+	for r, s := range sums {
+		if s != float64(p*chunk) {
+			t.Errorf("rank %d: consumed sum %v, want %v", r, s, float64(p*chunk))
+		}
+	}
+}

@@ -71,8 +71,10 @@ type World struct {
 	mBytes, mMsgs, mRounds []*metrics.Counter
 	totalBytes             atomic.Int64 // world-wide cumulative, for the trace timeline
 
-	tracer *obs.Tracer  // nil when tracing is off
-	tracks []*obs.Track // one per rank when tracing
+	tracer  *obs.Tracer  // nil when tracing is off
+	tracks  []*obs.Track // one per rank when tracing
+	gmu     sync.Mutex   // guards gtracks
+	gtracks []*obs.Track // per-rank gather tracks, created on first chunked gather
 }
 
 // mailboxCap bounds in-flight messages per (sender, receiver) pair. Ring
@@ -113,9 +115,27 @@ func (w *World) EnableTracing(t *obs.Tracer) {
 	}
 	w.tracer = t
 	w.tracks = make([]*obs.Track, w.P)
+	w.gtracks = make([]*obs.Track, w.P)
 	for r := 0; r < w.P; r++ {
 		w.tracks[r] = t.Track(fmt.Sprintf("rank %d", r))
 	}
+}
+
+// gatherTrack returns rank's gather trace track, creating it on first use.
+// Chunked gathers run concurrently with rank compute, so their spans get a
+// sibling track ("rank N gather") — both timelines stay well-nested and the
+// trace shows the gather and compute tracks interleaved. Lazy creation
+// keeps traces of non-overlapped runs free of empty tracks.
+func (w *World) gatherTrack(rank int) *obs.Track {
+	if w.tracer == nil {
+		return nil
+	}
+	w.gmu.Lock()
+	defer w.gmu.Unlock()
+	if w.gtracks[rank] == nil {
+		w.gtracks[rank] = w.tracer.Track(fmt.Sprintf("rank %d gather", rank))
+	}
+	return w.gtracks[rank]
 }
 
 // Run executes f on every rank of a fresh p-rank world concurrently and

@@ -1,8 +1,10 @@
 package distgnn
 
 import (
+	"fmt"
 	"math/rand"
 
+	"agnn/internal/fuse"
 	"agnn/internal/gnn"
 	"agnn/internal/kernels"
 	"agnn/internal/sparse"
@@ -29,6 +31,13 @@ type gridGCN struct {
 	w   *gnn.Param
 	act gnn.Activation
 
+	// plan is the lazily compiled inference block plan: the local compute
+	// Z_part = A_ij·(X_j W) as a fuse DAG over the stationary block, sharing
+	// the compiled-op kernels and worker pool with the single-node and 1D
+	// engines. Broadcasts, reductions and the activation stay outside — they
+	// are grid concerns, not block compute.
+	plan *fuse.Plan
+
 	xd, z *tensor.Dense
 }
 
@@ -38,11 +47,27 @@ func newGridGCN(in, out int, act gnn.Activation, rng *rand.Rand) *gridGCN {
 
 func (l *gridGCN) params() []*gnn.Param { return []*gnn.Param{l.w} }
 
+func (l *gridGCN) blockPlan(e *GlobalEngine, in int) *fuse.Plan {
+	if l.plan == nil {
+		g := fuse.NewGraph("grid-gcn", e.ABlk)
+		h := g.InputDense("HCol", e.B, in)
+		wn := g.ParamNode("W", rowRef(l.w))
+		g.SetOutput(g.SpMM("Zpart", g.Adj(), g.MM("HW", h, wn)))
+		l.plan = g.MustCompile(fuse.Options{SpanPrefix: fmt.Sprintf("grid%d.", e.C.Rank())})
+	}
+	return l.plan
+}
+
 func (l *gridGCN) forward(e *GlobalEngine, xd *tensor.Dense, training bool) *tensor.Dense {
 	in, out := l.w.Value.Rows, l.w.Value.Cols
 	xCol := e.bcastColBlock(xd, in)
-	xpCol := tensor.MM(xCol, l.w.Value) // W replicated: no communication
-	part := e.ABlk.MulDense(xpCol)
+	var part *tensor.Dense
+	if training {
+		xpCol := tensor.MM(xCol, l.w.Value) // W replicated: no communication
+		part = e.ABlk.MulDense(xpCol)
+	} else {
+		part = l.blockPlan(e, in).Forward(xCol)
+	}
 	z := e.reduceRowToDiag(part, out)
 	if !e.Diag {
 		return nil
@@ -75,6 +100,13 @@ type gridVA struct {
 	w   *gnn.Param
 	act gnn.Activation
 
+	// plan is the lazily compiled inference block plan. VA's scores need H
+	// on both sides of the block — the row-broadcast block feeds the score
+	// rows (the plan's primary input) and the column-broadcast block feeds
+	// the score columns and the projection, bound per call as the auxiliary
+	// dense input "HCol" (fuse.Graph.InputDenseAux).
+	plan *fuse.Plan
+
 	xd, xRow, xCol, xpCol *tensor.Dense
 	psi                   *sparse.CSR
 	z                     *tensor.Dense
@@ -86,16 +118,37 @@ func newGridVA(in, out int, act gnn.Activation, rng *rand.Rand) *gridVA {
 
 func (l *gridVA) params() []*gnn.Param { return []*gnn.Param{l.w} }
 
+func (l *gridVA) blockPlan(e *GlobalEngine, in int) *fuse.Plan {
+	if l.plan == nil {
+		g := fuse.NewGraph("grid-va", e.ABlk)
+		hRow := g.InputDense("HRow", e.B, in)
+		hCol := g.InputDenseAux("HCol", e.B, in)
+		wn := g.ParamNode("W", rowRef(l.w))
+		psi := g.Mask("Psi", g.DotScores("HHt", hRow, hCol), true)
+		g.SetOutput(g.SpMM("Zpart", psi, g.MM("HW", hCol, wn)))
+		l.plan = g.MustCompile(fuse.Options{SpanPrefix: fmt.Sprintf("grid%d.", e.C.Rank())})
+	}
+	return l.plan
+}
+
 func (l *gridVA) forward(e *GlobalEngine, xd *tensor.Dense, training bool) *tensor.Dense {
 	in, out := l.w.Value.Rows, l.w.Value.Cols
 	xCol := e.bcastColBlock(xd, in)
 	xRow := e.bcastRowBlock(xd, in)
-	psi := sparse.SDDMMScaled(e.ABlk, xRow, xCol) // Ψ_ij = A_ij ⊙ X_i·X_jᵀ
-	xpCol := tensor.MM(xCol, l.w.Value)
-	part := psi.MulDense(xpCol)
+	var part *tensor.Dense
+	if training {
+		psi := sparse.SDDMMScaled(e.ABlk, xRow, xCol) // Ψ_ij = A_ij ⊙ X_i·X_jᵀ
+		xpCol := tensor.MM(xCol, l.w.Value)
+		part = psi.MulDense(xpCol)
+		l.xd, l.xRow, l.xCol, l.xpCol, l.psi = xd, xRow, xCol, xpCol, psi
+	} else {
+		p := l.blockPlan(e, in)
+		p.BindDense("HCol", xCol)
+		part = p.Forward(xRow)
+	}
 	z := e.reduceRowToDiag(part, out)
 	if training {
-		l.xd, l.xRow, l.xCol, l.xpCol, l.psi, l.z = xd, xRow, xCol, xpCol, psi, z
+		l.z = z
 	}
 	if !e.Diag {
 		return nil

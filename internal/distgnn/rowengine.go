@@ -3,11 +3,13 @@ package distgnn
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"agnn/internal/dist"
 	"agnn/internal/fuse"
 	"agnn/internal/gnn"
 	"agnn/internal/graph"
+	"agnn/internal/obs/metrics"
 	"agnn/internal/sparse"
 	"agnn/internal/tensor"
 )
@@ -28,6 +30,12 @@ type RowEngine struct {
 	aRows  *sparse.CSR // owned rows over all n columns
 	cfg    gnn.Config
 	layers []rowLayer
+
+	// Overlapped execution (EnableOverlap): the per-layer plans partitioned
+	// by chunk-arrival step, plus the shared arrival schedule mirroring the
+	// ring allgather's deterministic chunk order.
+	overlap bool
+	avail   []fuse.RowRange
 }
 
 type rowLayer struct {
@@ -39,6 +47,8 @@ type rowLayer struct {
 	// the layer's DAG with SetRowOffset(Lo), so score closures index the
 	// full-height (allgathered) factors with global row ids.
 	plan *fuse.Plan
+	// pp is the arrival-gated partition of plan, present when overlap is on.
+	pp *fuse.PartitionedPlan
 }
 
 // rowRef and rowAct adapt gnn types to the fuse runtime (mirrors the
@@ -146,13 +156,52 @@ func (e *RowEngine) compileLayerPlan(rl rowLayer, in int) *fuse.Plan {
 	return g.MustCompile(fuse.Options{SpanPrefix: fmt.Sprintf("row%d.", e.C.Rank())})
 }
 
+// EnableOverlap switches Forward to overlapped execution: the feature
+// allgather runs chunked (dist.AllgatherChunks) while each layer's
+// partitioned plan drains arrival-gated fragments — rank-resident rows
+// compute immediately, halo-dependent rows as their chunks land. A no-op
+// at p=1 (there is nothing to hide). Output stays bitwise-identical to the
+// sequential path: fragments execute the exact per-row arithmetic of the
+// plan's sweeps, just regrouped (see fuse.Partition).
+func (e *RowEngine) EnableOverlap() error {
+	if e.overlap || e.C.Size() == 1 {
+		return nil
+	}
+	g := e.C.Size()
+	me := e.C.Rank()
+	avail := make([]fuse.RowRange, g)
+	for t := 0; t < g; t++ {
+		src := ((me-t)%g + g) % g // ring arrival order: me, me-1, …
+		lo, hi := e.Part.Range(src)
+		avail[t] = fuse.RowRange{Lo: lo, Hi: hi}
+	}
+	for i := range e.layers {
+		pp, err := e.layers[i].plan.Partition(avail)
+		if err != nil {
+			return fmt.Errorf("distgnn: overlap unavailable for layer %d: %w", i, err)
+		}
+		e.layers[i].pp = pp
+	}
+	e.avail = avail
+	e.overlap = true
+	return nil
+}
+
+// Overlapped reports whether overlapped execution is active.
+func (e *RowEngine) Overlapped() bool { return e.overlap }
+
 // Forward runs inference: per layer, one full allgather of the feature
-// matrix (the Θ(nk) term), then purely local computation on the owned rows.
+// matrix (the Θ(nk) term), then computation on the owned rows — strictly
+// after the gather on the sequential path, interleaved with it when
+// EnableOverlap is active.
 func (e *RowEngine) Forward(hOwned *tensor.Dense) *tensor.Dense {
 	h := hOwned
 	for _, l := range e.layers {
-		k := h.Cols
-		full := tensor.NewDenseFrom(e.Part.N, k, e.C.Allgather(h.Data))
+		if e.overlap {
+			h = e.layerForwardOverlapped(l, h)
+			continue
+		}
+		full := tensor.NewDenseFrom(e.Part.N, h.Cols, e.C.Allgather(h.Data))
 		h = e.layerForward(l, full)
 	}
 	return h
@@ -160,6 +209,56 @@ func (e *RowEngine) Forward(hOwned *tensor.Dense) *tensor.Dense {
 
 func (e *RowEngine) layerForward(l rowLayer, full *tensor.Dense) *tensor.Dense {
 	return l.plan.Forward(full)
+}
+
+// layerForwardOverlapped starts the chunked allgather of the layer input
+// and runs the partitioned plan's step t as soon as chunk t has landed.
+// The time this rank spends computing fragments while the gather is still
+// in flight is the hidden latency; what remains on the critical path is
+// only the stall time (blocked on chunk receives), recorded against the
+// agnn_overlap_hidden_seconds gauge.
+func (e *RowEngine) layerForwardOverlapped(l rowLayer, h *tensor.Dense) *tensor.Dense {
+	k := h.Cols
+	g := e.C.Size()
+	lens := make([]int, g)
+	for r := 0; r < g; r++ {
+		lo, hi := e.Part.Range(r)
+		lens[r] = (hi - lo) * k
+	}
+	start := time.Now()
+	cg := e.C.AllgatherChunks(h.Data, lens)
+	full := tensor.NewDenseFrom(e.Part.N, k, cg.Out())
+	pp := l.pp
+	pp.Bind(full)
+
+	var stall time.Duration
+	var lastArrival time.Time
+	chunks := cg.Chunks()
+	for t := 0; t < pp.Steps(); t++ {
+		w0 := time.Now()
+		ch, ok := <-chunks
+		if !ok {
+			panic("distgnn: chunked gather ended early")
+		}
+		stall += time.Since(w0)
+		lastArrival = time.Now()
+		if want := e.avail[t]; ch.Lo != want.Lo*k || ch.Hi != want.Hi*k {
+			panic(fmt.Sprintf("distgnn: chunk %d covers words [%d,%d), schedule expects rows [%d,%d)",
+				t, ch.Lo, ch.Hi, want.Lo, want.Hi))
+		}
+		sp := e.C.StartSpan("overlap.step")
+		pp.RunStep(t)
+		sp.End()
+	}
+	for range chunks { // consume the close
+	}
+	hidden := lastArrival.Sub(start).Seconds() - stall.Seconds()
+	if hidden > 0 {
+		metrics.OverlapHiddenSeconds.Add(hidden)
+	}
+	metrics.OverlapChunksTotal.Add(int64(pp.Steps()))
+	metrics.OverlapLocalFraction.Set(pp.LocalFraction())
+	return pp.Output()
 }
 
 // GatherOutput assembles the full output on rank 0 (test helper).

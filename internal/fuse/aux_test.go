@@ -1,0 +1,97 @@
+package fuse_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"agnn/internal/fuse"
+	"agnn/internal/tensor"
+)
+
+// buildTwoSided builds the 2D grid engines' VA block graph: scores read the
+// primary input on the rows and the auxiliary input on the columns,
+// Ψ = A ⊙ (Hrow·Hcolᵀ), Z = Ψ·(Hcol·W).
+func buildTwoSided(t *testing.T, k, out int, w fuse.ParamRef) *fuse.Graph {
+	t.Helper()
+	a := weightedGraph(24, 140, 77)
+	g := fuse.NewGraph("two-sided", a)
+	hRow := g.InputDense("HRow", a.Rows, k)
+	hCol := g.InputDenseAux("HCol", a.Rows, k)
+	wn := g.ParamNode("W", w)
+	psi := g.Mask("Psi", g.DotScores("HHt", hRow, hCol), true)
+	g.SetOutput(g.SpMM("Z", psi, g.MM("HW", hCol, wn)))
+	return g
+}
+
+// TestAuxDenseInput checks that a plan with an auxiliary dense input
+// reproduces the reference two-sided computation exactly, and that
+// rebinding the aux input takes effect on the next Forward.
+func TestAuxDenseInput(t *testing.T) {
+	const k, out = 5, 4
+	rng := rand.New(rand.NewSource(78))
+	w := randParam(rng, "W", k, out)
+	g := buildTwoSided(t, k, out, w)
+	a := weightedGraph(24, 140, 77)
+	p, err := g.Compile(fuse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hRow := randDense(rng, 24, k)
+	for trial := 0; trial < 2; trial++ { // second trial rebinds a new HCol
+		hCol := randDense(rng, 24, k)
+		p.BindDense("HCol", hCol)
+		got := p.Forward(hRow)
+
+		hw := tensor.MM(hCol, w.Value)
+		want := tensor.NewDense(24, out)
+		for i := 0; i < a.Rows; i++ {
+			for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+				j := a.Col[q]
+				dot := 0.0
+				for c := 0; c < k; c++ {
+					dot += hRow.Row(i)[c] * hCol.Row(int(j))[c]
+				}
+				psi := a.Val[q] * dot
+				for c := 0; c < out; c++ {
+					want.Row(i)[c] += psi * hw.Row(int(j))[c]
+				}
+			}
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("trial %d: word %d: got %v want %v", trial, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestAuxDenseInputTrainRejected: auxiliary inputs are inference-only.
+func TestAuxDenseInputTrainRejected(t *testing.T) {
+	const k, out = 5, 4
+	rng := rand.New(rand.NewSource(79))
+	w := randParam(rng, "W", k, out)
+	g := buildTwoSided(t, k, out, w)
+	if _, err := g.Compile(fuse.Options{Train: true}); err == nil {
+		t.Fatal("Compile(Train) accepted a graph with auxiliary inputs")
+	}
+}
+
+// TestBindDensePanics: unknown ids and shape mismatches are programming
+// errors and must panic.
+func TestBindDensePanics(t *testing.T) {
+	const k, out = 5, 4
+	rng := rand.New(rand.NewSource(80))
+	w := randParam(rng, "W", k, out)
+	p := buildTwoSided(t, k, out, w).MustCompile(fuse.Options{})
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("unknown id", func() { p.BindDense("nope", randDense(rng, 24, k)) })
+	mustPanic("bad shape", func() { p.BindDense("HCol", randDense(rng, 24, k+1)) })
+}

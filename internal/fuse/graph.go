@@ -73,6 +73,7 @@ type Graph struct {
 	specs  map[*Node]*spec
 	adj    *Node
 	input  *Node
+	aux    []*Node // additional dense inputs (InputDenseAux), bound per call
 	output *Node
 }
 
@@ -120,6 +121,17 @@ func (g *Graph) InputDense(id string, rows, cols int) *Node {
 	n := g.dag.Input(id, Dense)
 	g.specs[n] = &spec{node: n, rows: rows, cols: cols}
 	g.input = n
+	return n
+}
+
+// InputDenseAux declares an additional dense input bound per execution via
+// Plan.BindDense — the second operand the 2D grid engines need (a block
+// plan reads the row-broadcast block on the score rows and the column-
+// broadcast block on the columns). Aux inputs are inference-only.
+func (g *Graph) InputDenseAux(id string, rows, cols int) *Node {
+	n := g.dag.Input(id, Dense)
+	g.specs[n] = &spec{node: n, rows: rows, cols: cols}
+	g.aux = append(g.aux, n)
 	return n
 }
 

@@ -27,10 +27,23 @@ type planOp struct {
 	span  string // obs span name, precomputed
 	op    string // op vocabulary name, for Stats
 	run   func()
+	each  func(i int)        // per-row execution over the op's row domain (nil: row-indivisible)
+	rows  int                // row-domain size for each (0: row-indivisible)
 	lat   *metrics.Histogram // latency histogram for this op kind
 	ops   *metrics.Counter   // executions of this op kind
 	flops int64              // estimated flops per execution (Section 6 op counts)
 	nnz   int64              // sparse non-zeros swept per execution
+}
+
+// opFns is what a forward op builder returns: the whole-op sweep plus — for
+// row-divisible ops — the single-row body the plan partitioner (partition.go)
+// regroups into chunk-gated sub-plans. run and each execute identical
+// per-row arithmetic, so partitioned execution is bitwise-identical to the
+// sequential sweep.
+type opFns struct {
+	run  func()
+	each func(i int)
+	rows int
 }
 
 // redScratch accumulates per-worker partial sums for scalar-parameter
@@ -86,76 +99,29 @@ func nnzWeight(pat *sparse.CSR) func(int) int64 {
 // non-zero of the pattern. weights (the adjacency values) multiply each
 // score when the mask is weighted; with softmax, the row softmax is folded
 // into the same sweep (the FusedSoftmaxScores shape).
-func opSample(pat *sparse.CSR, dst []float64, f ScoreFunc, weights []float64, rowOff int32, softmax bool) func() {
-	weight := nnzWeight(pat)
-	var body func(int, int, int)
+func opSample(pat *sparse.CSR, cuts *par.Cuts, dst []float64, f ScoreFunc, weights []float64, rowOff int32, softmax bool) opFns {
+	var each func(i int)
 	if softmax {
-		body = func(_, lo, hi int) {
-			for i := lo; i < hi; i++ {
-				b, e := pat.RowPtr[i], pat.RowPtr[i+1]
-				if b == e {
-					continue
-				}
-				gi := int32(i) + rowOff
-				m := math.Inf(-1)
-				for p := b; p < e; p++ {
-					v := f(gi, pat.Col[p])
-					if weights != nil {
-						v *= weights[p]
-					}
-					dst[p] = v
-					if v > m {
-						m = v
-					}
-				}
-				sum := 0.0
-				for p := b; p < e; p++ {
-					v := math.Exp(dst[p] - m)
-					dst[p] = v
-					sum += v
-				}
-				inv := 1 / sum
-				for p := b; p < e; p++ {
-					dst[p] *= inv
-				}
-			}
-		}
-	} else {
-		body = func(_, lo, hi int) {
-			for i := lo; i < hi; i++ {
-				gi := int32(i) + rowOff
-				for p := pat.RowPtr[i]; p < pat.RowPtr[i+1]; p++ {
-					v := f(gi, pat.Col[p])
-					if weights != nil {
-						v *= weights[p]
-					}
-					dst[p] = v
-				}
-			}
-		}
-	}
-	return func() { par.RangeWeighted(pat.Rows, weight, body) }
-}
-
-// opRowSoftmax is the standalone row softmax (used when the peephole could
-// not fold it into the sampler).
-func opRowSoftmax(pat *sparse.CSR, src, dst []float64) func() {
-	weight := nnzWeight(pat)
-	body := func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
+		each = func(i int) {
 			b, e := pat.RowPtr[i], pat.RowPtr[i+1]
 			if b == e {
-				continue
+				return
 			}
+			gi := int32(i) + rowOff
 			m := math.Inf(-1)
 			for p := b; p < e; p++ {
-				if src[p] > m {
-					m = src[p]
+				v := f(gi, pat.Col[p])
+				if weights != nil {
+					v *= weights[p]
+				}
+				dst[p] = v
+				if v > m {
+					m = v
 				}
 			}
 			sum := 0.0
 			for p := b; p < e; p++ {
-				v := math.Exp(src[p] - m)
+				v := math.Exp(dst[p] - m)
 				dst[p] = v
 				sum += v
 			}
@@ -164,39 +130,88 @@ func opRowSoftmax(pat *sparse.CSR, src, dst []float64) func() {
 				dst[p] *= inv
 			}
 		}
+	} else {
+		each = func(i int) {
+			gi := int32(i) + rowOff
+			for p := pat.RowPtr[i]; p < pat.RowPtr[i+1]; p++ {
+				v := f(gi, pat.Col[p])
+				if weights != nil {
+					v *= weights[p]
+				}
+				dst[p] = v
+			}
+		}
 	}
-	return func() { par.RangeWeighted(pat.Rows, weight, body) }
+	body := rowSweep(each)
+	return opFns{run: func() { par.RangeCuts(cuts, body) }, each: each, rows: pat.Rows}
+}
+
+// rowSweep lifts a single-row body into the chunked (worker, lo, hi) shape
+// the par schedulers execute.
+func rowSweep(each func(i int)) func(worker, lo, hi int) {
+	return func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			each(i)
+		}
+	}
+}
+
+// opRowSoftmax is the standalone row softmax (used when the peephole could
+// not fold it into the sampler).
+func opRowSoftmax(pat *sparse.CSR, cuts *par.Cuts, src, dst []float64) opFns {
+	each := func(i int) {
+		b, e := pat.RowPtr[i], pat.RowPtr[i+1]
+		if b == e {
+			return
+		}
+		m := math.Inf(-1)
+		for p := b; p < e; p++ {
+			if src[p] > m {
+				m = src[p]
+			}
+		}
+		sum := 0.0
+		for p := b; p < e; p++ {
+			v := math.Exp(src[p] - m)
+			dst[p] = v
+			sum += v
+		}
+		inv := 1 / sum
+		for p := b; p < e; p++ {
+			dst[p] *= inv
+		}
+	}
+	body := rowSweep(each)
+	return opFns{run: func() { par.RangeCuts(cuts, body) }, each: each, rows: pat.Rows}
 }
 
 // opSpMM computes out = S·X where sv's value slice aliases the sparse
 // node's buffer.
-func opSpMM(sv *sparse.CSR, x, out *spec) func() {
-	weight := nnzWeight(sv)
-	body := func(_, lo, hi int) {
+func opSpMM(sv *sparse.CSR, cuts *par.Cuts, x, out *spec) opFns {
+	each := func(i int) {
 		xd, od := x.dense, out.dense
 		k := od.Cols
-		for i := lo; i < hi; i++ {
-			orow := od.Data[i*k : (i+1)*k]
-			for t := range orow {
-				orow[t] = 0
-			}
-			for p := sv.RowPtr[i]; p < sv.RowPtr[i+1]; p++ {
-				v := sv.Val[p]
-				xrow := xd.Data[int(sv.Col[p])*k : int(sv.Col[p])*k+k]
-				for t, xv := range xrow {
-					orow[t] += v * xv
-				}
+		orow := od.Data[i*k : (i+1)*k]
+		for t := range orow {
+			orow[t] = 0
+		}
+		for p := sv.RowPtr[i]; p < sv.RowPtr[i+1]; p++ {
+			v := sv.Val[p]
+			xrow := xd.Data[int(sv.Col[p])*k : int(sv.Col[p])*k+k]
+			for t, xv := range xrow {
+				orow[t] += v * xv
 			}
 		}
 	}
-	return func() { par.RangeWeighted(sv.Rows, weight, body) }
+	body := rowSweep(each)
+	return opFns{run: func() { par.RangeCuts(cuts, body) }, each: each, rows: sv.Rows}
 }
 
 // opSemiring delegates to the semiring SpMM kernels. Semiring aggregation
 // is inference-only and not on the zero-alloc path, so the delegation
 // (which allocates its result) is acceptable.
-func opSemiring(sv *sparse.CSR, x, out *spec, kind string) func() {
-	return func() {
+func opSemiring(sv *sparse.CSR, x, out *spec, kind string) opFns {
+	return opFns{run: func() {
 		var r *tensor.Dense
 		switch kind {
 		case "max":
@@ -207,96 +222,98 @@ func opSemiring(sv *sparse.CSR, x, out *spec, kind string) func() {
 			r = sv.MulDenseMean(x.dense)
 		}
 		out.dense.CopyFrom(r)
-	}
+	}}
 }
 
 // opMM computes out = X·W (W a parameter).
-func opMM(x, w, out *spec) func() {
-	body := func(_, lo, hi int) {
+func opMM(x, w, out *spec) opFns {
+	each := func(i int) {
 		xd, wd, od := x.dense, w.dense, out.dense
 		k, m := xd.Cols, od.Cols
-		for i := lo; i < hi; i++ {
-			xrow := xd.Data[i*k : (i+1)*k]
-			orow := od.Data[i*m : (i+1)*m]
-			for j := range orow {
-				orow[j] = 0
+		xrow := xd.Data[i*k : (i+1)*k]
+		orow := od.Data[i*m : (i+1)*m]
+		for j := range orow {
+			orow[j] = 0
+		}
+		for t := 0; t < k; t++ {
+			xv := xrow[t]
+			if xv == 0 {
+				continue
 			}
-			for t := 0; t < k; t++ {
-				xv := xrow[t]
-				if xv == 0 {
-					continue
-				}
-				wrow := wd.Data[t*m : (t+1)*m]
-				for j, wv := range wrow {
-					orow[j] += xv * wv
-				}
+			wrow := wd.Data[t*m : (t+1)*m]
+			for j, wv := range wrow {
+				orow[j] += xv * wv
 			}
 		}
 	}
+	body := rowSweep(each)
 	rows := out.rows
-	return func() { par.Range(rows, body) }
+	return opFns{run: func() { par.Range(rows, body) }, each: each, rows: rows}
 }
 
 // opMatVec computes out = X·a for a k×1 parameter a.
-func opMatVec(x, a, out *spec) func() {
-	body := func(_, lo, hi int) {
+func opMatVec(x, a, out *spec) opFns {
+	each := func(i int) {
 		xd, av := x.dense, a.dense.Data
 		k := xd.Cols
-		for i := lo; i < hi; i++ {
-			row := xd.Data[i*k : (i+1)*k]
-			s := 0.0
-			for t, v := range row {
-				s += v * av[t]
-			}
-			out.vec[i] = s
+		row := xd.Data[i*k : (i+1)*k]
+		s := 0.0
+		for t, v := range row {
+			s += v * av[t]
 		}
+		out.vec[i] = s
 	}
+	body := rowSweep(each)
 	rows := out.rows
-	return func() { par.Range(rows, body) }
+	return opFns{run: func() { par.Range(rows, body) }, each: each, rows: rows}
 }
 
 // opRowNorms computes the row L2 norms of X.
-func opRowNorms(x, out *spec) func() {
-	body := func(_, lo, hi int) {
+func opRowNorms(x, out *spec) opFns {
+	each := func(i int) {
 		xd := x.dense
 		k := xd.Cols
-		for i := lo; i < hi; i++ {
-			row := xd.Data[i*k : (i+1)*k]
-			s := 0.0
-			for _, v := range row {
-				s += v * v
-			}
-			out.vec[i] = math.Sqrt(s)
+		row := xd.Data[i*k : (i+1)*k]
+		s := 0.0
+		for _, v := range row {
+			s += v * v
 		}
+		out.vec[i] = math.Sqrt(s)
 	}
+	body := rowSweep(each)
 	rows := out.rows
-	return func() { par.Range(rows, body) }
+	return opFns{run: func() { par.Range(rows, body) }, each: each, rows: rows}
 }
 
-// opSigma applies the activation element-wise.
-func opSigma(z, out *spec, f func(float64) float64) func() {
-	body := func(_, lo, hi int) {
+// opSigma applies the activation element-wise, swept row-by-row so the
+// partitioner can gate output rows on chunk arrival.
+func opSigma(z, out *spec, f func(float64) float64) opFns {
+	cols := out.cols
+	each := func(i int) {
 		zd, od := z.dense.Data, out.dense.Data
-		for i := lo; i < hi; i++ {
-			od[i] = f(zd[i])
+		for t := i * cols; t < (i+1)*cols; t++ {
+			od[t] = f(zd[t])
 		}
 	}
-	n := out.rows * out.cols
-	return func() { par.Range(n, body) }
+	body := rowSweep(each)
+	rows := out.rows
+	return opFns{run: func() { par.Range(rows, body) }, each: each, rows: rows}
 }
 
 // opGINCombine computes out = agg + (1+ε)·h, reading ε at run time so
 // optimizer updates are observed.
-func opGINCombine(agg, h, eps, out *spec) func() {
-	body := func(_, lo, hi int) {
+func opGINCombine(agg, h, eps, out *spec) opFns {
+	cols := out.cols
+	each := func(i int) {
 		c := 1 + eps.param.Value.Data[0]
 		ad, hd, od := agg.dense.Data, h.dense.Data, out.dense.Data
-		for i := lo; i < hi; i++ {
-			od[i] = ad[i] + c*hd[i]
+		for t := i * cols; t < (i+1)*cols; t++ {
+			od[t] = ad[t] + c*hd[t]
 		}
 	}
-	n := out.rows * out.cols
-	return func() { par.Range(n, body) }
+	body := rowSweep(each)
+	rows := out.rows
+	return opFns{run: func() { par.Range(rows, body) }, each: each, rows: rows}
 }
 
 // --- backward op bodies (reverse-traversal VJPs) ---
@@ -379,9 +396,7 @@ func opMMVJP(x, w, out *spec, ps *partialsScratch) func() {
 // adjacency leaf only the feature half runs (A is not trainable), using
 // the transpose's own values; for sparse value nodes the current values
 // are permuted into the shared tvals scratch first.
-func opSpMMVJP(pat, patT *sparse.CSR, svals, sgvals []float64, perm []int64, tvals []float64, x, out *spec) func() {
-	weight := nnzWeight(pat)
-	weightT := nnzWeight(patT)
+func opSpMMVJP(pat, patT *sparse.CSR, cuts, cutsT *par.Cuts, svals, sgvals []float64, perm []int64, tvals []float64, x, out *spec) func() {
 	var samplerBody func(int, int, int)
 	if sgvals != nil {
 		samplerBody = func(_, lo, hi int) {
@@ -427,19 +442,18 @@ func opSpMMVJP(pat, patT *sparse.CSR, svals, sgvals []float64, perm []int64, tva
 	n := len(perm)
 	return func() {
 		if samplerBody != nil {
-			par.RangeWeighted(pat.Rows, weight, samplerBody)
+			par.RangeCuts(cuts, samplerBody)
 		}
 		if permBody != nil {
 			par.Range(n, permBody)
 		}
-		par.RangeWeighted(patT.Rows, weightT, accBody)
+		par.RangeCuts(cutsT, accBody)
 	}
 }
 
 // opSoftmaxVJP writes the softmax cotangent onto the input's value-grad
 // buffer: S̄_ij = P_ij·(Ḡ_ij − ρ_i), ρ_i = Σ_j Ḡ_ij·P_ij.
-func opSoftmaxVJP(pat *sparse.CSR, pvals, pgvals, dst []float64) func() {
-	weight := nnzWeight(pat)
+func opSoftmaxVJP(pat *sparse.CSR, cuts *par.Cuts, pvals, pgvals, dst []float64) func() {
 	body := func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			b, e := pat.RowPtr[i], pat.RowPtr[i+1]
@@ -452,7 +466,7 @@ func opSoftmaxVJP(pat *sparse.CSR, pvals, pgvals, dst []float64) func() {
 			}
 		}
 	}
-	return func() { par.RangeWeighted(pat.Rows, weight, body) }
+	return func() { par.RangeCuts(cuts, body) }
 }
 
 // opMaskVJP propagates the mask cotangent to the virtual input: the
@@ -474,9 +488,7 @@ func opMaskVJP(src, dst, weights []float64) func() {
 // opDotVJP handles the virtual C = X·Yᵀ: X̄ += C̄·Y and Ȳ += C̄ᵀ·X, both
 // restricted to the pattern (C̄ lives on it). Aliased X == Y (the H·Hᵀ
 // self-attention case) is safe: the two accumulations run sequentially.
-func opDotVJP(pat, patT *sparse.CSR, gvals []float64, perm []int64, tvals []float64, x, y *spec) func() {
-	weight := nnzWeight(pat)
-	weightT := nnzWeight(patT)
+func opDotVJP(pat, patT *sparse.CSR, cuts, cutsT *par.Cuts, gvals []float64, perm []int64, tvals []float64, x, y *spec) func() {
 	xBody := func(_, lo, hi int) {
 		yd, xg := y.dense, x.gdense
 		k := xg.Cols
@@ -512,17 +524,15 @@ func opDotVJP(pat, patT *sparse.CSR, gvals []float64, perm []int64, tvals []floa
 	}
 	n := len(perm)
 	return func() {
-		par.RangeWeighted(pat.Rows, weight, xBody)
+		par.RangeCuts(cuts, xBody)
 		par.Range(n, permBody)
-		par.RangeWeighted(patT.Rows, weightT, yBody)
+		par.RangeCuts(cutsT, yBody)
 	}
 }
 
 // opOuterVJP handles the virtual C = a·bᵀ: ā_i += Σ_j C̄_ij·b_j and
 // b̄_j += Σ_i C̄_ij·a_i (column sums via the transposed pattern).
-func opOuterVJP(pat, patT *sparse.CSR, gvals []float64, perm []int64, tvals []float64, a, b *spec) func() {
-	weight := nnzWeight(pat)
-	weightT := nnzWeight(patT)
+func opOuterVJP(pat, patT *sparse.CSR, cuts, cutsT *par.Cuts, gvals []float64, perm []int64, tvals []float64, a, b *spec) func() {
 	aBody := func(_, lo, hi int) {
 		bv, ag := b.vec, a.gvec
 		for i := lo; i < hi; i++ {
@@ -550,17 +560,16 @@ func opOuterVJP(pat, patT *sparse.CSR, gvals []float64, perm []int64, tvals []fl
 	}
 	n := len(perm)
 	return func() {
-		par.RangeWeighted(pat.Rows, weight, aBody)
+		par.RangeCuts(cuts, aBody)
 		par.Range(n, permBody)
-		par.RangeWeighted(patT.Rows, weightT, bBody)
+		par.RangeCuts(cutsT, bBody)
 	}
 }
 
 // opDivVJP handles C = N ⊘ D on the pattern, recomputing the virtual
 // operands entry-wise: N̄ = C̄ ⊘ D, D̄ = −C̄ ⊙ N ⊘ D². Zero denominators
 // (the zero-norm guard) contribute zero cotangent.
-func opDivVJP(pat *sparse.CSR, gvals []float64, num, den *spec) func() {
-	weight := nnzWeight(pat)
+func opDivVJP(pat *sparse.CSR, cuts *par.Cuts, gvals []float64, num, den *spec) func() {
 	body := func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			gi := int32(i)
@@ -578,14 +587,13 @@ func opDivVJP(pat *sparse.CSR, gvals []float64, num, den *spec) func() {
 			}
 		}
 	}
-	return func() { par.RangeWeighted(pat.Rows, weight, body) }
+	return func() { par.RangeCuts(cuts, body) }
 }
 
 // opScaleVJP handles C = β·X: X̄ = β·C̄ and β̄ += Σ C̄ ⊙ X, the latter
 // re-evaluating the virtual X entry-wise and reducing over per-worker
 // partial sums.
-func opScaleVJP(pat *sparse.CSR, gvals []float64, x *spec, beta ParamRef, rs *redScratch) func() {
-	weight := nnzWeight(pat)
+func opScaleVJP(pat *sparse.CSR, cuts *par.Cuts, gvals []float64, x *spec, beta ParamRef, rs *redScratch) func() {
 	body := func(worker, lo, hi int) {
 		bv := beta.Value.Data[0]
 		local := 0.0
@@ -603,14 +611,13 @@ func opScaleVJP(pat *sparse.CSR, gvals []float64, x *spec, beta ParamRef, rs *re
 	}
 	return func() {
 		rs.ensure()
-		par.RangeWeighted(pat.Rows, weight, body)
+		par.RangeCuts(cuts, body)
 		beta.Grad.Data[0] += rs.fold()
 	}
 }
 
 // opRepVJP handles C = u·1ᵀ: ū_i += Σ_j C̄_ij (row sums).
-func opRepVJP(pat *sparse.CSR, gvals []float64, u *spec) func() {
-	weight := nnzWeight(pat)
+func opRepVJP(pat *sparse.CSR, cuts *par.Cuts, gvals []float64, u *spec) func() {
 	body := func(_, lo, hi int) {
 		ug := u.gvec
 		for i := lo; i < hi; i++ {
@@ -621,13 +628,12 @@ func opRepVJP(pat *sparse.CSR, gvals []float64, u *spec) func() {
 			ug[i] += s
 		}
 	}
-	return func() { par.RangeWeighted(pat.Rows, weight, body) }
+	return func() { par.RangeCuts(cuts, body) }
 }
 
 // opRepTVJP handles C = 1·vᵀ: v̄_j += Σ_i C̄_ij (column sums via the
 // transposed pattern).
-func opRepTVJP(patT *sparse.CSR, gvals []float64, perm []int64, tvals []float64, v *spec) func() {
-	weightT := nnzWeight(patT)
+func opRepTVJP(patT *sparse.CSR, cutsT *par.Cuts, gvals []float64, perm []int64, tvals []float64, v *spec) func() {
 	permBody := func(_, lo, hi int) {
 		for p := lo; p < hi; p++ {
 			tvals[perm[p]] = gvals[p]
@@ -646,7 +652,7 @@ func opRepTVJP(patT *sparse.CSR, gvals []float64, perm []int64, tvals []float64,
 	n := len(perm)
 	return func() {
 		par.Range(n, permBody)
-		par.RangeWeighted(patT.Rows, weightT, body)
+		par.RangeCuts(cutsT, body)
 	}
 }
 
@@ -661,8 +667,7 @@ func opAddVJP(gvals []float64, a, b *spec) func() {
 
 // opLReLUVJP handles C = LeakyReLU(X): X̄ = C̄ ⊙ (X < 0 ? slope : 1),
 // re-evaluating the virtual input's sign entry-wise.
-func opLReLUVJP(pat *sparse.CSR, gvals []float64, x *spec, slope float64) func() {
-	weight := nnzWeight(pat)
+func opLReLUVJP(pat *sparse.CSR, cuts *par.Cuts, gvals []float64, x *spec, slope float64) func() {
 	body := func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			gi := int32(i)
@@ -675,7 +680,7 @@ func opLReLUVJP(pat *sparse.CSR, gvals []float64, x *spec, slope float64) func()
 			}
 		}
 	}
-	return func() { par.RangeWeighted(pat.Rows, weight, body) }
+	return func() { par.RangeCuts(cuts, body) }
 }
 
 // opMatVecVJP handles u = X·a: X̄ += ū·aᵀ (a rank-1 row update) and

@@ -1,0 +1,210 @@
+package fuse
+
+import (
+	"fmt"
+
+	"agnn/internal/par"
+	"agnn/internal/tensor"
+)
+
+// Plan partitioning: the compile-time half of compute/communication
+// overlap. A per-rank plan normally runs only after the full feature
+// allgather has landed, putting the whole Θ(nk) collective on the critical
+// path. But most rows of the rank's block depend only on feature rows that
+// are already resident (the rank's own chunk) or arrive early in the ring:
+// Partition splits every row-divisible op of the forward op list by
+// row-dependency footprint into per-arrival-step fragments, so the engine
+// can run step t's fragments the moment chunk t lands — local work first,
+// halo-dependent rows draining as their inputs arrive.
+//
+// Correctness: every op's `each` body executes the exact per-row arithmetic
+// of its sequential sweep, rows are mutually independent within an op, and
+// fragments preserve the plan's topological op order within each step.
+// A row is assigned to the step at which the *last* of its dependencies
+// becomes available, so no fragment reads a feature row before its chunk
+// has landed. Partitioned execution is therefore bitwise-identical to
+// Plan.Forward (the differential tests in internal/distgnn pin this down).
+
+// RowRange is a half-open [Lo, Hi) interval of global input (feature) rows.
+type RowRange struct{ Lo, Hi int }
+
+// Len returns the number of rows in the range.
+func (r RowRange) Len() int { return r.Hi - r.Lo }
+
+// PartitionedPlan is a compiled plan re-grouped into arrival-gated steps.
+// Bind the input once, then call RunStep(t) after the t-th chunk of the
+// collective has landed; after the last step the plan's output buffer holds
+// exactly what Plan.Forward would have produced.
+type PartitionedPlan struct {
+	p     *Plan
+	steps [][]func() // steps[t]: op fragments, plan topological order
+
+	patRows   int // total pattern (block) rows
+	localRows int // pattern rows executable at step 0
+}
+
+// Partition splits the plan's forward op list by row-dependency footprint.
+// avail[t] is the range of global input rows that becomes readable once
+// step t's chunk has landed; avail[0] is the rank-resident chunk. The
+// ranges must disjointly cover [0, inputRows).
+//
+// Two row domains exist in a per-rank plan: *global-domain* ops sweep the
+// full input height (e.g. the H·W projection) and are simply re-ranged to
+// avail[t] at step t; *pattern-domain* ops sweep the rank's block rows and
+// are bucketed by the latest-arriving row they read — the row's own global
+// index (score closures read the row side) joined with its adjacency
+// column set. An error is returned when any forward op is row-indivisible
+// (e.g. semiring aggregation); callers fall back to the sequential path.
+func (p *Plan) Partition(avail []RowRange) (*PartitionedPlan, error) {
+	if p.released {
+		return nil, fmt.Errorf("fuse: Partition on a released plan")
+	}
+	if len(avail) == 0 {
+		return nil, fmt.Errorf("fuse: Partition needs at least one arrival step")
+	}
+	n := p.input.rows
+	pat := p.pat
+	if pat.Cols != n {
+		return nil, fmt.Errorf("fuse: pattern cols %d != input rows %d; cannot map columns to arrival steps", pat.Cols, n)
+	}
+
+	stepOf := make([]int32, n)
+	for i := range stepOf {
+		stepOf[i] = -1
+	}
+	for t, r := range avail {
+		if r.Lo < 0 || r.Hi > n || r.Lo > r.Hi {
+			return nil, fmt.Errorf("fuse: arrival range %d [%d,%d) out of bounds [0,%d)", t, r.Lo, r.Hi, n)
+		}
+		for i := r.Lo; i < r.Hi; i++ {
+			if stepOf[i] != -1 {
+				return nil, fmt.Errorf("fuse: input row %d in two arrival ranges", i)
+			}
+			stepOf[i] = int32(t)
+		}
+	}
+	for i, s := range stepOf {
+		if s == -1 {
+			return nil, fmt.Errorf("fuse: input row %d not covered by any arrival range", i)
+		}
+	}
+
+	for i := range p.fwd {
+		op := &p.fwd[i]
+		if op.each == nil {
+			return nil, fmt.Errorf("fuse: plan %q: op %q (%s) is row-indivisible", p.Name, op.op, op.span)
+		}
+		if op.rows != pat.Rows && op.rows != n {
+			return nil, fmt.Errorf("fuse: plan %q: op %q sweeps %d rows — neither pattern (%d) nor input (%d) domain",
+				p.Name, op.op, op.rows, pat.Rows, n)
+		}
+	}
+
+	// Bucket pattern rows by the arrival step of their latest dependency.
+	// The bucket is shared by every pattern-domain op: it joins everything
+	// any of them can read for row i (the row's own global index, for the
+	// score closures' row side, plus the adjacency column set).
+	rowStep := make([]int32, pat.Rows)
+	buckets := make([][]int32, len(avail))
+	for i := 0; i < pat.Rows; i++ {
+		st := stepOf[i+p.rowOff]
+		for q := pat.RowPtr[i]; q < pat.RowPtr[i+1]; q++ {
+			if s := stepOf[pat.Col[q]]; s > st {
+				st = s
+			}
+		}
+		rowStep[i] = st
+		buckets[st] = append(buckets[st], int32(i))
+	}
+
+	pp := &PartitionedPlan{
+		p:         p,
+		steps:     make([][]func(), len(avail)),
+		patRows:   pat.Rows,
+		localRows: len(buckets[0]),
+	}
+	for t := range avail {
+		for i := range p.fwd {
+			op := &p.fwd[i]
+			var frag func()
+			if op.rows == pat.Rows { // pattern domain (conservative when equal to n)
+				if list := buckets[t]; len(list) > 0 {
+					frag = listRun(list, op.each)
+				}
+			} else if r := avail[t]; r.Len() > 0 { // global domain: re-range to the chunk
+				frag = rangeRun(r.Lo, r.Hi, op.each)
+			}
+			if frag != nil {
+				pp.steps[t] = append(pp.steps[t], frag)
+			}
+		}
+	}
+	return pp, nil
+}
+
+// listRun builds a prebuilt parallel sweep of each over an explicit row
+// list. Closures are created here, once, so RunStep allocates nothing.
+func listRun(list []int32, each func(i int)) func() {
+	body := func(_, lo, hi int) {
+		for x := lo; x < hi; x++ {
+			each(int(list[x]))
+		}
+	}
+	return func() { par.Range(len(list), body) }
+}
+
+// rangeRun builds a prebuilt parallel sweep of each over [lo, hi).
+func rangeRun(lo, hi int, each func(i int)) func() {
+	n := hi - lo
+	body := func(_, l, h int) {
+		for i := l + lo; i < h+lo; i++ {
+			each(i)
+		}
+	}
+	return func() { par.Range(n, body) }
+}
+
+// Steps returns the number of arrival steps.
+func (pp *PartitionedPlan) Steps() int { return len(pp.steps) }
+
+// LocalFraction reports the fraction of the rank's block rows executable at
+// step 0 — the compute the overlap can hide behind the collective.
+func (pp *PartitionedPlan) LocalFraction() float64 {
+	if pp.patRows == 0 {
+		return 0
+	}
+	return float64(pp.localRows) / float64(pp.patRows)
+}
+
+// Bind attaches the input feature matrix for the coming stepped execution.
+// Rows beyond avail[0] may still be unfilled: RunStep(t) only reads rows
+// whose chunks the caller has declared landed.
+func (pp *PartitionedPlan) Bind(h *tensor.Dense) {
+	p := pp.p
+	if p.released {
+		panic("fuse: Bind on a released plan")
+	}
+	if h.Rows != p.input.rows || h.Cols != p.input.cols {
+		panic(fmt.Sprintf("fuse: plan %q input shape %d×%d, got %d×%d",
+			p.Name, p.input.rows, p.input.cols, h.Rows, h.Cols))
+	}
+	p.input.dense = h
+}
+
+// RunStep executes step t's op fragments (plan topological order inside the
+// step). Call only after the rows of avail[t] are present in the bound
+// input. Per-op plan metrics are not recorded for fragments — fragment
+// latencies would skew the per-op histograms; the engine wraps steps in
+// spans and overlap metrics instead.
+func (pp *PartitionedPlan) RunStep(t int) {
+	for _, frag := range pp.steps[t] {
+		frag()
+	}
+	if t == len(pp.steps)-1 {
+		pp.p.ranForward = true
+	}
+}
+
+// Output returns the plan's output buffer — valid after the last step has
+// run, owned by the plan and overwritten by the next execution.
+func (pp *PartitionedPlan) Output() *tensor.Dense { return pp.p.output.dense }

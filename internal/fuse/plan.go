@@ -7,6 +7,7 @@ import (
 
 	"agnn/internal/obs"
 	"agnn/internal/obs/metrics"
+	"agnn/internal/par"
 	"agnn/internal/sparse"
 	"agnn/internal/tensor"
 )
@@ -52,7 +53,9 @@ type Plan struct {
 	train  bool
 	rowOff int
 
+	pat           *sparse.CSR // the sparsity pattern every sparse op runs over
 	input, output *spec
+	aux           map[string]*spec // additional dense inputs, bound via BindDense
 	fwd, bwd      []planOp
 
 	zeroDense []*tensor.Dense // cotangent buffers zeroed before each backward
@@ -84,6 +87,9 @@ func (g *Graph) Compile(opt Options) (*Plan, error) {
 	}
 	if opt.Train && g.rowOff != 0 {
 		return nil, fmt.Errorf("fuse: graph %q: row-offset plans are inference-only", g.Name)
+	}
+	if opt.Train && len(g.aux) > 0 {
+		return nil, fmt.Errorf("fuse: graph %q: auxiliary dense inputs are inference-only", g.Name)
 	}
 	cons := g.dag.consumers()
 	if opt.Train {
@@ -122,8 +128,16 @@ func (g *Graph) Compile(opt Options) (*Plan, error) {
 	if ws == nil {
 		ws = tensor.NewArena()
 	}
-	p := &Plan{Name: g.Name, train: opt.Train, rowOff: g.rowOff,
+	p := &Plan{Name: g.Name, train: opt.Train, rowOff: g.rowOff, pat: g.pat,
 		input: g.sp(g.input), output: g.sp(g.output), ws: ws}
+	auxSet := make(map[*Node]bool, len(g.aux))
+	if len(g.aux) > 0 {
+		p.aux = make(map[string]*spec, len(g.aux))
+		for _, n := range g.aux {
+			auxSet[n] = true
+			p.aux[n.ID] = g.sp(n)
+		}
+	}
 
 	var words int64
 	dense := func(r, c int) *tensor.Dense {
@@ -141,6 +155,9 @@ func (g *Graph) Compile(opt Options) (*Plan, error) {
 
 	pat := g.pat
 	nnz := pat.NNZ()
+	// The nnz-balanced chunk boundaries every sparse sweep uses, computed
+	// once per pattern here so steady-state ops pay zero scan cost.
+	cuts := par.NewCuts(pat.Rows, nnzWeight(pat))
 
 	// Allocate buffers and compose virtual score closures, in topological
 	// (insertion) order so every node's inputs are ready.
@@ -154,6 +171,8 @@ func (g *Graph) Compile(opt Options) (*Plan, error) {
 				s.gdense = dense(s.rows, s.cols)
 				p.zeroDense = append(p.zeroDense, s.gdense)
 			}
+		case auxSet[n]:
+			// dense bound per execution via BindDense; no buffer
 		case s.hasParam:
 			// dense aliases the parameter value; gradients go to param.Grad
 		case n.Kind == Virtual:
@@ -189,27 +208,32 @@ func (g *Graph) Compile(opt Options) (*Plan, error) {
 	// values into a shared scratch. The adjacency transpose carries A's own
 	// values, so adjacency SpMM backward needs no permutation.
 	var patT *sparse.CSR
+	var cutsT *par.Cuts
 	var perm []int64
 	var tvals []float64
 	if opt.Train {
 		patT = pat.Transpose()
+		cutsT = par.NewCuts(patT.Rows, nnzWeight(patT))
 		perm = pat.TransposePerm()
 		tvals = floats(nnz)
 	}
 
 	rowOff := int32(g.rowOff)
-	emit := func(list *[]planOp, n *Node, suffix, op string, run func()) {
+	emit := func(list *[]planOp, n *Node, suffix, op string, f opFns) {
 		flops, swept := opCost(g, n, op, nnz, suffix != "")
 		*list = append(*list, planOp{
 			span:  opt.SpanPrefix + n.ID + suffix,
 			op:    op,
-			run:   run,
+			run:   f.run,
+			each:  f.each,
+			rows:  f.rows,
 			lat:   metrics.PlanOpSeconds.With(op),
 			ops:   metrics.PlanOpsTotal.With(op),
 			flops: flops,
 			nnz:   swept,
 		})
 	}
+	bare := func(run func()) opFns { return opFns{run: run} }
 
 	// Forward op list, in topological order. Virtual nodes and fused masks
 	// emit nothing — they live inside their sampler's sweep.
@@ -224,20 +248,20 @@ func (g *Graph) Compile(opt Options) (*Plan, error) {
 			}
 			virt := g.sp(n.Inputs[1])
 			emit(&p.fwd, n, "", "mask",
-				opSample(pat, s.vals, virt.score, maskWeights(pat, s), rowOff, false))
+				opSample(pat, cuts, s.vals, virt.score, maskWeights(pat, s), rowOff, false))
 		case "softmax":
 			in := n.Inputs[0]
 			if fusedMask[in] {
 				m := g.sp(in)
 				virt := g.sp(in.Inputs[1])
 				emit(&p.fwd, n, "", "fused-softmax",
-					opSample(pat, s.vals, virt.score, maskWeights(pat, m), rowOff, true))
+					opSample(pat, cuts, s.vals, virt.score, maskWeights(pat, m), rowOff, true))
 			} else {
-				emit(&p.fwd, n, "", "softmax", opRowSoftmax(pat, g.sp(in).vals, s.vals))
+				emit(&p.fwd, n, "", "softmax", opRowSoftmax(pat, cuts, g.sp(in).vals, s.vals))
 			}
 		case "spmm":
 			sv := g.sp(n.Inputs[0]).view
-			emit(&p.fwd, n, "", "spmm", opSpMM(sv, g.sp(n.Inputs[1]), s))
+			emit(&p.fwd, n, "", "spmm", opSpMM(sv, cuts, g.sp(n.Inputs[1]), s))
 		case "spmm-max", "spmm-min", "spmm-mean":
 			sv := g.sp(n.Inputs[0]).view
 			emit(&p.fwd, n, "", n.Op, opSemiring(sv, g.sp(n.Inputs[1]), s, s.agg))
@@ -273,58 +297,58 @@ func (g *Graph) Compile(opt Options) (*Plan, error) {
 				continue
 			case "sigma":
 				emit(&p.bwd, n, ".bwd", "sigma",
-					opSigmaVJP(g.sp(n.Inputs[0]), s, s.act.DF))
+					bare(opSigmaVJP(g.sp(n.Inputs[0]), s, s.act.DF)))
 			case "mm":
 				emit(&p.bwd, n, ".bwd", "mm",
-					opMMVJP(g.sp(n.Inputs[0]), g.sp(n.Inputs[1]), s, &partialsScratch{}))
+					bare(opMMVJP(g.sp(n.Inputs[0]), g.sp(n.Inputs[1]), s, &partialsScratch{})))
 			case "matvec":
 				emit(&p.bwd, n, ".bwd", "matvec",
-					opMatVecVJP(g.sp(n.Inputs[0]), g.sp(n.Inputs[1]), s))
+					bare(opMatVecVJP(g.sp(n.Inputs[0]), g.sp(n.Inputs[1]), s)))
 			case "rownorm":
-				emit(&p.bwd, n, ".bwd", "rownorm", opRowNormsVJP(g.sp(n.Inputs[0]), s))
+				emit(&p.bwd, n, ".bwd", "rownorm", bare(opRowNormsVJP(g.sp(n.Inputs[0]), s)))
 			case "gin-combine":
 				emit(&p.bwd, n, ".bwd", "gin-combine",
-					opGINCombineVJP(g.sp(n.Inputs[0]), g.sp(n.Inputs[1]), g.sp(n.Inputs[2]), s, &redScratch{}))
+					bare(opGINCombineVJP(g.sp(n.Inputs[0]), g.sp(n.Inputs[1]), g.sp(n.Inputs[2]), s, &redScratch{})))
 			case "spmm":
 				sam := g.sp(n.Inputs[0])
 				x := g.sp(n.Inputs[1])
 				if n.Inputs[0] == g.adj {
 					emit(&p.bwd, n, ".bwd", "spmm",
-						opSpMMVJP(pat, patT, nil, nil, perm, tvals, x, s))
+						bare(opSpMMVJP(pat, patT, cuts, cutsT, nil, nil, perm, tvals, x, s)))
 				} else {
 					emit(&p.bwd, n, ".bwd", "spmm",
-						opSpMMVJP(pat, patT, sam.vals, sam.gvals, perm, tvals, x, s))
+						bare(opSpMMVJP(pat, patT, cuts, cutsT, sam.vals, sam.gvals, perm, tvals, x, s)))
 				}
 			case "softmax":
 				in := g.sp(n.Inputs[0])
 				emit(&p.bwd, n, ".bwd", "softmax",
-					opSoftmaxVJP(pat, s.vals, s.gvals, in.gvals))
+					bare(opSoftmaxVJP(pat, cuts, s.vals, s.gvals, in.gvals)))
 			case "mask":
 				virt := g.sp(n.Inputs[1])
-				emit(&p.bwd, n, ".bwd", "mask", opMaskVJP(s.gvals, virt.gvals, maskWeights(pat, s)))
+				emit(&p.bwd, n, ".bwd", "mask", bare(opMaskVJP(s.gvals, virt.gvals, maskWeights(pat, s))))
 			case "mmt":
 				emit(&p.bwd, n, ".bwd", "mmt",
-					opDotVJP(pat, patT, s.gvals, perm, tvals, g.sp(n.Inputs[0]), g.sp(n.Inputs[1])))
+					bare(opDotVJP(pat, patT, cuts, cutsT, s.gvals, perm, tvals, g.sp(n.Inputs[0]), g.sp(n.Inputs[1]))))
 			case "outer":
 				emit(&p.bwd, n, ".bwd", "outer",
-					opOuterVJP(pat, patT, s.gvals, perm, tvals, g.sp(n.Inputs[0]), g.sp(n.Inputs[1])))
+					bare(opOuterVJP(pat, patT, cuts, cutsT, s.gvals, perm, tvals, g.sp(n.Inputs[0]), g.sp(n.Inputs[1]))))
 			case "divide":
 				emit(&p.bwd, n, ".bwd", "divide",
-					opDivVJP(pat, s.gvals, g.sp(n.Inputs[0]), g.sp(n.Inputs[1])))
+					bare(opDivVJP(pat, cuts, s.gvals, g.sp(n.Inputs[0]), g.sp(n.Inputs[1]))))
 			case "scale":
 				emit(&p.bwd, n, ".bwd", "scale",
-					opScaleVJP(pat, s.gvals, g.sp(n.Inputs[0]), g.sp(n.Inputs[1]).param, &redScratch{}))
+					bare(opScaleVJP(pat, cuts, s.gvals, g.sp(n.Inputs[0]), g.sp(n.Inputs[1]).param, &redScratch{})))
 			case "rep":
-				emit(&p.bwd, n, ".bwd", "rep", opRepVJP(pat, s.gvals, g.sp(n.Inputs[0])))
+				emit(&p.bwd, n, ".bwd", "rep", bare(opRepVJP(pat, cuts, s.gvals, g.sp(n.Inputs[0]))))
 			case "repT":
 				emit(&p.bwd, n, ".bwd", "repT",
-					opRepTVJP(patT, s.gvals, perm, tvals, g.sp(n.Inputs[0])))
+					bare(opRepTVJP(patT, cutsT, s.gvals, perm, tvals, g.sp(n.Inputs[0]))))
 			case "add":
 				emit(&p.bwd, n, ".bwd", "add",
-					opAddVJP(s.gvals, g.sp(n.Inputs[0]), g.sp(n.Inputs[1])))
+					bare(opAddVJP(s.gvals, g.sp(n.Inputs[0]), g.sp(n.Inputs[1]))))
 			case "lrelu":
 				emit(&p.bwd, n, ".bwd", "lrelu",
-					opLReLUVJP(pat, s.gvals, g.sp(n.Inputs[0]), s.slope))
+					bare(opLReLUVJP(pat, cuts, s.gvals, g.sp(n.Inputs[0]), s.slope)))
 			default:
 				return nil, fmt.Errorf("fuse: graph %q: no VJP for op %q (node %q)", g.Name, n.Op, n.ID)
 			}
@@ -430,6 +454,20 @@ func (p *Plan) Train() bool { return p.train }
 
 // InputDims returns the expected input shape.
 func (p *Plan) InputDims() (rows, cols int) { return p.input.rows, p.input.cols }
+
+// BindDense binds an auxiliary dense input (declared with InputDenseAux)
+// for subsequent Forward calls. The binding persists until rebound.
+func (p *Plan) BindDense(id string, h *tensor.Dense) {
+	s, ok := p.aux[id]
+	if !ok {
+		panic(fmt.Sprintf("fuse: plan %q has no auxiliary input %q", p.Name, id))
+	}
+	if h.Rows != s.rows || h.Cols != s.cols {
+		panic(fmt.Sprintf("fuse: plan %q aux %q shape %d×%d, got %d×%d",
+			p.Name, id, s.rows, s.cols, h.Rows, h.Cols))
+	}
+	s.dense = h
+}
 
 // Forward binds h as the input feature matrix and executes the op list.
 // The returned matrix is owned by the plan and overwritten by the next

@@ -50,4 +50,18 @@ var (
 		"Cost-model predicted max per-rank words for the run's configuration.")
 	CommMeasuredWords = Default.Gauge("agnn_comm_measured_words",
 		"Measured max per-rank words for the run.")
+
+	// Compute/communication overlap (internal/distgnn overlapped engines).
+	OverlapHiddenSeconds = Default.Gauge("agnn_overlap_hidden_seconds",
+		"Collective wall time hidden behind arrival-gated plan fragments: gather duration minus the compute stall waiting on chunks, accumulated over layers.")
+	OverlapChunksTotal = Default.Counter("agnn_overlap_chunks_total",
+		"Chunks drained through arrival-gated plan steps by overlapped engines.")
+	OverlapLocalFraction = Default.Gauge("agnn_overlap_local_fraction",
+		"Fraction of block rows executable before the first remote chunk lands, for the last partitioned layer plan.")
+
+	// Overlap-adjusted layer-time validation (internal/costmodel).
+	LayerPredictedSeconds = Default.Gauge("agnn_layer_predicted_seconds",
+		"Cost-model predicted per-layer wall time (overlap-adjusted when overlap is on).")
+	LayerMeasuredSeconds = Default.Gauge("agnn_layer_measured_seconds",
+		"Measured mean per-layer wall time for the run.")
 )
