@@ -348,7 +348,9 @@ func BenchmarkLayoutAblation(b *testing.B) {
 					b.Error(err)
 					return
 				}
-				e.Forward(h.SliceRows(e.Lo, e.Hi).Clone())
+				if _, err := e.Forward(h.SliceRows(e.Lo, e.Hi).Clone()); err != nil {
+					b.Error(err)
+				}
 			})
 			comm += float64(dist.MaxCounters(cs).BytesSent)
 		}

@@ -47,6 +47,8 @@ func main() {
 	flag.IntVar(&s.Warmup, "warmup", 2, "number of warmup runs")
 	flag.IntVar(&s.BatchSize, "batch", 16384, "mini-batch seed count (engine=minibatch)")
 	flag.Int64Var(&s.Seed, "s", 0, "random number generator seed")
+	flag.StringVar(&s.Faults, "faults", "", "fault-injection spec for distributed runs, e.g. 'delay:p=0.01,ms=1;drop:p=0.005' (docs/ROBUSTNESS.md)")
+	flag.Int64Var(&s.FaultSeed, "fault-seed", 0, "seed for the fault injector's RNG streams")
 	flag.StringVar(&csvPath, "csv", "", "append the result row to this CSV file")
 	jsonPath := flag.String("json", "", "write the result + metrics snapshot as a BENCH_*.json baseline here")
 	planOnly := flag.Bool("plan", false, "print the cost-model execution plan and exit (no benchmark)")

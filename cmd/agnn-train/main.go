@@ -24,6 +24,8 @@ import (
 	"os"
 	"time"
 
+	"agnn/internal/dist/faults"
+	"agnn/internal/distgnn"
 	"agnn/internal/gnn"
 	"agnn/internal/graph"
 	"agnn/internal/obs"
@@ -46,6 +48,13 @@ func main() {
 	savePath := flag.String("save", "", "write a weight checkpoint here after training")
 	loadPath := flag.String("load", "", "initialize weights from this checkpoint")
 	profile := flag.Bool("profile", false, "print the per-layer wall-time table after training")
+	ranks := flag.Int("p", 1, "simulated process count (>1 must be a perfect square; enables the distributed grid engine)")
+	faultSpec := flag.String("faults", "", "fault-injection spec, e.g. 'crash:rank=3,round=12;delay:p=0.01,ms=5' (docs/ROBUSTNESS.md; distributed mode)")
+	faultSeed := flag.Int64("fault-seed", 0, "seed for the fault injector's RNG streams")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for full training-state checkpoints (distributed mode)")
+	ckptEvery := flag.Int("checkpoint-every", 1, "epochs between checkpoints")
+	resume := flag.Bool("resume", false, "resume from the latest checkpoint in -checkpoint-dir")
+	maxRestarts := flag.Int("max-restarts", 3, "world rebuilds tolerated before giving up (distributed mode)")
 	var o obs.CLI
 	o.Register(flag.CommandLine)
 	flag.Parse()
@@ -63,9 +72,10 @@ func main() {
 	}
 	n := ds.Adj.Rows
 
-	m, err := gnn.New(gnn.Config{Model: kind, Layers: *layers, InDim: ds.Features.Cols,
+	cfg := gnn.Config{Model: kind, Layers: *layers, InDim: ds.Features.Cols,
 		HiddenDim: *hidden, OutDim: ds.Classes, Activation: gnn.ReLU(),
-		SelfLoops: true, Heads: *heads, Seed: *seed}, ds.Adj)
+		SelfLoops: true, Heads: *heads, Seed: *seed}
+	m, err := gnn.New(cfg, ds.Adj)
 	fatal(err)
 	if *loadPath != "" {
 		fatal(gnn.LoadWeightsFile(*loadPath, m))
@@ -73,6 +83,20 @@ func main() {
 	}
 	fmt.Printf("training %s: n=%d m=%d k=%d L=%d classes=%d params=%d\n",
 		kind, n, ds.Adj.NNZ(), ds.Features.Cols, *layers, ds.Classes, m.NumParams())
+
+	if *ranks > 1 || *faultSpec != "" || *ckptDir != "" || *resume {
+		if *loadPath != "" {
+			fatal(fmt.Errorf("-load is single-node only; distributed runs resume with -checkpoint-dir and -resume"))
+		}
+		trainDistributed(m, ds, cfg, *ranks, *epochs, *lr,
+			*faultSpec, *faultSeed, *ckptDir, *ckptEvery, *resume, *maxRestarts)
+		if *savePath != "" {
+			fatal(gnn.SaveWeightsFile(*savePath, m))
+			fmt.Printf("saved weights to %s\n", *savePath)
+		}
+		fatal(o.Stop())
+		return
+	}
 
 	// The instrumented view shares layers and parameters with m; it adds
 	// per-layer wall-time accounting and, when -trace/-metrics are on,
@@ -115,6 +139,73 @@ func main() {
 		fmt.Print(prof.String())
 	}
 	fatal(o.Stop())
+}
+
+// trainDistributed runs the resilient distributed training loop (grid
+// engine + checkpoint/resume + optional fault injection) and copies the
+// final replicated weights back into m for evaluation and -save.
+func trainDistributed(m *gnn.Model, ds *graph.Dataset, cfg gnn.Config,
+	ranks, epochs int, lr float64, faultSpec string, faultSeed int64,
+	ckptDir string, ckptEvery int, resume bool, maxRestarts int) {
+
+	var inj *faults.Injector
+	if faultSpec != "" {
+		fs, err := faults.Parse(faultSpec)
+		fatal(err)
+		inj = faults.New(fs, faultSeed, ranks)
+		fmt.Printf("fault injection: %s (seed %d)\n", fs, faultSeed)
+	}
+	spec := distgnn.TrainSpec{
+		P:      ranks,
+		A:      ds.Adj,
+		X:      ds.Features,
+		Labels: ds.Labels,
+		Mask:   ds.TrainMask,
+		Cfg:    cfg,
+		Epochs: epochs,
+		NewOpt: func() gnn.StatefulOptimizer { return gnn.NewAdam(lr) },
+
+		CheckpointDir:   ckptDir,
+		CheckpointEvery: ckptEvery,
+		Resume:          resume,
+		Faults:          inj,
+		MaxRestarts:     maxRestarts,
+
+		OnEpoch: func(epoch int, loss float64) {
+			e := epoch + 1
+			metrics.TrainEpoch.Set(float64(e))
+			metrics.TrainLoss.Set(loss)
+			if e%10 == 0 || e == 1 || e == epochs {
+				fmt.Printf("epoch %3d  loss %.4f\n", e, loss)
+			}
+		},
+	}
+	res, err := distgnn.TrainResilient(spec)
+	fatal(err)
+	if res.StartEpoch > 0 {
+		fmt.Printf("resumed from checkpoint at epoch %d\n", res.StartEpoch)
+	}
+	if res.Restarts > 0 {
+		fmt.Printf("recovered from %d rank failure(s) via checkpoint restart\n", res.Restarts)
+	}
+
+	// The distributed engine draws the same parameter sequence as the
+	// single-node model, so the final replicated weights transfer directly.
+	mp := m.Params()
+	if len(mp) != len(res.Params) {
+		fatal(fmt.Errorf("parameter inventory mismatch: model %d, engine %d", len(mp), len(res.Params)))
+	}
+	for i, p := range res.Params {
+		if mp[i].Name != p.Name || mp[i].Value.Rows != p.Value.Rows || mp[i].Value.Cols != p.Value.Cols {
+			fatal(fmt.Errorf("parameter %d mismatch: model %q %dx%d, engine %q %dx%d",
+				i, mp[i].Name, mp[i].Value.Rows, mp[i].Value.Cols, p.Name, p.Value.Rows, p.Value.Cols))
+		}
+		copy(mp[i].Value.Data, p.Value.Data)
+	}
+	out := m.Forward(ds.Features, false)
+	fmt.Printf("p=%d final  train-acc %.3f  test-acc %.3f\n",
+		ranks, gnn.Accuracy(out, ds.Labels, ds.TrainMask),
+		gnn.Accuracy(out, ds.Labels, ds.TestMask()))
 }
 
 func fatal(err error) {

@@ -18,6 +18,7 @@ import (
 
 	"agnn/internal/costmodel"
 	"agnn/internal/dist"
+	"agnn/internal/dist/faults"
 	"agnn/internal/distgnn"
 	"agnn/internal/gnn"
 	"agnn/internal/graph"
@@ -62,6 +63,12 @@ type Spec struct {
 	Repeat    int  // timed executions (paper: 10)
 	Warmup    int  // untimed executions (paper: 2)
 	Seed      int64
+
+	// Faults optionally injects deterministic faults into the distributed
+	// runs (docs/ROBUSTNESS.md grammar, e.g. "delay:p=0.01,ms=1"). Runs
+	// that abort with a rank failure surface as errors.
+	Faults    string
+	FaultSeed int64
 }
 
 // Defaults fills unset fields with the paper's experiment conventions.
@@ -272,10 +279,19 @@ func runSingle(s Spec, cfg gnn.Config, a *sparse.CSR, h *tensor.Dense, labels []
 // runDistributed executes the multi-rank configurations on the simulated
 // runtime, timing rank 0 between barriers.
 func runDistributed(s Spec, cfg gnn.Config, a *sparse.CSR, h *tensor.Dense, labels []int, runs int) ([]float64, int64, int64, error) {
+	var opts dist.Options
+	if s.Faults != "" {
+		spec, err := faults.Parse(s.Faults)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		opts.Faults = faults.New(spec, s.FaultSeed, s.Ranks)
+		opts.RecvTimeout = 30 * time.Second
+	}
 	var times []float64
 	var mu sync.Mutex
 	var firstErr error
-	cs := dist.Run(s.Ranks, func(c *dist.Comm) {
+	cs, rankErrs, runErr := dist.TryRun(s.Ranks, opts, func(c *dist.Comm) (_ error) {
 		record := func(err error) {
 			mu.Lock()
 			if firstErr == nil {
@@ -330,7 +346,10 @@ func runDistributed(s Spec, cfg gnn.Config, a *sparse.CSR, h *tensor.Dense, labe
 				c.Barrier()
 				sp := c.StartSpan("execution")
 				t0 := time.Now()
-				e.Forward(hOwned)
+				if _, err := e.Forward(hOwned); err != nil {
+					record(err)
+					return
+				}
 				sp.End()
 				c.Barrier()
 				if c.Rank() == 0 {
@@ -370,7 +389,14 @@ func runDistributed(s Spec, cfg gnn.Config, a *sparse.CSR, h *tensor.Dense, labe
 		default:
 			record(fmt.Errorf("benchutil: unknown engine %q", s.Engine))
 		}
+		return nil
 	})
+	if runErr != nil {
+		return nil, 0, 0, runErr
+	}
+	if err := dist.FirstError(rankErrs); err != nil {
+		return nil, 0, 0, err
+	}
 	if firstErr != nil {
 		return nil, 0, 0, firstErr
 	}

@@ -1,0 +1,194 @@
+package ckpt
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"agnn/internal/gnn"
+	"agnn/internal/tensor"
+)
+
+func testParams(t *testing.T, seed int64) []*gnn.Param {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	names := []string{"layer0/W", "layer0/a", "layer1/W"}
+	ps := make([]*gnn.Param, len(names))
+	for i, name := range names {
+		ps[i] = &gnn.Param{
+			Name:  name,
+			Value: tensor.RandN(4, 3, 1, rng),
+			Grad:  tensor.NewDense(4, 3),
+		}
+	}
+	return ps
+}
+
+func step(ps []*gnn.Param, opt gnn.Optimizer, rng *rand.Rand) {
+	for _, p := range ps {
+		for i := range p.Grad.Data {
+			p.Grad.Data[i] = rng.NormFloat64()
+		}
+	}
+	opt.Step(ps)
+}
+
+func TestCheckpointRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	ps := testParams(t, 400)
+	opt := gnn.NewAdam(0.01)
+	rng := rand.New(rand.NewSource(401))
+	for i := 0; i < 3; i++ {
+		step(ps, opt, rng)
+	}
+	st := State{Epoch: 7, Seed: 400, Opt: opt.ExportState(ps)}
+	path, err := Save(dir, st, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != Path(dir, 7) {
+		t.Fatalf("Save returned %q, want %q", path, Path(dir, 7))
+	}
+
+	fresh := testParams(t, 999) // different values, same inventory
+	got, err := Load(path, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 7 || got.Seed != 400 {
+		t.Fatalf("loaded state %+v", got)
+	}
+	for i := range ps {
+		for j := range ps[i].Value.Data {
+			if fresh[i].Value.Data[j] != ps[i].Value.Data[j] {
+				t.Fatalf("param %d word %d: %v vs %v", i, j, fresh[i].Value.Data[j], ps[i].Value.Data[j])
+			}
+		}
+	}
+
+	// The optimizer state must resume bitwise: lockstep continuation.
+	resumed := gnn.NewAdam(0.01)
+	if err := resumed.ImportState(fresh, got.Opt); err != nil {
+		t.Fatal(err)
+	}
+	rngA := rand.New(rand.NewSource(402))
+	rngB := rand.New(rand.NewSource(402))
+	for i := 0; i < 3; i++ {
+		step(ps, opt, rngA)
+		step(fresh, resumed, rngB)
+	}
+	for i := range ps {
+		for j := range ps[i].Value.Data {
+			if fresh[i].Value.Data[j] != ps[i].Value.Data[j] {
+				t.Fatalf("post-resume divergence at param %d word %d", i, j)
+			}
+		}
+	}
+}
+
+func TestCheckpointNilOptimizerState(t *testing.T) {
+	dir := t.TempDir()
+	ps := testParams(t, 410)
+	path, err := Save(dir, State{Epoch: 0, Seed: 410}, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path, testParams(t, 411))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Opt != nil {
+		t.Fatalf("expected nil optimizer state, got %+v", got.Opt)
+	}
+}
+
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	ps := testParams(t, 420)
+	opt := gnn.NewSGD(0.1, 0.9)
+	step(ps, opt, rand.New(rand.NewSource(421)))
+	path, err := Save(dir, State{Epoch: 3, Seed: 420, Opt: opt.ExportState(ps)}, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bit flips anywhere must be rejected, and params must stay untouched.
+	for _, pos := range []int{0, 10, len(raw) / 2, len(raw) - 6, len(raw) - 1} {
+		bad := append([]byte(nil), raw...)
+		bad[pos] ^= 0x10
+		badPath := filepath.Join(dir, "bad.agnn")
+		if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		target := testParams(t, 422)
+		before := append([]float64(nil), target[0].Value.Data...)
+		if _, err := Load(badPath, target); err == nil {
+			t.Errorf("bit flip at byte %d accepted", pos)
+		}
+		for j, v := range before {
+			if target[0].Value.Data[j] != v {
+				t.Fatalf("failed load mutated model params (flip at %d)", pos)
+			}
+		}
+	}
+	// Truncations must be rejected.
+	for _, cut := range []int{4, len(raw) / 3, len(raw) - 2} {
+		badPath := filepath.Join(dir, "trunc.agnn")
+		if err := os.WriteFile(badPath, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(badPath, testParams(t, 423)); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestLatest(t *testing.T) {
+	dir := t.TempDir()
+	// Empty / missing directories are cold starts, not errors.
+	if _, _, ok, err := Latest(dir); err != nil || ok {
+		t.Fatalf("empty dir: ok=%v err=%v", ok, err)
+	}
+	if _, _, ok, err := Latest(filepath.Join(dir, "nope")); err != nil || ok {
+		t.Fatalf("missing dir: ok=%v err=%v", ok, err)
+	}
+	ps := testParams(t, 430)
+	for _, ep := range []int64{2, 9, 5} {
+		if _, err := Save(dir, State{Epoch: ep, Seed: 430}, ps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Stray files must be ignored.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path, ep, ok, err := Latest(dir)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if ep != 9 || !strings.HasSuffix(path, "ckpt-00000009.agnn") {
+		t.Fatalf("Latest = %q epoch %d", path, ep)
+	}
+}
+
+func TestSaveLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	ps := testParams(t, 440)
+	if _, err := Save(dir, State{Epoch: 1, Seed: 440}, ps); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("temp file %q left behind", e.Name())
+		}
+	}
+}

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"agnn/internal/obs"
 	"agnn/internal/obs/metrics"
@@ -32,45 +33,63 @@ type Chunk struct {
 // corresponding Chunk has been received from Chunks. The channel is closed
 // when the collective completes; callers must drain it before issuing any
 // other collective on the same communicator (the ring shares the rank's
-// mailboxes).
+// mailboxes). Under fault injection the injector may permute notification
+// order (the data behind every announced range is always in place), and a
+// rank failure mid-ring closes the channel early with Err() set — consumers
+// must check Err after the channel closes.
 type ChunkedGather struct {
 	out []float64
 	ch  chan Chunk
+	err atomic.Pointer[error]
 }
 
 // Chunks returns the arrival stream: exactly Size() chunks (own chunk
-// first), then close.
+// first), then close — fewer if the ring aborted (see Err).
 func (cg *ChunkedGather) Chunks() <-chan Chunk { return cg.ch }
 
 // Out returns the gather output buffer (concatenation in group-rank order).
 func (cg *ChunkedGather) Out() []float64 { return cg.out }
 
+// Err reports why the gather terminated early (wrapping ErrRankFailed), or
+// nil after a complete gather. Meaningful once Chunks is closed.
+func (cg *ChunkedGather) Err() error {
+	if p := cg.err.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
 // Wait drains any undelivered chunks and returns the completed output —
-// the blocking-Allgather view of a chunked gather.
-func (cg *ChunkedGather) Wait() []float64 {
+// the blocking-Allgather view of a chunked gather. The error is non-nil
+// when a rank failure aborted the ring before completion.
+func (cg *ChunkedGather) Wait() ([]float64, error) {
 	for range cg.ch {
 	}
-	return cg.out
+	return cg.out, cg.Err()
 }
 
 // AllgatherChunks starts a chunked ring allgather. lens[r] is the word
 // count contributed by group rank r (the SPMD-agreed layout — unlike
 // Allgather there is no length-exchange ring, so the caller supplies it);
-// data is this rank's contribution of length lens[Rank()].
+// data is this rank's contribution of length lens[Rank()]. Layout
+// mismatches are reported as errors — under fault injection a runtime
+// must not turn a caller bug into a process abort.
 //
 // The ring runs on a helper goroutine: Send/Recv, counters and metrics are
 // all safe under the concurrent rank compute the caller is expected to do.
 // Arrival order for rank me is deterministic: me, me-1, me-2, … (mod size),
 // one chunk per ring hop — the order fuse.Partition's arrival schedule
-// mirrors. Each hop counts one round and one chunk-sized message on this
-// rank and lands one observation in the "allgather_chunk" byte histogram.
-func (c *Comm) AllgatherChunks(data []float64, lens []int) *ChunkedGather {
+// mirrors — unless a reorder fault swaps adjacent notifications. If a rank
+// fails mid-ring (its own abort or a world-wide failure broadcast), the
+// helper recovers the unwind, records it on the gather, and closes the
+// stream so the consumer unblocks with Err() != nil.
+func (c *Comm) AllgatherChunks(data []float64, lens []int) (*ChunkedGather, error) {
 	g := c.Size()
 	if len(lens) != g {
-		panic(fmt.Sprintf("dist: AllgatherChunks lens has %d entries for group size %d", len(lens), g))
+		return nil, fmt.Errorf("dist: AllgatherChunks lens has %d entries for group size %d", len(lens), g)
 	}
 	if len(data) != lens[c.me] {
-		panic(fmt.Sprintf("dist: AllgatherChunks rank %d contributes %d words, lens says %d", c.me, len(data), lens[c.me]))
+		return nil, fmt.Errorf("dist: AllgatherChunks rank %d contributes %d words, lens says %d", c.me, len(data), lens[c.me])
 	}
 	bounds := make([]int, g+1)
 	for i, l := range lens {
@@ -87,15 +106,27 @@ func (c *Comm) AllgatherChunks(data []float64, lens []int) *ChunkedGather {
 	cg.ch <- Chunk{Step: 0, Src: c.me, Lo: bounds[c.me], Hi: bounds[c.me+1]}
 	if g == 1 {
 		close(cg.ch)
-		return cg
+		return cg, nil
 	}
 
 	right := (c.me + 1) % g
 	left := (c.me - 1 + g) % g
+	inj := c.w.opts.Faults
 	go func() {
+		defer close(cg.ch)
+		defer func() {
+			if rec := recover(); rec != nil {
+				rf, ok := rec.(rankFailure)
+				if !ok {
+					panic(rec) // genuine bug: re-raise
+				}
+				cg.err.Store(&rf.err)
+			}
+		}()
 		track := c.w.gatherTrack(c.global)
 		whole := track.Start("allgather_chunks")
 		before := c.snapshot()
+		var held *Chunk // reorder fault: notification held back one hop
 		for t := 0; t < g-1; t++ {
 			sendIdx := (c.me - t + g) % g
 			recvIdx := (c.me - 1 - t + 2*g) % g
@@ -109,7 +140,24 @@ func (c *Comm) AllgatherChunks(data []float64, lens []int) *ChunkedGather {
 			if hop.Active() {
 				hop.End(obs.Int64("bytes", bytes), obs.Int64("src", int64(recvIdx)))
 			}
-			cg.ch <- Chunk{Step: t + 1, Src: recvIdx, Lo: bounds[recvIdx], Hi: bounds[recvIdx+1]}
+			note := Chunk{Step: t + 1, Src: recvIdx, Lo: bounds[recvIdx], Hi: bounds[recvIdx+1]}
+			switch {
+			case held != nil:
+				// Deliver the newer chunk first, then the held-back one —
+				// the injected out-of-order arrival.
+				cg.ch <- note
+				cg.ch <- *held
+				held = nil
+			case inj != nil && t+1 < g-1 && inj.ReorderChunk(c.global):
+				metrics.FaultsInjectedTotal.With("reorder").Inc()
+				h := note
+				held = &h
+			default:
+				cg.ch <- note
+			}
+		}
+		if held != nil {
+			cg.ch <- *held
 		}
 		if whole.Active() {
 			after := c.snapshot()
@@ -117,7 +165,6 @@ func (c *Comm) AllgatherChunks(data []float64, lens []int) *ChunkedGather {
 			whole.End(obs.Int64("bytes", after.BytesSent-before.BytesSent),
 				obs.Int64("msgs", after.MsgsSent-before.MsgsSent))
 		}
-		close(cg.ch)
 	}()
-	return cg
+	return cg, nil
 }

@@ -31,7 +31,11 @@ func TestAllgatherChunksMatchesAllgather(t *testing.T) {
 			for i := range data {
 				data[i] = float64(100*me + i)
 			}
-			cg := c.AllgatherChunks(data, lens)
+			cg, err := c.AllgatherChunks(data, lens)
+			if err != nil {
+				t.Error(err)
+				return
+			}
 			seen := 0
 			for ch := range cg.Chunks() {
 				wantSrc := ((me-ch.Step)%p + p) % p
@@ -86,7 +90,17 @@ func TestAllgatherChunksWaitEquivalence(t *testing.T) {
 	})
 	chunkOut = make([][]float64, p)
 	chunked = Run(p, func(c *Comm) {
-		chunkOut[c.Rank()] = c.AllgatherChunks(mk(c.Rank()), lens).Wait()
+		cg, err := c.AllgatherChunks(mk(c.Rank()), lens)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		out, err := cg.Wait()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		chunkOut[c.Rank()] = out
 	})
 	for r := 0; r < p; r++ {
 		if len(blockOut[r]) != len(chunkOut[r]) {
@@ -123,7 +137,11 @@ func TestAllgatherChunksOverlappedConsumer(t *testing.T) {
 		for i := range data {
 			data[i] = 1
 		}
-		cg := c.AllgatherChunks(data, lens)
+		cg, err := c.AllgatherChunks(data, lens)
+		if err != nil {
+			t.Error(err)
+			return
+		}
 		acc := 0.0
 		for ch := range cg.Chunks() {
 			out := cg.Out()

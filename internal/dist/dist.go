@@ -9,14 +9,26 @@
 // Every rank's bytes sent, message count and communication rounds are
 // recorded in Counters; an α-β network model converts them into modeled
 // network time for the scaling figures.
+//
+// The runtime is fault-aware (docs/ROBUSTNESS.md): a World built with
+// Options carries a deterministic fault injector (internal/dist/faults),
+// deadline-based receive timeouts and bounded send retry. When a rank fails
+// — injected crash, receive timeout, or retry exhaustion — the failure is
+// broadcast to the whole world, every blocked rank unwinds with an error
+// wrapping ErrRankFailed instead of deadlocking, and TryRun reports the
+// per-rank outcomes so a training loop can rebuild the world and resume
+// from its last checkpoint.
 package dist
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"agnn/internal/dist/faults"
 	"agnn/internal/obs"
 	"agnn/internal/obs/metrics"
 )
@@ -59,12 +71,69 @@ func (m NetModel) Time(c Counters) float64 {
 	return m.Alpha*float64(c.MsgsSent) + m.Beta*float64(c.BytesSent)
 }
 
+// Failure sentinels. Every error produced by the runtime's fault paths
+// wraps ErrRankFailed, so callers can match the whole class with one
+// errors.Is; ErrRecvTimeout additionally tags deadline expiries.
+var (
+	ErrRankFailed  = errors.New("dist: rank failed")
+	ErrRecvTimeout = errors.New("receive timed out")
+)
+
+// Options configures a World's fault-tolerance behavior. The zero value —
+// no injector, no timeout, no retries — reproduces the fault-free runtime.
+type Options struct {
+	// Faults is the deterministic fault injector consulted on every send
+	// and round entry. Nil injects nothing.
+	Faults *faults.Injector
+	// RecvTimeout bounds every point-to-point receive (and therefore every
+	// collective, which is built from receives). Zero disables deadlines.
+	RecvTimeout time.Duration
+	// SendRetries is the number of retransmissions attempted after an
+	// injected transient send failure before the rank declares itself
+	// failed. It must exceed the spec's largest drop max for bounded
+	// retransmission to succeed; DefaultSendRetries when zero.
+	SendRetries int
+	// RetryBackoff is the base sleep between retransmissions (scaled
+	// linearly by attempt). DefaultRetryBackoff when zero.
+	RetryBackoff time.Duration
+}
+
+// Defaults for Options.
+const (
+	DefaultSendRetries  = 4
+	DefaultRetryBackoff = 200 * time.Microsecond
+)
+
+func (o Options) sendRetries() int {
+	if o.SendRetries > 0 {
+		return o.SendRetries
+	}
+	return DefaultSendRetries
+}
+
+func (o Options) retryBackoff() time.Duration {
+	if o.RetryBackoff > 0 {
+		return o.RetryBackoff
+	}
+	return DefaultRetryBackoff
+}
+
 // World owns the mailboxes and counters of a p-rank simulation.
 type World struct {
 	P        int
+	opts     Options
 	mailbox  [][]chan message // mailbox[to][from]
 	counters []Counters
 	mu       []sync.Mutex // protects counters[i] against torn reads in MaxCounters
+
+	// Failure broadcast: the first rank to fail records itself and closes
+	// failCh; every rank blocked in Send/Recv selects on failCh and unwinds
+	// with ErrRankFailed instead of deadlocking.
+	failCh    chan struct{}
+	failOnce  sync.Once
+	failed    atomic.Bool
+	failRank  int
+	failCause error
 
 	// Live-registry instruments, resolved once per rank at construction so
 	// the per-message fast path is two atomic adds.
@@ -82,12 +151,20 @@ type World struct {
 // pipelined point-to-point phases.
 const mailboxCap = 1024
 
-// NewWorld creates a p-rank world.
-func NewWorld(p int) *World {
+// NewWorld creates a fault-free p-rank world.
+func NewWorld(p int) (*World, error) { return NewWorldOpts(p, Options{}) }
+
+// NewWorldOpts creates a p-rank world with fault-tolerance options.
+func NewWorldOpts(p int, opts Options) (*World, error) {
 	if p < 1 {
-		panic(fmt.Sprintf("dist: world size %d", p))
+		return nil, fmt.Errorf("dist: world size %d, want >= 1", p)
 	}
-	w := &World{P: p, counters: make([]Counters, p), mu: make([]sync.Mutex, p)}
+	w := &World{
+		P: p, opts: opts,
+		counters: make([]Counters, p),
+		mu:       make([]sync.Mutex, p),
+		failCh:   make(chan struct{}),
+	}
 	w.mailbox = make([][]chan message, p)
 	w.mBytes = make([]*metrics.Counter, p)
 	w.mMsgs = make([]*metrics.Counter, p)
@@ -102,7 +179,55 @@ func NewWorld(p int) *World {
 		w.mMsgs[to] = metrics.CommMsgsTotal.With(r)
 		w.mRounds[to] = metrics.CommRoundsTotal.With(r)
 	}
-	return w
+	return w, nil
+}
+
+// fail records the world's first failure and broadcasts it. failRank and
+// failCause are published before failCh closes, so readers that observe the
+// close (or failed == true) see them consistently.
+func (w *World) fail(rank int, cause error) {
+	w.failOnce.Do(func() {
+		w.failRank = rank
+		w.failCause = cause
+		w.failed.Store(true)
+		metrics.RankFailuresTotal.Inc()
+		close(w.failCh)
+	})
+}
+
+// Failed reports whether any rank has failed, with the first failure's rank
+// and cause.
+func (w *World) Failed() (bool, int, error) {
+	if !w.failed.Load() {
+		return false, 0, nil
+	}
+	return true, w.failRank, w.failCause
+}
+
+// survivorErr is the error a non-failing rank unwinds with once the world
+// is marked failed.
+func (w *World) survivorErr() error {
+	return fmt.Errorf("%w: aborted after failure on rank %d: %v", ErrRankFailed, w.failRank, w.failCause)
+}
+
+// rankFailure is the internal unwind sentinel: Comm methods panic with it
+// when the rank must abort its superstep, and the Run harnesses (plus the
+// chunked-gather helper) recover it into a per-rank error. Any other panic
+// value is a genuine bug and is re-raised.
+type rankFailure struct {
+	rank int
+	err  error
+}
+
+// abort marks this rank failed (broadcasting to the world) and unwinds.
+func (c *Comm) abort(cause error) {
+	c.w.fail(c.global, cause)
+	panic(rankFailure{rank: c.global, err: cause})
+}
+
+// abortSurvivor unwinds this rank because another rank failed first.
+func (c *Comm) abortSurvivor() {
+	panic(rankFailure{rank: c.global, err: c.w.survivorErr()})
 }
 
 // EnableTracing attaches one trace track per rank ("rank 0" … "rank p-1")
@@ -138,31 +263,84 @@ func (w *World) gatherTrack(rank int) *obs.Track {
 	return w.gtracks[rank]
 }
 
-// Run executes f on every rank of a fresh p-rank world concurrently and
-// returns the per-rank communication counters. When process-wide tracing is
-// enabled (obs.Enable), every rank gets its own track automatically.
+// Run executes f on every rank of a fresh fault-free p-rank world
+// concurrently and returns the per-rank communication counters. When
+// process-wide tracing is enabled (obs.Enable), every rank gets its own
+// track automatically. Run is the SPMD test/benchmark harness: an invalid
+// world size panics; use TryRun for recoverable failure handling.
 func Run(p int, f func(c *Comm)) []Counters {
 	return RunTraced(p, obs.Get(), f)
 }
 
 // RunTraced is Run with an explicit tracer (nil disables tracing).
 func RunTraced(p int, tr *obs.Tracer, f func(c *Comm)) []Counters {
-	w := NewWorld(p)
+	cs, errs, err := tryRunTraced(p, Options{}, tr, func(c *Comm) error {
+		f(c)
+		return nil
+	})
+	if err != nil {
+		panic(err) // invalid world size: static caller bug in the SPMD harness
+	}
+	for _, e := range errs {
+		if e != nil {
+			// Without fault options no runtime path aborts, so a rank error
+			// here is unreachable; keep the harness loud just in case.
+			panic(e)
+		}
+	}
+	return cs
+}
+
+// TryRun executes f on every rank of a fresh world built with opts and
+// returns the per-rank counters and the per-rank outcomes (errs[r] is nil
+// for ranks that completed). The final error reports world construction
+// problems only; rank failures — injected crashes, timeouts, retry
+// exhaustion, and the survivors they abort — land in errs, every one
+// matching errors.Is(err, ErrRankFailed).
+func TryRun(p int, opts Options, f func(c *Comm) error) ([]Counters, []error, error) {
+	return tryRunTraced(p, opts, obs.Get(), f)
+}
+
+func tryRunTraced(p int, opts Options, tr *obs.Tracer, f func(c *Comm) error) ([]Counters, []error, error) {
+	w, err := NewWorldOpts(p, opts)
+	if err != nil {
+		return nil, nil, err
+	}
 	w.EnableTracing(tr)
+	errs := make([]error, p)
 	var wg sync.WaitGroup
 	for r := 0; r < p; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					if rf, ok := rec.(rankFailure); ok {
+						errs[rank] = rf.err
+						return
+					}
+					panic(rec)
+				}
+			}()
 			if w.tracer != nil {
 				w.tracer.BindGoroutine(w.tracks[rank])
 				defer w.tracer.UnbindGoroutine()
 			}
-			f(w.Comm(rank))
+			errs[rank] = f(w.Comm(rank))
 		}(r)
 	}
 	wg.Wait()
-	return w.Counters()
+	return w.Counters(), errs, nil
+}
+
+// FirstError returns the first non-nil error of a per-rank error slice.
+func FirstError(errs []error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
 }
 
 // Comm returns the world communicator of a rank (group = all ranks).
@@ -256,7 +434,34 @@ func (c *Comm) Group(local []int) *Comm {
 
 // Send transfers a copy of data to group rank `to`. It never blocks as long
 // as fewer than mailboxCap messages are outstanding on the (from, to) pair.
+// Under an injector, sends may be delayed (stragglers) or transiently
+// dropped; drops are retransmitted with linear backoff up to the world's
+// retry budget, after which the rank aborts. If another rank has already
+// failed, Send unwinds with ErrRankFailed instead of queueing into a dead
+// world.
 func (c *Comm) Send(to int, data []float64) {
+	if inj := c.w.opts.Faults; inj != nil {
+		for attempt := 1; ; attempt++ {
+			act := inj.OnSend(c.global, attempt)
+			if act.Delay > 0 {
+				metrics.FaultsInjectedTotal.With("delay").Inc()
+				time.Sleep(act.Delay)
+			}
+			if !act.Drop {
+				break
+			}
+			metrics.FaultsInjectedTotal.With("drop").Inc()
+			if attempt > c.w.opts.sendRetries() {
+				c.abort(fmt.Errorf("%w: rank %d: send to rank %d still failing after %d attempts",
+					ErrRankFailed, c.global, c.group[to], attempt))
+			}
+			metrics.CommRetriesTotal.Inc()
+			time.Sleep(c.w.opts.retryBackoff() * time.Duration(attempt))
+		}
+	}
+	if c.w.failed.Load() {
+		c.abortSurvivor()
+	}
 	cp := make([]float64, len(data))
 	copy(cp, data)
 	bytes := int64(8 * len(data))
@@ -267,21 +472,57 @@ func (c *Comm) Send(to int, data []float64) {
 	c.w.mBytes[c.global].Add(bytes)
 	c.w.mMsgs[c.global].Inc()
 	c.w.totalBytes.Add(bytes)
-	c.w.mailbox[c.group[to]][c.global] <- message{data: cp}
+	select {
+	case c.w.mailbox[c.group[to]][c.global] <- message{data: cp}:
+	case <-c.w.failCh:
+		c.abortSurvivor()
+	}
 }
 
-// Recv blocks until a message from group rank `from` arrives.
+// Recv blocks until a message from group rank `from` arrives, the world's
+// receive deadline expires (the rank then aborts with ErrRecvTimeout), or
+// another rank fails (the rank unwinds with ErrRankFailed).
 func (c *Comm) Recv(from int) []float64 {
-	m := <-c.w.mailbox[c.global][c.group[from]]
-	return m.data
+	if c.w.failed.Load() {
+		c.abortSurvivor()
+	}
+	box := c.w.mailbox[c.global][c.group[from]]
+	if d := c.w.opts.RecvTimeout; d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		select {
+		case m := <-box:
+			return m.data
+		case <-c.w.failCh:
+			c.abortSurvivor()
+		case <-timer.C:
+			c.abort(fmt.Errorf("%w: rank %d: %w waiting for rank %d after %v",
+				ErrRankFailed, c.global, ErrRecvTimeout, c.group[from], d))
+		}
+		panic("unreachable")
+	}
+	select {
+	case m := <-box:
+		return m.data
+	case <-c.w.failCh:
+		c.abortSurvivor()
+		panic("unreachable")
+	}
 }
 
-// round records one communication round (BSP superstep).
+// round records one communication round (BSP superstep) and gives the fault
+// injector its crash point: a rank scheduled to crash at round r halts here,
+// broadcasting the failure to the world.
 func (c *Comm) round() {
 	c.w.mu[c.global].Lock()
 	c.w.counters[c.global].Rounds++
+	rounds := c.w.counters[c.global].Rounds
 	c.w.mu[c.global].Unlock()
 	c.w.mRounds[c.global].Inc()
+	if inj := c.w.opts.Faults; inj != nil && inj.CrashNow(c.global, rounds) {
+		metrics.FaultsInjectedTotal.With("crash").Inc()
+		c.abort(fmt.Errorf("%w: injected crash on rank %d at round %d", ErrRankFailed, c.global, rounds))
+	}
 }
 
 // StartSpan begins a span on this rank's trace track. It is a no-op (one

@@ -298,13 +298,13 @@ func TestCountersAndNetModel(t *testing.T) {
 	}
 }
 
-func TestNewWorldPanicsOnBadSize(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	NewWorld(0)
+func TestNewWorldRejectsBadSize(t *testing.T) {
+	if _, err := NewWorld(0); err == nil {
+		t.Fatal("expected error for p=0")
+	}
+	if _, err := NewWorld(-3); err == nil {
+		t.Fatal("expected error for negative p")
+	}
 }
 
 func TestAllreduceOpMaxMin(t *testing.T) {

@@ -34,7 +34,11 @@ func runRowEngine(t *testing.T, p int, a *sparse.CSR, cfg gnn.Config, h *tensor.
 				return
 			}
 		}
-		out := e.Forward(h.SliceRows(e.Lo, e.Hi).Clone())
+		out, err := e.Forward(h.SliceRows(e.Lo, e.Hi).Clone())
+		if err != nil {
+			t.Error(err)
+			return
+		}
 		if full := e.GatherOutput(out); full != nil {
 			mu.Lock()
 			got = full
@@ -116,6 +120,8 @@ func TestRowEngineOverlapSingleRankNoop(t *testing.T) {
 		if e.Overlapped() {
 			t.Error("overlap should stay off at p=1")
 		}
-		e.Forward(h.Clone())
+		if _, err := e.Forward(h.Clone()); err != nil {
+			t.Error(err)
+		}
 	})
 }

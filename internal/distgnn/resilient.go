@@ -1,0 +1,201 @@
+package distgnn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"agnn/internal/ckpt"
+	"agnn/internal/dist"
+	"agnn/internal/dist/faults"
+	"agnn/internal/gnn"
+	"agnn/internal/obs/metrics"
+	"agnn/internal/sparse"
+	"agnn/internal/tensor"
+)
+
+// TrainSpec describes a resilient distributed full-batch training job on
+// the 2D grid engine. All fields are SPMD inputs: every simulated rank
+// sees the same values, mirroring how each process of an MPI job parses
+// the same command line.
+type TrainSpec struct {
+	P      int                          // world size (must be a perfect square for the grid)
+	A      *sparse.CSR                  // adjacency (replicated; each rank slices its block)
+	X      *tensor.Dense                // full feature matrix, n×InDim
+	Labels []int                        // per-vertex class labels
+	Mask   []bool                       // optional training mask (nil = all vertices)
+	Cfg    gnn.Config                   // model config; Cfg.Seed drives deterministic init
+	Epochs int                          // full-batch epochs to reach
+	NewOpt func() gnn.StatefulOptimizer // per-rank optimizer factory
+
+	// Robustness knobs.
+	CheckpointDir   string           // "" disables checkpointing
+	CheckpointEvery int              // epochs between checkpoints (default 1)
+	Resume          bool             // start from the latest checkpoint in CheckpointDir
+	Faults          *faults.Injector // optional fault injection (persists across restarts)
+	RecvTimeout     time.Duration    // failure-detection deadline (default 30s)
+	MaxRestarts     int              // world rebuilds before giving up (default 3)
+
+	// OnEpoch, when set, is called on rank 0 after every completed epoch
+	// with the global mean loss. Called again for re-executed epochs after
+	// a restart.
+	OnEpoch func(epoch int, loss float64)
+}
+
+// TrainResult reports what a TrainResilient call actually executed.
+type TrainResult struct {
+	Losses     []float64    // per-epoch global mean loss, indexed by epoch; epochs skipped via resume stay zero
+	StartEpoch int          // first epoch executed by this call (after resume)
+	Restarts   int          // world rebuilds forced by rank failures
+	Params     []*gnn.Param // rank-0 snapshot of the final replicated parameters (Grad nil)
+	Counters   []dist.Counters
+}
+
+// TrainResilient trains to spec.Epochs, surviving injected or genuine rank
+// failures: when any rank fails, every survivor unwinds with
+// dist.ErrRankFailed, the world is torn down and rebuilt, and training
+// re-enters from the last durable checkpoint. Because the engine's
+// construction is seeded and the fault model never corrupts payloads,
+// a resumed run reproduces the uninterrupted run's weights bitwise.
+func TrainResilient(spec TrainSpec) (*TrainResult, error) {
+	if spec.Epochs < 0 {
+		return nil, fmt.Errorf("distgnn: negative epoch count %d", spec.Epochs)
+	}
+	if spec.NewOpt == nil {
+		return nil, fmt.Errorf("distgnn: TrainSpec.NewOpt is required")
+	}
+	every := spec.CheckpointEvery
+	if every <= 0 {
+		every = 1
+	}
+	timeout := spec.RecvTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	maxRestarts := spec.MaxRestarts
+	if maxRestarts <= 0 {
+		maxRestarts = 3
+	}
+	opts := dist.Options{
+		Faults:      spec.Faults,
+		RecvTimeout: timeout,
+	}
+
+	res := &TrainResult{Losses: make([]float64, spec.Epochs)}
+	startEpoch, startPath := 0, ""
+	if spec.Resume && spec.CheckpointDir != "" {
+		path, ep, ok, err := ckpt.Latest(spec.CheckpointDir)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			startEpoch, startPath = int(ep), path
+		}
+	}
+	res.StartEpoch = startEpoch
+
+	var mu sync.Mutex // guards res fields written from rank 0
+	for {
+		from, path := startEpoch, startPath
+		cs, errs, err := dist.TryRun(spec.P, opts, func(c *dist.Comm) error {
+			return trainRanks(c, spec, from, path, every, res, &mu)
+		})
+		if err != nil {
+			return nil, err // setup error: wrong world size etc.
+		}
+		first := dist.FirstError(errs)
+		if first == nil {
+			res.Counters = cs
+			return res, nil
+		}
+		if !errors.Is(first, dist.ErrRankFailed) {
+			return nil, first // application error: retrying won't help
+		}
+		// Rank failure: rebuild the world from the last durable checkpoint.
+		res.Restarts++
+		if res.Restarts > maxRestarts {
+			return nil, fmt.Errorf("distgnn: giving up after %d restarts: %w", maxRestarts, first)
+		}
+		t0 := time.Now()
+		startEpoch, startPath = 0, ""
+		if spec.CheckpointDir != "" {
+			path, ep, ok, lerr := ckpt.Latest(spec.CheckpointDir)
+			if lerr != nil {
+				return nil, lerr
+			}
+			if ok {
+				startEpoch, startPath = int(ep), path
+			}
+		}
+		metrics.RecoverySeconds.Observe(time.Since(t0).Seconds())
+	}
+}
+
+// trainRanks is the per-rank body: build the engine, apply the checkpoint,
+// run epochs [from, spec.Epochs), checkpointing at every boundary multiple
+// of `every`.
+func trainRanks(c *dist.Comm, spec TrainSpec, from int, path string, every int, res *TrainResult, mu *sync.Mutex) error {
+	e, err := NewGlobalEngine(c, spec.A, spec.Cfg)
+	if err != nil {
+		return err
+	}
+	opt := spec.NewOpt()
+	params := e.Params()
+
+	if path != "" {
+		// Every rank loads the same checkpoint file, so the replicated
+		// weights and optimizer moments stay bit-identical without a
+		// broadcast — the same invariant seeded construction provides.
+		st, err := ckpt.Load(path, params)
+		if err != nil {
+			return fmt.Errorf("rank %d: resume from %s: %w", c.Rank(), path, err)
+		}
+		if st.Opt != nil {
+			if err := opt.ImportState(params, st.Opt); err != nil {
+				return fmt.Errorf("rank %d: resume optimizer state: %w", c.Rank(), err)
+			}
+		}
+	}
+
+	xd := e.SliceOwnedBlock(spec.X)
+	for epoch := from; epoch < spec.Epochs; epoch++ {
+		loss := e.TrainStep(xd, spec.Labels, spec.Mask, opt)
+		if c.Rank() == 0 {
+			mu.Lock()
+			res.Losses[epoch] = loss
+			mu.Unlock()
+			if spec.OnEpoch != nil {
+				spec.OnEpoch(epoch, loss)
+			}
+		}
+		done := epoch + 1
+		if spec.CheckpointDir != "" && (done%every == 0 || done == spec.Epochs) {
+			// Weights are replicated, so rank 0's snapshot is everyone's.
+			if c.Rank() == 0 {
+				st := ckpt.State{Epoch: int64(done), Seed: spec.Cfg.Seed, Opt: opt.ExportState(params)}
+				if _, err := ckpt.Save(spec.CheckpointDir, st, params); err != nil {
+					return fmt.Errorf("rank 0: checkpoint at epoch %d: %w", done, err)
+				}
+			}
+			// No rank crosses the boundary until the checkpoint is durable:
+			// a failure in epoch done+1 can then always restart from `done`.
+			c.Barrier()
+		}
+	}
+
+	if c.Rank() == 0 {
+		mu.Lock()
+		res.Params = snapshotParams(params)
+		mu.Unlock()
+	}
+	return nil
+}
+
+func snapshotParams(params []*gnn.Param) []*gnn.Param {
+	out := make([]*gnn.Param, len(params))
+	for i, p := range params {
+		out[i] = &gnn.Param{Name: p.Name, Value: p.Value.Clone()}
+	}
+	return out
+}

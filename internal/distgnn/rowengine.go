@@ -193,18 +193,23 @@ func (e *RowEngine) Overlapped() bool { return e.overlap }
 // Forward runs inference: per layer, one full allgather of the feature
 // matrix (the Θ(nk) term), then computation on the owned rows — strictly
 // after the gather on the sequential path, interleaved with it when
-// EnableOverlap is active.
-func (e *RowEngine) Forward(hOwned *tensor.Dense) *tensor.Dense {
+// EnableOverlap is active. The error is non-nil when a rank failure aborted
+// a chunked gather mid-layer (it wraps dist.ErrRankFailed); fault-free runs
+// never fail.
+func (e *RowEngine) Forward(hOwned *tensor.Dense) (*tensor.Dense, error) {
 	h := hOwned
 	for _, l := range e.layers {
 		if e.overlap {
-			h = e.layerForwardOverlapped(l, h)
+			var err error
+			if h, err = e.layerForwardOverlapped(l, h); err != nil {
+				return nil, err
+			}
 			continue
 		}
 		full := tensor.NewDenseFrom(e.Part.N, h.Cols, e.C.Allgather(h.Data))
 		h = e.layerForward(l, full)
 	}
-	return h
+	return h, nil
 }
 
 func (e *RowEngine) layerForward(l rowLayer, full *tensor.Dense) *tensor.Dense {
@@ -217,7 +222,12 @@ func (e *RowEngine) layerForward(l rowLayer, full *tensor.Dense) *tensor.Dense {
 // in flight is the hidden latency; what remains on the critical path is
 // only the stall time (blocked on chunk receives), recorded against the
 // agnn_overlap_hidden_seconds gauge.
-func (e *RowEngine) layerForwardOverlapped(l rowLayer, h *tensor.Dense) *tensor.Dense {
+//
+// Chunk notifications may arrive out of schedule order under an injected
+// reorder fault; arrivals ahead of schedule are buffered until their step
+// comes up (the underlying data is already in place), so the plan's
+// arithmetic order — and therefore its bitwise output — is unaffected.
+func (e *RowEngine) layerForwardOverlapped(l rowLayer, h *tensor.Dense) (*tensor.Dense, error) {
 	k := h.Cols
 	g := e.C.Size()
 	lens := make([]int, g)
@@ -226,7 +236,10 @@ func (e *RowEngine) layerForwardOverlapped(l rowLayer, h *tensor.Dense) *tensor.
 		lens[r] = (hi - lo) * k
 	}
 	start := time.Now()
-	cg := e.C.AllgatherChunks(h.Data, lens)
+	cg, err := e.C.AllgatherChunks(h.Data, lens)
+	if err != nil {
+		return nil, fmt.Errorf("distgnn: layer gather: %w", err)
+	}
 	full := tensor.NewDenseFrom(e.Part.N, k, cg.Out())
 	pp := l.pp
 	pp.Bind(full)
@@ -234,23 +247,42 @@ func (e *RowEngine) layerForwardOverlapped(l rowLayer, h *tensor.Dense) *tensor.
 	var stall time.Duration
 	var lastArrival time.Time
 	chunks := cg.Chunks()
+	pending := make(map[int]bool) // early arrivals, keyed by schedule step
+	stepOf := func(ch dist.Chunk) (int, error) {
+		for t := range e.avail {
+			if want := e.avail[t]; ch.Lo == want.Lo*k && ch.Hi == want.Hi*k {
+				return t, nil
+			}
+		}
+		return 0, fmt.Errorf("distgnn: chunk covers words [%d,%d), not in the arrival schedule", ch.Lo, ch.Hi)
+	}
 	for t := 0; t < pp.Steps(); t++ {
-		w0 := time.Now()
-		ch, ok := <-chunks
-		if !ok {
-			panic("distgnn: chunked gather ended early")
+		for !pending[t] {
+			w0 := time.Now()
+			ch, ok := <-chunks
+			stall += time.Since(w0)
+			if !ok {
+				if err := cg.Err(); err != nil {
+					return nil, fmt.Errorf("distgnn: chunked gather aborted: %w", err)
+				}
+				return nil, fmt.Errorf("distgnn: chunked gather ended after %d of %d chunks", t, pp.Steps())
+			}
+			lastArrival = time.Now()
+			s, err := stepOf(ch)
+			if err != nil {
+				return nil, err
+			}
+			pending[s] = true
 		}
-		stall += time.Since(w0)
-		lastArrival = time.Now()
-		if want := e.avail[t]; ch.Lo != want.Lo*k || ch.Hi != want.Hi*k {
-			panic(fmt.Sprintf("distgnn: chunk %d covers words [%d,%d), schedule expects rows [%d,%d)",
-				t, ch.Lo, ch.Hi, want.Lo, want.Hi))
-		}
+		delete(pending, t)
 		sp := e.C.StartSpan("overlap.step")
 		pp.RunStep(t)
 		sp.End()
 	}
 	for range chunks { // consume the close
+	}
+	if err := cg.Err(); err != nil {
+		return nil, fmt.Errorf("distgnn: chunked gather aborted: %w", err)
 	}
 	hidden := lastArrival.Sub(start).Seconds() - stall.Seconds()
 	if hidden > 0 {
@@ -258,7 +290,7 @@ func (e *RowEngine) layerForwardOverlapped(l rowLayer, h *tensor.Dense) *tensor.
 	}
 	metrics.OverlapChunksTotal.Add(int64(pp.Steps()))
 	metrics.OverlapLocalFraction.Set(pp.LocalFraction())
-	return pp.Output()
+	return pp.Output(), nil
 }
 
 // GatherOutput assembles the full output on rank 0 (test helper).

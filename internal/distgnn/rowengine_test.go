@@ -29,7 +29,11 @@ func TestRowEngineMatchesSingleNode(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				out := e.Forward(h.SliceRows(e.Lo, e.Hi).Clone())
+				out, err := e.Forward(h.SliceRows(e.Lo, e.Hi).Clone())
+				if err != nil {
+					t.Error(err)
+					return
+				}
 				full := e.GatherOutput(out)
 				if full != nil {
 					mu.Lock()
@@ -60,7 +64,9 @@ func TestReplicationAblation(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		e.Forward(h.SliceRows(e.Lo, e.Hi).Clone())
+		if _, err := e.Forward(h.SliceRows(e.Lo, e.Hi).Clone()); err != nil {
+			t.Error(err)
+		}
 	})
 	cs2 := dist.Run(p, func(c *dist.Comm) {
 		e, err := NewGlobalEngine(c, a, cfg)
@@ -91,7 +97,9 @@ func TestRowEngineVolumeIndependentOfP(t *testing.T) {
 				t.Error(err)
 				return
 			}
-			e.Forward(h.SliceRows(e.Lo, e.Hi).Clone())
+			if _, err := e.Forward(h.SliceRows(e.Lo, e.Hi).Clone()); err != nil {
+				t.Error(err)
+			}
 		})
 		return dist.MaxCounters(cs).BytesSent
 	}

@@ -1,0 +1,115 @@
+package gnn
+
+import (
+	"fmt"
+
+	"agnn/internal/tensor"
+)
+
+// OptState is a portable snapshot of an optimizer's internal state —
+// moment/velocity slots aligned with a parameter sequence plus the step
+// counter. It exists so checkpoint/resume reproduces training bitwise: the
+// update rule depends on the accumulated moments and (for Adam's bias
+// correction) on the step count, so restoring weights alone is not enough.
+type OptState struct {
+	Algo  string
+	Step  int64
+	Slots map[string][]*tensor.Dense // slot name → per-parameter tensor, aligned with params
+}
+
+// StatefulOptimizer is an Optimizer whose full update state can be
+// exported for checkpointing and restored on resume.
+type StatefulOptimizer interface {
+	Optimizer
+	ExportState(params []*Param) *OptState
+	ImportState(params []*Param, st *OptState) error
+}
+
+// exportSlot materializes one slot tensor per parameter, cloning live state
+// and substituting zeros for parameters the optimizer has not touched yet
+// (lazy slot allocation before the first Step).
+func exportSlot(params []*Param, slot map[*Param]*tensor.Dense) []*tensor.Dense {
+	out := make([]*tensor.Dense, len(params))
+	for i, p := range params {
+		if t := slot[p]; t != nil {
+			out[i] = t.Clone()
+		} else {
+			out[i] = tensor.NewDense(p.Value.Rows, p.Value.Cols)
+		}
+	}
+	return out
+}
+
+// importSlot validates and installs one slot from a snapshot.
+func importSlot(params []*Param, st *OptState, name string) (map[*Param]*tensor.Dense, error) {
+	ts, ok := st.Slots[name]
+	if !ok {
+		return nil, fmt.Errorf("gnn: optimizer state missing slot %q", name)
+	}
+	if len(ts) != len(params) {
+		return nil, fmt.Errorf("gnn: slot %q has %d tensors, model has %d parameters", name, len(ts), len(params))
+	}
+	slot := make(map[*Param]*tensor.Dense, len(params))
+	for i, p := range params {
+		t := ts[i]
+		if t == nil {
+			return nil, fmt.Errorf("gnn: slot %q tensor %d is nil", name, i)
+		}
+		if t.Rows != p.Value.Rows || t.Cols != p.Value.Cols {
+			return nil, fmt.Errorf("gnn: slot %q for %q is %d×%d, model wants %d×%d",
+				name, p.Name, t.Rows, t.Cols, p.Value.Rows, p.Value.Cols)
+		}
+		slot[p] = t.Clone()
+	}
+	return slot, nil
+}
+
+// ExportState implements StatefulOptimizer.
+func (o *SGD) ExportState(params []*Param) *OptState {
+	return &OptState{
+		Algo:  o.Name(),
+		Slots: map[string][]*tensor.Dense{"vel": exportSlot(params, o.vel)},
+	}
+}
+
+// ImportState implements StatefulOptimizer.
+func (o *SGD) ImportState(params []*Param, st *OptState) error {
+	if st.Algo != o.Name() {
+		return fmt.Errorf("gnn: optimizer state is for %q, optimizer is %q", st.Algo, o.Name())
+	}
+	vel, err := importSlot(params, st, "vel")
+	if err != nil {
+		return err
+	}
+	o.vel = vel
+	return nil
+}
+
+// ExportState implements StatefulOptimizer.
+func (o *Adam) ExportState(params []*Param) *OptState {
+	return &OptState{
+		Algo: o.Name(),
+		Step: int64(o.t),
+		Slots: map[string][]*tensor.Dense{
+			"m": exportSlot(params, o.m),
+			"v": exportSlot(params, o.v),
+		},
+	}
+}
+
+// ImportState implements StatefulOptimizer.
+func (o *Adam) ImportState(params []*Param, st *OptState) error {
+	if st.Algo != o.Name() {
+		return fmt.Errorf("gnn: optimizer state is for %q, optimizer is %q", st.Algo, o.Name())
+	}
+	m, err := importSlot(params, st, "m")
+	if err != nil {
+		return err
+	}
+	v, err := importSlot(params, st, "v")
+	if err != nil {
+		return err
+	}
+	o.m, o.v, o.t = m, v, int(st.Step)
+	return nil
+}

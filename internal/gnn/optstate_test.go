@@ -1,0 +1,153 @@
+package gnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"agnn/internal/tensor"
+)
+
+func optTestParams(t *testing.T, n int, seed int64) []*Param {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ps := make([]*Param, n)
+	for i := range ps {
+		ps[i] = &Param{
+			Name:  string(rune('a' + i)),
+			Value: tensor.RandN(3, 2, 1, rng),
+			Grad:  tensor.NewDense(3, 2),
+		}
+	}
+	return ps
+}
+
+func fillGrads(ps []*Param, rng *rand.Rand) {
+	for _, p := range ps {
+		for i := range p.Grad.Data {
+			p.Grad.Data[i] = rng.NormFloat64()
+		}
+	}
+}
+
+// TestOptimizerStateRoundtrip: export after k steps, import into a fresh
+// optimizer, then run both in lockstep — every subsequent update must be
+// bitwise identical. This is the property checkpoint/resume relies on.
+func TestOptimizerStateRoundtrip(t *testing.T) {
+	mk := map[string]func() StatefulOptimizer{
+		"adam":         func() StatefulOptimizer { return NewAdam(0.01) },
+		"sgd-momentum": func() StatefulOptimizer { return NewSGD(0.05, 0.9) },
+		"sgd-plain":    func() StatefulOptimizer { return NewSGD(0.05, 0) },
+	}
+	for name, newOpt := range mk {
+		t.Run(name, func(t *testing.T) {
+			orig := optTestParams(t, 4, 300)
+			opt := newOpt()
+			rng := rand.New(rand.NewSource(301))
+			for step := 0; step < 5; step++ {
+				fillGrads(orig, rng)
+				opt.Step(orig)
+			}
+
+			// Clone params + optimizer state into a "resumed" twin.
+			twin := optTestParams(t, 4, 300)
+			for i, p := range orig {
+				copy(twin[i].Value.Data, p.Value.Data)
+			}
+			resumed := newOpt()
+			if err := resumed.ImportState(twin, opt.ExportState(orig)); err != nil {
+				t.Fatal(err)
+			}
+
+			// Lockstep continuation with identical gradients.
+			rngA := rand.New(rand.NewSource(302))
+			rngB := rand.New(rand.NewSource(302))
+			for step := 0; step < 5; step++ {
+				fillGrads(orig, rngA)
+				fillGrads(twin, rngB)
+				opt.Step(orig)
+				resumed.Step(twin)
+			}
+			for i := range orig {
+				for j := range orig[i].Value.Data {
+					if orig[i].Value.Data[j] != twin[i].Value.Data[j] {
+						t.Fatalf("param %d word %d diverged after resume: %v vs %v",
+							i, j, orig[i].Value.Data[j], twin[i].Value.Data[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestOptimizerStateFreshExport: exporting before any Step yields zero
+// slots that import cleanly — resuming from an epoch-0 checkpoint works.
+func TestOptimizerStateFreshExport(t *testing.T) {
+	ps := optTestParams(t, 3, 310)
+	opt := NewAdam(0.01)
+	st := opt.ExportState(ps)
+	if st.Step != 0 {
+		t.Fatalf("fresh Adam step = %d", st.Step)
+	}
+	for name, slot := range st.Slots {
+		for i, tns := range slot {
+			for _, v := range tns.Data {
+				if v != 0 {
+					t.Fatalf("fresh slot %q tensor %d not zero", name, i)
+				}
+			}
+		}
+	}
+	if err := NewAdam(0.01).ImportState(ps, st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOptimizerStateValidation: mismatched algorithms, slot inventories and
+// shapes are rejected.
+func TestOptimizerStateValidation(t *testing.T) {
+	ps := optTestParams(t, 3, 320)
+	adamState := NewAdam(0.01).ExportState(ps)
+	sgdState := NewSGD(0.1, 0.9).ExportState(ps)
+
+	if err := NewSGD(0.1, 0.9).ImportState(ps, adamState); err == nil {
+		t.Error("SGD accepted Adam state")
+	}
+	if err := NewAdam(0.01).ImportState(ps, sgdState); err == nil {
+		t.Error("Adam accepted SGD state")
+	}
+	// Wrong parameter count.
+	short := optTestParams(t, 2, 321)
+	if err := NewAdam(0.01).ImportState(short, adamState); err == nil {
+		t.Error("state with extra parameters accepted")
+	}
+	// Wrong shape.
+	bad := NewAdam(0.01).ExportState(ps)
+	bad.Slots["m"][1] = tensor.NewDense(5, 5)
+	if err := NewAdam(0.01).ImportState(ps, bad); err == nil {
+		t.Error("shape-mismatched slot accepted")
+	}
+	// Missing slot.
+	gone := NewAdam(0.01).ExportState(ps)
+	delete(gone.Slots, "v")
+	if err := NewAdam(0.01).ImportState(ps, gone); err == nil {
+		t.Error("missing slot accepted")
+	}
+}
+
+// TestOptimizerStateIsACopy: mutating exported state must not alias live
+// optimizer slots (a checkpoint written during training must be a frozen
+// snapshot).
+func TestOptimizerStateIsACopy(t *testing.T) {
+	ps := optTestParams(t, 2, 330)
+	opt := NewAdam(0.01)
+	fillGrads(ps, rand.New(rand.NewSource(331)))
+	opt.Step(ps)
+	st := opt.ExportState(ps)
+	before := st.Slots["m"][0].Data[0]
+	// Another training step must not change the already-exported snapshot.
+	fillGrads(ps, rand.New(rand.NewSource(332)))
+	opt.Step(ps)
+	if st.Slots["m"][0].Data[0] != before {
+		t.Fatal("exported state aliases live optimizer slot")
+	}
+}

@@ -4,50 +4,102 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"os"
 )
 
 // Weight checkpointing. The format is self-describing and validated on
 // load: magic, parameter count, then per parameter its name, shape and
-// row-major float64 data (little-endian). Loading requires a model with an
-// identical parameter inventory (same construction config), so checkpoints
-// are portable across the single-node, local-formulation and distributed
-// engines — they all draw the same parameter sequence.
+// row-major float64 data (little-endian). Version 2 appends a CRC-32C
+// checksum over everything before it, so torn or bit-flipped files are
+// rejected instead of silently loading garbage. Loading requires a model
+// with an identical parameter inventory (same construction config), so
+// checkpoints are portable across the single-node, local-formulation and
+// distributed engines — they all draw the same parameter sequence.
 
-const weightsMagic = "AGNNWTS1"
+const (
+	weightsMagicV1 = "AGNNWTS1" // legacy: no checksum
+	weightsMagicV2 = "AGNNWTS2" // current: trailing CRC-32C (Castagnoli)
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// crcWriter tees everything written into a running CRC.
+type crcWriter struct {
+	w io.Writer
+	h hash.Hash32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	if n > 0 {
+		c.h.Write(p[:n])
+	}
+	return n, err
+}
+
+// crcReader hashes everything read while on; the trailer itself is read
+// with hashing switched off.
+type crcReader struct {
+	r  io.Reader
+	h  hash.Hash32
+	on bool
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 && c.on {
+		c.h.Write(p[:n])
+	}
+	return n, err
+}
 
 // SaveWeights serializes all parameters of a model.
 func SaveWeights(w io.Writer, m *Model) error { return SaveParams(w, m.Params()) }
 
-// SaveParams serializes an explicit parameter list — the engine-agnostic
-// entry point (the distributed engines expose the same parameter sequence
-// as their single-node counterparts, so checkpoints are interchangeable).
+// SaveParams serializes an explicit parameter list in the current (v2,
+// CRC-protected) format — the engine-agnostic entry point (the distributed
+// engines expose the same parameter sequence as their single-node
+// counterparts, so checkpoints are interchangeable).
 func SaveParams(w io.Writer, params []*Param) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(weightsMagic); err != nil {
+	cw := &crcWriter{w: bw, h: crc32.New(crcTable)}
+	if _, err := io.WriteString(cw, weightsMagicV2); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, int64(len(params))); err != nil {
+	if err := writeParamsBody(cw, params); err != nil {
+		return err
+	}
+	// The checksum covers magic + body and is written outside the tee.
+	if err := binary.Write(bw, binary.LittleEndian, cw.h.Sum32()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeParamsBody(w io.Writer, params []*Param) error {
+	if err := binary.Write(w, binary.LittleEndian, int64(len(params))); err != nil {
 		return err
 	}
 	for _, p := range params {
 		name := []byte(p.Name)
-		if err := binary.Write(bw, binary.LittleEndian, int64(len(name))); err != nil {
+		if err := binary.Write(w, binary.LittleEndian, int64(len(name))); err != nil {
 			return err
 		}
-		if _, err := bw.Write(name); err != nil {
+		if _, err := w.Write(name); err != nil {
 			return err
 		}
 		hdr := []int64{int64(p.Value.Rows), int64(p.Value.Cols)}
-		if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+		if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
 			return err
 		}
-		if err := binary.Write(bw, binary.LittleEndian, p.Value.Data); err != nil {
+		if err := binary.Write(w, binary.LittleEndian, p.Value.Data); err != nil {
 			return err
 		}
 	}
-	return bw.Flush()
+	return nil
 }
 
 // LoadWeights restores parameters into an already-constructed model. The
@@ -55,48 +107,70 @@ func SaveParams(w io.Writer, params []*Param) error {
 // model's exactly.
 func LoadWeights(r io.Reader, m *Model) error { return LoadParams(r, m.Params()) }
 
-// LoadParams restores an explicit parameter list (see SaveParams).
+// LoadParams restores an explicit parameter list (see SaveParams). Both the
+// current CRC-protected v2 format and the legacy v1 format are accepted;
+// v2 files whose checksum does not match are rejected.
 func LoadParams(r io.Reader, params []*Param) error {
 	br := bufio.NewReader(r)
-	magic := make([]byte, len(weightsMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return err
+	cr := &crcReader{r: br, h: crc32.New(crcTable), on: true}
+	magic := make([]byte, len(weightsMagicV2))
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		return fmt.Errorf("gnn: truncated checkpoint header: %w", err)
 	}
-	if string(magic) != weightsMagic {
+	switch string(magic) {
+	case weightsMagicV2:
+		if err := readParamsBody(cr, params); err != nil {
+			return err
+		}
+		cr.on = false
+		var want uint32
+		if err := binary.Read(br, binary.LittleEndian, &want); err != nil {
+			return fmt.Errorf("gnn: checkpoint missing checksum trailer: %w", err)
+		}
+		if got := cr.h.Sum32(); got != want {
+			return fmt.Errorf("gnn: checkpoint checksum mismatch (file %08x, computed %08x)", want, got)
+		}
+		return nil
+	case weightsMagicV1:
+		return readParamsBody(br, params)
+	default:
 		return fmt.Errorf("gnn: bad checkpoint magic %q", magic)
 	}
+}
+
+func readParamsBody(r io.Reader, params []*Param) error {
 	var count int64
-	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
-		return err
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return fmt.Errorf("gnn: truncated checkpoint: %w", err)
 	}
 	if int(count) != len(params) {
 		return fmt.Errorf("gnn: checkpoint has %d parameters, model has %d", count, len(params))
 	}
 	for _, p := range params {
 		var nameLen int64
-		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
-			return err
+		if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+			return fmt.Errorf("gnn: truncated checkpoint: %w", err)
 		}
 		if nameLen < 0 || nameLen > 1<<16 {
 			return fmt.Errorf("gnn: corrupt checkpoint (name length %d)", nameLen)
 		}
 		name := make([]byte, nameLen)
-		if _, err := io.ReadFull(br, name); err != nil {
-			return err
+		if _, err := io.ReadFull(r, name); err != nil {
+			return fmt.Errorf("gnn: truncated checkpoint: %w", err)
 		}
 		if string(name) != p.Name {
 			return fmt.Errorf("gnn: checkpoint parameter %q does not match model parameter %q", name, p.Name)
 		}
 		var hdr [2]int64
-		if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
-			return err
+		if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+			return fmt.Errorf("gnn: truncated checkpoint: %w", err)
 		}
 		if int(hdr[0]) != p.Value.Rows || int(hdr[1]) != p.Value.Cols {
 			return fmt.Errorf("gnn: checkpoint %q is %d×%d, model wants %d×%d",
 				p.Name, hdr[0], hdr[1], p.Value.Rows, p.Value.Cols)
 		}
-		if err := binary.Read(br, binary.LittleEndian, p.Value.Data); err != nil {
-			return err
+		if err := binary.Read(r, binary.LittleEndian, p.Value.Data); err != nil {
+			return fmt.Errorf("gnn: truncated checkpoint: %w", err)
 		}
 	}
 	return nil

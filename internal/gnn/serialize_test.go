@@ -101,6 +101,60 @@ func TestLoadWeightsValidation(t *testing.T) {
 	}
 }
 
+func TestLoadWeightsRejectsCorruptCRC(t *testing.T) {
+	src, _ := trainedModel(t, VA, 210)
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if got := string(raw[:8]); got != weightsMagicV2 {
+		t.Fatalf("save wrote magic %q, want %q", got, weightsMagicV2)
+	}
+
+	// A single flipped bit anywhere in the body must be caught.
+	for _, pos := range []int{8, len(raw) / 2, len(raw) - 5} {
+		bad := append([]byte(nil), raw...)
+		bad[pos] ^= 0x40
+		if err := LoadWeights(bytes.NewReader(bad), src); err == nil {
+			t.Errorf("bit flip at byte %d accepted", pos)
+		}
+	}
+	// A corrupted trailer must be caught too.
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)-1] ^= 0xff
+	if err := LoadWeights(bytes.NewReader(bad), src); err == nil {
+		t.Error("corrupt checksum trailer accepted")
+	}
+	// Truncation that removes only the trailer must be caught.
+	if err := LoadWeights(bytes.NewReader(raw[:len(raw)-2]), src); err == nil {
+		t.Error("missing checksum trailer accepted")
+	}
+	// The pristine file still loads.
+	if err := LoadWeights(bytes.NewReader(raw), src); err != nil {
+		t.Fatalf("pristine checkpoint rejected: %v", err)
+	}
+}
+
+func TestLoadWeightsAcceptsLegacyV1(t *testing.T) {
+	src, h := trainedModel(t, GCN, 211)
+	// Synthesize a v1 file: v1 magic + body, no checksum.
+	var body bytes.Buffer
+	if _, err := body.WriteString(weightsMagicV1); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeParamsBody(&body, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	dst, _ := trainedModel(t, GCN, 212)
+	if err := LoadWeights(bytes.NewReader(body.Bytes()), dst); err != nil {
+		t.Fatalf("legacy v1 checkpoint rejected: %v", err)
+	}
+	if !dst.Forward(h, false).ApproxEqual(src.Forward(h, false), 0) {
+		t.Fatal("v1 load output differs")
+	}
+}
+
 func TestCheckpointPortableToLocalEngine(t *testing.T) {
 	// A checkpoint saved from the global model must load into the local
 	// mirror (same parameter inventory) — done through the shared format.

@@ -1,11 +1,13 @@
 package obs
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"agnn/internal/obs/metrics"
 	"agnn/internal/obs/serve"
@@ -21,11 +23,12 @@ import (
 //	if err := o.Start(); err != nil { ... }
 //	defer o.Stop()
 type CLI struct {
-	Trace      string // Chrome trace-event JSON output path
-	Metrics    string // aggregated run-report JSON output path
-	CPUProfile string // runtime/pprof CPU profile output path
-	MemProfile string // runtime/pprof heap profile output path
-	Serve      string // live diagnostics HTTP address (/metrics, /report, /debug/pprof)
+	Trace        string // Chrome trace-event JSON output path
+	Metrics      string // aggregated run-report JSON output path
+	CPUProfile   string // runtime/pprof CPU profile output path
+	MemProfile   string // runtime/pprof heap profile output path
+	Serve        string // live diagnostics HTTP address (/metrics, /report, /debug/pprof)
+	MetricsFinal string // Prometheus snapshot written when the server shuts down
 
 	tracer  *Tracer
 	cpuFile *os.File
@@ -40,6 +43,7 @@ func (c *CLI) Register(fs *flag.FlagSet) {
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile here")
 	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof heap profile here (captured at exit)")
 	fs.StringVar(&c.Serve, "serve", "", "serve live diagnostics on this address (/metrics, /report, /debug/pprof), e.g. :6060")
+	fs.StringVar(&c.MetricsFinal, "metrics-final", "", "with -serve: write a final Prometheus metrics snapshot here at shutdown")
 }
 
 // Active reports whether any observability output was requested.
@@ -85,8 +89,9 @@ func (c *CLI) Start() error {
 	}
 	if c.Serve != "" {
 		s, err := serve.Start(c.Serve, serve.Options{
-			Registry: metrics.Default,
-			Report:   func() any { return c.report() },
+			Registry:          metrics.Default,
+			Report:            func() any { return c.report() },
+			FinalSnapshotPath: c.MetricsFinal,
 		})
 		if err != nil {
 			return err
@@ -132,7 +137,11 @@ func (c *CLI) Stop() error {
 		c.tracer = nil
 	}
 	if c.server != nil {
-		keep(c.server.Close())
+		// Graceful: let an in-flight scrape finish, bounded so a stuck
+		// client cannot stall process exit.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		keep(c.server.Shutdown(ctx))
+		cancel()
 		c.server = nil
 	}
 	if c.MemProfile != "" {

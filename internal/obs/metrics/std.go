@@ -45,6 +45,19 @@ var (
 	EpochSeconds = Default.Histogram("agnn_epoch_seconds",
 		"Wall time of one training epoch.", DefLatencyBuckets)
 
+	// Fault tolerance (internal/dist, internal/distgnn, internal/ckpt;
+	// docs/ROBUSTNESS.md).
+	FaultsInjectedTotal = Default.CounterVec("agnn_faults_injected_total",
+		"Faults applied by the deterministic injector, by kind (crash, delay, drop, reorder).", "kind")
+	CommRetriesTotal = Default.Counter("agnn_comm_retries_total",
+		"Point-to-point send retries after injected transient failures.")
+	RankFailuresTotal = Default.Counter("agnn_rank_failures_total",
+		"Rank failures detected by the runtime (injected crashes, receive timeouts, retry exhaustion).")
+	CheckpointSeconds = Default.Histogram("agnn_checkpoint_seconds",
+		"Wall time of one atomic training-state checkpoint write.", DefLatencyBuckets)
+	RecoverySeconds = Default.Histogram("agnn_recovery_seconds",
+		"Wall time from failure detection to a rebuilt world resuming training from the last checkpoint.", DefLatencyBuckets)
+
 	// Cost-model validation (internal/costmodel, benchutil).
 	CommPredictedWords = Default.Gauge("agnn_comm_predicted_words",
 		"Cost-model predicted max per-rank words for the run's configuration.")

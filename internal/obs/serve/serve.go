@@ -11,11 +11,15 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"sync"
 	"time"
 
 	"agnn/internal/obs/metrics"
@@ -30,6 +34,11 @@ type Options struct {
 	// obs run-report with the metrics snapshot attached). Nil serves the
 	// registry snapshot alone.
 	Report func() any
+	// FinalSnapshotPath, when set, makes shutdown write one last Prometheus
+	// exposition of the registry to this file — the terminal scrape a
+	// monitoring system would otherwise miss when the process exits between
+	// scrape intervals.
+	FinalSnapshotPath string
 }
 
 func (o Options) registry() *metrics.Registry {
@@ -84,8 +93,10 @@ func Handler(opt Options) http.Handler {
 
 // Server is a running diagnostics endpoint.
 type Server struct {
-	ln  net.Listener
-	srv *http.Server
+	ln    net.Listener
+	srv   *http.Server
+	opt   Options
+	flush sync.Once
 }
 
 // Start listens on addr (":0" picks a free port) and serves the
@@ -95,7 +106,7 @@ func Start(addr string, opt Options) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: listen %s: %w", addr, err)
 	}
-	s := &Server{ln: ln, srv: &http.Server{
+	s := &Server{ln: ln, opt: opt, srv: &http.Server{
 		Handler:           Handler(opt),
 		ReadHeaderTimeout: 5 * time.Second,
 	}}
@@ -106,5 +117,51 @@ func Start(addr string, opt Options) (*Server, error) {
 // Addr returns the bound address ("127.0.0.1:43121").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server immediately.
-func (s *Server) Close() error { return s.srv.Close() }
+// Shutdown stops the server gracefully: new connections are refused while
+// in-flight scrapes run to completion, bounded by ctx — a scrape still
+// open at the deadline is cut off by an immediate close. The final metrics
+// snapshot (when configured) is written either way.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		if cerr := s.srv.Close(); cerr != nil {
+			err = cerr
+		}
+	}
+	if ferr := s.writeFinalSnapshot(); ferr != nil && err == nil {
+		err = ferr
+	}
+	return err
+}
+
+// Close stops the server immediately, dropping in-flight scrapes. The
+// final metrics snapshot (when configured) is still written.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	if ferr := s.writeFinalSnapshot(); ferr != nil && err == nil {
+		err = ferr
+	}
+	return err
+}
+
+// writeFinalSnapshot flushes the registry once per Server lifetime.
+func (s *Server) writeFinalSnapshot() error {
+	if s.opt.FinalSnapshotPath == "" {
+		return nil
+	}
+	var err error
+	s.flush.Do(func() {
+		var f *os.File
+		f, err = os.Create(s.opt.FinalSnapshotPath)
+		if err != nil {
+			return
+		}
+		if werr := s.opt.registry().WritePrometheus(f); werr != nil {
+			f.Close()
+			err = werr
+			return
+		}
+		err = f.Close()
+	})
+	return err
+}

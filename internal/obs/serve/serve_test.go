@@ -1,11 +1,16 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"agnn/internal/obs/metrics"
 )
@@ -92,6 +97,128 @@ func TestCustomReportPayload(t *testing.T) {
 	_, body, _ := get(t, "http://"+s.Addr()+"/report")
 	if !strings.Contains(body, "mid-epoch") {
 		t.Fatalf("custom report payload not served: %s", body)
+	}
+}
+
+func TestGracefulShutdownDrainsInFlightScrape(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.Counter("test_slow_total", "").Add(7)
+	release := make(chan struct{})
+	s, err := Start("127.0.0.1:0", Options{
+		Registry: r,
+		Report: func() any {
+			<-release // hold the scrape open across Shutdown
+			return map[string]string{"state": "drained"}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var code int
+	var body string
+	go func() {
+		defer wg.Done()
+		code, body, _ = get(t, "http://"+s.Addr()+"/report")
+	}()
+	time.Sleep(50 * time.Millisecond) // let the scrape reach the handler
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- s.Shutdown(ctx)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("Shutdown returned while a scrape was still in flight")
+	default:
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	wg.Wait()
+	if code != http.StatusOK || !strings.Contains(body, "drained") {
+		t.Fatalf("in-flight scrape dropped: status %d body %q", code, body)
+	}
+	// New connections must be refused after shutdown.
+	if _, err := http.Get("http://" + s.Addr() + "/metrics"); err == nil {
+		t.Fatal("server still accepting connections after Shutdown")
+	}
+}
+
+func TestShutdownDeadlineForcesClose(t *testing.T) {
+	stall := make(chan struct{})
+	s, err := Start("127.0.0.1:0", Options{
+		Registry: metrics.NewRegistry(),
+		Report:   func() any { <-stall; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer close(stall)
+	go http.Get("http://" + s.Addr() + "/report") //nolint:errcheck // cut off intentionally
+	time.Sleep(50 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	s.Shutdown(ctx) // the stuck scrape must not stall us past the deadline
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("Shutdown took %v despite a %v deadline", d, 100*time.Millisecond)
+	}
+}
+
+func TestFinalSnapshotWrittenOnShutdown(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "final.prom")
+	r := metrics.NewRegistry()
+	r.Counter("test_final_total", "").Add(13)
+	s, err := Start("127.0.0.1:0", Options{Registry: r, FinalSnapshotPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Counter("test_final_total", "").Add(2) // post-start activity must be captured
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("final snapshot not written: %v", err)
+	}
+	if !strings.Contains(string(raw), "test_final_total 15") {
+		t.Fatalf("final snapshot stale:\n%s", raw)
+	}
+	// A second close must not rewrite (or error on) the snapshot.
+	if err := s.Close(); err != nil {
+		t.Fatalf("idempotent close: %v", err)
+	}
+}
+
+func TestFinalSnapshotWrittenOnClose(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "final.prom")
+	r := metrics.NewRegistry()
+	r.Gauge("test_done", "").Set(1)
+	s, err := Start("127.0.0.1:0", Options{Registry: r, FinalSnapshotPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("final snapshot not written on Close: %v", err)
+	}
+	if !strings.Contains(string(raw), "test_done 1") {
+		t.Fatalf("snapshot content wrong:\n%s", raw)
 	}
 }
 
