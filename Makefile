@@ -1,6 +1,13 @@
 GO ?= go
 
-.PHONY: all build test race cover bench fuzz figures figures-full examples clean
+.PHONY: all build test race cover bench bench-gate fuzz figures figures-full examples clean
+
+# Perf-regression gate: re-run the committed baseline's spec and compare
+# within tolerance bands; the diff lands in gate-diff.json (the CI artifact).
+BENCH_BASELINE ?= BENCH_4.json
+
+bench-gate:
+	$(GO) run ./cmd/agnn-gate -baseline $(BENCH_BASELINE) -out gate-diff.json
 
 all: build test
 
@@ -41,4 +48,4 @@ examples:
 	$(GO) run ./examples/graphblas
 
 clean:
-	rm -rf results results_full test_output.txt bench_output.txt
+	rm -rf results results_full test_output.txt bench_output.txt gate-diff.json

@@ -95,6 +95,10 @@ func main() {
 	fmt.Printf("n=%d m=%d maxdeg=%d k=%d L=%d p=%d\n",
 		res.N, res.M, res.MaxDegree, res.Features, res.Layers, res.Ranks)
 	fmt.Printf("median=%.6fs std=%.6fs\n", res.MedianSec, res.StdSec)
+	if res.GFPerSec > 0 {
+		fmt.Printf("roofline: %.3f GF/s aggregate, %.1f bytes moved per edge (%d op classes)\n",
+			res.GFPerSec, res.BytesPerEdge, len(res.OpRoofline))
+	}
 	if res.Ranks > 1 {
 		fmt.Printf("comm: max per-rank %d bytes, %d msgs per execution (α-β model: %.6fs)\n",
 			res.CommBytesMax, res.CommMsgsMax, res.NetModelSec)

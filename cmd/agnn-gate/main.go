@@ -1,0 +1,93 @@
+// Command agnn-gate is the CI perf-regression gate (make bench-gate): it
+// compares a fresh benchmark record against a committed BENCH_*.json
+// baseline within tolerance bands and exits non-zero on regression.
+//
+// With -fresh it compares two existing record files; without it, the
+// baseline's embedded Spec is re-run in-process so the comparison is
+// measured on the machine running the gate:
+//
+//	agnn-gate -baseline BENCH_4.json -out gate-diff.json
+//	agnn-gate -baseline BENCH_4.json -fresh new.json
+//
+// Checked metrics: MedianSec (wall time), CommRatio (measured/predicted
+// comm volume), PeakArenaBytes (workspace high-water mark), GFPerSec
+// (roofline throughput). Metrics the baseline lacks are skipped with a
+// reason, so pre-roofline baselines keep gating what they carry.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"agnn/internal/benchutil"
+)
+
+func main() {
+	basePath := flag.String("baseline", "", "committed BENCH_*.json baseline (required)")
+	freshPath := flag.String("fresh", "", "fresh record to compare; empty = re-run the baseline's spec")
+	outPath := flag.String("out", "", "write the diff report JSON here (the CI artifact)")
+	tol := benchutil.DefaultTolerances()
+	flag.Float64Var(&tol.MedianSec, "tol-median", tol.MedianSec, "allowed fractional MedianSec increase")
+	flag.Float64Var(&tol.CommRatio, "tol-comm", tol.CommRatio, "allowed absolute CommRatio drift")
+	flag.Float64Var(&tol.PeakArenaBytes, "tol-arena", tol.PeakArenaBytes, "allowed fractional PeakArenaBytes increase")
+	flag.Float64Var(&tol.GFPerSec, "tol-gfps", tol.GFPerSec, "allowed fractional GFPerSec decrease")
+	flag.Parse()
+
+	if *basePath == "" {
+		fmt.Fprintln(os.Stderr, "agnn-gate: -baseline is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := benchutil.ReadRecordFile(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	if base.Schema != benchutil.RecordSchema {
+		fatal(fmt.Errorf("baseline %s has schema %q, want %q", *basePath, base.Schema, benchutil.RecordSchema))
+	}
+
+	var fresh benchutil.Record
+	if *freshPath != "" {
+		if fresh, err = benchutil.ReadRecordFile(*freshPath); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Printf("agnn-gate: re-running baseline spec (%s %s p=%d)\n",
+			base.Result.Model, base.Result.Engine, base.Result.Ranks)
+		res, err := benchutil.RunSpec(base.Result.Spec)
+		if err != nil {
+			fatal(err)
+		}
+		fresh = benchutil.NewRecord(res)
+	}
+
+	rep := benchutil.GateCompare(base, fresh, tol)
+	fmt.Print(rep.Summary())
+	if *outPath != "" {
+		if err := writeReport(*outPath, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *outPath)
+	}
+	if !rep.Pass {
+		os.Exit(1)
+	}
+}
+
+func writeReport(path string, rep benchutil.GateReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "agnn-gate:", err)
+	os.Exit(1)
+}

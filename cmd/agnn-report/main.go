@@ -97,6 +97,10 @@ func reportMetrics(w io.Writer, path string, rep *obs.Report) {
 	}
 	if rep.Metrics != nil {
 		renderMetricsSnapshot(w, rep.Metrics)
+	} else {
+		// Optional section: run-reports written before the registry snapshot
+		// existed still render their span tables — warn, don't fail.
+		fmt.Fprintf(os.Stderr, "agnn-report: %s: no metrics snapshot (older run-report?); skipping registry sections\n", path)
 	}
 }
 
@@ -151,6 +155,91 @@ func renderMetricsSnapshot(w io.Writer, snap *metrics.Snapshot) {
 		fmt.Fprintln(w)
 		fmt.Fprintf(w, "predicted %.0f words/rank, measured %.0f — ratio %.2f\n",
 			pred, meas, meas/pred)
+	}
+	renderRoofline(w, snap)
+	renderStragglers(w, snap)
+}
+
+// renderRoofline renders the per-op-class roofline table: the static
+// bytes/flops estimates of the compiled plans against the measured op wall
+// time. Absent counters (runs predating the traffic model, or engines
+// that never executed a plan) simply omit the section.
+func renderRoofline(w io.Writer, snap *metrics.Snapshot) {
+	flops := snap.CounterFamily("agnn_op_flops_total")
+	bytes := snap.CounterFamily("agnn_op_bytes_total")
+	var ops []string
+	for op := range flops {
+		if flops[op] > 0 || bytes[op] > 0 {
+			ops = append(ops, op)
+		}
+	}
+	if len(ops) == 0 {
+		return
+	}
+	sort.Strings(ops)
+	histSum := func(op string) float64 {
+		for _, h := range snap.Histograms {
+			if h.Name == "agnn_plan_op_seconds" && h.LabelValue == op {
+				return h.Sum
+			}
+		}
+		return 0
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "### roofline (static traffic model)")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| op | flops | bytes | seconds | GF/s | flops/byte |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|")
+	var totF, totB int64
+	var totS float64
+	for _, op := range ops {
+		f, b, s := flops[op], bytes[op], histSum(op)
+		gfps, ai := "—", "—"
+		if s > 0 {
+			gfps = fmt.Sprintf("%.3f", float64(f)/s/1e9)
+		}
+		if b > 0 {
+			ai = fmt.Sprintf("%.3f", float64(f)/float64(b))
+		}
+		fmt.Fprintf(w, "| %s | %d | %d | %.4g | %s | %s |\n", op, f, b, s, gfps, ai)
+		totF += f
+		totB += b
+		totS += s
+	}
+	if totS > 0 {
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "aggregate: %.3f GF/s over %d bytes moved\n",
+			float64(totF)/totS/1e9, totB)
+	}
+}
+
+// renderStragglers renders the per-rank superstep wait distribution and
+// straggler detections of a distributed run. Single-rank runs have no wait
+// histograms and omit the section.
+func renderStragglers(w io.Writer, snap *metrics.Snapshot) {
+	var waits []metrics.HistogramSnap
+	for _, h := range snap.Histograms {
+		if h.Name == "agnn_rank_wait_seconds" && h.Count > 0 {
+			waits = append(waits, h)
+		}
+	}
+	if len(waits) == 0 {
+		return
+	}
+	sort.Slice(waits, func(a, b int) bool { return atoi(waits[a].LabelValue) < atoi(waits[b].LabelValue) })
+	strag := snap.CounterFamily("agnn_stragglers_total")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "### straggler diagnostics")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| rank | supersteps | wait p50 | wait p99 | wait total | stragglers |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|")
+	for _, h := range waits {
+		fmt.Fprintf(w, "| %s | %d | %.3g | %.3g | %.4g | %d |\n",
+			h.LabelValue, h.Count, h.P50, h.P99, h.Sum, strag[h.LabelValue])
+	}
+	if ratio, ok := snap.Gauge("agnn_wait_imbalance_ratio", ""); ok && ratio > 0 {
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "wait imbalance (max/median, last superstep): %.2f\n", ratio)
 	}
 }
 

@@ -36,18 +36,30 @@ func deterministicReport() *obs.Report {
 				{Name: "agnn_comm_msgs_total", Label: "rank", LabelValue: "1", Value: 4},
 				{Name: "agnn_comm_rounds_total", Label: "rank", LabelValue: "0", Value: 2},
 				{Name: "agnn_comm_rounds_total", Label: "rank", LabelValue: "1", Value: 2},
+				{Name: "agnn_op_flops_total", Label: "op", LabelValue: "spmm", Value: 400_000_000},
+				{Name: "agnn_op_flops_total", Label: "op", LabelValue: "mm", Value: 1_200_000_000},
+				{Name: "agnn_op_bytes_total", Label: "op", LabelValue: "spmm", Value: 800_000_000},
+				{Name: "agnn_op_bytes_total", Label: "op", LabelValue: "mm", Value: 150_000_000},
+				{Name: "agnn_stragglers_total", Label: "rank", LabelValue: "1", Value: 3},
 			},
 			Gauges: []metrics.GaugeSnap{
 				{Name: "agnn_comm_measured_words", Value: 256},
 				{Name: "agnn_comm_predicted_words", Value: 512},
+				{Name: "agnn_wait_imbalance_ratio", Value: 4.25},
 			},
 			Histograms: []metrics.HistogramSnap{
 				{Name: "agnn_plan_op_seconds", Label: "op", LabelValue: "spmm",
 					Count: 100, Sum: 0.25, P50: 0.002, P90: 0.004, P99: 0.0075},
 				{Name: "agnn_plan_op_seconds", Label: "op", LabelValue: "mm",
+					Count: 50, Sum: 0.1, P50: 0.0015, P90: 0.003, P99: 0.005},
+				{Name: "agnn_plan_op_seconds", Label: "op", LabelValue: "sigma",
 					Count: 0}, // empty series must be skipped
 				{Name: "agnn_epoch_seconds",
 					Count: 10, Sum: 1.5, P50: 0.14, P90: 0.18, P99: 0.2},
+				{Name: "agnn_rank_wait_seconds", Label: "rank", LabelValue: "0",
+					Count: 6, Sum: 0.012, P50: 0.001, P90: 0.003, P99: 0.004},
+				{Name: "agnn_rank_wait_seconds", Label: "rank", LabelValue: "1",
+					Count: 6, Sum: 0.09, P50: 0.012, P90: 0.02, P99: 0.025},
 			},
 		},
 	}
@@ -71,6 +83,39 @@ func TestReportMetricsGolden(t *testing.T) {
 	}
 	if !bytes.Equal(buf.Bytes(), want) {
 		t.Fatalf("report drifted from golden file:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// Runs without roofline counters or wait histograms (single-rank,
+// pre-roofline, or plan-free) must omit those sections cleanly — missing
+// optional data never fails the report.
+func TestReportOmitsAbsentOptionalSections(t *testing.T) {
+	rep := deterministicReport()
+	var kept []metrics.CounterSnap
+	for _, c := range rep.Metrics.Counters {
+		if c.Name != "agnn_op_flops_total" && c.Name != "agnn_op_bytes_total" &&
+			c.Name != "agnn_stragglers_total" {
+			kept = append(kept, c)
+		}
+	}
+	rep.Metrics.Counters = kept
+	var hists []metrics.HistogramSnap
+	for _, h := range rep.Metrics.Histograms {
+		if h.Name != "agnn_rank_wait_seconds" {
+			hists = append(hists, h)
+		}
+	}
+	rep.Metrics.Histograms = hists
+
+	var buf bytes.Buffer
+	reportMetrics(&buf, "lean.json", rep)
+	for _, absent := range []string{"roofline", "straggler"} {
+		if bytes.Contains(buf.Bytes(), []byte(absent)) {
+			t.Fatalf("section %q rendered without data:\n%s", absent, buf.Bytes())
+		}
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("histogram quantiles")) {
+		t.Fatalf("present sections dropped:\n%s", buf.Bytes())
 	}
 }
 

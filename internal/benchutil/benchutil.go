@@ -121,6 +121,15 @@ type Result struct {
 	LayerTimeRatio    float64 // measured / predicted layer time
 	OverlapHiddenSec  float64 // comm wall time hidden per rank per execution (Overlap)
 	OverlapLocalFrac  float64 // fraction of rows runnable before the first remote chunk
+
+	// Roofline accounting, derived from the compiled plans' static
+	// bytes/flops model and measured op wall times. Populated whenever the
+	// run executes compiled fuse plans — single-rank training and the
+	// distributed grid/rows engines; direct-kernel inference paths leave
+	// these zero. Distributed runs aggregate across ranks per execution.
+	GFPerSec     float64      // aggregate estimated flops / measured plan-op seconds
+	BytesPerEdge float64      // estimated bytes moved per adjacency non-zero per execution
+	OpRoofline   []OpRoofline `json:",omitempty"` // per op class
 }
 
 // BuildGraph materializes the Spec's dataset.
@@ -189,6 +198,7 @@ func RunSpec(s Spec) (Result, error) {
 	var maxBytes, maxMsgs int64
 	runs := s.Warmup + s.Repeat
 	hidden0 := metrics.OverlapHiddenSeconds.Value()
+	snap0 := metrics.Default.Snapshot()
 	switch {
 	case s.Ranks == 1:
 		times, err = runSingle(s, cfg, a, h, labels, runs)
@@ -219,6 +229,8 @@ func RunSpec(s Spec) (Result, error) {
 		res.PredictedWords = float64(s.Layers) * costmodel.LocalVolume(st.N, s.Features, st.MaxDeg, s.Ranks)
 	}
 	res.PeakArenaBytes = int64(metrics.ArenaPeakBytes.Value())
+	res.OpRoofline, res.GFPerSec, res.BytesPerEdge =
+		rooflineFromDeltas(snap0, metrics.Default.Snapshot(), runs, st.M)
 	if s.Ranks > 1 {
 		res.MeasuredWords = float64(maxBytes) / 8
 		res.CommRatio = costmodel.ValidateComm(res.PredictedWords, res.MeasuredWords).Ratio

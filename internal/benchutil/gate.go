@@ -1,0 +1,165 @@
+package benchutil
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The perf-regression gate (make bench-gate): compare a freshly measured
+// Record against a committed BENCH_*.json baseline within tolerance bands.
+// Wall-time on shared CI runners is noisy, so the default bands are wide;
+// the gate is for catching step-function regressions (a lost fusion, an
+// accidental allocation, a comm-volume blowup), not 5% drift.
+
+// Tolerances are the allowed drift bands, all as fractions of the baseline
+// value except CommRatio, which is absolute drift of the ratio itself.
+type Tolerances struct {
+	MedianSec      float64 // fresh may exceed base by this fraction
+	CommRatio      float64 // |fresh - base| absolute drift
+	PeakArenaBytes float64 // fresh may exceed base by this fraction
+	GFPerSec       float64 // fresh may fall below base by this fraction
+}
+
+// DefaultTolerances are tuned for shared CI runners: generous on wall time
+// and throughput (scheduler noise), tight on comm volume and arena bytes,
+// which are deterministic for a fixed spec.
+func DefaultTolerances() Tolerances {
+	return Tolerances{
+		MedianSec:      0.50,
+		CommRatio:      0.05,
+		PeakArenaBytes: 0.10,
+		GFPerSec:       0.50,
+	}
+}
+
+// GateCheck is one compared metric.
+type GateCheck struct {
+	Metric    string  `json:"metric"`
+	Base      float64 `json:"base"`
+	Fresh     float64 `json:"fresh"`
+	Tolerance float64 `json:"tolerance"`
+	Delta     float64 `json:"delta"` // fractional (or absolute for CommRatio)
+	OK        bool    `json:"ok"`
+	Skipped   bool    `json:"skipped,omitempty"`
+	Reason    string  `json:"reason,omitempty"`
+}
+
+// GateReport is the full comparison: the bench-gate diff artifact.
+type GateReport struct {
+	Schema   string      `json:"schema"`
+	Baseline *Provenance `json:"baseline_provenance,omitempty"`
+	Fresh    *Provenance `json:"fresh_provenance,omitempty"`
+	Checks   []GateCheck `json:"checks"`
+	Pass     bool        `json:"pass"`
+}
+
+// GateReportSchema identifies the diff-artifact layout.
+const GateReportSchema = "agnn-bench-gate/v1"
+
+// WriteJSON writes the report as indented JSON (the CI diff artifact).
+func (g GateReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g)
+}
+
+// Summary renders the report as one line per check for terminal output.
+func (g GateReport) Summary() string {
+	out := ""
+	for _, c := range g.Checks {
+		status := "ok"
+		switch {
+		case c.Skipped:
+			status = "skip"
+		case !c.OK:
+			status = "FAIL"
+		}
+		out += fmt.Sprintf("%-16s %-5s base=%.6g fresh=%.6g delta=%+.3f tol=%.3f %s\n",
+			c.Metric, status, c.Base, c.Fresh, c.Delta, c.Tolerance, c.Reason)
+	}
+	if g.Pass {
+		return out + "bench-gate: PASS\n"
+	}
+	return out + "bench-gate: FAIL\n"
+}
+
+// GateCompare checks a fresh record against a baseline. One-sided checks
+// (MedianSec, PeakArenaBytes, GFPerSec) only fail on regression — getting
+// faster or leaner always passes. Metrics the baseline does not carry
+// (CommRatio on single-rank runs, GFPerSec on pre-roofline baselines) are
+// skipped with a reason rather than failed, so old baselines keep gating
+// what they can.
+func GateCompare(base, fresh Record, tol Tolerances) GateReport {
+	rep := GateReport{
+		Schema:   GateReportSchema,
+		Baseline: base.Provenance,
+		Fresh:    fresh.Provenance,
+	}
+	b, f := base.Result, fresh.Result
+
+	rep.Checks = append(rep.Checks, checkUpper("MedianSec", b.MedianSec, f.MedianSec, tol.MedianSec))
+	rep.Checks = append(rep.Checks, checkDrift("CommRatio", b.CommRatio, f.CommRatio, tol.CommRatio))
+	rep.Checks = append(rep.Checks, checkUpper("PeakArenaBytes",
+		float64(b.PeakArenaBytes), float64(f.PeakArenaBytes), tol.PeakArenaBytes))
+	rep.Checks = append(rep.Checks, checkLower("GFPerSec", b.GFPerSec, f.GFPerSec, tol.GFPerSec))
+
+	rep.Pass = true
+	for _, c := range rep.Checks {
+		if !c.OK && !c.Skipped {
+			rep.Pass = false
+		}
+	}
+	return rep
+}
+
+// checkUpper fails when fresh exceeds base by more than the fractional tol
+// (regressions are increases: wall time, memory).
+func checkUpper(name string, base, fresh, tol float64) GateCheck {
+	c := GateCheck{Metric: name, Base: base, Fresh: fresh, Tolerance: tol, OK: true}
+	if base <= 0 {
+		c.Skipped = true
+		c.Reason = "baseline lacks this metric"
+		return c
+	}
+	c.Delta = fresh/base - 1
+	if c.Delta > tol {
+		c.OK = false
+		c.Reason = fmt.Sprintf("regressed %.1f%% (allowed %.1f%%)", c.Delta*100, tol*100)
+	}
+	return c
+}
+
+// checkLower fails when fresh falls below base by more than the fractional
+// tol (regressions are decreases: throughput).
+func checkLower(name string, base, fresh, tol float64) GateCheck {
+	c := GateCheck{Metric: name, Base: base, Fresh: fresh, Tolerance: tol, OK: true}
+	if base <= 0 {
+		c.Skipped = true
+		c.Reason = "baseline lacks this metric"
+		return c
+	}
+	c.Delta = fresh/base - 1
+	if c.Delta < -tol {
+		c.OK = false
+		c.Reason = fmt.Sprintf("regressed %.1f%% (allowed %.1f%%)", -c.Delta*100, tol*100)
+	}
+	return c
+}
+
+// checkDrift fails on absolute two-sided drift (for ratios already
+// normalized against a model prediction).
+func checkDrift(name string, base, fresh, tol float64) GateCheck {
+	c := GateCheck{Metric: name, Base: base, Fresh: fresh, Tolerance: tol, OK: true}
+	if base == 0 {
+		c.Skipped = true
+		c.Reason = "baseline lacks this metric"
+		return c
+	}
+	c.Delta = fresh - base
+	if c.Delta > tol || c.Delta < -tol {
+		c.OK = false
+		c.Reason = fmt.Sprintf("drifted %+.3f (allowed ±%.3f)", c.Delta, tol)
+	}
+	return c
+}

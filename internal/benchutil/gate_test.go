@@ -1,0 +1,116 @@
+package benchutil
+
+import (
+	"strings"
+	"testing"
+)
+
+func gateRecords() (Record, Record) {
+	base := Record{Schema: RecordSchema, Result: Result{
+		MedianSec:      0.010,
+		CommRatio:      0.94,
+		PeakArenaBytes: 1 << 20,
+		GFPerSec:       2.0,
+	}, Provenance: &Provenance{GitCommit: "aaa"}}
+	fresh := base
+	fresh.Provenance = &Provenance{GitCommit: "bbb"}
+	return base, fresh
+}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	base, fresh := gateRecords()
+	fresh.Result.MedianSec *= 1.2  // within the 50% band
+	fresh.Result.CommRatio += 0.03 // within ±0.05
+	fresh.Result.GFPerSec *= 0.8   // within the 50% band
+	rep := GateCompare(base, fresh, DefaultTolerances())
+	if !rep.Pass {
+		t.Fatalf("expected pass, got:\n%s", rep.Summary())
+	}
+	for _, c := range rep.Checks {
+		if c.Skipped {
+			t.Errorf("check %s unexpectedly skipped: %s", c.Metric, c.Reason)
+		}
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Result)
+	}{
+		{"MedianSec", func(r *Result) { r.MedianSec *= 2.0 }},
+		{"CommRatio", func(r *Result) { r.CommRatio += 0.2 }},
+		{"PeakArenaBytes", func(r *Result) { r.PeakArenaBytes *= 2 }},
+		{"GFPerSec", func(r *Result) { r.GFPerSec *= 0.25 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base, fresh := gateRecords()
+			tc.mutate(&fresh.Result)
+			rep := GateCompare(base, fresh, DefaultTolerances())
+			if rep.Pass {
+				t.Fatalf("expected failure on %s regression:\n%s", tc.name, rep.Summary())
+			}
+			failed := ""
+			for _, c := range rep.Checks {
+				if !c.OK && !c.Skipped {
+					failed = c.Metric
+				}
+			}
+			if failed != tc.name {
+				t.Fatalf("wrong metric failed: %q, want %q", failed, tc.name)
+			}
+		})
+	}
+}
+
+func TestGateImprovementAlwaysPasses(t *testing.T) {
+	base, fresh := gateRecords()
+	fresh.Result.MedianSec /= 10
+	fresh.Result.PeakArenaBytes /= 4
+	fresh.Result.GFPerSec *= 10
+	rep := GateCompare(base, fresh, DefaultTolerances())
+	if !rep.Pass {
+		t.Fatalf("improvements must never fail the gate:\n%s", rep.Summary())
+	}
+}
+
+// Pre-roofline baselines (BENCH_4 and older) have no GFPerSec; single-rank
+// baselines have no CommRatio. Both must skip with a reason, not fail.
+func TestGateSkipsMetricsBaselineLacks(t *testing.T) {
+	base, fresh := gateRecords()
+	base.Result.GFPerSec = 0
+	base.Result.CommRatio = 0
+	rep := GateCompare(base, fresh, DefaultTolerances())
+	if !rep.Pass {
+		t.Fatalf("missing baseline metrics must skip, not fail:\n%s", rep.Summary())
+	}
+	skips := 0
+	for _, c := range rep.Checks {
+		if c.Skipped {
+			skips++
+			if c.Reason == "" {
+				t.Errorf("skip of %s carries no reason", c.Metric)
+			}
+		}
+	}
+	if skips != 2 {
+		t.Fatalf("want 2 skipped checks, got %d", skips)
+	}
+	if !strings.Contains(rep.Summary(), "skip") {
+		t.Error("summary does not surface the skipped checks")
+	}
+}
+
+func TestCaptureProvenanceStampsRuntime(t *testing.T) {
+	p := CaptureProvenance()
+	if p.GoVersion == "" || p.GOOS == "" || p.GOARCH == "" {
+		t.Fatalf("runtime fields empty: %+v", p)
+	}
+	if p.GOMAXPROCS < 1 {
+		t.Fatalf("GOMAXPROCS = %d", p.GOMAXPROCS)
+	}
+	if p.Timestamp == "" || !strings.HasSuffix(p.Timestamp, "Z") {
+		t.Fatalf("timestamp %q is not RFC 3339 UTC", p.Timestamp)
+	}
+}

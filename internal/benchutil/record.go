@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"io"
 	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
 
 	"agnn/internal/obs/metrics"
 )
@@ -24,11 +27,56 @@ type Record struct {
 	// with Overlap off), so one BENCH_*.json carries the on/off comparison.
 	Baseline *Result           `json:"sequential_baseline,omitempty"`
 	Metrics  *metrics.Snapshot `json:"metrics,omitempty"`
+	// Provenance stamps the environment a baseline was captured in, so a
+	// regression-gate diff can say *what* is being compared, not just that
+	// numbers moved.
+	Provenance *Provenance `json:"provenance,omitempty"`
 }
 
-// NewRecord bundles a Result with the current Default-registry snapshot.
+// Provenance records where and when a benchmark record was produced. Git
+// fields come from the binary's embedded VCS stamp (debug.ReadBuildInfo)
+// and stay empty for `go test` / non-VCS builds.
+type Provenance struct {
+	GitCommit  string `json:"git_commit,omitempty"`
+	GitDirty   bool   `json:"git_dirty,omitempty"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Timestamp  string `json:"timestamp"` // RFC 3339 UTC capture time
+}
+
+// CaptureProvenance stamps the current process environment.
+func CaptureProvenance() *Provenance {
+	p := &Provenance{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				p.GitCommit = kv.Value
+			case "vcs.modified":
+				p.GitDirty = kv.Value == "true"
+			}
+		}
+	}
+	return p
+}
+
+// NewRecord bundles a Result with the current Default-registry snapshot
+// and the process's provenance stamp.
 func NewRecord(res Result) Record {
-	return Record{Schema: RecordSchema, Result: res, Metrics: metrics.Default.Snapshot()}
+	return Record{
+		Schema:     RecordSchema,
+		Result:     res,
+		Metrics:    metrics.Default.Snapshot(),
+		Provenance: CaptureProvenance(),
+	}
 }
 
 // WriteJSON writes the record as indented JSON.

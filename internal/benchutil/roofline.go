@@ -1,0 +1,81 @@
+package benchutil
+
+import (
+	"sort"
+
+	"agnn/internal/obs/metrics"
+)
+
+// OpRoofline is one op class's roofline row, derived from the run's deltas
+// of the agnn_op_flops_total / agnn_op_bytes_total counter families and
+// the agnn_plan_op_seconds histogram sums, normalized per execution. GF/s
+// against arithmetic intensity (flops/byte) places the op on a roofline
+// plot: low intensity at low GF/s is bandwidth-bound (spmm, softmax), high
+// intensity should reach compute-bound GF/s (mm).
+type OpRoofline struct {
+	Op        string
+	Flops     int64   // estimated flops per execution
+	Bytes     int64   // estimated bytes moved per execution
+	Seconds   float64 // measured op wall time per execution
+	GFPerSec  float64
+	Intensity float64 // flops per byte
+}
+
+// histSum returns the Sum of the named histogram series in a snapshot.
+func histSum(s *metrics.Snapshot, name, labelValue string) float64 {
+	for _, h := range s.Histograms {
+		if h.Name == name && h.LabelValue == labelValue {
+			return h.Sum
+		}
+	}
+	return 0
+}
+
+// rooflineFromDeltas derives the per-op-class roofline table and the
+// aggregate GF/s and bytes-moved-per-edge from before/after registry
+// snapshots. runs normalizes totals to one execution; edges (adjacency
+// non-zeros) is the bytes-per-edge denominator. Runs whose engines bypass
+// compiled plans (distributed grid/local) produce an empty table.
+func rooflineFromDeltas(before, after *metrics.Snapshot, runs, edges int) (table []OpRoofline, gfps, bytesPerEdge float64) {
+	if runs < 1 {
+		runs = 1
+	}
+	fb := before.CounterFamily("agnn_op_flops_total")
+	bb := before.CounterFamily("agnn_op_bytes_total")
+	fa := after.CounterFamily("agnn_op_flops_total")
+	ba := after.CounterFamily("agnn_op_bytes_total")
+
+	ops := make([]string, 0, len(fa))
+	for op, v := range fa {
+		if v-fb[op] > 0 || ba[op]-bb[op] > 0 {
+			ops = append(ops, op)
+		}
+	}
+	sort.Strings(ops)
+
+	var totFlops, totBytes int64
+	var totSecs float64
+	for _, op := range ops {
+		flops := (fa[op] - fb[op]) / int64(runs)
+		bytes := (ba[op] - bb[op]) / int64(runs)
+		secs := (histSum(after, "agnn_plan_op_seconds", op) - histSum(before, "agnn_plan_op_seconds", op)) / float64(runs)
+		row := OpRoofline{Op: op, Flops: flops, Bytes: bytes, Seconds: secs}
+		if secs > 0 {
+			row.GFPerSec = float64(flops) / secs / 1e9
+		}
+		if bytes > 0 {
+			row.Intensity = float64(flops) / float64(bytes)
+		}
+		table = append(table, row)
+		totFlops += flops
+		totBytes += bytes
+		totSecs += secs
+	}
+	if totSecs > 0 {
+		gfps = float64(totFlops) / totSecs / 1e9
+	}
+	if edges > 0 {
+		bytesPerEdge = float64(totBytes) / float64(edges)
+	}
+	return table, gfps, bytesPerEdge
+}

@@ -1,0 +1,82 @@
+package benchutil
+
+import "testing"
+
+// TestRunSpecPopulatesRoofline: a single-rank training run executes
+// compiled fuse plans, so the Result must carry the per-op-class roofline
+// table and the derived aggregate GF/s and bytes-moved-per-edge.
+func TestRunSpecPopulatesRoofline(t *testing.T) {
+	s := quickSpec()
+	s.Inference = false // training compiles plans; inference is direct kernels
+	res, err := RunSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OpRoofline) == 0 {
+		t.Fatal("single-rank run produced no roofline op classes")
+	}
+	if res.GFPerSec <= 0 {
+		t.Fatalf("aggregate GF/s = %v, want > 0", res.GFPerSec)
+	}
+	if res.BytesPerEdge <= 0 {
+		t.Fatalf("bytes per edge = %v, want > 0", res.BytesPerEdge)
+	}
+	seen := map[string]bool{}
+	for _, row := range res.OpRoofline {
+		seen[row.Op] = true
+		if row.Flops <= 0 && row.Bytes <= 0 {
+			t.Errorf("op %s has neither flops nor bytes", row.Op)
+		}
+		if row.Seconds < 0 {
+			t.Errorf("op %s has negative seconds", row.Op)
+		}
+		if row.Bytes > 0 && row.Intensity != float64(row.Flops)/float64(row.Bytes) {
+			t.Errorf("op %s intensity inconsistent", row.Op)
+		}
+	}
+	// A GAT forward always runs dense transforms and sparse aggregation.
+	for _, want := range []string{"mm", "spmm"} {
+		if !seen[want] {
+			t.Errorf("op class %q missing from roofline table (have %v)", want, seen)
+		}
+	}
+	// The second run of the same spec must not inherit the first run's
+	// counters: deltas, not totals.
+	res2, err := RunSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range res2.OpRoofline {
+		if row.Bytes > 2*res.OpRoofline[i].Bytes {
+			t.Errorf("op %s bytes grew across runs (%d -> %d): delta accounting broken",
+				row.Op, res.OpRoofline[i].Bytes, row.Bytes)
+		}
+	}
+}
+
+// The distributed rows engine compiles per-rank plan fragments, so its
+// roofline table aggregates every rank's plan traffic per execution — the
+// BENCH baseline configuration must carry GF/s and bytes/edge.
+func TestRunSpecDistributedRoofline(t *testing.T) {
+	s := quickSpec()
+	s.Ranks = 4
+	s.Engine = EngineRows
+	res, err := RunSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OpRoofline) == 0 || res.GFPerSec <= 0 || res.BytesPerEdge <= 0 {
+		t.Fatalf("rows-engine run missing roofline data: %d ops, %v GF/s, %v bytes/edge",
+			len(res.OpRoofline), res.GFPerSec, res.BytesPerEdge)
+	}
+}
+
+func TestNewRecordCarriesProvenance(t *testing.T) {
+	rec := NewRecord(Result{})
+	if rec.Provenance == nil {
+		t.Fatal("record has no provenance stamp")
+	}
+	if rec.Provenance.GoVersion == "" || rec.Provenance.Timestamp == "" {
+		t.Fatalf("provenance incomplete: %+v", rec.Provenance)
+	}
+}

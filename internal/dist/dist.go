@@ -30,6 +30,7 @@ import (
 
 	"agnn/internal/dist/faults"
 	"agnn/internal/obs"
+	"agnn/internal/obs/flight"
 	"agnn/internal/obs/metrics"
 )
 
@@ -96,6 +97,10 @@ type Options struct {
 	// RetryBackoff is the base sleep between retransmissions (scaled
 	// linearly by attempt). DefaultRetryBackoff when zero.
 	RetryBackoff time.Duration
+	// StragglerFactor flags a rank as a straggler when its superstep wait
+	// exceeds this multiple of the cross-rank median wait.
+	// DefaultStragglerFactor when zero.
+	StragglerFactor float64
 }
 
 // Defaults for Options.
@@ -140,6 +145,15 @@ type World struct {
 	mBytes, mMsgs, mRounds []*metrics.Counter
 	totalBytes             atomic.Int64 // world-wide cumulative, for the trace timeline
 
+	// Straggler diagnostics (straggler.go): per-rank wait histograms and
+	// straggler counters, the flight-recorder lanes, and the per-superstep
+	// wait accumulators the Recv hot path feeds.
+	mWait    []*metrics.Histogram
+	mStrag   []*metrics.Counter
+	flanes   []*flight.Lane
+	waitNs   []atomic.Int64 // wait accumulated during the current superstep
+	lastWait []atomic.Int64 // wait of the last completed superstep
+
 	tracer  *obs.Tracer  // nil when tracing is off
 	tracks  []*obs.Track // one per rank when tracing
 	gmu     sync.Mutex   // guards gtracks
@@ -169,6 +183,11 @@ func NewWorldOpts(p int, opts Options) (*World, error) {
 	w.mBytes = make([]*metrics.Counter, p)
 	w.mMsgs = make([]*metrics.Counter, p)
 	w.mRounds = make([]*metrics.Counter, p)
+	w.mWait = make([]*metrics.Histogram, p)
+	w.mStrag = make([]*metrics.Counter, p)
+	w.flanes = make([]*flight.Lane, p)
+	w.waitNs = make([]atomic.Int64, p)
+	w.lastWait = make([]atomic.Int64, p)
 	for to := 0; to < p; to++ {
 		w.mailbox[to] = make([]chan message, p)
 		for from := 0; from < p; from++ {
@@ -178,6 +197,9 @@ func NewWorldOpts(p int, opts Options) (*World, error) {
 		w.mBytes[to] = metrics.CommBytesTotal.With(r)
 		w.mMsgs[to] = metrics.CommMsgsTotal.With(r)
 		w.mRounds[to] = metrics.CommRoundsTotal.With(r)
+		w.mWait[to] = metrics.RankWaitSeconds.With(r)
+		w.mStrag[to] = metrics.StragglersTotal.With(r)
+		w.flanes[to] = flight.Default.Lane(to)
 	}
 	return w, nil
 }
@@ -191,6 +213,13 @@ func (w *World) fail(rank int, cause error) {
 		w.failCause = cause
 		w.failed.Store(true)
 		metrics.RankFailuresTotal.Inc()
+		w.mu[rank].Lock()
+		lastRound := w.counters[rank].Rounds
+		w.mu[rank].Unlock()
+		// Postmortem: leave a failure event on the rank's lane and, when a
+		// dump directory is configured, write the black-box artifact naming
+		// the failed rank and its last superstep before survivors unwind.
+		flight.OnRankFailure(rank, lastRound, cause)
 		close(w.failCh)
 	})
 }
@@ -403,6 +432,7 @@ type Comm struct {
 	group  []int      // global ranks of the group, in group order
 	me     int        // my index within group
 	track  *obs.Track // this rank's trace track (nil when tracing is off)
+	med    []int64    // median scratch for superstep wait stats, lazily sized to P
 }
 
 // Rank returns the caller's rank within the communicator's group.
@@ -487,6 +517,14 @@ func (c *Comm) Recv(from int) []float64 {
 		c.abortSurvivor()
 	}
 	box := c.w.mailbox[c.global][c.group[from]]
+	// Fast path: a queued message costs no wait and no clock reads.
+	select {
+	case m := <-box:
+		return m.data
+	default:
+	}
+	t0 := time.Now()
+	defer func() { c.w.noteWait(c.global, time.Since(t0).Nanoseconds()) }()
 	if d := c.w.opts.RecvTimeout; d > 0 {
 		timer := time.NewTimer(d)
 		defer timer.Stop()
@@ -510,8 +548,9 @@ func (c *Comm) Recv(from int) []float64 {
 	}
 }
 
-// round records one communication round (BSP superstep) and gives the fault
-// injector its crash point: a rank scheduled to crash at round r halts here,
+// round records one communication round (BSP superstep), closes the rank's
+// straggler-diagnostic window (straggler.go), and gives the fault injector
+// its crash point: a rank scheduled to crash at round r halts here,
 // broadcasting the failure to the world.
 func (c *Comm) round() {
 	c.w.mu[c.global].Lock()
@@ -519,6 +558,10 @@ func (c *Comm) round() {
 	rounds := c.w.counters[c.global].Rounds
 	c.w.mu[c.global].Unlock()
 	c.w.mRounds[c.global].Inc()
+	if c.med == nil {
+		c.med = make([]int64, c.w.P) // first superstep on this communicator
+	}
+	c.w.superstep(c.global, rounds, c.med)
 	if inj := c.w.opts.Faults; inj != nil && inj.CrashNow(c.global, rounds) {
 		metrics.FaultsInjectedTotal.With("crash").Inc()
 		c.abort(fmt.Errorf("%w: injected crash on rank %d at round %d", ErrRankFailed, c.global, rounds))
@@ -560,6 +603,8 @@ func (c *Comm) endCollective(name string, sp obs.Span, before Counters) {
 	after := c.snapshot()
 	bytes := after.BytesSent - before.BytesSent
 	metrics.CollectiveBytes.With(name).Observe(float64(bytes))
+	c.w.flanes[c.global].Record(flight.KindComm, flight.Code(name),
+		bytes, after.MsgsSent-before.MsgsSent, 0)
 	if sp.Active() {
 		obs.Sample("comm bytes", c.w.totalBytes.Load())
 		sp.End(obs.Int64("bytes", bytes),

@@ -1,0 +1,177 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"agnn/internal/dist/faults"
+	"agnn/internal/obs/flight"
+	"agnn/internal/obs/metrics"
+)
+
+// TestWaitHistogramRecordsBlockedRecvs: a rank made slow by an injected
+// delay forces its peers to block in Recv; the peers' superstep wait must
+// land in their per-rank histograms.
+func TestWaitHistogramRecordsBlockedRecvs(t *testing.T) {
+	const p = 4
+	before := make([]int64, p)
+	for r := 0; r < p; r++ {
+		before[r] = metrics.RankWaitSeconds.With(strconv.Itoa(r)).Count()
+	}
+
+	Run(p, func(c *Comm) {
+		if c.Rank() == 2 {
+			time.Sleep(20 * time.Millisecond) // the deliberate straggler
+		}
+		for i := 0; i < 3; i++ {
+			c.Allreduce(make([]float64, 8))
+		}
+	})
+
+	sawWait := false
+	for r := 0; r < p; r++ {
+		h := metrics.RankWaitSeconds.With(strconv.Itoa(r))
+		if h.Count() == before[r] {
+			t.Errorf("rank %d recorded no superstep waits", r)
+		}
+		if r != 2 && h.Sum() > 0.005 {
+			sawWait = true
+		}
+	}
+	if !sawWait {
+		t.Error("no peer of the delayed rank accumulated visible wait time")
+	}
+}
+
+// TestStragglerDetectionFlagsWaitingRank: with one rank consistently slow,
+// its *peers* wait far beyond the median and must be flagged as straggler
+// victims — counter incremented, flight event recorded with the wait,
+// median and round payload.
+func TestStragglerDetectionFlagsWaitingRank(t *testing.T) {
+	const p = 4
+	before := make([]int64, p)
+	recBefore := make([]uint64, p)
+	for r := 0; r < p; r++ {
+		before[r] = metrics.StragglersTotal.With(strconv.Itoa(r)).Value()
+		recBefore[r] = flight.Default.Lane(r).Recorded()
+	}
+
+	// Ring pattern: rank 0 sleeps before sending, so rank 1 blocks hard in
+	// Recv every superstep while ranks 2,3 exchange instantly — a sharp
+	// max-vs-median wait split.
+	Run(p, func(c *Comm) {
+		right := (c.Rank() + 1) % p
+		left := (c.Rank() - 1 + p) % p
+		for i := 0; i < 6; i++ {
+			c.round()
+			if c.Rank() == 0 {
+				time.Sleep(5 * time.Millisecond)
+			}
+			c.Send(right, make([]float64, 4))
+			c.Recv(left)
+		}
+	})
+
+	flagged := 0
+	for r := 0; r < p; r++ {
+		if metrics.StragglersTotal.With(strconv.Itoa(r)).Value() > before[r] {
+			flagged++
+			found := false
+			for _, ev := range flight.Default.Lane(r).Events() {
+				if ev.Kind == "straggler" && ev.A > ev.B && ev.C > 0 {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("rank %d flagged as straggler but has no straggler flight event", r)
+			}
+		}
+	}
+	if flagged == 0 {
+		t.Fatal("no rank flagged despite a 5ms/superstep stall")
+	}
+	// The gauge is only set on supersteps with a non-zero median wait; when
+	// set it must report max ≥ median.
+	if v := metrics.WaitImbalanceRatio.Value(); v != 0 && v < 1 {
+		t.Errorf("imbalance gauge %v, want >= 1 when set", v)
+	}
+	for r := 0; r < p; r++ {
+		if flight.Default.Lane(r).Recorded() == recBefore[r] {
+			t.Errorf("rank %d recorded no flight events", r)
+		}
+	}
+}
+
+// TestCrashWritesFlightDump is the postmortem acceptance path at the dist
+// layer: an injected crash must produce a dump artifact naming the failed
+// rank and its last superstep, with that rank's lane holding the preceding
+// superstep events.
+func TestCrashWritesFlightDump(t *testing.T) {
+	dir := t.TempDir()
+	prev := flight.SetDumpDir(dir)
+	defer flight.SetDumpDir(prev)
+
+	const p, victim, crashRound = 4, 1, 3
+	inj := faults.New(faults.Spec{Clauses: []faults.Clause{{
+		Kind: faults.Crash, Rank: victim, Round: crashRound,
+	}}}, 1, p)
+	_, errs, err := TryRun(p, Options{Faults: inj, RecvTimeout: 5 * time.Second}, func(c *Comm) error {
+		for i := 0; i < 6; i++ {
+			c.Allreduce(make([]float64, 4))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first := FirstError(errs); !errors.Is(first, ErrRankFailed) {
+		t.Fatalf("expected rank failure, got %v", first)
+	}
+
+	matches, err := filepath.Glob(filepath.Join(dir, "flight-rank-failure-*.json"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("want exactly one dump, got %v (%v)", matches, err)
+	}
+	raw, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d flight.Dump
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatalf("dump not JSON: %v", err)
+	}
+	if d.FailedRank == nil || *d.FailedRank != victim {
+		t.Fatalf("dump names rank %v, want %d", d.FailedRank, victim)
+	}
+	if d.LastSuperstep == nil || *d.LastSuperstep != crashRound {
+		t.Fatalf("dump names superstep %v, want %d", d.LastSuperstep, crashRound)
+	}
+	var lane *flight.LaneDump
+	for i := range d.Lanes {
+		if d.Lanes[i].Rank == victim {
+			lane = &d.Lanes[i]
+		}
+	}
+	if lane == nil {
+		t.Fatal("failed rank has no lane in the dump")
+	}
+	super, failure := false, false
+	for _, ev := range lane.Events {
+		switch ev.Kind {
+		case "superstep":
+			super = true
+		case "failure":
+			if ev.A == crashRound {
+				failure = true
+			}
+		}
+	}
+	if !super || !failure {
+		t.Fatalf("victim lane missing superstep (%v) or failure (%v) events", super, failure)
+	}
+}

@@ -1,0 +1,91 @@
+package distgnn
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"agnn/internal/dist/faults"
+	"agnn/internal/obs/flight"
+)
+
+// TestTrainResilientCrashProducesFlightDump is the postmortem acceptance
+// test: a fault-injected TrainResilient run (the chaos-matrix crash spec)
+// must leave a flight-recorder dump artifact naming the failed rank and
+// its last superstep — while the outer loop still recovers and finishes.
+func TestTrainResilientCrashProducesFlightDump(t *testing.T) {
+	dir := t.TempDir()
+	prev := flight.SetDumpDir(dir)
+	defer flight.SetDumpDir(prev)
+
+	const p, epochs = 4, 4
+	const victim, crashRound = 1, 12 // the CI chaos-matrix crash spec
+	spec := resilientSpec(t, p, epochs)
+	spec.CheckpointDir = t.TempDir()
+	spec.CheckpointEvery = 1
+	spec.RecvTimeout = 5 * time.Second
+	fs, err := faults.Parse("crash:rank=1,round=12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Faults = faults.New(fs, 1, p)
+
+	res, err := TrainResilient(spec)
+	if err != nil {
+		t.Fatalf("resilient run: %v", err)
+	}
+	if res.Restarts == 0 {
+		t.Fatal("crash fault never fired")
+	}
+
+	matches, err := filepath.Glob(filepath.Join(dir, "flight-rank-failure-*.json"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no flight dump written: %v (%v)", matches, err)
+	}
+	raw, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d flight.Dump
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatalf("dump not JSON: %v", err)
+	}
+	if d.Schema != flight.DumpSchema || d.Reason != "rank-failure" {
+		t.Fatalf("dump header wrong: schema=%q reason=%q", d.Schema, d.Reason)
+	}
+	if d.FailedRank == nil || *d.FailedRank != victim {
+		t.Fatalf("dump names rank %v, want %d", d.FailedRank, victim)
+	}
+	if d.LastSuperstep == nil || *d.LastSuperstep != crashRound {
+		t.Fatalf("dump names superstep %v, want %d", d.LastSuperstep, crashRound)
+	}
+	if d.Cause == "" {
+		t.Fatal("dump carries no cause")
+	}
+
+	// The victim's lane must show the supersteps and collective calls
+	// leading up to the crash, and every rank of the world must have a lane.
+	byRank := map[int][]flight.Event{}
+	for _, l := range d.Lanes {
+		byRank[l.Rank] = l.Events
+	}
+	for r := 0; r < p; r++ {
+		if _, ok := byRank[r]; !ok {
+			t.Fatalf("rank %d has no lane in the dump", r)
+		}
+	}
+	supers, comms := 0, 0
+	for _, ev := range byRank[victim] {
+		switch ev.Kind {
+		case "superstep":
+			supers++
+		case "comm":
+			comms++
+		}
+	}
+	if supers == 0 || comms == 0 {
+		t.Fatalf("victim lane missing superstep (%d) or comm (%d) events", supers, comms)
+	}
+}

@@ -3,6 +3,7 @@ package fuse
 import (
 	"math"
 
+	"agnn/internal/obs/flight"
 	"agnn/internal/obs/metrics"
 	"agnn/internal/par"
 	"agnn/internal/sparse"
@@ -24,15 +25,20 @@ import (
 // handful of atomic operations — nothing on the hot path allocates or
 // locks (the property the alloc-regression tests pin down).
 type planOp struct {
-	span  string // obs span name, precomputed
-	op    string // op vocabulary name, for Stats
-	run   func()
-	each  func(i int)        // per-row execution over the op's row domain (nil: row-indivisible)
-	rows  int                // row-domain size for each (0: row-indivisible)
-	lat   *metrics.Histogram // latency histogram for this op kind
-	ops   *metrics.Counter   // executions of this op kind
-	flops int64              // estimated flops per execution (Section 6 op counts)
-	nnz   int64              // sparse non-zeros swept per execution
+	span   string // obs span name, precomputed
+	op     string // op vocabulary name, for Stats
+	run    func()
+	each   func(i int)        // per-row execution over the op's row domain (nil: row-indivisible)
+	rows   int                // row-domain size for each (0: row-indivisible)
+	lat    *metrics.Histogram // latency histogram for this op kind
+	ops    *metrics.Counter   // executions of this op kind
+	flopsC *metrics.Counter   // per-op-class flop counter (roofline numerator)
+	bytesC *metrics.Counter   // per-op-class byte counter (roofline denominator)
+	lane   *flight.Lane       // flight-recorder lane (process lane)
+	fcode  uint32             // interned flight code for the span name
+	flops  int64              // estimated flops per execution (Section 6 op counts)
+	bytes  int64              // estimated bytes moved per execution (roofline.go)
+	nnz    int64              // sparse non-zeros swept per execution
 }
 
 // opFns is what a forward op builder returns: the whole-op sweep plus — for

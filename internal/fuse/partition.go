@@ -2,7 +2,10 @@ package fuse
 
 import (
 	"fmt"
+	"time"
 
+	"agnn/internal/obs/flight"
+	"agnn/internal/obs/metrics"
 	"agnn/internal/par"
 	"agnn/internal/tensor"
 )
@@ -37,10 +40,22 @@ func (r RowRange) Len() int { return r.Hi - r.Lo }
 // exactly what Plan.Forward would have produced.
 type PartitionedPlan struct {
 	p     *Plan
-	steps [][]func() // steps[t]: op fragments, plan topological order
+	steps [][]ppFrag // steps[t]: op fragments, plan topological order
+
+	// accNs accumulates each op's fragment wall time (indexed like p.fwd)
+	// across the steps of one execution; the final step flushes the sums
+	// into the op instruments, so an overlapped execution accounts exactly
+	// like an unfragmented Plan.Forward.
+	accNs []int64
 
 	patRows   int // total pattern (block) rows
 	localRows int // pattern rows executable at step 0
+}
+
+// ppFrag is one op's row fragment for one arrival step.
+type ppFrag struct {
+	idx int // index into p.fwd, for the per-op time accumulator
+	run func()
 }
 
 // Partition splits the plan's forward op list by row-dependency footprint.
@@ -119,7 +134,8 @@ func (p *Plan) Partition(avail []RowRange) (*PartitionedPlan, error) {
 
 	pp := &PartitionedPlan{
 		p:         p,
-		steps:     make([][]func(), len(avail)),
+		steps:     make([][]ppFrag, len(avail)),
+		accNs:     make([]int64, len(p.fwd)),
 		patRows:   pat.Rows,
 		localRows: len(buckets[0]),
 	}
@@ -135,7 +151,7 @@ func (p *Plan) Partition(avail []RowRange) (*PartitionedPlan, error) {
 				frag = rangeRun(r.Lo, r.Hi, op.each)
 			}
 			if frag != nil {
-				pp.steps[t] = append(pp.steps[t], frag)
+				pp.steps[t] = append(pp.steps[t], ppFrag{idx: i, run: frag})
 			}
 		}
 	}
@@ -193,15 +209,38 @@ func (pp *PartitionedPlan) Bind(h *tensor.Dense) {
 
 // RunStep executes step t's op fragments (plan topological order inside the
 // step). Call only after the rows of avail[t] are present in the bound
-// input. Per-op plan metrics are not recorded for fragments — fragment
-// latencies would skew the per-op histograms; the engine wraps steps in
-// spans and overlap metrics instead.
+// input. Individual fragment latencies are never observed — a partial sweep
+// would skew the per-op histograms — but each op's fragment times are
+// accumulated and flushed as one whole-sweep observation (plus the static
+// roofline bytes/flops and a flight span) when the final step completes, so
+// overlapped executions account exactly like Plan.Forward.
 func (pp *PartitionedPlan) RunStep(t int) {
-	for _, frag := range pp.steps[t] {
-		frag()
+	for _, f := range pp.steps[t] {
+		t0 := time.Now()
+		f.run()
+		pp.accNs[f.idx] += time.Since(t0).Nanoseconds()
 	}
 	if t == len(pp.steps)-1 {
+		pp.flush()
 		pp.p.ranForward = true
+	}
+}
+
+// flush credits one full stepped execution to the plan's op instruments.
+// Atomics only — no allocations on the overlap critical path.
+func (pp *PartitionedPlan) flush() {
+	for i := range pp.p.fwd {
+		op := &pp.p.fwd[i]
+		ns := pp.accNs[i]
+		pp.accNs[i] = 0
+		op.lat.Observe(float64(ns) / 1e9)
+		op.ops.Inc()
+		op.flopsC.Add(op.flops)
+		op.bytesC.Add(op.bytes)
+		metrics.PlanFlopsTotal.Add(op.flops)
+		metrics.PlanBytesTotal.Add(op.bytes)
+		metrics.PlanNNZTotal.Add(op.nnz)
+		op.lane.Record(flight.KindSpan, op.fcode, ns, op.bytes, op.flops)
 	}
 }
 

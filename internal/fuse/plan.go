@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"agnn/internal/obs"
+	"agnn/internal/obs/flight"
 	"agnn/internal/obs/metrics"
 	"agnn/internal/par"
 	"agnn/internal/sparse"
@@ -38,6 +39,10 @@ type PlanStats struct {
 	Groups         []string       // fusion groups, Analyze formatting
 	OpCounts       map[string]int // forward op vocabulary histogram
 	WorkspaceWords int64          // float64 words of workspace held by the plan
+	ForwardFlops   int64          // estimated flops per forward step (opCost sums)
+	ForwardBytes   int64          // estimated bytes moved per forward step (opBytes sums)
+	BackwardFlops  int64          // estimated flops per backward step
+	BackwardBytes  int64          // estimated bytes moved per backward step
 }
 
 // WorkspaceBytes returns the plan's held workspace in bytes.
@@ -219,18 +224,26 @@ func (g *Graph) Compile(opt Options) (*Plan, error) {
 	}
 
 	rowOff := int32(g.rowOff)
+	lane := flight.Process()
 	emit := func(list *[]planOp, n *Node, suffix, op string, f opFns) {
-		flops, swept := opCost(g, n, op, nnz, suffix != "")
+		backward := suffix != ""
+		flops, swept := opCost(g, n, op, nnz, backward)
+		span := opt.SpanPrefix + n.ID + suffix
 		*list = append(*list, planOp{
-			span:  opt.SpanPrefix + n.ID + suffix,
-			op:    op,
-			run:   f.run,
-			each:  f.each,
-			rows:  f.rows,
-			lat:   metrics.PlanOpSeconds.With(op),
-			ops:   metrics.PlanOpsTotal.With(op),
-			flops: flops,
-			nnz:   swept,
+			span:   span,
+			op:     op,
+			run:    f.run,
+			each:   f.each,
+			rows:   f.rows,
+			lat:    metrics.PlanOpSeconds.With(op),
+			ops:    metrics.PlanOpsTotal.With(op),
+			flopsC: metrics.OpFlopsTotal.With(op),
+			bytesC: metrics.OpBytesTotal.With(op),
+			lane:   lane,
+			fcode:  flight.Code(span),
+			flops:  flops,
+			bytes:  opBytes(g, n, op, nnz, backward),
+			nnz:    swept,
 		})
 	}
 	bare := func(run func()) opFns { return opFns{run: run} }
@@ -368,6 +381,12 @@ func (g *Graph) Compile(opt Options) (*Plan, error) {
 	}
 	for _, op := range p.fwd {
 		p.stats.OpCounts[op.op]++
+		p.stats.ForwardFlops += op.flops
+		p.stats.ForwardBytes += op.bytes
+	}
+	for _, op := range p.bwd {
+		p.stats.BackwardFlops += op.flops
+		p.stats.BackwardBytes += op.bytes
 	}
 	return p, nil
 }
@@ -487,19 +506,26 @@ func (p *Plan) Forward(h *tensor.Dense) *tensor.Dense {
 }
 
 // runOps executes an op list, recording each op's wall time into its
-// latency histogram and its estimated flop/nnz cost into the process
-// totals. Only atomic operations touch the metrics — no allocations.
+// latency histogram, its estimated flop/byte/nnz cost into the process and
+// per-op-class roofline totals, and a span event into the flight
+// recorder. Only atomic operations touch the instruments — no allocations
+// (every handle and flight code is resolved at compile time).
 func runOps(list []planOp) {
 	for i := range list {
 		op := &list[i]
 		sp := obs.Start(op.span)
 		t0 := time.Now()
 		op.run()
-		op.lat.Observe(time.Since(t0).Seconds())
+		d := time.Since(t0)
+		op.lat.Observe(d.Seconds())
 		sp.End()
 		op.ops.Inc()
+		op.flopsC.Add(op.flops)
+		op.bytesC.Add(op.bytes)
 		metrics.PlanFlopsTotal.Add(op.flops)
+		metrics.PlanBytesTotal.Add(op.bytes)
 		metrics.PlanNNZTotal.Add(op.nnz)
+		op.lane.Record(flight.KindSpan, op.fcode, d.Nanoseconds(), op.bytes, op.flops)
 	}
 }
 

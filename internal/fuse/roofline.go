@@ -1,0 +1,67 @@
+package fuse
+
+// Roofline accounting: each compiled op carries a static estimate of the
+// bytes it moves to and from memory, derived from compile-time shapes the
+// same way opCost derives flops. flops/bytes is the op's arithmetic
+// intensity, which together with the measured op latency places each op
+// class on a roofline plot (GF/s vs intensity) — the Section 7 cost-model
+// view, made measurable per kernel. The model counts algorithmic traffic
+// (every word touched once per pass), not cache-aware traffic: it is an
+// upper bound on compulsory misses and a stable denominator for
+// regression-gating bytes-moved-per-edge in CI.
+
+// Bytes per element of the two storage types the kernels touch.
+const (
+	floatBytes = 8 // float64 values, dense and sparse
+	indexBytes = 4 // int32 CSR column indices
+)
+
+// opBytes estimates, from compile-time shapes, the memory traffic of one
+// execution of an op: CSR traffic (values + column indices + one gathered
+// feature row per non-zero) for sparse sweeps, operand reads + result
+// writes for dense kernels. Backward variants approximately double the
+// forward traffic, mirroring opCost.
+func opBytes(g *Graph, n *Node, op string, nnz int, backward bool) int64 {
+	s := g.sp(n)
+	r, c := int64(s.rows), int64(s.cols)
+	nz := int64(nnz)
+	var b int64
+	switch op {
+	case "mm":
+		k := int64(g.sp(n.Inputs[0]).cols)
+		b = floatBytes * (r*k + k*c + r*c)
+	case "spmm", "spmm-max", "spmm-min", "spmm-mean":
+		// Values + indices in, one gathered X row per non-zero, output out.
+		b = (floatBytes+indexBytes)*nz + floatBytes*(nz*c+r*c)
+	case "mask":
+		// Pattern sweep: indices in, two composed-score operands per entry
+		// (the dominant shape), values out.
+		b = indexBytes*nz + 3*floatBytes*nz
+	case "softmax":
+		// Three passes over the row values: max (read), exp+sum
+		// (read+write), normalize (read+write).
+		b = 5 * floatBytes * nz
+	case "fused-softmax":
+		// Sampling sweep (indices + two score operands in, values out)
+		// plus the in-place softmax passes over the freshly written values.
+		b = indexBytes*nz + 7*floatBytes*nz
+	case "matvec":
+		k := int64(g.sp(n.Inputs[0]).cols)
+		b = floatBytes * (r*k + k + r)
+	case "rownorm":
+		k := int64(g.sp(n.Inputs[0]).cols)
+		b = floatBytes * (r*k + r)
+	case "sigma":
+		b = 2 * floatBytes * r * c
+	case "gin-combine":
+		b = 3 * floatBytes * r * c
+	default:
+		// Virtual-node VJP sweeps: one pattern pass re-evaluating scores
+		// entry-wise (indices + two operands in, cotangent out).
+		b = indexBytes*nz + 3*floatBytes*nz
+	}
+	if backward {
+		b *= 2
+	}
+	return b
+}

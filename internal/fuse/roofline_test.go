@@ -1,0 +1,124 @@
+package fuse_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"agnn/internal/fuse"
+	"agnn/internal/obs/flight"
+	"agnn/internal/obs/metrics"
+	"agnn/internal/sparse"
+)
+
+func opFamilySum(fam map[string]int64) int64 {
+	var s int64
+	for _, v := range fam {
+		s += v
+	}
+	return s
+}
+
+// TestPlanRooflineAccounting checks that the static traffic model is wired
+// end to end: Stats totals, the process byte/flop counters, and the
+// per-op-class roofline families all agree after one forward+backward
+// step, and the flight recorder holds a span event per executed op.
+func TestPlanRooflineAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := weightedGraph(40, 160, 21)
+	const k = 4
+	w := randParam(rng, "W", k, k)
+	beta := randParam(rng, "beta", 1, 1)
+	h := randDense(rng, a.Rows, k)
+	r := randDense(rng, a.Rows, k)
+
+	p := buildAGNN(a, w, beta, k).MustCompile(fuse.Options{Train: true, SpanPrefix: "roofline."})
+	st := p.Stats()
+	if st.ForwardBytes <= 0 || st.BackwardBytes <= 0 || st.ForwardFlops <= 0 || st.BackwardFlops <= 0 {
+		t.Fatalf("roofline stats empty: %+v", st)
+	}
+	// Sparse sweeps dominate this graph; bytes must at least cover the CSR
+	// value traffic of the spmm (8·nnz·k) to be a credible denominator.
+	if st.ForwardBytes < int64(8*a.NNZ()*k) {
+		t.Fatalf("ForwardBytes %d implausibly small for nnz=%d k=%d", st.ForwardBytes, a.NNZ(), k)
+	}
+
+	before := metrics.Default.Snapshot()
+	bytes0 := metrics.PlanBytesTotal.Value()
+	flops0 := metrics.PlanFlopsTotal.Value()
+	spans0 := flight.Process().Recorded()
+
+	p.Forward(h)
+	p.Backward(r)
+
+	after := metrics.Default.Snapshot()
+	wantBytes := st.ForwardBytes + st.BackwardBytes
+	wantFlops := st.ForwardFlops + st.BackwardFlops
+	if got := metrics.PlanBytesTotal.Value() - bytes0; got != wantBytes {
+		t.Errorf("PlanBytesTotal delta = %d, want %d", got, wantBytes)
+	}
+	if got := metrics.PlanFlopsTotal.Value() - flops0; got != wantFlops {
+		t.Errorf("PlanFlopsTotal delta = %d, want %d", got, wantFlops)
+	}
+
+	diffFam := func(name string) map[string]int64 {
+		b, a := before.CounterFamily(name), after.CounterFamily(name)
+		out := map[string]int64{}
+		for op, v := range a {
+			if d := v - b[op]; d != 0 {
+				out[op] = d
+			}
+		}
+		return out
+	}
+	byBytes := diffFam("agnn_op_bytes_total")
+	byFlops := diffFam("agnn_op_flops_total")
+	if got := opFamilySum(byBytes); got != wantBytes {
+		t.Errorf("per-op byte family sums to %d, want %d (%v)", got, wantBytes, byBytes)
+	}
+	if got := opFamilySum(byFlops); got != wantFlops {
+		t.Errorf("per-op flop family sums to %d, want %d (%v)", got, wantFlops, byFlops)
+	}
+	for _, op := range []string{"spmm", "mm", "fused-softmax", "sigma"} {
+		if byBytes[op] <= 0 || byFlops[op] <= 0 {
+			t.Errorf("op class %q missing from roofline families (bytes=%d flops=%d)", op, byBytes[op], byFlops[op])
+		}
+	}
+
+	// Every executed op left a span event on the process flight lane
+	// carrying its bytes/flops payload.
+	wantSpans := uint64(st.ForwardOps + st.BackwardOps)
+	if got := flight.Process().Recorded() - spans0; got != wantSpans {
+		t.Errorf("flight span events = %d, want %d", got, wantSpans)
+	}
+	found := false
+	for _, ev := range flight.Process().Events() {
+		if ev.Kind == "span" && ev.Name == "roofline.Z" && ev.B > 0 && ev.C > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("spmm span event with bytes/flops payload not found in flight lane")
+	}
+}
+
+// TestOpBytesModelShapes pins the relative structure of the traffic model:
+// sparse sweeps scale with nnz·k, dense kernels with r·k·c, and backward
+// doubles forward.
+func TestOpBytesModelShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	const k = 4
+	small := weightedGraph(30, 90, 22)
+	big := weightedGraph(30, 360, 23)
+
+	stFor := func(a *sparse.CSR) fuse.PlanStats {
+		g := buildVA(a, randParam(rng, "W", k, k), k)
+		return g.MustCompile(fuse.Options{Train: true}).Stats()
+	}
+	s0, s1 := stFor(small), stFor(big)
+	if s1.ForwardBytes <= s0.ForwardBytes {
+		t.Errorf("4× denser pattern must move more bytes: %d vs %d", s1.ForwardBytes, s0.ForwardBytes)
+	}
+	if s0.BackwardBytes < s0.ForwardBytes {
+		t.Errorf("backward traffic %d below forward %d; VJP model should dominate", s0.BackwardBytes, s0.ForwardBytes)
+	}
+}

@@ -7,8 +7,10 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
+	"agnn/internal/obs/flight"
 	"agnn/internal/obs/metrics"
 	"agnn/internal/obs/serve"
 )
@@ -29,6 +31,7 @@ type CLI struct {
 	MemProfile   string // runtime/pprof heap profile output path
 	Serve        string // live diagnostics HTTP address (/metrics, /report, /debug/pprof)
 	MetricsFinal string // Prometheus snapshot written when the server shuts down
+	FlightDir    string // directory for flight-recorder dumps (failures, SIGQUIT)
 
 	tracer  *Tracer
 	cpuFile *os.File
@@ -44,6 +47,7 @@ func (c *CLI) Register(fs *flag.FlagSet) {
 	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof heap profile here (captured at exit)")
 	fs.StringVar(&c.Serve, "serve", "", "serve live diagnostics on this address (/metrics, /report, /debug/pprof), e.g. :6060")
 	fs.StringVar(&c.MetricsFinal, "metrics-final", "", "with -serve: write a final Prometheus metrics snapshot here at shutdown")
+	fs.StringVar(&c.FlightDir, "flight-dir", "", "write flight-recorder dumps (rank failures, SIGQUIT) to this directory (default $AGNN_FLIGHT_DIR)")
 }
 
 // Active reports whether any observability output was requested.
@@ -69,9 +73,17 @@ func (c *CLI) report() *Report {
 	return rep
 }
 
-// Start begins CPU profiling, enables the process-wide tracer, and starts
-// the diagnostics server, as requested by the flags.
+// Start begins CPU profiling, enables the process-wide tracer, arms the
+// SIGQUIT flight-dump handler, and starts the diagnostics server, as
+// requested by the flags.
 func (c *CLI) Start() error {
+	if c.FlightDir != "" {
+		flight.SetDumpDir(c.FlightDir)
+	}
+	// Always-on: SIGQUIT dumps the flight recorder's recent-event ring
+	// (to -flight-dir / $AGNN_FLIGHT_DIR when set, stderr otherwise) —
+	// the postmortem for a hung run that never reaches Stop.
+	flight.NotifySignal(syscall.SIGQUIT)
 	if c.CPUProfile != "" {
 		f, err := os.Create(c.CPUProfile)
 		if err != nil {

@@ -1,0 +1,159 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Dump is the JSON artifact written when the black box is cracked open:
+// one header naming why (and, for failures, which rank died at which
+// superstep) plus every lane's recent events.
+type Dump struct {
+	Schema        string     `json:"schema"` // "agnn-flight/v1"
+	Reason        string     `json:"reason"` // "rank-failure" | "signal" | "request" | "manual"
+	CapturedAt    time.Time  `json:"captured_at"`
+	GoVersion     string     `json:"go_version"`
+	FailedRank    *int       `json:"failed_rank,omitempty"`
+	LastSuperstep *int64     `json:"last_superstep,omitempty"`
+	Cause         string     `json:"cause,omitempty"`
+	Lanes         []LaneDump `json:"lanes"`
+}
+
+// LaneDump is one lane's contribution to a Dump.
+type LaneDump struct {
+	Rank     int     `json:"rank"` // -1 = process lane
+	Recorded uint64  `json:"recorded"`
+	Events   []Event `json:"events"`
+}
+
+// DumpSchema identifies the flight-dump JSON layout.
+const DumpSchema = "agnn-flight/v1"
+
+// Capture snapshots every lane of the recorder. reason is recorded in the
+// header verbatim.
+func (r *Recorder) Capture(reason string) *Dump {
+	r.mu.Lock()
+	lanes := make([]*Lane, 0, len(r.lanes))
+	for _, l := range r.lanes {
+		lanes = append(lanes, l)
+	}
+	r.mu.Unlock()
+	sort.Slice(lanes, func(i, j int) bool { return lanes[i].rank < lanes[j].rank })
+
+	d := &Dump{
+		Schema:     DumpSchema,
+		Reason:     reason,
+		CapturedAt: time.Now().UTC(),
+		GoVersion:  runtime.Version(),
+		Lanes:      make([]LaneDump, 0, len(lanes)),
+	}
+	for _, l := range lanes {
+		d.Lanes = append(d.Lanes, LaneDump{Rank: l.rank, Recorded: l.Recorded(), Events: l.Events()})
+	}
+	return d
+}
+
+// dumpDir is where failure/signal dumps land; empty disables file output.
+// Process-wide because the failure unwind in internal/dist has no natural
+// place to thread configuration through.
+var dumpDir atomic.Pointer[string]
+
+func init() {
+	if dir := os.Getenv("AGNN_FLIGHT_DIR"); dir != "" {
+		dumpDir.Store(&dir)
+	}
+}
+
+// SetDumpDir directs failure and signal dumps to dir ("" disables file
+// output). The AGNN_FLIGHT_DIR environment variable provides the initial
+// value. Returns the previous directory.
+func SetDumpDir(dir string) string {
+	var prev string
+	if p := dumpDir.Swap(&dir); p != nil {
+		prev = *p
+	}
+	return prev
+}
+
+// DumpDir returns the currently configured dump directory ("" when file
+// output is disabled).
+func DumpDir() string {
+	if p := dumpDir.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// WriteFile serializes the dump into dir with a reason- and time-stamped
+// name, returning the written path. The directory is created if needed.
+func (d *Dump) WriteFile(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	name := fmt.Sprintf("flight-%s-%s.json", d.Reason, d.CapturedAt.Format("20060102T150405.000000000"))
+	path := filepath.Join(dir, name)
+	raw, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// OnRankFailure records a failure event on the rank's lane and, when a
+// dump directory is configured, writes a postmortem dump naming the failed
+// rank, its last superstep, and the cause. Called from the ErrRankFailed
+// unwind in internal/dist; allocation on this path is fine — the run is
+// already dead. Returns the dump path ("" when file output is disabled).
+func OnRankFailure(rank int, lastSuperstep int64, cause error) string {
+	l := Default.Lane(rank)
+	l.Record(KindFailure, 0, lastSuperstep, 0, 0)
+	dir := DumpDir()
+	if dir == "" {
+		return ""
+	}
+	d := Default.Capture("rank-failure")
+	d.FailedRank = &rank
+	d.LastSuperstep = &lastSuperstep
+	if cause != nil {
+		d.Cause = cause.Error()
+	}
+	path, err := d.WriteFile(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flight: failed to write rank-failure dump: %v\n", err)
+		return ""
+	}
+	fmt.Fprintf(os.Stderr, "flight: rank %d failed at superstep %d; dump written to %s\n", rank, lastSuperstep, path)
+	return path
+}
+
+// Handler serves the recorder's current contents as a Dump with reason
+// "request" — mounted at /debug/flight by internal/obs/serve.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Capture("request")) //nolint:errcheck // client gone mid-write is fine
+	})
+}
+
+var signalOnce sync.Once
+
+// NotifySignal arranges for sig (conventionally SIGQUIT) to write a dump
+// of the Default recorder to the configured dump directory (stderr when
+// none is configured). The process keeps running — the signal is a
+// diagnostic poke, not a kill. Installed at most once per process.
+func NotifySignal(sig os.Signal) {
+	signalOnce.Do(func() { go watchSignal(sig) })
+}

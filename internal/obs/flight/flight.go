@@ -1,0 +1,287 @@
+// Package flight is the always-on postmortem layer of the observability
+// stack (docs/OBSERVABILITY.md): a lock-free, fixed-size ring buffer of
+// recent events — compiled-plan op spans, BSP supersteps, collective calls,
+// straggler detections, counter deltas — recorded unconditionally on every
+// hot path at zero allocations per event, and serialized to a JSON dump
+// only when something goes wrong (a rank failure, a SIGQUIT poke, or a
+// /debug/flight request on the diagnostics server).
+//
+// Where internal/obs answers "what happened during that run" (opt-in
+// tracing) and internal/obs/metrics answers "what is happening right now"
+// (live aggregates), flight answers "what happened in the last few
+// milliseconds before the crash" — the black-box recorder of the compiled
+// runtime. The ring keeps only the most recent events per lane, so memory
+// is bounded regardless of run length and the recorder can stay enabled in
+// production.
+//
+// The recorder is organized into lanes, one per simulated rank (plus a
+// process lane for rank-less events such as plan ops in single-rank mode).
+// Each lane is an independent ring with its own atomic sequence counter,
+// so concurrent ranks never contend on a shared cursor. Event payloads are
+// three opaque int64s whose meaning depends on the Kind; names (span
+// names, collective kinds) are interned once at wiring time into small
+// integer codes (Code), so the steady-state record path touches only
+// atomics.
+//
+// The package is stdlib-only and imports nothing from the repository, so
+// every layer (fuse, dist, distgnn, serve) can record into it without
+// import cycles.
+package flight
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies one recorded event. The A/B/C payload meaning is fixed
+// per kind (documented on each constant) so dumps are self-describing.
+type Kind uint8
+
+// Event kinds.
+const (
+	// KindSpan is one timed region (a compiled-plan op execution).
+	// A = duration ns, B = bytes moved (static model), C = flops.
+	KindSpan Kind = 1 + iota
+	// KindSuperstep is one BSP communication round entered by a rank.
+	// A = round number, B = wait ns accumulated during the previous
+	// superstep, C unused.
+	KindSuperstep
+	// KindComm is one collective call. A = bytes sent by this rank during
+	// the call, B = messages, C unused. The code names the collective.
+	KindComm
+	// KindCounter is an instrument delta worth keeping in the black box.
+	// A = delta, B = new value (when cheap to compute), C unused.
+	KindCounter
+	// KindStraggler marks a rank whose superstep wait exceeded the
+	// straggler threshold. A = this rank's wait ns, B = median wait ns
+	// across ranks, C = round number.
+	KindStraggler
+	// KindFailure marks a rank failure. A = the rank's last superstep,
+	// B/C unused; the cause is carried by the dump header, not the ring.
+	KindFailure
+)
+
+// String names a kind for dumps.
+func (k Kind) String() string {
+	switch k {
+	case KindSpan:
+		return "span"
+	case KindSuperstep:
+		return "superstep"
+	case KindComm:
+		return "comm"
+	case KindCounter:
+		return "counter"
+	case KindStraggler:
+		return "straggler"
+	case KindFailure:
+		return "failure"
+	}
+	return "unknown"
+}
+
+// codes is the process-wide intern table mapping event names to small
+// integer codes. Interning happens at wiring time (plan compile, world
+// construction); the record path carries only the code.
+var codes struct {
+	mu    sync.Mutex
+	index sync.Map // name → uint32, lock-free readers
+	names atomic.Pointer[[]string]
+}
+
+// Code interns name and returns its stable code. Safe for concurrent use;
+// the fast path (already interned) is one lock-free map load. Code 0 is
+// reserved for "unnamed".
+func Code(name string) uint32 {
+	if v, ok := codes.index.Load(name); ok {
+		return v.(uint32)
+	}
+	codes.mu.Lock()
+	defer codes.mu.Unlock()
+	if v, ok := codes.index.Load(name); ok {
+		return v.(uint32)
+	}
+	var cur []string
+	if p := codes.names.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]string, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = name
+	codes.names.Store(&next)
+	c := uint32(len(next)) // 1-based: 0 = unnamed
+	codes.index.Store(name, c)
+	return c
+}
+
+// CodeName resolves a code back to its name ("" for 0 or unknown).
+func CodeName(c uint32) string {
+	if c == 0 {
+		return ""
+	}
+	p := codes.names.Load()
+	if p == nil || int(c) > len(*p) {
+		return ""
+	}
+	return (*p)[c-1]
+}
+
+// slot is one ring entry. Every field is accessed atomically so concurrent
+// record/dump is race-free; seq doubles as the seqlock word — it is zeroed
+// before the payload is written and set to the claiming sequence after, so
+// a reader that sees the same non-zero seq before and after reading the
+// payload knows the slot was stable.
+type slot struct {
+	seq  atomic.Uint64
+	t    atomic.Int64  // ns since the recorder epoch
+	meta atomic.Uint64 // kind<<32 | code
+	a    atomic.Int64
+	b    atomic.Int64
+	c    atomic.Int64
+}
+
+// Lane is one rank's ring. The zero Lane is unusable; obtain lanes from a
+// Recorder. A nil *Lane is inert: Record on it is a no-op, so handles can
+// be threaded through paths that may run without a recorder.
+type Lane struct {
+	rank  int
+	next  atomic.Uint64
+	slots []slot
+	rec   *Recorder
+}
+
+// Rank returns the lane's rank (-1 for the process lane).
+func (l *Lane) Rank() int {
+	if l == nil {
+		return -1
+	}
+	return l.rank
+}
+
+// Record appends one event to the lane's ring, overwriting the oldest
+// entry once the ring is full. It performs a handful of atomic operations
+// and never allocates or locks — cheap enough for kernel-sized hot paths.
+func (l *Lane) Record(k Kind, code uint32, a, b, c int64) {
+	if l == nil {
+		return
+	}
+	seq := l.next.Add(1)
+	s := &l.slots[(seq-1)%uint64(len(l.slots))]
+	s.seq.Store(0) // invalidate while the payload is torn
+	s.t.Store(int64(time.Since(l.rec.epoch)))
+	s.meta.Store(uint64(k)<<32 | uint64(code))
+	s.a.Store(a)
+	s.b.Store(b)
+	s.c.Store(c)
+	s.seq.Store(seq)
+}
+
+// Recorded returns the number of events ever recorded on the lane (the
+// ring holds only the most recent len ≤ size of them).
+func (l *Lane) Recorded() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.next.Load()
+}
+
+// Recorder owns a set of lanes sharing one epoch and ring size.
+type Recorder struct {
+	epoch time.Time
+	size  int
+
+	mu    sync.Mutex
+	lanes map[int]*Lane
+	cache sync.Map // rank → *Lane, lock-free fast path
+}
+
+// DefaultLaneSize is the per-lane ring capacity of the Default recorder:
+// large enough to hold several supersteps of plan-op spans per rank, small
+// enough that a 64-rank world stays under a few MiB.
+const DefaultLaneSize = 2048
+
+// New creates a recorder whose lanes hold size events each.
+func New(size int) *Recorder {
+	if size < 1 {
+		panic("flight: recorder size must be >= 1")
+	}
+	return &Recorder{epoch: time.Now(), size: size, lanes: make(map[int]*Lane)}
+}
+
+// Default is the process-wide recorder every subsystem records into.
+var Default = New(DefaultLaneSize)
+
+// Lane returns the ring for one rank, creating it on first use. Use rank
+// -1 (or Process) for events with no rank attribution. The fast path is
+// one lock-free map load; hot paths should still cache the returned
+// pointer, mirroring how metric handles are resolved at wiring time.
+func (r *Recorder) Lane(rank int) *Lane {
+	if v, ok := r.cache.Load(rank); ok {
+		return v.(*Lane)
+	}
+	r.mu.Lock()
+	l, ok := r.lanes[rank]
+	if !ok {
+		l = &Lane{rank: rank, slots: make([]slot, r.size), rec: r}
+		r.lanes[rank] = l
+	}
+	r.mu.Unlock()
+	r.cache.Store(rank, l)
+	return l
+}
+
+// Process returns the Default recorder's rank-less lane.
+func Process() *Lane { return Default.Lane(-1) }
+
+// Event is one decoded ring entry, ordered by Seq within its lane.
+type Event struct {
+	Seq    uint64 `json:"seq"`
+	TimeNs int64  `json:"t_ns"` // ns since the recorder epoch
+	Kind   string `json:"kind"`
+	Name   string `json:"name,omitempty"`
+	A      int64  `json:"a"`
+	B      int64  `json:"b,omitempty"`
+	C      int64  `json:"c,omitempty"`
+}
+
+// Events decodes the lane's current contents, oldest first. Slots being
+// concurrently overwritten are skipped (the seqlock re-check), so a dump
+// taken mid-flight is consistent if momentarily incomplete.
+func (l *Lane) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(l.slots))
+	for i := range l.slots {
+		s := &l.slots[i]
+		seq := s.seq.Load()
+		if seq == 0 {
+			continue
+		}
+		ev := Event{
+			Seq:    seq,
+			TimeNs: s.t.Load(),
+			A:      s.a.Load(),
+			B:      s.b.Load(),
+			C:      s.c.Load(),
+		}
+		meta := s.meta.Load()
+		if s.seq.Load() != seq {
+			continue // torn: overwritten while reading
+		}
+		k := Kind(meta >> 32)
+		ev.Kind = k.String()
+		ev.Name = CodeName(uint32(meta))
+		out = append(out, ev)
+	}
+	// Ring order: slots are claimed round-robin, so sorting by seq restores
+	// chronological order. Insertion sort — the slice is nearly sorted
+	// (two runs split at the wrap point).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].Seq > out[j].Seq; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

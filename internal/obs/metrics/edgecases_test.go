@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// A single finite bucket puts every in-range observation in one bin;
+// interpolation must stay inside [0, bound] and hit the exact fraction of
+// the bucket that the rank demands.
+func TestQuantileSingleBucketInterpolation(t *testing.T) {
+	h := newHistogram([]float64{10})
+	for i := 0; i < 4; i++ {
+		h.Observe(5)
+	}
+	// rank = q·total within the only bucket [0, 10): lower 0, upper 10,
+	// frac = rank/4.
+	if q := h.Quantile(0.5); q != 5 {
+		t.Fatalf("p50 = %v, want midpoint 5", q)
+	}
+	if q := h.Quantile(1); q != 10 {
+		t.Fatalf("p100 = %v, want upper bound 10", q)
+	}
+	if q := h.Quantile(0); q < 0 || q > 10 {
+		t.Fatalf("p0 = %v outside the bucket", q)
+	}
+	// Out-of-range q clamps rather than extrapolating.
+	if q := h.Quantile(2); q != 10 {
+		t.Fatalf("q>1 = %v, want clamp to 10", q)
+	}
+	if q := h.Quantile(-1); q < 0 || q > 10 {
+		t.Fatalf("q<0 = %v outside the bucket", q)
+	}
+}
+
+// The first bucket's lower edge is 0 even when the bound layout starts
+// higher — interpolation must never return a negative latency.
+func TestQuantileFirstBucketLowerEdgeIsZero(t *testing.T) {
+	h := newHistogram([]float64{100, 200})
+	h.Observe(1) // lands in [0, 100)
+	if q := h.Quantile(0.5); q < 0 || q > 100 {
+		t.Fatalf("p50 = %v, want within [0, 100]", q)
+	}
+}
+
+// Concurrent With() on the same fresh label value must converge on ONE
+// child — two goroutines racing the get-or-create path must not each get a
+// private counter whose increments the exposition then loses. Run under
+// -race this also pins the lock discipline of the cache fast path.
+func TestVecConcurrentGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("test_race_total", "", "rank")
+	hv := r.HistogramVec("test_race_seconds", "", "rank", []float64{1, 2})
+
+	const goroutines, perG, labels = 8, 100, 4
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				lv := fmt.Sprint(i % labels)
+				cv.With(lv).Inc()
+				hv.With(lv).Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+
+	for l := 0; l < labels; l++ {
+		lv := fmt.Sprint(l)
+		wantPer := int64(goroutines * perG / labels)
+		if v := cv.With(lv).Value(); v != wantPer {
+			t.Errorf("counter child %q = %d, want %d (split children?)", lv, v, wantPer)
+		}
+		if c := hv.With(lv).Count(); c != wantPer {
+			t.Errorf("histogram child %q count = %d, want %d", lv, c, wantPer)
+		}
+	}
+	// The registry sees exactly one series per label value.
+	snap := r.Snapshot()
+	if got := len(snap.CounterFamily("test_race_total")); got != labels {
+		t.Fatalf("snapshot has %d counter children, want %d", got, labels)
+	}
+}
+
+// Two handles to the same family (separate CounterVec values from separate
+// registrations) must still share children.
+func TestVecReRegistrationSharesChildren(t *testing.T) {
+	r := NewRegistry()
+	a := r.CounterVec("test_shared_total", "", "op")
+	b := r.CounterVec("test_shared_total", "", "op")
+	a.With("x").Add(3)
+	b.With("x").Add(4)
+	if v := a.With("x").Value(); v != 7 {
+		t.Fatalf("re-registered family split its children: %d, want 7", v)
+	}
+}

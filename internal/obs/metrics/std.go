@@ -15,6 +15,15 @@ var (
 		"Estimated floating-point operations retired by compiled-plan ops.")
 	PlanNNZTotal = Default.Counter("agnn_plan_nnz_total",
 		"Sparse non-zeros swept by compiled-plan ops.")
+	PlanBytesTotal = Default.Counter("agnn_plan_bytes_total",
+		"Estimated bytes moved by compiled-plan ops under the static CSR + dense traffic model.")
+
+	// Roofline accounting (internal/fuse): per-op-class flop and byte
+	// totals. GF/s = flops/op-seconds; arithmetic intensity = flops/bytes.
+	OpFlopsTotal = Default.CounterVec("agnn_op_flops_total",
+		"Estimated floating-point operations retired, by op kind (roofline numerator).", "op")
+	OpBytesTotal = Default.CounterVec("agnn_op_bytes_total",
+		"Estimated bytes moved under the static traffic model, by op kind (roofline denominator).", "op")
 
 	// Simulated distributed runtime (internal/dist).
 	CommBytesTotal = Default.CounterVec("agnn_comm_bytes_total",
@@ -26,6 +35,15 @@ var (
 	CollectiveBytes = Default.HistogramVec("agnn_collective_bytes",
 		"Bytes one rank moved in one collective call, by collective kind.",
 		"kind", ExpBuckets(64, 4, 12))
+
+	// Straggler and imbalance diagnostics (internal/dist; docs/OBSERVABILITY.md).
+	RankWaitSeconds = Default.HistogramVec("agnn_rank_wait_seconds",
+		"Blocking receive wait one rank accumulated during one BSP superstep, by rank.",
+		"rank", DefLatencyBuckets)
+	WaitImbalanceRatio = Default.Gauge("agnn_wait_imbalance_ratio",
+		"Max/median cross-rank superstep wait of the most recent completed superstep.")
+	StragglersTotal = Default.CounterVec("agnn_stragglers_total",
+		"Supersteps in which a rank waited more than the straggler factor times the cross-rank median, by rank.", "rank")
 
 	// Workspace arenas (internal/tensor).
 	ArenaLiveBytes = Default.Gauge("agnn_arena_live_bytes",

@@ -1,7 +1,9 @@
 // Package serve is the opt-in HTTP diagnostics endpoint of the binaries:
 // a tiny stdlib server exposing the live metrics registry in Prometheus
 // exposition format (/metrics), the standard pprof handlers
-// (/debug/pprof/*), and a JSON run-report snapshot (/report), so a
+// (/debug/pprof/*), a JSON run-report snapshot (/report), the flight
+// recorder's recent-event ring (/debug/flight), a liveness probe
+// (/healthz), and the binary's build identity (/buildinfo), so a
 // long-running training or benchmark job can be inspected while it runs
 // instead of only post-mortem.
 //
@@ -19,9 +21,12 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
+	"agnn/internal/obs/flight"
 	"agnn/internal/obs/metrics"
 )
 
@@ -60,6 +65,9 @@ func Handler(opt Options) http.Handler {
 		fmt.Fprint(w, `<html><body><h1>agnn diagnostics</h1><ul>
 <li><a href="/metrics">/metrics</a> — Prometheus exposition</li>
 <li><a href="/report">/report</a> — JSON run-report snapshot</li>
+<li><a href="/debug/flight">/debug/flight</a> — flight-recorder event ring</li>
+<li><a href="/healthz">/healthz</a> — liveness probe</li>
+<li><a href="/buildinfo">/buildinfo</a> — binary build identity</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a> — pprof profiles</li>
 </ul></body></html>`)
 	})
@@ -83,12 +91,60 @@ func Handler(opt Options) http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.Handle("/debug/flight", flight.Default.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/buildinfo", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(buildInfo()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// BuildInfo is the /buildinfo payload: what binary is answering, built
+// from what, on what runtime — the first question of any incident triage.
+type BuildInfo struct {
+	GoVersion  string `json:"go_version"`
+	Path       string `json:"path,omitempty"`       // main module path
+	GitCommit  string `json:"git_commit,omitempty"` // embedded VCS revision
+	GitDirty   bool   `json:"git_dirty,omitempty"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	PID        int    `json:"pid"`
+}
+
+func buildInfo() BuildInfo {
+	b := BuildInfo{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		PID:        os.Getpid(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		b.Path = bi.Main.Path
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				b.GitCommit = kv.Value
+			case "vcs.modified":
+				b.GitDirty = kv.Value == "true"
+			}
+		}
+	}
+	return b
 }
 
 // Server is a running diagnostics endpoint.
