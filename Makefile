@@ -6,8 +6,12 @@ GO ?= go
 # within tolerance bands; the diff lands in gate-diff.json (the CI artifact).
 BENCH_BASELINE ?= BENCH_4.json
 
+# The serving-latency baseline gates ServeP99Sec and CacheHitRate.
+SERVE_BASELINE ?= BENCH_7.json
+
 bench-gate:
 	$(GO) run ./cmd/agnn-gate -baseline $(BENCH_BASELINE) -out gate-diff.json
+	$(GO) run ./cmd/agnn-gate -baseline $(SERVE_BASELINE) -out gate-serve-diff.json
 
 all: build test
 
@@ -48,4 +52,4 @@ examples:
 	$(GO) run ./examples/graphblas
 
 clean:
-	rm -rf results results_full test_output.txt bench_output.txt gate-diff.json
+	rm -rf results results_full test_output.txt bench_output.txt gate-diff.json gate-serve-diff.json

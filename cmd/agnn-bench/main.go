@@ -40,7 +40,7 @@ func main() {
 	flag.IntVar(&s.Features, "features", 16, "number of features k")
 	flag.IntVar(&s.Layers, "l", 3, "number of GNN layers")
 	flag.IntVar(&s.Ranks, "p", 1, "simulated process count (1 = shared memory; >1 must be a perfect square for the global engine)")
-	engine := flag.String("engine", "global", "execution engine: global, rows, local, minibatch")
+	engine := flag.String("engine", "global", "execution engine: global, rows, local, minibatch, serve")
 	flag.BoolVar(&s.Inference, "inference", false, "run inference only (no intermediate matrices stored)")
 	flag.BoolVar(&s.Overlap, "overlap", false, "engine=rows: overlap the feature allgather with arrival-gated plan fragments")
 	flag.IntVar(&s.Repeat, "repeat", 10, "number of timed repetitions")
@@ -95,6 +95,10 @@ func main() {
 	fmt.Printf("n=%d m=%d maxdeg=%d k=%d L=%d p=%d\n",
 		res.N, res.M, res.MaxDegree, res.Features, res.Layers, res.Ranks)
 	fmt.Printf("median=%.6fs std=%.6fs\n", res.MedianSec, res.StdSec)
+	if res.Engine == benchutil.EngineServe {
+		fmt.Printf("serving: p50=%.6fs p99=%.6fs per query, plan-cache hit rate %.3f\n",
+			res.ServeP50Sec, res.ServeP99Sec, res.CacheHitRate)
+	}
 	if res.GFPerSec > 0 {
 		fmt.Printf("roofline: %.3f GF/s aggregate, %.1f bytes moved per edge (%d op classes)\n",
 			res.GFPerSec, res.BytesPerEdge, len(res.OpRoofline))

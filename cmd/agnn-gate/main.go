@@ -32,6 +32,8 @@ func main() {
 	flag.Float64Var(&tol.CommRatio, "tol-comm", tol.CommRatio, "allowed absolute CommRatio drift")
 	flag.Float64Var(&tol.PeakArenaBytes, "tol-arena", tol.PeakArenaBytes, "allowed fractional PeakArenaBytes increase")
 	flag.Float64Var(&tol.GFPerSec, "tol-gfps", tol.GFPerSec, "allowed fractional GFPerSec decrease")
+	flag.Float64Var(&tol.ServeP99Sec, "tol-serve-p99", tol.ServeP99Sec, "allowed fractional ServeP99Sec increase (engine=serve)")
+	flag.Float64Var(&tol.CacheHitRate, "tol-hitrate", tol.CacheHitRate, "allowed fractional CacheHitRate decrease (engine=serve)")
 	flag.Parse()
 
 	if *basePath == "" {

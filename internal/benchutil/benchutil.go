@@ -9,6 +9,7 @@
 package benchutil
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -25,6 +26,7 @@ import (
 	"agnn/internal/local"
 	"agnn/internal/obs"
 	"agnn/internal/obs/metrics"
+	"agnn/internal/serving"
 	"agnn/internal/sparse"
 	"agnn/internal/tensor"
 )
@@ -43,6 +45,11 @@ const (
 	EngineRows      Engine = "rows"
 	EngineLocal     Engine = "local"
 	EngineMiniBatch Engine = "minibatch"
+	// EngineServe measures online-inference serving (internal/serving):
+	// a fixed mix of per-vertex queries answered by micro-batched
+	// compiled-plan executions through the process-wide plan cache.
+	// Single-rank only; reports ServeP50Sec/ServeP99Sec/CacheHitRate.
+	EngineServe Engine = "serve"
 )
 
 // Spec describes one benchmark configuration, mirroring the command-line
@@ -130,6 +137,13 @@ type Result struct {
 	GFPerSec     float64      // aggregate estimated flops / measured plan-op seconds
 	BytesPerEdge float64      // estimated bytes moved per adjacency non-zero per execution
 	OpRoofline   []OpRoofline `json:",omitempty"` // per op class
+
+	// Serving-latency measurements (engine=serve): per-query latency
+	// quantiles over the timed runs and the plan-cache hit rate once the
+	// warmup sweep has populated the cache.
+	ServeP50Sec  float64 `json:",omitempty"`
+	ServeP99Sec  float64 `json:",omitempty"`
+	CacheHitRate float64 `json:",omitempty"`
 }
 
 // BuildGraph materializes the Spec's dataset.
@@ -200,6 +214,11 @@ func RunSpec(s Spec) (Result, error) {
 	hidden0 := metrics.OverlapHiddenSeconds.Value()
 	snap0 := metrics.Default.Snapshot()
 	switch {
+	case s.Engine == EngineServe:
+		if s.Ranks != 1 {
+			return Result{}, fmt.Errorf("benchutil: engine=serve is single-rank (got p=%d)", s.Ranks)
+		}
+		times, err = runServe(s, cfg, a, h, runs, &res)
 	case s.Ranks == 1:
 		times, err = runSingle(s, cfg, a, h, labels, runs)
 	default:
@@ -225,6 +244,8 @@ func RunSpec(s Spec) (Result, error) {
 		if s.Ranks > 1 {
 			res.PredictedWords = float64(s.Layers) * float64(st.N) * float64(s.Features)
 		}
+	case EngineServe:
+		// Single-rank serving: no communication model.
 	default:
 		res.PredictedWords = float64(s.Layers) * costmodel.LocalVolume(st.N, s.Features, st.MaxDeg, s.Ranks)
 	}
@@ -284,6 +305,78 @@ func runSingle(s Spec, cfg gnn.Config, a *sparse.CSR, h *tensor.Dense, labels []
 		}
 		times = append(times, time.Since(t0).Seconds())
 		sp.End()
+	}
+	return times, nil
+}
+
+// runServe measures online serving: a deterministic mix of per-vertex
+// queries answered sequentially through a serving.Engine. One "execution"
+// (for MedianSec) is a full sweep of the query mix; per-query latencies
+// from the timed runs yield the p50/p99, and the plan-cache hit/miss
+// deltas after the warmup sweep yield the hit rate — warmup compiles every
+// distinct query structure, so the timed sweeps should be all hits.
+func runServe(s Spec, cfg gnn.Config, a *sparse.CSR, h *tensor.Dense, runs int, res *Result) ([]float64, error) {
+	model, err := gnn.New(cfg, a)
+	if err != nil {
+		return nil, err
+	}
+	adj, err := model.Adjacency()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := serving.NewEngine(serving.Config{Model: model, Adj: adj, Features: h,
+		Window: 50 * time.Microsecond})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Stop()
+
+	// The query mix: 16 distinct 8-seed queries, fixed across runs.
+	rng := rand.New(rand.NewSource(s.Seed + 2))
+	const queries, seedsPer = 16, 8
+	qs := make([][]int, queries)
+	for i := range qs {
+		seen := make(map[int]bool, seedsPer)
+		for len(qs[i]) < seedsPer {
+			if v := rng.Intn(adj.Rows); !seen[v] {
+				seen[v] = true
+				qs[i] = append(qs[i], v)
+			}
+		}
+	}
+
+	ctx := context.Background()
+	var times, lats []float64
+	var hits0, misses0 int64
+	for r := 0; r < runs; r++ {
+		if r == s.Warmup {
+			hits0, misses0 = metrics.PlanCacheHits.Value(), metrics.PlanCacheMisses.Value()
+		}
+		t0 := time.Now()
+		for _, q := range qs {
+			q0 := time.Now()
+			if _, err := eng.Predict(ctx, q); err != nil {
+				return nil, err
+			}
+			if r >= s.Warmup {
+				lats = append(lats, time.Since(q0).Seconds())
+			}
+		}
+		times = append(times, time.Since(t0).Seconds())
+	}
+	hits := float64(metrics.PlanCacheHits.Value() - hits0)
+	misses := float64(metrics.PlanCacheMisses.Value() - misses0)
+	if hits+misses > 0 {
+		res.CacheHitRate = hits / (hits + misses)
+	}
+	sort.Float64s(lats)
+	if n := len(lats); n > 0 {
+		res.ServeP50Sec = lats[n/2]
+		i99 := int(math.Ceil(0.99*float64(n))) - 1
+		if i99 < 0 {
+			i99 = 0
+		}
+		res.ServeP99Sec = lats[i99]
 	}
 	return times, nil
 }

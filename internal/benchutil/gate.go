@@ -19,6 +19,8 @@ type Tolerances struct {
 	CommRatio      float64 // |fresh - base| absolute drift
 	PeakArenaBytes float64 // fresh may exceed base by this fraction
 	GFPerSec       float64 // fresh may fall below base by this fraction
+	ServeP99Sec    float64 // fresh may exceed base by this fraction (engine=serve)
+	CacheHitRate   float64 // fresh may fall below base by this fraction (engine=serve)
 }
 
 // DefaultTolerances are tuned for shared CI runners: generous on wall time
@@ -30,6 +32,8 @@ func DefaultTolerances() Tolerances {
 		CommRatio:      0.05,
 		PeakArenaBytes: 0.10,
 		GFPerSec:       0.50,
+		ServeP99Sec:    1.00,
+		CacheHitRate:   0.25,
 	}
 }
 
@@ -103,6 +107,8 @@ func GateCompare(base, fresh Record, tol Tolerances) GateReport {
 	rep.Checks = append(rep.Checks, checkUpper("PeakArenaBytes",
 		float64(b.PeakArenaBytes), float64(f.PeakArenaBytes), tol.PeakArenaBytes))
 	rep.Checks = append(rep.Checks, checkLower("GFPerSec", b.GFPerSec, f.GFPerSec, tol.GFPerSec))
+	rep.Checks = append(rep.Checks, checkUpper("ServeP99Sec", b.ServeP99Sec, f.ServeP99Sec, tol.ServeP99Sec))
+	rep.Checks = append(rep.Checks, checkLower("CacheHitRate", b.CacheHitRate, f.CacheHitRate, tol.CacheHitRate))
 
 	rep.Pass = true
 	for _, c := range rep.Checks {

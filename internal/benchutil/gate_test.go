@@ -11,6 +11,8 @@ func gateRecords() (Record, Record) {
 		CommRatio:      0.94,
 		PeakArenaBytes: 1 << 20,
 		GFPerSec:       2.0,
+		ServeP99Sec:    0.002,
+		CacheHitRate:   0.95,
 	}, Provenance: &Provenance{GitCommit: "aaa"}}
 	fresh := base
 	fresh.Provenance = &Provenance{GitCommit: "bbb"}
@@ -42,6 +44,8 @@ func TestGateFailsOnRegression(t *testing.T) {
 		{"CommRatio", func(r *Result) { r.CommRatio += 0.2 }},
 		{"PeakArenaBytes", func(r *Result) { r.PeakArenaBytes *= 2 }},
 		{"GFPerSec", func(r *Result) { r.GFPerSec *= 0.25 }},
+		{"ServeP99Sec", func(r *Result) { r.ServeP99Sec *= 2.5 }},
+		{"CacheHitRate", func(r *Result) { r.CacheHitRate *= 0.5 }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

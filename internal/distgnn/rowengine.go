@@ -45,8 +45,11 @@ type rowLayer struct {
 
 	// plan is the compiled per-rank inference plan over the owned row block:
 	// the layer's DAG with SetRowOffset(Lo), so score closures index the
-	// full-height (allgathered) factors with global row ids.
-	plan *fuse.Plan
+	// full-height (allgathered) factors with global row ids. It is leased
+	// from the process-wide plan cache (fuse.Shared) for the engine's
+	// lifetime; Close returns the leases.
+	lease fuse.Lease
+	plan  *fuse.Plan
 	// pp is the arrival-gated partition of plan, present when overlap is on.
 	pp *fuse.PartitionedPlan
 }
@@ -111,17 +114,40 @@ func NewRowEngine(c *dist.Comm, a *sparse.CSR, cfg gnn.Config) (*RowEngine, erro
 			rl.a1 = gnn.NewParam("a1", tensor.GlorotInit(out, 1, rng))
 			rl.a2 = gnn.NewParam("a2", tensor.GlorotInit(out, 1, rng))
 		}
-		rl.plan = e.compileLayerPlan(rl, in)
+		rl.lease = fuse.Shared.Get(fuse.KeyFor(e.aRows, in, e.layerSig(rl, l, in)),
+			func(ws *tensor.Arena) *fuse.Plan { return e.compileLayerPlan(rl, in, ws) })
+		rl.plan = rl.lease.Plan()
 		e.layers = append(e.layers, rl)
 	}
 	return e, nil
+}
+
+// layerSig is the plan-cache signature of one per-rank layer plan: model,
+// rank and row offset (the plan bakes SetRowOffset(Lo) into its score
+// closures), full height, activation, options, and the identities of the
+// parameters the plan closes over.
+func (e *RowEngine) layerSig(rl rowLayer, layer, in int) string {
+	return fmt.Sprintf("row|%v|l%d|rank=%d|off=%d|n=%d|act=%s|slope=%g|%p|%p|%p|%p",
+		e.cfg.Model, layer, e.C.Rank(), e.Lo, e.Part.N, rowAct(rl.act).Name,
+		e.cfg.NegSlope, rl.w, rl.a1, rl.a2, rl.beta)
+}
+
+// Close releases the engine's plan leases back to the shared cache, where
+// their workspaces become evictable. The engine must not Forward after
+// Close.
+func (e *RowEngine) Close() {
+	for i := range e.layers {
+		e.layers[i].lease.Release()
+		e.layers[i].plan = nil
+		e.layers[i].pp = nil
+	}
 }
 
 // compileLayerPlan builds one layer's execution DAG over the owned row
 // block and compiles it into a reusable inference plan. The row offset
 // shifts local pattern rows into global indices, so the virtual score
 // closures read the full-height allgathered factors directly.
-func (e *RowEngine) compileLayerPlan(rl rowLayer, in int) *fuse.Plan {
+func (e *RowEngine) compileLayerPlan(rl rowLayer, in int, ws *tensor.Arena) *fuse.Plan {
 	g := fuse.NewGraph(fmt.Sprintf("row-%v", e.cfg.Model), e.aRows)
 	g.SetRowOffset(e.Lo)
 	h := g.InputDense("H", e.Part.N, in)
@@ -153,7 +179,7 @@ func (e *RowEngine) compileLayerPlan(rl rowLayer, in int) *fuse.Plan {
 	default:
 		panic("unreachable")
 	}
-	return g.MustCompile(fuse.Options{SpanPrefix: fmt.Sprintf("row%d.", e.C.Rank())})
+	return g.MustCompile(fuse.Options{SpanPrefix: fmt.Sprintf("row%d.", e.C.Rank()), Workspace: ws})
 }
 
 // EnableOverlap switches Forward to overlapped execution: the feature

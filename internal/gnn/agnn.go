@@ -99,7 +99,9 @@ func (l *AGNNLayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {
 // virtual chain H·Hᵀ ⊘ n·nᵀ scaled by β collapses into the softmax sampling
 // sweep (mask+softmax fuse into one kernel), matching the Figure 5 analysis.
 func (l *AGNNLayer) ensurePlan(in int) *fuse.Plan {
-	return l.pc.get(l.A, in, func(ws *tensor.Arena) *fuse.Plan {
+	return l.pc.get(l.A, in, func() string {
+		return planSig("agnn", true, l.Act, "", l.W, l.Beta)
+	}, func(ws *tensor.Arena) *fuse.Plan {
 		g := fuse.NewGraph("agnn", l.A)
 		h := g.InputDense("H", l.A.Rows, in)
 		wn := g.ParamNode("W", planRef(l.W))
@@ -117,6 +119,8 @@ func (l *AGNNLayer) ensurePlan(in int) *fuse.Plan {
 // Plan returns the compiled training plan (nil before the first planned
 // training-mode Forward).
 func (l *AGNNLayer) Plan() *fuse.Plan { return l.pc.plan }
+
+func (l *AGNNLayer) releasePlans() { l.pc.release() }
 
 // Backward implements Layer.
 func (l *AGNNLayer) Backward(gOut *tensor.Dense) *tensor.Dense {

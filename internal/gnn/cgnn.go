@@ -58,7 +58,9 @@ func (l *GINLayer) Params() []*Param { return []*Param{l.W1, l.W2, l.Eps} }
 // ensurePlan compiles GIN's DAG — aggregation, the (1+ε) combine, and the
 // two-layer MLP — into a reusable training plan.
 func (l *GINLayer) ensurePlan(in int) *fuse.Plan {
-	return l.pc.get(l.A, in, func(ws *tensor.Arena) *fuse.Plan {
+	return l.pc.get(l.A, in, func() string {
+		return planSig("gin", true, l.Act, "mlpact="+planAct(l.ActMLP).Name, l.W1, l.W2, l.Eps)
+	}, func(ws *tensor.Arena) *fuse.Plan {
 		g := fuse.NewGraph("gin", l.A)
 		h := g.InputDense("H", l.A.Rows, in)
 		w1 := g.ParamNode("W1", planRef(l.W1))
@@ -75,6 +77,8 @@ func (l *GINLayer) ensurePlan(in int) *fuse.Plan {
 // Plan returns the compiled training plan (nil before the first planned
 // training-mode Forward).
 func (l *GINLayer) Plan() *fuse.Plan { return l.pc.plan }
+
+func (l *GINLayer) releasePlans() { l.pc.release() }
 
 // Forward implements Layer.
 func (l *GINLayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {
@@ -167,7 +171,9 @@ func (l *SGCLayer) Params() []*Param { return []*Param{l.W} }
 // ensurePlan compiles SGC's DAG — K chained propagation hops and one
 // projection — into a reusable training plan.
 func (l *SGCLayer) ensurePlan(in int) *fuse.Plan {
-	return l.pc.get(l.A, in, func(ws *tensor.Arena) *fuse.Plan {
+	return l.pc.get(l.A, in, func() string {
+		return planSig("sgc", true, l.Act, fmt.Sprintf("K=%d", l.K), l.W)
+	}, func(ws *tensor.Arena) *fuse.Plan {
 		g := fuse.NewGraph("sgc", l.A)
 		h := g.InputDense("H", l.A.Rows, in)
 		wn := g.ParamNode("W", planRef(l.W))
@@ -184,6 +190,8 @@ func (l *SGCLayer) ensurePlan(in int) *fuse.Plan {
 // Plan returns the compiled training plan (nil before the first planned
 // training-mode Forward).
 func (l *SGCLayer) Plan() *fuse.Plan { return l.pc.plan }
+
+func (l *SGCLayer) releasePlans() { l.pc.release() }
 
 // Forward implements Layer.
 func (l *SGCLayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {

@@ -1,6 +1,7 @@
 package gnn
 
 import (
+	"fmt"
 	"math/rand"
 
 	"agnn/internal/fuse"
@@ -72,7 +73,9 @@ func (l *GATLayer) Params() []*Param { return []*Param{l.W, l.A1, l.A2} }
 // ensurePlan compiles GAT's DAG into a reusable training plan. The virtual
 // chain u·1ᵀ + 1·vᵀ → LeakyReLU fuses into the softmax sampling sweep.
 func (l *GATLayer) ensurePlan(in int) *fuse.Plan {
-	return l.pc.get(l.A, in, func(ws *tensor.Arena) *fuse.Plan {
+	return l.pc.get(l.A, in, func() string {
+		return planSig("gat", true, l.Act, fmt.Sprintf("slope=%g", l.NegSlope), l.W, l.A1, l.A2)
+	}, func(ws *tensor.Arena) *fuse.Plan {
 		g := fuse.NewGraph("gat", l.A)
 		h := g.InputDense("H", l.A.Rows, in)
 		wn := g.ParamNode("W", planRef(l.W))
@@ -93,6 +96,8 @@ func (l *GATLayer) ensurePlan(in int) *fuse.Plan {
 // Plan returns the compiled training plan (nil before the first planned
 // training-mode Forward).
 func (l *GATLayer) Plan() *fuse.Plan { return l.pc.plan }
+
+func (l *GATLayer) releasePlans() { l.pc.release() }
 
 // Forward implements Layer.
 func (l *GATLayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {

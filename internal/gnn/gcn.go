@@ -45,7 +45,9 @@ func (l *GCNLayer) Params() []*Param { return []*Param{l.W} }
 
 // ensurePlan compiles Z = Â·(H·W), σ into a reusable training plan.
 func (l *GCNLayer) ensurePlan(in int) *fuse.Plan {
-	return l.pc.get(l.A, in, func(ws *tensor.Arena) *fuse.Plan {
+	return l.pc.get(l.A, in, func() string {
+		return planSig("gcn", true, l.Act, "", l.W)
+	}, func(ws *tensor.Arena) *fuse.Plan {
 		g := fuse.NewGraph("gcn", l.A)
 		h := g.InputDense("H", l.A.Rows, in)
 		w := g.ParamNode("W", planRef(l.W))
@@ -58,6 +60,8 @@ func (l *GCNLayer) ensurePlan(in int) *fuse.Plan {
 // Plan returns the compiled training plan (nil before the first planned
 // training-mode Forward).
 func (l *GCNLayer) Plan() *fuse.Plan { return l.pc.plan }
+
+func (l *GCNLayer) releasePlans() { l.pc.release() }
 
 // Forward implements Layer.
 func (l *GCNLayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {

@@ -161,7 +161,11 @@ func (l *GenericLayer) plannable() bool {
 // ensurePlan compiles the assembled Ψ/⊕/Φ DAG. The plan is a training plan
 // exactly when CanTrain passes; otherwise (semiring ⊕) it is forward-only.
 func (l *GenericLayer) ensurePlan(in int) *fuse.Plan {
-	return l.pc.get(l.A, in, func(ws *tensor.Arena) *fuse.Plan {
+	return l.pc.get(l.A, in, func() string {
+		extra := fmt.Sprintf("psi=%s|agg=%s|phi=%s|phiFirst=%t|phiAct=%s",
+			l.Psi.Kind, l.Agg.Kind, l.Phi.Kind, l.PhiFirst, planAct(l.Phi.Act).Name)
+		return planSig("generic", l.CanTrain() == nil, l.Act, extra, l.phiParams()...)
+	}, func(ws *tensor.Arena) *fuse.Plan {
 		train := l.CanTrain() == nil
 		g := fuse.NewGraph("generic", l.A)
 		h := g.InputDense("H", l.A.Rows, in)
@@ -209,6 +213,8 @@ func (l *GenericLayer) ensurePlan(in int) *fuse.Plan {
 
 // Plan returns the compiled plan (nil before the first planned Forward).
 func (l *GenericLayer) Plan() *fuse.Plan { return l.pc.plan }
+
+func (l *GenericLayer) releasePlans() { l.pc.release() }
 
 // Forward implements Layer (Eq. 1).
 func (l *GenericLayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {

@@ -61,6 +61,12 @@ func (l *MultiHeadGATLayer) Params() []*Param {
 	return ps
 }
 
+func (l *MultiHeadGATLayer) releasePlans() {
+	for _, h := range l.Heads {
+		h.releasePlans()
+	}
+}
+
 // OutDim returns the layer's output dimensionality.
 func (l *MultiHeadGATLayer) OutDim() int {
 	if l.Concat {

@@ -1,6 +1,9 @@
 package gnn
 
 import (
+	"fmt"
+	"strings"
+
 	"agnn/internal/fuse"
 	"agnn/internal/sparse"
 	"agnn/internal/tensor"
@@ -29,30 +32,102 @@ func planAct(a Activation) fuse.Act {
 	return fuse.Act{Name: a.Name, F: a.F, DF: a.DF}
 }
 
-// planCache lazily compiles and caches one layer's plan, keyed on the
-// adjacency matrix and the input feature width. Rebinding the layer to a new
-// adjacency (RebindAdjacency, mini-batching) or feeding a different feature
-// width triggers a recompile; the old plan's buffers are released into the
-// layer-local arena first, so recompiles over same-shape graphs recycle the
-// workspace instead of growing it.
+// planCache resolves one layer's compiled plan through the process-wide
+// fuse.Shared cache. The steady-state path is a pointer comparison: as long
+// as the layer keeps seeing the same adjacency pointer and input width, the
+// leased plan is returned with zero allocations and zero hashing. Only a
+// rebind (new adjacency pointer) or a width change goes to the shared
+// cache, where the adjacency's content fingerprint × input width × layer
+// signature either finds an already compiled plan (mini-batch rotation,
+// serving fan-out) or compiles one into the cache.
+//
+// The layer signature is computed once per layer instance (layer kind,
+// structural options and parameter identities are fixed after
+// construction) and memoized.
 type planCache struct {
-	plan *fuse.Plan
-	a    *sparse.CSR
-	in   int
-	ws   *tensor.Arena
+	lease fuse.Lease
+	plan  *fuse.Plan
+	a     *sparse.CSR
+	in    int
+	sig   string
 }
 
-func (c *planCache) get(a *sparse.CSR, in int, build func(ws *tensor.Arena) *fuse.Plan) *fuse.Plan {
+func (c *planCache) get(a *sparse.CSR, in int, sig func() string, build func(ws *tensor.Arena) *fuse.Plan) *fuse.Plan {
 	if c.plan != nil && c.a == a && c.in == in {
 		return c.plan
 	}
-	if c.ws == nil {
-		c.ws = tensor.NewArena()
+	if c.sig == "" {
+		c.sig = sig()
 	}
-	if c.plan != nil {
-		c.plan.Release()
-	}
-	c.plan = build(c.ws)
+	c.release()
+	c.lease = fuse.Shared.Get(fuse.KeyFor(a, in, c.sig), build)
+	c.plan = c.lease.Plan()
 	c.a, c.in = a, in
 	return c.plan
+}
+
+// release returns the leased plan to the shared cache. The layer keeps its
+// memoized signature; the next Forward re-leases (a cache hit when the
+// same structure comes around again).
+func (c *planCache) release() {
+	if c.plan == nil {
+		return
+	}
+	c.lease.Release()
+	c.plan = nil
+	c.a = nil
+	c.in = 0
+}
+
+// planSig renders a layer signature: the layer kind, its structural
+// options, and the identities of the parameters the plan closes over.
+// Parameter identity (pointer, not value) is what keeps two models with
+// identical shapes from sharing plans — a compiled plan reads and writes
+// the specific Value/Grad buffers it captured.
+func planSig(kind string, train bool, act Activation, extra string, params ...*Param) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|train=%t|act=%s", kind, train, planAct(act).Name)
+	if extra != "" {
+		b.WriteByte('|')
+		b.WriteString(extra)
+	}
+	for _, p := range params {
+		fmt.Fprintf(&b, "|%p", p)
+	}
+	return b.String()
+}
+
+// planReleaser is implemented by layers that hold cached-plan leases.
+type planReleaser interface {
+	releasePlans()
+}
+
+// PlannedForward runs one inference pass through the layers' compiled
+// plans — the serving execution path. It is Forward with two differences:
+// dropout layers are skipped (inference semantics) and every other layer
+// takes its plan-backed branch, so repeated structures resolve through the
+// process-wide plan cache instead of re-executing the direct kernels. The
+// returned matrix is plan-owned: copy out the rows you need before calling
+// ReleasePlans or running another batch.
+func (m *Model) PlannedForward(h *tensor.Dense) *tensor.Dense {
+	for _, l := range m.Layers {
+		if _, ok := l.(*DropoutLayer); ok {
+			continue
+		}
+		h = l.Forward(h, true)
+	}
+	return h
+}
+
+// ReleasePlans returns every layer's leased plan to the shared cache. Call
+// it when a model (or a rebound mini-batch view of one) is done executing
+// for now: released plans stay compiled in the cache, so the next model
+// that binds the same adjacency structure — including this one — reuses
+// them without recompiling.
+func (m *Model) ReleasePlans() {
+	for _, l := range m.Layers {
+		if r, ok := l.(planReleaser); ok {
+			r.releasePlans()
+		}
+	}
 }

@@ -30,6 +30,17 @@ func RebindAdjacency(src *Model, a *sparse.CSR) (*Model, error) {
 				Act: ll.Act, NegSlope: ll.NegSlope})
 		case *GCNLayer:
 			out.Layers = append(out.Layers, &GCNLayer{A: a, AT: at, W: ll.W, Act: ll.Act})
+		case *GINLayer:
+			out.Layers = append(out.Layers, &GINLayer{A: a, AT: at, W1: ll.W1, W2: ll.W2,
+				Eps: ll.Eps, ActMLP: ll.ActMLP, Act: ll.Act})
+		case *SGCLayer:
+			out.Layers = append(out.Layers, &SGCLayer{A: a, AT: at, K: ll.K, W: ll.W, Act: ll.Act})
+		case *GenericLayer:
+			// phiParams is forced before copying so both models share the
+			// same *Param objects (and therefore the same plan signature).
+			ll.phiParams()
+			out.Layers = append(out.Layers, &GenericLayer{A: a, Psi: ll.Psi, Agg: ll.Agg,
+				Phi: ll.Phi, Act: ll.Act, PhiFirst: ll.PhiFirst, params: ll.params})
 		case *MultiHeadGATLayer:
 			mh := &MultiHeadGATLayer{Concat: ll.Concat, headDim: ll.headDim}
 			for _, head := range ll.Heads {
@@ -44,4 +55,75 @@ func RebindAdjacency(src *Model, a *sparse.CSR) (*Model, error) {
 		}
 	}
 	return out, nil
+}
+
+// Adjacency returns the processed adjacency the model's first graph layer
+// is bound to — the matrix with the construction-time preprocessing (self
+// loops, GCN normalization) already applied. Induced subgraphs for
+// mini-batching or serving must be taken from this matrix, not the raw
+// input graph, so that rebinding preserves the layer semantics.
+func (m *Model) Adjacency() (*sparse.CSR, error) {
+	for _, l := range m.Layers {
+		switch ll := l.(type) {
+		case *VALayer:
+			return ll.A, nil
+		case *AGNNLayer:
+			return ll.A, nil
+		case *GATLayer:
+			return ll.A, nil
+		case *GCNLayer:
+			return ll.A, nil
+		case *GINLayer:
+			return ll.A, nil
+		case *SGCLayer:
+			return ll.A, nil
+		case *GenericLayer:
+			return ll.A, nil
+		case *MultiHeadGATLayer:
+			if len(ll.Heads) > 0 {
+				return ll.Heads[0].A, nil
+			}
+		case *DropoutLayer:
+			continue
+		}
+	}
+	return nil, fmt.Errorf("gnn: model has no adjacency-bound layer")
+}
+
+// Rebind swaps the model's adjacency in place: every layer keeps its
+// parameters, options and plan-cache signature, and only the (A, Aᵀ) pair
+// changes. Combined with the process-wide plan cache this makes subgraph
+// rotation recompile-free: each layer releases its current plan lease back
+// to the cache and, on the next planned Forward, leases the plan for the
+// new adjacency — a cache hit whenever that structure has been executed
+// before. Prefer this over RebindAdjacency in loops; the latter allocates
+// fresh layer structs whose leases die with them.
+func (m *Model) Rebind(a *sparse.CSR) error {
+	at := a.Transpose()
+	for _, l := range m.Layers {
+		switch ll := l.(type) {
+		case *VALayer:
+			ll.A, ll.AT = a, at
+		case *AGNNLayer:
+			ll.A, ll.AT = a, at
+		case *GATLayer:
+			ll.A, ll.AT = a, at
+		case *GCNLayer:
+			ll.A, ll.AT = a, at
+		case *GINLayer:
+			ll.A, ll.AT = a, at
+		case *SGCLayer:
+			ll.A, ll.AT = a, at
+		case *GenericLayer:
+			ll.A = a
+		case *MultiHeadGATLayer:
+			for _, head := range ll.Heads {
+				head.A, head.AT = a, at
+			}
+		case *DropoutLayer:
+		default:
+			return fmt.Errorf("gnn: cannot rebind layer type %T", l)
+		}
+	}
+	return nil
 }

@@ -30,10 +30,21 @@ func TestRebindSharesParams(t *testing.T) {
 	}
 }
 
+// unknownLayer is a Layer implementation RebindAdjacency has no case for.
+type unknownLayer struct{}
+
+func (unknownLayer) Forward(h *tensor.Dense, training bool) *tensor.Dense { return h }
+func (unknownLayer) Backward(g *tensor.Dense) *tensor.Dense               { return g }
+func (unknownLayer) Params() []*Param                                     { return nil }
+func (unknownLayer) Name() string                                         { return "unknown" }
+
 func TestRebindRejectsUnknownLayer(t *testing.T) {
-	m := &Model{Layers: []Layer{&GenericLayer{}}}
+	m := &Model{Layers: []Layer{unknownLayer{}}}
 	if _, err := RebindAdjacency(m, testGraph(4, 92)); err == nil {
 		t.Fatal("unknown layer accepted")
+	}
+	if err := m.Rebind(testGraph(4, 92)); err == nil {
+		t.Fatal("unknown layer accepted by in-place Rebind")
 	}
 }
 

@@ -67,7 +67,9 @@ func (l *VALayer) direct() bool { return l.Direct || l.UseReferenceBackward }
 // plan: Ψ = A ⊙ (H·Hᵀ) fuses into a single SDDMM-like sampling kernel, and
 // the backward op list is derived by reverse traversal.
 func (l *VALayer) ensurePlan(in int) *fuse.Plan {
-	return l.pc.get(l.A, in, func(ws *tensor.Arena) *fuse.Plan {
+	return l.pc.get(l.A, in, func() string {
+		return planSig("va", true, l.Act, "", l.W)
+	}, func(ws *tensor.Arena) *fuse.Plan {
 		g := fuse.NewGraph("va", l.A)
 		h := g.InputDense("H", l.A.Rows, in)
 		w := g.ParamNode("W", planRef(l.W))
@@ -82,6 +84,8 @@ func (l *VALayer) ensurePlan(in int) *fuse.Plan {
 // training-mode Forward. Cost-model and observability consumers read its
 // Stats.
 func (l *VALayer) Plan() *fuse.Plan { return l.pc.plan }
+
+func (l *VALayer) releasePlans() { l.pc.release() }
 
 // Forward implements Layer.
 func (l *VALayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {

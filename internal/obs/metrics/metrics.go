@@ -216,6 +216,47 @@ func (v *CounterVec) With(value string) *Counter {
 	return child.counter
 }
 
+// GaugeVec is a family of gauges sharing a name and distinguished by one
+// label (per-endpoint latency quantiles). With resolves a child once; hot
+// paths cache the returned *Gauge.
+type GaugeVec struct {
+	r *Registry
+	m *metric
+
+	cache sync.Map // label value → *Gauge
+}
+
+// GaugeVec returns the named gauge family with the given label name.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	if !validName(label) {
+		panic(fmt.Sprintf("metrics: invalid label name %q", label))
+	}
+	m := r.lookup(name, help, "gauge", func() *metric {
+		return &metric{label: label, children: make(map[string]*metric)}
+	})
+	if m.children == nil {
+		panic(fmt.Sprintf("metrics: %q registered as an unlabeled gauge", name))
+	}
+	return &GaugeVec{r: r, m: m}
+}
+
+// With returns the child gauge for one label value, creating it on first
+// use. The fast path is one lock-free map load.
+func (v *GaugeVec) With(value string) *Gauge {
+	if g, ok := v.cache.Load(value); ok {
+		return g.(*Gauge)
+	}
+	v.r.mu.Lock()
+	child, ok := v.m.children[value]
+	if !ok {
+		child = &metric{gauge: &Gauge{}}
+		v.m.children[value] = child
+	}
+	v.r.mu.Unlock()
+	v.cache.Store(value, child.gauge)
+	return child.gauge
+}
+
 // HistogramVec is a family of histograms sharing a name and bucket layout,
 // distinguished by one label (per-op-kind kernel latency).
 type HistogramVec struct {

@@ -95,4 +95,28 @@ var (
 		"Cost-model predicted per-layer wall time (overlap-adjusted when overlap is on).")
 	LayerMeasuredSeconds = Default.Gauge("agnn_layer_measured_seconds",
 		"Measured mean per-layer wall time for the run.")
+
+	// Process-wide compiled-plan cache (internal/fuse).
+	PlanCacheHits = Default.Counter("agnn_plancache_hits",
+		"Plan-cache lookups satisfied by an already compiled plan.")
+	PlanCacheMisses = Default.Counter("agnn_plancache_misses",
+		"Plan-cache lookups that compiled a new plan.")
+	PlanCacheEvictions = Default.Counter("agnn_plancache_evictions",
+		"Compiled plans evicted from the cache to enforce the byte budget.")
+	PlanCacheBytes = Default.Gauge("agnn_plancache_bytes",
+		"Workspace bytes of idle compiled plans resident in the cache (the evictable set).")
+
+	// Online inference serving (internal/serving, cmd/agnn-serve).
+	ServeRequestsTotal = Default.CounterVec("agnn_serve_requests_total",
+		"HTTP inference requests handled, by endpoint.", "endpoint")
+	ServeRejectedTotal = Default.Counter("agnn_serve_rejected_total",
+		"Inference requests rejected with 429 by admission control (queue full).")
+	ServeRequestSeconds = Default.HistogramVec("agnn_serve_request_seconds",
+		"End-to-end latency of one inference request, by endpoint.", "endpoint", DefLatencyBuckets)
+	ServeLatencyP50 = Default.GaugeVec("agnn_serve_latency_p50_seconds",
+		"Interpolated median request latency since startup, by endpoint.", "endpoint")
+	ServeLatencyP99 = Default.GaugeVec("agnn_serve_latency_p99_seconds",
+		"Interpolated 99th-percentile request latency since startup, by endpoint.", "endpoint")
+	ServeBatchVertices = Default.Histogram("agnn_serve_batch_vertices",
+		"Seed vertices coalesced into one micro-batched plan execution.", ExpBuckets(1, 2, 12))
 )

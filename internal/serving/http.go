@@ -1,0 +1,112 @@
+package serving
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"agnn/internal/obs/metrics"
+	"agnn/internal/obs/serve"
+)
+
+// PredictRequest is the POST /v1/predict body.
+type PredictRequest struct {
+	Vertices []int `json:"vertices"`
+}
+
+// PredictResponse is the /v1/predict reply.
+type PredictResponse struct {
+	Predictions []Prediction `json:"predictions"`
+}
+
+// EgoRequest is the POST /v1/ego body. Hops 0 uses the model depth.
+type EgoRequest struct {
+	Vertex int `json:"vertex"`
+	Hops   int `json:"hops"`
+}
+
+// EgoResponse is the /v1/ego reply.
+type EgoResponse struct {
+	Prediction
+	Hops int `json:"hops"`
+}
+
+// Handler returns the serving mux: POST /v1/predict and POST /v1/ego on
+// top of the standard diagnostics endpoints (/metrics, /healthz, /report,
+// pprof) from internal/obs/serve. Every inference endpoint records a
+// per-endpoint request counter and latency histogram, plus live p50/p99
+// gauges derived from the histogram.
+func Handler(e *Engine, opt serve.Options) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", serve.Handler(opt))
+	mux.HandleFunc("/v1/predict", func(w http.ResponseWriter, r *http.Request) {
+		instrument("predict", w, r, func() (any, error) {
+			var req PredictRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				return nil, badRequest{err}
+			}
+			preds, err := e.Predict(r.Context(), req.Vertices)
+			if err != nil {
+				return nil, err
+			}
+			return PredictResponse{Predictions: preds}, nil
+		})
+	})
+	mux.HandleFunc("/v1/ego", func(w http.ResponseWriter, r *http.Request) {
+		instrument("ego", w, r, func() (any, error) {
+			var req EgoRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				return nil, badRequest{err}
+			}
+			p, err := e.Ego(r.Context(), req.Vertex, req.Hops)
+			if err != nil {
+				return nil, err
+			}
+			hops := req.Hops
+			if hops <= 0 {
+				hops = e.Hops()
+			}
+			return EgoResponse{Prediction: p, Hops: hops}, nil
+		})
+	})
+	return mux
+}
+
+// badRequest marks a client error (malformed body, bad vertex id) → 400.
+type badRequest struct{ error }
+
+// instrument runs one inference handler with method enforcement, latency
+// accounting and error → status mapping.
+func instrument(endpoint string, w http.ResponseWriter, r *http.Request, fn func() (any, error)) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	metrics.ServeRequestsTotal.With(endpoint).Inc()
+	t0 := time.Now()
+	payload, err := fn()
+	dt := time.Since(t0).Seconds()
+	h := metrics.ServeRequestSeconds.With(endpoint)
+	h.Observe(dt)
+	metrics.ServeLatencyP50.With(endpoint).Set(h.Quantile(0.5))
+	metrics.ServeLatencyP99.With(endpoint).Set(h.Quantile(0.99))
+	if err != nil {
+		var br badRequest
+		switch {
+		case errors.As(err, &br), errors.Is(err, ErrBadRequest):
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		case errors.Is(err, ErrOverloaded):
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+		case errors.Is(err, ErrStopped):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(payload); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

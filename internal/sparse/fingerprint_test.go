@@ -1,0 +1,61 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomCSR(n, m int, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	c := NewCOO(n, n, m)
+	for i := 0; i < m; i++ {
+		c.Row = append(c.Row, int32(rng.Intn(n)))
+		c.Col = append(c.Col, int32(rng.Intn(n)))
+		c.Val = append(c.Val, rng.Float64())
+	}
+	return FromCOO(c)
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	a := randomCSR(64, 512, 1)
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Fatal("fingerprint is not deterministic")
+	}
+	b := a.Clone()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("clone fingerprint differs from original")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	a := randomCSR(64, 512, 1)
+	fp := a.Fingerprint()
+
+	// Different pattern (another seed) must differ.
+	if randomCSR(64, 512, 2).Fingerprint() == fp {
+		t.Fatal("distinct random matrices share a fingerprint")
+	}
+
+	// Same pattern, one perturbed value must differ: values are part of
+	// the contract (weighted adjacencies compile to different constants).
+	v := a.Clone()
+	v.Val[len(v.Val)/2] += 1e-9
+	if v.Fingerprint() == fp {
+		t.Fatal("value perturbation did not change the fingerprint")
+	}
+
+	// Same nnz and values, different dimensions must differ.
+	d := a.Clone()
+	d.Cols++
+	if d.Fingerprint() == fp {
+		t.Fatal("dimension change did not change the fingerprint")
+	}
+}
+
+func TestFingerprintEmpty(t *testing.T) {
+	a := FromCOO(NewCOO(4, 4, 0))
+	b := FromCOO(NewCOO(5, 5, 0))
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("empty matrices of different sizes share a fingerprint")
+	}
+}
