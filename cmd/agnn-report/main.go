@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"agnn/internal/obs"
+	"agnn/internal/obs/causal"
 	"agnn/internal/obs/metrics"
 )
 
@@ -95,12 +96,64 @@ func reportMetrics(w io.Writer, path string, rep *obs.Report) {
 				attrCell(ts.Attrs, "bytes"), attrCell(ts.Attrs, "msgs"))
 		}
 	}
+	if rep.CriticalPath != nil {
+		renderCriticalPath(w, rep.CriticalPath)
+	}
 	if rep.Metrics != nil {
 		renderMetricsSnapshot(w, rep.Metrics)
 	} else {
 		// Optional section: run-reports written before the registry snapshot
 		// existed still render their span tables — warn, don't fail.
 		fmt.Fprintf(os.Stderr, "agnn-report: %s: no metrics snapshot (older run-report?); skipping registry sections\n", path)
+	}
+}
+
+// renderCriticalPath renders the cross-rank critical-path reconstruction
+// (internal/obs/causal): the per-class time split, the top contributors
+// with their rank/superstep attribution, the per-rank blocked-wait
+// fractions, and the share of collective time hidden by overlap.
+func renderCriticalPath(w io.Writer, s *causal.Summary) {
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "### critical path (cross-rank)")
+	fmt.Fprintln(w)
+	pct := func(ns int64) float64 {
+		if s.PathNs == 0 {
+			return 0
+		}
+		return 100 * float64(ns) / float64(s.PathNs)
+	}
+	fmt.Fprintf(w, "path %s across %d rank(s), %d cross-rank hop(s), coverage %.2f",
+		time.Duration(s.PathNs).Round(time.Microsecond), s.Ranks, s.Hops, s.Coverage)
+	if len(s.Epochs) > 0 {
+		fmt.Fprintf(w, ", %d epoch window(s)", len(s.Epochs))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "compute %.1f%% · collective %.1f%% · wait %.1f%% · checkpoint %.1f%%\n",
+		pct(s.ComputeNs), pct(s.CollectiveNs), pct(s.WaitNs), pct(s.CheckpointNs))
+	if s.OverlapHiddenPct > 0 {
+		fmt.Fprintf(w, "collective time hidden by overlap (off-path): %.1f%%\n", s.OverlapHiddenPct)
+	}
+	if s.DroppedEvents > 0 {
+		fmt.Fprintf(w, "warning: %d causal events dropped (per-rank cap); attribution is partial\n", s.DroppedEvents)
+	}
+	if len(s.Top) > 0 {
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "| rank | step | class | name | time | % of path |")
+		fmt.Fprintln(w, "|---|---|---|---|---|---|")
+		for _, c := range s.Top {
+			fmt.Fprintf(w, "| %d | %d | %s | %s | %s | %.1f |\n",
+				c.Rank, c.Step, c.Class, c.Name,
+				time.Duration(c.Ns).Round(time.Microsecond), c.Pct)
+		}
+	}
+	if len(s.PerRankWait) > 0 {
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "| rank | blocked wait | window fraction |")
+		fmt.Fprintln(w, "|---|---|---|")
+		for _, rw := range s.PerRankWait {
+			fmt.Fprintf(w, "| %d | %s | %.3f |\n", rw.Rank,
+				time.Duration(rw.BlockedNs).Round(time.Microsecond), rw.Frac)
+		}
 	}
 }
 

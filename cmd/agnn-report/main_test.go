@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"agnn/internal/obs"
+	"agnn/internal/obs/causal"
 	"agnn/internal/obs/metrics"
 )
 
@@ -27,6 +28,27 @@ func deterministicReport() *obs.Report {
 			{Track: "main", Spans: 1},
 			{Track: "rank 0", Spans: 3, Open: 1, Attrs: map[string]int64{"bytes": 2048, "msgs": 4}},
 			{Track: "rank 1", Spans: 3, Attrs: map[string]int64{"bytes": 2048, "msgs": 4}},
+		},
+		CriticalPath: &causal.Summary{
+			Schema: causal.SummarySchema, Ranks: 2,
+			WindowStartNs: 0, WindowEndNs: 10_000_000,
+			PathNs: 10_000_000, Coverage: 1.0, Hops: 3,
+			ComputeNs: 6_000_000, CollectiveNs: 2_500_000,
+			WaitNs: 1_000_000, CheckpointNs: 500_000,
+			OverlapHiddenPct: 37.5,
+			Top: []causal.Contributor{
+				{Rank: 1, Step: 4, Class: causal.ClassCompute, Name: "sddmm", Ns: 4_000_000, Pct: 40},
+				{Rank: 0, Step: 5, Class: causal.ClassCollective, Name: "allgather", Ns: 2_500_000, Pct: 25},
+				{Rank: 0, Step: 5, Class: causal.ClassWait, Name: "blocked-recv", Ns: 1_000_000, Pct: 10},
+			},
+			PerRankWait: []causal.RankWait{
+				{Rank: 0, BlockedNs: 1_200_000, Frac: 0.12},
+				{Rank: 1, BlockedNs: 150_000, Frac: 0.015},
+			},
+			Epochs: []causal.EpochPath{
+				{Epoch: 0, WindowNs: 10_000_000, ComputeNs: 6_000_000,
+					CollectiveNs: 2_500_000, WaitNs: 1_000_000, CheckpointNs: 500_000, Hops: 3},
+			},
 		},
 		Metrics: &metrics.Snapshot{
 			Counters: []metrics.CounterSnap{
@@ -106,10 +128,11 @@ func TestReportOmitsAbsentOptionalSections(t *testing.T) {
 		}
 	}
 	rep.Metrics.Histograms = hists
+	rep.CriticalPath = nil
 
 	var buf bytes.Buffer
 	reportMetrics(&buf, "lean.json", rep)
-	for _, absent := range []string{"roofline", "straggler"} {
+	for _, absent := range []string{"roofline", "straggler", "critical path"} {
 		if bytes.Contains(buf.Bytes(), []byte(absent)) {
 			t.Fatalf("section %q rendered without data:\n%s", absent, buf.Bytes())
 		}

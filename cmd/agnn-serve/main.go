@@ -37,6 +37,7 @@ import (
 	"agnn/internal/fuse"
 	"agnn/internal/gnn"
 	"agnn/internal/graph"
+	"agnn/internal/obs/flight"
 	"agnn/internal/obs/serve"
 	"agnn/internal/serving"
 )
@@ -62,7 +63,15 @@ func main() {
 	window := flag.Duration("window", 2*time.Millisecond, "micro-batch collection window")
 	queueDepth := flag.Int("queue-depth", 0, "admission queue depth (0 = 4×max-batch)")
 	runners := flag.Int("runners", 1, "batch-execution goroutines")
+	flightDir := flag.String("flight-dir", "", "write flight-recorder dumps (SIGQUIT, shutdown) to this directory (default $AGNN_FLIGHT_DIR)")
 	flag.Parse()
+
+	if *flightDir != "" {
+		flight.SetDumpDir(*flightDir)
+	}
+	// SIGQUIT dumps the flight recorder's recent-event ring — the
+	// postmortem for a hung server.
+	flight.NotifySignal(syscall.SIGQUIT)
 
 	kind, err := gnn.ParseKind(*model)
 	fatal(err)
@@ -129,6 +138,11 @@ func main() {
 	defer cancel()
 	_ = httpSrv.Shutdown(sctx)
 	eng.Stop()
+	// Clean shutdown leaves the same agnn-flight/v1 artifact the crash path
+	// writes, so request history is inspectable either way.
+	if path := flight.OnShutdown(); path != "" {
+		fmt.Printf("flight dump: %s\n", path)
+	}
 }
 
 func fatal(err error) {

@@ -55,6 +55,8 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 1, "epochs between checkpoints")
 	resume := flag.Bool("resume", false, "resume from the latest checkpoint in -checkpoint-dir")
 	maxRestarts := flag.Int("max-restarts", 3, "world rebuilds tolerated before giving up (distributed mode)")
+	stragFactor := flag.Float64("straggler-factor", 0, "flag a rank as straggler when its superstep wait exceeds this multiple of the cross-rank median (0 = default 4)")
+	stragFloor := flag.Duration("straggler-floor", 0, "minimum superstep wait ever flagged as a straggler (0 = default 100µs)")
 	var o obs.CLI
 	o.Register(flag.CommandLine)
 	flag.Parse()
@@ -89,7 +91,8 @@ func main() {
 			fatal(fmt.Errorf("-load is single-node only; distributed runs resume with -checkpoint-dir and -resume"))
 		}
 		trainDistributed(m, ds, cfg, *ranks, *epochs, *lr,
-			*faultSpec, *faultSeed, *ckptDir, *ckptEvery, *resume, *maxRestarts)
+			*faultSpec, *faultSeed, *ckptDir, *ckptEvery, *resume, *maxRestarts,
+			*stragFactor, *stragFloor)
 		if *savePath != "" {
 			fatal(gnn.SaveWeightsFile(*savePath, m))
 			fmt.Printf("saved weights to %s\n", *savePath)
@@ -146,7 +149,8 @@ func main() {
 // final replicated weights back into m for evaluation and -save.
 func trainDistributed(m *gnn.Model, ds *graph.Dataset, cfg gnn.Config,
 	ranks, epochs int, lr float64, faultSpec string, faultSeed int64,
-	ckptDir string, ckptEvery int, resume bool, maxRestarts int) {
+	ckptDir string, ckptEvery int, resume bool, maxRestarts int,
+	stragFactor float64, stragFloor time.Duration) {
 
 	var inj *faults.Injector
 	if faultSpec != "" {
@@ -170,6 +174,8 @@ func trainDistributed(m *gnn.Model, ds *graph.Dataset, cfg gnn.Config,
 		Resume:          resume,
 		Faults:          inj,
 		MaxRestarts:     maxRestarts,
+		StragglerFactor: stragFactor,
+		StragglerFloor:  stragFloor,
 
 		OnEpoch: func(epoch int, loss float64) {
 			e := epoch + 1

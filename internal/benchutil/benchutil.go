@@ -25,6 +25,7 @@ import (
 	"agnn/internal/graph"
 	"agnn/internal/local"
 	"agnn/internal/obs"
+	"agnn/internal/obs/causal"
 	"agnn/internal/obs/metrics"
 	"agnn/internal/serving"
 	"agnn/internal/sparse"
@@ -144,6 +145,13 @@ type Result struct {
 	ServeP50Sec  float64 `json:",omitempty"`
 	ServeP99Sec  float64 `json:",omitempty"`
 	CacheHitRate float64 `json:",omitempty"`
+
+	// Cross-rank critical path (Ranks > 1 with tracing on; reconstructed
+	// from the causal message log, see internal/obs/causal and
+	// costmodel.ValidateCriticalPath).
+	CritPathSec     float64 `json:",omitempty"` // mean critical-path wall time per timed execution
+	CritPathWaitSec float64 `json:",omitempty"` // mean blocked-wait seconds on the path per execution
+	CritPathRatio   float64 `json:",omitempty"` // measured path / α-β-γ predicted epoch time
 }
 
 // BuildGraph materializes the Spec's dataset.
@@ -273,6 +281,25 @@ func RunSpec(s Spec) (Result, error) {
 			res.PredictedLayerSec = costmodel.SequentialLayerTime(computeSec, commSec)
 		}
 		res.LayerTimeRatio = costmodel.ValidateTime(res.PredictedLayerSec, res.MeanLayerSec).Ratio
+
+		// Causal critical path: the runDistributed loops mark every timed
+		// execution as an epoch window on rank 0, so the reconstruction
+		// (when -trace/-metrics enabled causal stamping) yields one
+		// per-execution path; validate its mean against the α-β-γ epoch
+		// prediction and publish the agnn_critpath_* gauges.
+		if sum := obs.CriticalPath(); sum != nil && len(sum.Epochs) > 0 {
+			var winNs, waitNs int64
+			for _, ep := range sum.Epochs {
+				winNs += ep.WindowNs
+				waitNs += ep.WaitNs
+			}
+			n := float64(len(sum.Epochs))
+			res.CritPathSec = float64(winNs) / n / 1e9
+			res.CritPathWaitSec = float64(waitNs) / n / 1e9
+			res.CritPathRatio = costmodel.ValidateCriticalPath(
+				res.PredictedLayerSec*float64(s.Layers), res.CritPathSec).Ratio
+			obs.PublishCriticalPath(sum)
+		}
 	}
 	return res, nil
 }
@@ -381,6 +408,28 @@ func runServe(s Spec, cfg gnn.Config, a *sparse.CSR, h *tensor.Dense, runs int, 
 	return times, nil
 }
 
+// epochMarker brackets each timed execution as a causal epoch window on
+// rank 0 — the analysis windows of the critical-path reconstruction.
+// Warmup executions are not marked; epoch e is timed execution e.
+type epochMarker struct {
+	clog *causal.Log
+	rank int
+	warm int
+	t0   int64
+}
+
+func (m *epochMarker) begin(r int) {
+	if m.clog != nil && m.rank == 0 && r >= m.warm {
+		m.t0 = m.clog.Now()
+	}
+}
+
+func (m *epochMarker) end(r int) {
+	if m.clog != nil && m.rank == 0 && r >= m.warm {
+		m.clog.Rank(0).MarkEpoch(int64(r-m.warm), m.t0, m.clog.Now())
+	}
+}
+
 // runDistributed executes the multi-rank configurations on the simulated
 // runtime, timing rank 0 between barriers.
 func runDistributed(s Spec, cfg gnn.Config, a *sparse.CSR, h *tensor.Dense, labels []int, runs int) ([]float64, int64, int64, error) {
@@ -404,6 +453,7 @@ func runDistributed(s Spec, cfg gnn.Config, a *sparse.CSR, h *tensor.Dense, labe
 			}
 			mu.Unlock()
 		}
+		em := epochMarker{clog: causal.Get(), rank: c.Rank(), warm: s.Warmup}
 		switch s.Engine {
 		case EngineGlobal:
 			e, err := distgnn.NewGlobalEngine(c, a, cfg)
@@ -415,6 +465,7 @@ func runDistributed(s Spec, cfg gnn.Config, a *sparse.CSR, h *tensor.Dense, labe
 			opt := gnn.NewSGD(1e-4, 0)
 			for r := 0; r < runs; r++ {
 				c.Barrier()
+				em.begin(r)
 				sp := c.StartSpan("execution")
 				t0 := time.Now()
 				if s.Inference {
@@ -424,6 +475,7 @@ func runDistributed(s Spec, cfg gnn.Config, a *sparse.CSR, h *tensor.Dense, labe
 				}
 				sp.End()
 				c.Barrier()
+				em.end(r)
 				if c.Rank() == 0 {
 					mu.Lock()
 					times = append(times, time.Since(t0).Seconds())
@@ -449,6 +501,7 @@ func runDistributed(s Spec, cfg gnn.Config, a *sparse.CSR, h *tensor.Dense, labe
 			hOwned := h.SliceRows(e.Lo, e.Hi).Clone()
 			for r := 0; r < runs; r++ {
 				c.Barrier()
+				em.begin(r)
 				sp := c.StartSpan("execution")
 				t0 := time.Now()
 				if _, err := e.Forward(hOwned); err != nil {
@@ -457,6 +510,7 @@ func runDistributed(s Spec, cfg gnn.Config, a *sparse.CSR, h *tensor.Dense, labe
 				}
 				sp.End()
 				c.Barrier()
+				em.end(r)
 				if c.Rank() == 0 {
 					mu.Lock()
 					times = append(times, time.Since(t0).Seconds())
@@ -474,6 +528,7 @@ func runDistributed(s Spec, cfg gnn.Config, a *sparse.CSR, h *tensor.Dense, labe
 			rng := rand.New(rand.NewSource(s.Seed + int64(c.Rank())))
 			for r := 0; r < runs; r++ {
 				c.Barrier()
+				em.begin(r)
 				sp := c.StartSpan("execution")
 				t0 := time.Now()
 				switch {
@@ -485,6 +540,7 @@ func runDistributed(s Spec, cfg gnn.Config, a *sparse.CSR, h *tensor.Dense, labe
 				}
 				sp.End()
 				c.Barrier()
+				em.end(r)
 				if c.Rank() == 0 {
 					mu.Lock()
 					times = append(times, time.Since(t0).Seconds())

@@ -66,3 +66,20 @@ func ValidateTime(predictedSec, measuredSec float64) TimeValidation {
 	}
 	return v
 }
+
+// ValidateCriticalPath compares the α-β-γ model's predicted epoch time
+// against the measured cross-rank critical path (internal/obs/causal) and
+// publishes both sides as agnn_critpath_predicted_seconds /
+// agnn_critpath_measured_seconds. Where ValidateTime checks mean layer
+// latency, this checks the end-to-end dependency chain: a ratio well above
+// 1 with a low per-layer ratio means the slowdown is in waits between
+// layers (stragglers, serialization), not in the kernels themselves.
+func ValidateCriticalPath(predictedSec, measuredSec float64) TimeValidation {
+	metrics.CritPathPredictedSeconds.Set(predictedSec)
+	metrics.CritPathMeasuredSeconds.Set(measuredSec)
+	v := TimeValidation{PredictedSeconds: predictedSec, MeasuredSeconds: measuredSec}
+	if predictedSec > 0 {
+		v.Ratio = measuredSec / predictedSec
+	}
+	return v
+}

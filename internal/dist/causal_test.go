@@ -1,0 +1,271 @@
+package dist
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"agnn/internal/obs"
+	"agnn/internal/obs/causal"
+	"agnn/internal/obs/metrics"
+)
+
+// withCausal installs a fresh process-wide causal log for one test.
+func withCausal(t *testing.T) *causal.Log {
+	t.Helper()
+	prev := causal.Get()
+	l := causal.New()
+	causal.Enable(l)
+	t.Cleanup(func() { causal.Enable(prev) })
+	return l
+}
+
+func filterKind(evs []causal.Event, kind uint8) []causal.Event {
+	var out []causal.Event
+	for _, e := range evs {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Every send must appear in the sender's log and its stamped header in
+// the receiver's, linkable via (Src, Seq); the receiver's recv interval
+// must contain the send time.
+func TestCausalStampingRecordsSendRecvPairs(t *testing.T) {
+	l := withCausal(t)
+	Run(2, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, []float64{1, 2, 3})
+			c.Send(1, []float64{4})
+		case 1:
+			c.Recv(0)
+			c.Recv(0)
+		}
+	})
+	sends := filterKind(l.Rank(0).Events(), causal.KindSend)
+	recvs := filterKind(l.Rank(1).Events(), causal.KindRecv)
+	if len(sends) != 2 || len(recvs) != 2 {
+		t.Fatalf("got %d sends, %d recvs, want 2 and 2", len(sends), len(recvs))
+	}
+	for i := range sends {
+		s, r := sends[i], recvs[i]
+		if s.Seq != uint64(i+1) {
+			t.Errorf("send %d: seq %d, want %d", i, s.Seq, i+1)
+		}
+		if s.Peer != 1 {
+			t.Errorf("send %d: peer %d, want 1", i, s.Peer)
+		}
+		if r.Peer != 0 || r.Seq != s.Seq || r.Clock != s.Clock {
+			t.Errorf("recv %d: (peer,seq,clock)=(%d,%d,%d) does not match send (0,%d,%d)",
+				i, r.Peer, r.Seq, r.Clock, s.Seq, s.Clock)
+		}
+		if r.T1 < s.T1 {
+			t.Errorf("recv %d arrived at %d before send completed at %d", i, r.T1, s.T1)
+		}
+		if r.T0 > r.T1 {
+			t.Errorf("recv %d: T0 %d > T1 %d", i, r.T0, r.T1)
+		}
+	}
+	if sends[0].Bytes != 24 || sends[1].Bytes != 8 {
+		t.Errorf("send bytes (%d,%d), want (24,8)", sends[0].Bytes, sends[1].Bytes)
+	}
+}
+
+// The Lamport clock must strictly increase along every message edge:
+// a message sent after receiving another carries a larger clock.
+func TestCausalLamportClockMergesAcrossRanks(t *testing.T) {
+	l := withCausal(t)
+	Run(3, func(c *Comm) {
+		// 0 → 1 → 2 relay: rank 1's forward happens-after rank 0's send.
+		switch c.Rank() {
+		case 0:
+			c.Send(1, []float64{1})
+		case 1:
+			v := c.Recv(0)
+			c.Send(2, v)
+		case 2:
+			c.Recv(1)
+		}
+	})
+	s0 := filterKind(l.Rank(0).Events(), causal.KindSend)
+	s1 := filterKind(l.Rank(1).Events(), causal.KindSend)
+	if len(s0) != 1 || len(s1) != 1 {
+		t.Fatalf("got %d/%d sends on ranks 0/1, want 1/1", len(s0), len(s1))
+	}
+	if s1[0].Clock <= s0[0].Clock {
+		t.Errorf("relayed send clock %d not after original send clock %d",
+			s1[0].Clock, s0[0].Clock)
+	}
+}
+
+// Collective messages must carry the collective's superstep and an
+// interned code naming it, so the critical-path walk can attribute hops.
+func TestCausalCollectiveMessagesCarryStepAndCode(t *testing.T) {
+	l := withCausal(t)
+	Run(2, func(c *Comm) {
+		c.Allreduce([]float64{float64(c.Rank())})
+		c.Barrier()
+	})
+	evs := l.Rank(0).Events()
+	if len(evs) == 0 {
+		t.Fatal("no causal events recorded for rank 0")
+	}
+	var coded int
+	for _, e := range evs {
+		if e.Code != 0 {
+			coded++
+		}
+	}
+	if coded == 0 {
+		t.Error("no event carries a collective code")
+	}
+	// Barrier follows the allreduce round, so late events must carry a
+	// positive superstep.
+	last := evs[len(evs)-1]
+	if last.Step == 0 {
+		t.Errorf("final event superstep = 0, want > 0 (rounds advance stepNow)")
+	}
+}
+
+// With no process-wide log, stamping must stay silent (clocks still run).
+func TestCausalDisabledRecordsNothing(t *testing.T) {
+	prev := causal.Get()
+	causal.Disable()
+	t.Cleanup(func() { causal.Enable(prev) })
+	l := causal.New() // never installed
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, []float64{1})
+		} else {
+			c.Recv(0)
+		}
+	})
+	if evs := l.Rank(0).Events(); len(evs) != 0 {
+		t.Fatalf("uninstalled log has %d events", len(evs))
+	}
+}
+
+// The Send/Recv hot path must not allocate when causal tracing is on:
+// the header travels by value and the log appends into its preallocated
+// buffer. Empty payloads keep the message copy itself allocation-free,
+// isolating the stamping overhead.
+func TestCausalStampedSendRecvZeroAlloc(t *testing.T) {
+	withCausal(t)
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := w.Comm(0)
+	payload := make([]float64, 0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Send(0, payload) // self-send: the mailbox buffers it
+		c.Recv(0)
+	})
+	if allocs != 0 {
+		t.Fatalf("stamped Send+Recv allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// Same assertion with causal tracing off — the baseline must not regress.
+func TestUnstampedSendRecvZeroAlloc(t *testing.T) {
+	prev := causal.Get()
+	causal.Disable()
+	t.Cleanup(func() { causal.Enable(prev) })
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := w.Comm(0)
+	payload := make([]float64, 0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Send(0, payload)
+		c.Recv(0)
+	})
+	if allocs != 0 {
+		t.Fatalf("Send+Recv allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// Chrome-trace flow events: a traced run must emit one "s"/"f" pair per
+// message, sharing an ID, on the sender and receiver rank tracks.
+func TestCausalFlowEventsInChromeTrace(t *testing.T) {
+	withCausal(t)
+	tr := obs.New()
+	cs := RunTraced(2, tr, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, []float64{1, 2})
+		} else {
+			c.Recv(0)
+		}
+	})
+	if len(cs) != 2 {
+		t.Fatalf("want 2 ranks, got %d", len(cs))
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"ph": "s"`, `"ph": "f"`, `"cat": "msg"`, `"bp": "e"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chrome trace missing %s:\n%s", want, out)
+		}
+	}
+}
+
+// Straggler floor: a wait above a tiny configured floor must flag, and a
+// huge floor must suppress detection for the same workload.
+func TestStragglerFloorTunable(t *testing.T) {
+	const p = 4
+	run := func(floor time.Duration) {
+		t.Helper()
+		// Ring with one slow sender: rank 1 blocks ~3ms per superstep while
+		// ranks 2,3 exchange instantly, so the cross-rank median stays near
+		// zero and only the floor decides whether rank 1 is flagged.
+		_, errs, err := TryRun(p, Options{StragglerFloor: floor, StragglerFactor: 1.5},
+			func(c *Comm) error {
+				right, left := (c.Rank()+1)%p, (c.Rank()+p-1)%p
+				for i := 0; i < 4; i++ {
+					c.round()
+					if c.Rank() == 0 {
+						time.Sleep(3 * time.Millisecond)
+					}
+					c.Send(right, []float64{1})
+					c.Recv(left)
+				}
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := FirstError(errs); e != nil {
+			t.Fatal(e)
+		}
+	}
+	// The per-rank straggler counters are process-global (metrics registry),
+	// so compare deltas around each run.
+	delta := func(floor time.Duration) int64 {
+		before := stragglerCount(p)
+		run(floor)
+		return stragglerCount(p) - before
+	}
+	if d := delta(50 * time.Microsecond); d == 0 {
+		t.Error("2ms blocked wait above a 50µs floor not flagged as straggler")
+	}
+	if d := delta(10 * time.Second); d != 0 {
+		t.Errorf("straggler flagged despite 10s floor (delta %d)", d)
+	}
+}
+
+func stragglerCount(p int) int64 {
+	var total int64
+	for r := 0; r < p; r++ {
+		total += metrics.StragglersTotal.With(strconv.Itoa(r)).Value()
+	}
+	return total
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"agnn/internal/obs"
+	"agnn/internal/obs/flight"
 	"agnn/internal/obs/metrics"
 )
 
@@ -18,6 +19,11 @@ import (
 // and one chunk-sized message per ring hop — but attributed per chunk, so
 // the BSP counters and the per-collective byte histogram expose the
 // pipelined structure instead of one opaque call.
+
+// codeGatherHop stamps the chunked ring's messages; it matches the
+// "gather.hop" span name so path attribution classifies hops as
+// collective time.
+var codeGatherHop = flight.Code("gather.hop")
 
 // Chunk announces that a contiguous word range of the gather output has
 // landed and may be read.
@@ -132,8 +138,10 @@ func (c *Comm) AllgatherChunks(data []float64, lens []int) (*ChunkedGather, erro
 			recvIdx := (c.me - 1 - t + 2*g) % g
 			c.round()
 			hop := track.Start("gather.hop")
-			c.Send(right, cg.out[bounds[sendIdx]:bounds[sendIdx+1]])
-			chunk := c.Recv(left)
+			// Explicit causal code: the helper runs concurrently with rank
+			// compute, so it must not read the rank-owned curColl.
+			c.sendCoded(right, cg.out[bounds[sendIdx]:bounds[sendIdx+1]], codeGatherHop)
+			chunk := c.recvCoded(left, codeGatherHop)
 			copy(cg.out[bounds[recvIdx]:bounds[recvIdx+1]], chunk)
 			bytes := int64(8 * len(chunk))
 			metrics.CollectiveBytes.With("allgather_chunk").Observe(float64(bytes))

@@ -30,14 +30,17 @@ import (
 
 	"agnn/internal/dist/faults"
 	"agnn/internal/obs"
+	"agnn/internal/obs/causal"
 	"agnn/internal/obs/flight"
 	"agnn/internal/obs/metrics"
 )
 
 // message is one point-to-point transfer. Data is copied on send so ranks
-// never alias each other's buffers.
+// never alias each other's buffers. The causal header travels by value —
+// stamping adds no allocations to the send path.
 type message struct {
 	data []float64
+	hdr  causal.Header
 }
 
 // Counters accumulates per-rank communication statistics.
@@ -101,6 +104,10 @@ type Options struct {
 	// exceeds this multiple of the cross-rank median wait.
 	// DefaultStragglerFactor when zero.
 	StragglerFactor float64
+	// StragglerFloor is the minimum superstep wait ever flagged as a
+	// straggler, filtering scheduler jitter on fast supersteps.
+	// DefaultStragglerFloor when zero.
+	StragglerFloor time.Duration
 }
 
 // Defaults for Options.
@@ -154,6 +161,17 @@ type World struct {
 	waitNs   []atomic.Int64 // wait accumulated during the current superstep
 	lastWait []atomic.Int64 // wait of the last completed superstep
 
+	// Causal stamping (internal/obs/causal): per-rank Lamport clocks,
+	// send sequence numbers and current superstep. The atomics are
+	// always on — they are the message headers' source of truth — while
+	// the per-rank causal logs are resolved at construction from the
+	// process-wide causal.Log and stay nil when causal tracing is off.
+	clock   []atomic.Uint64
+	sendSeq []atomic.Uint64
+	stepNow []atomic.Int64
+	clog    *causal.Log
+	clogs   []*causal.RankLog
+
 	tracer  *obs.Tracer  // nil when tracing is off
 	tracks  []*obs.Track // one per rank when tracing
 	gmu     sync.Mutex   // guards gtracks
@@ -188,6 +206,16 @@ func NewWorldOpts(p int, opts Options) (*World, error) {
 	w.flanes = make([]*flight.Lane, p)
 	w.waitNs = make([]atomic.Int64, p)
 	w.lastWait = make([]atomic.Int64, p)
+	w.clock = make([]atomic.Uint64, p)
+	w.sendSeq = make([]atomic.Uint64, p)
+	w.stepNow = make([]atomic.Int64, p)
+	if cl := causal.Get(); cl != nil {
+		w.clog = cl
+		w.clogs = make([]*causal.RankLog, p)
+		for r := 0; r < p; r++ {
+			w.clogs[r] = cl.Rank(r)
+		}
+	}
 	for to := 0; to < p; to++ {
 		w.mailbox[to] = make([]chan message, p)
 		for from := 0; from < p; from++ {
@@ -433,6 +461,15 @@ type Comm struct {
 	me     int        // my index within group
 	track  *obs.Track // this rank's trace track (nil when tracing is off)
 	med    []int64    // median scratch for superstep wait stats, lazily sized to P
+
+	// curColl is the flight code of the collective currently executing on
+	// this communicator (0 between collectives); sends stamp it into the
+	// causal log so path segments name their collective hop. Nested
+	// collectives (allreduce = reduce-scatter + allgather) stack codes so
+	// the innermost wins. Owned by the rank goroutine — the concurrent
+	// chunked-gather helper passes its code explicitly instead.
+	curColl   uint32
+	collStack []uint32
 }
 
 // Rank returns the caller's rank within the communicator's group.
@@ -469,7 +506,12 @@ func (c *Comm) Group(local []int) *Comm {
 // retry budget, after which the rank aborts. If another rank has already
 // failed, Send unwinds with ErrRankFailed instead of queueing into a dead
 // world.
-func (c *Comm) Send(to int, data []float64) {
+func (c *Comm) Send(to int, data []float64) { c.sendCoded(to, data, c.curColl) }
+
+// sendCoded is Send with an explicit causal/flight code naming the
+// enclosing collective; the chunked-gather helper goroutine uses it to
+// avoid racing on the rank's curColl.
+func (c *Comm) sendCoded(to int, data []float64, code uint32) {
 	if inj := c.w.opts.Faults; inj != nil {
 		for attempt := 1; ; attempt++ {
 			act := inj.OnSend(c.global, attempt)
@@ -502,17 +544,46 @@ func (c *Comm) Send(to int, data []float64) {
 	c.w.mBytes[c.global].Add(bytes)
 	c.w.mMsgs[c.global].Inc()
 	c.w.totalBytes.Add(bytes)
+	// Causal stamp: sequence and Lamport ticks are always-on atomics; the
+	// header rides the channel message by value. Log/flight/flow records
+	// fire only when causal tracing is enabled.
+	hdr := causal.Header{
+		Src:   int32(c.global),
+		Seq:   c.w.sendSeq[c.global].Add(1),
+		Step:  c.w.stepNow[c.global].Load(),
+		Clock: c.w.clock[c.global].Add(1),
+	}
+	if c.w.clogs != nil {
+		c.w.clogs[c.global].Send(c.w.clog.Now(), hdr, int32(c.group[to]), bytes, code)
+		c.w.flanes[c.global].Record(flight.KindCausalSend, code,
+			int64(hdr.Seq), int64(c.group[to]), hdr.Step)
+		if c.track != nil {
+			c.track.FlowOut(flowName(code), hdr.FlowID())
+		}
+	}
 	select {
-	case c.w.mailbox[c.group[to]][c.global] <- message{data: cp}:
+	case c.w.mailbox[c.group[to]][c.global] <- message{data: cp, hdr: hdr}:
 	case <-c.w.failCh:
 		c.abortSurvivor()
 	}
 }
 
+// flowName names a message's Chrome-trace flow arrow after its enclosing
+// collective ("msg" outside any collective).
+func flowName(code uint32) string {
+	if n := flight.CodeName(code); n != "" {
+		return n
+	}
+	return "msg"
+}
+
 // Recv blocks until a message from group rank `from` arrives, the world's
 // receive deadline expires (the rank then aborts with ErrRecvTimeout), or
 // another rank fails (the rank unwinds with ErrRankFailed).
-func (c *Comm) Recv(from int) []float64 {
+func (c *Comm) Recv(from int) []float64 { return c.recvCoded(from, c.curColl) }
+
+// recvCoded is Recv with an explicit causal/flight code (see sendCoded).
+func (c *Comm) recvCoded(from int, code uint32) []float64 {
 	if c.w.failed.Load() {
 		c.abortSurvivor()
 	}
@@ -520,7 +591,7 @@ func (c *Comm) Recv(from int) []float64 {
 	// Fast path: a queued message costs no wait and no clock reads.
 	select {
 	case m := <-box:
-		return m.data
+		return c.accept(m, time.Time{}, code)
 	default:
 	}
 	t0 := time.Now()
@@ -530,7 +601,7 @@ func (c *Comm) Recv(from int) []float64 {
 		defer timer.Stop()
 		select {
 		case m := <-box:
-			return m.data
+			return c.accept(m, t0, code)
 		case <-c.w.failCh:
 			c.abortSurvivor()
 		case <-timer.C:
@@ -541,11 +612,46 @@ func (c *Comm) Recv(from int) []float64 {
 	}
 	select {
 	case m := <-box:
-		return m.data
+		return c.accept(m, t0, code)
 	case <-c.w.failCh:
 		c.abortSurvivor()
 		panic("unreachable")
 	}
+}
+
+// accept finishes one receive: it merges the sender's Lamport clock into
+// this rank's (always on — the clocks order events across ranks even when
+// logging is off) and, under causal tracing, records the arrival with its
+// blocked interval. t0 is when the receiver started blocking (zero Time
+// for the queued-message fast path). Allocation-free.
+func (c *Comm) accept(m message, t0 time.Time, code uint32) []float64 {
+	clk := &c.w.clock[c.global]
+	for {
+		cur := clk.Load()
+		next := cur
+		if m.hdr.Clock > next {
+			next = m.hdr.Clock
+		}
+		if clk.CompareAndSwap(cur, next+1) {
+			break
+		}
+	}
+	if c.w.clogs != nil {
+		t1 := c.w.clog.Now()
+		t0ns := t1
+		var waited int64
+		if !t0.IsZero() {
+			waited = time.Since(t0).Nanoseconds()
+			t0ns = t1 - waited
+		}
+		c.w.clogs[c.global].Recv(t0ns, t1, m.hdr, int64(8*len(m.data)), code)
+		c.w.flanes[c.global].Record(flight.KindCausalRecv, code,
+			int64(m.hdr.Seq), int64(m.hdr.Src), waited)
+		if c.track != nil && m.hdr.Seq != 0 {
+			c.track.FlowIn(flowName(code), m.hdr.FlowID())
+		}
+	}
+	return m.data
 }
 
 // round records one communication round (BSP superstep), closes the rank's
@@ -558,6 +664,7 @@ func (c *Comm) round() {
 	rounds := c.w.counters[c.global].Rounds
 	c.w.mu[c.global].Unlock()
 	c.w.mRounds[c.global].Inc()
+	c.w.stepNow[c.global].Store(rounds)
 	if c.med == nil {
 		c.med = make([]int64, c.w.P) // first superstep on this communicator
 	}
@@ -590,6 +697,10 @@ func (c *Comm) beginCollective(name string) (obs.Span, Counters) {
 	if c.track != nil {
 		sp = c.track.Start(name)
 	}
+	// Stack the collective's code for causal stamping: nested collectives
+	// (allreduce wraps reduce-scatter) restore the outer code on end.
+	c.collStack = append(c.collStack, c.curColl)
+	c.curColl = flight.Code(name)
 	return sp, c.snapshot()
 }
 
@@ -600,6 +711,12 @@ func (c *Comm) beginCollective(name string) (obs.Span, Counters) {
 // bytes" counter timeline, and — when tracing — attaches the byte and
 // message deltas as span attributes.
 func (c *Comm) endCollective(name string, sp obs.Span, before Counters) {
+	if n := len(c.collStack); n > 0 {
+		c.curColl = c.collStack[n-1]
+		c.collStack = c.collStack[:n-1]
+	} else {
+		c.curColl = 0
+	}
 	after := c.snapshot()
 	bytes := after.BytesSent - before.BytesSent
 	metrics.CollectiveBytes.With(name).Observe(float64(bytes))

@@ -11,6 +11,8 @@ package dist
 // names the victim and the dump shows the perpetrator's lane.
 
 import (
+	"time"
+
 	"agnn/internal/obs/flight"
 	"agnn/internal/obs/metrics"
 )
@@ -20,9 +22,11 @@ const (
 	// DefaultStragglerFactor flags a rank when its superstep wait exceeds
 	// this multiple of the cross-rank median wait.
 	DefaultStragglerFactor = 4.0
-	// stragglerMinWaitNs suppresses detections below this absolute wait:
-	// scheduling jitter makes sub-100µs ratios meaningless.
-	stragglerMinWaitNs = 100_000
+	// DefaultStragglerFloor suppresses detections below this absolute
+	// wait: scheduling jitter makes sub-100µs ratios meaningless.
+	// Tunable per run via Options.StragglerFloor (agnn-train
+	// -straggler-floor).
+	DefaultStragglerFloor = 100 * time.Microsecond
 )
 
 func (o Options) stragglerFactor() float64 {
@@ -30,6 +34,13 @@ func (o Options) stragglerFactor() float64 {
 		return o.StragglerFactor
 	}
 	return DefaultStragglerFactor
+}
+
+func (o Options) stragglerFloorNs() int64 {
+	if o.StragglerFloor > 0 {
+		return o.StragglerFloor.Nanoseconds()
+	}
+	return DefaultStragglerFloor.Nanoseconds()
 }
 
 // noteWait adds one blocked-receive duration to the rank's current
@@ -75,7 +86,7 @@ func (w *World) superstep(rank int, round int64, scratch []int64) {
 	// A zero median (peers not waiting at all) does not suppress detection:
 	// a rank blocked past the absolute floor while the median rank sails
 	// through is the sharpest straggler signal there is.
-	if wait >= stragglerMinWaitNs && float64(wait) > w.opts.stragglerFactor()*float64(median) {
+	if wait >= w.opts.stragglerFloorNs() && float64(wait) > w.opts.stragglerFactor()*float64(median) {
 		w.mStrag[rank].Inc()
 		w.flanes[rank].Record(flight.KindStraggler, codeStraggler, wait, median, round)
 	}

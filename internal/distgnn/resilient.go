@@ -10,6 +10,7 @@ import (
 	"agnn/internal/dist"
 	"agnn/internal/dist/faults"
 	"agnn/internal/gnn"
+	"agnn/internal/obs/causal"
 	"agnn/internal/obs/metrics"
 	"agnn/internal/sparse"
 	"agnn/internal/tensor"
@@ -36,6 +37,11 @@ type TrainSpec struct {
 	Faults          *faults.Injector // optional fault injection (persists across restarts)
 	RecvTimeout     time.Duration    // failure-detection deadline (default 30s)
 	MaxRestarts     int              // world rebuilds before giving up (default 3)
+
+	// Straggler-detection tuning, forwarded to dist.Options (agnn-train
+	// -straggler-factor / -straggler-floor). Zero keeps the dist defaults.
+	StragglerFactor float64       // wait-vs-median multiple that flags a straggler
+	StragglerFloor  time.Duration // minimum superstep wait ever flagged
 
 	// OnEpoch, when set, is called on rank 0 after every completed epoch
 	// with the global mean loss. Called again for re-executed epochs after
@@ -78,8 +84,10 @@ func TrainResilient(spec TrainSpec) (*TrainResult, error) {
 		maxRestarts = 3
 	}
 	opts := dist.Options{
-		Faults:      spec.Faults,
-		RecvTimeout: timeout,
+		Faults:          spec.Faults,
+		RecvTimeout:     timeout,
+		StragglerFactor: spec.StragglerFactor,
+		StragglerFloor:  spec.StragglerFloor,
 	}
 
 	res := &TrainResult{Losses: make([]float64, spec.Epochs)}
@@ -159,7 +167,12 @@ func trainRanks(c *dist.Comm, spec TrainSpec, from int, path string, every int, 
 	}
 
 	xd := e.SliceOwnedBlock(spec.X)
+	clog := causal.Get()
 	for epoch := from; epoch < spec.Epochs; epoch++ {
+		var et0 int64
+		if clog != nil && c.Rank() == 0 {
+			et0 = clog.Now()
+		}
 		loss := e.TrainStep(xd, spec.Labels, spec.Mask, opt)
 		if c.Rank() == 0 {
 			mu.Lock()
@@ -171,16 +184,32 @@ func trainRanks(c *dist.Comm, spec TrainSpec, from int, path string, every int, 
 		}
 		done := epoch + 1
 		if spec.CheckpointDir != "" && (done%every == 0 || done == spec.Epochs) {
+			sp := c.StartSpan("checkpoint")
+			var ct0 int64
+			if clog != nil {
+				ct0 = clog.Now()
+			}
 			// Weights are replicated, so rank 0's snapshot is everyone's.
 			if c.Rank() == 0 {
 				st := ckpt.State{Epoch: int64(done), Seed: spec.Cfg.Seed, Opt: opt.ExportState(params)}
 				if _, err := ckpt.Save(spec.CheckpointDir, st, params); err != nil {
+					sp.End()
 					return fmt.Errorf("rank 0: checkpoint at epoch %d: %w", done, err)
 				}
 			}
 			// No rank crosses the boundary until the checkpoint is durable:
 			// a failure in epoch done+1 can then always restart from `done`.
 			c.Barrier()
+			if clog != nil {
+				clog.Rank(c.Rank()).MarkCheckpoint(ct0, clog.Now())
+			}
+			sp.End()
+		}
+		// Rank 0's epoch marks delimit the analysis windows of the causal
+		// critical-path reconstruction (internal/obs/causal); the window
+		// includes the checkpoint barrier so its cost is attributed too.
+		if clog != nil && c.Rank() == 0 {
+			clog.Rank(0).MarkEpoch(int64(epoch), et0, clog.Now())
 		}
 	}
 

@@ -1,0 +1,237 @@
+package causal
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFlowIDPacksSrcAndSeq(t *testing.T) {
+	h := Header{Src: 3, Seq: 41}
+	want := uint64(3)<<40 | 41
+	if h.FlowID() != want {
+		t.Fatalf("FlowID = %#x, want %#x", h.FlowID(), want)
+	}
+	if (Header{Src: 3, Seq: 42}).FlowID() == h.FlowID() {
+		t.Fatal("distinct seqs must yield distinct flow ids")
+	}
+	if (Header{Src: 4, Seq: 41}).FlowID() == h.FlowID() {
+		t.Fatal("distinct src ranks must yield distinct flow ids")
+	}
+}
+
+func TestLogRankReuseAndEvents(t *testing.T) {
+	l := NewAt(time.Now())
+	if l.Rank(2) != l.Rank(2) {
+		t.Fatal("Rank must return a stable per-rank log")
+	}
+	rl := l.Rank(0)
+	rl.Send(10, Header{Src: 0, Seq: 1, Clock: 5}, 1, 64, 0)
+	rl.Recv(20, 30, Header{Src: 1, Seq: 7, Clock: 9}, 32, 0)
+	rl.MarkEpoch(3, 0, 100)
+	rl.MarkCheckpoint(40, 60)
+	evs := rl.Events()
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	if evs[0].Kind != KindSend || evs[0].Peer != 1 || evs[0].Clock != 5 {
+		t.Fatalf("bad send event: %+v", evs[0])
+	}
+	if evs[1].Kind != KindRecv || evs[1].Peer != 1 || evs[1].Seq != 7 {
+		t.Fatalf("bad recv event: %+v", evs[1])
+	}
+	if evs[2].Kind != KindEpoch || evs[2].Seq != 3 {
+		t.Fatalf("bad epoch mark: %+v", evs[2])
+	}
+	if evs[3].Kind != KindCheckpoint || evs[3].T0 != 40 {
+		t.Fatalf("bad checkpoint mark: %+v", evs[3])
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	prev := Get()
+	defer Enable(prev)
+	l := New()
+	Enable(l)
+	if Get() != l {
+		t.Fatal("Get after Enable")
+	}
+	Disable()
+	if Get() != nil {
+		t.Fatal("Get after Disable")
+	}
+}
+
+// syntheticRun builds a 2-rank scenario: rank 1 computes [0,90µs] then
+// runs a 5µs collective send finishing at 95µs; rank 0 computes
+// [0,40µs], blocks on the recv from 40µs until the 100µs arrival, then
+// computes [100µs,150µs]. The critical path must be rank 1 compute +
+// collective → wait hop → rank 0 compute.
+func syntheticRun(t *testing.T) (*Log, map[int][]Span) {
+	t.Helper()
+	const us = int64(time.Microsecond)
+	l := NewAt(time.Now())
+	h := Header{Src: 1, Seq: 1, Step: 1, Clock: 3}
+	l.Rank(1).Send(95*us, h, 0, 1024, 0)
+	l.Rank(0).Recv(40*us, 100*us, h, 1024, 0)
+	l.Rank(0).MarkEpoch(0, 0, 150*us)
+	spans := map[int][]Span{
+		0: {{Name: "spmm", T0: 0, T1: 40 * us}, {Name: "softmax", T0: 100 * us, T1: 150 * us}},
+		1: {{Name: "sddmm", T0: 0, T1: 90 * us}, {Name: "allgather", T0: 90 * us, T1: 95 * us}},
+	}
+	return l, spans
+}
+
+func TestAnalyzeBlockedRecvJumpsToSender(t *testing.T) {
+	l, spans := syntheticRun(t)
+	sum := Analyze(l, spans, Options{})
+	if sum == nil {
+		t.Fatal("nil summary")
+	}
+	const us = int64(time.Microsecond)
+	if sum.Hops != 1 {
+		t.Fatalf("hops = %d, want 1", sum.Hops)
+	}
+	if sum.PathNs != 150*us {
+		t.Fatalf("path = %d, want %d", sum.PathNs, 150*us)
+	}
+	if sum.Coverage < 0.999 || sum.Coverage > 1.001 {
+		t.Fatalf("coverage = %f, want 1.0", sum.Coverage)
+	}
+	// Time-contiguous segments spanning the whole window.
+	if sum.Segments[0].StartNs != 0 || sum.Segments[len(sum.Segments)-1].EndNs != 150*us {
+		t.Fatalf("segments do not span window: %+v", sum.Segments)
+	}
+	for i := 1; i < len(sum.Segments); i++ {
+		if sum.Segments[i].StartNs != sum.Segments[i-1].EndNs {
+			t.Fatalf("segment gap at %d: %+v", i, sum.Segments)
+		}
+	}
+	classNs := map[string]int64{}
+	names := map[string]int64{}
+	for _, s := range sum.Segments {
+		classNs[s.Class] += s.EndNs - s.StartNs
+		names[s.Name] += s.EndNs - s.StartNs
+		if s.Class == ClassCompute && s.Rank == 0 && s.StartNs < 40*us && s.Name != "spmm" {
+			t.Fatalf("early rank-0 compute misattributed: %+v", s)
+		}
+	}
+	// Path: rank1 sddmm 90µs + allgather 5µs → 5µs wait (send done at
+	// 95µs, arrival at 100µs) → rank0 softmax 50µs.
+	if names["sddmm"] != 90*us || names["allgather"] != 5*us || names["softmax"] != 50*us {
+		t.Fatalf("bad attribution: %v", names)
+	}
+	if classNs[ClassCollective] != 5*us || classNs[ClassWait] != 5*us {
+		t.Fatalf("collective/wait ns: %v", classNs)
+	}
+	// Rank 0's spans include 40µs of off-path spmm; it must NOT be on the path.
+	if names["spmm"] != 0 {
+		t.Fatalf("off-path spmm appeared on the path: %v", names)
+	}
+	if sum.ComputeNs+sum.CollectiveNs+sum.WaitNs+sum.CheckpointNs != sum.PathNs {
+		t.Fatal("class totals do not sum to path")
+	}
+	// Rank 0 blocked 60µs out of 150µs.
+	if len(sum.PerRankWait) != 2 || sum.PerRankWait[0].BlockedNs != 60*us {
+		t.Fatalf("per-rank wait: %+v", sum.PerRankWait)
+	}
+	if len(sum.Epochs) != 1 || sum.Epochs[0].WindowNs != 150*us {
+		t.Fatalf("epochs: %+v", sum.Epochs)
+	}
+}
+
+func TestAnalyzeWaitWithoutMatchingSend(t *testing.T) {
+	const us = int64(time.Microsecond)
+	l := NewAt(time.Now())
+	// Recv with no recorded send (e.g. sender's log dropped): charge the
+	// blocked time to the receiver as wait.
+	l.Rank(0).Recv(10*us, 90*us, Header{Src: 1, Seq: 9}, 8, 0)
+	l.Rank(0).MarkEpoch(0, 0, 100*us)
+	sum := Analyze(l, nil, Options{})
+	if sum == nil {
+		t.Fatal("nil summary")
+	}
+	if sum.WaitNs != 80*us {
+		t.Fatalf("wait = %d, want %d", sum.WaitNs, 80*us)
+	}
+	if sum.Hops != 0 {
+		t.Fatalf("hops = %d, want 0", sum.Hops)
+	}
+	if sum.PathNs != 100*us {
+		t.Fatalf("path = %d, want window", sum.PathNs)
+	}
+}
+
+func TestAnalyzeCheckpointClass(t *testing.T) {
+	const us = int64(time.Microsecond)
+	l := NewAt(time.Now())
+	l.Rank(0).MarkCheckpoint(20*us, 70*us)
+	l.Rank(0).MarkEpoch(0, 0, 100*us)
+	sum := Analyze(l, nil, Options{})
+	if sum == nil {
+		t.Fatal("nil summary")
+	}
+	if sum.CheckpointNs != 50*us {
+		t.Fatalf("checkpoint ns = %d, want %d", sum.CheckpointNs, 50*us)
+	}
+}
+
+func TestAnalyzeEmptyLog(t *testing.T) {
+	if Analyze(New(), nil, Options{}) != nil {
+		t.Fatal("empty log must yield nil")
+	}
+	if Analyze(nil, nil, Options{}) != nil {
+		t.Fatal("nil log must yield nil")
+	}
+}
+
+func TestAnalyzeZeroDurationEventsTerminate(t *testing.T) {
+	l := NewAt(time.Now())
+	h := Header{Src: 0, Seq: 1}
+	// Degenerate: all events at the same instant.
+	l.Rank(0).Send(50, h, 0, 0, 0)
+	l.Rank(0).Recv(50, 50, h, 0, 0)
+	l.Rank(0).MarkEpoch(0, 0, 100)
+	done := make(chan *Summary, 1)
+	go func() { done <- Analyze(l, nil, Options{}) }()
+	select {
+	case sum := <-done:
+		if sum == nil {
+			t.Fatal("nil summary")
+		}
+		if sum.PathNs != 100 {
+			t.Fatalf("path = %d, want 100", sum.PathNs)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Analyze did not terminate")
+	}
+}
+
+func TestFlattenInnermostWins(t *testing.T) {
+	ivs := flatten([]Span{
+		{Name: "outer", T0: 0, T1: 100},
+		{Name: "inner", T0: 20, T1: 60},
+	})
+	want := []flatIv{{0, 20, "outer"}, {20, 60, "inner"}, {60, 100, "outer"}}
+	if len(ivs) != len(want) {
+		t.Fatalf("got %v, want %v", ivs, want)
+	}
+	for i := range want {
+		if ivs[i] != want[i] {
+			t.Fatalf("interval %d: got %v, want %v", i, ivs[i], want[i])
+		}
+	}
+}
+
+func TestSummaryTopContributors(t *testing.T) {
+	l, spans := syntheticRun(t)
+	sum := Analyze(l, spans, Options{TopK: 2})
+	if len(sum.Top) != 2 {
+		t.Fatalf("topk: %+v", sum.Top)
+	}
+	if sum.Top[0].Name != "sddmm" || sum.Top[0].Rank != 1 {
+		t.Fatalf("top contributor: %+v", sum.Top[0])
+	}
+	if sum.Top[0].Pct < sum.Top[1].Pct {
+		t.Fatal("top not sorted by share")
+	}
+}

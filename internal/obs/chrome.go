@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 )
 
 // Chrome trace-event export: the JSON object format understood by
@@ -21,6 +22,9 @@ type chromeEvent struct {
 	Tid  int              `json:"tid"`
 	Ts   float64          `json:"ts"`
 	Dur  *float64         `json:"dur,omitempty"`
+	Cat  string           `json:"cat,omitempty"` // flow events: binding category
+	ID   string           `json:"id,omitempty"`  // flow events: shared pair id
+	BP   string           `json:"bp,omitempty"`  // flow end: "e" binds enclosing slice
 	Args map[string]int64 `json:"args,omitempty"`
 }
 
@@ -66,6 +70,21 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		tr.mu.Unlock()
 		sort.SliceStable(evs, func(i, j int) bool { return evs[i].start < evs[j].start })
 		for _, e := range evs {
+			if e.flow != flowNone {
+				// Causal message edge: "s"/"f" pairs sharing (cat, id)
+				// render as arrows across the rank tracks.
+				fe := chromeEvent{Name: e.name, Ph: "s", Cat: "msg", Pid: 0, Tid: tr.id,
+					Ts: float64(e.start.Nanoseconds()) / 1e3,
+					ID: "0x" + strconv.FormatUint(e.flowID, 16)}
+				if e.flow == flowIn {
+					fe.Ph = "f"
+					fe.BP = "e"
+				}
+				if err := add(fe); err != nil {
+					return err
+				}
+				continue
+			}
 			dur := float64(e.dur.Nanoseconds()) / 1e3
 			ce := chromeEvent{Name: e.name, Ph: "X", Pid: 0, Tid: tr.id,
 				Ts: float64(e.start.Nanoseconds()) / 1e3, Dur: &dur}

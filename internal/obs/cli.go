@@ -10,6 +10,7 @@ import (
 	"syscall"
 	"time"
 
+	"agnn/internal/obs/causal"
 	"agnn/internal/obs/flight"
 	"agnn/internal/obs/metrics"
 	"agnn/internal/obs/serve"
@@ -69,6 +70,12 @@ func (c *CLI) report() *Report {
 	} else {
 		rep = &Report{}
 	}
+	// Critical path before the snapshot, so the agnn_critpath_* gauges it
+	// publishes land in the same metrics payload.
+	if sum := CriticalPath(); sum != nil {
+		rep.CriticalPath = sum
+		PublishCriticalPath(sum)
+	}
 	rep.Metrics = metrics.Default.Snapshot()
 	return rep
 }
@@ -98,6 +105,9 @@ func (c *CLI) Start() error {
 	if c.Tracing() {
 		c.tracer = New()
 		Enable(c.tracer)
+		// Causal stamping shares the tracer's epoch, so message edges and
+		// spans line up without time-base conversion.
+		causal.Enable(causal.NewAt(c.tracer.epoch))
 	}
 	if c.Serve != "" {
 		s, err := serve.Start(c.Serve, serve.Options{
@@ -138,11 +148,17 @@ func (c *CLI) Stop() error {
 		keep(c.cpuFile.Close())
 		c.cpuFile = nil
 	}
+	if c.tracer != nil {
+		// Publish the critical-path gauges even without -metrics, so the
+		// -metrics-final Prometheus snapshot carries them.
+		PublishCriticalPath(criticalPath(c.tracer, causal.Get()))
+	}
 	if c.Metrics != "" {
 		keep(writeReportFile(c.Metrics, c.report()))
 	}
 	if c.tracer != nil {
 		Disable()
+		causal.Disable()
 		if c.Trace != "" {
 			keep(c.tracer.WriteChromeTraceFile(c.Trace))
 		}

@@ -137,6 +137,24 @@ func OnRankFailure(rank int, lastSuperstep int64, cause error) string {
 	return path
 }
 
+// OnShutdown writes a clean-shutdown dump of the Default recorder to the
+// configured dump directory, mirroring the rank-failure path so graceful
+// exits leave the same postmortem artifact a crash would. No-op (returns
+// "") when no dump directory is configured. Callers provide once-only
+// semantics (obs/serve's final-snapshot flush, agnn-serve's shutdown).
+func OnShutdown() string {
+	dir := DumpDir()
+	if dir == "" {
+		return ""
+	}
+	path, err := Default.Capture("shutdown").WriteFile(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flight: failed to write shutdown dump: %v\n", err)
+		return ""
+	}
+	return path
+}
+
 // Handler serves the recorder's current contents as a Dump with reason
 // "request" — mounted at /debug/flight by internal/obs/serve.
 func (r *Recorder) Handler() http.Handler {

@@ -60,6 +60,17 @@ const (
 	// KindFailure marks a rank failure. A = the rank's last superstep,
 	// B/C unused; the cause is carried by the dump header, not the ring.
 	KindFailure
+	// KindCausalSend is one causally stamped message departure
+	// (internal/obs/causal). A = sender-local message sequence number,
+	// B = destination rank, C = superstep; the code names the enclosing
+	// collective. Together with the matching KindCausalRecv on the
+	// destination lane this reconstructs cross-rank message edges from a
+	// postmortem dump alone.
+	KindCausalSend
+	// KindCausalRecv is one causally stamped message arrival. A = the
+	// sender's message sequence number, B = source rank, C = blocked
+	// wait ns before the arrival.
+	KindCausalRecv
 )
 
 // String names a kind for dumps.
@@ -77,6 +88,10 @@ func (k Kind) String() string {
 		return "straggler"
 	case KindFailure:
 		return "failure"
+	case KindCausalSend:
+		return "causal-send"
+	case KindCausalRecv:
+		return "causal-recv"
 	}
 	return "unknown"
 }

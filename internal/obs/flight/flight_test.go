@@ -243,3 +243,59 @@ func BenchmarkRecord(b *testing.B) {
 		l.Record(KindSpan, c, int64(i), 64, 128)
 	}
 }
+
+// TestOnShutdownWritesDump: a clean shutdown with a configured dump dir
+// must produce the same agnn-flight/v1 artifact as the crash path, with
+// reason "shutdown" and the recorder's lanes intact.
+func TestOnShutdownWritesDump(t *testing.T) {
+	dir := t.TempDir()
+	prev := SetDumpDir(dir)
+	defer SetDumpDir(prev)
+
+	Default.Lane(3).Record(KindSpan, Code("serve-req"), 7, 0, 0)
+	path := OnShutdown()
+	if path == "" {
+		t.Fatal("no shutdown dump written")
+	}
+	if filepath.Dir(path) != dir {
+		t.Fatalf("dump %s not in configured dir %s", path, dir)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Dump
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatalf("dump not JSON: %v", err)
+	}
+	if d.Schema != DumpSchema {
+		t.Fatalf("schema %q, want %q", d.Schema, DumpSchema)
+	}
+	if d.Reason != "shutdown" {
+		t.Fatalf("reason %q, want shutdown", d.Reason)
+	}
+	found := false
+	for _, lane := range d.Lanes {
+		if lane.Rank != 3 {
+			continue
+		}
+		for _, ev := range lane.Events {
+			if ev.Name == "serve-req" && ev.A == 7 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("recorded event missing from shutdown dump")
+	}
+}
+
+// TestOnShutdownNoDirIsSilent: without a dump dir the clean-shutdown hook
+// must be a no-op, not an error.
+func TestOnShutdownNoDirIsSilent(t *testing.T) {
+	prev := SetDumpDir("")
+	defer SetDumpDir(prev)
+	if path := OnShutdown(); path != "" {
+		t.Fatalf("dump written with no dir: %s", path)
+	}
+}

@@ -19,6 +19,7 @@ import (
 // deterministic for a given registry state (the property the golden test
 // pins down).
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.collect()
 	bw := bufio.NewWriter(w)
 	for _, m := range r.sorted() {
 		if m.help != "" {

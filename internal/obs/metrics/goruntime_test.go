@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"math"
+	"runtime"
+	rtm "runtime/metrics"
+	"strings"
+	"testing"
+)
+
+// TestGoRuntimeGaugesPopulatedOnSnapshot: reading the registry must refresh
+// the agnn_go_* gauges with live values — a running process always has at
+// least one goroutine and a nonzero heap.
+func TestGoRuntimeGaugesPopulatedOnSnapshot(t *testing.T) {
+	runtime.GC() // guarantee at least one GC cycle for the pause histogram
+	snap := Default.Snapshot()
+
+	if v := GoGoroutines.Value(); v < 1 {
+		t.Errorf("agnn_go_goroutines = %v, want >= 1", v)
+	}
+	if v := GoHeapLiveBytes.Value(); v <= 0 {
+		t.Errorf("agnn_go_heap_live_bytes = %v, want > 0", v)
+	}
+	if v := GoHeapGoalBytes.Value(); v <= 0 {
+		t.Errorf("agnn_go_heap_goal_bytes = %v, want > 0", v)
+	}
+	if v := GoGCCycles.Value(); v < 1 {
+		t.Errorf("agnn_go_gc_cycles_total = %v, want >= 1 after runtime.GC()", v)
+	}
+	for _, g := range []struct {
+		name string
+		v    float64
+	}{
+		{"agnn_go_gc_pause_seconds_p50", GoGCPauseP50.Value()},
+		{"agnn_go_gc_pause_seconds_p99", GoGCPauseP99.Value()},
+		{"agnn_go_sched_latency_seconds_p50", GoSchedLatencyP50.Value()},
+		{"agnn_go_sched_latency_seconds_p99", GoSchedLatencyP99.Value()},
+	} {
+		if g.v < 0 || math.IsInf(g.v, 0) || math.IsNaN(g.v) {
+			t.Errorf("%s = %v, want finite and >= 0", g.name, g.v)
+		}
+	}
+
+	// The gauges must flow into the snapshot (and thus BENCH records and
+	// the run-report) under their agnn_go_ names.
+	found := map[string]bool{}
+	for _, g := range snap.Gauges {
+		if strings.HasPrefix(g.Name, "agnn_go_") {
+			found[g.Name] = true
+		}
+	}
+	for _, want := range []string{
+		"agnn_go_goroutines", "agnn_go_heap_live_bytes",
+		"agnn_go_gc_pause_seconds_p50", "agnn_go_gc_cycles_total",
+	} {
+		if !found[want] {
+			t.Errorf("snapshot missing gauge %s (have %v)", want, found)
+		}
+	}
+}
+
+// TestGoRuntimeGaugesInPrometheusExposition: the text exposition must carry
+// the agnn_go_ series the CI smoke greps for.
+func TestGoRuntimeGaugesInPrometheusExposition(t *testing.T) {
+	var sb strings.Builder
+	Default.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{"agnn_go_gc_pause", "agnn_go_goroutines", "agnn_go_heap_live_bytes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus exposition missing %q", want)
+		}
+	}
+}
+
+// histQuantile edge cases: empty histograms yield 0, a single loaded bucket
+// returns its finite lower edge, and ±Inf edges never leak out.
+func TestHistQuantile(t *testing.T) {
+	empty := &rtm.Float64Histogram{
+		Counts:  []uint64{0, 0},
+		Buckets: []float64{0, 1, 2},
+	}
+	if v := histQuantile(empty, 0.5); v != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", v)
+	}
+
+	h := &rtm.Float64Histogram{
+		Counts:  []uint64{0, 10, 0},
+		Buckets: []float64{0, 1, 2, 3},
+	}
+	if v := histQuantile(h, 0.5); v != 1 {
+		t.Errorf("single-bucket p50 = %v, want bucket lower edge 1", v)
+	}
+
+	inf := &rtm.Float64Histogram{
+		Counts:  []uint64{5, 5},
+		Buckets: []float64{math.Inf(-1), 1, math.Inf(1)},
+	}
+	for _, q := range []float64{0.25, 0.99} {
+		if v := histQuantile(inf, q); math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Errorf("quantile %v with infinite edges = %v, want finite", q, v)
+		}
+	}
+}

@@ -102,6 +102,9 @@ type metric struct {
 type Registry struct {
 	mu      sync.Mutex
 	metrics map[string]*metric
+
+	cmu        sync.Mutex
+	collectors []func()
 }
 
 // NewRegistry returns an empty registry.
@@ -112,6 +115,28 @@ func NewRegistry() *Registry {
 // Default is the process-wide registry the hot-path wiring records into
 // and the -serve endpoint exposes.
 var Default = NewRegistry()
+
+// RegisterCollector adds a pre-collection hook run at the top of every
+// Snapshot and WritePrometheus, outside the registry lock — the hook is
+// expected to Set gauges / Observe histograms. Pull-style sources (the
+// Go runtime/metrics bridge in goruntime.go) use this to refresh their
+// instruments exactly when the registry is read.
+func (r *Registry) RegisterCollector(f func()) {
+	r.cmu.Lock()
+	r.collectors = append(r.collectors, f)
+	r.cmu.Unlock()
+}
+
+// collect runs the registered collectors. The slice is append-only, so
+// holding only a snapshot of it is safe.
+func (r *Registry) collect() {
+	r.cmu.Lock()
+	cs := r.collectors
+	r.cmu.Unlock()
+	for _, f := range cs {
+		f()
+	}
+}
 
 // validName enforces the Prometheus metric/label name charset.
 func validName(s string) bool {

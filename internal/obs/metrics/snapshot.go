@@ -42,8 +42,10 @@ type HistogramSnap struct {
 	P99        float64   `json:"p99"`
 }
 
-// Snapshot copies the registry's current values.
+// Snapshot copies the registry's current values, after running any
+// registered collectors (pull-style sources refresh themselves here).
 func (r *Registry) Snapshot() *Snapshot {
+	r.collect()
 	s := &Snapshot{}
 	for _, m := range r.sorted() {
 		if m.children != nil {

@@ -119,4 +119,30 @@ var (
 		"Interpolated 99th-percentile request latency since startup, by endpoint.", "endpoint")
 	ServeBatchVertices = Default.Histogram("agnn_serve_batch_vertices",
 		"Seed vertices coalesced into one micro-batched plan execution.", ExpBuckets(1, 2, 12))
+	ServeStageSeconds = Default.HistogramVec("agnn_serve_stage_seconds",
+		"Per-stage serving latency decomposition (queue, batch, expand, plan), by stage.",
+		"stage", DefLatencyBuckets)
+
+	// Cross-rank causal critical path (internal/obs/causal;
+	// docs/OBSERVABILITY.md). Published when a causally traced run is
+	// summarized (CLI Stop, /report, benchutil).
+	CritPathSeconds = Default.Gauge("agnn_critpath_seconds",
+		"Total reconstructed critical-path time across the analyzed windows.")
+	CritPathComputeSeconds = Default.Gauge("agnn_critpath_compute_seconds",
+		"Critical-path time attributed to kernel/compute spans.")
+	CritPathCollectiveSeconds = Default.Gauge("agnn_critpath_collective_seconds",
+		"Critical-path time attributed to collective hops.")
+	CritPathWaitSeconds = Default.Gauge("agnn_critpath_wait_seconds",
+		"Critical-path time attributed to blocked receives.")
+	CritPathCheckpointSeconds = Default.Gauge("agnn_critpath_checkpoint_seconds",
+		"Critical-path time attributed to checkpoint writes.")
+	CritPathCoverage = Default.Gauge("agnn_critpath_coverage",
+		"Reconstructed path time over analyzed window time (1.0 = exact reconstruction).")
+
+	// costmodel.ValidateCriticalPath: measured epoch critical path vs the
+	// α-β-γ model's prediction.
+	CritPathPredictedSeconds = Default.Gauge("agnn_critpath_predicted_seconds",
+		"Cost-model predicted per-epoch critical-path time.")
+	CritPathMeasuredSeconds = Default.Gauge("agnn_critpath_measured_seconds",
+		"Measured mean per-epoch critical-path time.")
 )

@@ -42,12 +42,24 @@ type Attr struct {
 // Int64 constructs a span attribute.
 func Int64(key string, val int64) Attr { return Attr{Key: key, Val: val} }
 
-// event is one completed span on a track.
+// Flow-event markers (event.flow): a flow pair shares an id and draws an
+// arrow between tracks in the Chrome trace — the causal message edges of
+// internal/obs/causal.
+const (
+	flowNone uint8 = iota
+	flowOut        // "s": flow starts here (message send)
+	flowIn         // "f": flow ends here (message receive)
+)
+
+// event is one completed span on a track, or a flow endpoint (flow !=
+// flowNone; dur and attrs unused).
 type event struct {
-	name  string
-	start time.Duration // since tracer epoch (monotonic)
-	dur   time.Duration
-	attrs []Attr
+	name   string
+	start  time.Duration // since tracer epoch (monotonic)
+	dur    time.Duration
+	attrs  []Attr
+	flow   uint8
+	flowID uint64
 }
 
 // Track is an ordered sequence of spans rendered as one horizontal timeline
@@ -81,6 +93,23 @@ func (t *Track) Start(name string) Span {
 	}
 	t.open.Add(1)
 	return Span{track: t, name: name, start: t.tracer.now()}
+}
+
+// FlowOut records the sending endpoint of a cross-track flow arrow; the
+// matching FlowIn on the receiver's track shares id. No-op on nil tracks.
+func (t *Track) FlowOut(name string, id uint64) { t.flowEvent(name, flowOut, id) }
+
+// FlowIn records the receiving endpoint of a cross-track flow arrow.
+func (t *Track) FlowIn(name string, id uint64) { t.flowEvent(name, flowIn, id) }
+
+func (t *Track) flowEvent(name string, kind uint8, id uint64) {
+	if t == nil {
+		return
+	}
+	now := t.tracer.now()
+	t.mu.Lock()
+	t.events = append(t.events, event{name: name, start: now, flow: kind, flowID: id})
+	t.mu.Unlock()
 }
 
 // Open returns the number of spans started on the track that have not

@@ -6,6 +6,7 @@ import (
 	"os"
 	"sort"
 
+	"agnn/internal/obs/causal"
 	"agnn/internal/obs/metrics"
 )
 
@@ -41,9 +42,12 @@ type TrackStat struct {
 // one — the CLI attaches metrics.Default at exit, the /report endpoint at
 // request time.
 type Report struct {
-	Spans   []SpanStat        `json:"spans"`
-	Tracks  []TrackStat       `json:"tracks"`
-	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
+	Spans  []SpanStat  `json:"spans"`
+	Tracks []TrackStat `json:"tracks"`
+	// CriticalPath is the cross-rank causal reconstruction (present when
+	// the run had causal tracing enabled and recorded messages).
+	CriticalPath *causal.Summary   `json:"critical_path,omitempty"`
+	Metrics      *metrics.Snapshot `json:"metrics,omitempty"`
 }
 
 // Report aggregates the tracer's completed spans. Span stats are sorted by
@@ -58,6 +62,9 @@ func (t *Tracer) Report() *Report {
 		tr.mu.Unlock()
 		ts := TrackStat{Track: tr.name, Open: tr.Open()}
 		for _, e := range evs {
+			if e.flow != flowNone {
+				continue // flow endpoints are not spans
+			}
 			s := byName[e.name]
 			if s == nil {
 				s = &SpanStat{Name: e.name}

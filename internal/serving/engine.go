@@ -20,10 +20,13 @@ package serving
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"agnn/internal/gnn"
@@ -108,16 +111,54 @@ type Prediction struct {
 	Logits []float64 `json:"logits"`
 }
 
+// Timing decomposes one request's latency along the serving pipeline:
+// admission-queue wait, micro-batch collection wait, ego expansion, and
+// compiled-plan execution. ExpandNs/PlanNs are shared by every request in
+// the same micro-batch; QueueNs/BatchNs are per request. A p99 outlier
+// with a large QueueNs is an admission problem, a large BatchNs points at
+// the Window, and a large PlanNs at the query structure itself.
+type Timing struct {
+	TraceID  string `json:"trace_id,omitempty"` // request trace ID (X-Agnn-Trace)
+	QueueNs  int64  `json:"queue_ns"`           // enqueue → picked up by a runner
+	BatchNs  int64  `json:"batch_ns"`           // picked up → micro-batch closed
+	ExpandNs int64  `json:"expand_ns"`          // seed union → induced subgraph + features
+	PlanNs   int64  `json:"plan_ns"`            // rebind + planned forward + output copy
+	Seeds    int    `json:"batch_seeds"`        // distinct seeds in the shared execution
+}
+
+// tracePrefix makes trace IDs unique across processes; the counter makes
+// them unique within one.
+var tracePrefix = func() string {
+	var b [4]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return "00000000"
+	}
+	return hex.EncodeToString(b[:])
+}()
+
+var traceCounter atomic.Uint64
+
+// NewTraceID returns a process-unique request trace ID
+// ("<8 hex chars>-<counter>").
+func NewTraceID() string {
+	return fmt.Sprintf("%s-%d", tracePrefix, traceCounter.Add(1))
+}
+
 // request is one enqueued query: answer these seeds at this radius.
 type request struct {
 	seeds []int
 	hops  int
 	reply chan result
+
+	trace string    // request trace ID (propagated into the reply's Timing)
+	enq   time.Time // admission time
+	pick  time.Time // when a runner dequeued it
 }
 
 type result struct {
-	preds []Prediction
-	err   error
+	preds  []Prediction
+	timing Timing
+	err    error
 }
 
 // Engine executes micro-batched subgraph inference.
@@ -178,52 +219,73 @@ func (e *Engine) Hops() int { return e.cfg.Hops }
 // Queries may be coalesced with concurrent ones into a single compiled
 // subgraph execution. Results align with vertices.
 func (e *Engine) Predict(ctx context.Context, vertices []int) ([]Prediction, error) {
-	return e.submit(ctx, vertices, e.cfg.Hops)
+	preds, _, err := e.PredictTraced(ctx, vertices, "")
+	return preds, err
+}
+
+// PredictTraced is Predict with an explicit trace ID ("" allocates one)
+// and the request's pipeline timing decomposition.
+func (e *Engine) PredictTraced(ctx context.Context, vertices []int, trace string) ([]Prediction, Timing, error) {
+	return e.submit(ctx, vertices, e.cfg.Hops, trace)
 }
 
 // Ego answers one vertex at an explicit radius (hops ≤ 0 uses the
 // default). It rides the same batching path; only queries with the same
 // radius share an execution.
 func (e *Engine) Ego(ctx context.Context, vertex, hops int) (Prediction, error) {
+	p, _, err := e.EgoTraced(ctx, vertex, hops, "")
+	return p, err
+}
+
+// EgoTraced is Ego with an explicit trace ID and timing decomposition.
+func (e *Engine) EgoTraced(ctx context.Context, vertex, hops int, trace string) (Prediction, Timing, error) {
 	if hops <= 0 {
 		hops = e.cfg.Hops
 	}
-	preds, err := e.submit(ctx, []int{vertex}, hops)
+	preds, tm, err := e.submit(ctx, []int{vertex}, hops, trace)
 	if err != nil {
-		return Prediction{}, err
+		return Prediction{}, tm, err
 	}
-	return preds[0], nil
+	return preds[0], tm, nil
 }
 
-func (e *Engine) submit(ctx context.Context, vertices []int, hops int) ([]Prediction, error) {
+func (e *Engine) submit(ctx context.Context, vertices []int, hops int, trace string) ([]Prediction, Timing, error) {
+	if trace == "" {
+		trace = NewTraceID()
+	}
+	tm := Timing{TraceID: trace}
 	if len(vertices) == 0 {
-		return nil, fmt.Errorf("%w: empty vertex list", ErrBadRequest)
+		return nil, tm, fmt.Errorf("%w: empty vertex list", ErrBadRequest)
 	}
 	n := e.cfg.Adj.Rows
 	for _, v := range vertices {
 		if v < 0 || v >= n {
-			return nil, fmt.Errorf("%w: vertex %d outside [0,%d)", ErrBadRequest, v, n)
+			return nil, tm, fmt.Errorf("%w: vertex %d outside [0,%d)", ErrBadRequest, v, n)
 		}
 	}
-	r := request{seeds: vertices, hops: hops, reply: make(chan result, 1)}
+	r := request{seeds: vertices, hops: hops, reply: make(chan result, 1),
+		trace: trace, enq: time.Now()}
 	select {
 	case <-e.done:
-		return nil, ErrStopped
+		return nil, tm, ErrStopped
 	default:
 	}
 	select {
 	case e.reqs <- r:
 	default:
 		metrics.ServeRejectedTotal.Inc()
-		return nil, ErrOverloaded
+		return nil, tm, ErrOverloaded
 	}
 	select {
 	case res := <-r.reply:
-		return res.preds, res.err
+		if res.timing.TraceID == "" {
+			res.timing.TraceID = trace
+		}
+		return res.preds, res.timing, res.err
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return nil, tm, ctx.Err()
 	case <-e.done:
-		return nil, ErrStopped
+		return nil, tm, ErrStopped
 	}
 }
 
@@ -235,6 +297,7 @@ func (e *Engine) runner() {
 		case <-e.done:
 			return
 		case first := <-e.reqs:
+			first.pick = time.Now()
 			e.runBatch(e.collect(first))
 		}
 	}
@@ -250,6 +313,7 @@ func (e *Engine) collect(first request) []request {
 	for seedCount < e.cfg.MaxBatch {
 		select {
 		case r := <-e.reqs:
+			r.pick = time.Now()
 			batch = append(batch, r)
 			seedCount += len(r.seeds)
 		case <-timer.C:
@@ -277,6 +341,7 @@ func (e *Engine) runBatch(batch []request) {
 // induced subgraph, rebind, run the compiled plans once, and slice each
 // request's rows out of the shared output.
 func (e *Engine) runGroup(group []request, hops int) {
+	start := time.Now()
 	// Union of seeds in first-seen order — the subgraph's leading rows.
 	var seeds []int32
 	index := make(map[int32]int)
@@ -290,19 +355,34 @@ func (e *Engine) runGroup(group []request, hops int) {
 	}
 	metrics.ServeBatchVertices.Observe(float64(len(seeds)))
 
+	timing := func(r request, tm Timing) Timing {
+		tm.TraceID = r.trace
+		tm.Seeds = len(seeds)
+		if !r.enq.IsZero() && !r.pick.IsZero() {
+			tm.QueueNs = r.pick.Sub(r.enq).Nanoseconds()
+			tm.BatchNs = start.Sub(r.pick).Nanoseconds()
+		}
+		metrics.ServeStageSeconds.With("queue").Observe(float64(tm.QueueNs) / 1e9)
+		metrics.ServeStageSeconds.With("batch").Observe(float64(tm.BatchNs) / 1e9)
+		metrics.ServeStageSeconds.With("expand").Observe(float64(tm.ExpandNs) / 1e9)
+		metrics.ServeStageSeconds.With("plan").Observe(float64(tm.PlanNs) / 1e9)
+		return tm
+	}
+
 	verts := Expand(e.cfg.Adj, seeds, hops)
 	sub := graph.InducedSubgraph(e.cfg.Adj, verts)
 	feats := tensor.NewDense(len(verts), e.cfg.Features.Cols)
 	for i, v := range verts {
 		copy(feats.Row(i), e.cfg.Features.Row(int(v)))
 	}
+	expandDone := time.Now()
 
 	// Fresh layer structs per execution keep runners independent; the
 	// parameter buffers and the plan cache are the only shared state.
 	bm, err := gnn.RebindAdjacency(e.cfg.Model, sub)
 	if err != nil {
 		for _, r := range group {
-			r.reply <- result{err: err}
+			r.reply <- result{timing: timing(r, Timing{ExpandNs: expandDone.Sub(start).Nanoseconds()}), err: err}
 		}
 		return
 	}
@@ -314,6 +394,10 @@ func (e *Engine) runGroup(group []request, hops int) {
 		logits[i] = append([]float64(nil), out.Row(i)...)
 	}
 	bm.ReleasePlans()
+	shared := Timing{
+		ExpandNs: expandDone.Sub(start).Nanoseconds(),
+		PlanNs:   time.Since(expandDone).Nanoseconds(),
+	}
 
 	for _, r := range group {
 		preds := make([]Prediction, len(r.seeds))
@@ -321,7 +405,7 @@ func (e *Engine) runGroup(group []request, hops int) {
 			lg := logits[index[int32(v)]]
 			preds[j] = Prediction{Vertex: v, Class: argmax(lg), Logits: lg}
 		}
-		r.reply <- result{preds: preds}
+		r.reply <- result{preds: preds, timing: timing(r, shared)}
 	}
 }
 

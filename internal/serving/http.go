@@ -10,6 +10,13 @@ import (
 	"agnn/internal/obs/serve"
 )
 
+// TraceHeader is the request/response header carrying the per-request
+// trace ID. A client-supplied value is propagated through the pipeline
+// and echoed back; otherwise the engine allocates one. Either way the
+// response's trace timing decomposes the request's latency into queue,
+// batch, expand and plan stages.
+const TraceHeader = "X-Agnn-Trace"
+
 // PredictRequest is the POST /v1/predict body.
 type PredictRequest struct {
 	Vertices []int `json:"vertices"`
@@ -18,6 +25,7 @@ type PredictRequest struct {
 // PredictResponse is the /v1/predict reply.
 type PredictResponse struct {
 	Predictions []Prediction `json:"predictions"`
+	Trace       *Timing      `json:"trace,omitempty"`
 }
 
 // EgoRequest is the POST /v1/ego body. Hops 0 uses the model depth.
@@ -29,7 +37,8 @@ type EgoRequest struct {
 // EgoResponse is the /v1/ego reply.
 type EgoResponse struct {
 	Prediction
-	Hops int `json:"hops"`
+	Hops  int     `json:"hops"`
+	Trace *Timing `json:"trace,omitempty"`
 }
 
 // Handler returns the serving mux: POST /v1/predict and POST /v1/ego on
@@ -42,24 +51,26 @@ func Handler(e *Engine, opt serve.Options) http.Handler {
 	mux.Handle("/", serve.Handler(opt))
 	mux.HandleFunc("/v1/predict", func(w http.ResponseWriter, r *http.Request) {
 		instrument("predict", w, r, func() (any, error) {
+			trace := traceFor(w, r)
 			var req PredictRequest
 			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 				return nil, badRequest{err}
 			}
-			preds, err := e.Predict(r.Context(), req.Vertices)
+			preds, tm, err := e.PredictTraced(r.Context(), req.Vertices, trace)
 			if err != nil {
 				return nil, err
 			}
-			return PredictResponse{Predictions: preds}, nil
+			return PredictResponse{Predictions: preds, Trace: &tm}, nil
 		})
 	})
 	mux.HandleFunc("/v1/ego", func(w http.ResponseWriter, r *http.Request) {
 		instrument("ego", w, r, func() (any, error) {
+			trace := traceFor(w, r)
 			var req EgoRequest
 			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 				return nil, badRequest{err}
 			}
-			p, err := e.Ego(r.Context(), req.Vertex, req.Hops)
+			p, tm, err := e.EgoTraced(r.Context(), req.Vertex, req.Hops, trace)
 			if err != nil {
 				return nil, err
 			}
@@ -67,10 +78,21 @@ func Handler(e *Engine, opt serve.Options) http.Handler {
 			if hops <= 0 {
 				hops = e.Hops()
 			}
-			return EgoResponse{Prediction: p, Hops: hops}, nil
+			return EgoResponse{Prediction: p, Hops: hops, Trace: &tm}, nil
 		})
 	})
 	return mux
+}
+
+// traceFor resolves the request's trace ID (client-supplied or fresh) and
+// echoes it on the response before the body — error responses carry it too.
+func traceFor(w http.ResponseWriter, r *http.Request) string {
+	trace := r.Header.Get(TraceHeader)
+	if trace == "" {
+		trace = NewTraceID()
+	}
+	w.Header().Set(TraceHeader, trace)
+	return trace
 }
 
 // badRequest marks a client error (malformed body, bad vertex id) → 400.
