@@ -47,6 +47,9 @@ func main() {
 	flag.IntVar(&s.Warmup, "warmup", 2, "number of warmup runs")
 	flag.IntVar(&s.BatchSize, "batch", 16384, "mini-batch seed count (engine=minibatch)")
 	flag.Int64Var(&s.Seed, "s", 0, "random number generator seed")
+	flag.StringVar(&s.DType, "dtype", "f64", "element width of the compiled plans: f64 (default, bitwise-stable) or f32 (mixed precision)")
+	flag.Int64Var(&s.TileBudget, "tile", 0, "per-core cache budget in bytes for the kernels' column tiles (0 = package default)")
+	flag.BoolVar(&s.PlanInfer, "planned", false, "single-rank inference: execute compiled inference plans (fused attention, no per-edge score tensor) instead of the direct kernels")
 	flag.StringVar(&s.Faults, "faults", "", "fault-injection spec for distributed runs, e.g. 'delay:p=0.01,ms=1;drop:p=0.005' (docs/ROBUSTNESS.md)")
 	flag.Int64Var(&s.FaultSeed, "fault-seed", 0, "seed for the fault injector's RNG streams")
 	flag.StringVar(&csvPath, "csv", "", "append the result row to this CSV file")
@@ -136,6 +139,20 @@ func main() {
 			rec.Baseline = &seqRes
 			fmt.Printf("sequential baseline: median=%.6fs layer=%.6fs\n",
 				seqRes.MedianSec, seqRes.MeanLayerSec)
+		} else if res.DType != "f64" {
+			// Reduced-precision baselines carry their f64 twin (same spec,
+			// dtype flipped), so the gate can ratio the mixed-precision win
+			// on figures measured back-to-back on one machine.
+			twin := s
+			twin.DType = "f64"
+			twinRes, err := benchutil.RunSpec(twin)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "agnn-bench:", err)
+				os.Exit(1)
+			}
+			rec.Baseline = &twinRes
+			fmt.Printf("f64 twin: median=%.6fs, %.3f GF/s, %.1f bytes per edge\n",
+				twinRes.MedianSec, twinRes.GFPerSec, twinRes.BytesPerEdge)
 		}
 		if err := benchutil.WriteRecordFile(*jsonPath, rec); err != nil {
 			fmt.Fprintln(os.Stderr, "agnn-bench:", err)

@@ -40,6 +40,7 @@ import (
 	"agnn/internal/obs/flight"
 	"agnn/internal/obs/serve"
 	"agnn/internal/serving"
+	"agnn/internal/tensor"
 )
 
 func main() {
@@ -53,6 +54,7 @@ func main() {
 	seed := flag.Int64("s", 0, "random seed")
 	trainFrac := flag.Float64("train", 0.7, "training-mask fraction (synthetic dataset)")
 	heads := flag.Int("heads", 1, "GAT attention heads")
+	dtype := flag.String("dtype", "f64", "element width of the compiled plans: f64 (default) or f32 (mixed precision; checkpoint dtype must match)")
 
 	ckptDir := flag.String("checkpoint-dir", "", "restore the latest full checkpoint from this directory")
 	weights := flag.String("weights", "", "restore a weights-only checkpoint (agnn-train -save)")
@@ -75,6 +77,8 @@ func main() {
 
 	kind, err := gnn.ParseKind(*model)
 	fatal(err)
+	dt, err := tensor.ParseDType(*dtype)
+	fatal(err)
 
 	var ds *graph.Dataset
 	if *dataFile != "" {
@@ -86,7 +90,7 @@ func main() {
 
 	cfg := gnn.Config{Model: kind, Layers: *layers, InDim: ds.Features.Cols,
 		HiddenDim: *hidden, OutDim: ds.Classes, Activation: gnn.ReLU(),
-		SelfLoops: true, Heads: *heads, Seed: *seed}
+		SelfLoops: true, Heads: *heads, Seed: *seed, DType: dt}
 	m, err := gnn.New(cfg, ds.Adj)
 	fatal(err)
 

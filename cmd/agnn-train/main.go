@@ -30,6 +30,7 @@ import (
 	"agnn/internal/graph"
 	"agnn/internal/obs"
 	"agnn/internal/obs/metrics"
+	"agnn/internal/tensor"
 )
 
 func main() {
@@ -45,6 +46,7 @@ func main() {
 	seed := flag.Int64("s", 0, "random seed")
 	trainFrac := flag.Float64("train", 0.7, "training-mask fraction (synthetic dataset)")
 	heads := flag.Int("heads", 1, "GAT attention heads (>1 enables the multi-head extension)")
+	dtype := flag.String("dtype", "f64", "element width of the compiled plans: f64 (default, bitwise-stable) or f32 (mixed precision; single-node only)")
 	savePath := flag.String("save", "", "write a weight checkpoint here after training")
 	loadPath := flag.String("load", "", "initialize weights from this checkpoint")
 	profile := flag.Bool("profile", false, "print the per-layer wall-time table after training")
@@ -63,6 +65,8 @@ func main() {
 
 	kind, err := gnn.ParseKind(*model)
 	fatal(err)
+	dt, err := tensor.ParseDType(*dtype)
+	fatal(err)
 	fatal(o.Start())
 
 	var ds *graph.Dataset
@@ -76,7 +80,7 @@ func main() {
 
 	cfg := gnn.Config{Model: kind, Layers: *layers, InDim: ds.Features.Cols,
 		HiddenDim: *hidden, OutDim: ds.Classes, Activation: gnn.ReLU(),
-		SelfLoops: true, Heads: *heads, Seed: *seed}
+		SelfLoops: true, Heads: *heads, Seed: *seed, DType: dt}
 	m, err := gnn.New(cfg, ds.Adj)
 	fatal(err)
 	if *loadPath != "" {

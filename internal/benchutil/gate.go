@@ -102,6 +102,22 @@ func GateCompare(base, fresh Record, tol Tolerances) GateReport {
 	}
 	b, f := base.Result, fresh.Result
 
+	// Records stamp their plan dtype; an f32 run compared against an f64
+	// baseline (or vice versa) would "pass" on halved traffic or "fail" on
+	// doubled — either way the comparison is meaningless, so it is refused
+	// outright rather than tolerated. Pre-dtype baselines carry an empty
+	// stamp, which reads as f64.
+	if bd, fd := normDType(b.DType), normDType(f.DType); bd != fd {
+		rep.Checks = append(rep.Checks, GateCheck{Metric: "DType", OK: false,
+			Reason: fmt.Sprintf("baseline is %s, fresh is %s: cross-dtype comparisons are refused; recapture the baseline at the new dtype", bd, fd)})
+		rep.Pass = false
+		return rep
+	}
+
+	// A record whose embedded twin was captured at the other dtype carries
+	// the f32-vs-f64 contrast; assert the mixed-precision win holds.
+	rep.Checks = append(rep.Checks, dtypeTwinChecks(base)...)
+
 	rep.Checks = append(rep.Checks, checkUpper("MedianSec", b.MedianSec, f.MedianSec, tol.MedianSec))
 	rep.Checks = append(rep.Checks, checkDrift("CommRatio", b.CommRatio, f.CommRatio, tol.CommRatio))
 	rep.Checks = append(rep.Checks, checkUpper("PeakArenaBytes",
@@ -117,6 +133,68 @@ func GateCompare(base, fresh Record, tol Tolerances) GateReport {
 		}
 	}
 	return rep
+}
+
+// An f32 record captured with its f64 twin (agnn-bench -dtype f32 -json
+// embeds the twin in Record.Baseline) must beat these ratios against that
+// twin: halving the element width must actually halve the memory traffic of
+// the bandwidth-bound sweeps, within slack for the f64 master weights and
+// index bytes that do not shrink.
+const (
+	F32BytesPerEdgeMaxRatio = 0.6 // f32 bytes/edge ≤ 0.6× the f64 twin's
+	F32GFPerSecMinRatio     = 1.3 // f32 GF/s ≥ 1.3× the f64 twin's
+)
+
+// normDType canonicalizes a Result's dtype stamp; records predating the
+// stamp are f64.
+func normDType(s string) string {
+	if s == "" {
+		return "f64"
+	}
+	return s
+}
+
+// dtypeTwinChecks asserts the mixed-precision win on a record whose embedded
+// twin was captured at the other dtype. Both halves of the pair were measured
+// back-to-back on the same machine, so the ratios survive machine-to-machine
+// variation that absolute figures would not. Twin-less records (and
+// same-dtype overlap twins) contribute nothing. Delta carries the raw
+// f32/f64 ratio, not a fractional drift.
+func dtypeTwinChecks(rec Record) []GateCheck {
+	if rec.Baseline == nil {
+		return nil
+	}
+	r, twin := rec.Result, *rec.Baseline
+	if normDType(r.DType) == normDType(twin.DType) {
+		return nil
+	}
+	r32, r64 := r, twin
+	if normDType(r.DType) != "f32" {
+		r32, r64 = twin, r
+	}
+	bpe := GateCheck{Metric: "F32BytesPerEdgeX", Base: r64.BytesPerEdge, Fresh: r32.BytesPerEdge,
+		Tolerance: F32BytesPerEdgeMaxRatio, OK: true}
+	if r64.BytesPerEdge <= 0 || r32.BytesPerEdge <= 0 {
+		bpe.Skipped, bpe.Reason = true, "twin pair lacks roofline byte figures"
+	} else {
+		bpe.Delta = r32.BytesPerEdge / r64.BytesPerEdge
+		if bpe.Delta > F32BytesPerEdgeMaxRatio {
+			bpe.OK = false
+			bpe.Reason = fmt.Sprintf("f32 moves %.2fx the f64 bytes per edge (want <= %.2fx)", bpe.Delta, F32BytesPerEdgeMaxRatio)
+		}
+	}
+	gf := GateCheck{Metric: "F32GFPerSecX", Base: r64.GFPerSec, Fresh: r32.GFPerSec,
+		Tolerance: F32GFPerSecMinRatio, OK: true}
+	if r64.GFPerSec <= 0 || r32.GFPerSec <= 0 {
+		gf.Skipped, gf.Reason = true, "twin pair lacks roofline throughput figures"
+	} else {
+		gf.Delta = r32.GFPerSec / r64.GFPerSec
+		if gf.Delta < F32GFPerSecMinRatio {
+			gf.OK = false
+			gf.Reason = fmt.Sprintf("f32 delivers %.2fx the f64 throughput (want >= %.2fx)", gf.Delta, F32GFPerSecMinRatio)
+		}
+	}
+	return []GateCheck{bpe, gf}
 }
 
 // checkUpper fails when fresh exceeds base by more than the fractional tol

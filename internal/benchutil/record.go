@@ -23,8 +23,11 @@ const RecordSchema = "agnn-bench/v1"
 type Record struct {
 	Schema string `json:"schema"`
 	Result Result `json:"result"`
-	// Baseline is the non-overlapped twin of an overlapped Result (same spec
-	// with Overlap off), so one BENCH_*.json carries the on/off comparison.
+	// Baseline is the contrast twin of the Result, measured back-to-back on
+	// the same machine so one BENCH_*.json carries the comparison: the
+	// non-overlapped twin of an overlapped run (same spec with Overlap off),
+	// or the f64 twin of an f32 run (same spec with DType f64), which the
+	// gate's dtype-twin checks ratio against.
 	Baseline *Result           `json:"sequential_baseline,omitempty"`
 	Metrics  *metrics.Snapshot `json:"metrics,omitempty"`
 	// Provenance stamps the environment a baseline was captured in, so a

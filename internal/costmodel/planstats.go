@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"agnn/internal/fuse"
+	"agnn/internal/tensor"
 )
 
 // This file closes the loop between the SOAP-style planner and the
@@ -22,8 +23,10 @@ type ExecutionProfile struct {
 	BackwardKernels int // kernel launches per backward step (0 for inference plans)
 	FusedVirtual    int // virtual nodes collapsed into sampling kernels (Section 6.2)
 	SoftmaxFused    int // softmaxes folded into their mask's sampling sweep
+	AttnFused       int // score→softmax→aggregate chains fused into single sweeps
 	OpCounts        map[string]int
-	WorkspaceBytes  int64 // preallocated intermediate storage held by the plan
+	WorkspaceBytes  int64        // preallocated intermediate storage held by the plan
+	DType           tensor.DType // element width the kernels execute at
 }
 
 // ProfilePlan reads the execution counts off a compiled plan.
@@ -36,8 +39,10 @@ func ProfilePlan(p *fuse.Plan) ExecutionProfile {
 		BackwardKernels: s.BackwardOps,
 		FusedVirtual:    s.FusedVirtual,
 		SoftmaxFused:    s.SoftmaxFused,
+		AttnFused:       s.AttnFused,
 		OpCounts:        s.OpCounts,
 		WorkspaceBytes:  s.WorkspaceBytes(),
+		DType:           s.DType,
 	}
 }
 
@@ -59,7 +64,7 @@ func (e ExecutionProfile) String() string {
 	if e.Train {
 		mode = "train"
 	}
-	return fmt.Sprintf("%s [%s]: %d fwd + %d bwd kernels (%d virtual fused, %d softmax fused), %d KiB workspace; %s",
-		e.Name, mode, e.ForwardKernels, e.BackwardKernels, e.FusedVirtual, e.SoftmaxFused,
-		e.WorkspaceBytes/1024, strings.Join(ops, " "))
+	return fmt.Sprintf("%s [%s, %s]: %d fwd + %d bwd kernels (%d virtual fused, %d softmax fused, %d attn fused), %d KiB workspace; %s",
+		e.Name, mode, e.DType, e.ForwardKernels, e.BackwardKernels, e.FusedVirtual, e.SoftmaxFused,
+		e.AttnFused, e.WorkspaceBytes/1024, strings.Join(ops, " "))
 }

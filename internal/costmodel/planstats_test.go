@@ -26,9 +26,13 @@ func TestProfilePlanReadsCompiledCounts(t *testing.T) {
 	if !prof.Train {
 		t.Fatal("AGNN layer plan must be a training plan")
 	}
-	// AGNN forward: fused softmax sampling, rownorm, mm, spmm, sigma = 5.
-	if prof.ForwardKernels != 5 {
-		t.Fatalf("AGNN forward kernels = %d, want 5", prof.ForwardKernels)
+	// AGNN forward: rownorm, mm, fused attention (sampling+softmax+spmm in
+	// one sweep), sigma = 4.
+	if prof.ForwardKernels != 4 {
+		t.Fatalf("AGNN forward kernels = %d, want 4", prof.ForwardKernels)
+	}
+	if prof.AttnFused != 1 {
+		t.Fatalf("AGNN attn-fused count = %d, want 1", prof.AttnFused)
 	}
 	if prof.BackwardKernels == 0 {
 		t.Fatal("training plan must report backward kernels")
@@ -46,7 +50,7 @@ func TestProfilePlanReadsCompiledCounts(t *testing.T) {
 		t.Fatal("KernelInvocations mismatch")
 	}
 	s := prof.String()
-	for _, want := range []string{"agnn", "train", "spmm"} {
+	for _, want := range []string{"agnn", "train", "fused-attn"} {
 		if !strings.Contains(s, want) {
 			t.Fatalf("profile string missing %q: %s", want, s)
 		}
@@ -55,9 +59,9 @@ func TestProfilePlanReadsCompiledCounts(t *testing.T) {
 	gat := gnn.NewGATLayer(a, at, 4, 3, gnn.Tanh(), 0.2, rng)
 	gat.Forward(h, true)
 	gprof := ProfilePlan(gat.Plan())
-	// GAT forward: mm, matvec×2, fused softmax sampling, spmm, sigma = 6.
-	if gprof.ForwardKernels != 6 {
-		t.Fatalf("GAT forward kernels = %d, want 6", gprof.ForwardKernels)
+	// GAT forward: mm, matvec×2, fused attention, sigma = 5.
+	if gprof.ForwardKernels != 5 {
+		t.Fatalf("GAT forward kernels = %d, want 5", gprof.ForwardKernels)
 	}
 	if gprof.OpCounts["matvec"] != 2 {
 		t.Fatalf("GAT matvec count = %d, want 2", gprof.OpCounts["matvec"])

@@ -1,0 +1,133 @@
+package distgnn
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"agnn/internal/dist"
+	"agnn/internal/gnn"
+	"agnn/internal/graph"
+	"agnn/internal/tensor"
+)
+
+func TestPackWords32RoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 8, 33} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Sin(float64(i)*1.3) * math.Pow(10, float64(i%7-3))
+		}
+		words := packWords32(xs)
+		if want := (n + 1) / 2; len(words) != want {
+			t.Fatalf("n=%d: packed into %d words, want %d", n, len(words), want)
+		}
+		dst := make([]float64, n)
+		unpackWords32(dst, words)
+		for i, v := range xs {
+			if dst[i] != float64(float32(v)) {
+				t.Fatalf("n=%d elem %d: %v round-tripped to %v, want the f32 rounding", n, i, v, dst[i])
+			}
+		}
+	}
+	// NaN payloads must survive the pack bitwise (the gathered words can be
+	// NaN floats when the two packed f32 halves form a NaN bit pattern).
+	xs := []float64{math.NaN(), 1.5, -math.Inf(1)}
+	dst := make([]float64, 3)
+	unpackWords32(dst, packWords32(xs))
+	if !math.IsNaN(dst[0]) || dst[1] != 1.5 || !math.IsInf(dst[2], -1) {
+		t.Fatalf("special values corrupted: %v", dst)
+	}
+}
+
+// TestRowEngineF32MatchesSingleNode: the 1D engine's f32 mode — f32 plans
+// plus the packed float32 allgather wire — must agree with the single-node
+// f32 planned-inference path. The packed wire rounds exactly where the f32
+// plan input boundary would, so the distribution changes no kernel input
+// bit; only the plans' fused-vs-unfused op grouping differs, which is
+// arithmetic-order-identical.
+func TestRowEngineF32MatchesSingleNode(t *testing.T) {
+	a := graph.ErdosRenyi(26, 80, 54)
+	h := testFeatures(26, 4)
+	for _, kind := range []gnn.Kind{gnn.VA, gnn.AGNN, gnn.GAT} {
+		cfg := testCfg(kind, 2, 4, 5, 3)
+		cfg.DType = tensor.F32
+		single, err := gnn.New(cfg, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single.SetPlanInference(true)
+		want := single.Forward(h, false)
+		for _, p := range []int{1, 4} {
+			var got *tensor.Dense
+			var mu sync.Mutex
+			dist.Run(p, func(c *dist.Comm) {
+				e, err := NewRowEngine(c, a, cfg)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				out, err := e.Forward(h.SliceRows(e.Lo, e.Hi).Clone())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				full := e.GatherOutput(out)
+				if full != nil {
+					mu.Lock()
+					got = full
+					mu.Unlock()
+				}
+			})
+			if !got.ApproxEqual(want, 1e-5) {
+				t.Fatalf("%v p=%d: f32 1D engine differs from single-node f32 by %g", kind, p, got.MaxAbsDiff(want))
+			}
+		}
+	}
+}
+
+// TestRowEngineF32HalvesWireVolume: the packed float32 allgather must move
+// half the bytes of the f64 wire — the network-side twin of the kernels'
+// traffic halving.
+func TestRowEngineF32HalvesWireVolume(t *testing.T) {
+	n, k := 128, 8
+	a := graph.ErdosRenyi(n, 4*n, 55)
+	vol := func(dt tensor.DType) int64 {
+		cfg := testCfg(gnn.GAT, 2, k, k, k)
+		cfg.DType = dt
+		cs := dist.Run(4, func(c *dist.Comm) {
+			e, err := NewRowEngine(c, a, cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := e.Forward(testFeatures(n, k).SliceRows(e.Lo, e.Hi).Clone()); err != nil {
+				t.Error(err)
+			}
+		})
+		return dist.MaxCounters(cs).BytesSent
+	}
+	v64, v32 := vol(tensor.F64), vol(tensor.F32)
+	ratio := float64(v32) / float64(v64)
+	if ratio > 0.55 {
+		t.Fatalf("f32 wire moved %d of %d f64 bytes (%.2fx), want ~0.5x", v32, v64, ratio)
+	}
+}
+
+// TestRowEngineF32RefusesOverlap: f32 plans cast at the plan boundary and
+// cannot be fragment-partitioned, so overlapped execution must refuse
+// loudly instead of silently running f64.
+func TestRowEngineF32RefusesOverlap(t *testing.T) {
+	a := graph.ErdosRenyi(20, 60, 56)
+	cfg := testCfg(gnn.GAT, 1, 4, 4, 4)
+	cfg.DType = tensor.F32
+	dist.Run(2, func(c *dist.Comm) {
+		e, err := NewRowEngine(c, a, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := e.EnableOverlap(); err == nil {
+			t.Error("EnableOverlap accepted f32 plans")
+		}
+	})
+}

@@ -65,6 +65,9 @@ type gridLayer interface {
 // convenience that does not touch the measured per-layer communication.
 func NewGlobalEngine(c *dist.Comm, a *sparse.CSR, cfg gnn.Config) (*GlobalEngine, error) {
 	cfg = cfg.Defaults()
+	if cfg.DType != tensor.F64 {
+		return nil, fmt.Errorf("distgnn: the global 2D engine requires f64 (got DType=%s); f32 plans cover the single-node layers and the 1D row engine", cfg.DType)
+	}
 	s, err := graph.SquareGrid(c.Size())
 	if err != nil {
 		return nil, err

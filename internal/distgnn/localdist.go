@@ -42,6 +42,9 @@ type LocalEngine struct {
 // runs offline) — only the per-layer feature traffic is measured.
 func NewLocalEngine(c *dist.Comm, a *sparse.CSR, cfg gnn.Config) (*LocalEngine, error) {
 	cfg = cfg.Defaults()
+	if cfg.DType != tensor.F64 {
+		return nil, fmt.Errorf("distgnn: the local-formulation baseline requires f64 (got DType=%s)", cfg.DType)
+	}
 	switch cfg.Model {
 	case gnn.GCN:
 		a = graph.NormalizeGCN(a)

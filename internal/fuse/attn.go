@@ -1,0 +1,164 @@
+package fuse
+
+import (
+	"math"
+
+	"agnn/internal/par"
+	"agnn/internal/sparse"
+)
+
+// The fused SDDMM + edge-softmax + SpMM attention op. The unfused op
+// sequence writes nnz normalized scores in one sweep and re-reads them in
+// the next; the fused op samples the composed virtual scores, normalizes
+// the row and aggregates the gathered feature rows while the row's scores
+// are still cache-hot. Per-row arithmetic matches the opSample→opSpMM
+// sequence operation-for-operation, so fused and unfused plans produce
+// bitwise-identical results — the property the f64 identity tests pin
+// down.
+
+// attnScratch holds one per-worker score row (sized to the pattern's
+// maximum row degree) for the inference variant, which materializes no
+// per-edge score tensor at all. Rows are allocated lazily on first use so
+// steady-state execution stays allocation-free.
+type attnScratch struct {
+	rows   [][]float64
+	maxRow int
+}
+
+func (s *attnScratch) row(worker int) []float64 {
+	if need := par.Workers() + 1; len(s.rows) < need {
+		grown := make([][]float64, need)
+		copy(grown, s.rows)
+		s.rows = grown
+	}
+	r := s.rows[worker]
+	if r == nil {
+		r = make([]float64, s.maxRow)
+		s.rows[worker] = r
+	}
+	return r
+}
+
+// opAttnFused builds the fused attention sweep. With vals non-nil
+// (training plans) the normalized scores are additionally written to the
+// sparse node's value buffer inside the same sweep, which is exactly what
+// the derived backward pass reads — so fusion needs no backward changes.
+// With vals nil (inference plans) scores live in per-worker scratch and
+// the nnz-sized buffer is never allocated. softmax selects the
+// score→softmax→aggregate shape (GAT/AGNN); without it the masked scores
+// aggregate directly (VA).
+func opAttnFused(pat *sparse.CSR, cuts *par.Cuts, vals []float64, f ScoreFunc, weights []float64, rowOff int32, softmax bool, x, out *spec) opFns {
+	if vals != nil {
+		each := func(i int) {
+			xd, od := x.dense, out.dense
+			k := od.Cols
+			orow := od.Data[i*k : (i+1)*k]
+			clear(orow)
+			b, e := pat.RowPtr[i], pat.RowPtr[i+1]
+			if b == e {
+				return
+			}
+			gi := int32(i) + rowOff
+			if softmax {
+				m := math.Inf(-1)
+				for p := b; p < e; p++ {
+					v := f(gi, pat.Col[p])
+					if weights != nil {
+						v *= weights[p]
+					}
+					vals[p] = v
+					if v > m {
+						m = v
+					}
+				}
+				sum := 0.0
+				for p := b; p < e; p++ {
+					v := math.Exp(vals[p] - m)
+					vals[p] = v
+					sum += v
+				}
+				inv := 1 / sum
+				for p := b; p < e; p++ {
+					vals[p] *= inv
+				}
+			} else {
+				for p := b; p < e; p++ {
+					v := f(gi, pat.Col[p])
+					if weights != nil {
+						v *= weights[p]
+					}
+					vals[p] = v
+				}
+			}
+			for p := b; p < e; p++ {
+				v := vals[p]
+				xrow := xd.Data[int(pat.Col[p])*k : int(pat.Col[p])*k+k]
+				for t, xv := range xrow {
+					orow[t] += v * xv
+				}
+			}
+		}
+		body := rowSweep(each)
+		return opFns{run: func() { par.RangeCuts(cuts, body) }, each: each, rows: pat.Rows}
+	}
+
+	// Inference: scores stay in per-worker scratch. The sweep needs the
+	// worker id for its scratch row, so it exposes no single-row body —
+	// inference fused plans are row-indivisible (partitioning callers
+	// compile with NoAttnFuse).
+	scratch := &attnScratch{maxRow: pat.MaxRowNNZ()}
+	body := func(worker, lo, hi int) {
+		buf := scratch.row(worker)
+		xd, od := x.dense, out.dense
+		k := od.Cols
+		for i := lo; i < hi; i++ {
+			orow := od.Data[i*k : (i+1)*k]
+			clear(orow)
+			b, e := pat.RowPtr[i], pat.RowPtr[i+1]
+			if b == e {
+				continue
+			}
+			gi := int32(i) + rowOff
+			row := buf[:e-b]
+			if softmax {
+				m := math.Inf(-1)
+				for p := b; p < e; p++ {
+					v := f(gi, pat.Col[p])
+					if weights != nil {
+						v *= weights[p]
+					}
+					row[p-b] = v
+					if v > m {
+						m = v
+					}
+				}
+				sum := 0.0
+				for q, v := range row {
+					v = math.Exp(v - m)
+					row[q] = v
+					sum += v
+				}
+				inv := 1 / sum
+				for q := range row {
+					row[q] *= inv
+				}
+			} else {
+				for p := b; p < e; p++ {
+					v := f(gi, pat.Col[p])
+					if weights != nil {
+						v *= weights[p]
+					}
+					row[p-b] = v
+				}
+			}
+			for p := b; p < e; p++ {
+				v := row[p-b]
+				xrow := xd.Data[int(pat.Col[p])*k : int(pat.Col[p])*k+k]
+				for t, xv := range xrow {
+					orow[t] += v * xv
+				}
+			}
+		}
+	}
+	return opFns{run: func() { par.RangeCuts(cuts, body) }}
+}

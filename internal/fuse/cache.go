@@ -37,18 +37,19 @@ import (
 // Rows and NNZ), same input feature width, and same layer signature (layer
 // kind, options, parameter identities, train mode, row offset).
 type CacheKey struct {
-	Adj  uint64 // sparse.CSR.Fingerprint of the adjacency operand
-	Rows int    // adjacency rows (fingerprint collision guard)
-	NNZ  int    // adjacency non-zeros (fingerprint collision guard)
-	In   int    // input feature width
-	Sig  string // layer signature: kind, options, param identities
+	Adj   uint64       // sparse.CSR.Fingerprint of the adjacency operand
+	Rows  int          // adjacency rows (fingerprint collision guard)
+	NNZ   int          // adjacency non-zeros (fingerprint collision guard)
+	In    int          // input feature width
+	DType tensor.DType // element width the plan was compiled for
+	Sig   string       // layer signature: kind, options, param identities
 }
 
-// KeyFor builds the cache key for one adjacency × input width × signature
-// combination. It hashes the adjacency (O(nnz)); callers that rebind
-// frequently should memoize per adjacency pointer.
-func KeyFor(a *sparse.CSR, in int, sig string) CacheKey {
-	return CacheKey{Adj: a.Fingerprint(), Rows: a.Rows, NNZ: a.NNZ(), In: in, Sig: sig}
+// KeyFor builds the cache key for one adjacency × input width × dtype ×
+// signature combination. It hashes the adjacency (O(nnz)); callers that
+// rebind frequently should memoize per adjacency pointer.
+func KeyFor(a *sparse.CSR, in int, dt tensor.DType, sig string) CacheKey {
+	return CacheKey{Adj: a.Fingerprint(), Rows: a.Rows, NNZ: a.NNZ(), In: in, DType: dt, Sig: sig}
 }
 
 const cacheShards = 8
@@ -142,6 +143,7 @@ func (c *PlanCache) shard(k CacheKey) *cacheShard {
 	mix(uint64(k.Rows))
 	mix(uint64(k.NNZ))
 	mix(uint64(k.In))
+	mix(uint64(k.DType))
 	for i := 0; i < len(k.Sig); i++ {
 		h ^= uint64(k.Sig[i])
 		h *= prime64

@@ -37,7 +37,7 @@ func spmmBuilder(a *sparse.CSR, in int, compiles *int) func(ws *tensor.Arena) *P
 func TestPlanCacheHitMiss(t *testing.T) {
 	c := NewPlanCache(0) // unlimited
 	a := cacheTestCSR(32, 128, 1)
-	key := KeyFor(a, 4, "spmm-test")
+	key := KeyFor(a, 4, tensor.F64, "spmm-test")
 	compiles := 0
 	build := spmmBuilder(a, 4, &compiles)
 
@@ -105,7 +105,7 @@ func TestPlanCacheDistinctKeys(t *testing.T) {
 	keys := make([]CacheKey, K)
 	for i := range adjs {
 		adjs[i] = cacheTestCSR(32, 96, int64(100+i))
-		keys[i] = KeyFor(adjs[i], 4, "spmm-test")
+		keys[i] = KeyFor(adjs[i], 4, tensor.F64, "spmm-test")
 	}
 	// Two sweeps: the first compiles each key once, the second hits.
 	for sweep := 0; sweep < 2; sweep++ {
@@ -118,7 +118,7 @@ func TestPlanCacheDistinctKeys(t *testing.T) {
 		t.Fatalf("compiled %d plans over 2 sweeps of %d keys, want %d", compiles, K, K)
 	}
 	// Same adjacency content under a different signature is a different plan.
-	l := c.Get(KeyFor(adjs[0], 4, "other-sig"), spmmBuilder(adjs[0], 4, &compiles))
+	l := c.Get(KeyFor(adjs[0], 4, tensor.F64, "other-sig"), spmmBuilder(adjs[0], 4, &compiles))
 	l.Release()
 	if compiles != K+1 {
 		t.Fatalf("distinct signature did not compile (total %d)", compiles)
@@ -132,7 +132,7 @@ func TestPlanCacheDistinctKeys(t *testing.T) {
 func TestPlanCacheBudgetEviction(t *testing.T) {
 	c := NewPlanCache(1) // 1 byte: nothing fits, everything evicts on release
 	a := cacheTestCSR(32, 128, 2)
-	key := KeyFor(a, 8, "spmm-test")
+	key := KeyFor(a, 8, tensor.F64, "spmm-test")
 	ev0 := metrics.PlanCacheEvictions.Value()
 
 	l := c.Get(key, spmmBuilder(a, 8, nil))
@@ -180,7 +180,7 @@ func TestPlanCacheConcurrentHammer(t *testing.T) {
 	keys := make([]CacheKey, K)
 	for i := range adjs {
 		adjs[i] = cacheTestCSR(24, 64, int64(200+i))
-		keys[i] = KeyFor(adjs[i], 4, "hammer")
+		keys[i] = KeyFor(adjs[i], 4, tensor.F64, "hammer")
 	}
 	var wg sync.WaitGroup
 	for g := 0; g < G; g++ {
@@ -225,7 +225,7 @@ func TestPlanCacheConcurrentHammer(t *testing.T) {
 func TestPlanCacheHitAllocs(t *testing.T) {
 	c := NewPlanCache(0)
 	a := cacheTestCSR(32, 128, 3)
-	key := KeyFor(a, 4, "alloc-test")
+	key := KeyFor(a, 4, tensor.F64, "alloc-test")
 	l := c.Get(key, spmmBuilder(a, 4, nil))
 	l.Release()
 	mustNotCompile := func(ws *tensor.Arena) *Plan {

@@ -1,0 +1,907 @@
+package fuse
+
+import (
+	"math"
+
+	"agnn/internal/par"
+	"agnn/internal/sparse"
+	"agnn/internal/tensor"
+)
+
+// Float32 op bodies for f32-compiled plans (plan32.go). Each builder is the
+// single-precision transcription of its ops.go counterpart: identical loop
+// shapes and accumulation order, float32 arithmetic and buffers. Keeping
+// them as separate plain functions (rather than parameterizing ops.go)
+// leaves the default f64 path byte-for-byte untouched. Transcendentals
+// (exp, sqrt, activations) evaluate through float64 — on CPUs that costs
+// only register-width conversions while the memory traffic, the thing f32
+// buys, stays halved.
+
+// Score32 evaluates one entry (i, j) of a virtual score matrix in f32.
+type Score32 = func(i, j int32) float32
+
+// spec32 carries the float32 execution-side state of one DAG node: the f32
+// twin of spec. Parameter nodes point dense at a shadow that is re-rounded
+// from the f64 master value on every Forward, and grad at a shadow that is
+// flushed into the f64 Grad accumulator after every Backward.
+type spec32 struct {
+	dense  *tensor.Dense32
+	vec    []float32
+	vals   []float32
+	score  Score32
+	gdense *tensor.Dense32
+	gvec   []float32
+	gvals  []float32
+	grad   *tensor.Dense32 // parameter gradient shadow (param nodes)
+}
+
+// redScratch32 is the f32 twin of redScratch (scalar-parameter gradients).
+type redScratch32 struct{ sums []float32 }
+
+func (r *redScratch32) ensure() []float32 {
+	if need := par.Workers() + 1; len(r.sums) < need {
+		grown := make([]float32, need)
+		copy(grown, r.sums)
+		r.sums = grown
+	}
+	return r.sums
+}
+
+func (r *redScratch32) fold() float32 {
+	total := float32(0)
+	for i, v := range r.sums {
+		if v != 0 {
+			total += v
+			r.sums[i] = 0
+		}
+	}
+	return total
+}
+
+// partialsScratch32 is the f32 twin of partialsScratch (per-worker dense
+// accumulators for weight gradients).
+type partialsScratch32 struct{ mats []*tensor.Dense32 }
+
+func (s *partialsScratch32) ensure(k, m int) []*tensor.Dense32 {
+	if need := par.Workers() + 1; len(s.mats) < need {
+		grown := make([]*tensor.Dense32, need)
+		copy(grown, s.mats)
+		s.mats = grown
+	}
+	for i, p := range s.mats {
+		if p != nil && (p.Rows != k || p.Cols != m) {
+			s.mats[i] = nil
+		}
+	}
+	return s.mats
+}
+
+// exp32 is a single-precision exponential (Cephes expf scheme): argument
+// reduction against ln2 in two steps, a degree-5 minimax polynomial on the
+// reduced interval, and the power of two assembled directly in the exponent
+// field. Accurate to ~2 ulp in float32 — indistinguishable from rounding
+// math.Exp — at a fraction of the cost, which matters because the softmax
+// sweeps evaluate it once per edge. The softmax callers always pass
+// max-subtracted arguments (≤ 0), so the positive range never overflows.
+func exp32(x float32) float32 {
+	const (
+		log2e = 1.44269504088896341
+		c1    = 0.693359375    // ln2 high part
+		c2    = -2.12194440e-4 // ln2 low part
+		p0    = 1.9875691500e-4
+		p1    = 1.3981999507e-3
+		p2    = 8.3334519073e-3
+		p3    = 4.1665795894e-2
+		p4    = 1.6666665459e-1
+		p5    = 5.0000001201e-1
+	)
+	if x > 88.72283 {
+		return float32(math.Inf(1))
+	}
+	if x < -87.33655 {
+		return 0
+	}
+	fn := float32(math.Floor(float64(x)*log2e + 0.5))
+	r := x - fn*c1
+	r -= fn * c2
+	z := r * r
+	p := (((((p0*r+p1)*r+p2)*r+p3)*r+p4)*r+p5)*z + r + 1
+	return p * math.Float32frombits(uint32(int32(fn)+127)<<23)
+}
+
+// opSample32 is the f32 fused sampler: scores (optionally ×weights) onto
+// the pattern, with the row softmax folded in when softmax is set.
+func opSample32(pat *sparse.CSR, cuts *par.Cuts, dst []float32, f Score32, weights []float32, rowOff int32, softmax bool) opFns {
+	var each func(i int)
+	if softmax {
+		each = func(i int) {
+			b, e := pat.RowPtr[i], pat.RowPtr[i+1]
+			if b == e {
+				return
+			}
+			gi := int32(i) + rowOff
+			m := float32(math.Inf(-1))
+			for p := b; p < e; p++ {
+				v := f(gi, pat.Col[p])
+				if weights != nil {
+					v *= weights[p]
+				}
+				dst[p] = v
+				if v > m {
+					m = v
+				}
+			}
+			sum := float32(0)
+			for p := b; p < e; p++ {
+				v := exp32(dst[p] - m)
+				dst[p] = v
+				sum += v
+			}
+			inv := 1 / sum
+			for p := b; p < e; p++ {
+				dst[p] *= inv
+			}
+		}
+	} else {
+		each = func(i int) {
+			gi := int32(i) + rowOff
+			for p := pat.RowPtr[i]; p < pat.RowPtr[i+1]; p++ {
+				v := f(gi, pat.Col[p])
+				if weights != nil {
+					v *= weights[p]
+				}
+				dst[p] = v
+			}
+		}
+	}
+	body := rowSweep(each)
+	return opFns{run: func() { par.RangeCuts(cuts, body) }, each: each, rows: pat.Rows}
+}
+
+// opRowSoftmax32 is the standalone f32 row softmax.
+func opRowSoftmax32(pat *sparse.CSR, cuts *par.Cuts, src, dst []float32) opFns {
+	each := func(i int) {
+		b, e := pat.RowPtr[i], pat.RowPtr[i+1]
+		if b == e {
+			return
+		}
+		m := float32(math.Inf(-1))
+		for p := b; p < e; p++ {
+			if src[p] > m {
+				m = src[p]
+			}
+		}
+		sum := float32(0)
+		for p := b; p < e; p++ {
+			v := exp32(src[p] - m)
+			dst[p] = v
+			sum += v
+		}
+		inv := 1 / sum
+		for p := b; p < e; p++ {
+			dst[p] *= inv
+		}
+	}
+	body := rowSweep(each)
+	return opFns{run: func() { par.RangeCuts(cuts, body) }, each: each, rows: pat.Rows}
+}
+
+// opSpMM32 computes out = S·X over the shared pattern with f32 values.
+func opSpMM32(pat *sparse.CSR, cuts *par.Cuts, svals []float32, x, out *spec32) opFns {
+	each := func(i int) {
+		xd, od := x.dense, out.dense
+		k := od.Cols
+		orow := od.Data[i*k : (i+1)*k]
+		clear(orow)
+		for p := pat.RowPtr[i]; p < pat.RowPtr[i+1]; p++ {
+			v := svals[p]
+			xrow := xd.Data[int(pat.Col[p])*k : int(pat.Col[p])*k+k]
+			for t, xv := range xrow {
+				orow[t] += v * xv
+			}
+		}
+	}
+	body := rowSweep(each)
+	return opFns{run: func() { par.RangeCuts(cuts, body) }, each: each, rows: pat.Rows}
+}
+
+// opMM32 computes out = X·W with the weight shadow, column-tiled to the
+// cache budget like tensor.MMInto.
+func opMM32(x, w, out *spec32) opFns {
+	each := func(i int) {
+		xd, wd, od := x.dense, w.dense, out.dense
+		k, m := xd.Cols, od.Cols
+		xrow := xd.Data[i*k : (i+1)*k]
+		orow := od.Data[i*m : (i+1)*m]
+		clear(orow)
+		for t := 0; t < k; t++ {
+			xv := xrow[t]
+			if xv == 0 {
+				continue
+			}
+			wrow := wd.Data[t*m : (t+1)*m]
+			for j, wv := range wrow {
+				orow[j] += xv * wv
+			}
+		}
+	}
+	body := rowSweep(each)
+	rows := out.dense.Rows
+	return opFns{run: func() { par.Range(rows, body) }, each: each, rows: rows}
+}
+
+// opMatVec32 computes out = X·a for a k×1 parameter shadow a.
+func opMatVec32(x, a, out *spec32) opFns {
+	each := func(i int) {
+		xd, av := x.dense, a.dense.Data
+		k := xd.Cols
+		row := xd.Data[i*k : (i+1)*k]
+		s := float32(0)
+		for t, v := range row {
+			s += v * av[t]
+		}
+		out.vec[i] = s
+	}
+	body := rowSweep(each)
+	rows := x.dense.Rows
+	return opFns{run: func() { par.Range(rows, body) }, each: each, rows: rows}
+}
+
+// opRowNorms32 computes the row L2 norms of X.
+func opRowNorms32(x *spec32, out *spec32) opFns {
+	each := func(i int) {
+		xd := x.dense
+		k := xd.Cols
+		row := xd.Data[i*k : (i+1)*k]
+		s := float32(0)
+		for _, v := range row {
+			s += v * v
+		}
+		out.vec[i] = float32(math.Sqrt(float64(s)))
+	}
+	body := rowSweep(each)
+	rows := x.dense.Rows
+	return opFns{run: func() { par.Range(rows, body) }, each: each, rows: rows}
+}
+
+// opSigma32 applies the activation element-wise. The piecewise-linear
+// activations (relu, identity) get native f32 bodies — they are exact in
+// either width, and skipping the two register conversions plus the closure
+// call per element matters on an op this memory-thin. Everything else
+// (transcendentals) evaluates through the float64 contract.
+func opSigma32(z, out *spec32, act Act) opFns {
+	cols := out.dense.Cols
+	var each func(i int)
+	switch act.Name {
+	case "relu":
+		each = func(i int) {
+			zd, od := z.dense.Data, out.dense.Data
+			for t := i * cols; t < (i+1)*cols; t++ {
+				od[t] = max(zd[t], 0) // branchless, like the f64 math.Max path
+			}
+		}
+	case "identity", "":
+		each = func(i int) {
+			copy(out.dense.Data[i*cols:(i+1)*cols], z.dense.Data[i*cols:(i+1)*cols])
+		}
+	default:
+		f := act.F
+		each = func(i int) {
+			zd, od := z.dense.Data, out.dense.Data
+			for t := i * cols; t < (i+1)*cols; t++ {
+				od[t] = float32(f(float64(zd[t])))
+			}
+		}
+	}
+	body := rowSweep(each)
+	rows := out.dense.Rows
+	return opFns{run: func() { par.Range(rows, body) }, each: each, rows: rows}
+}
+
+// opGINCombine32 computes out = agg + (1+ε)·h from the ε shadow.
+func opGINCombine32(agg, h, eps, out *spec32) opFns {
+	cols := out.dense.Cols
+	each := func(i int) {
+		c := 1 + eps.dense.Data[0]
+		ad, hd, od := agg.dense.Data, h.dense.Data, out.dense.Data
+		for t := i * cols; t < (i+1)*cols; t++ {
+			od[t] = ad[t] + c*hd[t]
+		}
+	}
+	body := rowSweep(each)
+	rows := out.dense.Rows
+	return opFns{run: func() { par.Range(rows, body) }, each: each, rows: rows}
+}
+
+// opAttnFused32 is the f32 fused SDDMM+softmax+SpMM attention sweep
+// (attn.go), sharing its structure: training plans write normalized scores
+// to vals for the backward pass, inference plans keep them in per-worker
+// scratch.
+func opAttnFused32(pat *sparse.CSR, cuts *par.Cuts, vals []float32, f Score32, weights []float32, rowOff int32, softmax bool, x, out *spec32) opFns {
+	if vals != nil {
+		each := func(i int) {
+			xd, od := x.dense, out.dense
+			k := od.Cols
+			orow := od.Data[i*k : (i+1)*k]
+			clear(orow)
+			b, e := pat.RowPtr[i], pat.RowPtr[i+1]
+			if b == e {
+				return
+			}
+			gi := int32(i) + rowOff
+			if softmax {
+				m := float32(math.Inf(-1))
+				for p := b; p < e; p++ {
+					v := f(gi, pat.Col[p])
+					if weights != nil {
+						v *= weights[p]
+					}
+					vals[p] = v
+					if v > m {
+						m = v
+					}
+				}
+				sum := float32(0)
+				for p := b; p < e; p++ {
+					v := exp32(vals[p] - m)
+					vals[p] = v
+					sum += v
+				}
+				inv := 1 / sum
+				for p := b; p < e; p++ {
+					vals[p] *= inv
+				}
+			} else {
+				for p := b; p < e; p++ {
+					v := f(gi, pat.Col[p])
+					if weights != nil {
+						v *= weights[p]
+					}
+					vals[p] = v
+				}
+			}
+			for p := b; p < e; p++ {
+				v := vals[p]
+				xrow := xd.Data[int(pat.Col[p])*k : int(pat.Col[p])*k+k]
+				for t, xv := range xrow {
+					orow[t] += v * xv
+				}
+			}
+		}
+		body := rowSweep(each)
+		return opFns{run: func() { par.RangeCuts(cuts, body) }, each: each, rows: pat.Rows}
+	}
+
+	scratch := &attnScratch32{maxRow: pat.MaxRowNNZ()}
+	body := func(worker, lo, hi int) {
+		buf := scratch.row(worker)
+		xd, od := x.dense, out.dense
+		k := od.Cols
+		for i := lo; i < hi; i++ {
+			orow := od.Data[i*k : (i+1)*k]
+			clear(orow)
+			b, e := pat.RowPtr[i], pat.RowPtr[i+1]
+			if b == e {
+				continue
+			}
+			gi := int32(i) + rowOff
+			row := buf[:e-b]
+			if softmax {
+				m := float32(math.Inf(-1))
+				for p := b; p < e; p++ {
+					v := f(gi, pat.Col[p])
+					if weights != nil {
+						v *= weights[p]
+					}
+					row[p-b] = v
+					if v > m {
+						m = v
+					}
+				}
+				sum := float32(0)
+				for q, v := range row {
+					v = exp32(v - m)
+					row[q] = v
+					sum += v
+				}
+				inv := 1 / sum
+				for q := range row {
+					row[q] *= inv
+				}
+			} else {
+				for p := b; p < e; p++ {
+					v := f(gi, pat.Col[p])
+					if weights != nil {
+						v *= weights[p]
+					}
+					row[p-b] = v
+				}
+			}
+			for p := b; p < e; p++ {
+				v := row[p-b]
+				xrow := xd.Data[int(pat.Col[p])*k : int(pat.Col[p])*k+k]
+				for t, xv := range xrow {
+					orow[t] += v * xv
+				}
+			}
+		}
+	}
+	return opFns{run: func() { par.RangeCuts(cuts, body) }}
+}
+
+// attnScratch32 is the f32 twin of attnScratch.
+type attnScratch32 struct {
+	rows   [][]float32
+	maxRow int
+}
+
+func (s *attnScratch32) row(worker int) []float32 {
+	if need := par.Workers() + 1; len(s.rows) < need {
+		grown := make([][]float32, need)
+		copy(grown, s.rows)
+		s.rows = grown
+	}
+	r := s.rows[worker]
+	if r == nil {
+		r = make([]float32, s.maxRow)
+		s.rows[worker] = r
+	}
+	return r
+}
+
+// --- f32 backward op bodies ---
+
+// opSigmaVJP32 accumulates z̄ += ḡ ⊙ σ'(z), with the same native f32 fast
+// paths as opSigma32 for the piecewise-linear activations.
+func opSigmaVJP32(z, out *spec32, act Act) func() {
+	var body func(worker, lo, hi int)
+	switch act.Name {
+	case "relu":
+		body = func(_, lo, hi int) {
+			zd, zg, og := z.dense.Data, z.gdense.Data, out.gdense.Data
+			for i := lo; i < hi; i++ {
+				if zd[i] > 0 {
+					zg[i] += og[i]
+				}
+			}
+		}
+	case "identity", "":
+		body = func(_, lo, hi int) {
+			zg, og := z.gdense.Data, out.gdense.Data
+			for i := lo; i < hi; i++ {
+				zg[i] += og[i]
+			}
+		}
+	default:
+		df := act.DF
+		body = func(_, lo, hi int) {
+			zd, zg, og := z.dense.Data, z.gdense.Data, out.gdense.Data
+			for i := lo; i < hi; i++ {
+				zg[i] += og[i] * float32(df(float64(zd[i])))
+			}
+		}
+	}
+	n := out.dense.Rows * out.dense.Cols
+	return func() { par.Range(n, body) }
+}
+
+// opMMVJP32 accumulates X̄ += Ḡ·Wᵀ and the weight-shadow gradient
+// W̄ += Xᵀ·Ḡ via per-worker partials.
+func opMMVJP32(x, w, out *spec32, ps *partialsScratch32) func() {
+	xBody := func(_, lo, hi int) {
+		wd, og, xg := w.dense, out.gdense, x.gdense
+		k, m := xg.Cols, og.Cols
+		for i := lo; i < hi; i++ {
+			grow := og.Data[i*m : (i+1)*m]
+			xrow := xg.Data[i*k : (i+1)*k]
+			for t := 0; t < k; t++ {
+				wrow := wd.Data[t*m : (t+1)*m]
+				s := float32(0)
+				for j, gv := range grow {
+					s += gv * wrow[j]
+				}
+				xrow[t] += s
+			}
+		}
+	}
+	wBody := func(worker, lo, hi int) {
+		xd, og := x.dense, out.gdense
+		k, m := xd.Cols, og.Cols
+		acc := ps.mats[worker]
+		if acc == nil {
+			acc = tensor.NewDense32(k, m)
+			ps.mats[worker] = acc
+		}
+		for i := lo; i < hi; i++ {
+			xrow := xd.Data[i*k : (i+1)*k]
+			grow := og.Data[i*m : (i+1)*m]
+			for t, xv := range xrow {
+				if xv == 0 {
+					continue
+				}
+				arow := acc.Data[t*m : (t+1)*m]
+				for j, gv := range grow {
+					arow[j] += xv * gv
+				}
+			}
+		}
+	}
+	rows := out.dense.Rows
+	grad := w.grad
+	kc, mc := x.dense.Cols, out.dense.Cols
+	return func() {
+		par.Range(rows, xBody)
+		mats := ps.ensure(kc, mc)
+		par.Range(rows, wBody)
+		for _, p := range mats {
+			if p == nil {
+				continue
+			}
+			for i, v := range p.Data {
+				grad.Data[i] += v
+				p.Data[i] = 0
+			}
+		}
+	}
+}
+
+// opSpMMVJP32 handles Z = S·X in f32: sampler cotangent onto the pattern
+// plus feature cotangent via the transposed pattern. vals carries the
+// transpose-permuted (or static adjacency-transpose) values.
+func opSpMMVJP32(pat, patT *sparse.CSR, cuts, cutsT *par.Cuts, svals, sgvals []float32, perm []int64, tvals, adjTVals []float32, x, out *spec32) func() {
+	var samplerBody func(int, int, int)
+	if sgvals != nil {
+		samplerBody = func(_, lo, hi int) {
+			og, xd := out.gdense, x.dense
+			k := og.Cols
+			for i := lo; i < hi; i++ {
+				grow := og.Data[i*k : (i+1)*k]
+				for p := pat.RowPtr[i]; p < pat.RowPtr[i+1]; p++ {
+					xrow := xd.Data[int(pat.Col[p])*k : int(pat.Col[p])*k+k]
+					s := float32(0)
+					for t, gv := range grow {
+						s += gv * xrow[t]
+					}
+					sgvals[p] = s
+				}
+			}
+		}
+	}
+	vals := adjTVals
+	var permBody func(int, int, int)
+	if svals != nil {
+		vals = tvals
+		permBody = func(_, lo, hi int) {
+			for p := lo; p < hi; p++ {
+				tvals[perm[p]] = svals[p]
+			}
+		}
+	}
+	accBody := func(_, lo, hi int) {
+		og, xg := out.gdense, x.gdense
+		k := xg.Cols
+		for j := lo; j < hi; j++ {
+			xrow := xg.Data[j*k : (j+1)*k]
+			for p := patT.RowPtr[j]; p < patT.RowPtr[j+1]; p++ {
+				v := vals[p]
+				grow := og.Data[int(patT.Col[p])*k : int(patT.Col[p])*k+k]
+				for t, gv := range grow {
+					xrow[t] += v * gv
+				}
+			}
+		}
+	}
+	n := len(perm)
+	return func() {
+		if samplerBody != nil {
+			par.RangeCuts(cuts, samplerBody)
+		}
+		if permBody != nil {
+			par.Range(n, permBody)
+		}
+		par.RangeCuts(cutsT, accBody)
+	}
+}
+
+// opSoftmaxVJP32 writes S̄_ij = P_ij·(Ḡ_ij − ρ_i), ρ_i = Σ_j Ḡ_ij·P_ij.
+func opSoftmaxVJP32(pat *sparse.CSR, cuts *par.Cuts, pvals, pgvals, dst []float32) func() {
+	body := func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			b, e := pat.RowPtr[i], pat.RowPtr[i+1]
+			rho := float32(0)
+			for p := b; p < e; p++ {
+				rho += pgvals[p] * pvals[p]
+			}
+			for p := b; p < e; p++ {
+				dst[p] = pvals[p] * (pgvals[p] - rho)
+			}
+		}
+	}
+	return func() { par.RangeCuts(cuts, body) }
+}
+
+// opMaskVJP32 propagates the mask cotangent to the virtual input.
+func opMaskVJP32(src, dst, weights []float32) func() {
+	n := len(src)
+	if weights == nil {
+		return func() { copy(dst, src) }
+	}
+	body := func(_, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			dst[p] = src[p] * weights[p]
+		}
+	}
+	return func() { par.Range(n, body) }
+}
+
+// opDotVJP32 handles the virtual C = X·Yᵀ restricted to the pattern.
+func opDotVJP32(pat, patT *sparse.CSR, cuts, cutsT *par.Cuts, gvals []float32, perm []int64, tvals []float32, x, y *spec32) func() {
+	xBody := func(_, lo, hi int) {
+		yd, xg := y.dense, x.gdense
+		k := xg.Cols
+		for i := lo; i < hi; i++ {
+			xrow := xg.Data[i*k : (i+1)*k]
+			for p := pat.RowPtr[i]; p < pat.RowPtr[i+1]; p++ {
+				v := gvals[p]
+				yrow := yd.Data[int(pat.Col[p])*k : int(pat.Col[p])*k+k]
+				for t, yv := range yrow {
+					xrow[t] += v * yv
+				}
+			}
+		}
+	}
+	permBody := func(_, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			tvals[perm[p]] = gvals[p]
+		}
+	}
+	yBody := func(_, lo, hi int) {
+		xd, yg := x.dense, y.gdense
+		k := yg.Cols
+		for j := lo; j < hi; j++ {
+			yrow := yg.Data[j*k : (j+1)*k]
+			for p := patT.RowPtr[j]; p < patT.RowPtr[j+1]; p++ {
+				v := tvals[p]
+				xrow := xd.Data[int(patT.Col[p])*k : int(patT.Col[p])*k+k]
+				for t, xv := range xrow {
+					yrow[t] += v * xv
+				}
+			}
+		}
+	}
+	n := len(perm)
+	return func() {
+		par.RangeCuts(cuts, xBody)
+		par.Range(n, permBody)
+		par.RangeCuts(cutsT, yBody)
+	}
+}
+
+// opOuterVJP32 handles the virtual C = a·bᵀ.
+func opOuterVJP32(pat, patT *sparse.CSR, cuts, cutsT *par.Cuts, gvals []float32, perm []int64, tvals []float32, a, b *spec32) func() {
+	aBody := func(_, lo, hi int) {
+		bv, ag := b.vec, a.gvec
+		for i := lo; i < hi; i++ {
+			s := float32(0)
+			for p := pat.RowPtr[i]; p < pat.RowPtr[i+1]; p++ {
+				s += gvals[p] * bv[pat.Col[p]]
+			}
+			ag[i] += s
+		}
+	}
+	permBody := func(_, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			tvals[perm[p]] = gvals[p]
+		}
+	}
+	bBody := func(_, lo, hi int) {
+		av, bg := a.vec, b.gvec
+		for j := lo; j < hi; j++ {
+			s := float32(0)
+			for p := patT.RowPtr[j]; p < patT.RowPtr[j+1]; p++ {
+				s += tvals[p] * av[patT.Col[p]]
+			}
+			bg[j] += s
+		}
+	}
+	n := len(perm)
+	return func() {
+		par.RangeCuts(cuts, aBody)
+		par.Range(n, permBody)
+		par.RangeCuts(cutsT, bBody)
+	}
+}
+
+// opDivVJP32 handles C = N ⊘ D on the pattern.
+func opDivVJP32(pat *sparse.CSR, cuts *par.Cuts, gvals []float32, num, den *spec32) func() {
+	body := func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			gi := int32(i)
+			for p := pat.RowPtr[i]; p < pat.RowPtr[i+1]; p++ {
+				de := den.score(gi, pat.Col[p])
+				if de == 0 {
+					num.gvals[p] = 0
+					den.gvals[p] = 0
+					continue
+				}
+				g := gvals[p]
+				ne := num.score(gi, pat.Col[p])
+				num.gvals[p] = g / de
+				den.gvals[p] = -g * ne / (de * de)
+			}
+		}
+	}
+	return func() { par.RangeCuts(cuts, body) }
+}
+
+// opScaleVJP32 handles C = β·X against the β shadow.
+func opScaleVJP32(pat *sparse.CSR, cuts *par.Cuts, gvals []float32, x, beta *spec32, rs *redScratch32) func() {
+	body := func(worker, lo, hi int) {
+		bv := beta.dense.Data[0]
+		local := float32(0)
+		for i := lo; i < hi; i++ {
+			gi := int32(i)
+			for p := pat.RowPtr[i]; p < pat.RowPtr[i+1]; p++ {
+				g := gvals[p]
+				x.gvals[p] = bv * g
+				if g != 0 {
+					local += g * x.score(gi, pat.Col[p])
+				}
+			}
+		}
+		rs.sums[worker] += local
+	}
+	grad := beta.grad
+	return func() {
+		rs.ensure()
+		par.RangeCuts(cuts, body)
+		grad.Data[0] += rs.fold()
+	}
+}
+
+// opRepVJP32 handles C = u·1ᵀ (row sums).
+func opRepVJP32(pat *sparse.CSR, cuts *par.Cuts, gvals []float32, u *spec32) func() {
+	body := func(_, lo, hi int) {
+		ug := u.gvec
+		for i := lo; i < hi; i++ {
+			s := float32(0)
+			for p := pat.RowPtr[i]; p < pat.RowPtr[i+1]; p++ {
+				s += gvals[p]
+			}
+			ug[i] += s
+		}
+	}
+	return func() { par.RangeCuts(cuts, body) }
+}
+
+// opRepTVJP32 handles C = 1·vᵀ (column sums via the transposed pattern).
+func opRepTVJP32(patT *sparse.CSR, cutsT *par.Cuts, gvals []float32, perm []int64, tvals []float32, v *spec32) func() {
+	permBody := func(_, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			tvals[perm[p]] = gvals[p]
+		}
+	}
+	body := func(_, lo, hi int) {
+		vg := v.gvec
+		for j := lo; j < hi; j++ {
+			s := float32(0)
+			for p := patT.RowPtr[j]; p < patT.RowPtr[j+1]; p++ {
+				s += tvals[p]
+			}
+			vg[j] += s
+		}
+	}
+	n := len(perm)
+	return func() {
+		par.Range(n, permBody)
+		par.RangeCuts(cutsT, body)
+	}
+}
+
+// opAddVJP32 handles C = A + B on virtual operands.
+func opAddVJP32(gvals []float32, a, b *spec32) func() {
+	return func() {
+		copy(a.gvals, gvals)
+		copy(b.gvals, gvals)
+	}
+}
+
+// opLReLUVJP32 handles C = LeakyReLU(X).
+func opLReLUVJP32(pat *sparse.CSR, cuts *par.Cuts, gvals []float32, x *spec32, slope float32) func() {
+	body := func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			gi := int32(i)
+			for p := pat.RowPtr[i]; p < pat.RowPtr[i+1]; p++ {
+				d := float32(1)
+				if x.score(gi, pat.Col[p]) < 0 {
+					d = slope
+				}
+				x.gvals[p] = gvals[p] * d
+			}
+		}
+	}
+	return func() { par.RangeCuts(cuts, body) }
+}
+
+// opMatVecVJP32 handles u = X·a.
+func opMatVecVJP32(x, a, out *spec32) func() {
+	rowBody := func(_, lo, hi int) {
+		av, xg := a.dense.Data, x.gdense
+		k := xg.Cols
+		for i := lo; i < hi; i++ {
+			g := out.gvec[i]
+			if g == 0 {
+				continue
+			}
+			xrow := xg.Data[i*k : (i+1)*k]
+			for t, v := range av {
+				xrow[t] += g * v
+			}
+		}
+	}
+	rows := x.dense.Rows
+	grad := a.grad
+	return func() {
+		par.Range(rows, rowBody)
+		xd := x.dense
+		k := xd.Cols
+		for i := 0; i < rows; i++ {
+			g := out.gvec[i]
+			if g == 0 {
+				continue
+			}
+			xrow := xd.Data[i*k : (i+1)*k]
+			for t, v := range xrow {
+				grad.Data[t] += g * v
+			}
+		}
+	}
+}
+
+// opRowNormsVJP32 handles n_i = ‖X[i,:]‖₂.
+func opRowNormsVJP32(x, out *spec32) func() {
+	body := func(_, lo, hi int) {
+		xd, xg := x.dense, x.gdense
+		k := xd.Cols
+		for i := lo; i < hi; i++ {
+			n := out.vec[i]
+			if n == 0 {
+				continue
+			}
+			c := out.gvec[i] / n
+			if c == 0 {
+				continue
+			}
+			row := xd.Data[i*k : (i+1)*k]
+			grow := xg.Data[i*k : (i+1)*k]
+			for t, v := range row {
+				grow[t] += c * v
+			}
+		}
+	}
+	rows := x.dense.Rows
+	return func() { par.Range(rows, body) }
+}
+
+// opGINCombineVJP32 handles Z = agg + (1+ε)·H against the ε shadow.
+func opGINCombineVJP32(agg, h, eps, out *spec32, rs *redScratch32) func() {
+	body := func(worker, lo, hi int) {
+		c := 1 + eps.dense.Data[0]
+		og, ag, hg, hd := out.gdense.Data, agg.gdense.Data, h.gdense.Data, h.dense.Data
+		local := float32(0)
+		for i := lo; i < hi; i++ {
+			g := og[i]
+			ag[i] += g
+			hg[i] += c * g
+			local += g * hd[i]
+		}
+		rs.sums[worker] += local
+	}
+	n := out.dense.Rows * out.dense.Cols
+	grad := eps.grad
+	return func() {
+		rs.ensure()
+		par.Range(n, body)
+		grad.Data[0] += rs.fold()
+	}
+}

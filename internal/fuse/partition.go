@@ -74,6 +74,9 @@ func (p *Plan) Partition(avail []RowRange) (*PartitionedPlan, error) {
 	if p.released {
 		return nil, fmt.Errorf("fuse: Partition on a released plan")
 	}
+	if p.f32 != nil {
+		return nil, fmt.Errorf("fuse: Partition requires an f64 plan (f32 plans cast at the Forward boundary and cannot rebind arrival fragments)")
+	}
 	if len(avail) == 0 {
 		return nil, fmt.Errorf("fuse: Partition needs at least one arrival step")
 	}

@@ -66,7 +66,7 @@ func TestPartitionBitwiseIdentical(t *testing.T) {
 		for me := 0; me < g; me++ {
 			lo, hi := me*full.Rows/g, (me+1)*full.Rows/g
 			graph := buildRankGAT(full, lo, hi, k, w, a1, a2)
-			plan := graph.MustCompile(fuse.Options{})
+			plan := graph.MustCompile(fuse.Options{NoAttnFuse: true})
 
 			want := tensor.NewDense(hi-lo, k)
 			want.CopyFrom(plan.Forward(h))
@@ -122,7 +122,7 @@ func TestPartitionAGNNBitwiseIdentical(t *testing.T) {
 	psi := gr.Softmax("Psi", s)
 	z := gr.SpMM("Z", psi, gr.MM("HW", hn, wn))
 	gr.SetOutput(gr.Sigma("Hout", z, tanhAct))
-	plan := gr.MustCompile(fuse.Options{})
+	plan := gr.MustCompile(fuse.Options{NoAttnFuse: true})
 
 	want := tensor.NewDense(hi-lo, k)
 	want.CopyFrom(plan.Forward(h))
@@ -162,14 +162,14 @@ func TestPartitionErrors(t *testing.T) {
 		psi := g.Mask("Psi", g.DotScores("HHt", h, h), true)
 		z := g.SpMMSemiring("Z", psi, g.MM("HW", h, wn), "max")
 		g.SetOutput(g.Sigma("Hout", z, tanhAct))
-		p := g.MustCompile(fuse.Options{})
+		p := g.MustCompile(fuse.Options{NoAttnFuse: true})
 		if _, err := p.Partition([]fuse.RowRange{{Lo: 0, Hi: a.Rows}}); err == nil {
 			t.Fatal("expected row-indivisible error for semiring plan")
 		}
 	})
 
 	t.Run("coverage gaps and overlaps", func(t *testing.T) {
-		p := buildVA(a, w, k).MustCompile(fuse.Options{})
+		p := buildVA(a, w, k).MustCompile(fuse.Options{NoAttnFuse: true})
 		if _, err := p.Partition([]fuse.RowRange{{Lo: 0, Hi: a.Rows - 1}}); err == nil {
 			t.Fatal("expected error for uncovered row")
 		}

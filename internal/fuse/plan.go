@@ -26,6 +26,19 @@ type Options struct {
 	// from. Sharing one arena across recompilations (adjacency rebinds)
 	// recycles the old plan's buffers. Nil allocates a private arena.
 	Workspace *tensor.Arena
+	// DType selects the element width of the compiled kernels. F64 (the
+	// zero value) is the default double-precision path, bitwise-identical
+	// to the pre-dtype runtime. F32 compiles the plan against float32
+	// buffers and kernels: inputs, parameters and cotangents are cast at
+	// the plan boundary, parameter gradients are flushed back into the
+	// float64 Grad accumulators after each backward pass.
+	DType tensor.DType
+	// NoAttnFuse disables the fused SDDMM+softmax+SpMM attention rule.
+	// The fused op executes score sampling, normalization and aggregation
+	// in one sweep per row block and is therefore row-indivisible; callers
+	// that partition plans into arrival-gated fragments (the overlapped
+	// RowEngine) must keep the unfused op sequence.
+	NoAttnFuse bool
 }
 
 // PlanStats describes a compiled plan: the audit trail connecting the
@@ -36,17 +49,20 @@ type PlanStats struct {
 	BackwardOps    int            // kernels launched per backward step
 	FusedVirtual   int            // virtual nodes folded into samplers
 	SoftmaxFused   int            // mask→softmax pairs peephole-fused beyond the paper's rule
+	AttnFused      int            // score→softmax→aggregate chains fused into single sweeps
 	Groups         []string       // fusion groups, Analyze formatting
 	OpCounts       map[string]int // forward op vocabulary histogram
-	WorkspaceWords int64          // float64 words of workspace held by the plan
+	WorkspaceWords int64          // elements of workspace held by the plan (width per DType)
+	DType          tensor.DType   // element width the plan was compiled for
 	ForwardFlops   int64          // estimated flops per forward step (opCost sums)
 	ForwardBytes   int64          // estimated bytes moved per forward step (opBytes sums)
 	BackwardFlops  int64          // estimated flops per backward step
 	BackwardBytes  int64          // estimated bytes moved per backward step
 }
 
-// WorkspaceBytes returns the plan's held workspace in bytes.
-func (s PlanStats) WorkspaceBytes() int64 { return 8 * s.WorkspaceWords }
+// WorkspaceBytes returns the plan's held workspace in bytes, at the
+// element width the plan was compiled for.
+func (s PlanStats) WorkspaceBytes() int64 { return s.DType.Size() * s.WorkspaceWords }
 
 // Plan is a compiled, reusable executable form of a Graph: an ordered op
 // list over preallocated buffers. Forward binds the input feature matrix
@@ -69,6 +85,8 @@ type Plan struct {
 	denseBufs []*tensor.Dense // everything acquired from the workspace,
 	floatBufs [][]float64     // for Release
 
+	f32 *planF32 // float32 execution state (DType == F32 plans only)
+
 	ws    *tensor.Arena
 	stats PlanStats
 
@@ -89,6 +107,9 @@ func (g *Graph) Compile(opt Options) (*Plan, error) {
 	}
 	if g.input == nil {
 		return nil, fmt.Errorf("fuse: graph %q has no dense input", g.Name)
+	}
+	if opt.DType == tensor.F32 {
+		return g.compile32(opt)
 	}
 	if opt.Train && g.rowOff != 0 {
 		return nil, fmt.Errorf("fuse: graph %q: row-offset plans are inference-only", g.Name)
@@ -128,6 +149,19 @@ func (g *Graph) Compile(opt Options) (*Plan, error) {
 			}
 		}
 	}
+
+	// Attention-fusion rule: an spmm whose sparse operand is a
+	// single-consumer softmax over a fused mask (score→softmax→aggregate,
+	// the GAT/AGNN shape) or a single-consumer mask directly (score→
+	// aggregate, the VA shape) compiles to ONE sweep per row block that
+	// samples the composed scores, normalizes and aggregates while the row
+	// is hot. Training plans still write the normalized scores into the
+	// sparse node's value buffer inside the same sweep, so the derived
+	// backward pass is unchanged; inference plans never materialize a
+	// per-edge score tensor at all. Per-row arithmetic order matches the
+	// unfused sample-then-spmm sequence exactly, so fused plans are
+	// bitwise-identical to unfused ones.
+	attnAgg, attnSrc := attnFusion(g, cons, fusedMask, opt.NoAttnFuse)
 
 	ws := opt.Workspace
 	if ws == nil {
@@ -186,7 +220,10 @@ func (g *Graph) Compile(opt Options) (*Plan, error) {
 				s.gvals = floats(nnz)
 			}
 		case n.Kind == Sparse:
-			if !fusedMask[n] {
+			// Attention-fused sparse nodes materialize values only for
+			// training (the backward pass reads them); inference keeps the
+			// scores in per-row scratch inside the fused sweep.
+			if !fusedMask[n] && !(attnSrc[n] && !opt.Train) {
 				s.vals = floats(nnz)
 				s.view = pat.WithValues(s.vals)
 			}
@@ -242,7 +279,7 @@ func (g *Graph) Compile(opt Options) (*Plan, error) {
 			lane:   lane,
 			fcode:  flight.Code(span),
 			flops:  flops,
-			bytes:  opBytes(g, n, op, nnz, backward),
+			bytes:  opBytes(g, n, op, nnz, backward, 8),
 			nnz:    swept,
 		})
 	}
@@ -256,13 +293,16 @@ func (g *Graph) Compile(opt Options) (*Plan, error) {
 		case "input":
 			continue
 		case "mask":
-			if fusedMask[n] {
+			if fusedMask[n] || attnSrc[n] {
 				continue
 			}
 			virt := g.sp(n.Inputs[1])
 			emit(&p.fwd, n, "", "mask",
 				opSample(pat, cuts, s.vals, virt.score, maskWeights(pat, s), rowOff, false))
 		case "softmax":
+			if attnSrc[n] {
+				continue
+			}
 			in := n.Inputs[0]
 			if fusedMask[in] {
 				m := g.sp(in)
@@ -273,6 +313,20 @@ func (g *Graph) Compile(opt Options) (*Plan, error) {
 				emit(&p.fwd, n, "", "softmax", opRowSoftmax(pat, cuts, g.sp(in).vals, s.vals))
 			}
 		case "spmm":
+			if src, ok := attnAgg[n]; ok {
+				maskN := src
+				softmax := false
+				if src.Op == "softmax" {
+					maskN = src.Inputs[0]
+					softmax = true
+				}
+				m := g.sp(maskN)
+				virt := g.sp(maskN.Inputs[1])
+				emit(&p.fwd, n, "", "fused-attn",
+					opAttnFused(pat, cuts, g.sp(src).vals, virt.score, maskWeights(pat, m),
+						rowOff, softmax, g.sp(n.Inputs[1]), s))
+				continue
+			}
 			sv := g.sp(n.Inputs[0]).view
 			emit(&p.fwd, n, "", "spmm", opSpMM(sv, cuts, g.sp(n.Inputs[1]), s))
 		case "spmm-max", "spmm-min", "spmm-mean":
@@ -372,6 +426,7 @@ func (g *Graph) Compile(opt Options) (*Plan, error) {
 		ForwardOps:     len(p.fwd),
 		BackwardOps:    len(p.bwd),
 		SoftmaxFused:   len(fusedMask),
+		AttnFused:      len(attnAgg),
 		OpCounts:       make(map[string]int),
 		WorkspaceWords: words,
 	}
@@ -406,6 +461,37 @@ func maskWeights(pat *sparse.CSR, mask *spec) []float64 {
 		return pat.Val
 	}
 	return nil
+}
+
+// attnFusion finds the spmm nodes the attention-fusion rule applies to:
+// those whose sparse operand is a single-consumer softmax over a
+// peephole-fused mask, or a single-consumer mask directly. It returns the
+// spmm→folded-sparse-node map and the set of folded sparse nodes (which
+// emit no standalone forward op).
+func attnFusion(g *Graph, cons map[*Node][]*Node, fusedMask map[*Node]bool, disabled bool) (map[*Node]*Node, map[*Node]bool) {
+	agg := make(map[*Node]*Node)
+	src := make(map[*Node]bool)
+	if disabled {
+		return agg, src
+	}
+	for _, n := range g.dag.Nodes() {
+		if n.Op != "spmm" {
+			continue
+		}
+		in := n.Inputs[0]
+		if in == g.adj || len(cons[in]) != 1 {
+			continue
+		}
+		switch in.Op {
+		case "softmax":
+			if m := in.Inputs[0]; m.Op == "mask" && fusedMask[m] {
+				agg[n], src[in] = in, true
+			}
+		case "mask":
+			agg[n], src[in] = in, true
+		}
+	}
+	return agg, src
 }
 
 // composeScore builds the closure evaluating one entry of a virtual node by
@@ -499,6 +585,9 @@ func (p *Plan) Forward(h *tensor.Dense) *tensor.Dense {
 		panic(fmt.Sprintf("fuse: plan %q input shape %d×%d, got %d×%d",
 			p.Name, p.input.rows, p.input.cols, h.Rows, h.Cols))
 	}
+	if p.f32 != nil {
+		return p.forward32(h)
+	}
 	p.input.dense = h
 	runOps(p.fwd)
 	p.ranForward = true
@@ -550,6 +639,15 @@ func opCost(g *Graph, n *Node, op string, nnz int, backward bool) (flops, swept 
 		flops, swept = 5*nz, nz
 	case "fused-softmax":
 		flops, swept = 9*nz, nz
+	case "fused-attn":
+		// Score sampling (+softmax for the GAT/AGNN shape) plus the
+		// aggregation, all in one sweep.
+		if n.Inputs[0].Op == "softmax" {
+			flops = 9*nz + 2*nz*c
+		} else {
+			flops = 2*nz + 2*nz*c
+		}
+		swept = nz
 	case "matvec", "rownorm":
 		k := int64(g.sp(n.Inputs[0]).cols)
 		flops = 2 * r * k
@@ -582,6 +680,9 @@ func (p *Plan) Backward(g *tensor.Dense) *tensor.Dense {
 		panic(fmt.Sprintf("fuse: plan %q output shape %d×%d, got cotangent %d×%d",
 			p.Name, p.output.rows, p.output.cols, g.Rows, g.Cols))
 	}
+	if p.f32 != nil {
+		return p.backward32(g)
+	}
 	for _, m := range p.zeroDense {
 		d := m.Data
 		for i := range d {
@@ -613,6 +714,15 @@ func (p *Plan) Release() {
 		p.ws.ReleaseFloats(s)
 	}
 	p.denseBufs, p.floatBufs = nil, nil
+	if f := p.f32; f != nil {
+		for _, m := range f.denseBufs {
+			p.ws.ReleaseDense32(m)
+		}
+		for _, s := range f.floatBufs {
+			p.ws.ReleaseFloats32(s)
+		}
+		f.denseBufs, f.floatBufs = nil, nil
+	}
 }
 
 // String renders a compact plan summary.

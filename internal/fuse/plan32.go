@@ -1,0 +1,558 @@
+package fuse
+
+import (
+	"fmt"
+
+	"agnn/internal/obs/flight"
+	"agnn/internal/obs/metrics"
+	"agnn/internal/par"
+	"agnn/internal/sparse"
+	"agnn/internal/tensor"
+)
+
+// Float32 plan compilation. An F32 plan is mixed-precision: the public
+// contract stays float64 (Forward takes and returns *tensor.Dense, Backward
+// takes and returns f64 cotangents, parameters keep their f64 master values
+// and Grad accumulators), while every intermediate buffer and kernel inside
+// the plan runs in float32 — halving the memory traffic of the bandwidth-
+// bound sparse sweeps. The casts live at the plan boundary:
+//
+//   Forward:  input rounds into an f32 buffer; parameter shadows re-round
+//             from the f64 masters (so optimizer updates are observed);
+//             the f32 output widens into a reusable f64 result.
+//   Backward: the output cotangent rounds to f32; f32 gradient shadows are
+//             zeroed, accumulated by the VJP sweeps, then flushed with
+//             Grad[i] += float64(shadow[i]) — preserving the accumulate
+//             semantics of the f64 path across layers and steps.
+//
+// The op bodies are the ops32.go transcriptions; fusion analysis, buffer
+// lifetime and backward derivation are identical to Compile.
+
+// shadow32 re-rounds one f64 parameter master into its f32 working copy.
+type shadow32 struct {
+	src *tensor.Dense
+	dst *tensor.Dense32
+}
+
+// gradFlush32 flushes one f32 gradient shadow into its f64 Grad accumulator.
+type gradFlush32 struct {
+	dst *tensor.Dense
+	src *tensor.Dense32
+}
+
+// planF32 is the float32 execution state hung off a Plan when it was
+// compiled with DType == F32.
+type planF32 struct {
+	sp            map[*Node]*spec32
+	input, output *spec32
+
+	outF *tensor.Dense // widened forward result handed to the caller
+	ginF *tensor.Dense // widened input cotangent handed to the caller
+
+	shadows []shadow32
+	grads   []gradFlush32
+
+	zeroDense []*tensor.Dense32 // cotangent buffers zeroed before each backward
+	zeroVecs  [][]float32
+
+	denseBufs []*tensor.Dense32 // everything acquired from the workspace,
+	floatBufs [][]float32       // for Release
+}
+
+// s returns (creating on demand) the f32 spec of a node. Creation order
+// does not matter: closures capture the pointer, the allocation loop fills
+// the fields.
+func (f *planF32) s(n *Node) *spec32 {
+	t := f.sp[n]
+	if t == nil {
+		t = &spec32{}
+		f.sp[n] = t
+	}
+	return t
+}
+
+// compile32 is the F32 twin of Compile: same validation, fusion analysis
+// and emission order, f32 buffers and op bodies, boundary-cast state.
+func (g *Graph) compile32(opt Options) (*Plan, error) {
+	if opt.Train && g.rowOff != 0 {
+		return nil, fmt.Errorf("fuse: graph %q: row-offset plans are inference-only", g.Name)
+	}
+	if len(g.aux) > 0 {
+		return nil, fmt.Errorf("fuse: graph %q: auxiliary dense inputs require f64 plans", g.Name)
+	}
+	cons := g.dag.consumers()
+	for _, n := range g.dag.Nodes() {
+		switch n.Op {
+		case "spmm-max", "spmm-min", "spmm-mean":
+			return nil, fmt.Errorf("fuse: graph %q: semiring aggregation %q requires f64 plans", g.Name, n.ID)
+		}
+	}
+	if opt.Train {
+		for _, n := range g.dag.Nodes() {
+			if n == g.adj || (n.Kind != Sparse && n.Kind != Virtual) {
+				continue
+			}
+			if len(cons[n]) > 1 {
+				return nil, fmt.Errorf("fuse: graph %q: %s node %q has %d consumers; training plans require single-consumer sparse/virtual nodes",
+					g.Name, n.Kind, n.ID, len(cons[n]))
+			}
+		}
+	}
+
+	groups := Analyze(g.dag)
+
+	fusedMask := make(map[*Node]bool)
+	for _, n := range g.dag.Nodes() {
+		if n.Op == "softmax" {
+			if in := n.Inputs[0]; in.Op == "mask" && len(cons[in]) == 1 {
+				fusedMask[in] = true
+			}
+		}
+	}
+	attnAgg, attnSrc := attnFusion(g, cons, fusedMask, opt.NoAttnFuse)
+
+	ws := opt.Workspace
+	if ws == nil {
+		ws = tensor.NewArena()
+	}
+	p := &Plan{Name: g.Name, train: opt.Train, rowOff: g.rowOff, pat: g.pat,
+		input: g.sp(g.input), output: g.sp(g.output), ws: ws}
+	f := &planF32{sp: make(map[*Node]*spec32, len(g.specs))}
+	p.f32 = f
+
+	// words counts workspace in f32 elements (WorkspaceBytes multiplies by
+	// DType.Size() == 4); the two f64 boundary buffers count double.
+	var words int64
+	dense32 := func(r, c int) *tensor.Dense32 {
+		m := ws.AcquireDense32(r, c)
+		f.denseBufs = append(f.denseBufs, m)
+		words += int64(r) * int64(c)
+		return m
+	}
+	floats32 := func(n int) []float32 {
+		s := ws.AcquireFloats32(n)
+		f.floatBufs = append(f.floatBufs, s)
+		words += int64(n)
+		return s
+	}
+	dense64 := func(r, c int) *tensor.Dense {
+		m := ws.AcquireDense(r, c)
+		p.denseBufs = append(p.denseBufs, m)
+		words += 2 * int64(r) * int64(c)
+		return m
+	}
+
+	pat := g.pat
+	nnz := pat.NNZ()
+	cuts := par.NewCuts(pat.Rows, nnzWeight(pat))
+
+	// Static f32 copies of the adjacency values (weighted masks, adjacency
+	// SpMM) — converted once at compile time, shared by every op that
+	// needs them.
+	var adjVal32 []float32
+	adjVals := func() []float32 {
+		if adjVal32 == nil {
+			adjVal32 = floats32(nnz)
+			tensor.Floats64To32(adjVal32, pat.Val)
+		}
+		return adjVal32
+	}
+	weights32 := func(mask *spec) []float32 {
+		if mask.weighted {
+			return adjVals()
+		}
+		return nil
+	}
+
+	// Allocate f32 buffers and compose the f32 score closures, in
+	// topological order.
+	for _, n := range g.dag.Nodes() {
+		s := g.sp(n)
+		t := f.s(n)
+		switch {
+		case n == g.adj:
+			// values convert lazily via adjVals
+		case n == g.input:
+			t.dense = dense32(s.rows, s.cols) // the rounding target for Forward's h
+			if opt.Train {
+				t.gdense = dense32(s.rows, s.cols)
+				f.zeroDense = append(f.zeroDense, t.gdense)
+			}
+		case s.hasParam:
+			t.dense = dense32(s.rows, s.cols) // shadow, re-rounded each Forward
+			f.shadows = append(f.shadows, shadow32{src: s.param.Value, dst: t.dense})
+			if opt.Train {
+				t.grad = dense32(s.rows, s.cols)
+				f.grads = append(f.grads, gradFlush32{dst: s.param.Grad, src: t.grad})
+			}
+		case n.Kind == Virtual:
+			t.score = composeScore32(g, f, n)
+			if opt.Train {
+				t.gvals = floats32(nnz)
+			}
+		case n.Kind == Sparse:
+			if !fusedMask[n] && !(attnSrc[n] && !opt.Train) {
+				t.vals = floats32(nnz)
+			}
+			if opt.Train {
+				t.gvals = floats32(nnz)
+			}
+		case n.Kind == Vector:
+			t.vec = floats32(s.rows)
+			if opt.Train {
+				t.gvec = floats32(s.rows)
+				f.zeroVecs = append(f.zeroVecs, t.gvec)
+			}
+		default: // dense compute node
+			t.dense = dense32(s.rows, s.cols)
+			if opt.Train {
+				t.gdense = dense32(s.rows, s.cols)
+				f.zeroDense = append(f.zeroDense, t.gdense)
+			}
+		}
+	}
+	f.input = f.s(g.input)
+	f.output = f.s(g.output)
+	f.outF = dense64(g.sp(g.output).rows, g.sp(g.output).cols)
+	if opt.Train {
+		f.ginF = dense64(g.sp(g.input).rows, g.sp(g.input).cols)
+	}
+
+	// Transpose machinery for the backward pass (see Compile).
+	var patT *sparse.CSR
+	var cutsT *par.Cuts
+	var perm []int64
+	var tvals32 []float32
+	var adjT32 []float32
+	if opt.Train {
+		patT = pat.Transpose()
+		cutsT = par.NewCuts(patT.Rows, nnzWeight(patT))
+		perm = pat.TransposePerm()
+		tvals32 = floats32(nnz)
+		for _, n := range g.dag.Nodes() {
+			if n.Op == "spmm" && n.Inputs[0] == g.adj {
+				adjT32 = floats32(nnz)
+				tensor.Floats64To32(adjT32, patT.Val)
+				break
+			}
+		}
+	}
+
+	rowOff := int32(g.rowOff)
+	lane := flight.Process()
+	emit := func(list *[]planOp, n *Node, suffix, op string, fns opFns) {
+		backward := suffix != ""
+		flops, swept := opCost(g, n, op, nnz, backward)
+		span := opt.SpanPrefix + n.ID + suffix
+		*list = append(*list, planOp{
+			span:   span,
+			op:     op,
+			run:    fns.run,
+			each:   fns.each,
+			rows:   fns.rows,
+			lat:    metrics.PlanOpSeconds.With(op),
+			ops:    metrics.PlanOpsTotal.With(op),
+			flopsC: metrics.OpFlopsTotal.With(op),
+			bytesC: metrics.OpBytesTotal.With(op),
+			lane:   lane,
+			fcode:  flight.Code(span),
+			flops:  flops,
+			bytes:  opBytes(g, n, op, nnz, backward, 4),
+			nnz:    swept,
+		})
+	}
+	bare := func(run func()) opFns { return opFns{run: run} }
+
+	// Forward op list (ops32 bodies, same emission order as Compile).
+	for _, n := range g.dag.Nodes() {
+		t := f.s(n)
+		switch n.Op {
+		case "input":
+			continue
+		case "mask":
+			if fusedMask[n] || attnSrc[n] {
+				continue
+			}
+			virt := f.s(n.Inputs[1])
+			emit(&p.fwd, n, "", "mask",
+				opSample32(pat, cuts, t.vals, virt.score, weights32(g.sp(n)), rowOff, false))
+		case "softmax":
+			if attnSrc[n] {
+				continue
+			}
+			in := n.Inputs[0]
+			if fusedMask[in] {
+				virt := f.s(in.Inputs[1])
+				emit(&p.fwd, n, "", "fused-softmax",
+					opSample32(pat, cuts, t.vals, virt.score, weights32(g.sp(in)), rowOff, true))
+			} else {
+				emit(&p.fwd, n, "", "softmax", opRowSoftmax32(pat, cuts, f.s(in).vals, t.vals))
+			}
+		case "spmm":
+			if src, ok := attnAgg[n]; ok {
+				maskN := src
+				softmax := false
+				if src.Op == "softmax" {
+					maskN = src.Inputs[0]
+					softmax = true
+				}
+				virt := f.s(maskN.Inputs[1])
+				emit(&p.fwd, n, "", "fused-attn",
+					opAttnFused32(pat, cuts, f.s(src).vals, virt.score, weights32(g.sp(maskN)),
+						rowOff, softmax, f.s(n.Inputs[1]), t))
+				continue
+			}
+			svals := f.s(n.Inputs[0]).vals
+			if n.Inputs[0] == g.adj {
+				svals = adjVals()
+			}
+			emit(&p.fwd, n, "", "spmm", opSpMM32(pat, cuts, svals, f.s(n.Inputs[1]), t))
+		case "mm":
+			emit(&p.fwd, n, "", "mm", opMM32(f.s(n.Inputs[0]), f.s(n.Inputs[1]), t))
+		case "matvec":
+			emit(&p.fwd, n, "", "matvec", opMatVec32(f.s(n.Inputs[0]), f.s(n.Inputs[1]), t))
+		case "rownorm":
+			emit(&p.fwd, n, "", "rownorm", opRowNorms32(f.s(n.Inputs[0]), t))
+		case "sigma":
+			emit(&p.fwd, n, "", "sigma", opSigma32(f.s(n.Inputs[0]), t, g.sp(n).act))
+		case "gin-combine":
+			emit(&p.fwd, n, "", "gin-combine",
+				opGINCombine32(f.s(n.Inputs[0]), f.s(n.Inputs[1]), f.s(n.Inputs[2]), t))
+		default:
+			if n.Kind == Virtual {
+				continue
+			}
+			return nil, fmt.Errorf("fuse: graph %q: no executable lowering for op %q (node %q)", g.Name, n.Op, n.ID)
+		}
+	}
+
+	// Backward op list: reverse traversal, f32 VJP bodies.
+	if opt.Train {
+		nodes := g.dag.Nodes()
+		for idx := len(nodes) - 1; idx >= 0; idx-- {
+			n := nodes[idx]
+			t := f.s(n)
+			switch n.Op {
+			case "input":
+				continue
+			case "sigma":
+				emit(&p.bwd, n, ".bwd", "sigma",
+					bare(opSigmaVJP32(f.s(n.Inputs[0]), t, g.sp(n).act)))
+			case "mm":
+				emit(&p.bwd, n, ".bwd", "mm",
+					bare(opMMVJP32(f.s(n.Inputs[0]), f.s(n.Inputs[1]), t, &partialsScratch32{})))
+			case "matvec":
+				emit(&p.bwd, n, ".bwd", "matvec",
+					bare(opMatVecVJP32(f.s(n.Inputs[0]), f.s(n.Inputs[1]), t)))
+			case "rownorm":
+				emit(&p.bwd, n, ".bwd", "rownorm", bare(opRowNormsVJP32(f.s(n.Inputs[0]), t)))
+			case "gin-combine":
+				emit(&p.bwd, n, ".bwd", "gin-combine",
+					bare(opGINCombineVJP32(f.s(n.Inputs[0]), f.s(n.Inputs[1]), f.s(n.Inputs[2]), t, &redScratch32{})))
+			case "spmm":
+				x := f.s(n.Inputs[1])
+				if n.Inputs[0] == g.adj {
+					emit(&p.bwd, n, ".bwd", "spmm",
+						bare(opSpMMVJP32(pat, patT, cuts, cutsT, nil, nil, perm, tvals32, adjT32, x, t)))
+				} else {
+					sam := f.s(n.Inputs[0])
+					emit(&p.bwd, n, ".bwd", "spmm",
+						bare(opSpMMVJP32(pat, patT, cuts, cutsT, sam.vals, sam.gvals, perm, tvals32, nil, x, t)))
+				}
+			case "softmax":
+				emit(&p.bwd, n, ".bwd", "softmax",
+					bare(opSoftmaxVJP32(pat, cuts, t.vals, t.gvals, f.s(n.Inputs[0]).gvals)))
+			case "mask":
+				virt := f.s(n.Inputs[1])
+				emit(&p.bwd, n, ".bwd", "mask", bare(opMaskVJP32(t.gvals, virt.gvals, weights32(g.sp(n)))))
+			case "mmt":
+				emit(&p.bwd, n, ".bwd", "mmt",
+					bare(opDotVJP32(pat, patT, cuts, cutsT, t.gvals, perm, tvals32, f.s(n.Inputs[0]), f.s(n.Inputs[1]))))
+			case "outer":
+				emit(&p.bwd, n, ".bwd", "outer",
+					bare(opOuterVJP32(pat, patT, cuts, cutsT, t.gvals, perm, tvals32, f.s(n.Inputs[0]), f.s(n.Inputs[1]))))
+			case "divide":
+				emit(&p.bwd, n, ".bwd", "divide",
+					bare(opDivVJP32(pat, cuts, t.gvals, f.s(n.Inputs[0]), f.s(n.Inputs[1]))))
+			case "scale":
+				emit(&p.bwd, n, ".bwd", "scale",
+					bare(opScaleVJP32(pat, cuts, t.gvals, f.s(n.Inputs[0]), f.s(n.Inputs[1]), &redScratch32{})))
+			case "rep":
+				emit(&p.bwd, n, ".bwd", "rep", bare(opRepVJP32(pat, cuts, t.gvals, f.s(n.Inputs[0]))))
+			case "repT":
+				emit(&p.bwd, n, ".bwd", "repT",
+					bare(opRepTVJP32(patT, cutsT, t.gvals, perm, tvals32, f.s(n.Inputs[0]))))
+			case "add":
+				emit(&p.bwd, n, ".bwd", "add",
+					bare(opAddVJP32(t.gvals, f.s(n.Inputs[0]), f.s(n.Inputs[1]))))
+			case "lrelu":
+				emit(&p.bwd, n, ".bwd", "lrelu",
+					bare(opLReLUVJP32(pat, cuts, t.gvals, f.s(n.Inputs[0]), float32(g.sp(n).slope))))
+			default:
+				return nil, fmt.Errorf("fuse: graph %q: no VJP for op %q (node %q)", g.Name, n.Op, n.ID)
+			}
+		}
+	}
+
+	p.stats = PlanStats{
+		ForwardOps:     len(p.fwd),
+		BackwardOps:    len(p.bwd),
+		SoftmaxFused:   len(fusedMask),
+		AttnFused:      len(attnAgg),
+		OpCounts:       make(map[string]int),
+		WorkspaceWords: words,
+		DType:          tensor.F32,
+	}
+	for _, grp := range groups {
+		p.stats.FusedVirtual += len(grp.Virtual)
+		p.stats.Groups = append(p.stats.Groups, grp.String())
+	}
+	for _, op := range p.fwd {
+		p.stats.OpCounts[op.op]++
+		p.stats.ForwardFlops += op.flops
+		p.stats.ForwardBytes += op.bytes
+	}
+	for _, op := range p.bwd {
+		p.stats.BackwardFlops += op.flops
+		p.stats.BackwardBytes += op.bytes
+	}
+	return p, nil
+}
+
+// composeScore32 is the f32 twin of composeScore, composing over the f32
+// side-state (parameter shadows included, so the "scale" β reads the same
+// rounded value the kernels see).
+func composeScore32(g *Graph, f *planF32, n *Node) Score32 {
+	// Peepholes for the standard attention-score chains: the generic
+	// composition nests one closure per virtual node, and on the scalar
+	// per-edge sweeps that dynamic-call depth is pure overhead. Collapsing
+	// the GAT chain lrelu(u·1ᵀ + 1·vᵀ) and the AGNN chain β·(X·Yᵀ ⊘ a·bᵀ)
+	// into single closures performs the same float32 operations in the same
+	// order — only the call tree changes.
+	if n.Op == "lrelu" {
+		if a := n.Inputs[0]; a.Op == "add" && a.Inputs[0].Op == "rep" && a.Inputs[1].Op == "repT" {
+			us, vs := f.s(a.Inputs[0].Inputs[0]), f.s(a.Inputs[1].Inputs[0])
+			slope := float32(g.sp(n).slope)
+			return func(i, j int32) float32 {
+				s := us.vec[i] + vs.vec[j]
+				if s < 0 {
+					s *= slope
+				}
+				return s
+			}
+		}
+	}
+	if n.Op == "scale" {
+		if d := n.Inputs[0]; d.Op == "divide" && d.Inputs[0].Op == "mmt" && d.Inputs[1].Op == "outer" {
+			xs, ys := f.s(d.Inputs[0].Inputs[0]), f.s(d.Inputs[0].Inputs[1])
+			as, bs := f.s(d.Inputs[1].Inputs[0]), f.s(d.Inputs[1].Inputs[1])
+			beta := f.s(n.Inputs[1])
+			return func(i, j int32) float32 {
+				den := as.vec[i] * bs.vec[j]
+				if den == 0 {
+					return 0
+				}
+				xd, yd := xs.dense, ys.dense
+				k := xd.Cols
+				xrow := xd.Data[int(i)*k : int(i)*k+k]
+				yrow := yd.Data[int(j)*k : int(j)*k+k]
+				acc := float32(0)
+				for t, v := range xrow {
+					acc += v * yrow[t]
+				}
+				return beta.dense.Data[0] * (acc / den)
+			}
+		}
+	}
+	switch n.Op {
+	case "mmt":
+		xs, ys := f.s(n.Inputs[0]), f.s(n.Inputs[1])
+		return func(i, j int32) float32 {
+			xd, yd := xs.dense, ys.dense
+			k := xd.Cols
+			xrow := xd.Data[int(i)*k : int(i)*k+k]
+			yrow := yd.Data[int(j)*k : int(j)*k+k]
+			acc := float32(0)
+			for t, v := range xrow {
+				acc += v * yrow[t]
+			}
+			return acc
+		}
+	case "outer":
+		as, bs := f.s(n.Inputs[0]), f.s(n.Inputs[1])
+		return func(i, j int32) float32 { return as.vec[i] * bs.vec[j] }
+	case "divide":
+		num, den := f.s(n.Inputs[0]), f.s(n.Inputs[1])
+		return func(i, j int32) float32 {
+			d := den.score(i, j)
+			if d == 0 {
+				return 0
+			}
+			return num.score(i, j) / d
+		}
+	case "scale":
+		xs := f.s(n.Inputs[0])
+		beta := f.s(n.Inputs[1])
+		return func(i, j int32) float32 { return beta.dense.Data[0] * xs.score(i, j) }
+	case "rep":
+		us := f.s(n.Inputs[0])
+		return func(i, _ int32) float32 { return us.vec[i] }
+	case "repT":
+		vs := f.s(n.Inputs[0])
+		return func(_, j int32) float32 { return vs.vec[j] }
+	case "add":
+		as, bs := f.s(n.Inputs[0]), f.s(n.Inputs[1])
+		return func(i, j int32) float32 { return as.score(i, j) + bs.score(i, j) }
+	case "lrelu":
+		xs := f.s(n.Inputs[0])
+		slope := float32(g.sp(n).slope)
+		return func(i, j int32) float32 {
+			s := xs.score(i, j)
+			if s < 0 {
+				s *= slope
+			}
+			return s
+		}
+	}
+	panic(fmt.Sprintf("fuse: no score composition for virtual op %q (node %q)", n.Op, n.ID))
+}
+
+// forward32 is Forward's body for F32 plans: round in, refresh parameter
+// shadows, run, widen out.
+func (p *Plan) forward32(h *tensor.Dense) *tensor.Dense {
+	f := p.f32
+	f.input.dense.CopyFromDense(h)
+	for _, s := range f.shadows {
+		s.dst.CopyFromDense(s.src)
+	}
+	runOps(p.fwd)
+	p.ranForward = true
+	f.output.dense.CopyToDense(f.outF)
+	return f.outF
+}
+
+// backward32 is Backward's body for F32 plans: zero the f32 cotangent and
+// gradient-shadow buffers, round the output cotangent in, run the VJP list,
+// flush the gradient shadows into the f64 Grad accumulators, widen the
+// input cotangent out.
+func (p *Plan) backward32(g *tensor.Dense) *tensor.Dense {
+	f := p.f32
+	for _, m := range f.zeroDense {
+		m.Zero()
+	}
+	for _, v := range f.zeroVecs {
+		clear(v)
+	}
+	for _, gs := range f.grads {
+		gs.src.Zero()
+	}
+	f.output.gdense.CopyFromDense(g)
+	runOps(p.bwd)
+	for _, gs := range f.grads {
+		for i, v := range gs.src.Data {
+			gs.dst.Data[i] += float64(v)
+		}
+	}
+	f.input.gdense.CopyToDense(f.ginF)
+	return f.ginF
+}

@@ -165,9 +165,9 @@ func TestPlanKernelCounts(t *testing.T) {
 		g    *fuse.Graph
 		ops  int
 	}{
-		{"va", buildVA(a, randParam(rng, "W", k, k), k), 4},
-		{"agnn", buildAGNN(a, randParam(rng, "W", k, k), randParam(rng, "beta", 1, 1), k), 5},
-		{"gat", buildGAT(a, randParam(rng, "W", k, k), randParam(rng, "a1", k, 1), randParam(rng, "a2", k, 1), k, 0.2), 6},
+		{"va", buildVA(a, randParam(rng, "W", k, k), k), 3},
+		{"agnn", buildAGNN(a, randParam(rng, "W", k, k), randParam(rng, "beta", 1, 1), k), 4},
+		{"gat", buildGAT(a, randParam(rng, "W", k, k), randParam(rng, "a1", k, 1), randParam(rng, "a2", k, 1), k, 0.2), 5},
 	}
 	for _, tc := range cases {
 		kc := fuse.KernelCount(tc.g.DAG())
@@ -176,9 +176,10 @@ func TestPlanKernelCounts(t *testing.T) {
 		if st.ForwardOps != tc.ops {
 			t.Errorf("%s: ForwardOps = %d, want %d\n%s", tc.name, st.ForwardOps, tc.ops, p)
 		}
-		if st.ForwardOps != kc-st.SoftmaxFused {
-			t.Errorf("%s: ForwardOps = %d, KernelCount %d - fused %d = %d",
-				tc.name, st.ForwardOps, kc, st.SoftmaxFused, kc-st.SoftmaxFused)
+		if st.ForwardOps != kc-st.SoftmaxFused-st.AttnFused {
+			t.Errorf("%s: ForwardOps = %d, KernelCount %d - fused %d - attn %d = %d",
+				tc.name, st.ForwardOps, kc, st.SoftmaxFused, st.AttnFused,
+				kc-st.SoftmaxFused-st.AttnFused)
 		}
 		if st.BackwardOps == 0 {
 			t.Errorf("%s: training plan emitted no backward ops", tc.name)

@@ -10,18 +10,18 @@ package fuse
 // upper bound on compulsory misses and a stable denominator for
 // regression-gating bytes-moved-per-edge in CI.
 
-// Bytes per element of the two storage types the kernels touch.
-const (
-	floatBytes = 8 // float64 values, dense and sparse
-	indexBytes = 4 // int32 CSR column indices
-)
+// indexBytes is the width of the int32 CSR column indices, the one storage
+// type whose width does not change with the plan dtype.
+const indexBytes = 4
 
 // opBytes estimates, from compile-time shapes, the memory traffic of one
 // execution of an op: CSR traffic (values + column indices + one gathered
 // feature row per non-zero) for sparse sweeps, operand reads + result
-// writes for dense kernels. Backward variants approximately double the
-// forward traffic, mirroring opCost.
-func opBytes(g *Graph, n *Node, op string, nnz int, backward bool) int64 {
+// writes for dense kernels. fb is the float element width of the plan's
+// dtype (8 for f64, 4 for f32) — the lever that halves every value-traffic
+// term on the f32 path. Backward variants approximately double the forward
+// traffic, mirroring opCost.
+func opBytes(g *Graph, n *Node, op string, nnz int, backward bool, fb int64) int64 {
 	s := g.sp(n)
 	r, c := int64(s.rows), int64(s.cols)
 	nz := int64(nnz)
@@ -29,36 +29,49 @@ func opBytes(g *Graph, n *Node, op string, nnz int, backward bool) int64 {
 	switch op {
 	case "mm":
 		k := int64(g.sp(n.Inputs[0]).cols)
-		b = floatBytes * (r*k + k*c + r*c)
+		b = fb * (r*k + k*c + r*c)
 	case "spmm", "spmm-max", "spmm-min", "spmm-mean":
 		// Values + indices in, one gathered X row per non-zero, output out.
-		b = (floatBytes+indexBytes)*nz + floatBytes*(nz*c+r*c)
+		b = (fb+indexBytes)*nz + fb*(nz*c+r*c)
 	case "mask":
 		// Pattern sweep: indices in, two composed-score operands per entry
 		// (the dominant shape), values out.
-		b = indexBytes*nz + 3*floatBytes*nz
+		b = indexBytes*nz + 3*fb*nz
 	case "softmax":
 		// Three passes over the row values: max (read), exp+sum
 		// (read+write), normalize (read+write).
-		b = 5 * floatBytes * nz
+		b = 5 * fb * nz
 	case "fused-softmax":
 		// Sampling sweep (indices + two score operands in, values out)
 		// plus the in-place softmax passes over the freshly written values.
-		b = indexBytes*nz + 7*floatBytes*nz
+		b = indexBytes*nz + 7*fb*nz
+	case "fused-attn":
+		// One sweep: indices + two score operands in, one gathered X row
+		// per non-zero, output rows out. Softmax passes run over the
+		// row's scores while they are cache-hot; training plans
+		// additionally write the normalized scores to the value buffer
+		// (inference never materializes them — the fusion's saving).
+		b = indexBytes*nz + 2*fb*nz + fb*(nz*c+r*c)
+		if n.Inputs[0].Op == "softmax" {
+			b += 2 * fb * nz
+		}
+		if g.sp(n.Inputs[0]).vals != nil {
+			b += fb * nz
+		}
 	case "matvec":
 		k := int64(g.sp(n.Inputs[0]).cols)
-		b = floatBytes * (r*k + k + r)
+		b = fb * (r*k + k + r)
 	case "rownorm":
 		k := int64(g.sp(n.Inputs[0]).cols)
-		b = floatBytes * (r*k + r)
+		b = fb * (r*k + r)
 	case "sigma":
-		b = 2 * floatBytes * r * c
+		b = 2 * fb * r * c
 	case "gin-combine":
-		b = 3 * floatBytes * r * c
+		b = 3 * fb * r * c
 	default:
 		// Virtual-node VJP sweeps: one pattern pass re-evaluating scores
 		// entry-wise (indices + two operands in, cotangent out).
-		b = indexBytes*nz + 3*floatBytes*nz
+		b = indexBytes*nz + 3*fb*nz
 	}
 	if backward {
 		b *= 2

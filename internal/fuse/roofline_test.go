@@ -78,7 +78,7 @@ func TestPlanRooflineAccounting(t *testing.T) {
 	if got := opFamilySum(byFlops); got != wantFlops {
 		t.Errorf("per-op flop family sums to %d, want %d (%v)", got, wantFlops, byFlops)
 	}
-	for _, op := range []string{"spmm", "mm", "fused-softmax", "sigma"} {
+	for _, op := range []string{"spmm", "mm", "fused-attn", "sigma"} {
 		if byBytes[op] <= 0 || byFlops[op] <= 0 {
 			t.Errorf("op class %q missing from roofline families (bytes=%d flops=%d)", op, byBytes[op], byFlops[op])
 		}

@@ -37,7 +37,16 @@ type AGNNLayer struct {
 	// kernel path.
 	Direct bool
 
-	pc planCache
+	// DType selects the element width of the layer's compiled plans (see
+	// VALayer.DType).
+	DType tensor.DType
+
+	// PlanInference routes non-training Forward through a compiled
+	// inference plan (see VALayer.PlanInference).
+	PlanInference bool
+
+	pc  planCache
+	ipc planCache // inference plans (PlanInference)
 
 	// cached intermediates (direct training-mode forward)
 	h     *tensor.Dense
@@ -69,6 +78,9 @@ func (l *AGNNLayer) Params() []*Param { return []*Param{l.W, l.Beta} }
 func (l *AGNNLayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {
 	beta := l.Beta.Scalar()
 	if !training {
+		if l.PlanInference && !l.Direct {
+			return l.ensureInferPlan(h.Cols).Forward(h)
+		}
 		// Fully fused inference: score evaluation, softmax and aggregation
 		// in one kernel; Ψ never stored.
 		norms := tensor.RowNorms(h)
@@ -99,28 +111,44 @@ func (l *AGNNLayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {
 // virtual chain H·Hᵀ ⊘ n·nᵀ scaled by β collapses into the softmax sampling
 // sweep (mask+softmax fuse into one kernel), matching the Figure 5 analysis.
 func (l *AGNNLayer) ensurePlan(in int) *fuse.Plan {
-	return l.pc.get(l.A, in, func() string {
+	return l.pc.get(l.A, in, l.DType, func() string {
 		return planSig("agnn", true, l.Act, "", l.W, l.Beta)
 	}, func(ws *tensor.Arena) *fuse.Plan {
-		g := fuse.NewGraph("agnn", l.A)
-		h := g.InputDense("H", l.A.Rows, in)
-		wn := g.ParamNode("W", planRef(l.W))
-		bn := g.ParamNode("beta", planRef(l.Beta))
-		norms := g.RowNormsNode("n", h)
-		cos := g.DivScores("C", g.DotScores("HHt", h, h), g.OuterScores("nnT", norms, norms))
-		s := g.Mask("S", g.ScaleScores("betaC", cos, bn), true)
-		psi := g.Softmax("Psi", s)
-		z := g.SpMM("Z", psi, g.MM("HW", h, wn))
-		g.SetOutput(g.Sigma("Hout", z, planAct(l.Act)))
-		return g.MustCompile(fuse.Options{Train: true, SpanPrefix: "agnn.", Workspace: ws})
+		return l.buildGraph(in).MustCompile(
+			fuse.Options{Train: true, SpanPrefix: "agnn.", Workspace: ws, DType: l.DType})
 	})
+}
+
+// ensureInferPlan compiles the same DAG as an inference plan (see
+// VALayer.ensureInferPlan).
+func (l *AGNNLayer) ensureInferPlan(in int) *fuse.Plan {
+	return l.ipc.get(l.A, in, l.DType, func() string {
+		return planSig("agnn", false, l.Act, "", l.W, l.Beta)
+	}, func(ws *tensor.Arena) *fuse.Plan {
+		return l.buildGraph(in).MustCompile(
+			fuse.Options{SpanPrefix: "agnn.", Workspace: ws, DType: l.DType})
+	})
+}
+
+func (l *AGNNLayer) buildGraph(in int) *fuse.Graph {
+	g := fuse.NewGraph("agnn", l.A)
+	h := g.InputDense("H", l.A.Rows, in)
+	wn := g.ParamNode("W", planRef(l.W))
+	bn := g.ParamNode("beta", planRef(l.Beta))
+	norms := g.RowNormsNode("n", h)
+	cos := g.DivScores("C", g.DotScores("HHt", h, h), g.OuterScores("nnT", norms, norms))
+	s := g.Mask("S", g.ScaleScores("betaC", cos, bn), true)
+	psi := g.Softmax("Psi", s)
+	z := g.SpMM("Z", psi, g.MM("HW", h, wn))
+	g.SetOutput(g.Sigma("Hout", z, planAct(l.Act)))
+	return g
 }
 
 // Plan returns the compiled training plan (nil before the first planned
 // training-mode Forward).
 func (l *AGNNLayer) Plan() *fuse.Plan { return l.pc.plan }
 
-func (l *AGNNLayer) releasePlans() { l.pc.release() }
+func (l *AGNNLayer) releasePlans() { l.pc.release(); l.ipc.release() }
 
 // Backward implements Layer.
 func (l *AGNNLayer) Backward(gOut *tensor.Dense) *tensor.Dense {

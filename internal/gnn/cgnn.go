@@ -31,6 +31,10 @@ type GINLayer struct {
 	// kernel path.
 	Direct bool
 
+	// DType selects the element width of the layer's compiled plans (see
+	// VALayer.DType).
+	DType tensor.DType
+
 	pc planCache
 
 	h, pre, mid1, mid2, z *tensor.Dense
@@ -58,7 +62,7 @@ func (l *GINLayer) Params() []*Param { return []*Param{l.W1, l.W2, l.Eps} }
 // ensurePlan compiles GIN's DAG — aggregation, the (1+ε) combine, and the
 // two-layer MLP — into a reusable training plan.
 func (l *GINLayer) ensurePlan(in int) *fuse.Plan {
-	return l.pc.get(l.A, in, func() string {
+	return l.pc.get(l.A, in, l.DType, func() string {
 		return planSig("gin", true, l.Act, "mlpact="+planAct(l.ActMLP).Name, l.W1, l.W2, l.Eps)
 	}, func(ws *tensor.Arena) *fuse.Plan {
 		g := fuse.NewGraph("gin", l.A)
@@ -70,7 +74,7 @@ func (l *GINLayer) ensurePlan(in int) *fuse.Plan {
 		mid := g.Sigma("mid2", g.MM("mid1", pre, w1), planAct(l.ActMLP))
 		z := g.MM("Z", mid, w2)
 		g.SetOutput(g.Sigma("Hout", z, planAct(l.Act)))
-		return g.MustCompile(fuse.Options{Train: true, SpanPrefix: "gin.", Workspace: ws})
+		return g.MustCompile(fuse.Options{Train: true, SpanPrefix: "gin.", Workspace: ws, DType: l.DType})
 	})
 }
 
@@ -146,6 +150,10 @@ type SGCLayer struct {
 	// kernel path.
 	Direct bool
 
+	// DType selects the element width of the layer's compiled plans (see
+	// VALayer.DType).
+	DType tensor.DType
+
 	pc planCache
 
 	hk *tensor.Dense // Â^K·H
@@ -171,7 +179,7 @@ func (l *SGCLayer) Params() []*Param { return []*Param{l.W} }
 // ensurePlan compiles SGC's DAG — K chained propagation hops and one
 // projection — into a reusable training plan.
 func (l *SGCLayer) ensurePlan(in int) *fuse.Plan {
-	return l.pc.get(l.A, in, func() string {
+	return l.pc.get(l.A, in, l.DType, func() string {
 		return planSig("sgc", true, l.Act, fmt.Sprintf("K=%d", l.K), l.W)
 	}, func(ws *tensor.Arena) *fuse.Plan {
 		g := fuse.NewGraph("sgc", l.A)
@@ -183,7 +191,7 @@ func (l *SGCLayer) ensurePlan(in int) *fuse.Plan {
 		}
 		z := g.MM("Z", cur, wn)
 		g.SetOutput(g.Sigma("Hout", z, planAct(l.Act)))
-		return g.MustCompile(fuse.Options{Train: true, SpanPrefix: "sgc.", Workspace: ws})
+		return g.MustCompile(fuse.Options{Train: true, SpanPrefix: "sgc.", Workspace: ws, DType: l.DType})
 	})
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"agnn/internal/graph"
 	"agnn/internal/sparse"
+	"agnn/internal/tensor"
 )
 
 // Kind identifies a built-in GNN model.
@@ -68,6 +69,13 @@ type Config struct {
 	// Heads·HiddenDim) and the final layer averages them (Veličković et
 	// al.'s convention).
 	Seed int64
+
+	// DType selects the element width of every layer's compiled execution
+	// plans. F64 (the zero value) keeps the default double-precision path,
+	// bitwise-identical to dtype-unaware builds; F32 runs mixed precision —
+	// f64 master weights, float32 plan kernels and buffers — halving the
+	// memory traffic of the bandwidth-bound sparse sweeps.
+	DType tensor.DType
 }
 
 // Defaults fills zero-valued fields with the conventions used throughout
@@ -117,7 +125,7 @@ func New(cfg Config, a *sparse.CSR) (*Model, error) {
 	at := a.Transpose()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	m := &Model{}
+	m := &Model{DType: cfg.DType}
 	multiHead := cfg.Model == GAT && cfg.Heads > 1
 	for l := 0; l < cfg.Layers; l++ {
 		in := cfg.HiddenDim
@@ -155,7 +163,54 @@ func New(cfg Config, a *sparse.CSR) (*Model, error) {
 		default:
 			return nil, fmt.Errorf("gnn: unknown model kind %v", cfg.Model)
 		}
+		setLayerDType(layer, cfg.DType)
 		m.Layers = append(m.Layers, layer)
 	}
 	return m, nil
+}
+
+// SetPlanInference flips the attention layers' planned-inference routing
+// (see VALayer.PlanInference) across the whole model: non-training Forward
+// then executes compiled inference plans — fused attention sweeps with no
+// per-edge score tensor — instead of the direct kernels.
+func (m *Model) SetPlanInference(on bool) {
+	for _, l := range m.Layers {
+		switch t := l.(type) {
+		case *VALayer:
+			t.PlanInference = on
+		case *AGNNLayer:
+			t.PlanInference = on
+		case *GATLayer:
+			t.PlanInference = on
+		case *MultiHeadGATLayer:
+			for _, h := range t.Heads {
+				h.PlanInference = on
+			}
+		}
+	}
+}
+
+// setLayerDType threads the model-level plan dtype into a plan-carrying
+// layer (multi-head layers fan it out to every head).
+func setLayerDType(l Layer, dt tensor.DType) {
+	switch t := l.(type) {
+	case *VALayer:
+		t.DType = dt
+	case *AGNNLayer:
+		t.DType = dt
+	case *GATLayer:
+		t.DType = dt
+	case *GCNLayer:
+		t.DType = dt
+	case *GINLayer:
+		t.DType = dt
+	case *SGCLayer:
+		t.DType = dt
+	case *GenericLayer:
+		t.DType = dt
+	case *MultiHeadGATLayer:
+		for _, h := range t.Heads {
+			h.DType = dt
+		}
+	}
 }

@@ -1,0 +1,264 @@
+package gnn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"agnn/internal/par"
+	"agnn/internal/tensor"
+)
+
+// dtypeCfg is the model configuration the f32-vs-f64 differential tests
+// run: Tanh keeps magnitudes bounded so relative tolerances are meaningful.
+func dtypeCfg(kind Kind, heads int, dt tensor.DType) Config {
+	return Config{Model: kind, Layers: 2, InDim: 4, HiddenDim: 5, OutDim: 3,
+		Activation: Tanh(), SelfLoops: true, Heads: heads, Seed: 71, DType: dt}
+}
+
+// maxRelDev is the elementwise relative deviation max |a-b| / (1+|b|).
+func maxRelDev(a, b *tensor.Dense) float64 {
+	worst := 0.0
+	for i := range a.Data {
+		d := math.Abs(a.Data[i]-b.Data[i]) / (1 + math.Abs(b.Data[i]))
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TestModelF32ForwardMatchesF64 runs the mixed-precision differential
+// across every built-in model kind and across worker counts: the f32 plans
+// must track the f64 path within single-precision rounding both in training
+// mode and through the planned-inference route (the only inference path
+// with an f32 variant).
+func TestModelF32ForwardMatchesF64(t *testing.T) {
+	prev := par.Workers()
+	defer par.SetWorkers(prev)
+
+	a := testGraph(24, 70)
+	h := tensor.RandN(24, 4, 0.8, rand.New(rand.NewSource(72)))
+	kinds := []struct {
+		kind  Kind
+		heads int
+	}{{VA, 1}, {AGNN, 1}, {GAT, 1}, {GAT, 2}, {GCN, 1}}
+
+	for _, workers := range []int{1, 4} {
+		par.SetWorkers(workers)
+		for _, tc := range kinds {
+			m64, err := New(dtypeCfg(tc.kind, tc.heads, tensor.F64), a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m32, err := New(dtypeCfg(tc.kind, tc.heads, tensor.F32), a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const tol = 1e-5
+			got, want := m32.Forward(h, true), m64.Forward(h, true)
+			if d := maxRelDev(got, want); d > tol {
+				t.Errorf("%v heads=%d workers=%d: f32 training forward deviates by %.3g relative, want <= %g",
+					tc.kind, tc.heads, workers, d, tol)
+			}
+			if tc.kind == GCN {
+				continue // no attention chain; inference plans are attention-only
+			}
+			m32.SetPlanInference(true)
+			got, want = m32.Forward(h, false), m64.Forward(h, false)
+			if d := maxRelDev(got, want); d > tol {
+				t.Errorf("%v heads=%d workers=%d: f32 planned inference deviates by %.3g relative, want <= %g",
+					tc.kind, tc.heads, workers, d, tol)
+			}
+		}
+	}
+}
+
+// TestModelF32GradsMatchF64: one backward pass through every kind — the f32
+// plans flush their gradients into the f64 accumulators, which must agree
+// with the f64 plans' gradients to a few f32 rounding steps.
+func TestModelF32GradsMatchF64(t *testing.T) {
+	a := testGraph(20, 73)
+	h := tensor.RandN(20, 4, 0.8, rand.New(rand.NewSource(74)))
+	gOut := tensor.RandN(20, 3, 0.5, rand.New(rand.NewSource(75)))
+	const tol = 1e-3
+
+	for _, kind := range []Kind{VA, AGNN, GAT, GCN} {
+		m64, err := New(dtypeCfg(kind, 1, tensor.F64), a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m32, err := New(dtypeCfg(kind, 1, tensor.F32), a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m64.Forward(h, true)
+		m32.Forward(h, true)
+		in64, in32 := m64.Backward(gOut), m32.Backward(gOut)
+		if d := maxRelDev(in32, in64); d > tol {
+			t.Errorf("%v: f32 input grad deviates by %.3g relative, want <= %g", kind, d, tol)
+		}
+		p64, p32 := m64.Params(), m32.Params()
+		for i := range p64 {
+			if d := maxRelDev(p32[i].Grad, p64[i].Grad); d > tol {
+				t.Errorf("%v: f32 %s grad deviates by %.3g relative, want <= %g",
+					kind, p64[i].Name, d, tol)
+			}
+		}
+	}
+}
+
+// TestGradCheckF32 is the finite-difference check against the f32 plans
+// directly, with loosened steps: the f32 forward carries ~1e-7 relative
+// noise, so the perturbation must be large enough for the loss difference
+// to rise above it, and the tolerance absorbs what remains.
+func TestGradCheckF32(t *testing.T) {
+	a := testGraph(10, 76)
+	m, err := New(Config{Model: AGNN, Layers: 2, InDim: 3, HiddenDim: 4, OutDim: 2,
+		Activation: Tanh(), SelfLoops: true, Seed: 77, DType: tensor.F32}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0 := tensor.RandN(10, 3, 0.8, rand.New(rand.NewSource(78)))
+	loss := &MSELoss{Target: tensor.RandN(10, 2, 1, rand.New(rand.NewSource(79)))}
+
+	m.ZeroGrad()
+	out := m.Forward(h0, true)
+	_, g := loss.Eval(out)
+	inGrad := m.Backward(g)
+	evalLoss := func() float64 {
+		v, _ := loss.Eval(m.Forward(h0, true))
+		return v
+	}
+	const eps, tol = 1e-3, 2e-2
+	check := func(name string, data, analytic []float64) {
+		for i := range data {
+			orig := data[i]
+			data[i] = orig + eps
+			lp := evalLoss()
+			data[i] = orig - eps
+			lm := evalLoss()
+			data[i] = orig
+			num := (lp - lm) / (2 * eps)
+			if math.Abs(num-analytic[i]) > tol*(1+math.Abs(num)) {
+				t.Fatalf("%s[%d]: analytic %v vs numeric %v", name, i, analytic[i], num)
+			}
+		}
+	}
+	for _, p := range m.Params() {
+		check(p.Name, p.Value.Data, p.Grad.Data)
+	}
+	check("input", h0.Data, inGrad.Data)
+}
+
+// TestPlanInferenceMatchesDirectF64: flipping the f64 default onto compiled
+// inference plans must reproduce the direct kernels' answers — same
+// arithmetic, different executor.
+func TestPlanInferenceMatchesDirectF64(t *testing.T) {
+	a := testGraph(22, 80)
+	h := tensor.RandN(22, 4, 0.8, rand.New(rand.NewSource(81)))
+	for _, kind := range []Kind{VA, AGNN, GAT} {
+		direct, err := New(dtypeCfg(kind, 1, tensor.F64), a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		planned, err := New(dtypeCfg(kind, 1, tensor.F64), a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		planned.SetPlanInference(true)
+		got, want := planned.Forward(h, false), direct.Forward(h, false)
+		if !got.ApproxEqual(want, 1e-10) {
+			t.Errorf("%v: planned inference deviates from direct kernels by %g", kind, got.MaxAbsDiff(want))
+		}
+	}
+}
+
+// TestWeightsF32RoundTrip: an f32 model checkpoints in the v3 format with
+// float32 parameter data, and restores exactly (load values are the f32
+// rounding of the saved masters).
+func TestWeightsF32RoundTrip(t *testing.T) {
+	a := testGraph(12, 82)
+	m, err := New(dtypeCfg(GAT, 1, tensor.F32), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if magic := buf.String()[:8]; magic != "AGNNWTS3" {
+		t.Fatalf("f32 checkpoint magic %q, want AGNNWTS3", magic)
+	}
+
+	cfg2 := dtypeCfg(GAT, 1, tensor.F32)
+	cfg2.Seed = 999 // different init; load must overwrite it
+	m2, err := New(cfg2, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadWeights(bytes.NewReader(buf.Bytes()), m2); err != nil {
+		t.Fatal(err)
+	}
+	ps, qs := m.Params(), m2.Params()
+	for i := range ps {
+		for j, v := range ps[i].Value.Data {
+			if got := qs[i].Value.Data[j]; got != float64(float32(v)) {
+				t.Fatalf("%s[%d]: loaded %v, want f32 rounding of %v", ps[i].Name, j, got, v)
+			}
+		}
+	}
+}
+
+// TestWeightsCrossDtypeRefused: resuming a checkpoint at the other dtype is
+// a loud error, not a silent numerics change.
+func TestWeightsCrossDtypeRefused(t *testing.T) {
+	a := testGraph(12, 83)
+	m32, err := New(dtypeCfg(AGNN, 1, tensor.F32), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m64, err := New(dtypeCfg(AGNN, 1, tensor.F64), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var f32ckpt, f64ckpt bytes.Buffer
+	if err := SaveWeights(&f32ckpt, m32); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveWeights(&f64ckpt, m64); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadWeights(bytes.NewReader(f32ckpt.Bytes()), m64); err == nil {
+		t.Error("f32 checkpoint loaded into an f64 model without error")
+	}
+	if err := LoadWeights(bytes.NewReader(f64ckpt.Bytes()), m32); err == nil {
+		t.Error("f64 checkpoint loaded into an f32 model without error")
+	}
+}
+
+// TestWeightsF64StaysV2: the default path's checkpoint bytes are identical
+// to the dtype-unaware format — SaveWeights of an f64 model and the
+// engine-agnostic SaveParams produce the same v2 stream.
+func TestWeightsF64StaysV2(t *testing.T) {
+	a := testGraph(12, 84)
+	m, err := New(dtypeCfg(VA, 1, tensor.F64), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaModel, viaParams bytes.Buffer
+	if err := SaveWeights(&viaModel, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveParams(&viaParams, m.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if magic := viaModel.String()[:8]; magic != "AGNNWTS2" {
+		t.Fatalf("f64 checkpoint magic %q, want AGNNWTS2", magic)
+	}
+	if !bytes.Equal(viaModel.Bytes(), viaParams.Bytes()) {
+		t.Fatal("f64 SaveWeights bytes differ from the dtype-unaware SaveParams format")
+	}
+}

@@ -41,7 +41,16 @@ type GATLayer struct {
 	// kernel path.
 	Direct bool
 
-	pc planCache
+	// DType selects the element width of the layer's compiled plans (see
+	// VALayer.DType).
+	DType tensor.DType
+
+	// PlanInference routes non-training Forward through a compiled
+	// inference plan (see VALayer.PlanInference).
+	PlanInference bool
+
+	pc  planCache
+	ipc planCache // inference plans (PlanInference)
 
 	// cached intermediates (direct training-mode forward)
 	h    *tensor.Dense
@@ -73,36 +82,55 @@ func (l *GATLayer) Params() []*Param { return []*Param{l.W, l.A1, l.A2} }
 // ensurePlan compiles GAT's DAG into a reusable training plan. The virtual
 // chain u·1ᵀ + 1·vᵀ → LeakyReLU fuses into the softmax sampling sweep.
 func (l *GATLayer) ensurePlan(in int) *fuse.Plan {
-	return l.pc.get(l.A, in, func() string {
+	return l.pc.get(l.A, in, l.DType, func() string {
 		return planSig("gat", true, l.Act, fmt.Sprintf("slope=%g", l.NegSlope), l.W, l.A1, l.A2)
 	}, func(ws *tensor.Arena) *fuse.Plan {
-		g := fuse.NewGraph("gat", l.A)
-		h := g.InputDense("H", l.A.Rows, in)
-		wn := g.ParamNode("W", planRef(l.W))
-		a1n := g.ParamNode("a1", planRef(l.A1))
-		a2n := g.ParamNode("a2", planRef(l.A2))
-		hp := g.MM("Hp", h, wn)
-		u := g.MatVecNode("u", hp, a1n)
-		v := g.MatVecNode("v", hp, a2n)
-		c := g.AddScores("C", g.RepRow("u1T", u), g.RepCol("1vT", v))
-		e := g.Mask("E", g.LReLUScores("lreluC", c, l.NegSlope), false)
-		psi := g.Softmax("Psi", e)
-		z := g.SpMM("Z", psi, hp)
-		g.SetOutput(g.Sigma("Hout", z, planAct(l.Act)))
-		return g.MustCompile(fuse.Options{Train: true, SpanPrefix: "gat.", Workspace: ws})
+		return l.buildGraph(in).MustCompile(
+			fuse.Options{Train: true, SpanPrefix: "gat.", Workspace: ws, DType: l.DType})
 	})
+}
+
+// ensureInferPlan compiles the same DAG as an inference plan (see
+// VALayer.ensureInferPlan).
+func (l *GATLayer) ensureInferPlan(in int) *fuse.Plan {
+	return l.ipc.get(l.A, in, l.DType, func() string {
+		return planSig("gat", false, l.Act, fmt.Sprintf("slope=%g", l.NegSlope), l.W, l.A1, l.A2)
+	}, func(ws *tensor.Arena) *fuse.Plan {
+		return l.buildGraph(in).MustCompile(
+			fuse.Options{SpanPrefix: "gat.", Workspace: ws, DType: l.DType})
+	})
+}
+
+func (l *GATLayer) buildGraph(in int) *fuse.Graph {
+	g := fuse.NewGraph("gat", l.A)
+	h := g.InputDense("H", l.A.Rows, in)
+	wn := g.ParamNode("W", planRef(l.W))
+	a1n := g.ParamNode("a1", planRef(l.A1))
+	a2n := g.ParamNode("a2", planRef(l.A2))
+	hp := g.MM("Hp", h, wn)
+	u := g.MatVecNode("u", hp, a1n)
+	v := g.MatVecNode("v", hp, a2n)
+	c := g.AddScores("C", g.RepRow("u1T", u), g.RepCol("1vT", v))
+	e := g.Mask("E", g.LReLUScores("lreluC", c, l.NegSlope), false)
+	psi := g.Softmax("Psi", e)
+	z := g.SpMM("Z", psi, hp)
+	g.SetOutput(g.Sigma("Hout", z, planAct(l.Act)))
+	return g
 }
 
 // Plan returns the compiled training plan (nil before the first planned
 // training-mode Forward).
 func (l *GATLayer) Plan() *fuse.Plan { return l.pc.plan }
 
-func (l *GATLayer) releasePlans() { l.pc.release() }
+func (l *GATLayer) releasePlans() { l.pc.release(); l.ipc.release() }
 
 // Forward implements Layer.
 func (l *GATLayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {
 	if training && !l.Direct {
 		return l.ensurePlan(h.Cols).Forward(h)
+	}
+	if !training && l.PlanInference && !l.Direct {
+		return l.ensureInferPlan(h.Cols).Forward(h)
 	}
 	hp := tensor.MM(h, l.W.Value)
 	u := tensor.MatVec(hp, l.A1.Value.Data)

@@ -21,6 +21,10 @@ type GCNLayer struct {
 	// kernel path.
 	Direct bool
 
+	// DType selects the element width of the layer's compiled plans (see
+	// VALayer.DType).
+	DType tensor.DType
+
 	pc planCache
 
 	h *tensor.Dense
@@ -45,7 +49,7 @@ func (l *GCNLayer) Params() []*Param { return []*Param{l.W} }
 
 // ensurePlan compiles Z = Â·(H·W), σ into a reusable training plan.
 func (l *GCNLayer) ensurePlan(in int) *fuse.Plan {
-	return l.pc.get(l.A, in, func() string {
+	return l.pc.get(l.A, in, l.DType, func() string {
 		return planSig("gcn", true, l.Act, "", l.W)
 	}, func(ws *tensor.Arena) *fuse.Plan {
 		g := fuse.NewGraph("gcn", l.A)
@@ -53,7 +57,7 @@ func (l *GCNLayer) ensurePlan(in int) *fuse.Plan {
 		w := g.ParamNode("W", planRef(l.W))
 		z := g.SpMM("Z", g.Adj(), g.MM("HW", h, w))
 		g.SetOutput(g.Sigma("Hout", z, planAct(l.Act)))
-		return g.MustCompile(fuse.Options{Train: true, SpanPrefix: "gcn.", Workspace: ws})
+		return g.MustCompile(fuse.Options{Train: true, SpanPrefix: "gcn.", Workspace: ws, DType: l.DType})
 	})
 }
 

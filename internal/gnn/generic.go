@@ -82,6 +82,11 @@ type GenericLayer struct {
 	// (inference-only, the pre-plan behavior).
 	Direct bool
 
+	// DType selects the element width of the layer's compiled plans (see
+	// VALayer.DType). F32 requires sum aggregation — semiring ⊕ compiles
+	// only to f64 plans.
+	DType tensor.DType
+
 	pc     planCache
 	params []*Param
 }
@@ -161,7 +166,7 @@ func (l *GenericLayer) plannable() bool {
 // ensurePlan compiles the assembled Ψ/⊕/Φ DAG. The plan is a training plan
 // exactly when CanTrain passes; otherwise (semiring ⊕) it is forward-only.
 func (l *GenericLayer) ensurePlan(in int) *fuse.Plan {
-	return l.pc.get(l.A, in, func() string {
+	return l.pc.get(l.A, in, l.DType, func() string {
 		extra := fmt.Sprintf("psi=%s|agg=%s|phi=%s|phiFirst=%t|phiAct=%s",
 			l.Psi.Kind, l.Agg.Kind, l.Phi.Kind, l.PhiFirst, planAct(l.Phi.Act).Name)
 		return planSig("generic", l.CanTrain() == nil, l.Act, extra, l.phiParams()...)
@@ -207,7 +212,7 @@ func (l *GenericLayer) ensurePlan(in int) *fuse.Plan {
 			z = phi(z)
 		}
 		g.SetOutput(g.Sigma("Hout", z, planAct(l.Act)))
-		return g.MustCompile(fuse.Options{Train: train, SpanPrefix: "generic.", Workspace: ws})
+		return g.MustCompile(fuse.Options{Train: train, SpanPrefix: "generic.", Workspace: ws, DType: l.DType})
 	})
 }
 

@@ -40,6 +40,10 @@ type TrainableLayer interface {
 // Model is a stack of GNN layers trained full-batch.
 type Model struct {
 	Layers []Layer
+	// DType records the element width the layers' plans execute at (set by
+	// New from Config.DType). Checkpoints stamp it so a resume across
+	// dtypes fails loudly instead of silently changing numerics.
+	DType tensor.DType
 }
 
 // CheckTrainable reports whether every layer supports training, identifying

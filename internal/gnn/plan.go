@@ -49,20 +49,21 @@ type planCache struct {
 	plan  *fuse.Plan
 	a     *sparse.CSR
 	in    int
+	dt    tensor.DType
 	sig   string
 }
 
-func (c *planCache) get(a *sparse.CSR, in int, sig func() string, build func(ws *tensor.Arena) *fuse.Plan) *fuse.Plan {
-	if c.plan != nil && c.a == a && c.in == in {
+func (c *planCache) get(a *sparse.CSR, in int, dt tensor.DType, sig func() string, build func(ws *tensor.Arena) *fuse.Plan) *fuse.Plan {
+	if c.plan != nil && c.a == a && c.in == in && c.dt == dt {
 		return c.plan
 	}
 	if c.sig == "" {
 		c.sig = sig()
 	}
 	c.release()
-	c.lease = fuse.Shared.Get(fuse.KeyFor(a, in, c.sig), build)
+	c.lease = fuse.Shared.Get(fuse.KeyFor(a, in, dt, c.sig), build)
 	c.plan = c.lease.Plan()
-	c.a, c.in = a, in
+	c.a, c.in, c.dt = a, in, dt
 	return c.plan
 }
 

@@ -143,7 +143,7 @@ func TestLoadWeightsAcceptsLegacyV1(t *testing.T) {
 	if _, err := body.WriteString(weightsMagicV1); err != nil {
 		t.Fatal(err)
 	}
-	if err := writeParamsBody(&body, src.Params()); err != nil {
+	if err := writeParamsBody(&body, src.Params(), tensor.F64); err != nil {
 		t.Fatal(err)
 	}
 	dst, _ := trainedModel(t, GCN, 212)

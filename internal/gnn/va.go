@@ -37,7 +37,22 @@ type VALayer struct {
 	// (implies Direct).
 	UseReferenceBackward bool
 
-	pc planCache
+	// DType selects the element width the layer's compiled plans run at.
+	// F64 (the zero value) is the default double-precision path; F32
+	// compiles mixed-precision plans (f64 master weights, f32 kernels).
+	// The direct escape hatches always run f64.
+	DType tensor.DType
+
+	// PlanInference routes non-training Forward through a compiled
+	// inference plan instead of the direct fused kernels. Inference plans
+	// compile the attention chain into one fused sweep that never
+	// materializes the per-edge score tensor, and they are the only
+	// inference path with an f32 variant. Off by default: the direct
+	// kernels remain the layer's historical inference arithmetic.
+	PlanInference bool
+
+	pc  planCache
+	ipc planCache // inference plans (PlanInference)
 
 	// cached intermediates (direct training-mode forward)
 	h   *tensor.Dense
@@ -67,17 +82,34 @@ func (l *VALayer) direct() bool { return l.Direct || l.UseReferenceBackward }
 // plan: Ψ = A ⊙ (H·Hᵀ) fuses into a single SDDMM-like sampling kernel, and
 // the backward op list is derived by reverse traversal.
 func (l *VALayer) ensurePlan(in int) *fuse.Plan {
-	return l.pc.get(l.A, in, func() string {
+	return l.pc.get(l.A, in, l.DType, func() string {
 		return planSig("va", true, l.Act, "", l.W)
 	}, func(ws *tensor.Arena) *fuse.Plan {
-		g := fuse.NewGraph("va", l.A)
-		h := g.InputDense("H", l.A.Rows, in)
-		w := g.ParamNode("W", planRef(l.W))
-		psi := g.Mask("Psi", g.DotScores("HHt", h, h), true)
-		z := g.SpMM("Z", psi, g.MM("HW", h, w))
-		g.SetOutput(g.Sigma("Hout", z, planAct(l.Act)))
-		return g.MustCompile(fuse.Options{Train: true, SpanPrefix: "va.", Workspace: ws})
+		return l.buildGraph(in).MustCompile(
+			fuse.Options{Train: true, SpanPrefix: "va.", Workspace: ws, DType: l.DType})
 	})
+}
+
+// ensureInferPlan compiles the same DAG as an inference plan: the fused
+// attention sweep evaluates scores, softmax and aggregation per row in
+// worker-local scratch, so no Ψ value array exists.
+func (l *VALayer) ensureInferPlan(in int) *fuse.Plan {
+	return l.ipc.get(l.A, in, l.DType, func() string {
+		return planSig("va", false, l.Act, "", l.W)
+	}, func(ws *tensor.Arena) *fuse.Plan {
+		return l.buildGraph(in).MustCompile(
+			fuse.Options{SpanPrefix: "va.", Workspace: ws, DType: l.DType})
+	})
+}
+
+func (l *VALayer) buildGraph(in int) *fuse.Graph {
+	g := fuse.NewGraph("va", l.A)
+	h := g.InputDense("H", l.A.Rows, in)
+	w := g.ParamNode("W", planRef(l.W))
+	psi := g.Mask("Psi", g.DotScores("HHt", h, h), true)
+	z := g.SpMM("Z", psi, g.MM("HW", h, w))
+	g.SetOutput(g.Sigma("Hout", z, planAct(l.Act)))
+	return g
 }
 
 // Plan returns the compiled training plan, or nil before the first planned
@@ -85,11 +117,14 @@ func (l *VALayer) ensurePlan(in int) *fuse.Plan {
 // Stats.
 func (l *VALayer) Plan() *fuse.Plan { return l.pc.plan }
 
-func (l *VALayer) releasePlans() { l.pc.release() }
+func (l *VALayer) releasePlans() { l.pc.release(); l.ipc.release() }
 
 // Forward implements Layer.
 func (l *VALayer) Forward(h *tensor.Dense, training bool) *tensor.Dense {
 	if !training {
+		if l.PlanInference && !l.direct() {
+			return l.ensureInferPlan(h.Cols).Forward(h)
+		}
 		// Inference fast path: Ψ applied through the fused kernel, scores
 		// evaluated on the fly (scaled by A's values), Φ applied first.
 		hp := tensor.MM(h, l.W.Value)

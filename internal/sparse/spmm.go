@@ -17,7 +17,14 @@ func (s *CSR) MulDense(x *tensor.Dense) *tensor.Dense {
 	return out
 }
 
-// MulDenseInto computes out = S·X into pre-allocated out.
+// MulDenseInto computes out = S·X into pre-allocated out. The feature
+// dimension is tiled to the cache budget (tensor.TileCols): each pass over
+// a worker's row range touches only an n×w column stripe of X, so the
+// randomly indexed X rows stay L2-resident even when k·8 bytes per row
+// would not. Tiling splits output columns only — every output element
+// accumulates its nnz contributions in the original order, so the tiled
+// kernel is bitwise-identical to the single-pass loop (which it degenerates
+// to when the stripe fits).
 func (s *CSR) MulDenseInto(out, x *tensor.Dense) {
 	if s.Cols != x.Rows || out.Rows != s.Rows || out.Cols != x.Cols {
 		panic(fmt.Sprintf("sparse: SpMM shape mismatch out %d×%d = %d×%d · %d×%d",
@@ -25,37 +32,43 @@ func (s *CSR) MulDenseInto(out, x *tensor.Dense) {
 	}
 	defer obs.Start("spmm").End()
 	k := x.Cols
+	tc := tensor.TileCols(x.Rows, k, 8)
 	par.RangeWeighted(s.Rows, func(i int) int64 { return int64(s.RowNNZ(i)) }, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			orow := out.Data[i*k : (i+1)*k]
-			for t := range orow {
-				orow[t] = 0
-			}
-			for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
-				v := s.Val[p]
-				xrow := x.Data[int(s.Col[p])*k : int(s.Col[p])*k+k]
-				for t, xv := range xrow {
-					orow[t] += v * xv
+		clear(out.Data[lo*k : hi*k])
+		for c0 := 0; c0 < k; c0 += tc {
+			c1 := min(c0+tc, k)
+			for i := lo; i < hi; i++ {
+				orow := out.Data[i*k+c0 : i*k+c1]
+				for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+					v := s.Val[p]
+					xrow := x.Data[int(s.Col[p])*k+c0 : int(s.Col[p])*k+c1]
+					for t, xv := range xrow {
+						orow[t] += v * xv
+					}
 				}
 			}
 		}
 	})
 }
 
-// MulDenseAccumulate computes out += S·X.
+// MulDenseAccumulate computes out += S·X, column-tiled like MulDenseInto.
 func (s *CSR) MulDenseAccumulate(out, x *tensor.Dense) {
 	if s.Cols != x.Rows || out.Rows != s.Rows || out.Cols != x.Cols {
 		panic("sparse: MulDenseAccumulate shape mismatch")
 	}
 	k := x.Cols
+	tc := tensor.TileCols(x.Rows, k, 8)
 	par.RangeWeighted(s.Rows, func(i int) int64 { return int64(s.RowNNZ(i)) }, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			orow := out.Data[i*k : (i+1)*k]
-			for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
-				v := s.Val[p]
-				xrow := x.Data[int(s.Col[p])*k : int(s.Col[p])*k+k]
-				for t, xv := range xrow {
-					orow[t] += v * xv
+		for c0 := 0; c0 < k; c0 += tc {
+			c1 := min(c0+tc, k)
+			for i := lo; i < hi; i++ {
+				orow := out.Data[i*k+c0 : i*k+c1]
+				for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+					v := s.Val[p]
+					xrow := x.Data[int(s.Col[p])*k+c0 : int(s.Col[p])*k+c1]
+					for t, xv := range xrow {
+						orow[t] += v * xv
+					}
 				}
 			}
 		}

@@ -13,27 +13,31 @@ import (
 // every subsequent step, so steady-state training does no per-step
 // allocations on the hot path. Buffers released back to the arena are
 // recycled for later acquisitions of the same shape, which lets
-// non-overlapping intermediates share storage.
+// non-overlapping intermediates share storage. Float32 buffers (f32
+// compiled plans) live in their own pools and are tracked at their true
+// 4-byte element width.
 //
 // An Arena is not safe for concurrent use; plans acquire at compile time
 // and execute single-threaded op lists (the kernels themselves parallelize
 // internally).
 type Arena struct {
-	freeDense  map[[2]int][]*Dense
-	freeFloats map[int][][]float64
+	freeDense    map[[2]int][]*Dense
+	freeFloats   map[int][][]float64
+	freeDense32  map[[2]int][]*Dense32
+	freeFloats32 map[int][][]float32
 
-	denseOut  int // dense buffers handed out and not released
+	denseOut  int // buffers handed out and not released (all pools)
 	floatsOut int
-	words     int64 // total float64 words ever allocated by this arena
-	liveWords int64 // words currently held by acquirers
+	bytes     int64 // total bytes ever allocated by this arena
+	liveBytes int64 // bytes currently held by acquirers
 }
 
 // trackLive mirrors this arena's held-buffer delta into the process-wide
 // workspace gauges (live and peak bytes) and, when tracing is on, the
 // "arena bytes" counter timeline of the Chrome trace.
-func (a *Arena) trackLive(deltaWords int64) {
-	a.liveWords += deltaWords
-	metrics.ArenaLiveBytes.Add(float64(8 * deltaWords))
+func (a *Arena) trackLive(deltaBytes int64) {
+	a.liveBytes += deltaBytes
+	metrics.ArenaLiveBytes.Add(float64(deltaBytes))
 	live := metrics.ArenaLiveBytes.Value()
 	metrics.ArenaPeakBytes.SetMax(live)
 	obs.Sample("arena bytes", int64(live))
@@ -42,8 +46,10 @@ func (a *Arena) trackLive(deltaWords int64) {
 // NewArena returns an empty arena.
 func NewArena() *Arena {
 	return &Arena{
-		freeDense:  make(map[[2]int][]*Dense),
-		freeFloats: make(map[int][][]float64),
+		freeDense:    make(map[[2]int][]*Dense),
+		freeFloats:   make(map[int][][]float64),
+		freeDense32:  make(map[[2]int][]*Dense32),
+		freeFloats32: make(map[int][][]float32),
 	}
 }
 
@@ -51,14 +57,14 @@ func NewArena() *Arena {
 // the same shape when one is available.
 func (a *Arena) AcquireDense(r, c int) *Dense {
 	a.denseOut++
-	a.trackLive(int64(r) * int64(c))
+	a.trackLive(8 * int64(r) * int64(c))
 	key := [2]int{r, c}
 	if l := a.freeDense[key]; len(l) > 0 {
 		m := l[len(l)-1]
 		a.freeDense[key] = l[:len(l)-1]
 		return m.Zero()
 	}
-	a.words += int64(r) * int64(c)
+	a.bytes += 8 * int64(r) * int64(c)
 	return NewDense(r, c)
 }
 
@@ -68,7 +74,7 @@ func (a *Arena) ReleaseDense(m *Dense) {
 		return
 	}
 	a.denseOut--
-	a.trackLive(-int64(m.Rows) * int64(m.Cols))
+	a.trackLive(-8 * int64(m.Rows) * int64(m.Cols))
 	key := [2]int{m.Rows, m.Cols}
 	a.freeDense[key] = append(a.freeDense[key], m)
 }
@@ -76,16 +82,14 @@ func (a *Arena) ReleaseDense(m *Dense) {
 // AcquireFloats returns a zeroed length-n slice, recycling when possible.
 func (a *Arena) AcquireFloats(n int) []float64 {
 	a.floatsOut++
-	a.trackLive(int64(n))
+	a.trackLive(8 * int64(n))
 	if l := a.freeFloats[n]; len(l) > 0 {
 		s := l[len(l)-1]
 		a.freeFloats[n] = l[:len(l)-1]
-		for i := range s {
-			s[i] = 0
-		}
+		clear(s)
 		return s
 	}
-	a.words += int64(n)
+	a.bytes += 8 * int64(n)
 	return make([]float64, n)
 }
 
@@ -95,15 +99,67 @@ func (a *Arena) ReleaseFloats(s []float64) {
 		return
 	}
 	a.floatsOut--
-	a.trackLive(-int64(len(s)))
+	a.trackLive(-8 * int64(len(s)))
 	a.freeFloats[len(s)] = append(a.freeFloats[len(s)], s)
 }
 
+// AcquireDense32 returns a zeroed r×c float32 matrix, recycling when
+// possible. f32 workspace is tracked at 4 bytes per element, so the arena
+// gauges and PeakArenaBytes reflect the halved footprint of f32 plans.
+func (a *Arena) AcquireDense32(r, c int) *Dense32 {
+	a.denseOut++
+	a.trackLive(4 * int64(r) * int64(c))
+	key := [2]int{r, c}
+	if l := a.freeDense32[key]; len(l) > 0 {
+		m := l[len(l)-1]
+		a.freeDense32[key] = l[:len(l)-1]
+		return m.Zero()
+	}
+	a.bytes += 4 * int64(r) * int64(c)
+	return NewDense32(r, c)
+}
+
+// ReleaseDense32 returns m to the shape-keyed free list for reuse.
+func (a *Arena) ReleaseDense32(m *Dense32) {
+	if m == nil {
+		return
+	}
+	a.denseOut--
+	a.trackLive(-4 * int64(m.Rows) * int64(m.Cols))
+	key := [2]int{m.Rows, m.Cols}
+	a.freeDense32[key] = append(a.freeDense32[key], m)
+}
+
+// AcquireFloats32 returns a zeroed length-n float32 slice, recycling when
+// possible.
+func (a *Arena) AcquireFloats32(n int) []float32 {
+	a.floatsOut++
+	a.trackLive(4 * int64(n))
+	if l := a.freeFloats32[n]; len(l) > 0 {
+		s := l[len(l)-1]
+		a.freeFloats32[n] = l[:len(l)-1]
+		clear(s)
+		return s
+	}
+	a.bytes += 4 * int64(n)
+	return make([]float32, n)
+}
+
+// ReleaseFloats32 returns s to the free list for reuse.
+func (a *Arena) ReleaseFloats32(s []float32) {
+	if s == nil {
+		return
+	}
+	a.floatsOut--
+	a.trackLive(-4 * int64(len(s)))
+	a.freeFloats32[len(s)] = append(a.freeFloats32[len(s)], s)
+}
+
 // Bytes returns the total workspace footprint allocated through the arena.
-func (a *Arena) Bytes() int64 { return a.words * 8 }
+func (a *Arena) Bytes() int64 { return a.bytes }
 
 // LiveBytes returns the bytes currently held by acquirers of this arena.
-func (a *Arena) LiveBytes() int64 { return a.liveWords * 8 }
+func (a *Arena) LiveBytes() int64 { return a.liveBytes }
 
 // Live returns the number of buffers currently held by acquirers.
 func (a *Arena) Live() int { return a.denseOut + a.floatsOut }

@@ -1,0 +1,79 @@
+package tensor
+
+import "fmt"
+
+// Dense32 is the float32 twin of Dense: a dense row-major single-precision
+// matrix. It is deliberately minimal — the float32 path exists only inside
+// compiled plans (internal/fuse), which cast at the plan boundary and run
+// dedicated f32 kernels in between; the public model API stays Dense.
+type Dense32 struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewDense32 returns a zeroed r×c single-precision matrix.
+func NewDense32(r, c int) *Dense32 {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %d×%d", r, c))
+	}
+	return &Dense32{Rows: r, Cols: c, Data: make([]float32, r*c)}
+}
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Dense32) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Zero sets all elements to 0 in place and returns the receiver.
+func (m *Dense32) Zero() *Dense32 {
+	clear(m.Data)
+	return m
+}
+
+// SliceRows returns the sub-matrix of rows [lo, hi) sharing storage with m.
+func (m *Dense32) SliceRows(lo, hi int) *Dense32 {
+	if lo < 0 || hi > m.Rows || lo > hi {
+		panic(fmt.Sprintf("tensor: SliceRows [%d,%d) out of %d rows", lo, hi, m.Rows))
+	}
+	return &Dense32{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
+}
+
+// CopyFromDense rounds the float64 matrix src into the receiver. This is
+// the plan-boundary downcast (inputs and parameter shadows).
+func (m *Dense32) CopyFromDense(src *Dense) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: CopyFromDense shape mismatch %d×%d vs %d×%d", m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	for i, v := range src.Data {
+		m.Data[i] = float32(v)
+	}
+}
+
+// CopyToDense widens the receiver into the float64 matrix dst. This is the
+// plan-boundary upcast (outputs and input cotangents).
+func (m *Dense32) CopyToDense(dst *Dense) {
+	if m.Rows != dst.Rows || m.Cols != dst.Cols {
+		panic(fmt.Sprintf("tensor: CopyToDense shape mismatch %d×%d vs %d×%d", m.Rows, m.Cols, dst.Rows, dst.Cols))
+	}
+	for i, v := range m.Data {
+		dst.Data[i] = float64(v)
+	}
+}
+
+// Floats32To64 widens src into dst (equal lengths).
+func Floats32To64(dst []float64, src []float32) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: Floats32To64 length mismatch %d vs %d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] = float64(v)
+	}
+}
+
+// Floats64To32 rounds src into dst (equal lengths).
+func Floats64To32(dst []float32, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: Floats64To32 length mismatch %d vs %d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+}

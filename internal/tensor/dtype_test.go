@@ -1,0 +1,144 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDTypeSizeAndString(t *testing.T) {
+	if F64.Size() != 8 || F32.Size() != 4 {
+		t.Fatalf("sizes: f64=%d f32=%d", F64.Size(), F32.Size())
+	}
+	if F64.String() != "f64" || F32.String() != "f32" {
+		t.Fatalf("strings: %q %q", F64, F32)
+	}
+	var zero DType
+	if zero != F64 {
+		t.Fatal("zero value must be F64 so dtype-unaware callers stay on the f64 path")
+	}
+}
+
+func TestParseDType(t *testing.T) {
+	for _, s := range []string{"f64", "float64", "fp64", ""} {
+		if dt, err := ParseDType(s); err != nil || dt != F64 {
+			t.Errorf("ParseDType(%q) = %v, %v", s, dt, err)
+		}
+	}
+	for _, s := range []string{"f32", "float32", "fp32"} {
+		if dt, err := ParseDType(s); err != nil || dt != F32 {
+			t.Errorf("ParseDType(%q) = %v, %v", s, dt, err)
+		}
+	}
+	if _, err := ParseDType("f16"); err == nil {
+		t.Error("ParseDType(f16) should fail")
+	}
+}
+
+func TestSetTileBudget(t *testing.T) {
+	defer SetTileBudget(0)
+	SetTileBudget(1 << 20)
+	if got := TileBudget(); got != 1<<20 {
+		t.Fatalf("TileBudget = %d after SetTileBudget(1MiB)", got)
+	}
+	// Non-positive restores the default.
+	SetTileBudget(-1)
+	if got := TileBudget(); got != 256<<10 {
+		t.Fatalf("TileBudget = %d after SetTileBudget(-1), want default", got)
+	}
+}
+
+func TestTileCols(t *testing.T) {
+	defer SetTileBudget(0)
+
+	// Small column counts are never split.
+	if got := TileCols(1000000, 8, 8); got != 8 {
+		t.Errorf("cols=8: tile %d, want 8", got)
+	}
+	// When the whole operand fits in the budget the kernel degenerates to
+	// its untiled single-pass form.
+	SetTileBudget(1 << 20)
+	if got := TileCols(64, 100, 8); got != 100 {
+		t.Errorf("operand fits: tile %d, want 100", got)
+	}
+	// Otherwise the tile is sized to the budget, rounded down to a multiple
+	// of 8 and clamped below by the minimum.
+	SetTileBudget(64 << 10)
+	rows := 1024
+	got := TileCols(rows, 256, 8)
+	if got%8 != 0 || got < 8 || got > 256 {
+		t.Fatalf("tile %d not a multiple of 8 within [8,256]", got)
+	}
+	if int64(rows)*int64(got)*8 > 64<<10 {
+		t.Fatalf("tile %d overruns the 64KiB budget (%d bytes)", got, rows*got*8)
+	}
+	// Tiny budgets clamp to the minimum rather than degenerating to 0.
+	SetTileBudget(1)
+	if got := TileCols(1024, 256, 8); got != 8 {
+		t.Errorf("tiny budget: tile %d, want 8", got)
+	}
+}
+
+// TestMMIntoTiledBitwiseIdentical pins down the tiling contract documented
+// in tile.go: splitting output columns must not change a single bit,
+// because every output element still accumulates its contributions in the
+// original order.
+func TestMMIntoTiledBitwiseIdentical(t *testing.T) {
+	defer SetTileBudget(0)
+	rng := rand.New(rand.NewSource(41))
+	a := RandN(37, 96, 1, rng)
+	b := RandN(96, 120, 1, rng)
+
+	SetTileBudget(0) // default: 96×120 f64 fits, single pass
+	want := MM(a, b)
+	SetTileBudget(1) // clamp to the minimum tile: 15 passes over B
+	got := MM(a, b)
+
+	if got.MaxAbsDiff(want) != 0 {
+		t.Fatalf("tiled MM deviates from untiled by %g, want bitwise identity", got.MaxAbsDiff(want))
+	}
+}
+
+func TestDense32RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	src := RandN(7, 5, 1, rng)
+	m := NewDense32(7, 5)
+	m.CopyFromDense(src)
+	back := NewDense(7, 5)
+	m.CopyToDense(back)
+	for i, v := range src.Data {
+		if back.Data[i] != float64(float32(v)) {
+			t.Fatalf("elem %d: %v round-tripped to %v", i, v, back.Data[i])
+		}
+	}
+
+	// The slice helpers are the same cast on raw slices.
+	xs32 := make([]float32, len(src.Data))
+	Floats64To32(xs32, src.Data)
+	xs64 := make([]float64, len(src.Data))
+	Floats32To64(xs64, xs32)
+	for i := range xs64 {
+		if xs64[i] != float64(float32(src.Data[i])) {
+			t.Fatalf("slice elem %d: %v -> %v", i, src.Data[i], xs64[i])
+		}
+	}
+}
+
+func TestDense32ShapeMismatchPanics(t *testing.T) {
+	m := NewDense32(2, 3)
+	d := NewDense(3, 2)
+	for name, f := range map[string]func(){
+		"CopyFromDense": func() { m.CopyFromDense(d) },
+		"CopyToDense":   func() { m.CopyToDense(d) },
+		"Floats64To32":  func() { Floats64To32(make([]float32, 2), make([]float64, 3)) },
+		"Floats32To64":  func() { Floats32To64(make([]float64, 2), make([]float32, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: shape mismatch must panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

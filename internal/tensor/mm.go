@@ -18,28 +18,35 @@ func MM(a, b *Dense) *Dense {
 	return out
 }
 
-// MMInto computes out = A·B into pre-allocated out.
+// MMInto computes out = A·B into pre-allocated out. B's columns are tiled
+// to the cache budget (TileCols): each worker sweeps its row range once per
+// k×w block of B, so the block stays L2-resident across rows instead of B
+// being streamed in full for every row. Tiling splits output columns only —
+// each out[i,j] accumulates over t in the same order as the untiled loop,
+// so the result is bitwise-identical.
 func MMInto(out, a, b *Dense) {
 	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MMInto shape mismatch out %d×%d = %d×%d · %d×%d",
 			out.Rows, out.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	n, k, m := a.Rows, a.Cols, b.Cols
+	tile := TileCols(k, m, 8)
 	par.Range(n, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			orow := out.Data[i*m : (i+1)*m]
-			for j := range orow {
-				orow[j] = 0
-			}
-			for t := 0; t < k; t++ {
-				av := arow[t]
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[t*m : (t+1)*m]
-				for j, bv := range brow {
-					orow[j] += av * bv
+		for j0 := 0; j0 < m; j0 += tile {
+			j1 := min(j0+tile, m)
+			for i := lo; i < hi; i++ {
+				arow := a.Data[i*k : (i+1)*k]
+				orow := out.Data[i*m+j0 : i*m+j1]
+				clear(orow)
+				for t := 0; t < k; t++ {
+					av := arow[t]
+					if av == 0 {
+						continue
+					}
+					brow := b.Data[t*m+j0 : t*m+j1]
+					for j, bv := range brow {
+						orow[j] += av * bv
+					}
 				}
 			}
 		}
