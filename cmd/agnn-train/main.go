@@ -57,6 +57,13 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 1, "epochs between checkpoints")
 	resume := flag.Bool("resume", false, "resume from the latest checkpoint in -checkpoint-dir")
 	maxRestarts := flag.Int("max-restarts", 3, "world rebuilds tolerated before giving up (distributed mode)")
+	transport := flag.String("transport", "chan", "distributed transport: chan (simulated in-process world) or tcp (multi-process wire transport; docs/ROBUSTNESS.md)")
+	rank := flag.Int("rank", -1, "this process's rank in a tcp world (worker mode; normally set by -launch)")
+	world := flag.Int("world", 0, "tcp world size (defaults to -p)")
+	rendezvous := flag.String("rendezvous", "", "rank 0's listen address for tcp bootstrap (host:port); workers dial it")
+	launch := flag.Bool("launch", false, "spawn -world worker processes of this binary over loopback tcp and supervise them")
+	elastic := flag.Bool("elastic", false, "on a rank failure, resume from checkpoint at a smaller world size instead of rebuilding at full size")
+	minRanks := flag.Int("min-ranks", 1, "elastic shrink floor (never resume below this many ranks)")
 	stragFactor := flag.Float64("straggler-factor", 0, "flag a rank as straggler when its superstep wait exceeds this multiple of the cross-rank median (0 = default 4)")
 	stragFloor := flag.Duration("straggler-floor", 0, "minimum superstep wait ever flagged as a straggler (0 = default 100µs)")
 	var o obs.CLI
@@ -90,13 +97,42 @@ func main() {
 	fmt.Printf("training %s: n=%d m=%d k=%d L=%d classes=%d params=%d\n",
 		kind, n, ds.Adj.NNZ(), ds.Features.Cols, *layers, ds.Classes, m.NumParams())
 
+	if *transport != "chan" && *transport != "tcp" {
+		fatal(fmt.Errorf("unknown -transport %q (want chan or tcp)", *transport))
+	}
+	if *launch || *transport == "tcp" {
+		if *loadPath != "" {
+			fatal(fmt.Errorf("-load is single-node only; distributed runs resume with -checkpoint-dir and -resume"))
+		}
+		wsz := *world
+		if wsz == 0 {
+			wsz = *ranks
+		}
+		wo := workerOpts{
+			rank: *rank, world: wsz, rendezvous: *rendezvous,
+			epochs: *epochs, lr: *lr,
+			faultSpec: *faultSpec, faultSeed: *faultSeed,
+			ckptDir: *ckptDir, ckptEvery: *ckptEvery, resume: *resume,
+			elastic: *elastic, minRanks: *minRanks, maxRestarts: *maxRestarts,
+			stragFactor: *stragFactor, stragFloor: *stragFloor,
+			savePath: *savePath,
+		}
+		if *launch {
+			fatal(launchWorkers(wo))
+		} else {
+			runWorker(m, ds, cfg, wo)
+		}
+		fatal(o.Stop())
+		return
+	}
+
 	if *ranks > 1 || *faultSpec != "" || *ckptDir != "" || *resume {
 		if *loadPath != "" {
 			fatal(fmt.Errorf("-load is single-node only; distributed runs resume with -checkpoint-dir and -resume"))
 		}
 		trainDistributed(m, ds, cfg, *ranks, *epochs, *lr,
 			*faultSpec, *faultSeed, *ckptDir, *ckptEvery, *resume, *maxRestarts,
-			*stragFactor, *stragFloor)
+			*stragFactor, *stragFloor, *elastic, *minRanks)
 		if *savePath != "" {
 			fatal(gnn.SaveWeightsFile(*savePath, m))
 			fmt.Printf("saved weights to %s\n", *savePath)
@@ -154,7 +190,7 @@ func main() {
 func trainDistributed(m *gnn.Model, ds *graph.Dataset, cfg gnn.Config,
 	ranks, epochs int, lr float64, faultSpec string, faultSeed int64,
 	ckptDir string, ckptEvery int, resume bool, maxRestarts int,
-	stragFactor float64, stragFloor time.Duration) {
+	stragFactor float64, stragFloor time.Duration, elastic bool, minRanks int) {
 
 	var inj *faults.Injector
 	if faultSpec != "" {
@@ -178,6 +214,8 @@ func trainDistributed(m *gnn.Model, ds *graph.Dataset, cfg gnn.Config,
 		Resume:          resume,
 		Faults:          inj,
 		MaxRestarts:     maxRestarts,
+		Elastic:         elastic,
+		MinRanks:        minRanks,
 		StragglerFactor: stragFactor,
 		StragglerFloor:  stragFloor,
 
@@ -197,6 +235,9 @@ func trainDistributed(m *gnn.Model, ds *graph.Dataset, cfg gnn.Config,
 	}
 	if res.Restarts > 0 {
 		fmt.Printf("recovered from %d rank failure(s) via checkpoint restart\n", res.Restarts)
+	}
+	if res.FinalWorld != ranks {
+		fmt.Printf("elastic: world shrank from %d to %d rank(s)\n", ranks, res.FinalWorld)
 	}
 
 	// The distributed engine draws the same parameter sequence as the

@@ -31,15 +31,27 @@ import (
 	"agnn/internal/tensor"
 )
 
-const magic = "AGNNCKP1"
+// Two on-disk generations: CKP2 adds the world size the snapshot was taken
+// at (informational — replicated weights make checkpoints world-size
+// independent, which is what lets elastic recovery repartition on restore).
+// CKP1 files still load, reporting WorldSize 0 (unknown).
+const (
+	magic   = "AGNNCKP2"
+	magicV1 = "AGNNCKP1"
+)
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// DefaultRetain is how many most-recent checkpoints Save keeps on disk;
+// older ones are pruned after each successful write.
+const DefaultRetain = 3
 
 // State is the resumable training position. Opt may be nil when the
 // optimizer is stateless (or training hasn't started).
 type State struct {
 	Epoch int64         // epochs fully completed before this snapshot
 	Seed  int64         // construction seed — resume must rebuild the same model
+	World int64         // rank count the snapshot was taken at (0 = unknown / single-node)
 	Opt   *gnn.OptState // optimizer moments + step, aligned with the params sequence
 }
 
@@ -109,8 +121,60 @@ func Save(dir string, st State, params []*gnn.Param) (string, error) {
 		d.Sync()
 		d.Close()
 	}
+	// Retention: now that the new checkpoint is durable, drop the oldest
+	// ones beyond the keep window. Best-effort — a prune error must not
+	// fail the save that just succeeded.
+	Prune(dir, DefaultRetain)
 	metrics.CheckpointSeconds.Observe(time.Since(t0).Seconds())
 	return final, nil
+}
+
+// Prune removes all but the keep highest-epoch checkpoint files in dir and
+// returns the removed paths. keep < 1 is treated as 1 — pruning never
+// deletes the latest checkpoint.
+func Prune(dir string, keep int) ([]string, error) {
+	if keep < 1 {
+		keep = 1
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	type ck struct {
+		epoch int64
+		name  string
+	}
+	var cks []ck
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		var ep int64
+		if _, err := fmt.Sscanf(e.Name(), "ckpt-%d.agnn", &ep); err != nil {
+			continue
+		}
+		cks = append(cks, ck{epoch: ep, name: e.Name()})
+	}
+	if len(cks) <= keep {
+		return nil, nil
+	}
+	sort.Slice(cks, func(i, j int) bool { return cks[i].epoch > cks[j].epoch })
+	var removed []string
+	var firstErr error
+	for _, c := range cks[keep:] {
+		p := filepath.Join(dir, c.name)
+		if err := os.Remove(p); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		removed = append(removed, p)
+	}
+	return removed, firstErr
 }
 
 func write(w io.Writer, st State, params []*gnn.Param) error {
@@ -119,7 +183,7 @@ func write(w io.Writer, st State, params []*gnn.Param) error {
 	if _, err := io.WriteString(cw, magic); err != nil {
 		return err
 	}
-	if err := binary.Write(cw, binary.LittleEndian, []int64{st.Epoch, st.Seed}); err != nil {
+	if err := binary.Write(cw, binary.LittleEndian, []int64{st.Epoch, st.Seed, st.World}); err != nil {
 		return err
 	}
 	if err := writeOptState(cw, st.Opt); err != nil {
@@ -282,7 +346,7 @@ func read(r io.Reader, params []*gnn.Param) (State, error) {
 	if _, err := io.ReadFull(cr, got); err != nil {
 		return State{}, fmt.Errorf("ckpt: truncated header: %w", err)
 	}
-	if string(got) != magic {
+	if string(got) != magic && string(got) != magicV1 {
 		return State{}, fmt.Errorf("ckpt: bad magic %q", got)
 	}
 	var st State
@@ -291,6 +355,11 @@ func read(r io.Reader, params []*gnn.Param) (State, error) {
 		return State{}, fmt.Errorf("ckpt: truncated header: %w", err)
 	}
 	st.Epoch, st.Seed = hdr[0], hdr[1]
+	if string(got) == magic {
+		if err := binary.Read(cr, binary.LittleEndian, &st.World); err != nil {
+			return State{}, fmt.Errorf("ckpt: truncated header: %w", err)
+		}
+	}
 	opt, err := readOptState(cr)
 	if err != nil {
 		return State{}, err

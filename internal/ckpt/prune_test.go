@@ -1,0 +1,153 @@
+package ckpt
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fakeCkpt drops an empty file under the canonical checkpoint name — Prune
+// selects by filename only, so content is irrelevant.
+func fakeCkpt(t *testing.T, dir string, epoch int64) string {
+	t.Helper()
+	p := Path(dir, epoch)
+	if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func listCkpts(t *testing.T, dir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "ckpt-*.agnn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return matches
+}
+
+// TestPruneKeepsLastN: pruning removes exactly the oldest files beyond the
+// keep window and reports what it removed.
+func TestPruneKeepsLastN(t *testing.T) {
+	dir := t.TempDir()
+	for ep := int64(1); ep <= 6; ep++ {
+		fakeCkpt(t, dir, ep)
+	}
+	removed, err := Prune(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 3 {
+		t.Fatalf("removed %d files, want 3: %v", len(removed), removed)
+	}
+	for _, ep := range []int64{1, 2, 3} {
+		if _, err := os.Stat(Path(dir, ep)); !os.IsNotExist(err) {
+			t.Errorf("epoch %d survived pruning", ep)
+		}
+	}
+	for _, ep := range []int64{4, 5, 6} {
+		if _, err := os.Stat(Path(dir, ep)); err != nil {
+			t.Errorf("epoch %d was pruned away: %v", ep, err)
+		}
+	}
+	// Idempotent: a second prune at the same window removes nothing.
+	removed, err = Prune(dir, 3)
+	if err != nil || len(removed) != 0 {
+		t.Fatalf("second prune: removed=%v err=%v", removed, err)
+	}
+}
+
+// TestPruneNeverDeletesLatest: keep < 1 is clamped to 1 — the newest
+// checkpoint always survives.
+func TestPruneNeverDeletesLatest(t *testing.T) {
+	dir := t.TempDir()
+	for _, ep := range []int64{3, 11, 7} {
+		fakeCkpt(t, dir, ep)
+	}
+	for _, keep := range []int{0, -5} {
+		if _, err := Prune(dir, keep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	left := listCkpts(t, dir)
+	if len(left) != 1 || left[0] != Path(dir, 11) {
+		t.Fatalf("after keep<1 prune: %v, want only epoch 11", left)
+	}
+}
+
+// TestPruneIgnoresStrays: non-checkpoint files and subdirectories are
+// untouched, and empty/missing directories are benign.
+func TestPruneIgnoresStrays(t *testing.T) {
+	dir := t.TempDir()
+	stray := filepath.Join(dir, "notes.txt")
+	if err := os.WriteFile(stray, []byte("keep me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for ep := int64(1); ep <= 4; ep++ {
+		fakeCkpt(t, dir, ep)
+	}
+	if _, err := Prune(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stray); err != nil {
+		t.Errorf("stray file was pruned: %v", err)
+	}
+	if removed, err := Prune(filepath.Join(dir, "missing"), 2); err != nil || removed != nil {
+		t.Errorf("missing dir: removed=%v err=%v", removed, err)
+	}
+}
+
+// TestSaveAutoPrunes (satellite): a long run writing a checkpoint per epoch
+// retains only the DefaultRetain most recent, and Latest() still resolves
+// to a loadable checkpoint afterwards.
+func TestSaveAutoPrunes(t *testing.T) {
+	dir := t.TempDir()
+	ps := testParams(t, 450)
+	const epochs = 6
+	for ep := int64(1); ep <= epochs; ep++ {
+		if _, err := Save(dir, State{Epoch: ep, Seed: 450, World: 4}, ps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	left := listCkpts(t, dir)
+	if len(left) != DefaultRetain {
+		t.Fatalf("%d checkpoints on disk after %d saves, want %d: %v",
+			len(left), epochs, DefaultRetain, left)
+	}
+	path, ep, ok, err := Latest(dir)
+	if err != nil || !ok {
+		t.Fatalf("Latest after pruning: ok=%v err=%v", ok, err)
+	}
+	if ep != epochs {
+		t.Fatalf("Latest epoch = %d, want %d", ep, epochs)
+	}
+	st, err := Load(path, testParams(t, 451))
+	if err != nil {
+		t.Fatalf("latest checkpoint unloadable after pruning: %v", err)
+	}
+	if st.Epoch != epochs || st.World != 4 {
+		t.Fatalf("loaded state %+v", st)
+	}
+}
+
+// TestCheckpointWorldRoundTrip: the CKP2 world-size stamp survives the
+// save/load cycle — elastic recovery reads it to know the snapshot's
+// provenance even though the payload itself is world-size independent.
+func TestCheckpointWorldRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ps := testParams(t, 460)
+	path, err := Save(dir, State{Epoch: 2, Seed: 460, World: 9}, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Load(path, testParams(t, 461))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.World != 9 {
+		t.Fatalf("World = %d after round trip, want 9", st.World)
+	}
+}

@@ -1,0 +1,85 @@
+// Wire-time α-β model: the costmodel's volume bounds count words, but a
+// real socket transport pays a per-frame latency (α) on top of the
+// per-byte bandwidth cost (β). This file closes the loop for the TCP
+// transport of internal/dist/net: predict wall-clock wire time from the
+// frame and byte counters the transport keeps (WireStats), compare against
+// the measured cumulative write time, and publish both sides to the live
+// metrics registry. The package stays import-free of internal/dist — the
+// caller passes plain counters, keeping the model a pure policy object.
+
+package costmodel
+
+import (
+	"agnn/internal/obs/metrics"
+)
+
+// Loopback defaults: α dominated by syscall + scheduler handoff, β by
+// memcpy through the loopback queue. These are deliberately conservative
+// order-of-magnitude figures for validation runs, not calibrated
+// constants — FitAlphaBeta derives machine-specific values from two
+// measurements when available.
+const (
+	DefaultAlphaSeconds    = 10e-6   // ≈10µs per frame (send syscall + wakeup)
+	DefaultBetaSecPerByte  = 0.25e-9 // ≈4 GB/s effective loopback bandwidth
+	DefaultWireTimeSlackUp = 50.0    // accepted measured/predicted spread, either direction
+)
+
+// WireModel is the classic α-β (latency-bandwidth) point-to-point cost
+// model: sending one frame of b bytes takes α + β·b seconds.
+type WireModel struct {
+	AlphaSeconds   float64 // fixed per-frame cost
+	BetaSecPerByte float64 // marginal per-byte cost
+}
+
+// DefaultWireModel returns loopback-tuned constants.
+func DefaultWireModel() WireModel {
+	return WireModel{AlphaSeconds: DefaultAlphaSeconds, BetaSecPerByte: DefaultBetaSecPerByte}
+}
+
+// PredictSeconds returns the modeled wall-clock seconds to push the given
+// frame and byte counts through one socket, serially: frames·α + bytes·β.
+func (m WireModel) PredictSeconds(frames, bytes int64) float64 {
+	if frames < 0 {
+		frames = 0
+	}
+	if bytes < 0 {
+		bytes = 0
+	}
+	return float64(frames)*m.AlphaSeconds + float64(bytes)*m.BetaSecPerByte
+}
+
+// FitAlphaBeta solves the two-point system for α and β from two
+// measurements at different frame/byte mixes (e.g. a many-small-frames
+// phase and a few-large-frames phase). Returns ok=false when the system is
+// degenerate (same mix in both measurements) or yields a non-physical
+// (negative) coefficient — callers should fall back to DefaultWireModel.
+func FitAlphaBeta(frames1, bytes1 int64, sec1 float64, frames2, bytes2 int64, sec2 float64) (WireModel, bool) {
+	f1, b1 := float64(frames1), float64(bytes1)
+	f2, b2 := float64(frames2), float64(bytes2)
+	det := f1*b2 - f2*b1
+	if det == 0 {
+		return WireModel{}, false
+	}
+	alpha := (sec1*b2 - sec2*b1) / det
+	beta := (f1*sec2 - f2*sec1) / det
+	if alpha < 0 || beta < 0 {
+		return WireModel{}, false
+	}
+	return WireModel{AlphaSeconds: alpha, BetaSecPerByte: beta}, true
+}
+
+// ValidateWire compares the α-β prediction for one rank's transmit
+// counters against the measured cumulative socket-write time, publishes
+// both sides (agnn_wire_predicted_seconds / agnn_wire_measured_seconds),
+// and returns the comparison. measuredSeconds is WireStats.WriteNanos
+// converted to seconds.
+func ValidateWire(m WireModel, framesTx, bytesTx int64, measuredSeconds float64) TimeValidation {
+	predicted := m.PredictSeconds(framesTx, bytesTx)
+	metrics.WirePredictedSeconds.Set(predicted)
+	metrics.WireMeasuredSeconds.Set(measuredSeconds)
+	v := TimeValidation{PredictedSeconds: predicted, MeasuredSeconds: measuredSeconds}
+	if predicted > 0 {
+		v.Ratio = measuredSeconds / predicted
+	}
+	return v
+}

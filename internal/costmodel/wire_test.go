@@ -1,0 +1,79 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWireModelPredictSeconds(t *testing.T) {
+	m := WireModel{AlphaSeconds: 1e-5, BetaSecPerByte: 1e-9}
+	if got := m.PredictSeconds(0, 0); got != 0 {
+		t.Errorf("empty traffic predicts %v, want 0", got)
+	}
+	// 100 frames, 1 MB: 100·10µs + 1e6·1ns = 1ms + 1ms.
+	want := 100*1e-5 + 1e6*1e-9
+	if got := m.PredictSeconds(100, 1_000_000); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PredictSeconds = %v, want %v", got, want)
+	}
+	// Defensive: negative counters clamp to zero rather than predicting
+	// negative time.
+	if got := m.PredictSeconds(-5, -100); got != 0 {
+		t.Errorf("negative counters predict %v, want 0", got)
+	}
+	// α dominates small-frame traffic, β dominates bulk traffic.
+	small := m.PredictSeconds(1000, 1000)
+	bulk := m.PredictSeconds(1, 100_000_000)
+	if small < 1000*m.AlphaSeconds {
+		t.Errorf("small-frame prediction %v below pure-α floor", small)
+	}
+	if bulk < 100_000_000*m.BetaSecPerByte {
+		t.Errorf("bulk prediction %v below pure-β floor", bulk)
+	}
+}
+
+func TestFitAlphaBetaRecoversModel(t *testing.T) {
+	truth := WireModel{AlphaSeconds: 2e-5, BetaSecPerByte: 0.5e-9}
+	// Two measurements at different frame/byte mixes.
+	f1, b1 := int64(1000), int64(8_000)
+	f2, b2 := int64(10), int64(80_000_000)
+	got, ok := FitAlphaBeta(f1, b1, truth.PredictSeconds(f1, b1), f2, b2, truth.PredictSeconds(f2, b2))
+	if !ok {
+		t.Fatal("fit reported degenerate system for independent measurements")
+	}
+	if math.Abs(got.AlphaSeconds-truth.AlphaSeconds) > 1e-12 ||
+		math.Abs(got.BetaSecPerByte-truth.BetaSecPerByte) > 1e-15 {
+		t.Errorf("fit = %+v, want %+v", got, truth)
+	}
+}
+
+func TestFitAlphaBetaDegenerate(t *testing.T) {
+	// Same mix twice: no information to separate α from β.
+	if _, ok := FitAlphaBeta(10, 100, 1e-3, 20, 200, 2e-3); ok {
+		t.Error("colinear measurements accepted")
+	}
+	// Non-physical fits (negative coefficients) are rejected.
+	if _, ok := FitAlphaBeta(1000, 8_000, 1e-6, 10, 80_000_000, 100); ok {
+		t.Error("negative-α fit accepted")
+	}
+}
+
+func TestValidateWirePublishesAndRatios(t *testing.T) {
+	m := DefaultWireModel()
+	frames, bytes := int64(500), int64(4_000_000)
+	predicted := m.PredictSeconds(frames, bytes)
+	v := ValidateWire(m, frames, bytes, 2*predicted)
+	if v.PredictedSeconds != predicted {
+		t.Errorf("PredictedSeconds = %v, want %v", v.PredictedSeconds, predicted)
+	}
+	if math.Abs(v.Ratio-2) > 1e-12 {
+		t.Errorf("Ratio = %v, want 2", v.Ratio)
+	}
+	if !v.Within(3) || v.Within(1.5) {
+		t.Errorf("Within misclassifies ratio 2: within(3)=%v within(1.5)=%v", v.Within(3), v.Within(1.5))
+	}
+	// Zero prediction (no traffic) must not divide by zero.
+	z := ValidateWire(m, 0, 0, 0.5)
+	if z.Ratio != 0 {
+		t.Errorf("zero-prediction ratio = %v, want 0", z.Ratio)
+	}
+}

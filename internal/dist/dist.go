@@ -29,19 +29,12 @@ import (
 	"time"
 
 	"agnn/internal/dist/faults"
+	distnet "agnn/internal/dist/net"
 	"agnn/internal/obs"
 	"agnn/internal/obs/causal"
 	"agnn/internal/obs/flight"
 	"agnn/internal/obs/metrics"
 )
-
-// message is one point-to-point transfer. Data is copied on send so ranks
-// never alias each other's buffers. The causal header travels by value —
-// stamping adds no allocations to the send path.
-type message struct {
-	data []float64
-	hdr  causal.Header
-}
 
 // Counters accumulates per-rank communication statistics.
 type Counters struct {
@@ -130,11 +123,17 @@ func (o Options) retryBackoff() time.Duration {
 	return DefaultRetryBackoff
 }
 
-// World owns the mailboxes and counters of a p-rank simulation.
+// World owns the transport endpoints and counters of a p-rank run. The
+// transport seam (internal/dist/net) decides what a rank is: with the
+// in-process channel world all p ranks are goroutines sharing one World
+// (local == -1); with a wire transport each OS process holds a World whose
+// endpoints slice is populated only at its own rank (local >= 0).
 type World struct {
 	P        int
 	opts     Options
-	mailbox  [][]chan message // mailbox[to][from]
+	eps      []distnet.Endpoint         // eps[rank]; only eps[local] in a net world
+	inbox    [][]<-chan distnet.Message // inbox[to][from], cached so Recv keeps direct channel selects
+	local    int                        // -1: all ranks in-process; else this process's rank
 	counters []Counters
 	mu       []sync.Mutex // protects counters[i] against torn reads in MaxCounters
 
@@ -178,26 +177,61 @@ type World struct {
 	gtracks []*obs.Track // per-rank gather tracks, created on first chunked gather
 }
 
-// mailboxCap bounds in-flight messages per (sender, receiver) pair. Ring
-// collectives keep at most a couple of messages in flight; the slack covers
-// pipelined point-to-point phases.
-const mailboxCap = 1024
-
 // NewWorld creates a fault-free p-rank world.
 func NewWorld(p int) (*World, error) { return NewWorldOpts(p, Options{}) }
 
-// NewWorldOpts creates a p-rank world with fault-tolerance options.
+// NewWorldOpts creates a p-rank in-process world with fault-tolerance
+// options: all ranks are goroutines exchanging messages over the channel
+// transport.
 func NewWorldOpts(p int, opts Options) (*World, error) {
+	cw, err := distnet.NewChanWorld(p)
+	if err != nil {
+		return nil, fmt.Errorf("dist: %w", err)
+	}
+	w := newWorldShell(p, -1, opts)
+	for r := 0; r < p; r++ {
+		w.eps[r] = cw.Endpoint(r)
+		w.wireRank(r)
+	}
+	w.cacheInboxes()
+	return w, nil
+}
+
+// NewNetWorld wraps one bootstrapped transport endpoint (one OS process =
+// one rank, e.g. net.DialTCP) in a World. Only the endpoint's own rank is
+// wired: counters, metric instruments and diagnostics exist for the local
+// rank, and peer failures detected by the transport (heartbeat silence,
+// connection loss, FAIL frames) feed the world's usual ErrRankFailed
+// broadcast.
+func NewNetWorld(ep distnet.Endpoint, opts Options) (*World, error) {
+	p := ep.Size()
 	if p < 1 {
 		return nil, fmt.Errorf("dist: world size %d, want >= 1", p)
 	}
+	local := ep.Rank()
+	if local < 0 || local >= p {
+		return nil, fmt.Errorf("dist: local rank %d of world %d", local, p)
+	}
+	w := newWorldShell(p, local, opts)
+	w.eps[local] = ep
+	w.wireRank(local)
+	w.cacheInboxes()
+	ep.SetFailureHandler(func(rank int, cause error) {
+		w.fail(rank, fmt.Errorf("%w: %v", ErrRankFailed, cause))
+	})
+	return w, nil
+}
+
+// newWorldShell allocates the per-rank state shared by both constructors.
+func newWorldShell(p, local int, opts Options) *World {
 	w := &World{
-		P: p, opts: opts,
+		P: p, opts: opts, local: local,
 		counters: make([]Counters, p),
 		mu:       make([]sync.Mutex, p),
 		failCh:   make(chan struct{}),
 	}
-	w.mailbox = make([][]chan message, p)
+	w.eps = make([]distnet.Endpoint, p)
+	w.inbox = make([][]<-chan distnet.Message, p)
 	w.mBytes = make([]*metrics.Counter, p)
 	w.mMsgs = make([]*metrics.Counter, p)
 	w.mRounds = make([]*metrics.Counter, p)
@@ -212,24 +246,50 @@ func NewWorldOpts(p int, opts Options) (*World, error) {
 	if cl := causal.Get(); cl != nil {
 		w.clog = cl
 		w.clogs = make([]*causal.RankLog, p)
-		for r := 0; r < p; r++ {
-			w.clogs[r] = cl.Rank(r)
+	}
+	return w
+}
+
+// wireRank resolves the live-registry instruments, flight lane and causal
+// log of one locally hosted rank, so the per-message fast path is a couple
+// of atomic adds on pre-resolved handles.
+func (w *World) wireRank(rank int) {
+	r := strconv.Itoa(rank)
+	w.mBytes[rank] = metrics.CommBytesTotal.With(r)
+	w.mMsgs[rank] = metrics.CommMsgsTotal.With(r)
+	w.mRounds[rank] = metrics.CommRoundsTotal.With(r)
+	w.mWait[rank] = metrics.RankWaitSeconds.With(r)
+	w.mStrag[rank] = metrics.StragglersTotal.With(r)
+	w.flanes[rank] = flight.Default.Lane(rank)
+	if w.clogs != nil {
+		w.clogs[rank] = w.clog.Rank(rank)
+	}
+}
+
+// cacheInboxes resolves the receive channels of every locally hosted rank
+// once, keeping the Recv hot path a direct channel select.
+func (w *World) cacheInboxes() {
+	for to := 0; to < w.P; to++ {
+		if w.eps[to] == nil {
+			continue
+		}
+		w.inbox[to] = make([]<-chan distnet.Message, w.P)
+		for from := 0; from < w.P; from++ {
+			w.inbox[to][from] = w.eps[to].Inbox(from)
 		}
 	}
-	for to := 0; to < p; to++ {
-		w.mailbox[to] = make([]chan message, p)
-		for from := 0; from < p; from++ {
-			w.mailbox[to][from] = make(chan message, mailboxCap)
-		}
-		r := strconv.Itoa(to)
-		w.mBytes[to] = metrics.CommBytesTotal.With(r)
-		w.mMsgs[to] = metrics.CommMsgsTotal.With(r)
-		w.mRounds[to] = metrics.CommRoundsTotal.With(r)
-		w.mWait[to] = metrics.RankWaitSeconds.With(r)
-		w.mStrag[to] = metrics.StragglersTotal.With(r)
-		w.flanes[to] = flight.Default.Lane(to)
+}
+
+// localEndpoint returns an endpoint through which this process can reach
+// the transport (any in-process endpoint, or the net world's own).
+func (w *World) localEndpoint() distnet.Endpoint {
+	if w.local >= 0 {
+		return w.eps[w.local]
 	}
-	return w, nil
+	if len(w.eps) > 0 {
+		return w.eps[0]
+	}
+	return nil
 }
 
 // fail records the world's first failure and broadcasts it. failRank and
@@ -249,6 +309,11 @@ func (w *World) fail(rank int, cause error) {
 		// the failed rank and its last superstep before survivors unwind.
 		flight.OnRankFailure(rank, lastRound, cause)
 		close(w.failCh)
+		// Poison the transport so blocked senders unwind, and (on a wire
+		// transport) broadcast the failure to peer processes.
+		if ep := w.localEndpoint(); ep != nil {
+			ep.Abort(rank, cause)
+		}
 	})
 }
 
@@ -389,6 +454,46 @@ func tryRunTraced(p int, opts Options, tr *obs.Tracer, f func(c *Comm) error) ([
 	wg.Wait()
 	return w.Counters(), errs, nil
 }
+
+// TryRunLocal executes f on the net world's own rank — the per-process
+// counterpart of TryRun. On clean completion the endpoint says goodbye so
+// peers treat the teardown as benign; rank failures (local aborts and
+// survivor unwinds triggered by peer failures) return as errors wrapping
+// ErrRankFailed.
+func (w *World) TryRunLocal(f func(c *Comm) error) (Counters, error) {
+	if w.local < 0 {
+		return Counters{}, errors.New("dist: TryRunLocal requires a net-backed world (use TryRun for in-process worlds)")
+	}
+	var err error
+	func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rf, ok := rec.(rankFailure); ok {
+					err = rf.err
+					return
+				}
+				panic(rec)
+			}
+		}()
+		c := w.Comm(w.local)
+		if w.tracer != nil {
+			w.tracer.BindGoroutine(w.tracks[w.local])
+			defer w.tracer.UnbindGoroutine()
+		}
+		err = f(c)
+	}()
+	if err == nil {
+		w.eps[w.local].Goodbye()
+	}
+	w.mu[w.local].Lock()
+	out := w.counters[w.local]
+	w.mu[w.local].Unlock()
+	return out, err
+}
+
+// LocalRank returns the world's locally hosted rank (-1 when all ranks are
+// in-process).
+func (w *World) LocalRank() int { return w.local }
 
 // FirstError returns the first non-nil error of a per-rank error slice.
 func FirstError(errs []error) error {
@@ -561,11 +666,21 @@ func (c *Comm) sendCoded(to int, data []float64, code uint32) {
 			c.track.FlowOut(flowName(code), hdr.FlowID())
 		}
 	}
-	select {
-	case c.w.mailbox[c.group[to]][c.global] <- message{data: cp, hdr: hdr}:
-	case <-c.w.failCh:
+	if err := c.w.eps[c.global].Send(c.group[to], distnet.Message{Data: cp, Hdr: hdr}); err != nil {
+		c.sendFailed(c.group[to], err)
+	}
+}
+
+// sendFailed maps a transport send error to the runtime's unwind paths: a
+// poisoned world means some rank already failed (unwind as a survivor); any
+// other transport error blames the unreachable peer and broadcasts it.
+func (c *Comm) sendFailed(to int, err error) {
+	if errors.Is(err, distnet.ErrWorldDown) && c.w.failed.Load() {
 		c.abortSurvivor()
 	}
+	cause := fmt.Errorf("%w: rank %d: send to rank %d: %v", ErrRankFailed, c.global, to, err)
+	c.w.fail(to, cause)
+	panic(rankFailure{rank: c.global, err: cause})
 }
 
 // flowName names a message's Chrome-trace flow arrow after its enclosing
@@ -587,7 +702,7 @@ func (c *Comm) recvCoded(from int, code uint32) []float64 {
 	if c.w.failed.Load() {
 		c.abortSurvivor()
 	}
-	box := c.w.mailbox[c.global][c.group[from]]
+	box := c.w.inbox[c.global][c.group[from]]
 	// Fast path: a queued message costs no wait and no clock reads.
 	select {
 	case m := <-box:
@@ -597,8 +712,8 @@ func (c *Comm) recvCoded(from int, code uint32) []float64 {
 	t0 := time.Now()
 	defer func() { c.w.noteWait(c.global, time.Since(t0).Nanoseconds()) }()
 	if d := c.w.opts.RecvTimeout; d > 0 {
-		timer := time.NewTimer(d)
-		defer timer.Stop()
+		timer := acquireTimer(d)
+		defer releaseTimer(timer)
 		select {
 		case m := <-box:
 			return c.accept(m, t0, code)
@@ -619,18 +734,46 @@ func (c *Comm) recvCoded(from int, code uint32) []float64 {
 	}
 }
 
+// recvTimers pools the deadline timers of blocked receives. Arming a
+// receive deadline used to allocate a fresh runtime timer per blocked
+// receive; the pool amortizes that to zero on the steady state while
+// staying safe for the concurrent receives a rank's chunked-gather helper
+// performs alongside it.
+var recvTimers = sync.Pool{New: func() any { return time.NewTimer(time.Hour) }}
+
+// acquireTimer returns a pooled timer armed with deadline d. Timers in the
+// pool are guaranteed stopped and drained, so Reset is race-free.
+func acquireTimer(d time.Duration) *time.Timer {
+	t := recvTimers.Get().(*time.Timer)
+	t.Reset(d)
+	return t
+}
+
+// releaseTimer disarms t, drains a concurrent or consumed expiry, and
+// returns it to the pool in the stopped-and-drained state acquireTimer
+// relies on.
+func releaseTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	recvTimers.Put(t)
+}
+
 // accept finishes one receive: it merges the sender's Lamport clock into
 // this rank's (always on — the clocks order events across ranks even when
 // logging is off) and, under causal tracing, records the arrival with its
 // blocked interval. t0 is when the receiver started blocking (zero Time
 // for the queued-message fast path). Allocation-free.
-func (c *Comm) accept(m message, t0 time.Time, code uint32) []float64 {
+func (c *Comm) accept(m distnet.Message, t0 time.Time, code uint32) []float64 {
 	clk := &c.w.clock[c.global]
 	for {
 		cur := clk.Load()
 		next := cur
-		if m.hdr.Clock > next {
-			next = m.hdr.Clock
+		if m.Hdr.Clock > next {
+			next = m.Hdr.Clock
 		}
 		if clk.CompareAndSwap(cur, next+1) {
 			break
@@ -644,14 +787,14 @@ func (c *Comm) accept(m message, t0 time.Time, code uint32) []float64 {
 			waited = time.Since(t0).Nanoseconds()
 			t0ns = t1 - waited
 		}
-		c.w.clogs[c.global].Recv(t0ns, t1, m.hdr, int64(8*len(m.data)), code)
+		c.w.clogs[c.global].Recv(t0ns, t1, m.Hdr, int64(8*len(m.Data)), code)
 		c.w.flanes[c.global].Record(flight.KindCausalRecv, code,
-			int64(m.hdr.Seq), int64(m.hdr.Src), waited)
-		if c.track != nil && m.hdr.Seq != 0 {
-			c.track.FlowIn(flowName(code), m.hdr.FlowID())
+			int64(m.Hdr.Seq), int64(m.Hdr.Src), waited)
+		if c.track != nil && m.Hdr.Seq != 0 {
+			c.track.FlowIn(flowName(code), m.Hdr.FlowID())
 		}
 	}
-	return m.data
+	return m.Data
 }
 
 // round records one communication round (BSP superstep), closes the rank's

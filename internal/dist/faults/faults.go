@@ -46,6 +46,19 @@ const (
 	Reorder Kind = "reorder"
 )
 
+// Wire-level fault kinds, applied by the TCP transport (internal/dist/net)
+// at the socket layer rather than by the BSP runtime. ConnDrop closes the
+// connection immediately before a frame write, forcing the transport's
+// redial-and-resend path; SlowSock stalls socket writes (wire-level
+// straggler emulation); Partition stalls every outbound write of one rank
+// — heartbeats included — for a window, so peers exercise their liveness
+// timeout.
+const (
+	ConnDrop  Kind = "conndrop"
+	SlowSock  Kind = "slowsock"
+	Partition Kind = "partition"
+)
+
 // Clause is one parsed fault directive.
 type Clause struct {
 	Kind  Kind
@@ -81,6 +94,16 @@ func (s Spec) String() string {
 			parts = append(parts, fmt.Sprintf("drop:p=%g,max=%d", c.P, c.Max))
 		case Reorder:
 			parts = append(parts, fmt.Sprintf("reorder:p=%g", c.P))
+		case ConnDrop:
+			parts = append(parts, fmt.Sprintf("conndrop:p=%g,max=%d", c.P, c.Max))
+		case SlowSock:
+			p := fmt.Sprintf("slowsock:p=%g,ms=%g", c.P, float64(c.Dur)/float64(time.Millisecond))
+			if c.Rank >= 0 {
+				p += fmt.Sprintf(",rank=%d", c.Rank)
+			}
+			parts = append(parts, p)
+		case Partition:
+			parts = append(parts, fmt.Sprintf("partition:rank=%d,ms=%g", c.Rank, float64(c.Dur)/float64(time.Millisecond)))
 		}
 	}
 	return strings.Join(parts, ";")
@@ -100,6 +123,11 @@ func (s Spec) String() string {
 //	drop:p=<float>[,max=<int>]        fail a send transiently, prob p,
 //	                                  at most max consecutive drops (default 2)
 //	reorder:p=<float>                 swap adjacent chunk arrivals, prob p
+//	conndrop:p=<float>[,max=<int>]    close the socket before a frame write,
+//	                                  prob p, at most max consecutive (default 2)
+//	slowsock:p=<float>,ms=<float>[,rank=<int>]   stall a socket write, prob p
+//	partition:rank=<int>,ms=<float>   stall all of rank's outbound writes
+//	                                  (heartbeats included) for a one-shot window
 //
 // An empty string parses to an empty spec.
 func Parse(s string) (Spec, error) {
@@ -202,6 +230,52 @@ func Parse(s string) (Spec, error) {
 			if c.P <= 0 {
 				return Spec{}, fmt.Errorf("faults: clause %q: reorder needs p>0", raw)
 			}
+		case ConnDrop:
+			var max int64
+			if c.P, err = getFloat("p", 0); err != nil {
+				return Spec{}, err
+			}
+			if max, err = getInt("max", 2); err != nil {
+				return Spec{}, err
+			}
+			if c.P <= 0 {
+				return Spec{}, fmt.Errorf("faults: clause %q: conndrop needs p>0", raw)
+			}
+			if max < 1 {
+				return Spec{}, fmt.Errorf("faults: clause %q: conndrop needs max>=1", raw)
+			}
+			c.Max = int(max)
+		case SlowSock:
+			var ms float64
+			var rank int64
+			if c.P, err = getFloat("p", 1); err != nil {
+				return Spec{}, err
+			}
+			if ms, err = getFloat("ms", 0); err != nil {
+				return Spec{}, err
+			}
+			if rank, err = getInt("rank", -1); err != nil {
+				return Spec{}, err
+			}
+			if ms <= 0 {
+				return Spec{}, fmt.Errorf("faults: clause %q: slowsock needs ms>0", raw)
+			}
+			c.Dur = time.Duration(ms * float64(time.Millisecond))
+			c.Rank = int(rank)
+		case Partition:
+			var ms float64
+			var rank int64
+			if rank, err = getInt("rank", -1); err != nil {
+				return Spec{}, err
+			}
+			if ms, err = getFloat("ms", 0); err != nil {
+				return Spec{}, err
+			}
+			if rank < 0 || ms <= 0 {
+				return Spec{}, fmt.Errorf("faults: clause %q: partition needs rank= and ms>0", raw)
+			}
+			c.Rank = int(rank)
+			c.Dur = time.Duration(ms * float64(time.Millisecond))
 		default:
 			return Spec{}, fmt.Errorf("faults: unknown fault kind %q in clause %q", kind, raw)
 		}
@@ -237,6 +311,13 @@ type SendAction struct {
 	Drop  bool          // fail this attempt transiently (caller retries)
 }
 
+// WireAction is the injector's decision for one outbound frame write at
+// the socket layer (TCP transport only).
+type WireAction struct {
+	Delay time.Duration // stall the socket write this long (slowsock, partition)
+	Drop  bool          // close the connection before writing (caller redials and resends)
+}
+
 // Injector applies a Spec deterministically. Each rank draws from its own
 // seeded RNG stream (guarded by a per-rank mutex: a rank's main goroutine
 // and its chunked-gather helper may both consult the stream), so fault
@@ -251,6 +332,12 @@ type Injector struct {
 	mu      []sync.Mutex
 	rngs    []*rand.Rand
 	crashed []sync.Once // one per crash clause
+
+	// Partition windows are one-shot per clause: the window opens at the
+	// target rank's first wire action and every subsequent write stalls
+	// until it closes.
+	partMu    sync.Mutex
+	partStart []time.Time // one per clause (zero until armed; only partition entries used)
 }
 
 // maxRanks bounds the lazily sized per-rank state; the simulated runtime
@@ -263,11 +350,12 @@ func New(spec Spec, seed int64, p int) *Injector {
 		p = maxRanks
 	}
 	in := &Injector{
-		spec:    spec,
-		seed:    seed,
-		mu:      make([]sync.Mutex, p),
-		rngs:    make([]*rand.Rand, p),
-		crashed: make([]sync.Once, len(spec.Clauses)),
+		spec:      spec,
+		seed:      seed,
+		mu:        make([]sync.Mutex, p),
+		rngs:      make([]*rand.Rand, p),
+		crashed:   make([]sync.Once, len(spec.Clauses)),
+		partStart: make([]time.Time, len(spec.Clauses)),
 	}
 	for r := 0; r < p; r++ {
 		// Distinct, reproducible stream per rank.
@@ -324,6 +412,57 @@ func (in *Injector) CrashNow(rank int, round int64) bool {
 		fired := false
 		in.crashed[i].Do(func() { fired = true })
 		if fired {
+			return true
+		}
+	}
+	return false
+}
+
+// OnWire decides the fate of one outbound frame write from rank at the
+// socket layer. attempt is 1-based and increments across redial-and-resend
+// retries of the same frame; conndrop clauses stop firing once attempt
+// exceeds their max, so resends succeed within a bounded number of
+// reconnects. Partition clauses arm on the target rank's first wire action
+// and stall every write until their window closes.
+func (in *Injector) OnWire(rank, attempt int) WireAction {
+	var act WireAction
+	for i, c := range in.spec.Clauses {
+		switch c.Kind {
+		case SlowSock:
+			if c.Rank >= 0 && c.Rank != rank {
+				continue
+			}
+			if in.roll(rank) < c.P {
+				act.Delay += c.Dur
+			}
+		case ConnDrop:
+			if attempt <= c.Max && in.roll(rank) < c.P {
+				act.Drop = true
+			}
+		case Partition:
+			if c.Rank != rank {
+				continue
+			}
+			in.partMu.Lock()
+			if in.partStart[i].IsZero() {
+				in.partStart[i] = time.Now()
+			}
+			remain := c.Dur - time.Since(in.partStart[i])
+			in.partMu.Unlock()
+			if remain > 0 {
+				act.Delay += remain
+			}
+		}
+	}
+	return act
+}
+
+// HasWire reports whether the spec contains any wire-level clause, so the
+// transport only installs its fault hook when one exists.
+func (s Spec) HasWire() bool {
+	for _, c := range s.Clauses {
+		switch c.Kind {
+		case ConnDrop, SlowSock, Partition:
 			return true
 		}
 	}

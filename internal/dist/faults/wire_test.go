@@ -1,0 +1,199 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParseWireRoundTrip: the wire-level verbs parse into the expected
+// clauses and String() renders back into the same grammar.
+func TestParseWireRoundTrip(t *testing.T) {
+	spec, err := Parse("conndrop:p=1,max=3;slowsock:p=0.5,ms=2,rank=1;partition:rank=2,ms=250")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Clauses) != 3 {
+		t.Fatalf("parsed %d clauses, want 3", len(spec.Clauses))
+	}
+	cd := spec.Clauses[0]
+	if cd.Kind != ConnDrop || cd.P != 1 || cd.Max != 3 {
+		t.Errorf("conndrop clause = %+v", cd)
+	}
+	ss := spec.Clauses[1]
+	if ss.Kind != SlowSock || ss.P != 0.5 || ss.Dur != 2*time.Millisecond || ss.Rank != 1 {
+		t.Errorf("slowsock clause = %+v", ss)
+	}
+	pt := spec.Clauses[2]
+	if pt.Kind != Partition || pt.Rank != 2 || pt.Dur != 250*time.Millisecond {
+		t.Errorf("partition clause = %+v", pt)
+	}
+	spec2, err := Parse(spec.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", spec.String(), err)
+	}
+	for i := range spec.Clauses {
+		if spec2.Clauses[i] != spec.Clauses[i] {
+			t.Errorf("clause %d changed across round trip: %+v vs %+v",
+				i, spec.Clauses[i], spec2.Clauses[i])
+		}
+	}
+}
+
+// TestParseWireErrors: malformed wire clauses fail with an error that names
+// the offending clause and the constraint it violated — the operator pasting
+// a -faults string needs to know which part to fix.
+func TestParseWireErrors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // substring the error must carry
+	}{
+		{"conndrop:", "conndrop needs p>0"},
+		{"conndrop:max=2", "conndrop needs p>0"},
+		{"conndrop:p=0,max=2", "conndrop needs p>0"},
+		{"conndrop:p=0.5,max=0", "conndrop needs max>=1"},
+		{"conndrop:p=1.5,max=2", "outside [0,1]"},
+		{"conndrop:p=-0.5,max=2", "conndrop needs p>0"},
+		{"conndrop:p=zebra", "not a number"},
+		{"conndrop:p=1,max=1.5", "not an integer"},
+		{"conndrop:p=1,burst=3", `unknown parameter "burst"`},
+		{"slowsock:p=1", "slowsock needs ms>0"},
+		{"slowsock:p=1,ms=0", "slowsock needs ms>0"},
+		{"slowsock:p=1,ms=-2", "slowsock needs ms>0"},
+		{"slowsock:p=2,ms=1", "outside [0,1]"},
+		{"slowsock:ms=1,rank=x", "not an integer"},
+		{"partition:ms=5", "partition needs rank= and ms>0"},
+		{"partition:rank=1", "partition needs rank= and ms>0"},
+		{"partition:rank=-1,ms=5", "partition needs rank= and ms>0"},
+		{"partition:rank=1,ms=0", "partition needs rank= and ms>0"},
+		{"partition:rank=1,ms=5,p=0.5", `unknown parameter "p"`},
+		{"partition rank=1", "unknown fault kind"},
+		{"conndrop:p", "not key=value"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.in)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", tc.in, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Parse(%q) = %q, want substring %q", tc.in, err.Error(), tc.want)
+		}
+		if !strings.Contains(err.Error(), "faults:") {
+			t.Errorf("Parse(%q) error %q lacks the faults: prefix", tc.in, err.Error())
+		}
+	}
+}
+
+// TestHasWire: only specs with wire-level clauses make the transport
+// install its fault hook.
+func TestHasWire(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want bool
+	}{
+		{"", false},
+		{"crash:rank=1,round=5;drop:p=0.1,max=2", false},
+		{"conndrop:p=0.5,max=2", true},
+		{"slowsock:p=1,ms=1", true},
+		{"partition:rank=0,ms=10", true},
+		{"crash:rank=1,round=5;slowsock:p=1,ms=1", true},
+	} {
+		spec, err := Parse(tc.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.in, err)
+		}
+		if got := spec.HasWire(); got != tc.want {
+			t.Errorf("HasWire(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestOnWireConnDropBounded: with p=1 the drop fires on every attempt up to
+// max and never beyond — the transport's redial-and-resend loop is
+// guaranteed to terminate.
+func TestOnWireConnDropBounded(t *testing.T) {
+	spec, err := Parse("conndrop:p=1,max=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(spec, 11, 2)
+	if !in.OnWire(0, 1).Drop || !in.OnWire(0, 2).Drop {
+		t.Error("p=1 conndrop did not fire within max attempts")
+	}
+	for attempt := 3; attempt <= 6; attempt++ {
+		if in.OnWire(0, attempt).Drop {
+			t.Fatalf("conndrop fired at attempt %d beyond max=2: resend can never succeed", attempt)
+		}
+	}
+}
+
+// TestOnWireSlowSockDelay: slowsock stalls writes of the targeted rank by
+// the configured duration and leaves other ranks untouched.
+func TestOnWireSlowSockDelay(t *testing.T) {
+	spec, err := Parse("slowsock:p=1,ms=7,rank=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(spec, 3, 3)
+	if d := in.OnWire(1, 1).Delay; d != 7*time.Millisecond {
+		t.Errorf("targeted rank delay = %v, want 7ms", d)
+	}
+	for _, r := range []int{0, 2} {
+		if act := in.OnWire(r, 1); act.Delay != 0 || act.Drop {
+			t.Errorf("rank %d got %+v from a rank=1 slowsock clause", r, act)
+		}
+	}
+}
+
+// TestOnWirePartitionWindow: the partition window arms at the target rank's
+// first wire action, stalls writes while open, and closes for good — and it
+// never touches other ranks.
+func TestOnWirePartitionWindow(t *testing.T) {
+	spec, err := Parse("partition:rank=0,ms=40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(spec, 1, 2)
+	if act := in.OnWire(1, 1); act.Delay != 0 || act.Drop {
+		t.Fatalf("non-target rank got %+v", act)
+	}
+	first := in.OnWire(0, 1) // arms the window
+	if first.Delay <= 0 || first.Delay > 40*time.Millisecond {
+		t.Fatalf("first write in window stalled %v, want (0, 40ms]", first.Delay)
+	}
+	if d := in.OnWire(0, 1).Delay; d > first.Delay {
+		t.Errorf("remaining window grew from %v to %v", first.Delay, d)
+	}
+	time.Sleep(50 * time.Millisecond) // let the one-shot window lapse
+	for i := 0; i < 3; i++ {
+		if d := in.OnWire(0, 1).Delay; d != 0 {
+			t.Fatalf("partition window re-opened: delay %v after expiry", d)
+		}
+	}
+}
+
+// TestOnWireDeterministicStreams: like OnSend, OnWire decisions replay
+// bitwise for a fixed (spec, seed) pair.
+func TestOnWireDeterministicStreams(t *testing.T) {
+	spec, err := Parse("conndrop:p=0.4,max=3;slowsock:p=0.3,ms=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	record := func() []WireAction {
+		in := New(spec, 99, 3)
+		var out []WireAction
+		for r := 0; r < 3; r++ {
+			for i := 1; i <= 16; i++ {
+				out = append(out, in.OnWire(r, 1))
+			}
+		}
+		return out
+	}
+	a, b := record(), record()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("wire decision %d differs across identical injectors: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package dist
+
+import (
+	"errors"
+	gonet "net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	distnet "agnn/internal/dist/net"
+)
+
+// dialTCPWorld brings up a p-rank TCP transport world over loopback, all
+// endpoints hosted in this test process (the multi-process topology without
+// the processes).
+func dialTCPWorld(t *testing.T, p int) []*distnet.TCPEndpoint {
+	t.Helper()
+	ln, err := gonet.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdv := ln.Addr().String()
+	ln.Close()
+
+	eps := make([]*distnet.TCPEndpoint, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			eps[r], errs[r] = distnet.DialTCP(distnet.TCPConfig{
+				Rank: r, Size: p, Rendezvous: rdv,
+				DialBackoff:      2 * time.Millisecond,
+				HeartbeatEvery:   10 * time.Millisecond,
+				PeerTimeout:      400 * time.Millisecond,
+				BootstrapTimeout: 10 * time.Second,
+			})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d bootstrap: %v", r, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, ep := range eps {
+			if ep != nil {
+				ep.Close()
+			}
+		}
+	})
+	return eps
+}
+
+// TestNetWorldTCPMatchesInProcess: the same collective program produces
+// bitwise-identical results over the TCP transport and the in-process
+// channel transport.
+func TestNetWorldTCPMatchesInProcess(t *testing.T) {
+	const p = 4
+	body := func(c *Comm) ([]float64, []float64) {
+		ar := c.Allreduce([]float64{float64(c.Rank() + 1), 2.5 * float64(c.Rank())})
+		ag := c.Allgather([]float64{float64(c.Rank() * c.Rank())})
+		c.Barrier()
+		return ar, ag
+	}
+
+	wantAR := make([][]float64, p)
+	wantAG := make([][]float64, p)
+	Run(p, func(c *Comm) {
+		wantAR[c.Rank()], wantAG[c.Rank()] = body(c)
+	})
+
+	eps := dialTCPWorld(t, p)
+	gotAR := make([][]float64, p)
+	gotAG := make([][]float64, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			w, err := NewNetWorld(eps[r], Options{RecvTimeout: 20 * time.Second})
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			if w.LocalRank() != r {
+				t.Errorf("LocalRank() = %d, want %d", w.LocalRank(), r)
+			}
+			_, errs[r] = w.TryRunLocal(func(c *Comm) error {
+				gotAR[r], gotAG[r] = body(c)
+				return nil
+			})
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < p; r++ {
+		if errs[r] != nil {
+			t.Fatalf("rank %d: %v", r, errs[r])
+		}
+		for i := range wantAR[r] {
+			if gotAR[r][i] != wantAR[r][i] {
+				t.Errorf("rank %d allreduce[%d] = %v, want %v", r, i, gotAR[r][i], wantAR[r][i])
+			}
+		}
+		for i := range wantAG[r] {
+			if gotAG[r][i] != wantAG[r][i] {
+				t.Errorf("rank %d allgather[%d] = %v, want %v", r, i, gotAG[r][i], wantAG[r][i])
+			}
+		}
+	}
+}
+
+// TestNetWorldPeerCrashUnwindsSurvivors: a peer process dying abruptly
+// (endpoint closed, no goodbye) is detected by heartbeat silence; every
+// survivor unwinds its blocked collective with ErrRankFailed naming the
+// dead rank instead of deadlocking.
+func TestNetWorldPeerCrashUnwindsSurvivors(t *testing.T) {
+	const p, victim = 3, 2
+	eps := dialTCPWorld(t, p)
+	eps[victim].Close() // crash: no BYE, no FAIL — survivors must detect it
+
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		if r == victim {
+			continue
+		}
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			w, err := NewNetWorld(eps[r], Options{RecvTimeout: 20 * time.Second})
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			_, errs[r] = w.TryRunLocal(func(c *Comm) error {
+				c.Allreduce([]float64{1}) // blocks on the victim's contribution
+				return nil
+			})
+		}(r)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("survivors never unwound after peer crash")
+	}
+	for r := 0; r < p; r++ {
+		if r == victim {
+			continue
+		}
+		if errs[r] == nil {
+			t.Fatalf("rank %d: nil error, want ErrRankFailed", r)
+		}
+		if !errors.Is(errs[r], ErrRankFailed) {
+			t.Errorf("rank %d: %v does not wrap ErrRankFailed", r, errs[r])
+		}
+		if !strings.Contains(errs[r].Error(), "rank 2") {
+			t.Errorf("rank %d error does not name the dead rank: %v", r, errs[r])
+		}
+	}
+}
+
+// TestRecvTimerPoolNoAlloc: the deadline timers of blocked receives come
+// from a pool — repeated acquire/release cycles must not allocate a fresh
+// runtime timer each time (the regression this guards was one
+// time.NewTimer per blocked receive).
+func TestRecvTimerPoolNoAlloc(t *testing.T) {
+	tm := acquireTimer(time.Millisecond)
+	releaseTimer(tm) // prime the pool
+	allocs := testing.AllocsPerRun(1000, func() {
+		tm := acquireTimer(time.Hour)
+		releaseTimer(tm)
+	})
+	// A GC sweep may empty the pool mid-run; anything near one alloc per
+	// cycle means the pool is not being reused at all.
+	if allocs > 0.5 {
+		t.Errorf("timer acquire/release allocates %.2f objects per cycle, want ~0", allocs)
+	}
+}
+
+// TestRecvTimeoutTimerReuse: pooled timers must carry no stale state — a
+// long sequence of timed receives that all succeed, followed by one that
+// must expire, still times out at the configured deadline.
+func TestRecvTimeoutTimerReuse(t *testing.T) {
+	const p = 2
+	opts := Options{RecvTimeout: 500 * time.Millisecond}
+	start := time.Now()
+	_, errs, err := TryRun(p, opts, func(c *Comm) error {
+		other := 1 - c.Rank()
+		for i := 0; i < 100; i++ { // exercise timer reuse on the timed path
+			c.Send(other, []float64{float64(i)})
+			c.Recv(other)
+		}
+		if c.Rank() == 0 {
+			c.Recv(other) // never sent: must expire, not hang
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := FirstError(errs)
+	if first == nil || !errors.Is(first, ErrRecvTimeout) {
+		t.Fatalf("FirstError = %v, want ErrRecvTimeout", first)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Errorf("timeout took %v — stale timer state suspected", elapsed)
+	}
+}

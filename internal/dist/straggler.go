@@ -63,6 +63,13 @@ func (w *World) superstep(rank int, round int64, scratch []int64) {
 	w.lastWait[rank].Store(wait)
 	w.mWait[rank].Observe(float64(wait) / 1e9)
 	w.flanes[rank].Record(flight.KindSuperstep, codeSuperstep, round, wait, 0)
+	if w.local >= 0 {
+		// Wire-transport world: peer waits live in other processes, so the
+		// cross-rank median is unknowable here. Per-rank wait histograms and
+		// superstep events still record; cross-rank straggler attribution is
+		// an offline merge of the per-process dumps.
+		return
+	}
 
 	maxW := int64(0)
 	for r := 0; r < w.P; r++ {

@@ -10,6 +10,7 @@ import (
 	"agnn/internal/dist"
 	"agnn/internal/dist/faults"
 	"agnn/internal/gnn"
+	"agnn/internal/graph"
 	"agnn/internal/obs/causal"
 	"agnn/internal/obs/metrics"
 	"agnn/internal/sparse"
@@ -38,6 +39,15 @@ type TrainSpec struct {
 	RecvTimeout     time.Duration    // failure-detection deadline (default 30s)
 	MaxRestarts     int              // world rebuilds before giving up (default 3)
 
+	// Elastic, when set, shrinks the world by one rank on each rank failure
+	// instead of rebuilding at P: survivors repartition the graph at the new
+	// size (checkpoints are world-size independent — weights are replicated)
+	// and resume from the last durable epoch. MinRanks bounds the shrink
+	// (default 1). Non-square sizes train on the 1D local engine, square
+	// sizes on the 2D grid.
+	Elastic  bool
+	MinRanks int
+
 	// Straggler-detection tuning, forwarded to dist.Options (agnn-train
 	// -straggler-factor / -straggler-floor). Zero keeps the dist defaults.
 	StragglerFactor float64       // wait-vs-median multiple that flags a straggler
@@ -54,6 +64,7 @@ type TrainResult struct {
 	Losses     []float64    // per-epoch global mean loss, indexed by epoch; epochs skipped via resume stay zero
 	StartEpoch int          // first epoch executed by this call (after resume)
 	Restarts   int          // world rebuilds forced by rank failures
+	FinalWorld int          // rank count of the attempt that completed (shrinks under Elastic)
 	Params     []*gnn.Param // rank-0 snapshot of the final replicated parameters (Grad nil)
 	Counters   []dist.Counters
 }
@@ -102,11 +113,16 @@ func TrainResilient(spec TrainSpec) (*TrainResult, error) {
 		}
 	}
 	res.StartEpoch = startEpoch
+	minRanks := spec.MinRanks
+	if minRanks < 1 {
+		minRanks = 1
+	}
 
+	p := spec.P
 	var mu sync.Mutex // guards res fields written from rank 0
 	for {
 		from, path := startEpoch, startPath
-		cs, errs, err := dist.TryRun(spec.P, opts, func(c *dist.Comm) error {
+		cs, errs, err := dist.TryRun(p, opts, func(c *dist.Comm) error {
 			return trainRanks(c, spec, from, path, every, res, &mu)
 		})
 		if err != nil {
@@ -115,15 +131,21 @@ func TrainResilient(spec TrainSpec) (*TrainResult, error) {
 		first := dist.FirstError(errs)
 		if first == nil {
 			res.Counters = cs
+			res.FinalWorld = p
 			return res, nil
 		}
 		if !errors.Is(first, dist.ErrRankFailed) {
 			return nil, first // application error: retrying won't help
 		}
-		// Rank failure: rebuild the world from the last durable checkpoint.
+		// Rank failure: rebuild the world from the last durable checkpoint —
+		// elastically one rank smaller (the survivors repartition), or at the
+		// original size when the failed rank is expected back.
 		res.Restarts++
 		if res.Restarts > maxRestarts {
 			return nil, fmt.Errorf("distgnn: giving up after %d restarts: %w", maxRestarts, first)
+		}
+		if spec.Elastic && p > minRanks {
+			p--
 		}
 		t0 := time.Now()
 		startEpoch, startPath = 0, ""
@@ -140,11 +162,40 @@ func TrainResilient(spec TrainSpec) (*TrainResult, error) {
 	}
 }
 
+// trainEngine is the slice of engine surface the resilient loop needs; the
+// 2D grid engine and the 1D local engine both provide it, so elastic
+// recovery can fall from a square world onto any survivor count.
+type trainEngine interface {
+	Params() []*gnn.Param
+	TrainStep(x *tensor.Dense, labels []int, mask []bool, opt gnn.Optimizer) float64
+}
+
+// newTrainEngine dispatches on world size: perfect squares get the 2D grid
+// engine (the paper's layout), everything else the 1D local-formulation
+// engine. Both draw the same replicated parameters from Cfg.Seed (names W,
+// beta, a1, a2 in layer order), so a checkpoint written under either layout
+// restores under the other — the property elastic recovery relies on when
+// p=4 shrinks to p=3. Returns the engine and this rank's input block.
+func newTrainEngine(c *dist.Comm, spec TrainSpec) (trainEngine, *tensor.Dense, error) {
+	if _, err := graph.SquareGrid(c.Size()); err == nil {
+		e, err := NewGlobalEngine(c, spec.A, spec.Cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return e, e.SliceOwnedBlock(spec.X), nil
+	}
+	e, err := NewLocalEngine(c, spec.A, spec.Cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e, spec.X.SliceRows(e.Lo, e.Hi).Clone(), nil
+}
+
 // trainRanks is the per-rank body: build the engine, apply the checkpoint,
 // run epochs [from, spec.Epochs), checkpointing at every boundary multiple
 // of `every`.
 func trainRanks(c *dist.Comm, spec TrainSpec, from int, path string, every int, res *TrainResult, mu *sync.Mutex) error {
-	e, err := NewGlobalEngine(c, spec.A, spec.Cfg)
+	e, xd, err := newTrainEngine(c, spec)
 	if err != nil {
 		return err
 	}
@@ -166,7 +217,6 @@ func trainRanks(c *dist.Comm, spec TrainSpec, from int, path string, every int, 
 		}
 	}
 
-	xd := e.SliceOwnedBlock(spec.X)
 	clog := causal.Get()
 	for epoch := from; epoch < spec.Epochs; epoch++ {
 		var et0 int64
@@ -191,7 +241,8 @@ func trainRanks(c *dist.Comm, spec TrainSpec, from int, path string, every int, 
 			}
 			// Weights are replicated, so rank 0's snapshot is everyone's.
 			if c.Rank() == 0 {
-				st := ckpt.State{Epoch: int64(done), Seed: spec.Cfg.Seed, Opt: opt.ExportState(params)}
+				st := ckpt.State{Epoch: int64(done), Seed: spec.Cfg.Seed,
+					World: int64(c.Size()), Opt: opt.ExportState(params)}
 				if _, err := ckpt.Save(spec.CheckpointDir, st, params); err != nil {
 					sp.End()
 					return fmt.Errorf("rank 0: checkpoint at epoch %d: %w", done, err)

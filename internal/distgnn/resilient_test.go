@@ -214,9 +214,15 @@ func TestTrainResilientValidation(t *testing.T) {
 	if _, err := TrainResilient(spec); err == nil {
 		t.Error("nil optimizer factory accepted")
 	}
-	spec = resilientSpec(t, 3, 2) // 3 is not a perfect square
-	if _, err := TrainResilient(spec); err == nil {
-		t.Error("non-square world accepted")
+	// Non-square worlds dispatch to the 1D local engine instead of failing:
+	// that is what lets elastic recovery resume at p=3 after a p=4 crash.
+	spec = resilientSpec(t, 3, 2)
+	res, err := TrainResilient(spec)
+	if err != nil {
+		t.Fatalf("non-square world rejected: %v", err)
+	}
+	if res.FinalWorld != 3 {
+		t.Errorf("FinalWorld = %d, want 3", res.FinalWorld)
 	}
 }
 

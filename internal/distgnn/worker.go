@@ -1,0 +1,67 @@
+package distgnn
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"agnn/internal/ckpt"
+	"agnn/internal/dist"
+	distnet "agnn/internal/dist/net"
+)
+
+// TrainWorker runs ONE rank of a multi-process training job over a wire
+// transport endpoint (internal/dist/net): the same per-rank body the
+// in-process TryRun loop executes, bound to this process's endpoint via
+// dist.TryRunLocal. The world size comes from the endpoint; spec.P is
+// ignored. Unlike TrainResilient there is no restart loop here — when a
+// peer dies the survivors unwind with dist.ErrRankFailed and the error is
+// returned, so the launching process can tear everything down and relaunch
+// the survivors at the new size with Resume set (the elastic path of
+// docs/ROBUSTNESS.md). The endpoint is not closed; the caller owns it.
+func TrainWorker(spec TrainSpec, ep distnet.Endpoint) (*TrainResult, error) {
+	if spec.Epochs < 0 {
+		return nil, fmt.Errorf("distgnn: negative epoch count %d", spec.Epochs)
+	}
+	if spec.NewOpt == nil {
+		return nil, fmt.Errorf("distgnn: TrainSpec.NewOpt is required")
+	}
+	every := spec.CheckpointEvery
+	if every <= 0 {
+		every = 1
+	}
+	timeout := spec.RecvTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	opts := dist.Options{
+		Faults:          spec.Faults,
+		RecvTimeout:     timeout,
+		StragglerFactor: spec.StragglerFactor,
+		StragglerFloor:  spec.StragglerFloor,
+	}
+
+	res := &TrainResult{Losses: make([]float64, spec.Epochs), FinalWorld: ep.Size()}
+	startEpoch, startPath := 0, ""
+	if spec.Resume && spec.CheckpointDir != "" {
+		path, epoch, ok, err := ckpt.Latest(spec.CheckpointDir)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			startEpoch, startPath = int(epoch), path
+		}
+	}
+	res.StartEpoch = startEpoch
+
+	w, err := dist.NewNetWorld(ep, opts)
+	if err != nil {
+		return nil, err
+	}
+	var mu sync.Mutex
+	cnt, runErr := w.TryRunLocal(func(c *dist.Comm) error {
+		return trainRanks(c, spec, startEpoch, startPath, every, res, &mu)
+	})
+	res.Counters = []dist.Counters{cnt}
+	return res, runErr
+}

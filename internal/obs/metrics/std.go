@@ -76,11 +76,21 @@ var (
 	RecoverySeconds = Default.Histogram("agnn_recovery_seconds",
 		"Wall time from failure detection to a rebuilt world resuming training from the last checkpoint.", DefLatencyBuckets)
 
+	// Wire transport (internal/dist/net; docs/ROBUSTNESS.md).
+	NetDialRetriesTotal = Default.Counter("agnn_net_dial_retries_total",
+		"Failed dial attempts during rendezvous bootstrap and post-drop reconnects.")
+	NetBytesTotal = Default.CounterVec("agnn_net_bytes_total",
+		"Frame bytes moved over the wire transport, by direction (tx, rx).", "dir")
+
 	// Cost-model validation (internal/costmodel, benchutil).
 	CommPredictedWords = Default.Gauge("agnn_comm_predicted_words",
 		"Cost-model predicted max per-rank words for the run's configuration.")
 	CommMeasuredWords = Default.Gauge("agnn_comm_measured_words",
 		"Measured max per-rank words for the run.")
+	WirePredictedSeconds = Default.Gauge("agnn_wire_predicted_seconds",
+		"α-β model predicted wire time for this rank's measured traffic.")
+	WireMeasuredSeconds = Default.Gauge("agnn_wire_measured_seconds",
+		"Measured wall time this rank spent blocked in socket writes.")
 
 	// Compute/communication overlap (internal/distgnn overlapped engines).
 	OverlapHiddenSeconds = Default.Gauge("agnn_overlap_hidden_seconds",
